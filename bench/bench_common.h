@@ -1,0 +1,80 @@
+// Shared fixtures for the figure-reproduction benchmarks.
+//
+// Every benchmark binary regenerates one artifact of the paper (a figure
+// scenario) as measured series; bench/README-style commentary lives in
+// EXPERIMENTS.md. Fixtures are deterministic from fixed seeds so repeated
+// runs produce identical series.
+
+#ifndef CLOAKDB_BENCH_BENCH_COMMON_H_
+#define CLOAKDB_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/anonymizer.h"
+#include "server/query_processor.h"
+#include "sim/poi.h"
+#include "sim/population.h"
+
+namespace cloakdb {
+namespace bench {
+
+inline constexpr uint64_t kSeed = 0xBE7C5EEDULL;
+
+inline Rect Space() { return Rect(0.0, 0.0, 100.0, 100.0); }
+
+inline TimeOfDay Noon() { return TimeOfDay::FromHms(12, 0).value(); }
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A populated anonymizer: `num_users` users with a uniform k-profile.
+inline std::unique_ptr<Anonymizer> MakeAnonymizer(
+    CloakingKind kind, size_t num_users, uint32_t k,
+    PopulationModel model = PopulationModel::kGaussianClusters,
+    bool incremental = true, bool shared = true) {
+  AnonymizerOptions options;
+  options.space = Space();
+  options.algorithm = kind;
+  options.enable_incremental = incremental;
+  options.enable_shared_execution = shared;
+  auto anonymizer = Anonymizer::Create(options);
+  auto profile = PrivacyProfile::Uniform({k, 0.0, kInf}).value();
+  Rng rng(kSeed);
+  PopulationOptions pop;
+  pop.num_users = num_users;
+  pop.model = model;
+  auto users = GeneratePopulation(Space(), pop, &rng).value();
+  for (const auto& u : users) {
+    (void)anonymizer.value()->RegisterUser(u.id, profile);
+    (void)anonymizer.value()->UpdateLocation(u.id, u.location, Noon());
+  }
+  return std::move(anonymizer).value();
+}
+
+/// Deterministic user locations matching MakeAnonymizer's population.
+inline std::vector<PointEntry> MakeUsers(
+    size_t num_users,
+    PopulationModel model = PopulationModel::kGaussianClusters) {
+  Rng rng(kSeed);
+  PopulationOptions pop;
+  pop.num_users = num_users;
+  pop.model = model;
+  return GeneratePopulation(Space(), pop, &rng).value();
+}
+
+/// A server loaded with `num_pois` POIs of category 1.
+inline std::unique_ptr<QueryProcessor> MakeServer(size_t num_pois) {
+  auto server = std::make_unique<QueryProcessor>(Space());
+  Rng rng(kSeed ^ 0x9999);
+  PoiOptions poi;
+  poi.count = num_pois;
+  poi.category = 1;
+  auto pois = GeneratePois(Space(), poi, &rng).value();
+  (void)server->store().BulkLoadCategory(1, std::move(pois));
+  return server;
+}
+
+}  // namespace bench
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,97 @@
+// Experiment F1 — paper Fig. 1 (the three-entity architecture end to end).
+//
+// Streams movement ticks and a mixed query workload through
+// clients -> Location Anonymizer -> privacy-aware server and reports
+// throughput, per-channel traffic, and end-to-end answer accuracy (which
+// must remain exact for private queries — the architecture's promise).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "sim/workload.h"
+#include "system/system.h"
+
+namespace cloakdb {
+namespace {
+
+LbsSystemOptions SystemOptions(size_t users, uint32_t k) {
+  LbsSystemOptions options;
+  options.space = bench::Space();
+  options.num_users = users;
+  options.requirement = {k, 0.0, bench::kInf};
+  options.pois_per_category = 500;
+  return options;
+}
+
+// Update-pipeline throughput: one full tick = movement + cloaking +
+// server ingest for every user.
+void BM_Fig1_UpdatePipeline(benchmark::State& state) {
+  const auto users = static_cast<size_t>(state.range(0));
+  auto system = LbsSystem::Create(SystemOptions(users, 10)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system->Tick(0.5, bench::Noon()));
+  }
+  state.counters["users"] = static_cast<double>(users);
+  state.counters["updates_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * users),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig1_UpdatePipeline)
+    ->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+// Mixed query workload over a live system: reports exactness and traffic.
+void BM_Fig1_MixedWorkload(benchmark::State& state) {
+  const auto k = static_cast<uint32_t>(state.range(0));
+  auto system = LbsSystem::Create(SystemOptions(2000, k)).value();
+  WorkloadOptions workload;
+  workload.categories = {poi_category::kGasStation,
+                         poi_category::kRestaurant};
+  auto gen = WorkloadGenerator::Create(bench::Space(), system->user_ids(),
+                                       workload)
+                 .value();
+  Rng rng(9);
+  for (auto _ : state) {
+    auto spec = gen.Next(&rng);
+    benchmark::DoNotOptimize(system->RunQuery(spec, bench::Noon()));
+  }
+  state.counters["k"] = k;
+  state.counters["nn_accuracy"] = system->metrics().NnAccuracy();
+  state.counters["range_accuracy"] = system->metrics().RangeAccuracy();
+  state.counters["avg_nn_candidates"] =
+      system->metrics().nn_candidates.mean();
+  state.counters["bytes_total"] =
+      static_cast<double>(system->counters().TotalBytes());
+}
+BENCHMARK(BM_Fig1_MixedWorkload)
+    ->Arg(1)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+// Channel traffic decomposition for a fixed day of activity: regenerates
+// the Fig. 1 arrows as byte counts.
+void BM_Fig1_ChannelTraffic(benchmark::State& state) {
+  for (auto _ : state) {
+    auto system = LbsSystem::Create(SystemOptions(1000, 20)).value();
+    for (int tick = 0; tick < 3; ++tick) {
+      (void)system->Tick(1.0, bench::Noon());
+    }
+    for (size_t i = 0; i < 100; ++i) {
+      (void)system->RunPrivateNn(system->user_ids()[i * 7],
+                                 poi_category::kGasStation, bench::Noon());
+    }
+    const auto& c = system->counters();
+    state.counters["user_to_anonymizer_bytes"] = static_cast<double>(
+        c.ByteCount(Channel::kUserToAnonymizer));
+    state.counters["anonymizer_to_server_bytes"] = static_cast<double>(
+        c.ByteCount(Channel::kAnonymizerToServer));
+    state.counters["server_to_user_bytes"] =
+        static_cast<double>(c.ByteCount(Channel::kServerToUser));
+  }
+}
+BENCHMARK(BM_Fig1_ChannelTraffic)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace cloakdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Experiment F2 — paper Fig. 2 (the privacy-profile table).
+//
+// Measures the cost of the profile machinery that every update pays:
+// resolving the active requirement by time of day, validating profiles,
+// swapping profiles at runtime, and the effect of the Fig. 2 temporal
+// schedule on the regions a real anonymizer emits across the day
+// (reported as per-time-slot region areas via counters).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/privacy_profile.h"
+
+namespace cloakdb {
+namespace {
+
+using bench::kInf;
+
+void BM_ProfileResolve(benchmark::State& state) {
+  PrivacyProfile profile = PrivacyProfile::PaperExample();
+  int64_t second = 0;
+  for (auto _ : state) {
+    TimeOfDay t = TimeOfDay::FromSeconds(second);
+    second += 977;  // sweep the day
+    benchmark::DoNotOptimize(profile.Resolve(t));
+  }
+}
+BENCHMARK(BM_ProfileResolve);
+
+void BM_ProfileResolveManyEntries(benchmark::State& state) {
+  // A power user with one entry per hour slice.
+  std::vector<ProfileEntry> entries;
+  int64_t slices = state.range(0);
+  for (int64_t i = 0; i < slices; ++i) {
+    auto start = TimeOfDay::FromSeconds(i * 86400 / slices);
+    auto end = TimeOfDay::FromSeconds((i + 1) * 86400 / slices);
+    entries.push_back({DailyInterval(start, end),
+                       {static_cast<uint32_t>(i + 1), 0.0, kInf}});
+  }
+  PrivacyProfile profile =
+      PrivacyProfile::Create(std::move(entries)).value();
+  int64_t second = 0;
+  for (auto _ : state) {
+    TimeOfDay t = TimeOfDay::FromSeconds(second);
+    second += 977;
+    benchmark::DoNotOptimize(profile.Resolve(t));
+  }
+  state.counters["entries"] = static_cast<double>(slices);
+}
+BENCHMARK(BM_ProfileResolveManyEntries)->Arg(3)->Arg(12)->Arg(24)->Arg(96);
+
+void BM_ProfileValidation(benchmark::State& state) {
+  for (auto _ : state) {
+    auto profile = PrivacyProfile::Uniform({100, 1.0, 3.0});
+    benchmark::DoNotOptimize(profile);
+  }
+}
+BENCHMARK(BM_ProfileValidation);
+
+void BM_ProfileChurn(benchmark::State& state) {
+  // Users may change profiles at any time (paper Section 4); measures a
+  // registered user's profile swap including cache invalidation.
+  auto anonymizer =
+      bench::MakeAnonymizer(CloakingKind::kGrid, 1000, 10);
+  auto strict = PrivacyProfile::PaperExample();
+  auto lax = PrivacyProfile::Public();
+  bool flip = false;
+  for (auto _ : state) {
+    (void)anonymizer->UpdateProfile(1, flip ? strict : lax);
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_ProfileChurn);
+
+// The Fig. 2 schedule end-to-end: the same user, same location, across the
+// three time slots; counters report region area per slot so the output
+// regenerates the figure's privacy escalation.
+void BM_Figure2Schedule(benchmark::State& state) {
+  auto anonymizer =
+      bench::MakeAnonymizer(CloakingKind::kMultiLevelGrid, 20000, 1);
+  (void)anonymizer->RegisterUser(999999, PrivacyProfile::PaperExample());
+  const Point home{37.0, 61.0};
+  const TimeOfDay slots[3] = {TimeOfDay::FromHms(12, 0).value(),
+                              TimeOfDay::FromHms(19, 0).value(),
+                              TimeOfDay::FromHms(2, 0).value()};
+  double areas[3] = {0, 0, 0};
+  uint32_t achieved[3] = {0, 0, 0};
+  size_t slot = 0;
+  for (auto _ : state) {
+    auto update = anonymizer->UpdateLocation(999999, home, slots[slot % 3]);
+    areas[slot % 3] = update.value().cloaked.region.Area();
+    achieved[slot % 3] = update.value().cloaked.achieved_k;
+    ++slot;
+  }
+  state.counters["area_day_k1"] = areas[0];
+  state.counters["area_evening_k100"] = areas[1];
+  state.counters["area_night_k1000"] = areas[2];
+  state.counters["achieved_day"] = achieved[0];
+  state.counters["achieved_evening"] = achieved[1];
+  state.counters["achieved_night"] = achieved[2];
+}
+BENCHMARK(BM_Figure2Schedule);
+
+}  // namespace
+}  // namespace cloakdb
+
+BENCHMARK_MAIN();

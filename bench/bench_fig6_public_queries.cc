@@ -1,0 +1,204 @@
+// Experiment F6 — paper Fig. 6 (public queries over private data).
+//
+// Fig. 6a: range-count accuracy in the paper's three answer formats versus
+// the naive non-zero-size-object baseline, as privacy (k, hence region
+// size) grows. Fig. 6b: public-NN candidate-set size and probability
+// concentration versus privacy level. Ground truth comes from the hidden
+// simulator locations.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "server/public_queries.h"
+
+namespace cloakdb {
+namespace {
+
+using bench::kInf;
+
+struct PrivateWorld {
+  std::unique_ptr<QueryProcessor> server;
+  std::vector<PointEntry> truth;  // hidden exact locations
+};
+
+// Users cloaked at privacy level k, stored on the server.
+PrivateWorld MakeWorld(uint32_t k, size_t num_users = 5000) {
+  PrivateWorld world;
+  world.server = std::make_unique<QueryProcessor>(bench::Space());
+  auto anonymizer = bench::MakeAnonymizer(CloakingKind::kGrid, num_users, k);
+  world.truth = bench::MakeUsers(num_users);
+  for (const auto& u : world.truth) {
+    auto cloak = anonymizer->CloakForQuery(u.id, bench::Noon());
+    (void)world.server->ApplyCloakedUpdate(cloak.value().pseudonym,
+                                           cloak.value().cloaked.region);
+  }
+  return world;
+}
+
+void BM_Fig6a_PublicCount(benchmark::State& state) {
+  const auto k = static_cast<uint32_t>(state.range(0));
+  auto world = MakeWorld(k);
+  Rng rng(5);
+  std::vector<Rect> windows;
+  for (int i = 0; i < 64; ++i) {
+    Point c{rng.Uniform(15, 85), rng.Uniform(15, 85)};
+    windows.push_back(Rect::CenteredSquare(c, rng.Uniform(10, 25)));
+  }
+
+  double abs_err = 0.0, naive_err = 0.0, interval_width = 0.0;
+  size_t queries = 0, idx = 0, bracketed = 0;
+  for (auto _ : state) {
+    const Rect& window = windows[idx % windows.size()];
+    ++idx;
+    auto result = world.server->PublicCount(window);
+    benchmark::DoNotOptimize(result);
+
+    int truth = 0;
+    for (const auto& u : world.truth)
+      if (window.Contains(u.location)) ++truth;
+    abs_err += std::abs(result.value().answer.expected - truth);
+    naive_err += std::abs(
+        static_cast<double>(result.value().naive_count) - truth);
+    interval_width += result.value().answer.max_count -
+                      result.value().answer.min_count;
+    if (truth >= result.value().answer.min_count &&
+        truth <= result.value().answer.max_count)
+      ++bracketed;
+    ++queries;
+  }
+  auto q = static_cast<double>(queries);
+  state.counters["k"] = k;
+  state.counters["probabilistic_abs_error"] = abs_err / q;
+  state.counters["naive_abs_error"] = naive_err / q;
+  state.counters["interval_width"] = interval_width / q;
+  state.counters["interval_coverage"] = static_cast<double>(bracketed) / q;
+}
+BENCHMARK(BM_Fig6a_PublicCount)
+    ->Arg(1)->Arg(10)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fig6b_PublicNn(benchmark::State& state) {
+  const auto k = static_cast<uint32_t>(state.range(0));
+  auto world = MakeWorld(k, 2000);
+  Rng rng(6);
+  std::vector<Point> stations;
+  for (int i = 0; i < 64; ++i) {
+    stations.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+
+  double candidates = 0.0, top_probability = 0.0;
+  size_t queries = 0, idx = 0;
+  PublicNnOptions options;
+  options.mc_samples = 2048;
+  for (auto _ : state) {
+    auto result =
+        world.server->PublicNn(stations[idx % stations.size()], options);
+    benchmark::DoNotOptimize(result);
+    ++idx;
+    candidates += static_cast<double>(result.value().candidates.size());
+    top_probability += result.value().candidates.empty()
+                           ? 0.0
+                           : result.value().candidates.front().probability;
+    ++queries;
+  }
+  auto q = static_cast<double>(queries);
+  state.counters["k"] = k;
+  state.counters["avg_candidates"] = candidates / q;
+  state.counters["avg_top_probability"] = top_probability / q;
+}
+BENCHMARK(BM_Fig6b_PublicNn)
+    ->Arg(1)->Arg(10)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+// Answer-format ablation for Fig. 6a: the expected value and interval are
+// nearly free; the Poisson-binomial PDF dominates the cost for windows
+// overlapping many cloaked regions.
+void BM_Fig6a_PdfCostVsOverlaps(benchmark::State& state) {
+  const auto overlaps = static_cast<size_t>(state.range(0));
+  std::vector<double> ps(overlaps, 0.37);
+  for (auto _ : state) {
+    auto answer = MakeCountAnswer(ps);
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["overlapping_regions"] = static_cast<double>(overlaps);
+}
+BENCHMARK(BM_Fig6a_PdfCostVsOverlaps)
+    ->Arg(8)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+// Monte-Carlo budget ablation for Fig. 6b probability estimates.
+void BM_Fig6b_McSamplesAblation(benchmark::State& state) {
+  const auto samples = static_cast<size_t>(state.range(0));
+  auto world = MakeWorld(50, 2000);
+  PublicNnOptions options;
+  options.mc_samples = samples;
+  size_t idx = 0;
+  Rng rng(7);
+  std::vector<Point> stations;
+  for (int i = 0; i < 16; ++i)
+    stations.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  for (auto _ : state) {
+    auto result =
+        world.server->PublicNn(stations[idx % stations.size()], options);
+    benchmark::DoNotOptimize(result);
+    ++idx;
+  }
+  state.counters["mc_samples"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_Fig6b_McSamplesAblation)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+// Heatmap extension of Fig. 6a: the full expected-density grid in one
+// pass, with the total expected mass as a sanity counter.
+void BM_Fig6a_Heatmap(benchmark::State& state) {
+  const auto resolution = static_cast<uint32_t>(state.range(0));
+  auto world = MakeWorld(25);
+  double mass = 0.0;
+  for (auto _ : state) {
+    auto map = PublicHeatmapQuery(world.server->store(), resolution);
+    benchmark::DoNotOptimize(map);
+    mass = map.value().TotalMass();
+  }
+  state.counters["resolution"] = static_cast<double>(resolution);
+  state.counters["total_expected_mass"] = mass;
+}
+BENCHMARK(BM_Fig6a_Heatmap)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// Private-over-private NN (Section 6.1's third query class): both sides
+// cloaked; candidate set and cost vs. the shared privacy level.
+void BM_Sec61_PrivatePrivateNn(benchmark::State& state) {
+  const auto k = static_cast<uint32_t>(state.range(0));
+  auto world = MakeWorld(k, 2000);
+  // Queriers are cloaked users too: reuse their stored regions.
+  std::vector<Rect> queriers;
+  world.server->store().private_index().ForEach(
+      [&](const RectEntry& entry) {
+        if (queriers.size() < 64) queriers.push_back(entry.rect);
+      });
+  PrivatePrivateOptions options;
+  options.mc_samples = 1024;
+  double candidates = 0.0;
+  size_t queries = 0, idx = 0;
+  for (auto _ : state) {
+    auto result = world.server->PrivatePrivateNn(
+        queriers[idx % queriers.size()], options);
+    benchmark::DoNotOptimize(result);
+    ++idx;
+    candidates += static_cast<double>(result.value().candidates.size());
+    ++queries;
+  }
+  state.counters["k"] = k;
+  state.counters["avg_candidates"] =
+      candidates / static_cast<double>(queries);
+}
+BENCHMARK(BM_Sec61_PrivatePrivateNn)->Arg(1)->Arg(10)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cloakdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,190 @@
+// Experiment IDX — substrate ablation: the spatial index structures that
+// everything above is built on (uniform grid, pyramid, PR quadtree,
+// R-tree, rect grid). Not a paper figure; justifies the structure choices
+// recorded in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "index/grid_index.h"
+#include "index/pyramid.h"
+#include "index/quadtree.h"
+#include "index/rect_grid.h"
+#include "index/rtree.h"
+
+namespace cloakdb {
+namespace {
+
+template <typename Index>
+Index MakeLoaded(size_t n) {
+  Index index(bench::Space(), 64);
+  for (const auto& u : bench::MakeUsers(n)) {
+    (void)index.Insert(u.id, u.location);
+  }
+  return index;
+}
+
+template <>
+Quadtree MakeLoaded<Quadtree>(size_t n) {
+  Quadtree index(bench::Space(), 32);
+  for (const auto& u : bench::MakeUsers(n)) {
+    (void)index.Insert(u.id, u.location);
+  }
+  return index;
+}
+
+void BM_IDX_GridMove(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  auto index = MakeLoaded<GridIndex>(n);
+  auto users = bench::MakeUsers(n);
+  Rng rng(1);
+  size_t idx = 0;
+  for (auto _ : state) {
+    auto& u = users[idx % users.size()];
+    ++idx;
+    u.location.x = std::clamp(u.location.x + rng.Uniform(-1, 1), 0.0, 100.0);
+    u.location.y = std::clamp(u.location.y + rng.Uniform(-1, 1), 0.0, 100.0);
+    benchmark::DoNotOptimize(index.Move(u.id, u.location));
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_IDX_GridMove)->Arg(10000)->Arg(100000);
+
+void BM_IDX_PyramidMove(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Pyramid index(bench::Space(), 8);
+  auto users = bench::MakeUsers(n);
+  for (const auto& u : users) (void)index.Insert(u.id, u.location);
+  Rng rng(2);
+  size_t idx = 0;
+  for (auto _ : state) {
+    auto& u = users[idx % users.size()];
+    ++idx;
+    u.location.x = std::clamp(u.location.x + rng.Uniform(-1, 1), 0.0, 100.0);
+    u.location.y = std::clamp(u.location.y + rng.Uniform(-1, 1), 0.0, 100.0);
+    benchmark::DoNotOptimize(index.Move(u.id, u.location));
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_IDX_PyramidMove)->Arg(10000)->Arg(100000);
+
+void BM_IDX_QuadtreeMove(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  auto index = MakeLoaded<Quadtree>(n);
+  auto users = bench::MakeUsers(n);
+  Rng rng(3);
+  size_t idx = 0;
+  for (auto _ : state) {
+    auto& u = users[idx % users.size()];
+    ++idx;
+    u.location.x = std::clamp(u.location.x + rng.Uniform(-1, 1), 0.0, 100.0);
+    u.location.y = std::clamp(u.location.y + rng.Uniform(-1, 1), 0.0, 100.0);
+    benchmark::DoNotOptimize(index.Move(u.id, u.location));
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_IDX_QuadtreeMove)->Arg(10000)->Arg(100000);
+
+void BM_IDX_GridRangeCount(benchmark::State& state) {
+  auto index = MakeLoaded<GridIndex>(100000);
+  Rng rng(4);
+  for (auto _ : state) {
+    Point c{rng.Uniform(10, 90), rng.Uniform(10, 90)};
+    benchmark::DoNotOptimize(
+        index.CountInRect(Rect::CenteredSquare(c, 10.0)));
+  }
+}
+BENCHMARK(BM_IDX_GridRangeCount);
+
+void BM_IDX_QuadtreeRangeCount(benchmark::State& state) {
+  auto index = MakeLoaded<Quadtree>(100000);
+  Rng rng(4);
+  for (auto _ : state) {
+    Point c{rng.Uniform(10, 90), rng.Uniform(10, 90)};
+    benchmark::DoNotOptimize(
+        index.CountInRect(Rect::CenteredSquare(c, 10.0)));
+  }
+}
+BENCHMARK(BM_IDX_QuadtreeRangeCount);
+
+void BM_IDX_GridKnn(benchmark::State& state) {
+  const auto k = static_cast<size_t>(state.range(0));
+  auto index = MakeLoaded<GridIndex>(100000);
+  Rng rng(5);
+  for (auto _ : state) {
+    Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    benchmark::DoNotOptimize(index.KNearest(q, k));
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_IDX_GridKnn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_IDX_RTreeKnn(benchmark::State& state) {
+  const auto k = static_cast<size_t>(state.range(0));
+  RTree index;
+  (void)index.BulkLoad(bench::MakeUsers(100000));
+  Rng rng(6);
+  for (auto _ : state) {
+    Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    benchmark::DoNotOptimize(index.KNearest(q, k));
+  }
+  state.counters["k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_IDX_RTreeKnn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_IDX_RTreeBulkLoadVsInsert(benchmark::State& state) {
+  const bool bulk = state.range(0) != 0;
+  auto users = bench::MakeUsers(50000);
+  for (auto _ : state) {
+    RTree index;
+    if (bulk) {
+      benchmark::DoNotOptimize(index.BulkLoad(users));
+    } else {
+      for (const auto& u : users) {
+        benchmark::DoNotOptimize(index.Insert(u.id, u.location));
+      }
+    }
+  }
+  state.counters["bulk"] = bulk ? 1.0 : 0.0;
+}
+BENCHMARK(BM_IDX_RTreeBulkLoadVsInsert)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IDX_RectGridUpdate(benchmark::State& state) {
+  RectGrid index(bench::Space(), 64);
+  Rng rng(7);
+  for (ObjectId id = 1; id <= 50000; ++id) {
+    Point c{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+    (void)index.Insert(id, Rect::CenteredSquare(c, rng.Uniform(0.5, 5)));
+  }
+  size_t idx = 0;
+  for (auto _ : state) {
+    ObjectId id = 1 + (idx % 50000);
+    ++idx;
+    Point c{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+    benchmark::DoNotOptimize(
+        index.Update(id, Rect::CenteredSquare(c, rng.Uniform(0.5, 5))));
+  }
+}
+BENCHMARK(BM_IDX_RectGridUpdate);
+
+void BM_IDX_RectGridIntersecting(benchmark::State& state) {
+  RectGrid index(bench::Space(), 64);
+  Rng rng(8);
+  for (ObjectId id = 1; id <= 50000; ++id) {
+    Point c{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+    (void)index.Insert(id, Rect::CenteredSquare(c, rng.Uniform(0.5, 5)));
+  }
+  for (auto _ : state) {
+    Point c{rng.Uniform(10, 90), rng.Uniform(10, 90)};
+    benchmark::DoNotOptimize(
+        index.IntersectingRects(Rect::CenteredSquare(c, 15.0)));
+  }
+}
+BENCHMARK(BM_IDX_RectGridIntersecting);
+
+}  // namespace
+}  // namespace cloakdb
+
+BENCHMARK_MAIN();

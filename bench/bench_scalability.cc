@@ -1,0 +1,144 @@
+// Experiment S53 — paper Section 5.3 (scalability of the anonymizer).
+//
+// The two techniques the paper proposes, measured directly:
+//   - incremental evaluation: reuse of the previous cloaked region under a
+//     small-step movement workload vs. always recomputing;
+//   - shared execution: batch cloaking with per-(cell, profile) sharing vs.
+//     per-user computation;
+// plus the population-size scaling of a full update round.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace cloakdb {
+namespace {
+
+using bench::kInf;
+
+// One round of small random moves for every user (the continuous-movement
+// workload of the paper), through the single-update path. Swept over both
+// a cheap cloaking algorithm (grid) and an expensive one (naive) — the
+// paper's incremental hypothesis pays off when the saved computation
+// outweighs the validity check.
+void BM_S53_IncrementalVsRecompute(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  const CloakingKind kind =
+      state.range(1) == 0 ? CloakingKind::kGrid : CloakingKind::kNaive;
+  const size_t users = 10000;
+  auto anonymizer = bench::MakeAnonymizer(
+      kind, users, 20, PopulationModel::kGaussianClusters,
+      incremental, /*shared=*/false);
+  auto locations = bench::MakeUsers(users);
+  Rng rng(77);
+  for (auto _ : state) {
+    for (auto& u : locations) {
+      u.location.x =
+          std::clamp(u.location.x + rng.Uniform(-0.2, 0.2), 0.0, 100.0);
+      u.location.y =
+          std::clamp(u.location.y + rng.Uniform(-0.2, 0.2), 0.0, 100.0);
+      benchmark::DoNotOptimize(
+          anonymizer->UpdateLocation(u.id, u.location, bench::Noon()));
+    }
+  }
+  state.counters["incremental"] = incremental ? 1.0 : 0.0;
+  state.counters["algo_naive"] = state.range(1) != 0 ? 1.0 : 0.0;
+  state.counters["reuse_fraction"] =
+      anonymizer->stats().updates == 0
+          ? 0.0
+          : static_cast<double>(anonymizer->stats().incremental_reuses) /
+                static_cast<double>(anonymizer->stats().updates);
+  state.counters["updates_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * users),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_S53_IncrementalVsRecompute)
+    ->Args({0, 0})->Args({1, 0})   // grid: cheap recompute
+    ->Args({0, 1})->Args({1, 1})   // naive: expensive recompute
+    ->Unit(benchmark::kMillisecond);
+
+// Batch update with and without shared execution.
+void BM_S53_SharedVsIndividual(benchmark::State& state) {
+  const bool shared = state.range(0) != 0;
+  const size_t users = 10000;
+  auto anonymizer = bench::MakeAnonymizer(
+      CloakingKind::kGrid, users, 20, PopulationModel::kGaussianClusters,
+      /*incremental=*/false, shared);
+  auto locations = bench::MakeUsers(users);
+  std::vector<std::pair<UserId, Point>> batch;
+  batch.reserve(users);
+  Rng rng(78);
+  for (auto _ : state) {
+    state.PauseTiming();
+    batch.clear();
+    for (auto& u : locations) {
+      u.location.x =
+          std::clamp(u.location.x + rng.Uniform(-1.0, 1.0), 0.0, 100.0);
+      u.location.y =
+          std::clamp(u.location.y + rng.Uniform(-1.0, 1.0), 0.0, 100.0);
+      batch.push_back({u.id, u.location});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        anonymizer->UpdateLocationsBatch(batch, bench::Noon()));
+  }
+  state.counters["shared"] = shared ? 1.0 : 0.0;
+  state.counters["share_fraction"] =
+      anonymizer->stats().updates == 0
+          ? 0.0
+          : static_cast<double>(anonymizer->stats().shared_reuses) /
+                static_cast<double>(anonymizer->stats().updates);
+  state.counters["updates_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * users),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_S53_SharedVsIndividual)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Population scaling of one full cloaking round, per algorithm family.
+void RunPopulationScaling(benchmark::State& state, CloakingKind kind) {
+  const auto users = static_cast<size_t>(state.range(0));
+  auto anonymizer = bench::MakeAnonymizer(kind, users, 20);
+  auto locations = bench::MakeUsers(users);
+  Rng rng(79);
+  size_t idx = 0;
+  for (auto _ : state) {
+    const auto& u = locations[idx % locations.size()];
+    ++idx;
+    benchmark::DoNotOptimize(
+        anonymizer->UpdateLocation(u.id, u.location, bench::Noon()));
+  }
+  state.counters["users"] = static_cast<double>(users);
+}
+void BM_S53_ScaleGrid(benchmark::State& state) {
+  RunPopulationScaling(state, CloakingKind::kGrid);
+}
+void BM_S53_ScaleMultiLevel(benchmark::State& state) {
+  RunPopulationScaling(state, CloakingKind::kMultiLevelGrid);
+}
+void BM_S53_ScaleQuadtree(benchmark::State& state) {
+  RunPopulationScaling(state, CloakingKind::kQuadtree);
+}
+void BM_S53_ScaleMbr(benchmark::State& state) {
+  RunPopulationScaling(state, CloakingKind::kMbr);
+}
+BENCHMARK(BM_S53_ScaleGrid)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Arg(200000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_S53_ScaleMultiLevel)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Arg(200000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_S53_ScaleQuadtree)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Arg(200000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_S53_ScaleMbr)
+    ->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cloakdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Private queries over public data (paper Fig. 5): a user asks for the
+// nearest restaurant and for all restaurants within walking distance, under
+// increasingly strict privacy profiles. Shows the privacy/QoS trade-off the
+// paper describes: stronger privacy -> larger cloaked regions -> bigger
+// candidate lists (more transmission cost), while the refined answer stays
+// exact.
+//
+// Run: ./nearest_restaurant
+
+#include <cstdio>
+
+#include "core/anonymizer.h"
+#include "server/query_processor.h"
+#include "sim/poi.h"
+#include "sim/population.h"
+#include "system/mobile_client.h"
+
+using namespace cloakdb;
+
+int main() {
+  const Rect space(0.0, 0.0, 20.0, 20.0);
+  const TimeOfDay now = TimeOfDay::FromHms(19, 0).value();
+  Rng rng(42);
+
+  QueryProcessor server(space);
+  PoiOptions poi;
+  poi.count = 250;
+  poi.category = poi_category::kRestaurant;
+  poi.name_prefix = "restaurant";
+  poi.model = PopulationModel::kGaussianClusters;
+  auto pois = GeneratePois(space, poi, &rng);
+  if (!pois.ok()) return 1;
+  (void)server.store().BulkLoadCategory(poi.category, pois.value());
+
+  AnonymizerOptions anon_options;
+  anon_options.space = space;
+  anon_options.algorithm = CloakingKind::kMultiLevelGrid;
+  auto anonymizer = Anonymizer::Create(anon_options);
+  if (!anonymizer.ok()) return 1;
+
+  PopulationOptions crowd;
+  crowd.num_users = 3000;
+  crowd.first_id = 1000;
+  crowd.model = PopulationModel::kGaussianClusters;
+  auto others = GeneratePopulation(space, crowd, &rng);
+  if (!others.ok()) return 1;
+  for (const auto& u : others.value()) {
+    (void)anonymizer.value()->RegisterUser(u.id, PrivacyProfile::Public());
+    (void)anonymizer.value()->UpdateLocation(u.id, u.location, now);
+  }
+
+  const Point me{11.37, 8.21};
+  std::printf("True location: %s\n", me.ToString().c_str());
+  std::printf("%8s %14s %14s %16s %12s\n", "k", "cloak area", "NN cands",
+              "range cands(1mi)", "exact?");
+
+  for (uint32_t k : {1u, 10u, 50u, 200u, 1000u}) {
+    MessageCounters counters;
+    UserId uid = 5'000'000ULL + k;  // distinct id, clear of the crowd range
+    auto profile = PrivacyProfile::Uniform(
+        {k, 0.0, std::numeric_limits<double>::infinity()});
+    auto client = MobileClient::Connect(uid, profile.value(),
+                                        anonymizer.value().get(), &server,
+                                        &counters);
+    if (!client.ok()) return 1;
+    if (!client.value().ReportLocation(me, now).ok()) return 1;
+
+    auto nn = client.value().FindNearest(poi_category::kRestaurant, now);
+    auto range =
+        client.value().FindWithinRadius(1.0, poi_category::kRestaurant, now);
+    if (!nn.ok() || !range.ok()) return 1;
+
+    // Ground truth.
+    auto index = server.store().CategoryIndex(poi_category::kRestaurant);
+    auto truth = index.value()->KNearest(me, 1).front();
+    bool exact = truth.id == nn.value().nearest.id;
+
+    std::printf("%8u %11.4f sq %14zu %16zu %12s\n", k,
+                nn.value().cloaked_area, nn.value().candidates_received,
+                range.value().candidates_received,
+                exact ? "yes" : "NO");
+    (void)client.value().Disconnect();
+  }
+
+  std::printf("\nNote how the candidate list (transmission cost) grows with "
+              "k while the refined answer stays exact — the paper's "
+              "privacy/quality-of-service trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Temporal privacy profiles (paper Fig. 2): one commuter, one day.
+//
+// Replays the paper's exact example profile across a simulated day and
+// shows how the cloaked region the server sees tracks the time-of-day
+// constraints: exact during work hours, a modest cloak in the evening, a
+// huge best-effort cloak at night.
+//
+// Run: ./privacy_profiles_demo
+
+#include <cstdio>
+
+#include "core/anonymizer.h"
+#include "sim/population.h"
+
+using namespace cloakdb;
+
+int main() {
+  const Rect space(0.0, 0.0, 20.0, 20.0);  // 20x20 miles
+  Rng rng(1234);
+
+  AnonymizerOptions anon_options;
+  anon_options.space = space;
+  anon_options.algorithm = CloakingKind::kMultiLevelGrid;
+  auto anonymizer = Anonymizer::Create(anon_options);
+  if (!anonymizer.ok()) return 1;
+
+  // A city of 5000 public movers forms the anonymity crowd.
+  PopulationOptions pop;
+  pop.num_users = 5000;
+  pop.first_id = 100;
+  pop.model = PopulationModel::kGaussianClusters;
+  auto crowd = GeneratePopulation(space, pop, &rng);
+  if (!crowd.ok()) return 1;
+  TimeOfDay init = TimeOfDay::FromHms(0, 0).value();
+  for (const auto& u : crowd.value()) {
+    (void)anonymizer.value()->RegisterUser(u.id, PrivacyProfile::Public());
+    (void)anonymizer.value()->UpdateLocation(u.id, u.location, init);
+  }
+
+  // The commuter uses the exact Fig. 2 profile.
+  PrivacyProfile profile = PrivacyProfile::PaperExample();
+  if (!anonymizer.value()->RegisterUser(1, profile).ok()) return 1;
+
+  std::printf("Privacy profile (paper Fig. 2):\n");
+  for (const auto& entry : profile.entries()) {
+    std::printf("  %s  %s\n", entry.interval.ToString().c_str(),
+                entry.requirement.ToString().c_str());
+  }
+
+  std::printf("\n%8s %10s %14s %12s %10s %10s\n", "time", "req k",
+              "region area", "achieved k", "k ok?", "Amin ok?");
+  const Point home{7.3, 12.1};
+  for (int hour = 0; hour < 24; hour += 2) {
+    TimeOfDay now = TimeOfDay::FromHms(hour, 0).value();
+    auto update = anonymizer.value()->UpdateLocation(1, home, now);
+    if (!update.ok()) {
+      std::printf("update failed: %s\n", update.status().ToString().c_str());
+      return 1;
+    }
+    const CloakedRegion& region = update.value().cloaked;
+    std::printf("%8s %10u %11.3f sq %12u %10s %10s\n",
+                now.ToString().c_str(), region.requirement.k,
+                region.region.Area(), region.achieved_k,
+                region.k_satisfied ? "yes" : "no",
+                region.min_area_satisfied ? "yes" : "no");
+  }
+
+  std::printf("\nDaytime rows leak location freely (k=1), evening rows give "
+              "a balanced cloak (k=100, 1-3 sq mi), and night rows are "
+              "maximally conservative (k=1000, Amin=5) — exactly the "
+              "trade-offs of the paper's example.\n");
+  return 0;
+}

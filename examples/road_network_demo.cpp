@@ -1,0 +1,77 @@
+// Graph-based obfuscation over a road network (the alternative cloaking
+// formulation cited by the paper's related work, Section 2.1): the cloak
+// is a set of road vertices rather than a rectangle, and the nearest-gas-
+// station query runs on network distance.
+//
+// Run: ./road_network_demo
+
+#include <algorithm>
+#include <cstdio>
+
+#include "roadnet/obfuscation.h"
+
+using namespace cloakdb;
+
+int main() {
+  Rng rng(1729);
+
+  // A 20x20 Manhattan-style downtown with some closed streets.
+  GridNetworkOptions grid;
+  grid.rows = 20;
+  grid.cols = 20;
+  grid.drop_fraction = 0.25;
+  auto network_or = MakeGridNetwork(Rect(0, 0, 10, 10), grid, &rng);
+  if (!network_or.ok()) return 1;
+  const RoadNetwork& network = network_or.value();
+  std::printf("Road network: %zu intersections, %zu road segments, "
+              "connected: %s\n",
+              network.num_vertices(), network.num_edges(),
+              network.IsConnected() ? "yes" : "no");
+
+  // Gas stations at ~4%% of the intersections.
+  std::vector<bool> stations(network.num_vertices(), false);
+  size_t num_stations = 0;
+  for (VertexId v = 0; v < network.num_vertices(); ++v) {
+    if (rng.Bernoulli(0.04)) {
+      stations[v] = true;
+      ++num_stations;
+    }
+  }
+  std::printf("Gas stations at %zu intersections.\n\n", num_stations);
+
+  // A driver at a random intersection, sweeping the obfuscation level.
+  VertexId me = static_cast<VertexId>(rng.NextBelow(network.num_vertices()));
+  auto true_nn = network.NetworkNearest(me, stations).value();
+  std::printf("True position: intersection %u at %s; true nearest station "
+              "is %u (%.2f miles by road).\n\n",
+              me, network.LocationOf(me).ToString().c_str(), true_nn,
+              network.NetworkDistance(me, true_nn).value());
+
+  std::printf("%12s %10s %12s %10s %10s\n", "cloak size", "radius",
+              "candidates", "refined", "exact?");
+  for (size_t m : {2u, 5u, 15u, 40u, 100u}) {
+    ObfuscationOptions options;
+    options.min_vertices = m;
+    auto cloak = ObfuscateVertex(network, me, options, &rng);
+    if (!cloak.ok()) return 1;
+    auto candidates = ObfuscatedNnCandidates(network, cloak.value(),
+                                             stations);
+    if (!candidates.ok()) return 1;
+    auto refined = RefineObfuscatedNn(network, me, candidates.value());
+    if (!refined.ok()) return 1;
+    bool exact =
+        network.NetworkDistance(me, refined.value()).value() ==
+        network.NetworkDistance(me, true_nn).value();
+    std::printf("%12zu %9.2f %12zu %10u %10s\n",
+                cloak.value().vertices.size(), cloak.value().radius,
+                candidates.value().size(), refined.value(),
+                exact ? "yes" : "NO");
+    if (!exact) return 1;
+  }
+
+  std::printf("\nLarger vertex sets hide the driver among more "
+              "intersections while the refined network-NN answer stays "
+              "exact — the road-network analogue of Fig. 5b's candidate "
+              "protocol.\n");
+  return 0;
+}

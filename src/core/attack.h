@@ -1,0 +1,90 @@
+// Adversary models for reverse-engineering cloaked regions (paper
+// Section 5: requirement 2 — "an adversary should not be able to do
+// reverse engineering to know the exact user location").
+//
+// Each adversary sees only the cloaked region and outputs a location guess.
+// EvaluateLeakage runs an adversary over many cloaking outcomes and reports
+// the guess-error distribution, normalized so that algorithms with different
+// region sizes are comparable:
+//   - naive cloaking + CenterAttack  -> error exactly 0 (full leakage);
+//   - MBR cloaking   + BoundaryAttack-> error below the uniform baseline
+//     for small k (edge leakage);
+//   - space-dependent cloaking       -> no adversary beats the baseline.
+
+#ifndef CLOAKDB_CORE_ATTACK_H_
+#define CLOAKDB_CORE_ATTACK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cloaking.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace cloakdb {
+
+/// An adversary that guesses the exact location from the cloaked region.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// The adversary's location guess for one observed region.
+  virtual Point Guess(const Rect& region, Rng* rng) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Guesses the region's center — defeats naive centered expansion exactly.
+class CenterAttack : public Attack {
+ public:
+  Point Guess(const Rect& region, Rng* rng) const override;
+  std::string Name() const override { return "center"; }
+};
+
+/// Guesses a uniform point on the region's boundary — exploits the MBR
+/// property that at least one user lies on each edge.
+class BoundaryAttack : public Attack {
+ public:
+  Point Guess(const Rect& region, Rng* rng) const override;
+  std::string Name() const override { return "boundary"; }
+};
+
+/// Guesses a uniform point inside the region — the no-extra-knowledge
+/// baseline every leakage measurement is compared against.
+class UniformAttack : public Attack {
+ public:
+  Point Guess(const Rect& region, Rng* rng) const override;
+  std::string Name() const override { return "uniform"; }
+};
+
+/// Aggregate leakage measurement for one (algorithm, adversary) pairing.
+struct LeakageReport {
+  std::string attack_name;
+  /// Guess error normalized by the region's half-diagonal (so 0 = exact
+  /// recovery and ~1 = as bad as guessing a corner from the center).
+  RunningStats normalized_error;
+  /// Raw guess error in length units.
+  RunningStats absolute_error;
+  /// Fraction of guesses landing within `epsilon_fraction` of the region
+  /// half-diagonal from the true location.
+  double hit_rate = 0.0;
+  double epsilon_fraction = 0.05;
+};
+
+/// One cloaking outcome paired with the ground-truth location.
+struct CloakObservation {
+  Rect region;
+  Point true_location;
+};
+
+/// Runs `attack` once per observation and aggregates the errors.
+LeakageReport EvaluateLeakage(const Attack& attack,
+                              const std::vector<CloakObservation>& observations,
+                              Rng* rng, double epsilon_fraction = 0.05);
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_CORE_ATTACK_H_

@@ -1,0 +1,45 @@
+#include "core/billing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloakdb {
+
+Result<double> PriceOf(const CloakedUpdate& update, const Rect& space,
+                       const BillingTariff& tariff) {
+  if (space.IsEmpty() || space.Area() <= 0.0)
+    return Status::InvalidArgument("billing space must be non-empty");
+  if (tariff.base_fee < 0.0 || tariff.per_log2_k < 0.0 ||
+      tariff.per_area_percent < 0.0 || tariff.best_effort_discount < 0.0)
+    return Status::InvalidArgument("tariff fields must be >= 0");
+
+  const CloakedRegion& region = update.cloaked;
+  double anonymity =
+      std::log2(static_cast<double>(std::max(region.achieved_k, 1u)));
+  double area_percent =
+      100.0 * std::clamp(region.region.Area() / space.Area(), 0.0, 1.0);
+  double price = tariff.base_fee + tariff.per_log2_k * anonymity +
+                 tariff.per_area_percent * area_percent;
+  if (!region.FullySatisfied()) price *= tariff.best_effort_discount;
+  return price;
+}
+
+Status BillingLedger::Charge(UserId user, const CloakedUpdate& update) {
+  auto price = PriceOf(update, space_, tariff_);
+  if (!price.ok()) return price.status();
+  balances_[user] += price.value();
+  return Status::OK();
+}
+
+double BillingLedger::BalanceOf(UserId user) const {
+  auto it = balances_.find(user);
+  return it == balances_.end() ? 0.0 : it->second;
+}
+
+double BillingLedger::TotalRevenue() const {
+  double total = 0.0;
+  for (const auto& [user, balance] : balances_) total += balance;
+  return total;
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,65 @@
+// Protection-level billing (paper Section 5: "the location anonymizer may
+// charge the mobile users based on their required protection level",
+// after Duri et al.).
+//
+// The price of an anonymized update is a function of the protection
+// actually delivered: the anonymity level achieved and the area granted
+// relative to the space. Best-effort updates that missed a constraint are
+// discounted — the user should not pay full price for partial protection.
+
+#ifndef CLOAKDB_CORE_BILLING_H_
+#define CLOAKDB_CORE_BILLING_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/anonymizer.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Tariff of the anonymization service (prices in milli-credits).
+struct BillingTariff {
+  /// Flat price per anonymized update.
+  double base_fee = 1.0;
+  /// Price per unit of log2(k) protection actually delivered (charging
+  /// log-anonymity reflects the diminishing returns of larger crowds).
+  double per_log2_k = 2.0;
+  /// Price per percent of the space covered by the granted region.
+  double per_area_percent = 0.5;
+  /// Multiplier applied when the update missed any profile constraint.
+  double best_effort_discount = 0.5;
+};
+
+/// Price of one cloaked update under a tariff, relative to `space`.
+/// Fails with InvalidArgument on a degenerate space or negative tariff
+/// fields.
+Result<double> PriceOf(const CloakedUpdate& update, const Rect& space,
+                       const BillingTariff& tariff);
+
+/// Running per-user account of anonymization charges.
+class BillingLedger {
+ public:
+  BillingLedger(const Rect& space, const BillingTariff& tariff)
+      : space_(space), tariff_(tariff) {}
+
+  /// Charges one update to `user`.
+  Status Charge(UserId user, const CloakedUpdate& update);
+
+  /// Total charged to a user so far (0 for unknown users).
+  double BalanceOf(UserId user) const;
+
+  /// Sum over all users.
+  double TotalRevenue() const;
+
+  size_t num_accounts() const { return balances_.size(); }
+
+ private:
+  Rect space_;
+  BillingTariff tariff_;
+  std::unordered_map<UserId, double> balances_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_CORE_BILLING_H_

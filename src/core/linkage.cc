@@ -1,0 +1,48 @@
+#include "core/linkage.h"
+
+#include "geom/distance.h"
+
+namespace cloakdb {
+
+Result<LinkageReport> EvaluateLinkage(const std::vector<Rect>& before,
+                                      const std::vector<Rect>& after,
+                                      const LinkageOptions& options) {
+  if (before.size() != after.size())
+    return Status::InvalidArgument(
+        "before/after batches must be index-aligned");
+  if (before.empty())
+    return Status::InvalidArgument("linkage needs at least one user");
+  if (!(options.max_speed > 0.0) || !(options.dt > 0.0))
+    return Status::InvalidArgument("max_speed and dt must be positive");
+
+  const double reach = options.max_speed * options.dt;
+  LinkageReport report;
+  report.num_users = before.size();
+  size_t total_candidates = 0;
+
+  for (size_t i = 0; i < before.size(); ++i) {
+    // Feasible successors: regions whose closest possible pair of points
+    // is within the reachable distance.
+    size_t feasible = 0;
+    size_t only = 0;
+    for (size_t j = 0; j < after.size(); ++j) {
+      if (MinDist(before[i], after[j]) <= reach) {
+        ++feasible;
+        only = j;
+      }
+    }
+    total_candidates += feasible;
+    if (feasible == 1) {
+      ++report.uniquely_linkable;
+      // The true successor is always feasible (the user really moved
+      // there), so a unique candidate is necessarily the correct one; keep
+      // the explicit check as a guard against inconsistent inputs.
+      if (only == i) ++report.correctly_linked;
+    }
+  }
+  report.avg_candidates = static_cast<double>(total_candidates) /
+                          static_cast<double>(before.size());
+  return report;
+}
+
+}  // namespace cloakdb

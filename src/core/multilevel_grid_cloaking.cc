@@ -1,0 +1,47 @@
+#include "core/multilevel_grid_cloaking.h"
+
+namespace cloakdb {
+
+PyramidCell MultiLevelGridCloaking::CellFor(
+    const Point& location, const PrivacyRequirement& req) const {
+  const Pyramid& pyramid = snapshot_->pyramid();
+  // Walk bottom-up from the finest cell containing the user; stop at the
+  // first (deepest) level whose cell satisfies both k and A_min. Counts and
+  // areas are monotone going up, so this is the minimal satisfying cell.
+  PyramidCell cell = pyramid.CellAt(pyramid.height(), location);
+  while (true) {
+    bool ok = pyramid.CellCount(cell) >= req.k &&
+              pyramid.CellRect(cell).Area() >= req.min_area;
+    if (ok || cell.level == 0) return cell;
+    cell = Pyramid::Parent(cell);
+  }
+}
+
+Result<CloakedRegion> MultiLevelGridCloaking::Cloak(
+    ObjectId user, const Point& location,
+    const PrivacyRequirement& req) const {
+  if (!snapshot_->has_pyramid())
+    return Status::FailedPrecondition(
+        "multi-level grid cloaking requires the pyramid snapshot structure");
+  if (!snapshot_->Contains(user))
+    return Status::NotFound("user not present in the anonymizer snapshot");
+  CLOAKDB_RETURN_IF_ERROR(ValidateRequirement(req));
+
+  PyramidCell cell = CellFor(location, req);
+
+  // QoS policy: when the cell exceeds A_max, step back down while the area
+  // violation persists (sacrificing k / A_min but keeping grid alignment).
+  if (policy_ == ConflictPolicy::kPreferQos) {
+    const Pyramid& pyramid = snapshot_->pyramid();
+    while (cell.level < pyramid.height() &&
+           pyramid.CellRect(cell).Area() > req.max_area) {
+      cell = pyramid.CellAt(cell.level + 1, location);
+    }
+  }
+
+  Rect region = snapshot_->pyramid().CellRect(cell);
+  return FinalizeRegion(*snapshot_, location, req, region,
+                        ConflictPolicy::kPreferPrivacy);
+}
+
+}  // namespace cloakdb

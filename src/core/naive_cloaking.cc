@@ -1,0 +1,52 @@
+#include "core/naive_cloaking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloakdb {
+
+Result<CloakedRegion> NaiveCloaking::Cloak(
+    ObjectId user, const Point& location,
+    const PrivacyRequirement& req) const {
+  if (!snapshot_->Contains(user))
+    return Status::NotFound("user not present in the anonymizer snapshot");
+  CLOAKDB_RETURN_IF_ERROR(ValidateRequirement(req));
+
+  const Rect& space = snapshot_->space();
+  auto satisfied = [&](double side) {
+    if (side * side < req.min_area) return false;
+    Rect r = Rect::CenteredSquare(location, side);
+    return snapshot_->CountInRect(r) >= req.k;
+  };
+
+  // The side that covers the whole space from any interior point.
+  double side_cap =
+      2.0 * std::max({space.Width(), space.Height(), std::sqrt(req.min_area)});
+
+  // Exponential probe for an upper bound, then binary search for the
+  // minimal satisfying side (count and area are monotone in side).
+  double hi = std::max(std::sqrt(req.min_area), side_cap / 1024.0);
+  while (hi < side_cap && !satisfied(hi)) hi *= 2.0;
+  hi = std::min(hi, side_cap);
+
+  Rect region;
+  if (!satisfied(hi)) {
+    // Even the whole space cannot satisfy k: best effort is the maximal
+    // centered square.
+    region = Rect::CenteredSquare(location, hi);
+  } else {
+    double lo = 0.0;
+    for (int i = 0; i < 48; ++i) {
+      double mid = (lo + hi) / 2.0;
+      if (satisfied(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    region = Rect::CenteredSquare(location, hi);
+  }
+  return FinalizeRegion(*snapshot_, location, req, region, policy_);
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,36 @@
+// Naive data-dependent cloaking (paper Fig. 3a).
+//
+// Expands a square centered on the exact user location equally in all
+// directions until k and A_min hold. Satisfies the profile but leaks the
+// exact location completely: the user is always the region's center point
+// (see core/attack.h, CenterAttack).
+
+#ifndef CLOAKDB_CORE_NAIVE_CLOAKING_H_
+#define CLOAKDB_CORE_NAIVE_CLOAKING_H_
+
+#include "core/cloaking.h"
+
+namespace cloakdb {
+
+/// Centered-square expansion cloaking.
+class NaiveCloaking : public CloakingAlgorithm {
+ public:
+  /// `snapshot` must outlive this object.
+  explicit NaiveCloaking(const UserSnapshot* snapshot,
+                         ConflictPolicy policy = ConflictPolicy::kPreferPrivacy)
+      : snapshot_(snapshot), policy_(policy) {}
+
+  Result<CloakedRegion> Cloak(ObjectId user, const Point& location,
+                              const PrivacyRequirement& req) const override;
+
+  std::string Name() const override { return "naive"; }
+  bool IsSpaceDependent() const override { return false; }
+
+ private:
+  const UserSnapshot* snapshot_;
+  ConflictPolicy policy_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_CORE_NAIVE_CLOAKING_H_

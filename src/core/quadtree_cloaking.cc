@@ -1,0 +1,44 @@
+#include "core/quadtree_cloaking.h"
+
+namespace cloakdb {
+
+Result<CloakedRegion> QuadtreeCloaking::Cloak(
+    ObjectId user, const Point& location,
+    const PrivacyRequirement& req) const {
+  if (!snapshot_->has_quadtree())
+    return Status::FailedPrecondition(
+        "quadtree cloaking requires the quadtree snapshot structure");
+  if (!snapshot_->Contains(user))
+    return Status::NotFound("user not present in the anonymizer snapshot");
+  CLOAKDB_RETURN_IF_ERROR(ValidateRequirement(req));
+
+  auto path = snapshot_->quadtree().DescendPath(location);
+  // path[0] is the whole space; pick the deepest node still satisfying
+  // (k, A_min). The root is the fallback even when it does not satisfy k
+  // (best effort when the population is too small).
+  Rect region = path.front().extent;
+  for (const auto& node : path) {
+    if (node.count >= req.k && node.extent.Area() >= req.min_area) {
+      region = node.extent;
+    } else if (node.count < req.k) {
+      break;  // deeper nodes only lose users
+    }
+  }
+
+  // QoS policy: when the chosen quadrant exceeds A_max, descend further
+  // (sacrificing k / A_min) while that reduces the violation.
+  if (policy_ == ConflictPolicy::kPreferQos) {
+    for (const auto& node : path) {
+      if (node.extent.Area() >= region.Area()) continue;
+      if (region.Area() > req.max_area) region = node.extent;
+    }
+  }
+  // Always finalize with the privacy-preserving policy: QoS was already
+  // honored by descending to smaller *aligned* quadrants. Letting
+  // FinalizeRegion shrink the rect freely would break space alignment and
+  // reintroduce the data-dependence this algorithm exists to avoid.
+  return FinalizeRegion(*snapshot_, location, req, region,
+                        ConflictPolicy::kPreferPrivacy);
+}
+
+}  // namespace cloakdb

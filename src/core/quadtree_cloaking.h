@@ -1,0 +1,39 @@
+// Quadtree space-dependent cloaking (paper Fig. 4a, after Gruteser &
+// Grunwald).
+//
+// Starting from the whole space, keeps descending into the quadrant that
+// contains the user while that quadrant still satisfies (k, A_min); returns
+// the last satisfying quadrant. The region depends only on which quadrant
+// the user occupies — never on the exact point inside it — so reverse
+// engineering reveals nothing beyond the region itself.
+
+#ifndef CLOAKDB_CORE_QUADTREE_CLOAKING_H_
+#define CLOAKDB_CORE_QUADTREE_CLOAKING_H_
+
+#include "core/cloaking.h"
+
+namespace cloakdb {
+
+/// Adaptive-quadtree cloaking.
+class QuadtreeCloaking : public CloakingAlgorithm {
+ public:
+  /// `snapshot` must outlive this object and maintain the quadtree.
+  explicit QuadtreeCloaking(
+      const UserSnapshot* snapshot,
+      ConflictPolicy policy = ConflictPolicy::kPreferPrivacy)
+      : snapshot_(snapshot), policy_(policy) {}
+
+  Result<CloakedRegion> Cloak(ObjectId user, const Point& location,
+                              const PrivacyRequirement& req) const override;
+
+  std::string Name() const override { return "quadtree"; }
+  bool IsSpaceDependent() const override { return true; }
+
+ private:
+  const UserSnapshot* snapshot_;
+  ConflictPolicy policy_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_CORE_QUADTREE_CLOAKING_H_

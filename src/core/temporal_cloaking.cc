@@ -1,0 +1,122 @@
+#include "core/temporal_cloaking.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cloakdb {
+
+TemporalCloaker::TemporalCloaker(const TemporalCloakingOptions& options)
+    : options_(options) {
+  cell_w_ = options.space.Width() / options.cells_per_side;
+  cell_h_ = options.space.Height() / options.cells_per_side;
+}
+
+Result<TemporalCloaker> TemporalCloaker::Create(
+    const TemporalCloakingOptions& options) {
+  if (options.space.IsEmpty() || options.space.Area() <= 0.0)
+    return Status::InvalidArgument(
+        "temporal cloaking space must be non-empty");
+  if (options.cells_per_side == 0)
+    return Status::InvalidArgument("cells_per_side must be >= 1");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (!(options.max_delay > 0.0))
+    return Status::InvalidArgument("max_delay must be positive");
+  return TemporalCloaker(options);
+}
+
+size_t TemporalCloaker::CellIndexFor(const Point& p) const {
+  auto clamp_cell = [&](double v, double lo, double w) {
+    auto c = static_cast<int64_t>(std::floor((v - lo) / w));
+    return static_cast<size_t>(
+        std::clamp<int64_t>(c, 0, options_.cells_per_side - 1));
+  };
+  size_t cx = clamp_cell(p.x, options_.space.min_x, cell_w_);
+  size_t cy = clamp_cell(p.y, options_.space.min_y, cell_h_);
+  return cy * options_.cells_per_side + cx;
+}
+
+Rect TemporalCloaker::CellRectFor(size_t index) const {
+  size_t cx = index % options_.cells_per_side;
+  size_t cy = index / options_.cells_per_side;
+  return {options_.space.min_x + cx * cell_w_,
+          options_.space.min_y + cy * cell_h_,
+          options_.space.min_x + (cx + 1) * cell_w_,
+          options_.space.min_y + (cy + 1) * cell_h_};
+}
+
+// Releases every pending report of the cell as one k-anonymous batch: all
+// of them share the visit interval, so each is hidden among the batch's
+// distinct users.
+void TemporalCloaker::ReleaseFrom(size_t cell_index, CellState* cell,
+                                  double now, bool k_reached,
+                                  std::vector<TemporalRelease>* out) {
+  auto distinct = static_cast<uint32_t>(cell->visitors.size());
+  Rect extent = CellRectFor(cell_index);
+  while (!cell->pending.empty()) {
+    TemporalRelease release;
+    release.user = cell->pending.front().user;
+    release.cell = extent;
+    release.t_start = cell->pending.front().time;
+    release.t_end = now;
+    release.distinct_visitors = distinct;
+    release.k_satisfied = k_reached;
+    out->push_back(release);
+    cell->pending.pop_front();
+    --total_pending_;
+  }
+  cell->visitors.clear();
+}
+
+std::vector<TemporalRelease> TemporalCloaker::FlushExpired(double now) {
+  std::vector<TemporalRelease> out;
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    CellState& cell = it->second;
+    // The delay cap is driven by the oldest report: once it expires, the
+    // whole batch goes out (still under k, hence flagged best-effort).
+    if (!cell.pending.empty() &&
+        now - cell.pending.front().time > options_.max_delay) {
+      ReleaseFrom(it->first, &cell, now, /*k_reached=*/false, &out);
+    }
+    if (cell.pending.empty()) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<TemporalRelease>> TemporalCloaker::Report(
+    UserId user, const Point& location, double time) {
+  if (!options_.space.Contains(location))
+    return Status::OutOfRange("location outside the cloaking space");
+  if (time < last_time_)
+    return Status::FailedPrecondition(
+        "reports must arrive in non-decreasing time order");
+  last_time_ = time;
+
+  auto out = FlushExpired(time);
+
+  size_t index = CellIndexFor(location);
+  CellState& cell = cells_[index];
+  cell.pending.push_back({user, time});
+  ++total_pending_;
+  cell.visitors.insert(user);
+
+  if (cell.visitors.size() >= options_.k) {
+    ReleaseFrom(index, &cell, time, /*k_reached=*/true, &out);
+    cells_.erase(index);
+  }
+  return out;
+}
+
+Result<std::vector<TemporalRelease>> TemporalCloaker::Tick(double time) {
+  if (time < last_time_)
+    return Status::FailedPrecondition(
+        "clock must advance in non-decreasing order");
+  last_time_ = time;
+  return FlushExpired(time);
+}
+
+}  // namespace cloakdb

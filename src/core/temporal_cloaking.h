@@ -1,0 +1,112 @@
+// Spatio-temporal cloaking (the temporal dimension of Gruteser &
+// Grunwald's cloaking, which the paper cites as the canonical location-
+// perturbation technique and extends with k-anonymity profiles).
+//
+// Instead of enlarging the *area* until k users are inside, temporal
+// cloaking enlarges the *time interval*: a location report is buffered and
+// released only once k distinct users have visited its cell, with the cell
+// extent and the visit interval disclosed instead of the exact point and
+// instant. The trade-off measured by the benchmarks: larger k => longer
+// release delay (staleness) instead of larger regions.
+
+#ifndef CLOAKDB_CORE_TEMPORAL_CLOAKING_H_
+#define CLOAKDB_CORE_TEMPORAL_CLOAKING_H_
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/anonymizer.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Configuration of the temporal cloaker.
+struct TemporalCloakingOptions {
+  /// Managed space and its fixed cell grid.
+  Rect space{0.0, 0.0, 100.0, 100.0};
+  uint32_t cells_per_side = 32;
+  /// Release a pending report once its cell saw k distinct users.
+  uint32_t k = 5;
+  /// Best-effort cap: a report older than this is released even if its
+  /// cell never reached k (flagged k_satisfied = false).
+  double max_delay = 60.0;
+};
+
+/// One temporally cloaked release.
+struct TemporalRelease {
+  UserId user = 0;
+  /// Disclosed area: the fixed cell (not the exact point).
+  Rect cell;
+  /// Disclosed time interval [report time, release time]: the user was in
+  /// the cell at *some* instant of it.
+  double t_start = 0.0;
+  double t_end = 0.0;
+  /// Distinct users that visited the cell during the interval.
+  uint32_t distinct_visitors = 0;
+  /// False when released by the max-delay cap before reaching k.
+  bool k_satisfied = false;
+
+  /// Release delay (the staleness cost of temporal cloaking).
+  double Delay() const { return t_end - t_start; }
+};
+
+/// Buffers location reports and releases them k-anonymized in time.
+///
+/// Reports must be fed in non-decreasing time order.
+class TemporalCloaker {
+ public:
+  /// Validates the options (k >= 1, positive delay, non-empty space).
+  static Result<TemporalCloaker> Create(
+      const TemporalCloakingOptions& options);
+
+  /// Feeds one exact report; returns every release it triggers (the fed
+  /// report may be among them, and stale reports released by the delay
+  /// cap may accompany it). Fails with OutOfRange for locations outside
+  /// the space and FailedPrecondition for time regressions.
+  Result<std::vector<TemporalRelease>> Report(UserId user,
+                                              const Point& location,
+                                              double time);
+
+  /// Advances the clock without a report, flushing delay-capped entries.
+  Result<std::vector<TemporalRelease>> Tick(double time);
+
+  /// Reports still buffered.
+  size_t pending() const { return total_pending_; }
+
+  const TemporalCloakingOptions& options() const { return options_; }
+
+ private:
+  explicit TemporalCloaker(const TemporalCloakingOptions& options);
+
+  struct PendingReport {
+    UserId user = 0;
+    double time = 0.0;
+  };
+  struct CellState {
+    std::deque<PendingReport> pending;
+    /// Distinct users among the pending reports; reaching k releases the
+    /// whole batch (its members are mutually k-anonymous in the interval).
+    std::unordered_set<UserId> visitors;
+  };
+
+  size_t CellIndexFor(const Point& p) const;
+  Rect CellRectFor(size_t index) const;
+  void ReleaseFrom(size_t cell_index, CellState* cell, double now,
+                   bool k_reached, std::vector<TemporalRelease>* out);
+  std::vector<TemporalRelease> FlushExpired(double now);
+
+  TemporalCloakingOptions options_;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+  double last_time_ = -std::numeric_limits<double>::infinity();
+  std::unordered_map<size_t, CellState> cells_;
+  size_t total_pending_ = 0;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_CORE_TEMPORAL_CLOAKING_H_

@@ -1,0 +1,71 @@
+#include "geom/rect.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cloakdb {
+
+Rect Rect::CenteredSquare(const Point& c, double side) {
+  return Centered(c, side, side);
+}
+
+Rect Rect::Centered(const Point& c, double w, double h) {
+  return {c.x - w / 2.0, c.y - h / 2.0, c.x + w / 2.0, c.y + h / 2.0};
+}
+
+std::array<Point, 4> Rect::Corners() const {
+  return {Point{min_x, min_y}, Point{max_x, min_y}, Point{max_x, max_y},
+          Point{min_x, max_y}};
+}
+
+bool Rect::Contains(const Point& p) const {
+  return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+}
+
+bool Rect::Contains(const Rect& other) const {
+  if (other.IsEmpty()) return true;
+  if (IsEmpty()) return false;
+  return other.min_x >= min_x && other.max_x <= max_x &&
+         other.min_y >= min_y && other.max_y <= max_y;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return min_x <= other.max_x && other.min_x <= max_x &&
+         min_y <= other.max_y && other.min_y <= max_y;
+}
+
+Rect Rect::Intersection(const Rect& other) const {
+  Rect r(std::max(min_x, other.min_x), std::max(min_y, other.min_y),
+         std::min(max_x, other.max_x), std::min(max_y, other.max_y));
+  if (r.min_x > r.max_x || r.min_y > r.max_y) return Rect();  // disjoint
+  return r;
+}
+
+Rect Rect::Union(const Rect& other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  return {std::min(min_x, other.min_x), std::min(min_y, other.min_y),
+          std::max(max_x, other.max_x), std::max(max_y, other.max_y)};
+}
+
+Rect Rect::Expanded(double margin) const {
+  if (IsEmpty()) return *this;
+  return {min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+}
+
+double Rect::OverlapFraction(const Rect& other) const {
+  double a = Area();
+  if (a <= 0.0) return 0.0;
+  return Intersection(other).Area() / a;
+}
+
+std::string Rect::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.6g, %.6g] x [%.6g, %.6g]", min_x, max_x,
+                min_y, max_y);
+  return buf;
+}
+
+}  // namespace cloakdb

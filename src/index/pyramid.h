@@ -1,0 +1,80 @@
+// Pyramid: a complete multi-level grid with per-cell occupancy counts.
+//
+// Level l partitions the space into 2^l x 2^l cells; level 0 is the whole
+// space. The paper's Fig. 4b optimization ("keeping fixed multi-level grids")
+// is exactly this structure: the multi-level grid cloaking algorithm walks
+// the pyramid to pick the smallest aligned cell that satisfies a profile.
+// Counts at every level are maintained incrementally on insert/remove/move
+// (O(height) per update).
+
+#ifndef CLOAKDB_INDEX_PYRAMID_H_
+#define CLOAKDB_INDEX_PYRAMID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "index/grid_index.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Address of one pyramid cell.
+struct PyramidCell {
+  uint32_t level = 0;
+  uint32_t cx = 0;
+  uint32_t cy = 0;
+
+  bool operator==(const PyramidCell& o) const {
+    return level == o.level && cx == o.cx && cy == o.cy;
+  }
+};
+
+/// Multi-level count grid over moving point objects.
+class Pyramid {
+ public:
+  /// Creates a pyramid over `bounds` with levels 0..`height` (height >= 0;
+  /// the finest level has 2^height cells per side, capped at 2^11 to bound
+  /// the count arrays at ~22 MB).
+  Pyramid(const Rect& bounds, uint32_t height);
+
+  Status Insert(ObjectId id, const Point& location);
+  Status Remove(ObjectId id);
+  Status Move(ObjectId id, const Point& new_location);
+
+  size_t size() const { return locations_.size(); }
+  uint32_t height() const { return height_; }
+  const Rect& bounds() const { return bounds_; }
+
+  /// Number of objects inside cell (level, cx, cy). Requires a valid cell.
+  size_t CellCount(const PyramidCell& cell) const;
+
+  /// Geometric extent of a cell.
+  Rect CellRect(const PyramidCell& cell) const;
+
+  /// The cell at `level` containing point `p` (clamped to the grid).
+  PyramidCell CellAt(uint32_t level, const Point& p) const;
+
+  /// The parent cell (one level up). Requires cell.level > 0.
+  static PyramidCell Parent(const PyramidCell& cell);
+
+  /// The stored location of an id.
+  Result<Point> Locate(ObjectId id) const;
+
+ private:
+  size_t LevelCells(uint32_t level) const { return 1ULL << level; }
+  size_t CellIndex(const PyramidCell& cell) const;
+  void Apply(const Point& p, int64_t delta);
+
+  Rect bounds_;
+  uint32_t height_;
+  // counts_[level] is a flat 2^level x 2^level array.
+  std::vector<std::vector<uint32_t>> counts_;
+  std::unordered_map<ObjectId, Point> locations_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_INDEX_PYRAMID_H_

@@ -1,0 +1,190 @@
+#include "index/quadtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cloakdb {
+
+Quadtree::Quadtree(const Rect& bounds, size_t leaf_capacity,
+                   uint32_t max_depth)
+    : bounds_(bounds),
+      leaf_capacity_(std::max<size_t>(1, leaf_capacity)),
+      max_depth_(max_depth) {
+  assert(!bounds.IsEmpty());
+  root_ = std::make_unique<Node>();
+  root_->extent = bounds;
+}
+
+int Quadtree::ChildIndexFor(const Node& node, const Point& p) const {
+  Point c = node.extent.Center();
+  int ix = p.x >= c.x ? 1 : 0;
+  int iy = p.y >= c.y ? 1 : 0;
+  return iy * 2 + ix;
+}
+
+Rect Quadtree::ChildExtent(const Node& node, int idx) const {
+  Point c = node.extent.Center();
+  const Rect& e = node.extent;
+  switch (idx) {
+    case 0:
+      return {e.min_x, e.min_y, c.x, c.y};
+    case 1:
+      return {c.x, e.min_y, e.max_x, c.y};
+    case 2:
+      return {e.min_x, c.y, c.x, e.max_y};
+    default:
+      return {c.x, c.y, e.max_x, e.max_y};
+  }
+}
+
+void Quadtree::Split(Node* node) {
+  for (int i = 0; i < 4; ++i) {
+    node->children[i] = std::make_unique<Node>();
+    node->children[i]->extent = ChildExtent(*node, i);
+    node->children[i]->depth = node->depth + 1;
+  }
+  for (const auto& e : node->points) {
+    Node* child = node->children[ChildIndexFor(*node, e.location)].get();
+    child->points.push_back(e);
+    ++child->count;
+  }
+  node->points.clear();
+  node->points.shrink_to_fit();
+}
+
+void Quadtree::InsertInto(Node* node, const PointEntry& entry) {
+  ++node->count;
+  if (node->IsLeaf()) {
+    if (node->points.size() < leaf_capacity_ || node->depth >= max_depth_) {
+      node->points.push_back(entry);
+      return;
+    }
+    Split(node);
+  }
+  InsertInto(node->children[ChildIndexFor(*node, entry.location)].get(),
+             entry);
+}
+
+Status Quadtree::Insert(ObjectId id, const Point& location) {
+  if (locations_.count(id) > 0)
+    return Status::AlreadyExists("object id already in quadtree");
+  if (!bounds_.Contains(location))
+    return Status::OutOfRange("location outside quadtree space");
+  locations_.emplace(id, location);
+  InsertInto(root_.get(), {id, location});
+  return Status::OK();
+}
+
+bool Quadtree::RemoveFrom(Node* node, ObjectId id, const Point& location) {
+  if (node->IsLeaf()) {
+    for (size_t i = 0; i < node->points.size(); ++i) {
+      if (node->points[i].id == id) {
+        node->points[i] = node->points.back();
+        node->points.pop_back();
+        --node->count;
+        return true;
+      }
+    }
+    return false;
+  }
+  Node* child = node->children[ChildIndexFor(*node, location)].get();
+  if (!RemoveFrom(child, id, location)) return false;
+  --node->count;
+  MaybeCollapse(node);
+  return true;
+}
+
+void Quadtree::MaybeCollapse(Node* node) {
+  if (node->IsLeaf() || node->count > leaf_capacity_) return;
+  // Pull all descendants back into this node and become a leaf.
+  std::vector<PointEntry> gathered;
+  gathered.reserve(node->count);
+  Collect(node, node->extent, &gathered);
+  for (auto& child : node->children) child.reset();
+  node->points = std::move(gathered);
+}
+
+Status Quadtree::Remove(ObjectId id) {
+  auto it = locations_.find(id);
+  if (it == locations_.end())
+    return Status::NotFound("object id not in quadtree");
+  bool removed = RemoveFrom(root_.get(), id, it->second);
+  assert(removed);
+  (void)removed;
+  locations_.erase(it);
+  return Status::OK();
+}
+
+Status Quadtree::Move(ObjectId id, const Point& new_location) {
+  auto it = locations_.find(id);
+  if (it == locations_.end())
+    return Status::NotFound("object id not in quadtree");
+  if (!bounds_.Contains(new_location))
+    return Status::OutOfRange("location outside quadtree space");
+  // Delete + reinsert; acceptable because both are O(depth).
+  bool removed = RemoveFrom(root_.get(), id, it->second);
+  assert(removed);
+  (void)removed;
+  it->second = new_location;
+  InsertInto(root_.get(), {id, new_location});
+  return Status::OK();
+}
+
+void Quadtree::Collect(const Node* node, const Rect& window,
+                       std::vector<PointEntry>* out) const {
+  if (!node->extent.Intersects(window) || node->count == 0) return;
+  if (node->IsLeaf()) {
+    for (const auto& e : node->points)
+      if (window.Contains(e.location)) out->push_back(e);
+    return;
+  }
+  for (const auto& child : node->children)
+    Collect(child.get(), window, out);
+}
+
+size_t Quadtree::Count(const Node* node, const Rect& window) const {
+  if (!node->extent.Intersects(window) || node->count == 0) return 0;
+  if (window.Contains(node->extent)) return node->count;
+  if (node->IsLeaf()) {
+    size_t c = 0;
+    for (const auto& e : node->points)
+      if (window.Contains(e.location)) ++c;
+    return c;
+  }
+  size_t c = 0;
+  for (const auto& child : node->children) c += Count(child.get(), window);
+  return c;
+}
+
+size_t Quadtree::CountInRect(const Rect& window) const {
+  return Count(root_.get(), window);
+}
+
+std::vector<PointEntry> Quadtree::CollectInRect(const Rect& window) const {
+  std::vector<PointEntry> out;
+  Collect(root_.get(), window, &out);
+  return out;
+}
+
+std::vector<Quadtree::PathNode> Quadtree::DescendPath(const Point& p) const {
+  std::vector<PathNode> path;
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    path.push_back({node->extent, node->count, node->depth});
+    if (node->IsLeaf()) break;
+    node = node->children[ChildIndexFor(*node, p)].get();
+  }
+  return path;
+}
+
+uint32_t Quadtree::DepthOf(const Node* node) const {
+  if (node->IsLeaf()) return node->depth;
+  uint32_t d = node->depth;
+  for (const auto& child : node->children)
+    d = std::max(d, DepthOf(child.get()));
+  return d;
+}
+
+uint32_t Quadtree::MaxAllocatedDepth() const { return DepthOf(root_.get()); }
+
+}  // namespace cloakdb

@@ -1,0 +1,88 @@
+// PR (point-region) quadtree over moving point objects.
+//
+// The data-adaptive space partitioning of paper Fig. 4a: quadrants split
+// where users are dense and stay coarse where they are sparse. Every node
+// carries its subtree occupancy, so quadtree cloaking is a root-to-leaf walk
+// that returns the last quadrant still satisfying the privacy profile.
+
+#ifndef CLOAKDB_INDEX_QUADTREE_H_
+#define CLOAKDB_INDEX_QUADTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "index/grid_index.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Adaptive quadtree with configurable leaf capacity and maximum depth.
+class Quadtree {
+ public:
+  /// `leaf_capacity` >= 1 points per leaf before splitting; `max_depth`
+  /// bounds the tree (crowded leaves at max depth simply overflow).
+  Quadtree(const Rect& bounds, size_t leaf_capacity = 16,
+           uint32_t max_depth = 20);
+
+  Status Insert(ObjectId id, const Point& location);
+  Status Remove(ObjectId id);
+  Status Move(ObjectId id, const Point& new_location);
+
+  size_t size() const { return locations_.size(); }
+  const Rect& bounds() const { return bounds_; }
+
+  /// Number of objects in `window`.
+  size_t CountInRect(const Rect& window) const;
+
+  /// All objects in `window`.
+  std::vector<PointEntry> CollectInRect(const Rect& window) const;
+
+  /// Walks from the root toward `p`, reporting the extent and occupancy of
+  /// every node on the path (outermost first). This is the exact traversal
+  /// quadtree cloaking needs: pick the last entry whose occupancy and area
+  /// still satisfy the profile.
+  struct PathNode {
+    Rect extent;
+    size_t count = 0;
+    uint32_t depth = 0;
+  };
+  std::vector<PathNode> DescendPath(const Point& p) const;
+
+  /// Depth of the deepest allocated node (diagnostics).
+  uint32_t MaxAllocatedDepth() const;
+
+ private:
+  struct Node {
+    Rect extent;
+    uint32_t depth = 0;
+    size_t count = 0;                      // subtree occupancy
+    std::vector<PointEntry> points;        // leaf payload
+    std::unique_ptr<Node> children[4];     // null on leaves
+    bool IsLeaf() const { return children[0] == nullptr; }
+  };
+
+  int ChildIndexFor(const Node& node, const Point& p) const;
+  Rect ChildExtent(const Node& node, int idx) const;
+  void InsertInto(Node* node, const PointEntry& entry);
+  void Split(Node* node);
+  bool RemoveFrom(Node* node, ObjectId id, const Point& location);
+  void MaybeCollapse(Node* node);
+  void Collect(const Node* node, const Rect& window,
+               std::vector<PointEntry>* out) const;
+  size_t Count(const Node* node, const Rect& window) const;
+  uint32_t DepthOf(const Node* node) const;
+
+  Rect bounds_;
+  size_t leaf_capacity_;
+  uint32_t max_depth_;
+  std::unique_ptr<Node> root_;
+  std::unordered_map<ObjectId, Point> locations_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_INDEX_QUADTREE_H_

@@ -1,0 +1,115 @@
+#include "index/rect_grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace cloakdb {
+
+RectGrid::RectGrid(const Rect& bounds, uint32_t cells_per_side)
+    : bounds_(bounds), cells_per_side_(cells_per_side) {
+  assert(!bounds.IsEmpty());
+  assert(cells_per_side >= 1);
+  cell_w_ = bounds.Width() / cells_per_side_;
+  cell_h_ = bounds.Height() / cells_per_side_;
+  cells_.resize(static_cast<size_t>(cells_per_side_) * cells_per_side_);
+}
+
+RectGrid::CellRange RectGrid::CellsFor(const Rect& rect) const {
+  auto clamp_cell = [this](double f) {
+    auto c = static_cast<int64_t>(std::floor(f));
+    return static_cast<uint32_t>(
+        std::clamp<int64_t>(c, 0, cells_per_side_ - 1));
+  };
+  Rect r = rect.Intersection(bounds_);
+  return {clamp_cell((r.min_x - bounds_.min_x) / cell_w_),
+          clamp_cell((r.min_y - bounds_.min_y) / cell_h_),
+          clamp_cell((r.max_x - bounds_.min_x) / cell_w_),
+          clamp_cell((r.max_y - bounds_.min_y) / cell_h_)};
+}
+
+void RectGrid::AddToCells(ObjectId id, const Rect& rect) {
+  CellRange cr = CellsFor(rect);
+  for (uint32_t cy = cr.y0; cy <= cr.y1; ++cy)
+    for (uint32_t cx = cr.x0; cx <= cr.x1; ++cx)
+      cells_[CellIndex(cx, cy)].push_back(id);
+}
+
+void RectGrid::RemoveFromCells(ObjectId id, const Rect& rect) {
+  CellRange cr = CellsFor(rect);
+  for (uint32_t cy = cr.y0; cy <= cr.y1; ++cy) {
+    for (uint32_t cx = cr.x0; cx <= cr.x1; ++cx) {
+      auto& bucket = cells_[CellIndex(cx, cy)];
+      auto it = std::find(bucket.begin(), bucket.end(), id);
+      assert(it != bucket.end());
+      *it = bucket.back();
+      bucket.pop_back();
+    }
+  }
+}
+
+Status RectGrid::Insert(ObjectId id, const Rect& rect) {
+  if (rects_.count(id) > 0)
+    return Status::AlreadyExists("rect id already in rect grid");
+  if (!rect.Intersects(bounds_))
+    return Status::OutOfRange("rect outside indexed space: " +
+                              rect.ToString());
+  rects_.emplace(id, rect);
+  AddToCells(id, rect);
+  return Status::OK();
+}
+
+Status RectGrid::Remove(ObjectId id) {
+  auto it = rects_.find(id);
+  if (it == rects_.end())
+    return Status::NotFound("rect id not in rect grid");
+  RemoveFromCells(id, it->second);
+  rects_.erase(it);
+  return Status::OK();
+}
+
+Status RectGrid::Update(ObjectId id, const Rect& new_rect) {
+  auto it = rects_.find(id);
+  if (it == rects_.end())
+    return Status::NotFound("rect id not in rect grid");
+  if (!new_rect.Intersects(bounds_))
+    return Status::OutOfRange("rect outside indexed space: " +
+                              new_rect.ToString());
+  RemoveFromCells(id, it->second);
+  it->second = new_rect;
+  AddToCells(id, new_rect);
+  return Status::OK();
+}
+
+Status RectGrid::Upsert(ObjectId id, const Rect& rect) {
+  if (rects_.count(id) > 0) return Update(id, rect);
+  return Insert(id, rect);
+}
+
+Result<Rect> RectGrid::Get(ObjectId id) const {
+  auto it = rects_.find(id);
+  if (it == rects_.end())
+    return Status::NotFound("rect id not in rect grid");
+  return it->second;
+}
+
+std::vector<RectEntry> RectGrid::IntersectingRects(const Rect& window) const {
+  std::vector<RectEntry> out;
+  if (!window.Intersects(bounds_)) return out;
+  CellRange cr = CellsFor(window);
+  std::unordered_set<ObjectId> seen;
+  for (uint32_t cy = cr.y0; cy <= cr.y1; ++cy) {
+    for (uint32_t cx = cr.x0; cx <= cr.x1; ++cx) {
+      for (ObjectId id : cells_[CellIndex(cx, cy)]) {
+        const Rect& rect = rects_.at(id);
+        if (!rect.Intersects(window)) continue;
+        if (!seen.insert(id).second) continue;
+        out.push_back({id, rect});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,437 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "geom/distance.h"
+
+namespace cloakdb {
+
+Rect RTree::Node::Mbr() const {
+  Rect r;
+  for (const auto& e : entries) r = r.Union(e.mbr);
+  return r;
+}
+
+RTree::RTree(size_t max_entries)
+    : max_entries_(std::max<size_t>(4, max_entries)) {
+  min_entries_ = std::max<size_t>(2, max_entries_ / 3);
+  root_ = std::make_unique<Node>();
+}
+
+uint32_t RTree::LevelOf(const Node* node) const {
+  uint32_t level = 0;
+  while (!node->leaf) {
+    node = node->entries.front().child.get();
+    ++level;
+  }
+  return level;
+}
+
+uint32_t RTree::Height() const {
+  if (size_ == 0) return 0;
+  return LevelOf(root_.get()) + 1;
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const Rect& mbr,
+                               std::vector<Node*>* path) const {
+  path->push_back(node);
+  while (!node->leaf) {
+    Entry* best = nullptr;
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (auto& e : node->entries) {
+      double area = e.mbr.Area();
+      double enlarged = e.mbr.Union(mbr).Area() - area;
+      if (enlarged < best_enlarge ||
+          (enlarged == best_enlarge && area < best_area)) {
+        best = &e;
+        best_enlarge = enlarged;
+        best_area = area;
+      }
+    }
+    node = best->child.get();
+    path->push_back(node);
+  }
+  return node;
+}
+
+// Guttman quadratic split of node->entries + new_entry into node and *out.
+void RTree::SplitNode(Node* node, Entry new_entry,
+                      std::unique_ptr<Node>* out) {
+  std::vector<Entry> all = std::move(node->entries);
+  all.push_back(std::move(new_entry));
+  node->entries.clear();
+
+  *out = std::make_unique<Node>();
+  (*out)->leaf = node->leaf;
+
+  // Pick seeds: the pair wasting the most area if grouped together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      double waste = all[i].mbr.Union(all[j].mbr).Area() -
+                     all[i].mbr.Area() - all[j].mbr.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Rect mbr_a = all[seed_a].mbr;
+  Rect mbr_b = all[seed_b].mbr;
+  std::vector<bool> assigned(all.size(), false);
+  node->entries.push_back(std::move(all[seed_a]));
+  (*out)->entries.push_back(std::move(all[seed_b]));
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = all.size() - 2;
+
+  while (remaining > 0) {
+    // Force-assign when one group must take all the rest to reach min fill.
+    if (node->entries.size() + remaining == min_entries_) {
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (!assigned[i]) {
+          mbr_a = mbr_a.Union(all[i].mbr);
+          node->entries.push_back(std::move(all[i]));
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if ((*out)->entries.size() + remaining == min_entries_) {
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (!assigned[i]) {
+          mbr_b = mbr_b.Union(all[i].mbr);
+          (*out)->entries.push_back(std::move(all[i]));
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // PickNext: the entry with the largest preference gap between groups.
+    size_t pick = 0;
+    double best_gap = -1.0;
+    double d_a_pick = 0.0, d_b_pick = 0.0;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (assigned[i]) continue;
+      double da = mbr_a.Union(all[i].mbr).Area() - mbr_a.Area();
+      double db = mbr_b.Union(all[i].mbr).Area() - mbr_b.Area();
+      double gap = std::abs(da - db);
+      if (gap > best_gap) {
+        best_gap = gap;
+        pick = i;
+        d_a_pick = da;
+        d_b_pick = db;
+      }
+    }
+    bool to_a = d_a_pick < d_b_pick ||
+                (d_a_pick == d_b_pick &&
+                 node->entries.size() <= (*out)->entries.size());
+    if (to_a) {
+      mbr_a = mbr_a.Union(all[pick].mbr);
+      node->entries.push_back(std::move(all[pick]));
+    } else {
+      mbr_b = mbr_b.Union(all[pick].mbr);
+      (*out)->entries.push_back(std::move(all[pick]));
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+}
+
+void RTree::InsertEntry(Entry entry, size_t target_level) {
+  // Descend to the node at target_level (0 = leaf level).
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  path.push_back(node);
+  while (LevelOf(node) != target_level) {
+    Entry* best = nullptr;
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (auto& e : node->entries) {
+      double area = e.mbr.Area();
+      double enlarged = e.mbr.Union(entry.mbr).Area() - area;
+      if (enlarged < best_enlarge ||
+          (enlarged == best_enlarge && area < best_area)) {
+        best = &e;
+        best_enlarge = enlarged;
+        best_area = area;
+      }
+    }
+    node = best->child.get();
+    path.push_back(node);
+  }
+
+  // Insert, splitting upward as needed.
+  std::unique_ptr<Node> carry;  // new sibling produced by a split
+  if (node->entries.size() < max_entries_) {
+    node->entries.push_back(std::move(entry));
+  } else {
+    SplitNode(node, std::move(entry), &carry);
+  }
+
+  for (size_t i = path.size(); i-- > 1;) {
+    Node* parent = path[i - 1];
+    Node* child = path[i];
+    // Refresh the parent entry's MBR for child.
+    for (auto& e : parent->entries) {
+      if (e.child.get() == child) {
+        e.mbr = child->Mbr();
+        break;
+      }
+    }
+    if (carry) {
+      Entry up;
+      up.mbr = carry->Mbr();
+      up.child = std::move(carry);
+      if (parent->entries.size() < max_entries_) {
+        parent->entries.push_back(std::move(up));
+        carry.reset();
+      } else {
+        SplitNode(parent, std::move(up), &carry);
+      }
+    }
+  }
+
+  if (carry) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Entry left;
+    left.mbr = root_->Mbr();
+    left.child = std::move(root_);
+    Entry right;
+    right.mbr = carry->Mbr();
+    right.child = std::move(carry);
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+  }
+}
+
+Status RTree::Insert(ObjectId id, const Point& location) {
+  if (locations_.count(id) > 0)
+    return Status::AlreadyExists("object id already in rtree");
+  Entry e;
+  e.mbr = Rect::FromPoint(location);
+  e.id = id;
+  InsertEntry(std::move(e), 0);
+  locations_.emplace(id, location);
+  ++size_;
+  return Status::OK();
+}
+
+bool RTree::RemoveRec(Node* node, ObjectId id, const Rect& mbr,
+                      std::vector<Entry>* orphans, uint32_t level) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id == id) {
+        node->entries.erase(node->entries.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    auto& e = node->entries[i];
+    if (!e.mbr.Intersects(mbr)) continue;
+    if (RemoveRec(e.child.get(), id, mbr, orphans, level + 1)) {
+      if (e.child->entries.size() < min_entries_) {
+        // Condense: orphan the underfull child's entries for reinsertion.
+        for (auto& oe : e.child->entries) orphans->push_back(std::move(oe));
+        node->entries.erase(node->entries.begin() + i);
+      } else {
+        e.mbr = e.child->Mbr();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Status RTree::Remove(ObjectId id) {
+  auto it = locations_.find(id);
+  if (it == locations_.end())
+    return Status::NotFound("object id not in rtree");
+  Rect mbr = Rect::FromPoint(it->second);
+  std::vector<Entry> orphans;
+  bool removed = RemoveRec(root_.get(), id, mbr, &orphans, 0);
+  assert(removed);
+  (void)removed;
+  locations_.erase(it);
+  --size_;
+
+  // Shrink the root while it has a single internal child.
+  while (!root_->leaf && root_->entries.size() == 1) {
+    root_ = std::move(root_->entries.front().child);
+  }
+  if (!root_->leaf && root_->entries.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+
+  // Reinsert orphans (leaf entries at level 0; internal subtrees at their
+  // original level relative to the new root).
+  for (auto& e : orphans) {
+    if (e.child == nullptr) {
+      InsertEntry(std::move(e), 0);
+    } else {
+      size_t level = LevelOf(e.child.get()) + 1;
+      InsertEntry(std::move(e), level);
+    }
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<RTree::Node> RTree::BuildStr(std::vector<Entry> entries,
+                                             bool leaf) {
+  if (entries.size() <= max_entries_) {
+    auto node = std::make_unique<Node>();
+    node->leaf = leaf;
+    node->entries = std::move(entries);
+    return node;
+  }
+  size_t num_nodes =
+      (entries.size() + max_entries_ - 1) / max_entries_;
+  auto slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    return a.mbr.Center().x < b.mbr.Center().x;
+  });
+  size_t per_slice = (entries.size() + slices - 1) / slices;
+
+  std::vector<Entry> parents;
+  for (size_t s = 0; s < entries.size(); s += per_slice) {
+    size_t end = std::min(s + per_slice, entries.size());
+    std::sort(entries.begin() + s, entries.begin() + end,
+              [](const Entry& a, const Entry& b) {
+                return a.mbr.Center().y < b.mbr.Center().y;
+              });
+    for (size_t i = s; i < end; i += max_entries_) {
+      size_t node_end = std::min(i + max_entries_, end);
+      auto node = std::make_unique<Node>();
+      node->leaf = leaf;
+      node->entries.assign(std::make_move_iterator(entries.begin() + i),
+                           std::make_move_iterator(entries.begin() + node_end));
+      Entry up;
+      up.mbr = node->Mbr();
+      up.child = std::move(node);
+      parents.push_back(std::move(up));
+    }
+  }
+  return BuildStr(std::move(parents), false);
+}
+
+Status RTree::BulkLoad(std::vector<PointEntry> points) {
+  std::unordered_map<ObjectId, Point> locs;
+  locs.reserve(points.size());
+  for (const auto& p : points) {
+    if (!locs.emplace(p.id, p.location).second)
+      return Status::InvalidArgument("duplicate id in bulk load");
+  }
+  std::vector<Entry> entries;
+  entries.reserve(points.size());
+  for (const auto& p : points) {
+    Entry e;
+    e.mbr = Rect::FromPoint(p.location);
+    e.id = p.id;
+    entries.push_back(std::move(e));
+  }
+  if (entries.empty()) {
+    root_ = std::make_unique<Node>();
+  } else {
+    root_ = BuildStr(std::move(entries), true);
+  }
+  locations_ = std::move(locs);
+  size_ = points.size();
+  return Status::OK();
+}
+
+Result<Point> RTree::Locate(ObjectId id) const {
+  auto it = locations_.find(id);
+  if (it == locations_.end())
+    return Status::NotFound("object id not in rtree");
+  return it->second;
+}
+
+std::vector<PointEntry> RTree::RangeSearch(const Rect& window) const {
+  std::vector<PointEntry> out;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const auto& e : node->entries) {
+      if (!e.mbr.Intersects(window)) continue;
+      if (node->leaf) {
+        out.push_back({e.id, e.mbr.Center()});
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+  return out;
+}
+
+size_t RTree::RangeCount(const Rect& window) const {
+  size_t count = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const auto& e : node->entries) {
+      if (!e.mbr.Intersects(window)) continue;
+      if (node->leaf) {
+        ++count;
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<PointEntry> RTree::KNearest(const Point& from, size_t k) const {
+  std::vector<PointEntry> out;
+  if (k == 0 || size_ == 0) return out;
+
+  struct QItem {
+    double dist;
+    const Node* node;    // non-null for subtree items
+    PointEntry object;   // valid when node == nullptr
+  };
+  auto cmp = [](const QItem& a, const QItem& b) { return a.dist > b.dist; };
+  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> pq(cmp);
+  pq.push({0.0, root_.get(), {}});
+
+  while (!pq.empty() && out.size() < k) {
+    QItem item = pq.top();
+    pq.pop();
+    if (item.node == nullptr) {
+      out.push_back(item.object);
+      continue;
+    }
+    for (const auto& e : item.node->entries) {
+      if (item.node->leaf) {
+        Point p = e.mbr.Center();
+        pq.push({Distance(from, p), nullptr, {e.id, p}});
+      } else {
+        pq.push({MinDist(from, e.mbr), e.child.get(), {}});
+      }
+    }
+  }
+  return out;
+}
+
+double RTree::NearestDistance(const Point& from) const {
+  auto nn = KNearest(from, 1);
+  if (nn.empty()) return std::numeric_limits<double>::infinity();
+  return Distance(from, nn.front().location);
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,99 @@
+// R-tree over point objects (POIs / public data).
+//
+// The location-based database server stores stationary public objects (gas
+// stations, restaurants, ...) in this index. Supports one-by-one insertion
+// with quadratic split, deletion with subtree reinsertion, Sort-Tile-
+// Recursive (STR) bulk loading, window queries, and best-first k-nearest-
+// neighbor search — the primitives behind the paper's Fig. 5 query
+// processing.
+
+#ifndef CLOAKDB_INDEX_RTREE_H_
+#define CLOAKDB_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "index/grid_index.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// R-tree with quadratic split (Guttman) and STR bulk load.
+class RTree {
+ public:
+  /// `max_entries` >= 4 per node; min fill is max/3 (clamped to >= 2).
+  explicit RTree(size_t max_entries = 16);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  /// Inserts one object. Fails with AlreadyExists on a duplicate id.
+  Status Insert(ObjectId id, const Point& location);
+
+  /// Removes an object. Fails with NotFound when absent.
+  Status Remove(ObjectId id);
+
+  /// Replaces the whole content with `entries` using STR bulk loading
+  /// (fails with InvalidArgument on duplicate ids within `entries`).
+  Status BulkLoad(std::vector<PointEntry> entries);
+
+  size_t size() const { return size_; }
+
+  /// The stored location of an id (linear in tree height + leaf scan along
+  /// one path; maintained via an id->location side map).
+  Result<Point> Locate(ObjectId id) const;
+
+  /// All objects inside `window`.
+  std::vector<PointEntry> RangeSearch(const Rect& window) const;
+
+  /// Number of objects inside `window`.
+  size_t RangeCount(const Rect& window) const;
+
+  /// The k nearest objects to `from`, sorted by distance (fewer when the
+  /// tree is smaller than k).
+  std::vector<PointEntry> KNearest(const Point& from, size_t k) const;
+
+  /// Distance from `from` to its nearest object; +inf on an empty tree.
+  double NearestDistance(const Point& from) const;
+
+  /// Height of the tree (0 when empty, 1 for a root leaf).
+  uint32_t Height() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Rect mbr;
+    ObjectId id = 0;               // valid when child == nullptr (leaf)
+    std::unique_ptr<Node> child;   // valid on internal nodes
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+    Rect Mbr() const;
+  };
+
+  Node* ChooseLeaf(Node* node, const Rect& mbr,
+                   std::vector<Node*>* path) const;
+  void SplitNode(Node* node, Entry new_entry, std::unique_ptr<Node>* out);
+  void InsertEntry(Entry entry, size_t target_level);
+  uint32_t LevelOf(const Node* node) const;
+  bool RemoveRec(Node* node, ObjectId id, const Rect& mbr,
+                 std::vector<Entry>* orphans, uint32_t level);
+  std::unique_ptr<Node> BuildStr(std::vector<Entry> entries, bool leaf);
+
+  size_t max_entries_;
+  size_t min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  std::unordered_map<ObjectId, Point> locations_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_INDEX_RTREE_H_

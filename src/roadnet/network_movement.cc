@@ -1,0 +1,143 @@
+#include "roadnet/network_movement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace cloakdb {
+
+NetworkMovementModel::NetworkMovementModel(const RoadNetwork* network,
+                                           uint64_t seed, double min_speed,
+                                           double max_speed)
+    : network_(network),
+      rng_(seed),
+      min_speed_(min_speed),
+      max_speed_(max_speed) {
+  assert(min_speed > 0.0);
+  assert(max_speed >= min_speed);
+}
+
+Status NetworkMovementModel::AddUser(ObjectId id, VertexId start) {
+  if (movers_.count(id) > 0)
+    return Status::AlreadyExists("mover id already present");
+  if (start >= network_->num_vertices())
+    return Status::OutOfRange("unknown start vertex");
+  Mover m;
+  m.position = {start, start, 0.0};
+  PickNewPath(&m);
+  movers_.emplace(id, std::move(m));
+  order_.push_back(id);
+  return Status::OK();
+}
+
+// Builds a shortest path from the mover's resting vertex to a random
+// target via Dijkstra with parent tracking.
+void NetworkMovementModel::PickNewPath(Mover* m) {
+  VertexId source = m->position.to;
+  m->speed = rng_.Uniform(min_speed_, max_speed_);
+  m->path.clear();
+  if (network_->num_vertices() < 2) return;
+
+  VertexId target = source;
+  for (int attempt = 0; attempt < 8 && target == source; ++attempt) {
+    target = static_cast<VertexId>(rng_.NextBelow(network_->num_vertices()));
+  }
+  if (target == source) return;
+
+  // Dijkstra with parents (local; path lengths are short relative to the
+  // update cadence, and movers repath rarely).
+  std::vector<double> dist(network_->num_vertices(),
+                           std::numeric_limits<double>::infinity());
+  std::vector<VertexId> parent(network_->num_vertices(), kNoVertex);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (v == target) break;
+    if (d > dist[v]) continue;
+    for (const auto& [to, w] : network_->NeighborsOf(v)) {
+      double nd = d + w;
+      if (nd < dist[to]) {
+        dist[to] = nd;
+        parent[to] = v;
+        queue.push({nd, to});
+      }
+    }
+  }
+  if (std::isinf(dist[target])) return;  // unreachable: rest in place
+
+  // Reconstruct source -> target (excluding the source itself).
+  std::vector<VertexId> reversed;
+  for (VertexId v = target; v != source; v = parent[v]) {
+    reversed.push_back(v);
+  }
+  m->path.assign(reversed.rbegin(), reversed.rend());
+}
+
+void NetworkMovementModel::AdvanceMover(Mover* m, double dt) {
+  double budget = m->speed * dt;
+  int repaths = 0;
+  while (budget > 0.0) {
+    if (m->position.AtVertex() && m->path.empty()) {
+      if (++repaths > 3) return;  // isolated vertex or tiny graph
+      PickNewPath(m);
+      if (m->path.empty()) return;
+    }
+    if (m->position.AtVertex()) {
+      // Start the next edge of the path.
+      VertexId from = m->position.to;
+      VertexId next = m->path.front();
+      m->path.erase(m->path.begin());
+      m->position = {from, next, 0.0};
+    }
+    double edge_len =
+        Distance(network_->LocationOf(m->position.from),
+                 network_->LocationOf(m->position.to));
+    if (edge_len <= 0.0) {
+      m->position = {m->position.to, m->position.to, 0.0};
+      continue;
+    }
+    double remaining = (1.0 - m->position.progress) * edge_len;
+    if (budget >= remaining) {
+      budget -= remaining;
+      m->position = {m->position.to, m->position.to, 0.0};
+    } else {
+      m->position.progress += budget / edge_len;
+      budget = 0.0;
+    }
+  }
+}
+
+void NetworkMovementModel::Step(double dt) {
+  assert(dt >= 0.0);
+  for (ObjectId id : order_) {
+    AdvanceMover(&movers_.at(id), dt);
+  }
+}
+
+Result<NetworkPosition> NetworkMovementModel::PositionOf(ObjectId id) const {
+  auto it = movers_.find(id);
+  if (it == movers_.end()) return Status::NotFound("mover id not present");
+  return it->second.position;
+}
+
+Result<VertexId> NetworkMovementModel::NearestVertexOf(ObjectId id) const {
+  auto position = PositionOf(id);
+  if (!position.ok()) return position.status();
+  const NetworkPosition& p = position.value();
+  return p.progress < 0.5 ? p.from : p.to;
+}
+
+Result<Point> NetworkMovementModel::LocationOf(ObjectId id) const {
+  auto position = PositionOf(id);
+  if (!position.ok()) return position.status();
+  const NetworkPosition& p = position.value();
+  Point a = network_->LocationOf(p.from);
+  Point b = network_->LocationOf(p.to);
+  return a + (b - a) * p.progress;
+}
+
+}  // namespace cloakdb

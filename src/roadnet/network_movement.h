@@ -1,0 +1,75 @@
+// Road-constrained mobility: the network analogue of the free-space
+// random-waypoint model. Movers travel along shortest paths between random
+// target intersections, so every position is on a road segment — the
+// realistic movement pattern for evaluating graph obfuscation over time.
+
+#ifndef CLOAKDB_ROADNET_NETWORK_MOVEMENT_H_
+#define CLOAKDB_ROADNET_NETWORK_MOVEMENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/grid_index.h"
+#include "roadnet/road_network.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// A mover's instantaneous network position: on the edge (from, to), a
+/// fraction of the way along it (0 = at `from`, 1 = at `to`). A mover
+/// resting at a vertex has from == to and progress 0.
+struct NetworkPosition {
+  VertexId from = 0;
+  VertexId to = 0;
+  double progress = 0.0;
+
+  bool AtVertex() const { return from == to || progress >= 1.0; }
+};
+
+/// Shortest-path random-waypoint movement over a road network.
+class NetworkMovementModel {
+ public:
+  /// `network` must outlive the model and be connected for movers to reach
+  /// arbitrary targets. Speeds are in network-length units per time unit.
+  NetworkMovementModel(const RoadNetwork* network, uint64_t seed = 0x40ADULL,
+                       double min_speed = 0.5, double max_speed = 2.0);
+
+  /// Adds a mover at `start` vertex. Fails on duplicates/unknown vertex.
+  Status AddUser(ObjectId id, VertexId start);
+
+  /// Advances every mover by `dt` time units along its current path.
+  void Step(double dt);
+
+  /// Current network position of a mover.
+  Result<NetworkPosition> PositionOf(ObjectId id) const;
+
+  /// The nearest vertex to the mover (its own edge endpoint by progress).
+  Result<VertexId> NearestVertexOf(ObjectId id) const;
+
+  /// Euclidean embedding of the mover's position (for map display).
+  Result<Point> LocationOf(ObjectId id) const;
+
+  size_t size() const { return movers_.size(); }
+
+ private:
+  struct Mover {
+    std::vector<VertexId> path;  // remaining vertices, path.front() = next
+    NetworkPosition position;
+    double speed = 1.0;
+  };
+
+  void PickNewPath(Mover* m);
+  void AdvanceMover(Mover* m, double dt);
+
+  const RoadNetwork* network_;
+  Rng rng_;
+  double min_speed_;
+  double max_speed_;
+  std::unordered_map<ObjectId, Mover> movers_;
+  std::vector<ObjectId> order_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_ROADNET_NETWORK_MOVEMENT_H_

@@ -1,0 +1,109 @@
+#include "roadnet/obfuscation.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace cloakdb {
+
+Result<ObfuscatedLocation> ObfuscateVertex(const RoadNetwork& network,
+                                           VertexId true_vertex,
+                                           const ObfuscationOptions& options,
+                                           Rng* rng) {
+  if (true_vertex >= network.num_vertices())
+    return Status::OutOfRange("unknown vertex");
+
+  // Pick a displaced anchor: a random vertex among the hop-neighborhood of
+  // the true vertex, so the true vertex is not always the set's center.
+  VertexId anchor = true_vertex;
+  const auto& neighbors = network.NeighborsOf(true_vertex);
+  if (!neighbors.empty() && rng->Bernoulli(0.75)) {
+    anchor = neighbors[rng->NextBelow(neighbors.size())].first;
+  }
+
+  // Grow a Dijkstra ball around the anchor until it covers both the true
+  // vertex and the required set size.
+  auto all = network.ShortestPaths(anchor);
+  if (!all.ok()) return all.status();
+  std::vector<std::pair<double, VertexId>> ordered;
+  ordered.reserve(network.num_vertices());
+  for (VertexId v = 0; v < network.num_vertices(); ++v) {
+    if (!std::isinf(all.value()[v])) ordered.push_back({all.value()[v], v});
+  }
+  std::sort(ordered.begin(), ordered.end());
+
+  ObfuscatedLocation cloak;
+  bool has_true = false;
+  for (const auto& [d, v] : ordered) {
+    cloak.vertices.push_back(v);
+    cloak.radius = d;
+    if (v == true_vertex) has_true = true;
+    if (has_true && cloak.vertices.size() >= options.min_vertices) break;
+  }
+  if (!has_true)
+    return Status::Internal("anchor component does not reach the user");
+  // Shuffle so the emission order leaks neither the anchor nor the true
+  // vertex.
+  rng->Shuffle(&cloak.vertices);
+  return cloak;
+}
+
+Result<std::vector<VertexId>> ObfuscatedNnCandidates(
+    const RoadNetwork& network, const ObfuscatedLocation& cloak,
+    const std::vector<bool>& targets) {
+  std::unordered_set<VertexId> seen;
+  std::vector<VertexId> out;
+  for (VertexId v : cloak.vertices) {
+    auto nn = network.NetworkNearest(v, targets);
+    if (!nn.ok()) return nn.status();
+    if (nn.value() == kNoVertex)
+      return Status::NotFound("no target reachable from the cloak");
+    if (seen.insert(nn.value()).second) out.push_back(nn.value());
+  }
+  return out;
+}
+
+Result<VertexId> RefineObfuscatedNn(const RoadNetwork& network,
+                                    VertexId true_vertex,
+                                    const std::vector<VertexId>& candidates) {
+  if (candidates.empty()) return Status::NotFound("empty candidate list");
+  VertexId best = kNoVertex;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (VertexId c : candidates) {
+    auto d = network.NetworkDistance(true_vertex, c);
+    if (!d.ok()) return d.status();
+    if (d.value() < best_d || (d.value() == best_d && c < best)) {
+      best_d = d.value();
+      best = c;
+    }
+  }
+  return best;
+}
+
+Result<ObfuscationLeakage> EvaluateObfuscationLeakage(
+    const RoadNetwork& network,
+    const std::vector<ObfuscationObservation>& observations, Rng* rng) {
+  ObfuscationLeakage leakage;
+  if (observations.empty()) return leakage;
+  size_t hits = 0;
+  double total_error = 0.0, total_size = 0.0;
+  for (const auto& obs : observations) {
+    if (obs.cloak.vertices.empty())
+      return Status::InvalidArgument("empty cloak in observation");
+    VertexId guess =
+        obs.cloak.vertices[rng->NextBelow(obs.cloak.vertices.size())];
+    if (guess == obs.true_vertex) ++hits;
+    auto d = network.NetworkDistance(guess, obs.true_vertex);
+    if (!d.ok()) return d.status();
+    total_error += d.value();
+    total_size += static_cast<double>(obs.cloak.vertices.size());
+  }
+  auto n = static_cast<double>(observations.size());
+  leakage.mean_network_error = total_error / n;
+  leakage.hit_rate = static_cast<double>(hits) / n;
+  leakage.avg_set_size = total_size / n;
+  return leakage;
+}
+
+}  // namespace cloakdb

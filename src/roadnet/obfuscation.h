@@ -1,0 +1,82 @@
+// Graph-based location obfuscation (paper Section 2.1, location
+// perturbation family: "a graph model that represents a road network",
+// after Duckham & Kulik).
+//
+// The cloak is a connected *vertex set* containing the user's true network
+// position. An adversary learns only that the user is at one of the
+// vertices; query processing returns the network-NN candidates of every
+// vertex in the set so client-side refinement is exact — the road-network
+// analogue of the Euclidean candidate-list protocol of Section 6.2.1.
+
+#ifndef CLOAKDB_ROADNET_OBFUSCATION_H_
+#define CLOAKDB_ROADNET_OBFUSCATION_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Obfuscation parameters (the graph analogue of (k, A_min)).
+struct ObfuscationOptions {
+  /// Minimum number of vertices in the cloak (the imprecision level).
+  size_t min_vertices = 10;
+};
+
+/// A vertex-set cloak.
+struct ObfuscatedLocation {
+  /// The vertices the user might be at (always contains the true vertex).
+  std::vector<VertexId> vertices;
+  /// Network radius of the set around its (hidden) anchor.
+  double radius = 0.0;
+};
+
+/// Cloaks `true_vertex` into a connected vertex set of at least
+/// `options.min_vertices` vertices (fewer only when the whole component is
+/// smaller). The set is grown around a *displaced anchor* — a random
+/// vertex near the true one — so the true vertex is not systematically the
+/// set's center (the graph analogue of avoiding naive centered expansion,
+/// Fig. 3a). Fails with OutOfRange on an unknown vertex.
+Result<ObfuscatedLocation> ObfuscateVertex(const RoadNetwork& network,
+                                           VertexId true_vertex,
+                                           const ObfuscationOptions& options,
+                                           Rng* rng);
+
+/// Network-NN candidate set: for every vertex in the cloak, its nearest
+/// target by network distance. The true vertex's NN is always included, so
+/// client refinement is exact. `targets` marks target vertices. Fails when
+/// no target is reachable.
+Result<std::vector<VertexId>> ObfuscatedNnCandidates(
+    const RoadNetwork& network, const ObfuscatedLocation& cloak,
+    const std::vector<bool>& targets);
+
+/// Client-side refinement: the candidate nearest to `true_vertex` by
+/// network distance. Fails with NotFound on an empty candidate list.
+Result<VertexId> RefineObfuscatedNn(const RoadNetwork& network,
+                                    VertexId true_vertex,
+                                    const std::vector<VertexId>& candidates);
+
+/// Adversary evaluation: a uniform guess over the cloak's vertices;
+/// reports mean network-distance error and exact-hit rate (1/|set| when
+/// the cloak leaks nothing).
+struct ObfuscationLeakage {
+  double mean_network_error = 0.0;
+  double hit_rate = 0.0;
+  double avg_set_size = 0.0;
+};
+
+/// One (cloak, true vertex) observation.
+struct ObfuscationObservation {
+  ObfuscatedLocation cloak;
+  VertexId true_vertex = 0;
+};
+
+Result<ObfuscationLeakage> EvaluateObfuscationLeakage(
+    const RoadNetwork& network,
+    const std::vector<ObfuscationObservation>& observations, Rng* rng);
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_ROADNET_OBFUSCATION_H_

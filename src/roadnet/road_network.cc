@@ -1,0 +1,216 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "geom/distance.h"
+
+namespace cloakdb {
+
+namespace {
+
+using QueueItem = std::pair<double, VertexId>;  // (distance, vertex)
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+}  // namespace
+
+VertexId RoadNetwork::AddVertex(const Point& location) {
+  vertices_.push_back(location);
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(vertices_.size() - 1);
+}
+
+Status RoadNetwork::AddEdge(VertexId a, VertexId b, double weight) {
+  if (!ValidVertex(a) || !ValidVertex(b))
+    return Status::OutOfRange("edge endpoint is not a vertex");
+  if (a == b) return Status::InvalidArgument("self-loops are not allowed");
+  if (weight < 0.0) weight = Distance(vertices_[a], vertices_[b]);
+  if (!(weight > 0.0))
+    return Status::InvalidArgument("edge weight must be positive");
+  adjacency_[a].push_back({b, weight});
+  adjacency_[b].push_back({a, weight});
+  ++num_edges_;
+  return Status::OK();
+}
+
+VertexId RoadNetwork::NearestVertex(const Point& p) const {
+  VertexId best = kNoVertex;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    double d = DistanceSquared(p, vertices_[v]);
+    if (d < best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+Result<std::vector<double>> RoadNetwork::ShortestPaths(
+    VertexId source) const {
+  if (!ValidVertex(source))
+    return Status::OutOfRange("unknown source vertex");
+  std::vector<double> dist(vertices_.size(),
+                           std::numeric_limits<double>::infinity());
+  dist[source] = 0.0;
+  MinQueue queue;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[v]) continue;  // stale entry
+    for (const auto& [to, w] : adjacency_[v]) {
+      double nd = d + w;
+      if (nd < dist[to]) {
+        dist[to] = nd;
+        queue.push({nd, to});
+      }
+    }
+  }
+  return dist;
+}
+
+Result<double> RoadNetwork::NetworkDistance(VertexId from, VertexId to) const {
+  if (!ValidVertex(from) || !ValidVertex(to))
+    return Status::OutOfRange("unknown vertex");
+  if (from == to) return 0.0;
+  std::vector<double> dist(vertices_.size(),
+                           std::numeric_limits<double>::infinity());
+  dist[from] = 0.0;
+  MinQueue queue;
+  queue.push({0.0, from});
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (v == to) return d;
+    if (d > dist[v]) continue;
+    for (const auto& [next, w] : adjacency_[v]) {
+      double nd = d + w;
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        queue.push({nd, next});
+      }
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Result<std::vector<std::pair<VertexId, double>>> RoadNetwork::VerticesWithin(
+    VertexId source, double radius) const {
+  if (!ValidVertex(source))
+    return Status::OutOfRange("unknown source vertex");
+  std::vector<double> dist(vertices_.size(),
+                           std::numeric_limits<double>::infinity());
+  std::vector<std::pair<VertexId, double>> out;
+  dist[source] = 0.0;
+  MinQueue queue;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[v]) continue;
+    if (d > radius) break;  // settled beyond the ball: done
+    out.push_back({v, d});
+    for (const auto& [to, w] : adjacency_[v]) {
+      double nd = d + w;
+      if (nd < dist[to] && nd <= radius) {
+        dist[to] = nd;
+        queue.push({nd, to});
+      }
+    }
+  }
+  return out;
+}
+
+Result<VertexId> RoadNetwork::NetworkNearest(
+    VertexId source, const std::vector<bool>& targets) const {
+  if (!ValidVertex(source))
+    return Status::OutOfRange("unknown source vertex");
+  if (targets.size() != vertices_.size())
+    return Status::InvalidArgument(
+        "target indicator must cover every vertex");
+  std::vector<double> dist(vertices_.size(),
+                           std::numeric_limits<double>::infinity());
+  dist[source] = 0.0;
+  MinQueue queue;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[v]) continue;
+    if (targets[v]) return v;  // first settled target is the nearest
+    for (const auto& [to, w] : adjacency_[v]) {
+      double nd = d + w;
+      if (nd < dist[to]) {
+        dist[to] = nd;
+        queue.push({nd, to});
+      }
+    }
+  }
+  return kNoVertex;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (vertices_.empty()) return true;
+  auto dist = ShortestPaths(0);
+  if (!dist.ok()) return false;
+  for (double d : dist.value()) {
+    if (std::isinf(d)) return false;
+  }
+  return true;
+}
+
+Result<RoadNetwork> MakeGridNetwork(const Rect& space,
+                                    const GridNetworkOptions& options,
+                                    Rng* rng) {
+  if (space.IsEmpty() || space.Area() <= 0.0)
+    return Status::InvalidArgument("network space must be non-empty");
+  if (options.rows < 2 || options.cols < 2)
+    return Status::InvalidArgument("grid network needs >= 2 rows and cols");
+  if (options.drop_fraction < 0.0 || options.drop_fraction >= 1.0)
+    return Status::InvalidArgument("drop fraction must be in [0, 1)");
+
+  RoadNetwork network;
+  double cw = space.Width() / (options.cols - 1);
+  double ch = space.Height() / (options.rows - 1);
+  double jx = cw * options.jitter_fraction;
+  double jy = ch * options.jitter_fraction;
+
+  for (uint32_t r = 0; r < options.rows; ++r) {
+    for (uint32_t c = 0; c < options.cols; ++c) {
+      Point p{space.min_x + c * cw, space.min_y + r * ch};
+      if (options.jitter_fraction > 0.0) {
+        p.x = std::clamp(p.x + rng->Uniform(-jx, jx), space.min_x,
+                         space.max_x);
+        p.y = std::clamp(p.y + rng->Uniform(-jy, jy), space.min_y,
+                         space.max_y);
+      }
+      network.AddVertex(p);
+    }
+  }
+  auto vertex = [&](uint32_t r, uint32_t c) {
+    return static_cast<VertexId>(r * options.cols + c);
+  };
+
+  // A spanning "comb" (one full column plus all rows) guarantees
+  // connectivity; every other grid edge is dropped with the configured
+  // probability.
+  for (uint32_t r = 0; r < options.rows; ++r) {
+    for (uint32_t c = 0; c + 1 < options.cols; ++c) {
+      CLOAKDB_RETURN_IF_ERROR(
+          network.AddEdge(vertex(r, c), vertex(r, c + 1)));
+    }
+  }
+  for (uint32_t r = 0; r + 1 < options.rows; ++r) {
+    for (uint32_t c = 0; c < options.cols; ++c) {
+      bool spanning = c == 0;
+      if (!spanning && rng->Bernoulli(options.drop_fraction)) continue;
+      CLOAKDB_RETURN_IF_ERROR(
+          network.AddEdge(vertex(r, c), vertex(r + 1, c)));
+    }
+  }
+  return network;
+}
+
+}  // namespace cloakdb

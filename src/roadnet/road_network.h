@@ -1,0 +1,110 @@
+// Road-network substrate.
+//
+// The paper's related work (Section 2.1, location perturbation) includes
+// graph-based obfuscation over a road network [Duckham & Kulik]: instead of
+// a Euclidean rectangle, the cloak is a *set of graph vertices* containing
+// the user's true position, and queries run on network distance. This
+// module provides the network itself: an undirected weighted graph with
+// spatial vertices, synthetic generators, Dijkstra shortest paths, and
+// network nearest-neighbor search — the substrate obfuscation.h builds on.
+
+#ifndef CLOAKDB_ROADNET_ROAD_NETWORK_H_
+#define CLOAKDB_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Index of a vertex in a RoadNetwork (dense, 0-based).
+using VertexId = uint32_t;
+
+/// Marker for "no vertex".
+inline constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+
+/// Undirected weighted graph with embedded vertices.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  /// Adds a vertex at `location`; returns its id.
+  VertexId AddVertex(const Point& location);
+
+  /// Adds an undirected edge weighted by Euclidean length (or an explicit
+  /// positive weight). Fails with OutOfRange on unknown vertices and
+  /// InvalidArgument on self-loops or non-positive weights.
+  Status AddEdge(VertexId a, VertexId b, double weight = -1.0);
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Position of a vertex. Requires a valid id.
+  const Point& LocationOf(VertexId v) const { return vertices_[v]; }
+
+  /// Neighbors of a vertex as (vertex, weight) pairs.
+  const std::vector<std::pair<VertexId, double>>& NeighborsOf(
+      VertexId v) const {
+    return adjacency_[v];
+  }
+
+  /// The vertex closest (Euclidean) to `p`; kNoVertex on an empty graph.
+  VertexId NearestVertex(const Point& p) const;
+
+  /// Single-source shortest-path distances to all vertices (+inf when
+  /// unreachable). Fails with OutOfRange on an unknown source.
+  Result<std::vector<double>> ShortestPaths(VertexId source) const;
+
+  /// Shortest network distance between two vertices (+inf if
+  /// disconnected). Early-exits once the target is settled.
+  Result<double> NetworkDistance(VertexId from, VertexId to) const;
+
+  /// All vertices within network distance `radius` of `source`, paired
+  /// with their distances (the Dijkstra ball — also the building block of
+  /// vertex-set obfuscation).
+  Result<std::vector<std::pair<VertexId, double>>> VerticesWithin(
+      VertexId source, double radius) const;
+
+  /// The nearest vertex among `targets` by network distance (multi-target
+  /// early-exit Dijkstra). `targets` is an indicator over vertex ids.
+  /// Returns kNoVertex when none is reachable.
+  Result<VertexId> NetworkNearest(VertexId source,
+                                  const std::vector<bool>& targets) const;
+
+  /// True when every vertex is reachable from vertex 0.
+  bool IsConnected() const;
+
+ private:
+  bool ValidVertex(VertexId v) const { return v < vertices_.size(); }
+
+  std::vector<Point> vertices_;
+  std::vector<std::vector<std::pair<VertexId, double>>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+/// Options of the synthetic grid-road generator.
+struct GridNetworkOptions {
+  uint32_t rows = 16;
+  uint32_t cols = 16;
+  /// Fraction of non-bridging edges randomly removed (street closures),
+  /// in [0, 1). Connectivity is preserved.
+  double drop_fraction = 0.2;
+  /// Vertex positions are jittered by this fraction of the cell size so
+  /// the network is not perfectly regular.
+  double jitter_fraction = 0.25;
+};
+
+/// Generates a Manhattan-style road network covering `space`. The result
+/// is always connected. Fails with InvalidArgument on degenerate sizes.
+Result<RoadNetwork> MakeGridNetwork(const Rect& space,
+                                    const GridNetworkOptions& options,
+                                    Rng* rng);
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_ROADNET_ROAD_NETWORK_H_

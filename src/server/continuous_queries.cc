@@ -1,0 +1,302 @@
+#include "server/continuous_queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/distance.h"
+
+namespace cloakdb {
+
+ContinuousQueryProcessor::ContinuousQueryProcessor(const ObjectStore* store,
+                                                   const Options& options)
+    : store_(store), options_(options) {}
+
+std::vector<PublicObject> ContinuousQueryProcessor::Materialize(
+    const std::vector<PointEntry>& hits) const {
+  std::vector<PublicObject> out;
+  out.reserve(hits.size());
+  for (const auto& h : hits) {
+    auto obj = store_->GetPublicObject(h.id);
+    if (obj.ok()) out.push_back(std::move(obj).value());
+  }
+  return out;
+}
+
+// --- Range -----------------------------------------------------------------
+
+Status ContinuousQueryProcessor::EvaluateRangeFull(RangeState* state) {
+  auto index = store_->CategoryIndex(state->category);
+  if (!index.ok()) return index.status();
+  ++stats_.full_evaluations;
+  // Over-fetch with the slack margin so future small moves hit the cache.
+  state->coverage =
+      state->region.Expanded(state->radius + options_.slack_margin);
+  state->fetched = index.value()->RangeSearch(state->coverage);
+  state->cache_valid = true;
+  FilterRangeFromCache(state);
+  return Status::OK();
+}
+
+void ContinuousQueryProcessor::FilterRangeFromCache(RangeState* state) {
+  std::vector<PointEntry> hits;
+  for (const auto& e : state->fetched) {
+    if (MinDist(e.location, state->region) <= state->radius) {
+      hits.push_back(e);
+    }
+  }
+  state->current = Materialize(hits);
+}
+
+Result<ContinuousQueryId> ContinuousQueryProcessor::RegisterRange(
+    const Rect& region, double radius, Category category) {
+  if (region.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  if (!(radius > 0.0))
+    return Status::InvalidArgument("query radius must be positive");
+  RangeState state;
+  state.radius = radius;
+  state.category = category;
+  state.region = region;
+  CLOAKDB_RETURN_IF_ERROR(EvaluateRangeFull(&state));
+  ContinuousQueryId id = next_id_++;
+  range_queries_.emplace(id, std::move(state));
+  return id;
+}
+
+// --- NN ---------------------------------------------------------------------
+
+Status ContinuousQueryProcessor::EvaluateNnFull(NnState* state) {
+  auto index_or = store_->CategoryIndex(state->category);
+  if (!index_or.ok()) return index_or.status();
+  const RTree& index = *index_or.value();
+  if (index.size() == 0)
+    return Status::NotFound("no public objects in category");
+  ++stats_.full_evaluations;
+
+  double max_corner_nn = 0.0;
+  for (const Point& corner : state->region.Corners()) {
+    max_corner_nn = std::max(max_corner_nn, index.NearestDistance(corner));
+  }
+  double half_diag =
+      0.5 * std::sqrt(state->region.Width() * state->region.Width() +
+                      state->region.Height() * state->region.Height());
+  double fetch = max_corner_nn + half_diag + options_.slack_margin;
+  state->coverage = state->region.Expanded(fetch);
+  state->fetched = index.RangeSearch(state->coverage);
+  state->cache_valid = true;
+  FilterNnFromCache(state);
+  return Status::OK();
+}
+
+void ContinuousQueryProcessor::FilterNnFromCache(NnState* state) {
+  // The cached set is a superset of every possible candidate while the
+  // region stays inside the coverage (checked by the caller), so the
+  // corner-NN bound computed *from the cache* is conservative: cached
+  // nearest distances can only over-estimate the true ones.
+  double max_corner_nn = 0.0;
+  for (const Point& corner : state->region.Corners()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& e : state->fetched) {
+      best = std::min(best, Distance(corner, e.location));
+    }
+    max_corner_nn = std::max(max_corner_nn, best);
+  }
+  double half_diag =
+      0.5 * std::sqrt(state->region.Width() * state->region.Width() +
+                      state->region.Height() * state->region.Height());
+  double fetch = max_corner_nn + half_diag;
+
+  std::vector<PointEntry> hits;
+  for (const auto& e : state->fetched) {
+    if (MinDist(e.location, state->region) <= fetch) hits.push_back(e);
+  }
+  double min_max = std::numeric_limits<double>::infinity();
+  for (const auto& h : hits) {
+    min_max = std::min(min_max, MaxDist(h.location, state->region));
+  }
+  hits.erase(std::remove_if(hits.begin(), hits.end(),
+                            [&](const PointEntry& e) {
+                              return MinDist(e.location, state->region) >
+                                     min_max;
+                            }),
+             hits.end());
+  state->current = Materialize(hits);
+}
+
+Result<ContinuousQueryId> ContinuousQueryProcessor::RegisterNn(
+    const Rect& region, Category category) {
+  if (region.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  NnState state;
+  state.category = category;
+  state.region = region;
+  CLOAKDB_RETURN_IF_ERROR(EvaluateNnFull(&state));
+  ContinuousQueryId id = next_id_++;
+  nn_queries_.emplace(id, std::move(state));
+  return id;
+}
+
+// --- Updates ----------------------------------------------------------------
+
+Result<std::vector<PublicObject>> ContinuousQueryProcessor::UpdateRegion(
+    ContinuousQueryId id, const Rect& new_region) {
+  if (new_region.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  ++stats_.region_updates;
+
+  if (auto it = range_queries_.find(id); it != range_queries_.end()) {
+    RangeState& state = it->second;
+    state.region = new_region;
+    Rect needed = new_region.Expanded(state.radius);
+    if (state.cache_valid && state.coverage.Contains(needed)) {
+      ++stats_.incremental_filters;
+      FilterRangeFromCache(&state);
+    } else {
+      CLOAKDB_RETURN_IF_ERROR(EvaluateRangeFull(&state));
+    }
+    return state.current;
+  }
+
+  if (auto it = nn_queries_.find(id); it != nn_queries_.end()) {
+    NnState& state = it->second;
+    state.region = new_region;
+    bool incremental = false;
+    if (state.cache_valid && !state.fetched.empty()) {
+      // Validity check: the cache-derived fetch radius (conservative upper
+      // bound) must keep the required area inside the cached coverage.
+      double max_corner_nn = 0.0;
+      for (const Point& corner : state.region.Corners()) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& e : state.fetched) {
+          best = std::min(best, Distance(corner, e.location));
+        }
+        max_corner_nn = std::max(max_corner_nn, best);
+      }
+      double half_diag =
+          0.5 * std::sqrt(state.region.Width() * state.region.Width() +
+                          state.region.Height() * state.region.Height());
+      Rect needed = state.region.Expanded(max_corner_nn + half_diag);
+      incremental = state.coverage.Contains(needed);
+    }
+    if (incremental) {
+      ++stats_.incremental_filters;
+      FilterNnFromCache(&state);
+    } else {
+      CLOAKDB_RETURN_IF_ERROR(EvaluateNnFull(&state));
+    }
+    return state.current;
+  }
+
+  return Status::NotFound("unknown continuous query id");
+}
+
+Result<std::vector<PublicObject>>
+ContinuousQueryProcessor::CurrentCandidates(ContinuousQueryId id) const {
+  if (auto it = range_queries_.find(id); it != range_queries_.end())
+    return it->second.current;
+  if (auto it = nn_queries_.find(id); it != nn_queries_.end())
+    return it->second.current;
+  return Status::NotFound("unknown continuous query id");
+}
+
+void ContinuousQueryProcessor::InvalidateCachesTouching(const Point& location,
+                                                        Category category) {
+  for (auto& [id, state] : range_queries_) {
+    if (state.category == category && state.coverage.Contains(location)) {
+      state.cache_valid = false;
+      (void)EvaluateRangeFull(&state);
+    }
+  }
+  for (auto& [id, state] : nn_queries_) {
+    // An inserted/removed object outside the coverage cannot change an NN
+    // answer (everything inside is closer), so only touching caches must
+    // refresh.
+    if (state.category == category && state.coverage.Contains(location)) {
+      state.cache_valid = false;
+      (void)EvaluateNnFull(&state);
+    }
+  }
+}
+
+void ContinuousQueryProcessor::NotifyPublicInserted(
+    const PublicObject& object) {
+  InvalidateCachesTouching(object.location, object.category);
+}
+
+void ContinuousQueryProcessor::NotifyPublicRemoved(
+    const PublicObject& object) {
+  InvalidateCachesTouching(object.location, object.category);
+}
+
+// --- Count ------------------------------------------------------------------
+
+double ContinuousQueryProcessor::ContributionOf(const Rect& region,
+                                                const Rect& window) const {
+  if (!region.Intersects(window)) return 0.0;
+  return region.Area() > 0.0 ? region.OverlapFraction(window) : 1.0;
+}
+
+Result<ContinuousQueryId> ContinuousQueryProcessor::RegisterCount(
+    const Rect& window) {
+  if (window.IsEmpty())
+    return Status::InvalidArgument("query window must be non-empty");
+  CountState state;
+  state.window = window;
+  store_->private_index().ForEach([&](const RectEntry& entry) {
+    double p = ContributionOf(entry.rect, window);
+    if (p <= 0.0) return;
+    state.contributions.emplace(entry.id, p);
+    state.expected += p;
+    if (p >= 1.0) ++state.certain;
+  });
+  ContinuousQueryId id = next_id_++;
+  count_queries_.emplace(id, std::move(state));
+  return id;
+}
+
+Status ContinuousQueryProcessor::NotifyPrivateRegionChanged(
+    ObjectId pseudonym, const std::optional<Rect>& old_region,
+    const std::optional<Rect>& new_region) {
+  for (auto& [id, state] : count_queries_) {
+    ++stats_.count_delta_updates;
+    if (old_region.has_value()) {
+      auto it = state.contributions.find(pseudonym);
+      if (it != state.contributions.end()) {
+        state.expected -= it->second;
+        if (it->second >= 1.0) --state.certain;
+        state.contributions.erase(it);
+      }
+    }
+    if (new_region.has_value()) {
+      double p = ContributionOf(*new_region, state.window);
+      if (p > 0.0) {
+        state.contributions.emplace(pseudonym, p);
+        state.expected += p;
+        if (p >= 1.0) ++state.certain;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<CountAnswer> ContinuousQueryProcessor::CurrentCount(
+    ContinuousQueryId id) const {
+  auto it = count_queries_.find(id);
+  if (it == count_queries_.end())
+    return Status::NotFound("unknown continuous query id");
+  std::vector<double> ps;
+  ps.reserve(it->second.contributions.size());
+  for (const auto& [pseudonym, p] : it->second.contributions) {
+    ps.push_back(p);
+  }
+  return MakeCountAnswer(ps);
+}
+
+Status ContinuousQueryProcessor::Unregister(ContinuousQueryId id) {
+  if (range_queries_.erase(id) > 0) return Status::OK();
+  if (nn_queries_.erase(id) > 0) return Status::OK();
+  if (count_queries_.erase(id) > 0) return Status::OK();
+  return Status::NotFound("unknown continuous query id");
+}
+
+}  // namespace cloakdb

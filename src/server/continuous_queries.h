@@ -1,0 +1,156 @@
+// Continuous privacy-aware queries with incremental re-evaluation (paper
+// Section 5.3: "processing the continuous queries at the location-based
+// server should be done incrementally").
+//
+// Three continuous query shapes are supported:
+//   - continuous private range / NN over public data: registered once,
+//     re-evaluated whenever the issuer's cloaked region moves. The
+//     processor over-fetches by a slack margin and serves subsequent
+//     updates from the cached fetch set while the new requirement stays
+//     inside the cached coverage — turning most updates into an in-memory
+//     filter instead of an index walk.
+//   - continuous public count over private data: registered windows whose
+//     probabilistic answer is maintained as a running sum of per-user
+//     contributions, updated by O(1) per cloaked-region change instead of
+//     re-scanning the window.
+
+#ifndef CLOAKDB_SERVER_CONTINUOUS_QUERIES_H_
+#define CLOAKDB_SERVER_CONTINUOUS_QUERIES_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "server/object_store.h"
+#include "util/poisson_binomial.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Identifier of a registered continuous query.
+using ContinuousQueryId = uint64_t;
+
+/// Self-instrumentation of the incremental machinery.
+struct ContinuousStats {
+  uint64_t region_updates = 0;       ///< UpdateRegion calls.
+  uint64_t full_evaluations = 0;     ///< Index walks (cache miss / refresh).
+  uint64_t incremental_filters = 0;  ///< Served from the cached fetch set.
+  uint64_t count_delta_updates = 0;  ///< O(1) count-contribution updates.
+};
+
+/// Tuning knobs of the incremental evaluator.
+struct ContinuousOptions {
+  /// Extra fetch margin (in length units) added to every fetch so small
+  /// region movements stay inside the cached coverage.
+  double slack_margin = 5.0;
+};
+
+/// Registry and incremental evaluator of continuous queries.
+///
+/// The object store must outlive the processor. Public-data mutations made
+/// behind the processor's back must be reported through NotifyPublic* so
+/// cached fetch sets are refreshed.
+class ContinuousQueryProcessor {
+ public:
+  using Options = ContinuousOptions;
+
+  explicit ContinuousQueryProcessor(const ObjectStore* store,
+                                    const Options& options = Options());
+
+  // --- Continuous private queries over public data ------------------------
+
+  /// Registers a continuous range query for an issuer whose current
+  /// cloaked region is `region`. Fails like PrivateRangeQuery.
+  Result<ContinuousQueryId> RegisterRange(const Rect& region, double radius,
+                                          Category category);
+
+  /// Registers a continuous NN query. Fails like PrivateNnQuery.
+  Result<ContinuousQueryId> RegisterNn(const Rect& region, Category category);
+
+  /// Re-evaluates a continuous private query for the issuer's new cloaked
+  /// region and returns the fresh candidate list (same guarantees as the
+  /// one-shot queries).
+  Result<std::vector<PublicObject>> UpdateRegion(ContinuousQueryId id,
+                                                 const Rect& new_region);
+
+  /// The candidates computed by the last registration/update.
+  Result<std::vector<PublicObject>> CurrentCandidates(
+      ContinuousQueryId id) const;
+
+  /// Public-data change notifications: invalidate overlapping caches.
+  void NotifyPublicInserted(const PublicObject& object);
+  void NotifyPublicRemoved(const PublicObject& object);
+
+  // --- Continuous public count over private data --------------------------
+
+  /// Registers a continuous count window. The initial answer is computed
+  /// from the store's current private regions.
+  Result<ContinuousQueryId> RegisterCount(const Rect& window);
+
+  /// O(1) maintenance when a user's cloaked region changes. Pass an empty
+  /// optional for `old_region` on first appearance and for `new_region`
+  /// on removal.
+  Status NotifyPrivateRegionChanged(ObjectId pseudonym,
+                                    const std::optional<Rect>& old_region,
+                                    const std::optional<Rect>& new_region);
+
+  /// The current probabilistic answer of a count query (PDF included,
+  /// recomputed on demand from the maintained contributions).
+  Result<CountAnswer> CurrentCount(ContinuousQueryId id) const;
+
+  /// Drops any registered query.
+  Status Unregister(ContinuousQueryId id);
+
+  size_t num_queries() const {
+    return range_queries_.size() + nn_queries_.size() +
+           count_queries_.size();
+  }
+  const ContinuousStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ContinuousStats{}; }
+
+ private:
+  struct RangeState {
+    double radius = 0.0;
+    Category category = 0;
+    Rect region;                    // issuer's current cloaked region
+    Rect coverage;                  // extent of the cached fetch set
+    std::vector<PointEntry> fetched;  // objects inside coverage
+    std::vector<PublicObject> current;
+    bool cache_valid = false;
+  };
+  struct NnState {
+    Category category = 0;
+    Rect region;
+    Rect coverage;
+    std::vector<PointEntry> fetched;
+    std::vector<PublicObject> current;
+    bool cache_valid = false;
+  };
+  struct CountState {
+    Rect window;
+    std::unordered_map<ObjectId, double> contributions;
+    double expected = 0.0;
+    int certain = 0;
+  };
+
+  Status EvaluateRangeFull(RangeState* state);
+  Status EvaluateNnFull(NnState* state);
+  void FilterRangeFromCache(RangeState* state);
+  void FilterNnFromCache(NnState* state);
+  std::vector<PublicObject> Materialize(
+      const std::vector<PointEntry>& hits) const;
+  void InvalidateCachesTouching(const Point& location, Category category);
+  double ContributionOf(const Rect& region, const Rect& window) const;
+
+  const ObjectStore* store_;
+  Options options_;
+  ContinuousQueryId next_id_ = 1;
+  std::unordered_map<ContinuousQueryId, RangeState> range_queries_;
+  std::unordered_map<ContinuousQueryId, NnState> nn_queries_;
+  std::unordered_map<ContinuousQueryId, CountState> count_queries_;
+  ContinuousStats stats_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVER_CONTINUOUS_QUERIES_H_

@@ -1,0 +1,100 @@
+// Storage layer of the privacy-aware location-based database server
+// (paper Section 6.1).
+//
+// Two tables:
+//   - public data: exact locations of objects that do not hide themselves
+//     (gas stations, restaurants, police cars, ...), organized per category
+//     in R-trees;
+//   - private data: mobile users known *only* by pseudonym and cloaked
+//     rectangle — the server never stores an exact private location.
+
+#ifndef CLOAKDB_SERVER_OBJECT_STORE_H_
+#define CLOAKDB_SERVER_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "index/rect_grid.h"
+#include "index/rtree.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Category tag for public objects (gas station, restaurant, ...).
+using Category = uint32_t;
+
+/// A public (exact-location) object.
+struct PublicObject {
+  ObjectId id = 0;
+  Point location;
+  Category category = 0;
+  std::string name;
+};
+
+/// The server's data storage: public exact objects + private cloaked
+/// regions.
+class ObjectStore {
+ public:
+  /// `space` bounds the private-region index; public objects may lie
+  /// anywhere.
+  explicit ObjectStore(const Rect& space, uint32_t rect_grid_cells = 64);
+
+  // --- Public data -------------------------------------------------------
+
+  /// Adds one public object (duplicate ids across *all* categories fail
+  /// with AlreadyExists).
+  Status AddPublicObject(const PublicObject& object);
+
+  /// Removes a public object by id.
+  Status RemovePublicObject(ObjectId id);
+
+  /// Moves a public moving object (e.g. a police car).
+  Status MovePublicObject(ObjectId id, const Point& new_location);
+
+  /// Bulk-loads a category in one STR build (replaces that category).
+  Status BulkLoadCategory(Category category, std::vector<PublicObject> objects);
+
+  /// Full object record by id.
+  Result<PublicObject> GetPublicObject(ObjectId id) const;
+
+  /// The R-tree of one category; fails when the category has no objects.
+  Result<const RTree*> CategoryIndex(Category category) const;
+
+  /// All categories currently populated.
+  std::vector<Category> Categories() const;
+
+  size_t num_public() const { return public_meta_.size(); }
+
+  // --- Private data ------------------------------------------------------
+
+  /// Inserts or replaces the cloaked region of a pseudonym.
+  Status UpsertPrivateRegion(ObjectId pseudonym, const Rect& region);
+
+  /// Drops a pseudonym's region (user went passive).
+  Status RemovePrivateRegion(ObjectId pseudonym);
+
+  /// The stored region of a pseudonym.
+  Result<Rect> GetPrivateRegion(ObjectId pseudonym) const;
+
+  /// Read access to the cloaked-region index.
+  const RectGrid& private_index() const { return private_index_; }
+
+  size_t num_private() const { return private_index_.size(); }
+
+  const Rect& space() const { return space_; }
+
+ private:
+  Rect space_;
+  std::map<Category, RTree> public_indexes_;
+  std::unordered_map<ObjectId, PublicObject> public_meta_;
+  RectGrid private_index_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVER_OBJECT_STORE_H_

@@ -1,0 +1,129 @@
+#include "server/private_private.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/distance.h"
+
+namespace cloakdb {
+
+namespace {
+
+// Uniform sample inside a (possibly degenerate) rectangle.
+Point SampleIn(const Rect& r, Rng* rng) {
+  return {r.max_x > r.min_x ? rng->Uniform(r.min_x, r.max_x) : r.min_x,
+          r.max_y > r.min_y ? rng->Uniform(r.min_y, r.max_y) : r.min_y};
+}
+
+}  // namespace
+
+Result<PrivatePrivateRangeResult> PrivatePrivateRangeQuery(
+    const ObjectStore& store, const Rect& querier, double radius,
+    const PrivatePrivateOptions& options) {
+  if (querier.IsEmpty())
+    return Status::InvalidArgument("querier region must be non-empty");
+  if (!(radius > 0.0))
+    return Status::InvalidArgument("query radius must be positive");
+
+  PrivatePrivateRangeResult result;
+  // Sound candidate filter: a target can be within range iff the regions
+  // can be within `radius` of each other.
+  auto candidates =
+      store.private_index().IntersectingRects(querier.Expanded(radius));
+  Rng rng(options.seed);
+  for (const auto& entry : candidates) {
+    if (entry.id == options.exclude) continue;
+    if (MinDist(entry.rect, querier) > radius) continue;
+    PrivateRangeMatch match;
+    match.pseudonym = entry.id;
+    match.region = entry.rect;
+    match.certain = MaxDist(entry.rect, querier) <= radius;
+    if (match.certain) {
+      match.probability = 1.0;
+    } else if (options.mc_samples > 0) {
+      size_t hits = 0;
+      for (size_t t = 0; t < options.mc_samples; ++t) {
+        Point q = SampleIn(querier, &rng);
+        Point u = SampleIn(entry.rect, &rng);
+        if (Distance(q, u) <= radius) ++hits;
+      }
+      match.probability =
+          static_cast<double>(hits) / static_cast<double>(options.mc_samples);
+    }
+    result.expected_count += match.probability;
+    if (match.certain) ++result.min_count;
+    ++result.max_count;
+    result.matches.push_back(std::move(match));
+  }
+  return result;
+}
+
+Result<PrivatePrivateNnResult> PrivatePrivateNnQuery(
+    const ObjectStore& store, const Rect& querier,
+    const PrivatePrivateOptions& options) {
+  if (querier.IsEmpty())
+    return Status::InvalidArgument("querier region must be non-empty");
+
+  std::vector<PrivateNnMatch> all;
+  store.private_index().ForEach([&](const RectEntry& entry) {
+    if (entry.id == options.exclude) return;
+    PrivateNnMatch match;
+    match.pseudonym = entry.id;
+    match.region = entry.rect;
+    match.min_dist = MinDist(entry.rect, querier);
+    match.max_dist = MaxDist(entry.rect, querier);
+    all.push_back(std::move(match));
+  });
+  if (all.empty())
+    return Status::NotFound("no other private data stored");
+
+  // Prune targets some other target beats for every location pair.
+  double min_max = std::numeric_limits<double>::infinity();
+  for (const auto& m : all) min_max = std::min(min_max, m.max_dist);
+  PrivatePrivateNnResult result;
+  for (auto& m : all) {
+    if (m.min_dist <= min_max) {
+      result.candidates.push_back(std::move(m));
+    } else {
+      ++result.pruned;
+    }
+  }
+
+  if (result.candidates.size() == 1) {
+    result.candidates.front().probability = 1.0;
+  } else if (options.mc_samples > 0) {
+    Rng rng(options.seed);
+    std::vector<uint64_t> wins(result.candidates.size(), 0);
+    for (size_t t = 0; t < options.mc_samples; ++t) {
+      Point q = SampleIn(querier, &rng);
+      double best = std::numeric_limits<double>::infinity();
+      size_t winner = 0;
+      for (size_t i = 0; i < result.candidates.size(); ++i) {
+        Point u = SampleIn(result.candidates[i].region, &rng);
+        double d = DistanceSquared(q, u);
+        if (d < best) {
+          best = d;
+          winner = i;
+        }
+      }
+      ++wins[winner];
+    }
+    for (size_t i = 0; i < result.candidates.size(); ++i) {
+      result.candidates[i].probability =
+          static_cast<double>(wins[i]) /
+          static_cast<double>(options.mc_samples);
+    }
+  }
+
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const PrivateNnMatch& a, const PrivateNnMatch& b) {
+              if (a.probability != b.probability)
+                return a.probability > b.probability;
+              return a.pseudonym < b.pseudonym;
+            });
+  if (!result.candidates.empty())
+    result.most_likely = result.candidates.front().pseudonym;
+  return result;
+}
+
+}  // namespace cloakdb

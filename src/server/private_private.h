@@ -1,0 +1,90 @@
+// Private queries over private data (paper Section 6.1: "private queries
+// over private data can be reduced to any of the above two query types").
+//
+// Both sides are uncertain: the querying user is a cloaked rectangle AND
+// every target is a cloaked rectangle. The reduction combines the two
+// machineries: rect-rect distance bounds give sound candidate sets (the
+// private-query side), and the uniformity assumption gives probabilistic
+// answers (the public-query side).
+
+#ifndef CLOAKDB_SERVER_PRIVATE_PRIVATE_H_
+#define CLOAKDB_SERVER_PRIVATE_PRIVATE_H_
+
+#include <vector>
+
+#include "server/object_store.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// One target user's classification in a private-over-private range query.
+struct PrivateRangeMatch {
+  ObjectId pseudonym = 0;
+  Rect region;
+  /// True when every (querier, target) location pair is within range —
+  /// MaxDist(querier region, target region) <= radius.
+  bool certain = false;
+  /// P(distance <= radius) under uniformity (Monte-Carlo estimate; exactly
+  /// 1 for certain matches and never 0 for returned candidates).
+  double probability = 0.0;
+};
+
+/// Result of "which mobile users are within r of me", asked by a cloaked
+/// user about cloaked users.
+struct PrivatePrivateRangeResult {
+  /// All targets that *can* be within range (MinDist <= radius), i.e. the
+  /// sound candidate set, with per-target certainty/probability.
+  std::vector<PrivateRangeMatch> matches;
+  /// Count interval: [#certain, #candidates].
+  int min_count = 0;
+  int max_count = 0;
+  /// Expected number of in-range targets: sum of probabilities.
+  double expected_count = 0.0;
+};
+
+/// Options shared by the private-over-private queries.
+struct PrivatePrivateOptions {
+  size_t mc_samples = 2048;   ///< Monte-Carlo trials per probability.
+  uint64_t seed = 0xAB5EEDULL;
+  /// Pseudonym of the querier, excluded from the targets (a user is not
+  /// her own neighbor); 0 = exclude nothing.
+  ObjectId exclude = 0;
+};
+
+/// Finds cloaked users within `radius` of the cloaked querier. Fails with
+/// InvalidArgument on an empty region or non-positive radius.
+Result<PrivatePrivateRangeResult> PrivatePrivateRangeQuery(
+    const ObjectStore& store, const Rect& querier, double radius,
+    const PrivatePrivateOptions& options = {});
+
+/// One candidate of a private-over-private NN query.
+struct PrivateNnMatch {
+  ObjectId pseudonym = 0;
+  Rect region;
+  double min_dist = 0.0;  ///< MinDist(querier region, target region).
+  double max_dist = 0.0;  ///< MaxDist(querier region, target region).
+  /// P(this target is the nearest) under uniformity on both rectangles.
+  double probability = 0.0;
+};
+
+/// Result of "who is my nearest fellow user", both sides cloaked.
+struct PrivatePrivateNnResult {
+  /// Candidates sorted by descending probability. A target survives iff no
+  /// other target is guaranteed nearer for every possible pair of
+  /// locations (MaxDist(other) < MinDist(target) prunes).
+  std::vector<PrivateNnMatch> candidates;
+  ObjectId most_likely = 0;
+  size_t pruned = 0;
+};
+
+/// Finds the probable nearest cloaked user to the cloaked querier. Fails
+/// with InvalidArgument on an empty region and NotFound when no other
+/// private data exists.
+Result<PrivatePrivateNnResult> PrivatePrivateNnQuery(
+    const ObjectStore& store, const Rect& querier,
+    const PrivatePrivateOptions& options = {});
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVER_PRIVATE_PRIVATE_H_

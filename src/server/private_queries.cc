@@ -1,0 +1,224 @@
+#include "server/private_queries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/distance.h"
+
+namespace cloakdb {
+
+namespace {
+
+// Fetches the full PublicObject records for index hits.
+std::vector<PublicObject> Materialize(const ObjectStore& store,
+                                      const std::vector<PointEntry>& hits) {
+  std::vector<PublicObject> out;
+  out.reserve(hits.size());
+  for (const auto& h : hits) {
+    auto obj = store.GetPublicObject(h.id);
+    // Index and metadata are maintained together; a miss is an invariant
+    // violation surfaced loudly in tests.
+    if (obj.ok()) out.push_back(std::move(obj).value());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PrivateRangeResult> PrivateRangeQuery(
+    const ObjectStore& store, const Rect& cloaked, double radius,
+    Category category, const PrivateRangeOptions& options) {
+  if (cloaked.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  if (!(radius > 0.0))
+    return Status::InvalidArgument("query radius must be positive");
+  auto index = store.CategoryIndex(category);
+  if (!index.ok()) return index.status();
+
+  PrivateRangeResult result;
+  result.extended_region = cloaked.Expanded(radius);
+  auto hits = index.value()->RangeSearch(result.extended_region);
+
+  if (options.exact_rounded_rect) {
+    // Exact region is the Minkowski sum of R and a radius-r disc (the
+    // paper's rounded rectangle): object qualifies iff MinDist(o, R) <= r.
+    size_t before = hits.size();
+    hits.erase(std::remove_if(hits.begin(), hits.end(),
+                              [&](const PointEntry& e) {
+                                return MinDist(e.location, cloaked) > radius;
+                              }),
+               hits.end());
+    result.rounded_rect_pruned = before - hits.size();
+  }
+  result.candidates = Materialize(store, hits);
+  return result;
+}
+
+Result<PrivateNnResult> PrivateNnQuery(const ObjectStore& store,
+                                       const Rect& cloaked,
+                                       Category category) {
+  if (cloaked.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  auto index_or = store.CategoryIndex(category);
+  if (!index_or.ok()) return index_or.status();
+  const RTree& index = *index_or.value();
+  if (index.size() == 0)
+    return Status::NotFound("no public objects in category");
+
+  // Conservative fetch radius M: for any p in R, the distance to its NN is
+  // at most d(p, c) + d(c, NN(c)) for p's nearest corner c, and d(p, c) is
+  // at most half the diagonal. Any object that can be an NN therefore has
+  // MinDist(o, R) <= M.
+  double max_corner_nn = 0.0;
+  for (const Point& corner : cloaked.Corners()) {
+    max_corner_nn = std::max(max_corner_nn, index.NearestDistance(corner));
+  }
+  double half_diag = 0.5 * std::sqrt(cloaked.Width() * cloaked.Width() +
+                                     cloaked.Height() * cloaked.Height());
+  PrivateNnResult result;
+  result.fetch_radius = max_corner_nn + half_diag;
+
+  auto hits = index.RangeSearch(cloaked.Expanded(result.fetch_radius));
+  // The expanded MBR over-approximates the disc sum; drop the corners.
+  hits.erase(std::remove_if(hits.begin(), hits.end(),
+                            [&](const PointEntry& e) {
+                              return MinDist(e.location, cloaked) >
+                                     result.fetch_radius;
+                            }),
+             hits.end());
+
+  // Dominance pruning: keep o iff MinDist(o, R) <= min_o' MaxDist(o', R).
+  // Survivors are exactly the objects no other object is guaranteed to
+  // beat for every possible user position.
+  double min_max_dist = std::numeric_limits<double>::infinity();
+  for (const auto& h : hits) {
+    min_max_dist = std::min(min_max_dist, MaxDist(h.location, cloaked));
+  }
+  size_t before = hits.size();
+  hits.erase(std::remove_if(hits.begin(), hits.end(),
+                            [&](const PointEntry& e) {
+                              return MinDist(e.location, cloaked) >
+                                     min_max_dist;
+                            }),
+             hits.end());
+  result.dominance_pruned = before - hits.size();
+  result.candidates = Materialize(store, hits);
+  return result;
+}
+
+Result<PrivateKnnResult> PrivateKnnQuery(const ObjectStore& store,
+                                         const Rect& cloaked, size_t k,
+                                         Category category) {
+  if (cloaked.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  auto index_or = store.CategoryIndex(category);
+  if (!index_or.ok()) return index_or.status();
+  const RTree& index = *index_or.value();
+  if (index.size() == 0)
+    return Status::NotFound("no public objects in category");
+
+  PrivateKnnResult result;
+  if (index.size() <= k) {
+    // Everything is an answer candidate by pigeonhole.
+    auto hits = index.RangeSearch(
+        Rect(-std::numeric_limits<double>::infinity(),
+             -std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::infinity()));
+    result.candidates = Materialize(store, hits);
+    return result;
+  }
+
+  // Fetch bound: for any p in R and its nearest corner c, the k objects
+  // nearest to c all lie within d(p, c) + d(c, kth-NN(c)), so the k-th NN
+  // distance of p is at most half_diag + max_c d(c, kth-NN(c)); every
+  // possible answer object has MinDist(o, R) below that.
+  double max_corner_kth = 0.0;
+  for (const Point& corner : cloaked.Corners()) {
+    auto knn = index.KNearest(corner, k);
+    max_corner_kth = std::max(
+        max_corner_kth, Distance(corner, knn.back().location));
+  }
+  double half_diag = 0.5 * std::sqrt(cloaked.Width() * cloaked.Width() +
+                                     cloaked.Height() * cloaked.Height());
+  result.fetch_radius = max_corner_kth + half_diag;
+
+  auto hits = index.RangeSearch(cloaked.Expanded(result.fetch_radius));
+  hits.erase(std::remove_if(hits.begin(), hits.end(),
+                            [&](const PointEntry& e) {
+                              return MinDist(e.location, cloaked) >
+                                     result.fetch_radius;
+                            }),
+             hits.end());
+
+  // Dominance pruning: o cannot be among any point's k nearest when at
+  // least k objects are guaranteed nearer for every possible location,
+  // i.e. have MaxDist(o', R) < MinDist(o, R). (o never dominates itself:
+  // MaxDist >= MinDist.)
+  std::vector<double> max_dists;
+  max_dists.reserve(hits.size());
+  for (const auto& h : hits) {
+    max_dists.push_back(MaxDist(h.location, cloaked));
+  }
+  std::sort(max_dists.begin(), max_dists.end());
+  size_t before = hits.size();
+  hits.erase(std::remove_if(
+                 hits.begin(), hits.end(),
+                 [&](const PointEntry& e) {
+                   double min_d = MinDist(e.location, cloaked);
+                   size_t closer = static_cast<size_t>(
+                       std::lower_bound(max_dists.begin(), max_dists.end(),
+                                        min_d) -
+                       max_dists.begin());
+                   return closer >= k;
+                 }),
+             hits.end());
+  result.dominance_pruned = before - hits.size();
+  result.candidates = Materialize(store, hits);
+  return result;
+}
+
+std::vector<PublicObject> RefineKnnCandidates(
+    const std::vector<PublicObject>& candidates, const Point& true_location,
+    size_t k) {
+  std::vector<PublicObject> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const PublicObject& a, const PublicObject& b) {
+              double da = DistanceSquared(a.location, true_location);
+              double db = DistanceSquared(b.location, true_location);
+              if (da != db) return da < db;
+              return a.id < b.id;
+            });
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+std::vector<PublicObject> RefineRangeCandidates(
+    const std::vector<PublicObject>& candidates, const Point& true_location,
+    double radius) {
+  std::vector<PublicObject> out;
+  for (const auto& c : candidates) {
+    if (Distance(c.location, true_location) <= radius) out.push_back(c);
+  }
+  return out;
+}
+
+Result<PublicObject> RefineNnCandidates(
+    const std::vector<PublicObject>& candidates, const Point& true_location) {
+  if (candidates.empty())
+    return Status::NotFound("empty candidate list");
+  const PublicObject* best = &candidates.front();
+  double best_d = DistanceSquared(best->location, true_location);
+  for (const auto& c : candidates) {
+    double d = DistanceSquared(c.location, true_location);
+    if (d < best_d || (d == best_d && c.id < best->id)) {
+      best = &c;
+      best_d = d;
+    }
+  }
+  return *best;
+}
+
+}  // namespace cloakdb

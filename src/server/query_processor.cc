@@ -1,0 +1,93 @@
+#include "server/query_processor.h"
+
+namespace cloakdb {
+
+QueryProcessor::QueryProcessor(const Rect& space, uint32_t rect_grid_cells)
+    : store_(space, rect_grid_cells) {}
+
+Status QueryProcessor::ApplyCloakedUpdate(ObjectId pseudonym,
+                                          const Rect& region) {
+  CLOAKDB_RETURN_IF_ERROR(store_.UpsertPrivateRegion(pseudonym, region));
+  ++stats_.cloaked_updates;
+  return Status::OK();
+}
+
+Status QueryProcessor::DropPseudonym(ObjectId pseudonym) {
+  return store_.RemovePrivateRegion(pseudonym);
+}
+
+Result<PrivateRangeResult> QueryProcessor::PrivateRange(
+    const Rect& cloaked, double radius, Category category,
+    const PrivateRangeOptions& opts) {
+  auto result = PrivateRangeQuery(store_, cloaked, radius, category, opts);
+  if (result.ok()) {
+    ++stats_.private_range_queries;
+    stats_.range_candidates.Add(
+        static_cast<double>(result.value().candidates.size()));
+    stats_.bytes_to_clients +=
+        result.value().candidates.size() * kBytesPerObject;
+  }
+  return result;
+}
+
+Result<PrivateNnResult> QueryProcessor::PrivateNn(const Rect& cloaked,
+                                                  Category category) {
+  auto result = PrivateNnQuery(store_, cloaked, category);
+  if (result.ok()) {
+    ++stats_.private_nn_queries;
+    stats_.nn_candidates.Add(
+        static_cast<double>(result.value().candidates.size()));
+    stats_.bytes_to_clients +=
+        result.value().candidates.size() * kBytesPerObject;
+  }
+  return result;
+}
+
+Result<PrivateKnnResult> QueryProcessor::PrivateKnn(const Rect& cloaked,
+                                                    size_t k,
+                                                    Category category) {
+  auto result = PrivateKnnQuery(store_, cloaked, k, category);
+  if (result.ok()) {
+    ++stats_.private_knn_queries;
+    stats_.nn_candidates.Add(
+        static_cast<double>(result.value().candidates.size()));
+    stats_.bytes_to_clients +=
+        result.value().candidates.size() * kBytesPerObject;
+  }
+  return result;
+}
+
+Result<PrivatePrivateRangeResult> QueryProcessor::PrivatePrivateRange(
+    const Rect& querier, double radius, const PrivatePrivateOptions& opts) {
+  auto result = PrivatePrivateRangeQuery(store_, querier, radius, opts);
+  if (result.ok()) ++stats_.private_private_queries;
+  return result;
+}
+
+Result<PrivatePrivateNnResult> QueryProcessor::PrivatePrivateNn(
+    const Rect& querier, const PrivatePrivateOptions& opts) {
+  auto result = PrivatePrivateNnQuery(store_, querier, opts);
+  if (result.ok()) ++stats_.private_private_queries;
+  return result;
+}
+
+Result<PublicCountResult> QueryProcessor::PublicCount(const Rect& window) {
+  auto result = PublicRangeCountQuery(store_, window);
+  if (result.ok()) ++stats_.public_count_queries;
+  return result;
+}
+
+Result<PublicNnResult> QueryProcessor::PublicNn(const Point& from,
+                                                const PublicNnOptions& opts) {
+  auto result = PublicNnQuery(store_, from, opts);
+  if (result.ok()) ++stats_.public_nn_queries;
+  return result;
+}
+
+Result<HeatmapResult> QueryProcessor::Heatmap(uint32_t resolution) {
+  auto result = PublicHeatmapQuery(store_, resolution);
+  if (result.ok()) ++stats_.public_count_queries;
+  return result;
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,99 @@
+// The privacy-aware query processor: the server facade of paper Fig. 1.
+//
+// Receives cloaked updates from the Location Anonymizer, stores public
+// objects, and dispatches the two novel query classes (private-over-public,
+// public-over-private) while keeping per-query cost statistics (candidate
+// counts and an estimate of bytes shipped to mobile clients — the
+// transmission-cost side of the paper's privacy/QoS trade-off).
+
+#ifndef CLOAKDB_SERVER_QUERY_PROCESSOR_H_
+#define CLOAKDB_SERVER_QUERY_PROCESSOR_H_
+
+#include <vector>
+
+#include "server/object_store.h"
+#include "server/private_private.h"
+#include "server/private_queries.h"
+#include "server/public_queries.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Wire-size model: bytes to ship one public object to a client
+/// (id + location + category, ignoring names).
+constexpr size_t kBytesPerObject = 8 + 16 + 4;
+
+/// Query-processing counters.
+struct ServerStats {
+  uint64_t cloaked_updates = 0;
+  uint64_t private_range_queries = 0;
+  uint64_t private_nn_queries = 0;
+  uint64_t private_knn_queries = 0;
+  uint64_t private_private_queries = 0;
+  uint64_t public_count_queries = 0;
+  uint64_t public_nn_queries = 0;
+  RunningStats range_candidates;   ///< Candidates per private range query.
+  RunningStats nn_candidates;      ///< Candidates per private NN query.
+  uint64_t bytes_to_clients = 0;   ///< Modeled candidate-list traffic.
+};
+
+/// The location-based database server.
+class QueryProcessor {
+ public:
+  /// `space` bounds the private-region index.
+  explicit QueryProcessor(const Rect& space, uint32_t rect_grid_cells = 64);
+
+  /// Data management (delegates to the ObjectStore).
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+
+  /// Ingests one anonymized location update: the server learns only
+  /// (pseudonym, region).
+  Status ApplyCloakedUpdate(ObjectId pseudonym, const Rect& region);
+
+  /// Drops a pseudonym (user went passive / unsubscribed).
+  Status DropPseudonym(ObjectId pseudonym);
+
+  /// Private range query over public data (Fig. 5a).
+  Result<PrivateRangeResult> PrivateRange(const Rect& cloaked, double radius,
+                                          Category category,
+                                          const PrivateRangeOptions& opts = {});
+
+  /// Private NN query over public data (Fig. 5b).
+  Result<PrivateNnResult> PrivateNn(const Rect& cloaked, Category category);
+
+  /// Private k-NN query over public data (k > 1 extension of Fig. 5b).
+  Result<PrivateKnnResult> PrivateKnn(const Rect& cloaked, size_t k,
+                                      Category category);
+
+  /// Private range query over private data (both sides cloaked).
+  Result<PrivatePrivateRangeResult> PrivatePrivateRange(
+      const Rect& querier, double radius,
+      const PrivatePrivateOptions& opts = {});
+
+  /// Private NN query over private data (both sides cloaked).
+  Result<PrivatePrivateNnResult> PrivatePrivateNn(
+      const Rect& querier, const PrivatePrivateOptions& opts = {});
+
+  /// Public count query over private data (Fig. 6a).
+  Result<PublicCountResult> PublicCount(const Rect& window);
+
+  /// Public NN query over private data (Fig. 6b).
+  Result<PublicNnResult> PublicNn(const Point& from,
+                                  const PublicNnOptions& opts = {});
+
+  /// Expected-density heatmap over private data (Fig. 6a generalized).
+  Result<HeatmapResult> Heatmap(uint32_t resolution);
+
+  const ServerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ServerStats{}; }
+
+ private:
+  ObjectStore store_;
+  ServerStats stats_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVER_QUERY_PROCESSOR_H_

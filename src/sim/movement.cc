@@ -1,0 +1,89 @@
+#include "sim/movement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cloakdb {
+
+RandomWaypointModel::RandomWaypointModel(const Rect& space,
+                                         const Options& options)
+    : space_(space), options_(options), rng_(options.seed) {
+  assert(!space.IsEmpty());
+  assert(options.min_speed > 0.0);
+  assert(options.max_speed >= options.min_speed);
+}
+
+void RandomWaypointModel::PickWaypoint(Mover* m) {
+  m->waypoint = {rng_.Uniform(space_.min_x, space_.max_x),
+                 rng_.Uniform(space_.min_y, space_.max_y)};
+  m->speed = rng_.Uniform(options_.min_speed, options_.max_speed);
+}
+
+Status RandomWaypointModel::AddUser(ObjectId id, const Point& start) {
+  if (movers_.count(id) > 0)
+    return Status::AlreadyExists("mover id already present");
+  if (!space_.Contains(start))
+    return Status::OutOfRange("start outside movement space");
+  Mover m;
+  m.location = start;
+  PickWaypoint(&m);
+  movers_.emplace(id, m);
+  order_.push_back(id);
+  return Status::OK();
+}
+
+Status RandomWaypointModel::RemoveUser(ObjectId id) {
+  auto it = movers_.find(id);
+  if (it == movers_.end()) return Status::NotFound("mover id not present");
+  movers_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), id));
+  return Status::OK();
+}
+
+void RandomWaypointModel::Step(double dt) {
+  assert(dt >= 0.0);
+  for (ObjectId id : order_) {
+    Mover& m = movers_.at(id);
+    double remaining = dt;
+    while (remaining > 0.0) {
+      if (m.pause_remaining > 0.0) {
+        double pause = std::min(m.pause_remaining, remaining);
+        m.pause_remaining -= pause;
+        remaining -= pause;
+        continue;
+      }
+      Point to_target = m.waypoint - m.location;
+      double dist = to_target.Norm();
+      double reachable = m.speed * remaining;
+      if (reachable >= dist) {
+        // Arrive, pause, and pick the next waypoint.
+        m.location = m.waypoint;
+        remaining -= m.speed > 0.0 ? dist / m.speed : remaining;
+        m.pause_remaining = options_.pause_time;
+        PickWaypoint(&m);
+      } else {
+        double scale = dist > 0.0 ? reachable / dist : 0.0;
+        m.location = m.location + to_target * scale;
+        remaining = 0.0;
+      }
+    }
+  }
+}
+
+Result<Point> RandomWaypointModel::LocationOf(ObjectId id) const {
+  auto it = movers_.find(id);
+  if (it == movers_.end()) return Status::NotFound("mover id not present");
+  return it->second.location;
+}
+
+std::vector<PointEntry> RandomWaypointModel::Locations() const {
+  std::vector<PointEntry> out;
+  out.reserve(order_.size());
+  for (ObjectId id : order_) {
+    out.push_back({id, movers_.at(id).location});
+  }
+  return out;
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,71 @@
+// Random-waypoint movement model for continuously moving users.
+//
+// Each user walks toward a uniformly drawn waypoint at an individual speed,
+// pauses on arrival, then picks the next waypoint — the standard synthetic
+// mobility model for evaluating location-update workloads.
+
+#ifndef CLOAKDB_SIM_MOVEMENT_H_
+#define CLOAKDB_SIM_MOVEMENT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "index/grid_index.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Random-waypoint mobility simulator.
+class RandomWaypointModel {
+ public:
+  struct Options {
+    double min_speed = 0.5;   ///< Length units per time unit.
+    double max_speed = 2.0;
+    double pause_time = 0.0;  ///< Dwell time at each waypoint.
+    uint64_t seed = 0x30b11eULL;
+  };
+
+  /// Movers stay inside `space`.
+  RandomWaypointModel(const Rect& space, const Options& options);
+
+  /// Adds a mover at `start`. Fails on duplicate id / out-of-space start.
+  Status AddUser(ObjectId id, const Point& start);
+
+  /// Removes a mover.
+  Status RemoveUser(ObjectId id);
+
+  /// Advances every mover by `dt` time units (dt >= 0).
+  void Step(double dt);
+
+  /// Current location of a mover.
+  Result<Point> LocationOf(ObjectId id) const;
+
+  /// Snapshot of all movers (order = insertion order).
+  std::vector<PointEntry> Locations() const;
+
+  size_t size() const { return order_.size(); }
+  const Rect& space() const { return space_; }
+
+ private:
+  struct Mover {
+    Point location;
+    Point waypoint;
+    double speed = 1.0;
+    double pause_remaining = 0.0;
+  };
+
+  void PickWaypoint(Mover* m);
+
+  Rect space_;
+  Options options_;
+  Rng rng_;
+  std::unordered_map<ObjectId, Mover> movers_;
+  std::vector<ObjectId> order_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SIM_MOVEMENT_H_

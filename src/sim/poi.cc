@@ -1,0 +1,29 @@
+#include "sim/poi.h"
+
+namespace cloakdb {
+
+Result<std::vector<PublicObject>> GeneratePois(const Rect& space,
+                                               const PoiOptions& options,
+                                               Rng* rng) {
+  PopulationOptions pop;
+  pop.num_users = options.count;
+  pop.model = options.model;
+  pop.first_id = options.first_id;
+  auto points = GeneratePopulation(space, pop, rng);
+  if (!points.ok()) return points.status();
+
+  std::vector<PublicObject> out;
+  out.reserve(options.count);
+  size_t seq = 0;
+  for (const auto& p : points.value()) {
+    PublicObject o;
+    o.id = p.id;
+    o.location = p.location;
+    o.category = options.category;
+    o.name = options.name_prefix + "-" + std::to_string(seq++);
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace cloakdb

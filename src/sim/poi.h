@@ -1,0 +1,42 @@
+// Point-of-interest (public data) generators: gas stations, restaurants,
+// ATMs, ... — the stationary objects the paper's private queries target.
+
+#ifndef CLOAKDB_SIM_POI_H_
+#define CLOAKDB_SIM_POI_H_
+
+#include <string>
+#include <vector>
+
+#include "server/object_store.h"
+#include "sim/population.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Well-known demo categories.
+namespace poi_category {
+inline constexpr Category kGasStation = 1;
+inline constexpr Category kRestaurant = 2;
+inline constexpr Category kAtm = 3;
+inline constexpr Category kHospital = 4;
+inline constexpr Category kCoffeeShop = 5;
+}  // namespace poi_category
+
+/// Generation parameters for one category.
+struct PoiOptions {
+  size_t count = 100;
+  Category category = poi_category::kGasStation;
+  std::string name_prefix = "poi";
+  PopulationModel model = PopulationModel::kUniform;
+  ObjectId first_id = 1'000'000;  ///< Kept clear of user-id ranges.
+};
+
+/// Generates `options.count` POIs inside `space`.
+Result<std::vector<PublicObject>> GeneratePois(const Rect& space,
+                                               const PoiOptions& options,
+                                               Rng* rng);
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SIM_POI_H_

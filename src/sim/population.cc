@@ -1,0 +1,99 @@
+#include "sim/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloakdb {
+
+Point SamplePoint(const Rect& space, Rng* rng) {
+  return {rng->Uniform(space.min_x, space.max_x),
+          rng->Uniform(space.min_y, space.max_y)};
+}
+
+namespace {
+
+Point ClampToSpace(const Rect& space, Point p) {
+  p.x = std::clamp(p.x, space.min_x, space.max_x);
+  p.y = std::clamp(p.y, space.min_y, space.max_y);
+  return p;
+}
+
+std::vector<PointEntry> GenerateUniform(const Rect& space,
+                                        const PopulationOptions& options,
+                                        Rng* rng) {
+  std::vector<PointEntry> out;
+  out.reserve(options.num_users);
+  for (size_t i = 0; i < options.num_users; ++i) {
+    out.push_back({options.first_id + i, SamplePoint(space, rng)});
+  }
+  return out;
+}
+
+std::vector<PointEntry> GenerateGaussianClusters(
+    const Rect& space, const PopulationOptions& options, Rng* rng) {
+  std::vector<Point> centers;
+  centers.reserve(options.num_clusters);
+  for (size_t c = 0; c < options.num_clusters; ++c) {
+    centers.push_back(SamplePoint(space, rng));
+  }
+  double stddev = options.cluster_stddev_fraction *
+                  std::min(space.Width(), space.Height());
+  ZipfSampler cluster_picker(options.num_clusters, 0.6);
+  std::vector<PointEntry> out;
+  out.reserve(options.num_users);
+  for (size_t i = 0; i < options.num_users; ++i) {
+    const Point& c = centers[cluster_picker.Sample(rng)];
+    Point p{rng->Gaussian(c.x, stddev), rng->Gaussian(c.y, stddev)};
+    out.push_back({options.first_id + i, ClampToSpace(space, p)});
+  }
+  return out;
+}
+
+std::vector<PointEntry> GenerateZipfGrid(const Rect& space,
+                                         const PopulationOptions& options,
+                                         Rng* rng) {
+  uint32_t n = std::max(1u, options.zipf_cells_per_side);
+  size_t num_cells = static_cast<size_t>(n) * n;
+  // Shuffle cell ranks so the hot cells are scattered, not clustered in a
+  // scan-order corner.
+  std::vector<size_t> cell_of_rank(num_cells);
+  for (size_t i = 0; i < num_cells; ++i) cell_of_rank[i] = i;
+  rng->Shuffle(&cell_of_rank);
+  ZipfSampler cell_picker(num_cells, options.zipf_theta);
+
+  double cw = space.Width() / n;
+  double ch = space.Height() / n;
+  std::vector<PointEntry> out;
+  out.reserve(options.num_users);
+  for (size_t i = 0; i < options.num_users; ++i) {
+    size_t cell = cell_of_rank[cell_picker.Sample(rng)];
+    auto cx = static_cast<uint32_t>(cell % n);
+    auto cy = static_cast<uint32_t>(cell / n);
+    Point p{rng->Uniform(space.min_x + cx * cw, space.min_x + (cx + 1) * cw),
+            rng->Uniform(space.min_y + cy * ch, space.min_y + (cy + 1) * ch)};
+    out.push_back({options.first_id + i, p});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<PointEntry>> GeneratePopulation(
+    const Rect& space, const PopulationOptions& options, Rng* rng) {
+  if (space.IsEmpty() || space.Area() <= 0.0)
+    return Status::InvalidArgument("population space must be non-empty");
+  if (options.model == PopulationModel::kGaussianClusters &&
+      options.num_clusters == 0)
+    return Status::InvalidArgument("cluster model needs >= 1 cluster");
+  switch (options.model) {
+    case PopulationModel::kUniform:
+      return GenerateUniform(space, options, rng);
+    case PopulationModel::kGaussianClusters:
+      return GenerateGaussianClusters(space, options, rng);
+    case PopulationModel::kZipfGrid:
+      return GenerateZipfGrid(space, options, rng);
+  }
+  return Status::InvalidArgument("unknown population model");
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,59 @@
+// Synthetic mobile-user population generators.
+//
+// Substitutes for the real GPS traces a deployed system would see. Density
+// skew is the behaviour-relevant property (the paper's A_min example needs
+// dense stadiums, the A_max example sparse rural areas), so three models
+// are provided: uniform, Gaussian city clusters, and Zipf-skewed grid
+// density.
+
+#ifndef CLOAKDB_SIM_POPULATION_H_
+#define CLOAKDB_SIM_POPULATION_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "index/grid_index.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Spatial distribution of generated locations.
+enum class PopulationModel {
+  kUniform,           ///< Uniform over the space.
+  kGaussianClusters,  ///< Dense Gaussian blobs around random city centers.
+  kZipfGrid,          ///< Per-cell density follows a Zipf law.
+};
+
+/// Generation parameters.
+struct PopulationOptions {
+  size_t num_users = 1000;
+  PopulationModel model = PopulationModel::kUniform;
+
+  /// kGaussianClusters: number of city centers and the blob spread as a
+  /// fraction of the space's shorter side. Cluster sizes are Zipf(0.6) so
+  /// a few "downtowns" dominate.
+  size_t num_clusters = 8;
+  double cluster_stddev_fraction = 0.03;
+
+  /// kZipfGrid: grid resolution and skew of the per-cell density.
+  uint32_t zipf_cells_per_side = 32;
+  double zipf_theta = 0.8;
+
+  /// First id assigned; users get consecutive ids.
+  ObjectId first_id = 1;
+};
+
+/// Generates `options.num_users` user locations inside `space`,
+/// deterministically from `rng`. Fails with InvalidArgument on an empty
+/// space or zero-user/zero-cluster configurations that cannot be met.
+Result<std::vector<PointEntry>> GeneratePopulation(
+    const Rect& space, const PopulationOptions& options, Rng* rng);
+
+/// Draws one location from the model (used for query focal points too).
+Point SamplePoint(const Rect& space, Rng* rng);
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SIM_POPULATION_H_

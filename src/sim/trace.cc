@@ -1,0 +1,67 @@
+#include "sim/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cloakdb {
+
+std::vector<TraceEvent> RecordTrace(RandomWaypointModel* model, size_t steps,
+                                    double dt) {
+  std::vector<TraceEvent> events;
+  events.reserve((steps + 1) * model->size());
+  double now = 0.0;
+  for (size_t step = 0; step <= steps; ++step) {
+    for (const auto& entry : model->Locations()) {
+      events.push_back({now, entry.id, entry.location});
+    }
+    if (step < steps) {
+      model->Step(dt);
+      now += dt;
+    }
+  }
+  return events;
+}
+
+Status WriteTraceCsv(const std::string& path,
+                     const std::vector<TraceEvent>& events) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status::InvalidArgument("cannot open trace file for writing: " +
+                                   path);
+  std::fprintf(f, "time,user,x,y\n");
+  for (const auto& e : events) {
+    std::fprintf(f, "%.9g,%" PRIu64 ",%.17g,%.17g\n", e.time, e.user,
+                 e.location.x, e.location.y);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr)
+    return Status::NotFound("cannot open trace file: " + path);
+  std::vector<TraceEvent> events;
+  char line[256];
+  bool first = true;
+  size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    if (first) {
+      first = false;
+      continue;  // header
+    }
+    TraceEvent e;
+    if (std::sscanf(line, "%lf,%" SCNu64 ",%lf,%lf", &e.time, &e.user,
+                    &e.location.x, &e.location.y) != 4) {
+      std::fclose(f);
+      return Status::InvalidArgument("malformed trace line " +
+                                     std::to_string(line_no));
+    }
+    events.push_back(e);
+  }
+  std::fclose(f);
+  return events;
+}
+
+}  // namespace cloakdb

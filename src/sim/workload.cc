@@ -1,0 +1,129 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "sim/population.h"
+
+namespace cloakdb {
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kPrivateRange:
+      return "private-range";
+    case QueryType::kPrivateNn:
+      return "private-nn";
+    case QueryType::kPrivateKnn:
+      return "private-knn";
+    case QueryType::kPublicCount:
+      return "public-count";
+    case QueryType::kPublicNn:
+      return "public-nn";
+  }
+  return "unknown";
+}
+
+WorkloadGenerator::WorkloadGenerator(const Rect& space,
+                                     std::vector<UserId> users,
+                                     const WorkloadOptions& options)
+    : space_(space), users_(std::move(users)), options_(options) {
+  double weights[5] = {options.mix.private_range, options.mix.private_nn,
+                       options.mix.private_knn, options.mix.public_count,
+                       options.mix.public_nn};
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double cum = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    cum += weights[i] / total;
+    cum_[i] = cum;
+  }
+  cum_[4] = 1.0;
+}
+
+Result<WorkloadGenerator> WorkloadGenerator::Create(
+    const Rect& space, std::vector<UserId> users,
+    const WorkloadOptions& options) {
+  const WorkloadMix& mix = options.mix;
+  double total = mix.private_range + mix.private_nn + mix.private_knn +
+                 mix.public_count + mix.public_nn;
+  if (!(total > 0.0))
+    return Status::InvalidArgument("workload mix has no positive weight");
+  if (mix.private_range < 0 || mix.private_nn < 0 || mix.private_knn < 0 ||
+      mix.public_count < 0 || mix.public_nn < 0)
+    return Status::InvalidArgument("workload mix weights must be >= 0");
+  if (options.min_knn == 0 || options.max_knn < options.min_knn)
+    return Status::InvalidArgument("invalid k-NN size interval");
+  bool needs_users = mix.private_range > 0.0 || mix.private_nn > 0.0 ||
+                     mix.private_knn > 0.0;
+  if (needs_users && users.empty())
+    return Status::InvalidArgument(
+        "private queries in the mix require issuer users");
+  bool needs_categories = needs_users;
+  if (needs_categories && options.categories.empty())
+    return Status::InvalidArgument(
+        "private queries in the mix require target categories");
+  if (options.min_radius_fraction <= 0.0 ||
+      options.max_radius_fraction < options.min_radius_fraction)
+    return Status::InvalidArgument("invalid radius fraction interval");
+  if (options.min_window_fraction <= 0.0 ||
+      options.max_window_fraction < options.min_window_fraction)
+    return Status::InvalidArgument("invalid window fraction interval");
+  if (space.IsEmpty() || space.Area() <= 0.0)
+    return Status::InvalidArgument("workload space must be non-empty");
+  return WorkloadGenerator(space, std::move(users), options);
+}
+
+QuerySpec WorkloadGenerator::Next(Rng* rng) {
+  QuerySpec spec;
+  double u = rng->NextDouble();
+  if (u < cum_[0]) {
+    spec.type = QueryType::kPrivateRange;
+  } else if (u < cum_[1]) {
+    spec.type = QueryType::kPrivateNn;
+  } else if (u < cum_[2]) {
+    spec.type = QueryType::kPrivateKnn;
+  } else if (u < cum_[3]) {
+    spec.type = QueryType::kPublicCount;
+  } else {
+    spec.type = QueryType::kPublicNn;
+  }
+
+  double short_side = std::min(space_.Width(), space_.Height());
+  switch (spec.type) {
+    case QueryType::kPrivateRange:
+      spec.radius = short_side * rng->Uniform(options_.min_radius_fraction,
+                                              options_.max_radius_fraction);
+      [[fallthrough]];
+    case QueryType::kPrivateNn:
+      spec.issuer = users_[rng->NextBelow(users_.size())];
+      spec.category =
+          options_.categories[rng->NextBelow(options_.categories.size())];
+      break;
+    case QueryType::kPrivateKnn:
+      spec.knn_k = options_.min_knn +
+                   rng->NextBelow(options_.max_knn - options_.min_knn + 1);
+      spec.issuer = users_[rng->NextBelow(users_.size())];
+      spec.category =
+          options_.categories[rng->NextBelow(options_.categories.size())];
+      break;
+    case QueryType::kPublicCount: {
+      double side = short_side * rng->Uniform(options_.min_window_fraction,
+                                              options_.max_window_fraction);
+      Point center = SamplePoint(space_, rng);
+      spec.window = Rect::CenteredSquare(center, side).Intersection(space_);
+      break;
+    }
+    case QueryType::kPublicNn:
+      spec.from = SamplePoint(space_, rng);
+      break;
+  }
+  return spec;
+}
+
+std::vector<QuerySpec> WorkloadGenerator::Batch(size_t n, Rng* rng) {
+  std::vector<QuerySpec> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next(rng));
+  return out;
+}
+
+}  // namespace cloakdb

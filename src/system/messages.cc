@@ -1,0 +1,66 @@
+#include "system/messages.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cloakdb {
+
+const char* ChannelName(Channel channel) {
+  switch (channel) {
+    case Channel::kUserToAnonymizer:
+      return "user->anonymizer";
+    case Channel::kAnonymizerToServer:
+      return "anonymizer->server";
+    case Channel::kServerToUser:
+      return "server->user";
+    case Channel::kThirdPartyToServer:
+      return "third-party->server";
+  }
+  return "unknown";
+}
+
+void MessageCounters::Record(Channel channel, size_t bytes) {
+  auto idx = static_cast<size_t>(channel);
+  ++messages_[idx];
+  bytes_[idx] += bytes + wire::kHeader;
+}
+
+uint64_t MessageCounters::MessageCount(Channel channel) const {
+  return messages_[static_cast<size_t>(channel)];
+}
+
+uint64_t MessageCounters::ByteCount(Channel channel) const {
+  return bytes_[static_cast<size_t>(channel)];
+}
+
+uint64_t MessageCounters::TotalMessages() const {
+  uint64_t total = 0;
+  for (auto m : messages_) total += m;
+  return total;
+}
+
+uint64_t MessageCounters::TotalBytes() const {
+  uint64_t total = 0;
+  for (auto b : bytes_) total += b;
+  return total;
+}
+
+void MessageCounters::Reset() {
+  for (auto& m : messages_) m = 0;
+  for (auto& b : bytes_) b = 0;
+}
+
+std::string MessageCounters::ToString() const {
+  std::string out;
+  char buf[128];
+  for (size_t i = 0; i < kNumChannels; ++i) {
+    std::snprintf(buf, sizeof(buf), "%-22s %10" PRIu64 " msgs %12" PRIu64
+                  " bytes\n",
+                  ChannelName(static_cast<Channel>(i)), messages_[i],
+                  bytes_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cloakdb

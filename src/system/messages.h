@@ -1,0 +1,81 @@
+// Message vocabulary of the three-entity architecture (paper Fig. 1) with
+// wire-size accounting.
+//
+// The entities run in-process, but every interaction is modeled as an
+// explicit message with a byte cost so experiments can report the
+// transmission side of the privacy/QoS trade-off (Section 6.2.1: candidate
+// lists trade bytes for privacy).
+
+#ifndef CLOAKDB_SYSTEM_MESSAGES_H_
+#define CLOAKDB_SYSTEM_MESSAGES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace cloakdb {
+
+/// Logical channels of Fig. 1.
+enum class Channel {
+  kUserToAnonymizer = 0,    ///< Exact locations and query intents.
+  kAnonymizerToServer = 1,  ///< Cloaked regions and anonymized queries.
+  kServerToUser = 2,        ///< Candidate lists / probabilistic answers.
+  kThirdPartyToServer = 3,  ///< Public queries from untrusted parties.
+};
+inline constexpr size_t kNumChannels = 4;
+
+const char* ChannelName(Channel channel);
+
+/// Modeled wire sizes (bytes) of the primitive fields.
+namespace wire {
+inline constexpr size_t kId = 8;
+inline constexpr size_t kPoint = 16;
+inline constexpr size_t kRect = 32;
+inline constexpr size_t kScalar = 8;
+inline constexpr size_t kHeader = 16;  ///< Per-message envelope.
+}  // namespace wire
+
+/// Per-channel traffic accumulator.
+class MessageCounters {
+ public:
+  /// Records one message of `bytes` payload (envelope added internally).
+  void Record(Channel channel, size_t bytes);
+
+  uint64_t MessageCount(Channel channel) const;
+  uint64_t ByteCount(Channel channel) const;
+  uint64_t TotalMessages() const;
+  uint64_t TotalBytes() const;
+  void Reset();
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+
+ private:
+  uint64_t messages_[kNumChannels] = {0, 0, 0, 0};
+  uint64_t bytes_[kNumChannels] = {0, 0, 0, 0};
+};
+
+/// Wire size of a location report (user -> anonymizer).
+constexpr size_t LocationReportBytes() {
+  return wire::kId + wire::kPoint + wire::kScalar;
+}
+
+/// Wire size of a cloaked update (anonymizer -> server).
+constexpr size_t CloakedUpdateBytes() { return wire::kId + wire::kRect; }
+
+/// Wire size of a private query forwarded to the server.
+constexpr size_t PrivateQueryBytes() {
+  return wire::kId + wire::kRect + wire::kScalar + wire::kScalar;
+}
+
+/// Wire size of a candidate list of `n` objects (server -> user).
+constexpr size_t CandidateListBytes(size_t n) {
+  return n * (wire::kId + wire::kPoint + wire::kScalar);
+}
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SYSTEM_MESSAGES_H_

@@ -1,0 +1,128 @@
+#include "system/mobile_client.h"
+
+namespace cloakdb {
+
+Result<MobileClient> MobileClient::Connect(UserId user, PrivacyProfile profile,
+                                           Anonymizer* anonymizer,
+                                           QueryProcessor* server,
+                                           MessageCounters* counters) {
+  CLOAKDB_RETURN_IF_ERROR(anonymizer->RegisterUser(user, std::move(profile)));
+  return MobileClient(user, anonymizer, server, counters);
+}
+
+Status MobileClient::ReportLocation(const Point& location, TimeOfDay now) {
+  counters_->Record(Channel::kUserToAnonymizer, LocationReportBytes());
+  auto update = anonymizer_->UpdateLocation(user_, location, now);
+  if (!update.ok()) return update.status();
+
+  if (update.value().retired_pseudonym != 0) {
+    // Pseudonym rotation: retire the stale server-side record.
+    counters_->Record(Channel::kAnonymizerToServer, wire::kId);
+    (void)server_->DropPseudonym(update.value().retired_pseudonym);
+  }
+  counters_->Record(Channel::kAnonymizerToServer, CloakedUpdateBytes());
+  CLOAKDB_RETURN_IF_ERROR(server_->ApplyCloakedUpdate(
+      update.value().pseudonym, update.value().cloaked.region));
+
+  last_location_ = location;
+  if (mode_ == UserMode::kPassive) mode_ = UserMode::kActive;
+  return Status::OK();
+}
+
+Result<ClientNnAnswer> MobileClient::FindNearest(Category category,
+                                                 TimeOfDay now) {
+  if (!last_location_.has_value())
+    return Status::FailedPrecondition(
+        "client must report a location before querying");
+  mode_ = UserMode::kQuery;
+
+  counters_->Record(Channel::kUserToAnonymizer, LocationReportBytes());
+  auto cloaked = anonymizer_->CloakForQuery(user_, now);
+  if (!cloaked.ok()) return cloaked.status();
+
+  counters_->Record(Channel::kAnonymizerToServer, PrivateQueryBytes());
+  auto result = server_->PrivateNn(cloaked.value().cloaked.region, category);
+  if (!result.ok()) return result.status();
+
+  counters_->Record(Channel::kServerToUser,
+                    CandidateListBytes(result.value().candidates.size()));
+  auto nearest =
+      RefineNnCandidates(result.value().candidates, *last_location_);
+  if (!nearest.ok()) return nearest.status();
+
+  ClientNnAnswer answer;
+  answer.nearest = std::move(nearest).value();
+  answer.candidates_received = result.value().candidates.size();
+  answer.cloaked_area = cloaked.value().cloaked.region.Area();
+  return answer;
+}
+
+Result<ClientRangeAnswer> MobileClient::FindKNearest(size_t k,
+                                                     Category category,
+                                                     TimeOfDay now) {
+  if (!last_location_.has_value())
+    return Status::FailedPrecondition(
+        "client must report a location before querying");
+  mode_ = UserMode::kQuery;
+
+  counters_->Record(Channel::kUserToAnonymizer, LocationReportBytes());
+  auto cloaked = anonymizer_->CloakForQuery(user_, now);
+  if (!cloaked.ok()) return cloaked.status();
+
+  counters_->Record(Channel::kAnonymizerToServer, PrivateQueryBytes());
+  auto result =
+      server_->PrivateKnn(cloaked.value().cloaked.region, k, category);
+  if (!result.ok()) return result.status();
+
+  counters_->Record(Channel::kServerToUser,
+                    CandidateListBytes(result.value().candidates.size()));
+
+  ClientRangeAnswer answer;
+  answer.objects =
+      RefineKnnCandidates(result.value().candidates, *last_location_, k);
+  answer.candidates_received = result.value().candidates.size();
+  answer.cloaked_area = cloaked.value().cloaked.region.Area();
+  return answer;
+}
+
+Result<ClientRangeAnswer> MobileClient::FindWithinRadius(double radius,
+                                                         Category category,
+                                                         TimeOfDay now) {
+  if (!last_location_.has_value())
+    return Status::FailedPrecondition(
+        "client must report a location before querying");
+  mode_ = UserMode::kQuery;
+
+  counters_->Record(Channel::kUserToAnonymizer, LocationReportBytes());
+  auto cloaked = anonymizer_->CloakForQuery(user_, now);
+  if (!cloaked.ok()) return cloaked.status();
+
+  counters_->Record(Channel::kAnonymizerToServer, PrivateQueryBytes());
+  auto result =
+      server_->PrivateRange(cloaked.value().cloaked.region, radius, category);
+  if (!result.ok()) return result.status();
+
+  counters_->Record(Channel::kServerToUser,
+                    CandidateListBytes(result.value().candidates.size()));
+
+  ClientRangeAnswer answer;
+  answer.objects = RefineRangeCandidates(result.value().candidates,
+                                         *last_location_, radius);
+  answer.candidates_received = result.value().candidates.size();
+  answer.cloaked_area = cloaked.value().cloaked.region.Area();
+  return answer;
+}
+
+Status MobileClient::Disconnect() {
+  auto pseudonym = anonymizer_->PseudonymOf(user_);
+  if (pseudonym.ok() && last_location_.has_value()) {
+    // Best effort: the server may never have seen this pseudonym.
+    (void)server_->DropPseudonym(pseudonym.value());
+  }
+  CLOAKDB_RETURN_IF_ERROR(anonymizer_->UnregisterUser(user_));
+  mode_ = UserMode::kPassive;
+  last_location_.reset();
+  return Status::OK();
+}
+
+}  // namespace cloakdb

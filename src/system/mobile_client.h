@@ -1,0 +1,102 @@
+// The mobile-user agent: reports locations through the anonymizer, issues
+// private queries, and refines candidate lists locally (paper Sections 4
+// and 6.2.1).
+//
+// The client is the only entity that ever holds its own exact location;
+// queries reach the server exclusively through the anonymizer.
+
+#ifndef CLOAKDB_SYSTEM_MOBILE_CLIENT_H_
+#define CLOAKDB_SYSTEM_MOBILE_CLIENT_H_
+
+#include <optional>
+
+#include "core/anonymizer.h"
+#include "server/query_processor.h"
+#include "system/messages.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// The user's mode of paper Section 4.
+enum class UserMode {
+  kPassive,  ///< Shares nothing.
+  kActive,   ///< Streams location updates.
+  kQuery,    ///< Additionally issues spatio-temporal queries.
+};
+
+/// Outcome of a client-side private NN query.
+struct ClientNnAnswer {
+  PublicObject nearest;          ///< Exact answer after local refinement.
+  size_t candidates_received = 0;
+  double cloaked_area = 0.0;     ///< Area of the region the server saw.
+};
+
+/// Outcome of a client-side private range query.
+struct ClientRangeAnswer {
+  std::vector<PublicObject> objects;  ///< Exact answer after refinement.
+  size_t candidates_received = 0;
+  double cloaked_area = 0.0;
+};
+
+/// A mobile user connected to the system.
+class MobileClient {
+ public:
+  /// Registers `user` with the anonymizer under `profile`. All referenced
+  /// components must outlive the client.
+  static Result<MobileClient> Connect(UserId user, PrivacyProfile profile,
+                                      Anonymizer* anonymizer,
+                                      QueryProcessor* server,
+                                      MessageCounters* counters);
+
+  /// Streams one exact location update (active mode): user -> anonymizer
+  /// -> server, with traffic accounting on both hops.
+  Status ReportLocation(const Point& location, TimeOfDay now);
+
+  /// Updates only the device's own GPS fix (used for local candidate
+  /// refinement) without any network traffic — the client-side half of a
+  /// report whose anonymizer/server hops were carried by a batch.
+  void ObserveLocation(const Point& location) {
+    last_location_ = location;
+    if (mode_ == UserMode::kPassive) mode_ = UserMode::kActive;
+  }
+
+  /// Private NN query (query mode): the anonymizer cloaks the current
+  /// location, the server builds a candidate list, the client refines it
+  /// against the true location. Requires a prior ReportLocation.
+  Result<ClientNnAnswer> FindNearest(Category category, TimeOfDay now);
+
+  /// Private k-NN query: the k nearest objects, exact after refinement.
+  Result<ClientRangeAnswer> FindKNearest(size_t k, Category category,
+                                         TimeOfDay now);
+
+  /// Private range query, same flow.
+  Result<ClientRangeAnswer> FindWithinRadius(double radius, Category category,
+                                             TimeOfDay now);
+
+  /// Disconnect: unregister from the anonymizer and drop the server-side
+  /// region.
+  Status Disconnect();
+
+  UserId user() const { return user_; }
+  UserMode mode() const { return mode_; }
+  const std::optional<Point>& last_location() const { return last_location_; }
+
+ private:
+  MobileClient(UserId user, Anonymizer* anonymizer, QueryProcessor* server,
+               MessageCounters* counters)
+      : user_(user),
+        anonymizer_(anonymizer),
+        server_(server),
+        counters_(counters) {}
+
+  UserId user_;
+  Anonymizer* anonymizer_;
+  QueryProcessor* server_;
+  MessageCounters* counters_;
+  UserMode mode_ = UserMode::kPassive;
+  std::optional<Point> last_location_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SYSTEM_MOBILE_CLIENT_H_

@@ -1,0 +1,228 @@
+#include "system/system.h"
+
+#include <algorithm>
+
+#include "geom/distance.h"
+
+namespace cloakdb {
+
+LbsSystem::LbsSystem(const LbsSystemOptions& options) : options_(options) {}
+
+Result<std::unique_ptr<LbsSystem>> LbsSystem::Create(
+    const LbsSystemOptions& options) {
+  if (options.num_users == 0)
+    return Status::InvalidArgument("system needs at least one user");
+  auto profile = PrivacyProfile::Uniform(options.requirement);
+  if (!profile.ok()) return profile.status();
+
+  std::unique_ptr<LbsSystem> system(new LbsSystem(options));
+  Rng rng(options.seed);
+
+  AnonymizerOptions anon_options = options.anonymizer;
+  anon_options.space = options.space;
+  auto anonymizer = Anonymizer::Create(anon_options);
+  if (!anonymizer.ok()) return anonymizer.status();
+  system->anonymizer_ = std::move(anonymizer).value();
+  system->server_ = std::make_unique<QueryProcessor>(options.space);
+
+  // Public data: one POI set per category.
+  for (Category cat : options.categories) {
+    PoiOptions poi;
+    poi.count = options.pois_per_category;
+    poi.category = cat;
+    poi.name_prefix = "poi" + std::to_string(cat);
+    poi.first_id = 1'000'000ULL + 1'000'000ULL * cat;
+    auto pois = GeneratePois(options.space, poi, &rng);
+    if (!pois.ok()) return pois.status();
+    CLOAKDB_RETURN_IF_ERROR(
+        system->server_->store().BulkLoadCategory(cat, std::move(pois).value()));
+  }
+
+  // Private data: generated users with movement and an initial report.
+  PopulationOptions pop;
+  pop.num_users = options.num_users;
+  pop.model = options.population_model;
+  auto users = GeneratePopulation(options.space, pop, &rng);
+  if (!users.ok()) return users.status();
+
+  RandomWaypointModel::Options move_options = options.movement;
+  move_options.seed = options.seed ^ 0x5a5a5a5aULL;
+  system->movement_ =
+      std::make_unique<RandomWaypointModel>(options.space, move_options);
+
+  system->clients_.reserve(options.num_users);
+  TimeOfDay start = TimeOfDay::FromHms(12, 0).value();
+  for (const auto& entry : users.value()) {
+    CLOAKDB_RETURN_IF_ERROR(
+        system->movement_->AddUser(entry.id, entry.location));
+    auto client = MobileClient::Connect(
+        entry.id, profile.value(), system->anonymizer_.get(),
+        system->server_.get(), &system->counters_);
+    if (!client.ok()) return client.status();
+    system->client_index_.emplace(entry.id, system->clients_.size());
+    system->clients_.push_back(std::move(client).value());
+    system->user_ids_.push_back(entry.id);
+    CLOAKDB_RETURN_IF_ERROR(
+        system->clients_.back().ReportLocation(entry.location, start));
+  }
+  return system;
+}
+
+Status LbsSystem::Tick(double dt, TimeOfDay now) {
+  movement_->Step(dt);
+  if (!options_.batch_updates) {
+    for (auto& client : clients_) {
+      auto loc = movement_->LocationOf(client.user());
+      if (!loc.ok()) return loc.status();
+      CLOAKDB_RETURN_IF_ERROR(client.ReportLocation(loc.value(), now));
+    }
+    return Status::OK();
+  }
+
+  // Batch path: one anonymizer call for the whole tick, sharing region
+  // computations across same-cell users (Section 5.3).
+  std::vector<std::pair<UserId, Point>> updates;
+  updates.reserve(clients_.size());
+  for (const auto& entry : movement_->Locations()) {
+    updates.push_back({entry.id, entry.location});
+    counters_.Record(Channel::kUserToAnonymizer, LocationReportBytes());
+    auto it = client_index_.find(entry.id);
+    if (it != client_index_.end()) {
+      clients_[it->second].ObserveLocation(entry.location);
+    }
+  }
+  auto results = anonymizer_->UpdateLocationsBatch(updates, now);
+  if (!results.ok()) return results.status();
+  for (const auto& update : results.value()) {
+    if (update.retired_pseudonym != 0) {
+      counters_.Record(Channel::kAnonymizerToServer, wire::kId);
+      (void)server_->DropPseudonym(update.retired_pseudonym);
+    }
+    counters_.Record(Channel::kAnonymizerToServer, CloakedUpdateBytes());
+    CLOAKDB_RETURN_IF_ERROR(server_->ApplyCloakedUpdate(
+        update.pseudonym, update.cloaked.region));
+  }
+  return Status::OK();
+}
+
+Result<Point> LbsSystem::TrueLocation(UserId user) const {
+  return movement_->LocationOf(user);
+}
+
+Status LbsSystem::RunPrivateNn(UserId user, Category category,
+                               TimeOfDay now) {
+  auto it = client_index_.find(user);
+  if (it == client_index_.end())
+    return Status::NotFound("unknown user in private NN query");
+  MobileClient& client = clients_[it->second];
+
+  auto answer = client.FindNearest(category, now);
+  if (!answer.ok()) return answer.status();
+
+  // Ground truth: the NN of the true location, computed directly.
+  auto true_loc = TrueLocation(user);
+  if (!true_loc.ok()) return true_loc.status();
+  auto index = server_->store().CategoryIndex(category);
+  if (!index.ok()) return index.status();
+  auto truth = index.value()->KNearest(true_loc.value(), 1);
+  if (truth.empty()) return Status::Internal("category unexpectedly empty");
+
+  ++metrics_.nn_queries;
+  metrics_.nn_candidates.Add(
+      static_cast<double>(answer.value().candidates_received));
+  // Compare by distance (not id) so equidistant ties count as exact.
+  double got = Distance(true_loc.value(), answer.value().nearest.location);
+  double want = Distance(true_loc.value(), truth.front().location);
+  if (got <= want + 1e-12) ++metrics_.nn_exact_matches;
+  return Status::OK();
+}
+
+Status LbsSystem::RunPrivateRange(UserId user, double radius,
+                                  Category category, TimeOfDay now) {
+  auto it = client_index_.find(user);
+  if (it == client_index_.end())
+    return Status::NotFound("unknown user in private range query");
+  MobileClient& client = clients_[it->second];
+
+  auto answer = client.FindWithinRadius(radius, category, now);
+  if (!answer.ok()) return answer.status();
+
+  auto true_loc = TrueLocation(user);
+  if (!true_loc.ok()) return true_loc.status();
+  auto index = server_->store().CategoryIndex(category);
+  if (!index.ok()) return index.status();
+  // Ground truth ids: exact circular range query around the true location.
+  auto box = Rect::CenteredSquare(true_loc.value(), 2.0 * radius);
+  std::vector<ObjectId> truth;
+  for (const auto& hit : index.value()->RangeSearch(box)) {
+    if (Distance(hit.location, true_loc.value()) <= radius)
+      truth.push_back(hit.id);
+  }
+  std::sort(truth.begin(), truth.end());
+
+  std::vector<ObjectId> got;
+  for (const auto& o : answer.value().objects) got.push_back(o.id);
+  std::sort(got.begin(), got.end());
+
+  ++metrics_.range_queries;
+  metrics_.range_candidates.Add(
+      static_cast<double>(answer.value().candidates_received));
+  if (got == truth) ++metrics_.range_exact_matches;
+  return Status::OK();
+}
+
+Status LbsSystem::RunPrivateKnn(UserId user, size_t k, Category category,
+                                TimeOfDay now) {
+  auto it = client_index_.find(user);
+  if (it == client_index_.end())
+    return Status::NotFound("unknown user in private k-NN query");
+  MobileClient& client = clients_[it->second];
+
+  auto answer = client.FindKNearest(k, category, now);
+  if (!answer.ok()) return answer.status();
+
+  auto true_loc = TrueLocation(user);
+  if (!true_loc.ok()) return true_loc.status();
+  auto index = server_->store().CategoryIndex(category);
+  if (!index.ok()) return index.status();
+  auto truth = index.value()->KNearest(true_loc.value(), k);
+
+  ++metrics_.nn_queries;
+  metrics_.nn_candidates.Add(
+      static_cast<double>(answer.value().candidates_received));
+  bool exact = answer.value().objects.size() == truth.size();
+  if (exact) {
+    for (size_t i = 0; i < truth.size(); ++i) {
+      double got =
+          Distance(true_loc.value(), answer.value().objects[i].location);
+      double want = Distance(true_loc.value(), truth[i].location);
+      if (got > want + 1e-12) exact = false;
+    }
+  }
+  if (exact) ++metrics_.nn_exact_matches;
+  return Status::OK();
+}
+
+Status LbsSystem::RunQuery(const QuerySpec& spec, TimeOfDay now) {
+  switch (spec.type) {
+    case QueryType::kPrivateRange:
+      return RunPrivateRange(spec.issuer, spec.radius, spec.category, now);
+    case QueryType::kPrivateNn:
+      return RunPrivateNn(spec.issuer, spec.category, now);
+    case QueryType::kPrivateKnn:
+      return RunPrivateKnn(spec.issuer, spec.knn_k, spec.category, now);
+    case QueryType::kPublicCount: {
+      counters_.Record(Channel::kThirdPartyToServer, wire::kRect);
+      auto result = server_->PublicCount(spec.window);
+      return result.ok() ? Status::OK() : result.status();
+    }
+    case QueryType::kPublicNn: {
+      counters_.Record(Channel::kThirdPartyToServer, wire::kPoint);
+      auto result = server_->PublicNn(spec.from);
+      return result.ok() ? Status::OK() : result.status();
+    }
+  }
+  return Status::InvalidArgument("unknown query type");
+}
+
+}  // namespace cloakdb

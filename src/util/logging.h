@@ -1,0 +1,50 @@
+// Minimal leveled logger. Defaults to warnings-and-up on stderr so library
+// use is quiet; examples raise the level for narrative output.
+
+#ifndef CLOAKDB_UTIL_LOGGING_H_
+#define CLOAKDB_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cloakdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// The current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits one line ("[LEVEL] message") to stderr if `level` is enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector used by the CLOAKDB_LOG macro; emits on
+/// destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cloakdb
+
+/// Usage: CLOAKDB_LOG(kInfo) << "cloaked " << n << " users";
+#define CLOAKDB_LOG(level) \
+  ::cloakdb::internal::LogLine(::cloakdb::LogLevel::level)
+
+#endif  // CLOAKDB_UTIL_LOGGING_H_

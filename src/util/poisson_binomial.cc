@@ -1,0 +1,56 @@
+#include "util/poisson_binomial.h"
+
+#include <algorithm>
+
+namespace cloakdb {
+
+Result<std::vector<double>> PoissonBinomialPmf(const std::vector<double>& ps) {
+  for (double p : ps) {
+    if (p < 0.0 || p > 1.0)
+      return Status::InvalidArgument(
+          "Poisson-binomial probability outside [0, 1]");
+  }
+  std::vector<double> pmf(ps.size() + 1, 0.0);
+  pmf[0] = 1.0;
+  size_t upper = 0;  // highest index that can be non-zero so far
+  for (double p : ps) {
+    ++upper;
+    // Walk downward so each trial is folded in exactly once.
+    for (size_t j = upper; j > 0; --j) {
+      pmf[j] = pmf[j] * (1.0 - p) + pmf[j - 1] * p;
+    }
+    pmf[0] *= (1.0 - p);
+  }
+  return pmf;
+}
+
+int CountAnswer::MostLikely() const {
+  if (pmf.empty()) return 0;
+  auto it = std::max_element(pmf.begin(), pmf.end());
+  return static_cast<int>(it - pmf.begin());
+}
+
+Result<CountAnswer> MakeCountAnswer(const std::vector<double>& ps,
+                                    double certainty_eps) {
+  std::vector<double> snapped;
+  snapped.reserve(ps.size());
+  CountAnswer ans;
+  for (double p : ps) {
+    if (p < -certainty_eps || p > 1.0 + certainty_eps)
+      return Status::InvalidArgument("count probability outside [0, 1]");
+    double q = std::clamp(p, 0.0, 1.0);
+    if (q <= certainty_eps) q = 0.0;
+    if (q >= 1.0 - certainty_eps) q = 1.0;
+    snapped.push_back(q);
+    ans.expected += q;
+    ans.variance += q * (1.0 - q);
+    if (q == 1.0) ++ans.min_count;
+    if (q > 0.0) ++ans.max_count;
+  }
+  auto pmf = PoissonBinomialPmf(snapped);
+  if (!pmf.ok()) return pmf.status();
+  ans.pmf = std::move(pmf).value();
+  return ans;
+}
+
+}  // namespace cloakdb

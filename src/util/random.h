@@ -1,0 +1,92 @@
+// Deterministic, seedable random-number generation and the distributions the
+// workload generators need (uniform, normal, exponential, Zipf).
+//
+// All randomized components in CloakDB take an explicit Rng (or a seed) so
+// every experiment is reproducible bit-for-bit from its seed.
+
+#ifndef CLOAKDB_UTIL_RANDOM_H_
+#define CLOAKDB_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cloakdb {
+
+/// xoshiro256++ pseudo-random generator.
+///
+/// Fast, high-quality, and fully deterministic from its 64-bit seed (seeded
+/// via SplitMix64 as the algorithm's authors recommend). Not cryptographic.
+class Rng {
+ public:
+  /// Creates a generator whose whole stream is determined by `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (mean 0, stddev 1).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with the given rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed integer sampler over {0, 1, ..., n-1}.
+///
+/// P(i) proportional to 1 / (i+1)^theta. theta = 0 degenerates to uniform;
+/// larger theta concentrates mass on low ranks. Sampling is O(log n) via a
+/// precomputed CDF, so constructing one sampler and reusing it is cheap.
+class ZipfSampler {
+ public:
+  /// Builds the CDF for `n` ranks with skew `theta` (>= 0). Requires n > 0.
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  std::vector<double> cdf_;
+  double theta_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_UTIL_RANDOM_H_

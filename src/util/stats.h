@@ -1,0 +1,85 @@
+// Streaming statistics and fixed-bucket histograms used by benchmarks and by
+// the anonymizer/server self-instrumentation.
+
+#ifndef CLOAKDB_UTIL_STATS_H_
+#define CLOAKDB_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cloakdb {
+
+/// Welford-style streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  /// Folds one observation in.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-safe reduction).
+  void Merge(const RunningStats& other);
+
+  /// Clears all state.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance; 0 with fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// "n=.. mean=.. sd=.. min=.. max=..".
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over a fixed linear range with out-of-range under/overflow
+/// buckets; supports quantile estimation by linear interpolation within the
+/// owning bucket.
+class Histogram {
+ public:
+  /// Buckets [lo, hi) split into `num_buckets` equal cells. Requires
+  /// lo < hi and num_buckets > 0.
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double x);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+
+  /// Estimated q-quantile (q in [0,1]); 0 when empty. Underflow clamps to
+  /// lo, overflow to hi.
+  double Quantile(double q) const;
+
+  double Median() const { return Quantile(0.5); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  /// Per-bucket counts (excludes under/overflow).
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_UTIL_STATS_H_

@@ -1,0 +1,144 @@
+// Status and Result<T>: the error model used across CloakDB.
+//
+// Fallible operations return Status (no payload) or Result<T> (payload or
+// error). Exceptions are not used on any library path; this mirrors the
+// Status-based style of production database codebases.
+
+#ifndef CLOAKDB_UTIL_STATUS_H_
+#define CLOAKDB_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cloakdb {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a value that violates a precondition.
+  kNotFound,          ///< The requested entity does not exist.
+  kAlreadyExists,     ///< An entity with the same key is already registered.
+  kOutOfRange,        ///< A coordinate or index is outside the managed space.
+  kFailedPrecondition,///< The object is not in a state that allows the call.
+  kUnsatisfiable,     ///< A best-effort request could not be satisfied at all.
+  kInternal,          ///< An invariant was violated inside the library.
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail but produces no value.
+///
+/// A Status is cheap to copy in the OK case (no allocation). Errors carry a
+/// code and a message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk when ok()).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty when ok()).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// The result of an operation that produces a T on success.
+///
+/// Exactly one of value / status-error is held. Accessing value() on an
+/// error result is a programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The carried status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is set.
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define CLOAKDB_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::cloakdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_UTIL_STATUS_H_

@@ -1,0 +1,66 @@
+#include "util/time_of_day.h"
+
+#include <cstdio>
+
+namespace cloakdb {
+
+TimeOfDay TimeOfDay::FromSeconds(int64_t seconds) {
+  int64_t s = seconds % kSecondsPerDay;
+  if (s < 0) s += kSecondsPerDay;
+  return TimeOfDay(static_cast<int32_t>(s));
+}
+
+Result<TimeOfDay> TimeOfDay::FromHms(int hour, int minute, int second) {
+  if (hour < 0 || hour > 23)
+    return Status::InvalidArgument("hour must be in [0, 23]");
+  if (minute < 0 || minute > 59)
+    return Status::InvalidArgument("minute must be in [0, 59]");
+  if (second < 0 || second > 59)
+    return Status::InvalidArgument("second must be in [0, 59]");
+  return TimeOfDay(hour * 3600 + minute * 60 + second);
+}
+
+Result<TimeOfDay> TimeOfDay::Parse(const std::string& text) {
+  int h = 0, m = 0, s = 0;
+  int fields = std::sscanf(text.c_str(), "%d:%d:%d", &h, &m, &s);
+  if (fields < 2)
+    return Status::InvalidArgument("expected HH:MM or HH:MM:SS, got '" +
+                                   text + "'");
+  return FromHms(h, m, fields >= 3 ? s : 0);
+}
+
+TimeOfDay TimeOfDay::Plus(int64_t delta_seconds) const {
+  return FromSeconds(static_cast<int64_t>(seconds_) + delta_seconds);
+}
+
+std::string TimeOfDay::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", hour(), minute(),
+                second());
+  return buf;
+}
+
+bool DailyInterval::Contains(TimeOfDay t) const {
+  if (start_ == end_) return true;  // full day
+  if (WrapsMidnight()) return !(t < start_) || t < end_;
+  return !(t < start_) && t < end_;
+}
+
+int32_t DailyInterval::DurationSeconds() const {
+  if (start_ == end_) return TimeOfDay::kSecondsPerDay;
+  int32_t d = end_.seconds() - start_.seconds();
+  if (d < 0) d += TimeOfDay::kSecondsPerDay;
+  return d;
+}
+
+bool DailyInterval::Overlaps(const DailyInterval& other) const {
+  // Sample-free check: intervals overlap iff either contains the other's
+  // start (half-open semantics make this exact, including wraps).
+  return Contains(other.start()) || other.Contains(start());
+}
+
+std::string DailyInterval::ToString() const {
+  return "[" + start_.ToString() + ", " + end_.ToString() + ")";
+}
+
+}  // namespace cloakdb

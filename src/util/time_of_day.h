@@ -1,0 +1,93 @@
+// Time-of-day values and (possibly midnight-wrapping) daily intervals.
+//
+// Privacy profiles (paper Fig. 2) attach constraints to time-of-day
+// intervals such as "10:00 PM - 8:00 AM", which wraps past midnight; this
+// module models that wrap-around correctly.
+
+#ifndef CLOAKDB_UTIL_TIME_OF_DAY_H_
+#define CLOAKDB_UTIL_TIME_OF_DAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// A time of day with second resolution, in [0, 86400).
+class TimeOfDay {
+ public:
+  static constexpr int32_t kSecondsPerDay = 24 * 60 * 60;
+
+  /// Midnight (00:00:00).
+  TimeOfDay() : seconds_(0) {}
+
+  /// From a raw seconds-since-midnight count; values are wrapped mod 24h
+  /// (negative values wrap backwards from midnight).
+  static TimeOfDay FromSeconds(int64_t seconds);
+
+  /// From an hour/minute/second triple. Fails on out-of-range fields.
+  static Result<TimeOfDay> FromHms(int hour, int minute, int second = 0);
+
+  /// Parses "HH:MM" or "HH:MM:SS" (24-hour clock).
+  static Result<TimeOfDay> Parse(const std::string& text);
+
+  /// Seconds since midnight, in [0, 86400).
+  int32_t seconds() const { return seconds_; }
+
+  int hour() const { return seconds_ / 3600; }
+  int minute() const { return (seconds_ % 3600) / 60; }
+  int second() const { return seconds_ % 60; }
+
+  /// This time advanced by `delta_seconds`, wrapping around midnight.
+  TimeOfDay Plus(int64_t delta_seconds) const;
+
+  /// "HH:MM:SS".
+  std::string ToString() const;
+
+  bool operator==(const TimeOfDay& o) const { return seconds_ == o.seconds_; }
+  bool operator!=(const TimeOfDay& o) const { return seconds_ != o.seconds_; }
+  bool operator<(const TimeOfDay& o) const { return seconds_ < o.seconds_; }
+
+ private:
+  explicit TimeOfDay(int32_t seconds) : seconds_(seconds) {}
+  int32_t seconds_;
+};
+
+/// A half-open daily interval [start, end) that may wrap past midnight.
+///
+/// start == end denotes the full day (matching the natural reading of a
+/// profile entry that covers all times).
+class DailyInterval {
+ public:
+  /// Full-day interval.
+  DailyInterval() = default;
+
+  DailyInterval(TimeOfDay start, TimeOfDay end) : start_(start), end_(end) {}
+
+  TimeOfDay start() const { return start_; }
+  TimeOfDay end() const { return end_; }
+
+  /// True iff `t` falls inside the interval, honoring midnight wrap.
+  bool Contains(TimeOfDay t) const;
+
+  /// True iff the interval crosses midnight (end before start).
+  bool WrapsMidnight() const { return end_ < start_; }
+
+  /// Interval length in seconds (86400 for the full day).
+  int32_t DurationSeconds() const;
+
+  /// True iff this interval and `other` share any instant.
+  bool Overlaps(const DailyInterval& other) const;
+
+  /// "[HH:MM:SS, HH:MM:SS)".
+  std::string ToString() const;
+
+ private:
+  TimeOfDay start_;
+  TimeOfDay end_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_UTIL_TIME_OF_DAY_H_

@@ -1,0 +1,345 @@
+#include "core/anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TimeOfDay Noon() { return TimeOfDay::FromHms(12, 0).value(); }
+
+AnonymizerOptions DefaultOptions() {
+  AnonymizerOptions options;
+  options.space = Rect(0, 0, 100, 100);
+  return options;
+}
+
+std::unique_ptr<Anonymizer> MakeAnonymizer(
+    AnonymizerOptions options = DefaultOptions()) {
+  auto a = Anonymizer::Create(options);
+  EXPECT_TRUE(a.ok());
+  return std::move(a).value();
+}
+
+PrivacyProfile KProfile(uint32_t k) {
+  return PrivacyProfile::Uniform({k, 0.0, kInf}).value();
+}
+
+void Populate(Anonymizer* a, size_t n, uint32_t k, uint64_t seed = 7) {
+  Rng rng(seed);
+  for (ObjectId id = 1; id <= n; ++id) {
+    ASSERT_TRUE(a->RegisterUser(id, KProfile(k)).ok());
+    auto u = a->UpdateLocation(id, {rng.Uniform(0, 100), rng.Uniform(0, 100)},
+                               Noon());
+    ASSERT_TRUE(u.ok()) << u.status().ToString();
+  }
+}
+
+TEST(AnonymizerTest, CreateRejectsEmptySpace) {
+  AnonymizerOptions options;
+  options.space = Rect();
+  EXPECT_FALSE(Anonymizer::Create(options).ok());
+}
+
+TEST(AnonymizerTest, RegistrationLifecycle) {
+  auto a = MakeAnonymizer();
+  EXPECT_TRUE(a->RegisterUser(1, KProfile(5)).ok());
+  EXPECT_EQ(a->RegisterUser(1, KProfile(5)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(a->num_users(), 1u);
+  EXPECT_TRUE(a->UnregisterUser(1).ok());
+  EXPECT_EQ(a->UnregisterUser(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(a->num_users(), 0u);
+}
+
+TEST(AnonymizerTest, PseudonymsAreStableAndUnique) {
+  auto a = MakeAnonymizer();
+  std::set<ObjectId> pseudonyms;
+  for (ObjectId id = 1; id <= 100; ++id) {
+    ASSERT_TRUE(a->RegisterUser(id, KProfile(1)).ok());
+    auto p = a->PseudonymOf(id);
+    ASSERT_TRUE(p.ok());
+    EXPECT_NE(p.value(), id) << "pseudonym must not expose the user id";
+    pseudonyms.insert(p.value());
+  }
+  EXPECT_EQ(pseudonyms.size(), 100u);
+  // Stable across calls.
+  EXPECT_EQ(a->PseudonymOf(50).value(), a->PseudonymOf(50).value());
+  EXPECT_EQ(a->PseudonymOf(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(AnonymizerTest, PseudonymsDeterministicFromSeed) {
+  auto opts = DefaultOptions();
+  opts.pseudonym_seed = 12345;
+  auto a = MakeAnonymizer(opts);
+  auto b = MakeAnonymizer(opts);
+  ASSERT_TRUE(a->RegisterUser(1, KProfile(1)).ok());
+  ASSERT_TRUE(b->RegisterUser(1, KProfile(1)).ok());
+  EXPECT_EQ(a->PseudonymOf(1).value(), b->PseudonymOf(1).value());
+}
+
+TEST(AnonymizerTest, UpdateLocationReturnsSatisfyingRegion) {
+  auto a = MakeAnonymizer();
+  Populate(a.get(), 200, 10);
+  auto u = a->UpdateLocation(1, {50, 50}, Noon());
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(u.value().cloaked.region.Contains(Point{50, 50}));
+  EXPECT_TRUE(u.value().cloaked.k_satisfied);
+  EXPECT_GE(u.value().cloaked.achieved_k, 10u);
+}
+
+TEST(AnonymizerTest, UpdateErrors) {
+  auto a = MakeAnonymizer();
+  EXPECT_EQ(a->UpdateLocation(1, {1, 1}, Noon()).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(a->RegisterUser(1, KProfile(1)).ok());
+  EXPECT_EQ(a->UpdateLocation(1, {500, 1}, Noon()).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(AnonymizerTest, CloakForQueryNeedsLocation) {
+  auto a = MakeAnonymizer();
+  ASSERT_TRUE(a->RegisterUser(1, KProfile(1)).ok());
+  EXPECT_EQ(a->CloakForQuery(1, Noon()).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(a->UpdateLocation(1, {5, 5}, Noon()).ok());
+  auto q = a->CloakForQuery(1, Noon());
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().cloaked.region.Contains(Point{5, 5}));
+}
+
+TEST(AnonymizerTest, IncrementalReusesRegionForSmallMoves) {
+  auto opts = DefaultOptions();
+  opts.algorithm = CloakingKind::kGrid;
+  auto a = MakeAnonymizer(opts);
+  Populate(a.get(), 300, 10);
+  // First update computed the region; a tiny move that stays inside it
+  // should be served from cache.
+  auto first = a->UpdateLocation(1, {50.0, 50.0}, Noon());
+  ASSERT_TRUE(first.ok());
+  Rect region = first.value().cloaked.region;
+  Point inside = region.Center();
+  auto second = a->UpdateLocation(1, inside, Noon());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().reused_previous);
+  EXPECT_EQ(second.value().cloaked.region, region);
+  EXPECT_GT(a->stats().incremental_reuses, 0u);
+}
+
+TEST(AnonymizerTest, IncrementalRecomputesWhenLeavingRegion) {
+  auto opts = DefaultOptions();
+  opts.algorithm = CloakingKind::kGrid;
+  auto a = MakeAnonymizer(opts);
+  Populate(a.get(), 300, 10);
+  auto first = a->UpdateLocation(1, {10.0, 10.0}, Noon());
+  ASSERT_TRUE(first.ok());
+  auto second = a->UpdateLocation(1, {90.0, 90.0}, Noon());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().reused_previous);
+  EXPECT_TRUE(second.value().cloaked.region.Contains(Point{90, 90}));
+}
+
+TEST(AnonymizerTest, IncrementalDisabledAlwaysRecomputes) {
+  auto opts = DefaultOptions();
+  opts.enable_incremental = false;
+  auto a = MakeAnonymizer(opts);
+  Populate(a.get(), 100, 5);
+  auto first = a->UpdateLocation(1, {50, 50}, Noon());
+  ASSERT_TRUE(first.ok());
+  auto second =
+      a->UpdateLocation(1, first.value().cloaked.region.Center(), Noon());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().reused_previous);
+  EXPECT_EQ(a->stats().incremental_reuses, 0u);
+}
+
+TEST(AnonymizerTest, ProfileChangeInvalidatesCache) {
+  auto a = MakeAnonymizer();
+  Populate(a.get(), 200, 5);
+  auto first = a->UpdateLocation(1, {50, 50}, Noon());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(a->UpdateProfile(1, KProfile(50)).ok());
+  auto second =
+      a->UpdateLocation(1, first.value().cloaked.region.Center(), Noon());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().reused_previous);
+  EXPECT_GE(second.value().cloaked.achieved_k, 50u);
+}
+
+TEST(AnonymizerTest, TemporalProfileSwitchesRequirement) {
+  auto a = MakeAnonymizer();
+  // Everyone else public so user 1's profile drives the region.
+  Rng rng(3);
+  for (ObjectId id = 2; id <= 300; ++id) {
+    ASSERT_TRUE(a->RegisterUser(id, KProfile(1)).ok());
+    ASSERT_TRUE(a->UpdateLocation(id, {rng.Uniform(0, 100),
+                                       rng.Uniform(0, 100)},
+                                  Noon())
+                    .ok());
+  }
+  ASSERT_TRUE(a->RegisterUser(1, PrivacyProfile::PaperExample()).ok());
+  // Daytime: k = 1, degenerate region allowed.
+  auto day = a->UpdateLocation(1, {50, 50}, Noon());
+  ASSERT_TRUE(day.ok());
+  EXPECT_EQ(day.value().cloaked.requirement.k, 1u);
+  // Evening (6 PM): k = 100, Amin = 1.
+  auto evening =
+      a->UpdateLocation(1, {50, 50}, TimeOfDay::FromHms(18, 0).value());
+  ASSERT_TRUE(evening.ok());
+  EXPECT_EQ(evening.value().cloaked.requirement.k, 100u);
+  EXPECT_GE(evening.value().cloaked.achieved_k, 100u);
+  EXPECT_GE(evening.value().cloaked.region.Area(), 1.0 - 1e-9);
+  // Night (2 AM): k = 1000 (> population) -> best effort, unsatisfied.
+  auto night =
+      a->UpdateLocation(1, {50, 50}, TimeOfDay::FromHms(2, 0).value());
+  ASSERT_TRUE(night.ok());
+  EXPECT_EQ(night.value().cloaked.requirement.k, 1000u);
+  EXPECT_FALSE(night.value().cloaked.k_satisfied);
+  EXPECT_GT(a->stats().unsatisfied, 0u);
+}
+
+TEST(AnonymizerTest, BatchMatchesOrderAndCoversUsers) {
+  auto a = MakeAnonymizer();
+  Rng rng(9);
+  std::vector<std::pair<UserId, Point>> updates;
+  for (ObjectId id = 1; id <= 100; ++id) {
+    ASSERT_TRUE(a->RegisterUser(id, KProfile(5)).ok());
+    updates.push_back({id, {rng.Uniform(0, 100), rng.Uniform(0, 100)}});
+  }
+  auto results = a->UpdateLocationsBatch(updates, Noon());
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results.value().size(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(
+        results.value()[i].cloaked.region.Contains(updates[i].second))
+        << "user " << updates[i].first;
+    EXPECT_EQ(results.value()[i].pseudonym,
+              a->PseudonymOf(updates[i].first).value());
+  }
+}
+
+TEST(AnonymizerTest, SharedExecutionReusesGroupRegions) {
+  auto opts = DefaultOptions();
+  opts.algorithm = CloakingKind::kGrid;
+  opts.enable_incremental = false;  // isolate the sharing effect
+  auto a = MakeAnonymizer(opts);
+  Rng rng(10);
+  std::vector<std::pair<UserId, Point>> updates;
+  // Many users in a small patch: they share grid cells.
+  for (ObjectId id = 1; id <= 200; ++id) {
+    ASSERT_TRUE(a->RegisterUser(id, KProfile(5)).ok());
+    updates.push_back({id, {rng.Uniform(40, 44), rng.Uniform(40, 44)}});
+  }
+  auto results = a->UpdateLocationsBatch(updates, Noon());
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(a->stats().shared_reuses, 0u);
+  EXPECT_LT(a->stats().cloaks_computed, 200u);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_TRUE(results.value()[i].cloaked.region.Contains(updates[i].second));
+  }
+}
+
+TEST(AnonymizerTest, SharedExecutionDisabledComputesPerUser) {
+  auto opts = DefaultOptions();
+  opts.algorithm = CloakingKind::kGrid;
+  opts.enable_incremental = false;
+  opts.enable_shared_execution = false;
+  auto a = MakeAnonymizer(opts);
+  Rng rng(10);
+  std::vector<std::pair<UserId, Point>> updates;
+  for (ObjectId id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(a->RegisterUser(id, KProfile(5)).ok());
+    updates.push_back({id, {rng.Uniform(40, 44), rng.Uniform(40, 44)}});
+  }
+  auto results = a->UpdateLocationsBatch(updates, Noon());
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(a->stats().shared_reuses, 0u);
+  EXPECT_EQ(a->stats().cloaks_computed, 50u);
+}
+
+TEST(AnonymizerTest, BatchFailsAtomicallyOnUnknownUser) {
+  auto a = MakeAnonymizer();
+  ASSERT_TRUE(a->RegisterUser(1, KProfile(1)).ok());
+  std::vector<std::pair<UserId, Point>> updates{{1, {1, 1}}, {99, {2, 2}}};
+  EXPECT_EQ(a->UpdateLocationsBatch(updates, Noon()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AnonymizerTest, UnregisterRemovesFromSnapshot) {
+  auto a = MakeAnonymizer();
+  Populate(a.get(), 10, 1);
+  EXPECT_EQ(a->snapshot().size(), 10u);
+  ASSERT_TRUE(a->UnregisterUser(3).ok());
+  EXPECT_EQ(a->snapshot().size(), 9u);
+  EXPECT_FALSE(a->snapshot().Contains(3));
+}
+
+TEST(AnonymizerTest, CloakForQueryHitsTheCache) {
+  auto a = MakeAnonymizer();
+  Populate(a.get(), 300, 10);
+  // Refresh user 1 so its cached region is fully satisfied.
+  ASSERT_TRUE(a->UpdateLocation(1, {50, 50}, Noon()).ok());
+  a->ResetStats();
+  auto q1 = a->CloakForQuery(1, Noon());
+  ASSERT_TRUE(q1.ok());
+  EXPECT_TRUE(q1.value().reused_previous);
+  EXPECT_EQ(a->stats().incremental_reuses, 1u);
+  EXPECT_EQ(a->stats().cloaks_computed, 0u);
+}
+
+TEST(AnonymizerTest, StatsAccumulateAndReset) {
+  auto a = MakeAnonymizer();
+  Populate(a.get(), 50, 5);
+  EXPECT_EQ(a->stats().updates, 50u);
+  a->ResetStats();
+  EXPECT_EQ(a->stats().updates, 0u);
+}
+
+TEST(AnonymizerTest, PseudonymRotationPeriodHonored) {
+  auto opts = DefaultOptions();
+  opts.pseudonym_rotation_period = 3;
+  auto a = MakeAnonymizer(opts);
+  ASSERT_TRUE(a->RegisterUser(1, KProfile(1)).ok());
+  std::set<ObjectId> seen;
+  ObjectId current = a->PseudonymOf(1).value();
+  seen.insert(current);
+  for (int update = 1; update <= 9; ++update) {
+    auto u = a->UpdateLocation(1, {50.0 + update * 0.01, 50.0}, Noon());
+    ASSERT_TRUE(u.ok());
+    if (update % 3 == 0) {
+      EXPECT_EQ(u.value().retired_pseudonym, current)
+          << "update " << update;
+      EXPECT_NE(u.value().pseudonym, current);
+      current = u.value().pseudonym;
+      EXPECT_TRUE(seen.insert(current).second) << "pseudonym reused";
+    } else {
+      EXPECT_EQ(u.value().retired_pseudonym, 0u) << "update " << update;
+      EXPECT_EQ(u.value().pseudonym, current);
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u);  // initial + 3 rotations
+}
+
+TEST(AnonymizerTest, AllAlgorithmsWorkThroughTheAnonymizer) {
+  for (CloakingKind kind :
+       {CloakingKind::kNaive, CloakingKind::kMbr, CloakingKind::kQuadtree,
+        CloakingKind::kGrid, CloakingKind::kMultiLevelGrid}) {
+    auto opts = DefaultOptions();
+    opts.algorithm = kind;
+    auto a = MakeAnonymizer(opts);
+    Populate(a.get(), 100, 8);
+    auto u = a->UpdateLocation(1, {33, 66}, Noon());
+    ASSERT_TRUE(u.ok()) << CloakingKindName(kind);
+    EXPECT_TRUE(u.value().cloaked.region.Contains(Point{33, 66}))
+        << CloakingKindName(kind);
+    EXPECT_TRUE(u.value().cloaked.k_satisfied) << CloakingKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace cloakdb

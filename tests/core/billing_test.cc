@@ -1,0 +1,97 @@
+#include "core/billing.h"
+
+#include <gtest/gtest.h>
+
+namespace cloakdb {
+namespace {
+
+const Rect kSpace(0, 0, 100, 100);
+
+CloakedUpdate MakeUpdate(uint32_t achieved_k, double area,
+                         bool satisfied = true) {
+  CloakedUpdate update;
+  update.pseudonym = 1;
+  update.cloaked.region = Rect(0, 0, std::sqrt(area), std::sqrt(area));
+  update.cloaked.achieved_k = achieved_k;
+  update.cloaked.requirement = {achieved_k, 0.0,
+                                std::numeric_limits<double>::infinity()};
+  update.cloaked.k_satisfied = satisfied;
+  update.cloaked.min_area_satisfied = true;
+  update.cloaked.max_area_satisfied = true;
+  return update;
+}
+
+TEST(BillingTest, PriceValidation) {
+  BillingTariff tariff;
+  EXPECT_FALSE(PriceOf(MakeUpdate(1, 1), Rect(), tariff).ok());
+  tariff.base_fee = -1.0;
+  EXPECT_FALSE(PriceOf(MakeUpdate(1, 1), kSpace, tariff).ok());
+}
+
+TEST(BillingTest, PriceFormula) {
+  BillingTariff tariff;  // base 1, 2/log2k, 0.5/area-%
+  // k=1, tiny area: essentially the base fee.
+  auto minimal = PriceOf(MakeUpdate(1, 1e-6), kSpace, tariff);
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_NEAR(minimal.value(), 1.0, 1e-3);
+  // k=16 (log2 = 4), area 100 of 10000 = 1%.
+  auto richer = PriceOf(MakeUpdate(16, 100.0), kSpace, tariff);
+  ASSERT_TRUE(richer.ok());
+  EXPECT_NEAR(richer.value(), 1.0 + 2.0 * 4.0 + 0.5 * 1.0, 1e-9);
+}
+
+TEST(BillingTest, MoreProtectionCostsMore) {
+  BillingTariff tariff;
+  double prev = 0.0;
+  for (uint32_t k : {1u, 4u, 16u, 64u}) {
+    auto price = PriceOf(MakeUpdate(k, 10.0 * k), kSpace, tariff);
+    ASSERT_TRUE(price.ok());
+    EXPECT_GT(price.value(), prev);
+    prev = price.value();
+  }
+}
+
+TEST(BillingTest, BestEffortIsDiscounted) {
+  BillingTariff tariff;
+  auto full = PriceOf(MakeUpdate(16, 100.0, true), kSpace, tariff);
+  auto partial = PriceOf(MakeUpdate(16, 100.0, false), kSpace, tariff);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(partial.ok());
+  EXPECT_NEAR(partial.value(), full.value() * 0.5, 1e-9);
+}
+
+TEST(BillingTest, LedgerAccumulatesPerUser) {
+  BillingLedger ledger(kSpace, BillingTariff{});
+  ASSERT_TRUE(ledger.Charge(1, MakeUpdate(4, 50.0)).ok());
+  ASSERT_TRUE(ledger.Charge(1, MakeUpdate(4, 50.0)).ok());
+  ASSERT_TRUE(ledger.Charge(2, MakeUpdate(16, 200.0)).ok());
+  EXPECT_EQ(ledger.num_accounts(), 2u);
+  EXPECT_GT(ledger.BalanceOf(1), 0.0);
+  EXPECT_GT(ledger.BalanceOf(2), ledger.BalanceOf(1) / 2.0);
+  EXPECT_DOUBLE_EQ(ledger.BalanceOf(99), 0.0);
+  EXPECT_NEAR(ledger.TotalRevenue(),
+              ledger.BalanceOf(1) + ledger.BalanceOf(2), 1e-12);
+}
+
+TEST(BillingTest, EndToEndWithRealAnonymizer) {
+  AnonymizerOptions options;
+  options.space = kSpace;
+  auto anonymizer = Anonymizer::Create(options).value();
+  auto profile = PrivacyProfile::Uniform(
+      {10, 0.0, std::numeric_limits<double>::infinity()}).value();
+  Rng rng(1);
+  BillingLedger ledger(kSpace, BillingTariff{});
+  TimeOfDay noon = TimeOfDay::FromHms(12, 0).value();
+  for (ObjectId id = 1; id <= 100; ++id) {
+    ASSERT_TRUE(anonymizer->RegisterUser(id, profile).ok());
+    auto update = anonymizer->UpdateLocation(
+        id, {rng.Uniform(0, 100), rng.Uniform(0, 100)}, noon);
+    ASSERT_TRUE(update.ok());
+    ASSERT_TRUE(ledger.Charge(id, update.value()).ok());
+  }
+  EXPECT_EQ(ledger.num_accounts(), 100u);
+  EXPECT_GT(ledger.TotalRevenue(), 100.0);  // every update beats base fee
+}
+
+}  // namespace
+}  // namespace cloakdb

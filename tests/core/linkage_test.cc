@@ -1,0 +1,111 @@
+#include "core/linkage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/anonymizer.h"
+#include "sim/movement.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LinkageTest, InputValidation) {
+  std::vector<Rect> one{Rect(0, 0, 1, 1)};
+  std::vector<Rect> two{Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)};
+  EXPECT_FALSE(EvaluateLinkage(one, two).ok());
+  EXPECT_FALSE(EvaluateLinkage({}, {}).ok());
+  LinkageOptions bad;
+  bad.max_speed = 0.0;
+  EXPECT_FALSE(EvaluateLinkage(one, one, bad).ok());
+}
+
+TEST(LinkageTest, IsolatedUsersAreFullyExposed) {
+  // Two users far apart: each region at t has exactly one reachable
+  // successor — its own.
+  std::vector<Rect> before{Rect(0, 0, 2, 2), Rect(90, 90, 92, 92)};
+  std::vector<Rect> after{Rect(1, 1, 3, 3), Rect(91, 91, 93, 93)};
+  auto report = EvaluateLinkage(before, after, {2.0, 1.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().uniquely_linkable, 2u);
+  EXPECT_EQ(report.value().correctly_linked, 2u);
+  EXPECT_DOUBLE_EQ(report.value().ExposureRate(), 1.0);
+  EXPECT_DOUBLE_EQ(report.value().avg_candidates, 1.0);
+}
+
+TEST(LinkageTest, OverlappingCrowdPreventsUniqueLinking) {
+  // Many users sharing one large cloaked region: every successor is
+  // feasible for everyone.
+  std::vector<Rect> before(10, Rect(40, 40, 60, 60));
+  std::vector<Rect> after(10, Rect(41, 41, 61, 61));
+  auto report = EvaluateLinkage(before, after, {2.0, 1.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().uniquely_linkable, 0u);
+  EXPECT_DOUBLE_EQ(report.value().ExposureRate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.value().avg_candidates, 10.0);
+}
+
+TEST(LinkageTest, LargerCloaksReduceExposure) {
+  // The full pipeline claim: stronger k (larger space-dependent regions)
+  // lowers the trajectory-exposure rate of moving users.
+  auto run = [](uint32_t k) {
+    Rect space(0, 0, 100, 100);
+    AnonymizerOptions options;
+    options.space = space;
+    options.algorithm = CloakingKind::kMultiLevelGrid;
+    options.enable_incremental = false;
+    auto anonymizer = Anonymizer::Create(options).value();
+    RandomWaypointModel::Options move_options;
+    move_options.min_speed = 0.5;
+    move_options.max_speed = 2.0;
+    move_options.seed = 99;
+    RandomWaypointModel movement(space, move_options);
+    auto profile = PrivacyProfile::Uniform({k, 0.0, kInf}).value();
+    Rng rng(42);
+    const size_t n = 150;
+    TimeOfDay noon = TimeOfDay::FromHms(12, 0).value();
+    for (ObjectId id = 1; id <= n; ++id) {
+      Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      EXPECT_TRUE(anonymizer->RegisterUser(id, profile).ok());
+      EXPECT_TRUE(movement.AddUser(id, p).ok());
+      EXPECT_TRUE(anonymizer->UpdateLocation(id, p, noon).ok());
+    }
+    std::vector<Rect> before;
+    for (ObjectId id = 1; id <= n; ++id) {
+      before.push_back(
+          anonymizer->CloakForQuery(id, noon).value().cloaked.region);
+    }
+    movement.Step(1.0);
+    std::vector<Rect> after;
+    for (ObjectId id = 1; id <= n; ++id) {
+      Point p = movement.LocationOf(id).value();
+      after.push_back(
+          anonymizer->UpdateLocation(id, p, noon).value().cloaked.region);
+    }
+    auto report = EvaluateLinkage(before, after, {2.0, 1.0});
+    EXPECT_TRUE(report.ok());
+    return report.value();
+  };
+  auto weak = run(1);
+  auto strong = run(25);
+  EXPECT_LT(strong.ExposureRate(), weak.ExposureRate());
+  EXPECT_GT(strong.avg_candidates, weak.avg_candidates);
+}
+
+TEST(LinkageTest, ReachabilityRespectsSpeedBudget) {
+  std::vector<Rect> before{Rect(0, 0, 1, 1)};
+  std::vector<Rect> after{Rect(10, 0, 11, 1)};  // 9 units away
+  // Too slow to be reachable: zero feasible successors.
+  auto slow = EvaluateLinkage(before, after, {2.0, 1.0});
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow.value().uniquely_linkable, 0u);
+  EXPECT_DOUBLE_EQ(slow.value().avg_candidates, 0.0);
+  // Fast enough: uniquely linked.
+  auto fast = EvaluateLinkage(before, after, {10.0, 1.0});
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast.value().correctly_linked, 1u);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,174 @@
+#include "core/privacy_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cloakdb {
+namespace {
+
+TimeOfDay At(int h, int m = 0) { return TimeOfDay::FromHms(h, m).value(); }
+
+TEST(PrivacyRequirementTest, DefaultsArePublic) {
+  PrivacyRequirement req;
+  EXPECT_TRUE(req.IsPublic());
+  EXPECT_FALSE(req.IsContradictory());
+}
+
+TEST(PrivacyRequirementTest, NonPublicVariants) {
+  EXPECT_FALSE((PrivacyRequirement{5, 0.0,
+      std::numeric_limits<double>::infinity()}).IsPublic());
+  EXPECT_FALSE((PrivacyRequirement{1, 2.0,
+      std::numeric_limits<double>::infinity()}).IsPublic());
+  EXPECT_FALSE((PrivacyRequirement{1, 0.0, 10.0}).IsPublic());
+}
+
+TEST(PrivacyRequirementTest, Validation) {
+  EXPECT_TRUE(ValidateRequirement({10, 1.0, 5.0}).ok());
+  EXPECT_FALSE(ValidateRequirement({0, 1.0, 5.0}).ok());     // k = 0
+  EXPECT_FALSE(ValidateRequirement({1, -1.0, 5.0}).ok());    // negative Amin
+  EXPECT_FALSE(ValidateRequirement({1, 0.0, 0.0}).ok());     // Amax = 0
+  EXPECT_FALSE(ValidateRequirement({1, 6.0, 5.0}).ok());     // Amin > Amax
+}
+
+TEST(PrivacyRequirementTest, ToStringHandlesInfinity) {
+  PrivacyRequirement req{100, 1.0, 3.0};
+  EXPECT_EQ(req.ToString(), "k=100 Amin=1 Amax=3");
+  PrivacyRequirement open{5, 0.0, std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(open.ToString(), "k=5 Amin=0 Amax=inf");
+}
+
+TEST(PrivacyProfileTest, EmptyProfileIsAlwaysPublic) {
+  PrivacyProfile profile;
+  EXPECT_TRUE(profile.IsAlwaysPublic());
+  EXPECT_TRUE(profile.Resolve(At(12)).IsPublic());
+  EXPECT_TRUE(profile.Resolve(At(3)).IsPublic());
+}
+
+TEST(PrivacyProfileTest, UniformAppliesAllDay) {
+  auto profile = PrivacyProfile::Uniform({50, 2.0, 8.0});
+  ASSERT_TRUE(profile.ok());
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_EQ(profile.value().Resolve(At(h)).k, 50u);
+  }
+  EXPECT_FALSE(profile.value().IsAlwaysPublic());
+}
+
+TEST(PrivacyProfileTest, UniformValidates) {
+  EXPECT_FALSE(PrivacyProfile::Uniform({0, 0.0, 1.0}).ok());
+}
+
+TEST(PrivacyProfileTest, PaperExampleResolvesPerFigure2) {
+  PrivacyProfile profile = PrivacyProfile::PaperExample();
+  // Daytime row: 8:00 AM - 5:00 PM, k = 1.
+  EXPECT_EQ(profile.Resolve(At(8)).k, 1u);
+  EXPECT_EQ(profile.Resolve(At(12)).k, 1u);
+  EXPECT_EQ(profile.Resolve(At(16, 59)).k, 1u);
+  // Evening row: 5:00 PM - 10:00 PM, k = 100, Amin = 1, Amax = 3.
+  auto evening = profile.Resolve(At(17));
+  EXPECT_EQ(evening.k, 100u);
+  EXPECT_DOUBLE_EQ(evening.min_area, 1.0);
+  EXPECT_DOUBLE_EQ(evening.max_area, 3.0);
+  EXPECT_EQ(profile.Resolve(At(21, 59)).k, 100u);
+  // Night row: 10:00 PM - 8:00 AM, k = 1000, Amin = 5, no Amax.
+  auto night = profile.Resolve(At(22));
+  EXPECT_EQ(night.k, 1000u);
+  EXPECT_DOUBLE_EQ(night.min_area, 5.0);
+  EXPECT_TRUE(std::isinf(night.max_area));
+  EXPECT_EQ(profile.Resolve(At(2)).k, 1000u);   // wraps past midnight
+  EXPECT_EQ(profile.Resolve(At(7, 59)).k, 1000u);
+}
+
+TEST(PrivacyProfileTest, CreateRejectsOverlaps) {
+  std::vector<ProfileEntry> entries;
+  entries.push_back({DailyInterval(At(8), At(17)), {10, 0.0,
+      std::numeric_limits<double>::infinity()}});
+  entries.push_back({DailyInterval(At(16), At(20)), {20, 0.0,
+      std::numeric_limits<double>::infinity()}});
+  EXPECT_FALSE(PrivacyProfile::Create(std::move(entries)).ok());
+}
+
+TEST(PrivacyProfileTest, CreateRejectsOverlapAcrossMidnight) {
+  std::vector<ProfileEntry> entries;
+  entries.push_back({DailyInterval(At(22), At(8)), {10, 0.0,
+      std::numeric_limits<double>::infinity()}});
+  entries.push_back({DailyInterval(At(7), At(9)), {20, 0.0,
+      std::numeric_limits<double>::infinity()}});
+  EXPECT_FALSE(PrivacyProfile::Create(std::move(entries)).ok());
+}
+
+TEST(PrivacyProfileTest, CreateRejectsBadRequirement) {
+  std::vector<ProfileEntry> entries;
+  entries.push_back({DailyInterval(At(8), At(17)), {0, 0.0, 1.0}});
+  EXPECT_FALSE(PrivacyProfile::Create(std::move(entries)).ok());
+}
+
+TEST(PrivacyProfileTest, UncoveredTimeDefaultsToPublic) {
+  std::vector<ProfileEntry> entries;
+  entries.push_back({DailyInterval(At(20), At(23)), {100, 0.0,
+      std::numeric_limits<double>::infinity()}});
+  auto profile = PrivacyProfile::Create(std::move(entries));
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().Resolve(At(21)).k, 100u);
+  EXPECT_TRUE(profile.value().Resolve(At(12)).IsPublic());
+}
+
+TEST(PrivacyProfileTest, EntriesAccessor) {
+  PrivacyProfile profile = PrivacyProfile::PaperExample();
+  EXPECT_EQ(profile.entries().size(), 3u);
+}
+
+TEST(PrivacyProfileTest, ParsePaperExampleSpec) {
+  auto profile = PrivacyProfile::Parse(
+      "08:00-17:00 k=1; 17:00-22:00 k=100 amin=1 amax=3; "
+      "22:00-08:00 k=1000 amin=5");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  PrivacyProfile reference = PrivacyProfile::PaperExample();
+  for (int h = 0; h < 24; ++h) {
+    auto got = profile.value().Resolve(At(h));
+    auto want = reference.Resolve(At(h));
+    EXPECT_TRUE(got == want) << "hour " << h;
+  }
+}
+
+TEST(PrivacyProfileTest, ParseErrors) {
+  EXPECT_FALSE(PrivacyProfile::Parse("junk").ok());
+  EXPECT_FALSE(PrivacyProfile::Parse("08:00 17:00 k=5").ok());
+  EXPECT_FALSE(PrivacyProfile::Parse("08:00-17:00 k=0").ok());
+  EXPECT_FALSE(PrivacyProfile::Parse("08:00-17:00 k=1.5").ok());
+  EXPECT_FALSE(PrivacyProfile::Parse("08:00-17:00 foo=1").ok());
+  EXPECT_FALSE(PrivacyProfile::Parse("08:00-17:00 k=abc").ok());
+  EXPECT_FALSE(PrivacyProfile::Parse("25:00-17:00 k=1").ok());
+  // Overlapping entries rejected through Create.
+  EXPECT_FALSE(
+      PrivacyProfile::Parse("08:00-17:00 k=1; 16:00-18:00 k=2").ok());
+}
+
+TEST(PrivacyProfileTest, ParseEmptyIsPublic) {
+  auto profile = PrivacyProfile::Parse("");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(profile.value().IsAlwaysPublic());
+}
+
+TEST(PrivacyProfileTest, ToStringRoundTrips) {
+  PrivacyProfile original = PrivacyProfile::PaperExample();
+  auto reparsed = PrivacyProfile::Parse(original.ToString());
+  ASSERT_TRUE(reparsed.ok()) << original.ToString();
+  ASSERT_EQ(reparsed.value().entries().size(), original.entries().size());
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_TRUE(reparsed.value().Resolve(At(h)) == original.Resolve(At(h)));
+  }
+}
+
+TEST(PrivacyProfileTest, ParseToleratesWhitespace) {
+  auto profile =
+      PrivacyProfile::Parse("  09:30-10:45   k=7  amax=2.5 ;  ");
+  ASSERT_TRUE(profile.ok());
+  auto req = profile.value().Resolve(At(10));
+  EXPECT_EQ(req.k, 7u);
+  EXPECT_DOUBLE_EQ(req.max_area, 2.5);
+  EXPECT_DOUBLE_EQ(req.min_area, 0.0);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,179 @@
+#include "core/temporal_cloaking.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+TemporalCloakingOptions SmallOptions(uint32_t k, double max_delay = 100.0) {
+  TemporalCloakingOptions options;
+  options.space = Rect(0, 0, 32, 32);
+  options.cells_per_side = 4;  // 8x8 cells
+  options.k = k;
+  options.max_delay = max_delay;
+  return options;
+}
+
+TEST(TemporalCloakingTest, CreateValidation) {
+  EXPECT_TRUE(TemporalCloaker::Create(SmallOptions(5)).ok());
+  auto bad_k = SmallOptions(0);
+  EXPECT_FALSE(TemporalCloaker::Create(bad_k).ok());
+  auto bad_delay = SmallOptions(5, 0.0);
+  EXPECT_FALSE(TemporalCloaker::Create(bad_delay).ok());
+  auto bad_space = SmallOptions(5);
+  bad_space.space = Rect();
+  EXPECT_FALSE(TemporalCloaker::Create(bad_space).ok());
+  auto bad_cells = SmallOptions(5);
+  bad_cells.cells_per_side = 0;
+  EXPECT_FALSE(TemporalCloaker::Create(bad_cells).ok());
+}
+
+TEST(TemporalCloakingTest, KOneReleasesImmediately) {
+  auto cloaker = TemporalCloaker::Create(SmallOptions(1)).value();
+  auto out = cloaker.Report(1, {5, 5}, 0.0);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value()[0].user, 1u);
+  EXPECT_TRUE(out.value()[0].k_satisfied);
+  EXPECT_DOUBLE_EQ(out.value()[0].Delay(), 0.0);
+  EXPECT_TRUE(out.value()[0].cell.Contains(Point{5, 5}));
+  EXPECT_EQ(cloaker.pending(), 0u);
+}
+
+TEST(TemporalCloakingTest, BuffersUntilKDistinctUsers) {
+  auto cloaker = TemporalCloaker::Create(SmallOptions(3)).value();
+  EXPECT_TRUE(cloaker.Report(1, {5, 5}, 0.0).value().empty());
+  EXPECT_TRUE(cloaker.Report(2, {6, 6}, 1.0).value().empty());
+  EXPECT_EQ(cloaker.pending(), 2u);
+  // Same user again: still 2 distinct.
+  EXPECT_TRUE(cloaker.Report(1, {5.5, 5.5}, 2.0).value().empty());
+  EXPECT_EQ(cloaker.pending(), 3u);
+  // Third distinct user: the whole batch releases.
+  auto out = cloaker.Report(3, {7, 7}, 3.0);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 4u);
+  for (const auto& release : out.value()) {
+    EXPECT_TRUE(release.k_satisfied);
+    EXPECT_EQ(release.distinct_visitors, 3u);
+    EXPECT_DOUBLE_EQ(release.t_end, 3.0);
+  }
+  // The oldest report carried the longest delay.
+  EXPECT_DOUBLE_EQ(out.value()[0].Delay(), 3.0);
+  EXPECT_EQ(cloaker.pending(), 0u);
+}
+
+TEST(TemporalCloakingTest, CellsAreIndependent) {
+  auto cloaker = TemporalCloaker::Create(SmallOptions(2)).value();
+  EXPECT_TRUE(cloaker.Report(1, {1, 1}, 0.0).value().empty());
+  // A different cell: no effect on the first.
+  EXPECT_TRUE(cloaker.Report(2, {30, 30}, 1.0).value().empty());
+  EXPECT_EQ(cloaker.pending(), 2u);
+  // Second user in the first cell releases only that cell.
+  auto out = cloaker.Report(3, {2, 2}, 2.0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 2u);
+  EXPECT_EQ(cloaker.pending(), 1u);
+}
+
+TEST(TemporalCloakingTest, MaxDelayForcesBestEffortRelease) {
+  auto cloaker = TemporalCloaker::Create(SmallOptions(10, 5.0)).value();
+  EXPECT_TRUE(cloaker.Report(1, {5, 5}, 0.0).value().empty());
+  EXPECT_TRUE(cloaker.Report(2, {5, 5}, 1.0).value().empty());
+  // Nothing yet at t = 5 (cap is exclusive).
+  EXPECT_TRUE(cloaker.Tick(5.0).value().empty());
+  auto out = cloaker.Tick(5.01);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 2u);
+  for (const auto& release : out.value()) {
+    EXPECT_FALSE(release.k_satisfied);
+    EXPECT_EQ(release.distinct_visitors, 2u);
+  }
+  EXPECT_EQ(cloaker.pending(), 0u);
+}
+
+TEST(TemporalCloakingTest, ReportAlsoFlushesExpired) {
+  auto cloaker = TemporalCloaker::Create(SmallOptions(10, 5.0)).value();
+  EXPECT_TRUE(cloaker.Report(1, {5, 5}, 0.0).value().empty());
+  // A report in another cell long after the cap: carries the flush.
+  auto out = cloaker.Report(2, {30, 30}, 50.0);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ(out.value()[0].user, 1u);
+  EXPECT_FALSE(out.value()[0].k_satisfied);
+}
+
+TEST(TemporalCloakingTest, ErrorsOnBadInput) {
+  auto cloaker = TemporalCloaker::Create(SmallOptions(3)).value();
+  EXPECT_EQ(cloaker.Report(1, {99, 99}, 0.0).status().code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(cloaker.Report(1, {5, 5}, 10.0).ok());
+  EXPECT_EQ(cloaker.Report(2, {5, 5}, 9.0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cloaker.Tick(5.0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TemporalCloakingTest, ReleasedIntervalCoversReportTime) {
+  auto cloaker = TemporalCloaker::Create(SmallOptions(2)).value();
+  ASSERT_TRUE(cloaker.Report(1, {5, 5}, 3.0).ok());
+  auto out = cloaker.Report(2, {6, 6}, 7.0);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(out.value()[0].t_start, 3.0);
+  EXPECT_DOUBLE_EQ(out.value()[0].t_end, 7.0);
+  EXPECT_DOUBLE_EQ(out.value()[1].t_start, 7.0);
+  EXPECT_DOUBLE_EQ(out.value()[1].t_end, 7.0);
+}
+
+// Property: larger k means equal-or-longer delays on identical traffic.
+TEST(TemporalCloakingTest, DelayGrowsWithK) {
+  auto run = [](uint32_t k) {
+    auto cloaker =
+        TemporalCloaker::Create(SmallOptions(k, 1e6)).value();
+    Rng rng(77);
+    double total_delay = 0.0;
+    size_t released = 0;
+    for (int step = 0; step < 3000; ++step) {
+      UserId user = 1 + rng.NextBelow(50);
+      Point p{rng.Uniform(0, 32), rng.Uniform(0, 32)};
+      auto out = cloaker.Report(user, p, static_cast<double>(step));
+      EXPECT_TRUE(out.ok());
+      for (const auto& release : out.value()) {
+        total_delay += release.Delay();
+        ++released;
+      }
+    }
+    return released == 0 ? 1e9 : total_delay / static_cast<double>(released);
+  };
+  double d2 = run(2);
+  double d5 = run(5);
+  double d10 = run(10);
+  EXPECT_LE(d2, d5);
+  EXPECT_LE(d5, d10);
+}
+
+// Property: every batch released with k_satisfied really contains k
+// distinct users.
+TEST(TemporalCloakingTest, SatisfiedBatchesAreTrulyKAnonymous) {
+  auto cloaker = TemporalCloaker::Create(SmallOptions(4, 1e6)).value();
+  Rng rng(88);
+  std::vector<TemporalRelease> all;
+  for (int step = 0; step < 2000; ++step) {
+    UserId user = 1 + rng.NextBelow(30);
+    Point p{rng.Uniform(0, 32), rng.Uniform(0, 32)};
+    auto out = cloaker.Report(user, p, static_cast<double>(step));
+    ASSERT_TRUE(out.ok());
+    for (auto& release : out.value()) all.push_back(std::move(release));
+  }
+  ASSERT_FALSE(all.empty());
+  for (const auto& release : all) {
+    EXPECT_TRUE(release.k_satisfied);
+    EXPECT_GE(release.distinct_visitors, 4u);
+    EXPECT_GE(release.t_end, release.t_start);
+  }
+}
+
+}  // namespace
+}  // namespace cloakdb

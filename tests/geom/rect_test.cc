@@ -1,0 +1,131 @@
+#include "geom/rect.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/point.h"
+
+namespace cloakdb {
+namespace {
+
+TEST(PointTest, ArithmeticAndNorm) {
+  Point a{3.0, 4.0};
+  Point b{1.0, 1.0};
+  EXPECT_EQ((a + b), Point(4.0, 5.0));
+  EXPECT_EQ((a - b), Point(2.0, 3.0));
+  EXPECT_EQ((a * 2.0), Point(6.0, 8.0));
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+}
+
+TEST(PointTest, Distances) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.Width(), 0.0);
+}
+
+TEST(RectTest, BasicGeometry) {
+  Rect r(0, 0, 4, 3);
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_DOUBLE_EQ(r.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Perimeter(), 14.0);
+  EXPECT_EQ(r.Center(), Point(2.0, 1.5));
+}
+
+TEST(RectTest, CenteredConstructors) {
+  Rect sq = Rect::CenteredSquare({5, 5}, 2.0);
+  EXPECT_EQ(sq, Rect(4, 4, 6, 6));
+  Rect rc = Rect::Centered({0, 0}, 4.0, 2.0);
+  EXPECT_EQ(rc, Rect(-2, -1, 2, 1));
+  Rect pt = Rect::FromPoint({1, 2});
+  EXPECT_EQ(pt, Rect(1, 2, 1, 2));
+  EXPECT_FALSE(pt.IsEmpty());
+  EXPECT_EQ(pt.Area(), 0.0);
+}
+
+TEST(RectTest, ContainsPointIncludesBoundary) {
+  Rect r(0, 0, 2, 2);
+  EXPECT_TRUE(r.Contains(Point{1, 1}));
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{2, 2}));
+  EXPECT_FALSE(r.Contains(Point{2.0001, 1}));
+  EXPECT_FALSE(r.Contains(Point{-0.0001, 1}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.Contains(outer));  // self
+  EXPECT_FALSE(outer.Contains(Rect(5, 5, 11, 9)));
+  EXPECT_TRUE(outer.Contains(Rect()));  // empty in anything
+  EXPECT_FALSE(Rect().Contains(outer));
+}
+
+TEST(RectTest, IntersectsAndIntersection) {
+  Rect a(0, 0, 4, 4);
+  Rect b(2, 2, 6, 6);
+  Rect c(5, 5, 7, 7);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.Intersection(b), Rect(2, 2, 4, 4));
+  EXPECT_TRUE(a.Intersection(c).IsEmpty());
+  // Boundary touch counts as intersecting with zero-area intersection.
+  Rect d(4, 0, 8, 4);
+  EXPECT_TRUE(a.Intersects(d));
+  EXPECT_DOUBLE_EQ(a.Intersection(d).Area(), 0.0);
+}
+
+TEST(RectTest, UnionAccumulatesFromEmpty) {
+  Rect mbr;
+  mbr = mbr.Union(Point{1, 1});
+  mbr = mbr.Union(Point{3, 0});
+  mbr = mbr.Union(Point{2, 5});
+  EXPECT_EQ(mbr, Rect(1, 0, 3, 5));
+  EXPECT_EQ(mbr.Union(Rect()), mbr);
+}
+
+TEST(RectTest, ExpandedIsMinkowskiMargin) {
+  Rect r(1, 1, 3, 3);
+  EXPECT_EQ(r.Expanded(0.5), Rect(0.5, 0.5, 3.5, 3.5));
+  EXPECT_TRUE(Rect().Expanded(1.0).IsEmpty());
+}
+
+TEST(RectTest, OverlapFraction) {
+  Rect r(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(r.OverlapFraction(Rect(0, 0, 2, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(r.OverlapFraction(Rect(1, 0, 3, 2)), 0.5);
+  EXPECT_DOUBLE_EQ(r.OverlapFraction(Rect(5, 5, 6, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(r.OverlapFraction(Rect(1, 1, 1.5, 1.5)), 0.0625);
+  // Degenerate rect has no area to overlap.
+  EXPECT_DOUBLE_EQ(Rect::FromPoint({1, 1}).OverlapFraction(r), 0.0);
+}
+
+TEST(RectTest, CornersCounterClockwise) {
+  Rect r(0, 0, 2, 1);
+  auto c = r.Corners();
+  EXPECT_EQ(c[0], Point(0, 0));
+  EXPECT_EQ(c[1], Point(2, 0));
+  EXPECT_EQ(c[2], Point(2, 1));
+  EXPECT_EQ(c[3], Point(0, 1));
+}
+
+TEST(RectTest, ClampedTo) {
+  Rect r(-1, -1, 5, 5);
+  EXPECT_EQ(r.ClampedTo(Rect(0, 0, 4, 4)), Rect(0, 0, 4, 4));
+  EXPECT_TRUE(r.ClampedTo(Rect(10, 10, 11, 11)).IsEmpty());
+}
+
+TEST(RectTest, ToStringForms) {
+  EXPECT_EQ(Rect().ToString(), "[empty]");
+  EXPECT_NE(Rect(0, 0, 1, 1).ToString().find("[0, 1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,185 @@
+#include "index/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geom/distance.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+GridIndex MakeSmall() { return GridIndex(Rect(0, 0, 10, 10), 5); }
+
+TEST(GridIndexTest, InsertRemoveContains) {
+  auto grid = MakeSmall();
+  EXPECT_TRUE(grid.Insert(1, {1, 1}).ok());
+  EXPECT_TRUE(grid.Contains(1));
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(grid.Remove(1).ok());
+  EXPECT_FALSE(grid.Contains(1));
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+TEST(GridIndexTest, DuplicateInsertFails) {
+  auto grid = MakeSmall();
+  ASSERT_TRUE(grid.Insert(1, {1, 1}).ok());
+  EXPECT_EQ(grid.Insert(1, {2, 2}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GridIndexTest, OutOfRangeInsertFails) {
+  auto grid = MakeSmall();
+  EXPECT_EQ(grid.Insert(1, {11, 5}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(grid.Insert(1, {5, -1}).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GridIndexTest, RemoveMissingFails) {
+  auto grid = MakeSmall();
+  EXPECT_EQ(grid.Remove(99).code(), StatusCode::kNotFound);
+}
+
+TEST(GridIndexTest, MoveUpdatesLocation) {
+  auto grid = MakeSmall();
+  ASSERT_TRUE(grid.Insert(1, {1, 1}).ok());
+  ASSERT_TRUE(grid.Move(1, {9, 9}).ok());
+  auto loc = grid.Locate(1);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value(), Point(9, 9));
+  EXPECT_EQ(grid.CountInRect(Rect(8, 8, 10, 10)), 1u);
+  EXPECT_EQ(grid.CountInRect(Rect(0, 0, 2, 2)), 0u);
+}
+
+TEST(GridIndexTest, MoveWithinSameCell) {
+  auto grid = MakeSmall();
+  ASSERT_TRUE(grid.Insert(1, {1.0, 1.0}).ok());
+  ASSERT_TRUE(grid.Move(1, {1.5, 1.5}).ok());
+  EXPECT_EQ(grid.Locate(1).value(), Point(1.5, 1.5));
+  EXPECT_EQ(grid.CountInRect(Rect(1.4, 1.4, 1.6, 1.6)), 1u);
+}
+
+TEST(GridIndexTest, MoveErrors) {
+  auto grid = MakeSmall();
+  EXPECT_EQ(grid.Move(1, {1, 1}).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(grid.Insert(1, {1, 1}).ok());
+  EXPECT_EQ(grid.Move(1, {20, 20}).code(), StatusCode::kOutOfRange);
+  // Failed move keeps the old location.
+  EXPECT_EQ(grid.Locate(1).value(), Point(1, 1));
+}
+
+TEST(GridIndexTest, CountAndCollectMatchBruteForce) {
+  GridIndex grid(Rect(0, 0, 100, 100), 16);
+  Rng rng(42);
+  std::vector<PointEntry> all;
+  for (ObjectId id = 1; id <= 500; ++id) {
+    Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    ASSERT_TRUE(grid.Insert(id, p).ok());
+    all.push_back({id, p});
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Rect w(rng.Uniform(0, 80), rng.Uniform(0, 80), 0, 0);
+    w.max_x = w.min_x + rng.Uniform(0, 30);
+    w.max_y = w.min_y + rng.Uniform(0, 30);
+    size_t brute = 0;
+    for (const auto& e : all)
+      if (w.Contains(e.location)) ++brute;
+    EXPECT_EQ(grid.CountInRect(w), brute);
+    auto collected = grid.CollectInRect(w);
+    EXPECT_EQ(collected.size(), brute);
+    for (const auto& e : collected) EXPECT_TRUE(w.Contains(e.location));
+  }
+}
+
+TEST(GridIndexTest, CountWindowLargerThanSpace) {
+  auto grid = MakeSmall();
+  ASSERT_TRUE(grid.Insert(1, {5, 5}).ok());
+  EXPECT_EQ(grid.CountInRect(Rect(-100, -100, 100, 100)), 1u);
+  EXPECT_EQ(grid.CountInRect(Rect(50, 50, 60, 60)), 0u);
+}
+
+TEST(GridIndexTest, KNearestMatchesBruteForce) {
+  GridIndex grid(Rect(0, 0, 100, 100), 16);
+  Rng rng(43);
+  std::vector<PointEntry> all;
+  for (ObjectId id = 1; id <= 300; ++id) {
+    Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    ASSERT_TRUE(grid.Insert(id, p).ok());
+    all.push_back({id, p});
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    size_t k = 1 + rng.NextBelow(20);
+    auto got = grid.KNearest(q, k);
+    ASSERT_EQ(got.size(), k);
+    auto brute = all;
+    std::sort(brute.begin(), brute.end(),
+              [&](const PointEntry& a, const PointEntry& b) {
+                double da = DistanceSquared(q, a.location);
+                double db = DistanceSquared(q, b.location);
+                if (da != db) return da < db;
+                return a.id < b.id;
+              });
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(Distance(q, got[i].location),
+                       Distance(q, brute[i].location))
+          << "trial " << trial << " rank " << i;
+    }
+    // Results are sorted by distance.
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_LE(DistanceSquared(q, got[i - 1].location),
+                DistanceSquared(q, got[i].location));
+    }
+  }
+}
+
+TEST(GridIndexTest, KNearestExcludesSelf) {
+  auto grid = MakeSmall();
+  ASSERT_TRUE(grid.Insert(1, {5, 5}).ok());
+  ASSERT_TRUE(grid.Insert(2, {6, 5}).ok());
+  auto nn = grid.KNearest({5, 5}, 1, /*exclude_id=*/1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 2u);
+}
+
+TEST(GridIndexTest, KNearestWithFewerObjectsThanK) {
+  auto grid = MakeSmall();
+  ASSERT_TRUE(grid.Insert(1, {1, 1}).ok());
+  ASSERT_TRUE(grid.Insert(2, {2, 2}).ok());
+  EXPECT_EQ(grid.KNearest({0, 0}, 10).size(), 2u);
+  EXPECT_TRUE(grid.KNearest({0, 0}, 0).empty());
+}
+
+TEST(GridIndexTest, CellGeometry) {
+  auto grid = MakeSmall();  // 5x5 cells of 2x2
+  EXPECT_EQ(grid.CellX(0.0), 0u);
+  EXPECT_EQ(grid.CellX(9.99), 4u);
+  EXPECT_EQ(grid.CellX(10.0), 4u);  // boundary clamps
+  EXPECT_EQ(grid.CellRect(0, 0), Rect(0, 0, 2, 2));
+  EXPECT_EQ(grid.CellRect(4, 4), Rect(8, 8, 10, 10));
+}
+
+TEST(GridIndexTest, CellAndBlockCounts) {
+  auto grid = MakeSmall();
+  ASSERT_TRUE(grid.Insert(1, {1, 1}).ok());    // cell (0,0)
+  ASSERT_TRUE(grid.Insert(2, {3, 1}).ok());    // cell (1,0)
+  ASSERT_TRUE(grid.Insert(3, {1, 3}).ok());    // cell (0,1)
+  EXPECT_EQ(grid.CellCount(0, 0), 1u);
+  EXPECT_EQ(grid.CellCount(1, 0), 1u);
+  EXPECT_EQ(grid.CellCount(4, 4), 0u);
+  EXPECT_EQ(grid.BlockCount(0, 0, 1, 1), 3u);
+  EXPECT_EQ(grid.BlockCount(0, 0, 0, 0), 1u);
+  // Block clamped to the grid.
+  EXPECT_EQ(grid.BlockCount(0, 0, 100, 100), 3u);
+}
+
+TEST(GridIndexTest, SingleCellGridWorks) {
+  GridIndex grid(Rect(0, 0, 1, 1), 1);
+  ASSERT_TRUE(grid.Insert(1, {0.5, 0.5}).ok());
+  ASSERT_TRUE(grid.Insert(2, {0.9, 0.1}).ok());
+  EXPECT_EQ(grid.CountInRect(Rect(0, 0, 1, 1)), 2u);
+  EXPECT_EQ(grid.KNearest({0.5, 0.5}, 2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,120 @@
+#include "index/pyramid.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+TEST(PyramidTest, RootCountsEverything) {
+  Pyramid p(Rect(0, 0, 16, 16), 4);
+  ASSERT_TRUE(p.Insert(1, {1, 1}).ok());
+  ASSERT_TRUE(p.Insert(2, {15, 15}).ok());
+  EXPECT_EQ(p.CellCount({0, 0, 0}), 2u);
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(PyramidTest, LevelCountsArePartitions) {
+  Pyramid p(Rect(0, 0, 16, 16), 3);
+  Rng rng(5);
+  for (ObjectId id = 1; id <= 200; ++id) {
+    ASSERT_TRUE(p.Insert(id, {rng.Uniform(0, 16), rng.Uniform(0, 16)}).ok());
+  }
+  for (uint32_t level = 0; level <= 3; ++level) {
+    size_t n = 1u << level;
+    size_t total = 0;
+    for (uint32_t cy = 0; cy < n; ++cy)
+      for (uint32_t cx = 0; cx < n; ++cx)
+        total += p.CellCount({level, cx, cy});
+    EXPECT_EQ(total, 200u) << "level " << level;
+  }
+}
+
+TEST(PyramidTest, ParentCountIsSumOfChildren) {
+  Pyramid p(Rect(0, 0, 16, 16), 3);
+  Rng rng(6);
+  for (ObjectId id = 1; id <= 128; ++id) {
+    ASSERT_TRUE(p.Insert(id, {rng.Uniform(0, 16), rng.Uniform(0, 16)}).ok());
+  }
+  for (uint32_t level = 1; level <= 3; ++level) {
+    size_t n = 1u << level;
+    for (uint32_t cy = 0; cy < n; cy += 2) {
+      for (uint32_t cx = 0; cx < n; cx += 2) {
+        size_t children = p.CellCount({level, cx, cy}) +
+                          p.CellCount({level, cx + 1, cy}) +
+                          p.CellCount({level, cx, cy + 1}) +
+                          p.CellCount({level, cx + 1, cy + 1});
+        EXPECT_EQ(children, p.CellCount({level - 1, cx / 2, cy / 2}));
+      }
+    }
+  }
+}
+
+TEST(PyramidTest, CellAtAndRectRoundTrip) {
+  Pyramid p(Rect(0, 0, 16, 16), 4);
+  Point q{5.3, 9.7};
+  for (uint32_t level = 0; level <= 4; ++level) {
+    PyramidCell c = p.CellAt(level, q);
+    EXPECT_TRUE(p.CellRect(c).Contains(q));
+  }
+}
+
+TEST(PyramidTest, ParentRelation) {
+  PyramidCell c{3, 5, 6};
+  PyramidCell parent = Pyramid::Parent(c);
+  EXPECT_EQ(parent.level, 2u);
+  EXPECT_EQ(parent.cx, 2u);
+  EXPECT_EQ(parent.cy, 3u);
+  // Parent cell geometrically contains the child cell.
+  Pyramid p(Rect(0, 0, 16, 16), 4);
+  EXPECT_TRUE(p.CellRect(parent).Contains(p.CellRect(c)));
+}
+
+TEST(PyramidTest, MoveOnlyTouchesChangedLevels) {
+  Pyramid p(Rect(0, 0, 16, 16), 2);
+  ASSERT_TRUE(p.Insert(1, {1, 1}).ok());
+  // Move within the same finest cell: counts unchanged everywhere.
+  ASSERT_TRUE(p.Move(1, {1.5, 1.5}).ok());
+  EXPECT_EQ(p.CellCount({2, 0, 0}), 1u);
+  // Move to the far corner.
+  ASSERT_TRUE(p.Move(1, {15, 15}).ok());
+  EXPECT_EQ(p.CellCount({2, 0, 0}), 0u);
+  EXPECT_EQ(p.CellCount({2, 3, 3}), 1u);
+  EXPECT_EQ(p.CellCount({0, 0, 0}), 1u);
+  EXPECT_EQ(p.Locate(1).value(), Point(15, 15));
+}
+
+TEST(PyramidTest, RemoveDecrementsAllLevels) {
+  Pyramid p(Rect(0, 0, 16, 16), 2);
+  ASSERT_TRUE(p.Insert(1, {3, 3}).ok());
+  ASSERT_TRUE(p.Remove(1).ok());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.CellCount({0, 0, 0}), 0u);
+  EXPECT_EQ(p.CellCount({2, 0, 0}), 0u);
+}
+
+TEST(PyramidTest, ErrorPaths) {
+  Pyramid p(Rect(0, 0, 16, 16), 2);
+  EXPECT_EQ(p.Remove(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(p.Move(1, {1, 1}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(p.Insert(1, {99, 1}).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(p.Insert(1, {1, 1}).ok());
+  EXPECT_EQ(p.Insert(1, {2, 2}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(p.Move(1, {-1, 0}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(p.Locate(2).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PyramidTest, HeightCapped) {
+  Pyramid p(Rect(0, 0, 1, 1), 30);
+  EXPECT_EQ(p.height(), 11u);
+}
+
+TEST(PyramidTest, BoundaryPointsClampToLastCell) {
+  Pyramid p(Rect(0, 0, 16, 16), 2);
+  ASSERT_TRUE(p.Insert(1, {16, 16}).ok());
+  EXPECT_EQ(p.CellCount({2, 3, 3}), 1u);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,138 @@
+#include "index/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+TEST(QuadtreeTest, InsertAndCount) {
+  Quadtree qt(Rect(0, 0, 100, 100), 4);
+  for (ObjectId id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(qt.Insert(id, {static_cast<double>(id), 50.0}).ok());
+  }
+  EXPECT_EQ(qt.size(), 50u);
+  EXPECT_EQ(qt.CountInRect(Rect(0, 0, 100, 100)), 50u);
+  EXPECT_EQ(qt.CountInRect(Rect(0, 0, 10.5, 100)), 10u);
+}
+
+TEST(QuadtreeTest, SplitsBeyondLeafCapacity) {
+  Quadtree qt(Rect(0, 0, 100, 100), 2);
+  Rng rng(3);
+  for (ObjectId id = 1; id <= 100; ++id) {
+    ASSERT_TRUE(qt.Insert(id, {rng.Uniform(0, 100), rng.Uniform(0, 100)}).ok());
+  }
+  EXPECT_GT(qt.MaxAllocatedDepth(), 2u);
+}
+
+TEST(QuadtreeTest, CountAndCollectMatchBruteForce) {
+  Quadtree qt(Rect(0, 0, 100, 100), 8);
+  Rng rng(4);
+  std::vector<PointEntry> all;
+  for (ObjectId id = 1; id <= 400; ++id) {
+    Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    ASSERT_TRUE(qt.Insert(id, p).ok());
+    all.push_back({id, p});
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    Rect w(rng.Uniform(0, 70), rng.Uniform(0, 70), 0, 0);
+    w.max_x = w.min_x + rng.Uniform(0, 40);
+    w.max_y = w.min_y + rng.Uniform(0, 40);
+    size_t brute = 0;
+    for (const auto& e : all)
+      if (w.Contains(e.location)) ++brute;
+    EXPECT_EQ(qt.CountInRect(w), brute);
+    EXPECT_EQ(qt.CollectInRect(w).size(), brute);
+  }
+}
+
+TEST(QuadtreeTest, RemoveCollapsesAndKeepsCounts) {
+  Quadtree qt(Rect(0, 0, 100, 100), 2);
+  Rng rng(5);
+  std::vector<PointEntry> all;
+  for (ObjectId id = 1; id <= 200; ++id) {
+    Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    ASSERT_TRUE(qt.Insert(id, p).ok());
+    all.push_back({id, p});
+  }
+  // Remove every other point.
+  for (size_t i = 0; i < all.size(); i += 2) {
+    ASSERT_TRUE(qt.Remove(all[i].id).ok());
+  }
+  EXPECT_EQ(qt.size(), 100u);
+  EXPECT_EQ(qt.CountInRect(Rect(0, 0, 100, 100)), 100u);
+  // Removing the rest empties the tree.
+  for (size_t i = 1; i < all.size(); i += 2) {
+    ASSERT_TRUE(qt.Remove(all[i].id).ok());
+  }
+  EXPECT_EQ(qt.size(), 0u);
+  EXPECT_EQ(qt.MaxAllocatedDepth(), 0u);  // fully collapsed
+}
+
+TEST(QuadtreeTest, MoveRelocates) {
+  Quadtree qt(Rect(0, 0, 100, 100), 4);
+  ASSERT_TRUE(qt.Insert(1, {10, 10}).ok());
+  ASSERT_TRUE(qt.Move(1, {90, 90}).ok());
+  EXPECT_EQ(qt.CountInRect(Rect(80, 80, 100, 100)), 1u);
+  EXPECT_EQ(qt.CountInRect(Rect(0, 0, 20, 20)), 0u);
+}
+
+TEST(QuadtreeTest, ErrorPaths) {
+  Quadtree qt(Rect(0, 0, 10, 10), 4);
+  EXPECT_EQ(qt.Remove(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(qt.Move(1, {1, 1}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(qt.Insert(1, {11, 1}).code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(qt.Insert(1, {1, 1}).ok());
+  EXPECT_EQ(qt.Insert(1, {2, 2}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(QuadtreeTest, DescendPathRootFirstAndNested) {
+  Quadtree qt(Rect(0, 0, 100, 100), 1);
+  Rng rng(6);
+  for (ObjectId id = 1; id <= 100; ++id) {
+    ASSERT_TRUE(qt.Insert(id, {rng.Uniform(0, 100), rng.Uniform(0, 100)}).ok());
+  }
+  Point q{12.0, 34.0};
+  auto path = qt.DescendPath(q);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front().extent, Rect(0, 0, 100, 100));
+  EXPECT_EQ(path.front().count, 100u);
+  for (size_t i = 0; i < path.size(); ++i) {
+    EXPECT_TRUE(path[i].extent.Contains(q)) << "node " << i;
+    EXPECT_EQ(path[i].depth, i);
+    if (i > 0) {
+      EXPECT_TRUE(path[i - 1].extent.Contains(path[i].extent));
+      EXPECT_LE(path[i].count, path[i - 1].count);
+    }
+  }
+}
+
+TEST(QuadtreeTest, MaxDepthBoundsOverflowingLeaves) {
+  Quadtree qt(Rect(0, 0, 1, 1), 1, /*max_depth=*/3);
+  // All points identical: splitting can never separate them, so the
+  // max-depth leaf must absorb the overflow.
+  for (ObjectId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(qt.Insert(id, {0.1, 0.1}).ok());
+  }
+  EXPECT_EQ(qt.size(), 20u);
+  EXPECT_LE(qt.MaxAllocatedDepth(), 3u);
+  EXPECT_EQ(qt.CountInRect(Rect(0, 0, 0.2, 0.2)), 20u);
+}
+
+TEST(QuadtreeTest, PointsOnSplitBoundariesStayFindable) {
+  Quadtree qt(Rect(0, 0, 8, 8), 1);
+  // The center is the first split boundary.
+  ASSERT_TRUE(qt.Insert(1, {4, 4}).ok());
+  ASSERT_TRUE(qt.Insert(2, {4, 4}).ok());
+  ASSERT_TRUE(qt.Insert(3, {2, 2}).ok());
+  EXPECT_EQ(qt.CountInRect(Rect(4, 4, 4, 4)), 2u);
+  ASSERT_TRUE(qt.Remove(1).ok());
+  ASSERT_TRUE(qt.Remove(2).ok());
+  EXPECT_EQ(qt.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,118 @@
+#include "index/rect_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+TEST(RectGridTest, InsertGetRemove) {
+  RectGrid rg(Rect(0, 0, 10, 10), 4);
+  ASSERT_TRUE(rg.Insert(1, Rect(1, 1, 2, 2)).ok());
+  EXPECT_EQ(rg.size(), 1u);
+  EXPECT_EQ(rg.Get(1).value(), Rect(1, 1, 2, 2));
+  ASSERT_TRUE(rg.Remove(1).ok());
+  EXPECT_EQ(rg.size(), 0u);
+  EXPECT_EQ(rg.Get(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RectGridTest, DuplicateAndMissingErrors) {
+  RectGrid rg(Rect(0, 0, 10, 10), 4);
+  ASSERT_TRUE(rg.Insert(1, Rect(1, 1, 2, 2)).ok());
+  EXPECT_EQ(rg.Insert(1, Rect(3, 3, 4, 4)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(rg.Remove(2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(rg.Update(2, Rect(1, 1, 2, 2)).code(), StatusCode::kNotFound);
+}
+
+TEST(RectGridTest, DisjointRectRejected) {
+  RectGrid rg(Rect(0, 0, 10, 10), 4);
+  EXPECT_EQ(rg.Insert(1, Rect(20, 20, 30, 30)).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RectGridTest, UpdateMovesBuckets) {
+  RectGrid rg(Rect(0, 0, 10, 10), 4);
+  ASSERT_TRUE(rg.Insert(1, Rect(0, 0, 1, 1)).ok());
+  ASSERT_TRUE(rg.Update(1, Rect(8, 8, 9, 9)).ok());
+  EXPECT_TRUE(rg.IntersectingRects(Rect(0, 0, 2, 2)).empty());
+  auto hits = rg.IntersectingRects(Rect(7, 7, 10, 10));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+}
+
+TEST(RectGridTest, UpsertInsertsThenReplaces) {
+  RectGrid rg(Rect(0, 0, 10, 10), 4);
+  ASSERT_TRUE(rg.Upsert(1, Rect(0, 0, 1, 1)).ok());
+  ASSERT_TRUE(rg.Upsert(1, Rect(2, 2, 3, 3)).ok());
+  EXPECT_EQ(rg.size(), 1u);
+  EXPECT_EQ(rg.Get(1).value(), Rect(2, 2, 3, 3));
+}
+
+TEST(RectGridTest, IntersectingRectsMatchesBruteForce) {
+  RectGrid rg(Rect(0, 0, 100, 100), 8);
+  Rng rng(77);
+  std::vector<RectEntry> all;
+  for (ObjectId id = 1; id <= 300; ++id) {
+    Rect r(rng.Uniform(0, 90), rng.Uniform(0, 90), 0, 0);
+    r.max_x = r.min_x + rng.Uniform(0, 10);
+    r.max_y = r.min_y + rng.Uniform(0, 10);
+    ASSERT_TRUE(rg.Insert(id, r).ok());
+    all.push_back({id, r});
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    Rect w(rng.Uniform(0, 80), rng.Uniform(0, 80), 0, 0);
+    w.max_x = w.min_x + rng.Uniform(0, 25);
+    w.max_y = w.min_y + rng.Uniform(0, 25);
+    std::set<ObjectId> brute;
+    for (const auto& e : all)
+      if (e.rect.Intersects(w)) brute.insert(e.id);
+    auto hits = rg.IntersectingRects(w);
+    EXPECT_EQ(hits.size(), brute.size());
+    std::set<ObjectId> got;
+    for (const auto& h : hits) got.insert(h.id);
+    EXPECT_EQ(got, brute);  // also proves deduplication
+  }
+}
+
+TEST(RectGridTest, LargeRectSpanningManyCellsReturnedOnce) {
+  RectGrid rg(Rect(0, 0, 100, 100), 10);
+  ASSERT_TRUE(rg.Insert(1, Rect(5, 5, 95, 95)).ok());
+  auto hits = rg.IntersectingRects(Rect(0, 0, 100, 100));
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+TEST(RectGridTest, RectPartiallyOutsideSpaceIsKept) {
+  RectGrid rg(Rect(0, 0, 10, 10), 4);
+  ASSERT_TRUE(rg.Insert(1, Rect(-5, -5, 1, 1)).ok());
+  auto hits = rg.IntersectingRects(Rect(0, 0, 2, 2));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].rect, Rect(-5, -5, 1, 1));  // original extent preserved
+}
+
+TEST(RectGridTest, ForEachVisitsAllOnce) {
+  RectGrid rg(Rect(0, 0, 10, 10), 4);
+  ASSERT_TRUE(rg.Insert(1, Rect(0, 0, 9, 9)).ok());  // spans many cells
+  ASSERT_TRUE(rg.Insert(2, Rect(1, 1, 2, 2)).ok());
+  std::set<ObjectId> seen;
+  size_t visits = 0;
+  rg.ForEach([&](const RectEntry& e) {
+    seen.insert(e.id);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 2u);
+  EXPECT_EQ(seen, (std::set<ObjectId>{1, 2}));
+}
+
+TEST(RectGridTest, DegeneratePointRect) {
+  RectGrid rg(Rect(0, 0, 10, 10), 4);
+  ASSERT_TRUE(rg.Insert(1, Rect::FromPoint({5, 5})).ok());
+  EXPECT_EQ(rg.IntersectingRects(Rect(4, 4, 6, 6)).size(), 1u);
+  EXPECT_TRUE(rg.IntersectingRects(Rect(6.1, 6.1, 7, 7)).empty());
+}
+
+}  // namespace
+}  // namespace cloakdb

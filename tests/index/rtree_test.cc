@@ -1,0 +1,190 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geom/distance.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+std::vector<PointEntry> RandomPoints(size_t n, uint64_t seed,
+                                     double extent = 100.0) {
+  Rng rng(seed);
+  std::vector<PointEntry> out;
+  out.reserve(n);
+  for (ObjectId id = 1; id <= n; ++id) {
+    out.push_back({id, {rng.Uniform(0, extent), rng.Uniform(0, extent)}});
+  }
+  return out;
+}
+
+TEST(RTreeTest, InsertAndSize) {
+  RTree tree;
+  for (const auto& e : RandomPoints(100, 11)) {
+    ASSERT_TRUE(tree.Insert(e.id, e.location).ok());
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GE(tree.Height(), 2u);
+}
+
+TEST(RTreeTest, DuplicateInsertFails) {
+  RTree tree;
+  ASSERT_TRUE(tree.Insert(1, {1, 1}).ok());
+  EXPECT_EQ(tree.Insert(1, {2, 2}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RTreeTest, RangeSearchMatchesBruteForce) {
+  auto points = RandomPoints(500, 12);
+  RTree tree;
+  for (const auto& e : points) ASSERT_TRUE(tree.Insert(e.id, e.location).ok());
+  Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    Rect w(rng.Uniform(0, 70), rng.Uniform(0, 70), 0, 0);
+    w.max_x = w.min_x + rng.Uniform(0, 40);
+    w.max_y = w.min_y + rng.Uniform(0, 40);
+    std::set<ObjectId> brute;
+    for (const auto& e : points)
+      if (w.Contains(e.location)) brute.insert(e.id);
+    auto hits = tree.RangeSearch(w);
+    EXPECT_EQ(hits.size(), brute.size());
+    EXPECT_EQ(tree.RangeCount(w), brute.size());
+    for (const auto& h : hits) EXPECT_TRUE(brute.count(h.id) > 0);
+  }
+}
+
+TEST(RTreeTest, KNearestMatchesBruteForce) {
+  auto points = RandomPoints(400, 14);
+  RTree tree;
+  for (const auto& e : points) ASSERT_TRUE(tree.Insert(e.id, e.location).ok());
+  Rng rng(15);
+  for (int trial = 0; trial < 30; ++trial) {
+    Point q{rng.Uniform(-20, 120), rng.Uniform(-20, 120)};
+    size_t k = 1 + rng.NextBelow(15);
+    auto got = tree.KNearest(q, k);
+    ASSERT_EQ(got.size(), k);
+    auto brute = points;
+    std::sort(brute.begin(), brute.end(),
+              [&](const PointEntry& a, const PointEntry& b) {
+                return DistanceSquared(q, a.location) <
+                       DistanceSquared(q, b.location);
+              });
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(Distance(q, got[i].location),
+                       Distance(q, brute[i].location));
+    }
+  }
+}
+
+TEST(RTreeTest, NearestDistance) {
+  RTree tree;
+  EXPECT_TRUE(std::isinf(tree.NearestDistance({0, 0})));
+  ASSERT_TRUE(tree.Insert(1, {3, 4}).ok());
+  EXPECT_DOUBLE_EQ(tree.NearestDistance({0, 0}), 5.0);
+}
+
+TEST(RTreeTest, RemoveMaintainsQueries) {
+  auto points = RandomPoints(300, 16);
+  RTree tree;
+  for (const auto& e : points) ASSERT_TRUE(tree.Insert(e.id, e.location).ok());
+  // Remove a random half.
+  Rng rng(17);
+  std::vector<PointEntry> kept;
+  for (const auto& e : points) {
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(tree.Remove(e.id).ok());
+    } else {
+      kept.push_back(e);
+    }
+  }
+  EXPECT_EQ(tree.size(), kept.size());
+  // Queries still correct post-condensation.
+  Rect w(20, 20, 60, 60);
+  std::set<ObjectId> brute;
+  for (const auto& e : kept)
+    if (w.Contains(e.location)) brute.insert(e.id);
+  auto hits = tree.RangeSearch(w);
+  EXPECT_EQ(hits.size(), brute.size());
+  for (const auto& h : hits) EXPECT_TRUE(brute.count(h.id) > 0);
+}
+
+TEST(RTreeTest, RemoveAllThenReuse) {
+  RTree tree;
+  for (const auto& e : RandomPoints(100, 18)) {
+    ASSERT_TRUE(tree.Insert(e.id, e.location).ok());
+  }
+  for (ObjectId id = 1; id <= 100; ++id) ASSERT_TRUE(tree.Remove(id).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 0u);
+  ASSERT_TRUE(tree.Insert(7, {5, 5}).ok());
+  EXPECT_EQ(tree.KNearest({0, 0}, 1).front().id, 7u);
+}
+
+TEST(RTreeTest, RemoveMissingFails) {
+  RTree tree;
+  EXPECT_EQ(tree.Remove(1).code(), StatusCode::kNotFound);
+}
+
+TEST(RTreeTest, BulkLoadMatchesIncrementalQueries) {
+  auto points = RandomPoints(1000, 19);
+  RTree bulk;
+  ASSERT_TRUE(bulk.BulkLoad(points).ok());
+  EXPECT_EQ(bulk.size(), 1000u);
+  RTree incremental;
+  for (const auto& e : points)
+    ASSERT_TRUE(incremental.Insert(e.id, e.location).ok());
+  Rng rng(20);
+  for (int trial = 0; trial < 25; ++trial) {
+    Rect w(rng.Uniform(0, 60), rng.Uniform(0, 60), 0, 0);
+    w.max_x = w.min_x + rng.Uniform(5, 40);
+    w.max_y = w.min_y + rng.Uniform(5, 40);
+    EXPECT_EQ(bulk.RangeCount(w), incremental.RangeCount(w));
+    Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    auto a = bulk.KNearest(q, 5);
+    auto b = incremental.KNearest(q, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(Distance(q, a[i].location), Distance(q, b[i].location));
+    }
+  }
+}
+
+TEST(RTreeTest, BulkLoadRejectsDuplicates) {
+  RTree tree;
+  std::vector<PointEntry> dup{{1, {0, 0}}, {1, {1, 1}}};
+  EXPECT_EQ(tree.BulkLoad(dup).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RTreeTest, BulkLoadEmptyAndReload) {
+  RTree tree;
+  ASSERT_TRUE(tree.BulkLoad({}).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.BulkLoad(RandomPoints(50, 21)).ok());
+  EXPECT_EQ(tree.size(), 50u);
+  ASSERT_TRUE(tree.BulkLoad(RandomPoints(10, 22)).ok());
+  EXPECT_EQ(tree.size(), 10u);  // replaced, not appended
+}
+
+TEST(RTreeTest, LocateStoredObjects) {
+  RTree tree;
+  ASSERT_TRUE(tree.Insert(1, {3, 7}).ok());
+  EXPECT_EQ(tree.Locate(1).value(), Point(3, 7));
+  EXPECT_EQ(tree.Locate(2).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RTreeTest, HandlesDuplicateLocations) {
+  RTree tree;
+  for (ObjectId id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(tree.Insert(id, {5.0, 5.0}).ok());
+  }
+  EXPECT_EQ(tree.RangeCount(Rect(5, 5, 5, 5)), 50u);
+  EXPECT_EQ(tree.KNearest({5, 5}, 50).size(), 50u);
+  for (ObjectId id = 1; id <= 50; ++id) ASSERT_TRUE(tree.Remove(id).ok());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,81 @@
+// Reproducibility guarantees: every randomized component is seeded, so two
+// identical runs must agree bit for bit — the property that makes every
+// number in EXPERIMENTS.md regenerable.
+
+#include <gtest/gtest.h>
+
+#include "sim/workload.h"
+#include "system/system.h"
+
+namespace cloakdb {
+namespace {
+
+TimeOfDay Noon() { return TimeOfDay::FromHms(12, 0).value(); }
+
+LbsSystemOptions Options(uint64_t seed) {
+  LbsSystemOptions options;
+  options.num_users = 150;
+  options.requirement = {8, 0.0, std::numeric_limits<double>::infinity()};
+  options.seed = seed;
+  return options;
+}
+
+struct RunResult {
+  std::vector<Rect> regions;
+  uint64_t bytes = 0;
+  double nn_candidates_mean = 0.0;
+  uint64_t cloaks_computed = 0;
+};
+
+RunResult RunOnce(uint64_t seed) {
+  auto system = LbsSystem::Create(Options(seed)).value();
+  LbsSystem& sys = *system;
+  for (int step = 0; step < 3; ++step) {
+    EXPECT_TRUE(sys.Tick(1.0, Noon()).ok());
+  }
+  WorkloadOptions workload;
+  workload.categories = {poi_category::kGasStation};
+  auto gen =
+      WorkloadGenerator::Create(sys.options().space, sys.user_ids(), workload)
+          .value();
+  Rng rng(seed ^ 0xfeed);
+  for (const auto& spec : gen.Batch(60, &rng)) {
+    EXPECT_TRUE(sys.RunQuery(spec, Noon()).ok());
+  }
+  RunResult result;
+  for (UserId user : sys.user_ids()) {
+    auto pseudonym = sys.anonymizer().PseudonymOf(user).value();
+    result.regions.push_back(
+        sys.server().store().GetPrivateRegion(pseudonym).value());
+  }
+  result.bytes = sys.counters().TotalBytes();
+  result.nn_candidates_mean = sys.metrics().nn_candidates.mean();
+  result.cloaks_computed = sys.anonymizer().stats().cloaks_computed;
+  return result;
+}
+
+TEST(DeterminismTest, IdenticalSeedsGiveIdenticalSystems) {
+  auto a = RunOnce(2006);
+  auto b = RunOnce(2006);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i], b.regions[i]) << "user index " << i;
+  }
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_DOUBLE_EQ(a.nn_candidates_mean, b.nn_candidates_mean);
+  EXPECT_EQ(a.cloaks_computed, b.cloaks_computed);
+}
+
+TEST(DeterminismTest, DifferentSeedsGiveDifferentSystems) {
+  auto a = RunOnce(1);
+  auto b = RunOnce(2);
+  size_t same = 0;
+  for (size_t i = 0; i < std::min(a.regions.size(), b.regions.size());
+       ++i) {
+    if (a.regions[i] == b.regions[i]) ++same;
+  }
+  EXPECT_LT(same, a.regions.size() / 2);
+}
+
+}  // namespace
+}  // namespace cloakdb

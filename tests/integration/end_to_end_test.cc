@@ -1,0 +1,159 @@
+// End-to-end integration: the full Fig. 1 pipeline under every cloaking
+// algorithm, with continuous movement and a mixed query workload. The
+// central assertion is the paper's promise: privacy-aware processing keeps
+// the *functionality* of the location-based database server — private
+// queries refined on the client are always exact.
+
+#include <gtest/gtest.h>
+
+#include "sim/workload.h"
+#include "system/system.h"
+
+namespace cloakdb {
+namespace {
+
+TimeOfDay Noon() { return TimeOfDay::FromHms(12, 0).value(); }
+
+class EndToEndTest : public ::testing::TestWithParam<CloakingKind> {};
+
+TEST_P(EndToEndTest, MovingUsersWithExactQueryAnswers) {
+  LbsSystemOptions options;
+  options.num_users = 150;
+  options.requirement = {8, 0.0, std::numeric_limits<double>::infinity()};
+  options.anonymizer.algorithm = GetParam();
+  options.pois_per_category = 80;
+  auto system = LbsSystem::Create(options);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+  LbsSystem& sys = *system.value();
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ASSERT_TRUE(sys.Tick(2.0, Noon()).ok());
+    for (size_t i = 0; i < 20; ++i) {
+      UserId user = sys.user_ids()[(epoch * 20 + i * 7) % 150];
+      ASSERT_TRUE(
+          sys.RunPrivateNn(user, poi_category::kGasStation, Noon()).ok());
+      ASSERT_TRUE(sys.RunPrivateRange(user, 12.0,
+                                      poi_category::kRestaurant, Noon())
+                      .ok());
+    }
+  }
+  EXPECT_EQ(sys.metrics().nn_queries, 60u);
+  EXPECT_DOUBLE_EQ(sys.metrics().NnAccuracy(), 1.0)
+      << "cloaking must not cost NN correctness ("
+      << CloakingKindName(GetParam()) << ")";
+  EXPECT_DOUBLE_EQ(sys.metrics().RangeAccuracy(), 1.0)
+      << "cloaking must not cost range correctness ("
+      << CloakingKindName(GetParam()) << ")";
+}
+
+TEST_P(EndToEndTest, ServerStateContainsOnlyRegions) {
+  LbsSystemOptions options;
+  options.num_users = 100;
+  options.requirement = {5, 1.0, std::numeric_limits<double>::infinity()};
+  options.anonymizer.algorithm = GetParam();
+  auto system = LbsSystem::Create(options);
+  ASSERT_TRUE(system.ok());
+  LbsSystem& sys = *system.value();
+  ASSERT_TRUE(sys.Tick(1.0, Noon()).ok());
+  // Every stored private region satisfies Amin = 1 (so it is never an
+  // exact point) and covers its user's true location.
+  sys.server().store().private_index().ForEach([&](const RectEntry& e) {
+    EXPECT_GE(e.rect.Area(), 1.0 - 1e-9);
+  });
+  for (UserId user : sys.user_ids()) {
+    auto pseudonym = sys.anonymizer().PseudonymOf(user).value();
+    auto region = sys.server().store().GetPrivateRegion(pseudonym);
+    ASSERT_TRUE(region.ok());
+    EXPECT_TRUE(region.value().Contains(sys.TrueLocation(user).value()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, EndToEndTest,
+    ::testing::Values(CloakingKind::kNaive, CloakingKind::kMbr,
+                      CloakingKind::kQuadtree, CloakingKind::kGrid,
+                      CloakingKind::kMultiLevelGrid),
+    [](const ::testing::TestParamInfo<CloakingKind>& info) {
+      std::string name = CloakingKindName(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(EndToEndWorkloadTest, MixedWorkloadRunsClean) {
+  LbsSystemOptions options;
+  options.num_users = 200;
+  options.requirement = {10, 0.0, std::numeric_limits<double>::infinity()};
+  auto system = LbsSystem::Create(options);
+  ASSERT_TRUE(system.ok());
+  LbsSystem& sys = *system.value();
+
+  WorkloadOptions workload;
+  workload.categories = {poi_category::kGasStation,
+                         poi_category::kRestaurant};
+  workload.mix.private_knn = 0.2;  // exercise the k-NN extension too
+  auto gen = WorkloadGenerator::Create(sys.options().space, sys.user_ids(),
+                                       workload);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(123);
+  for (const auto& spec : gen.value().Batch(200, &rng)) {
+    ASSERT_TRUE(sys.RunQuery(spec, Noon()).ok())
+        << QueryTypeName(spec.type);
+  }
+  EXPECT_DOUBLE_EQ(sys.metrics().NnAccuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(sys.metrics().RangeAccuracy(), 1.0);
+  EXPECT_GT(sys.counters().TotalBytes(), 0u);
+}
+
+TEST(EndToEndWorkloadTest, StricterPrivacyCostsMoreCandidateTraffic) {
+  // The paper's central trade-off: larger k => larger regions => larger
+  // candidate lists => more bytes for the same exact answers.
+  auto run = [](uint32_t k) {
+    LbsSystemOptions options;
+    options.num_users = 300;
+    options.seed = 77;
+    options.requirement = {k, 0.0,
+                           std::numeric_limits<double>::infinity()};
+    auto system = LbsSystem::Create(options);
+    EXPECT_TRUE(system.ok());
+    LbsSystem& sys = *system.value();
+    for (size_t i = 0; i < 60; ++i) {
+      UserId user = sys.user_ids()[i * 5];
+      EXPECT_TRUE(
+          sys.RunPrivateNn(user, poi_category::kGasStation, Noon()).ok());
+    }
+    EXPECT_DOUBLE_EQ(sys.metrics().NnAccuracy(), 1.0);
+    return sys.metrics().nn_candidates.mean();
+  };
+  double lax = run(2);
+  double strict = run(60);
+  EXPECT_GT(strict, lax);
+}
+
+TEST(EndToEndWorkloadTest, PublicCountSeesCloakedUncertainty) {
+  LbsSystemOptions options;
+  options.num_users = 300;
+  options.requirement = {20, 0.0, std::numeric_limits<double>::infinity()};
+  auto system = LbsSystem::Create(options);
+  ASSERT_TRUE(system.ok());
+  LbsSystem& sys = *system.value();
+  Rect window(25, 25, 75, 75);
+  auto count = sys.server().PublicCount(window);
+  ASSERT_TRUE(count.ok());
+  // Ground truth from the simulator.
+  int truth = 0;
+  for (UserId user : sys.user_ids()) {
+    if (window.Contains(sys.TrueLocation(user).value())) ++truth;
+  }
+  EXPECT_GE(truth, count.value().answer.min_count);
+  EXPECT_LE(truth, count.value().answer.max_count);
+  // The probabilistic estimate lands in the right ballpark while the naive
+  // non-zero-size answer overcounts.
+  EXPECT_GE(static_cast<double>(count.value().naive_count),
+            count.value().answer.expected);
+  EXPECT_NEAR(count.value().answer.expected, truth,
+              0.5 * truth + 10.0);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,275 @@
+// Cross-module randomized property tests: the paper's guarantees phrased as
+// invariants and swept over (algorithm x population model x k) with
+// parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "core/anonymizer.h"
+#include "geom/distance.h"
+#include "server/private_queries.h"
+#include "server/public_queries.h"
+#include "sim/poi.h"
+#include "sim/population.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TimeOfDay Noon() { return TimeOfDay::FromHms(12, 0).value(); }
+
+using SweepParam = std::tuple<CloakingKind, PopulationModel, uint32_t>;
+
+class CloakSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+// The bundle of invariants every (algorithm, population, k) cell must hold:
+//   1. the region contains the true location;
+//   2. achieved_k is a truthful count;
+//   3. when k is feasible, it is satisfied;
+//   4. private NN through the cloaked region is exact after refinement.
+TEST_P(CloakSweepTest, CloakAndQueryInvariants) {
+  auto [kind, model, k] = GetParam();
+
+  Rect space(0, 0, 100, 100);
+  AnonymizerOptions anon_options;
+  anon_options.space = space;
+  anon_options.algorithm = kind;
+  auto anonymizer_or = Anonymizer::Create(anon_options);
+  ASSERT_TRUE(anonymizer_or.ok());
+  Anonymizer& anonymizer = *anonymizer_or.value();
+
+  Rng rng(1000 + static_cast<uint64_t>(kind) * 31 +
+          static_cast<uint64_t>(model) * 7 + k);
+  PopulationOptions pop;
+  pop.num_users = 400;
+  pop.model = model;
+  auto users = GeneratePopulation(space, pop, &rng);
+  ASSERT_TRUE(users.ok());
+  auto profile = PrivacyProfile::Uniform({k, 0.0, kInf}).value();
+  for (const auto& u : users.value()) {
+    ASSERT_TRUE(anonymizer.RegisterUser(u.id, profile).ok());
+    auto update = anonymizer.UpdateLocation(u.id, u.location, Noon());
+    ASSERT_TRUE(update.ok()) << update.status().ToString();
+  }
+
+  ObjectStore store(space);
+  PoiOptions poi;
+  poi.count = 120;
+  auto pois = GeneratePois(space, poi, &rng);
+  ASSERT_TRUE(pois.ok());
+  ASSERT_TRUE(store.BulkLoadCategory(poi.category, pois.value()).ok());
+  auto index = store.CategoryIndex(poi.category);
+  ASSERT_TRUE(index.ok());
+
+  for (int probe = 0; probe < 25; ++probe) {
+    const auto& user = users.value()[rng.NextBelow(users.value().size())];
+    auto cloak = anonymizer.CloakForQuery(user.id, Noon());
+    ASSERT_TRUE(cloak.ok());
+    const CloakedRegion& region = cloak.value().cloaked;
+
+    // (1) containment
+    EXPECT_TRUE(region.region.Contains(user.location));
+    // (2) truthful achieved_k
+    EXPECT_EQ(region.achieved_k,
+              anonymizer.snapshot().CountInRect(region.region));
+    // (3) feasible k satisfied (population is 400 >= any swept k)
+    EXPECT_TRUE(region.k_satisfied)
+        << CloakingKindName(kind) << " k=" << k;
+
+    // (4) exact private NN through the pipeline
+    auto nn = PrivateNnQuery(store, region.region, poi.category);
+    ASSERT_TRUE(nn.ok());
+    auto refined = RefineNnCandidates(nn.value().candidates, user.location);
+    ASSERT_TRUE(refined.ok());
+    auto truth = index.value()->KNearest(user.location, 1);
+    ASSERT_EQ(truth.size(), 1u);
+    EXPECT_DOUBLE_EQ(Distance(user.location, refined.value().location),
+                     Distance(user.location, truth.front().location));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CloakSweepTest,
+    ::testing::Combine(
+        ::testing::Values(CloakingKind::kNaive, CloakingKind::kMbr,
+                          CloakingKind::kQuadtree, CloakingKind::kGrid,
+                          CloakingKind::kMultiLevelGrid),
+        ::testing::Values(PopulationModel::kUniform,
+                          PopulationModel::kGaussianClusters,
+                          PopulationModel::kZipfGrid),
+        ::testing::Values(2u, 20u, 100u)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      CloakingKind kind = std::get<0>(info.param);
+      PopulationModel model = std::get<1>(info.param);
+      uint32_t k = std::get<2>(info.param);
+      std::string name = CloakingKindName(kind);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      switch (model) {
+        case PopulationModel::kUniform:
+          name += "_uniform";
+          break;
+        case PopulationModel::kGaussianClusters:
+          name += "_gaussian";
+          break;
+        case PopulationModel::kZipfGrid:
+          name += "_zipf";
+          break;
+      }
+      name += "_k" + std::to_string(k);
+      return name;
+    });
+
+// Private range queries: candidate refinement is exact for the true
+// location under every algorithm (single-parameter sweep over algorithms;
+// the fine-grained geometry is covered in server tests).
+class RangeSweepTest : public ::testing::TestWithParam<CloakingKind> {};
+
+TEST_P(RangeSweepTest, RangeRefinementExactThroughCloaking) {
+  Rect space(0, 0, 100, 100);
+  AnonymizerOptions anon_options;
+  anon_options.space = space;
+  anon_options.algorithm = GetParam();
+  auto anonymizer_or = Anonymizer::Create(anon_options);
+  ASSERT_TRUE(anonymizer_or.ok());
+  Anonymizer& anonymizer = *anonymizer_or.value();
+
+  Rng rng(555);
+  auto profile = PrivacyProfile::Uniform({15, 0.0, kInf}).value();
+  std::vector<PointEntry> users;
+  for (ObjectId id = 1; id <= 300; ++id) {
+    Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    ASSERT_TRUE(anonymizer.RegisterUser(id, profile).ok());
+    ASSERT_TRUE(anonymizer.UpdateLocation(id, p, Noon()).ok());
+    users.push_back({id, p});
+  }
+  ObjectStore store(space);
+  PoiOptions poi;
+  poi.count = 150;
+  auto pois = GeneratePois(space, poi, &rng);
+  ASSERT_TRUE(pois.ok());
+  ASSERT_TRUE(store.BulkLoadCategory(poi.category, pois.value()).ok());
+
+  for (int probe = 0; probe < 20; ++probe) {
+    const auto& user = users[rng.NextBelow(users.size())];
+    double radius = rng.Uniform(3, 12);
+    auto cloak = anonymizer.CloakForQuery(user.id, Noon());
+    ASSERT_TRUE(cloak.ok());
+    auto result =
+        PrivateRangeQuery(store, cloak.value().cloaked.region, radius,
+                          poi.category);
+    ASSERT_TRUE(result.ok());
+    auto refined =
+        RefineRangeCandidates(result.value().candidates, user.location,
+                              radius);
+    std::set<ObjectId> got;
+    for (const auto& o : refined) got.insert(o.id);
+    std::set<ObjectId> want;
+    for (const auto& p : pois.value()) {
+      if (Distance(p.location, user.location) <= radius) want.insert(p.id);
+    }
+    EXPECT_EQ(got, want) << CloakingKindName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, RangeSweepTest,
+    ::testing::Values(CloakingKind::kNaive, CloakingKind::kMbr,
+                      CloakingKind::kQuadtree, CloakingKind::kGrid,
+                      CloakingKind::kMultiLevelGrid),
+    [](const ::testing::TestParamInfo<CloakingKind>& info) {
+      std::string name = CloakingKindName(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// Public count queries against regions produced by real cloaking: the
+// interval always brackets the true count and the expected value has the
+// right total mass.
+TEST(CountPropertyTest, IntervalBracketsTruthUnderRealCloaking) {
+  Rect space(0, 0, 100, 100);
+  AnonymizerOptions anon_options;
+  anon_options.space = space;
+  anon_options.algorithm = CloakingKind::kGrid;
+  auto anonymizer_or = Anonymizer::Create(anon_options);
+  ASSERT_TRUE(anonymizer_or.ok());
+  Anonymizer& anonymizer = *anonymizer_or.value();
+
+  Rng rng(777);
+  auto profile = PrivacyProfile::Uniform({10, 0.0, kInf}).value();
+  ObjectStore store(space);
+  std::vector<PointEntry> users;
+  for (ObjectId id = 1; id <= 250; ++id) {
+    Point p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    ASSERT_TRUE(anonymizer.RegisterUser(id, profile).ok());
+    auto update = anonymizer.UpdateLocation(id, p, Noon());
+    ASSERT_TRUE(update.ok());
+    ASSERT_TRUE(store.UpsertPrivateRegion(update.value().pseudonym,
+                                          update.value().cloaked.region)
+                    .ok());
+    users.push_back({id, p});
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    Rect window(rng.Uniform(0, 60), rng.Uniform(0, 60), 0, 0);
+    window.max_x = window.min_x + rng.Uniform(10, 40);
+    window.max_y = window.min_y + rng.Uniform(10, 40);
+    auto count = PublicRangeCountQuery(store, window);
+    ASSERT_TRUE(count.ok());
+    int truth = 0;
+    for (const auto& u : users) {
+      if (window.Contains(u.location)) ++truth;
+    }
+    EXPECT_GE(truth, count.value().answer.min_count);
+    EXPECT_LE(truth, count.value().answer.max_count);
+    EXPECT_GE(count.value().answer.expected,
+              count.value().answer.min_count - 1e-9);
+    EXPECT_LE(count.value().answer.expected,
+              count.value().answer.max_count + 1e-9);
+  }
+}
+
+// Incremental cloaking must be transparent: an anonymizer with caching and
+// one without produce regions with identical guarantees over the same
+// trace (not necessarily identical rectangles).
+TEST(IncrementalPropertyTest, CachedRegionsKeepAllGuarantees) {
+  Rect space(0, 0, 100, 100);
+  AnonymizerOptions options;
+  options.space = space;
+  options.algorithm = CloakingKind::kGrid;
+  options.enable_incremental = true;
+  auto anonymizer_or = Anonymizer::Create(options);
+  ASSERT_TRUE(anonymizer_or.ok());
+  Anonymizer& anonymizer = *anonymizer_or.value();
+
+  Rng rng(888);
+  auto profile = PrivacyProfile::Uniform({12, 0.0, kInf}).value();
+  std::vector<Point> locations(200);
+  for (ObjectId id = 1; id <= 200; ++id) {
+    locations[id - 1] = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    ASSERT_TRUE(anonymizer.RegisterUser(id, profile).ok());
+    ASSERT_TRUE(anonymizer.UpdateLocation(id, locations[id - 1], Noon()).ok());
+  }
+  // Small random walk; many updates will hit the incremental path.
+  for (int step = 0; step < 5; ++step) {
+    for (ObjectId id = 1; id <= 200; ++id) {
+      Point& p = locations[id - 1];
+      p.x = std::clamp(p.x + rng.Uniform(-0.5, 0.5), 0.0, 100.0);
+      p.y = std::clamp(p.y + rng.Uniform(-0.5, 0.5), 0.0, 100.0);
+      auto update = anonymizer.UpdateLocation(id, p, Noon());
+      ASSERT_TRUE(update.ok());
+      EXPECT_TRUE(update.value().cloaked.region.Contains(p));
+      EXPECT_TRUE(update.value().cloaked.k_satisfied);
+      EXPECT_GE(update.value().cloaked.achieved_k, 12u);
+    }
+  }
+  EXPECT_GT(anonymizer.stats().incremental_reuses, 0u);
+}
+
+}  // namespace
+}  // namespace cloakdb

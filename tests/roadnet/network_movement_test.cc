@@ -1,0 +1,144 @@
+#include "roadnet/network_movement.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/distance.h"
+#include "roadnet/obfuscation.h"
+
+namespace cloakdb {
+namespace {
+
+RoadNetwork MakeNetwork(uint64_t seed = 1) {
+  Rng rng(seed);
+  GridNetworkOptions options;
+  options.rows = 10;
+  options.cols = 10;
+  options.drop_fraction = 0.15;
+  return MakeGridNetwork(Rect(0, 0, 50, 50), options, &rng).value();
+}
+
+TEST(NetworkMovementTest, AddUserValidation) {
+  auto network = MakeNetwork();
+  NetworkMovementModel model(&network);
+  ASSERT_TRUE(model.AddUser(1, 5).ok());
+  EXPECT_EQ(model.AddUser(1, 6).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(model.AddUser(2, 9999).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(model.size(), 1u);
+  EXPECT_EQ(model.PositionOf(7).status().code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkMovementTest, MoversStayOnRoadSegments) {
+  auto network = MakeNetwork(2);
+  NetworkMovementModel model(&network, /*seed=*/7);
+  for (ObjectId id = 1; id <= 30; ++id) {
+    ASSERT_TRUE(
+        model.AddUser(id, static_cast<VertexId>(id % network.num_vertices()))
+            .ok());
+  }
+  for (int step = 0; step < 100; ++step) {
+    model.Step(0.7);
+    for (ObjectId id = 1; id <= 30; ++id) {
+      auto position = model.PositionOf(id);
+      ASSERT_TRUE(position.ok());
+      const NetworkPosition& p = position.value();
+      EXPECT_GE(p.progress, 0.0);
+      EXPECT_LE(p.progress, 1.0);
+      if (p.from != p.to) {
+        // The edge must actually exist in the network.
+        bool adjacent = false;
+        for (const auto& [to, w] : network.NeighborsOf(p.from)) {
+          if (to == p.to) adjacent = true;
+        }
+        EXPECT_TRUE(adjacent) << "mover " << id << " off-road";
+      }
+      // The Euclidean embedding lies on the segment between endpoints.
+      auto loc = model.LocationOf(id).value();
+      Point a = network.LocationOf(p.from);
+      Point b = network.LocationOf(p.to);
+      double via = Distance(a, loc) + Distance(loc, b);
+      EXPECT_NEAR(via, Distance(a, b), 1e-9);
+    }
+  }
+}
+
+TEST(NetworkMovementTest, SpeedBudgetRespected) {
+  auto network = MakeNetwork(3);
+  NetworkMovementModel model(&network, 11, /*min_speed=*/1.0,
+                             /*max_speed=*/2.0);
+  ASSERT_TRUE(model.AddUser(1, 0).ok());
+  Point prev = model.LocationOf(1).value();
+  for (int step = 0; step < 50; ++step) {
+    model.Step(0.5);
+    Point now = model.LocationOf(1).value();
+    // Euclidean displacement can never exceed the network budget.
+    EXPECT_LE(Distance(prev, now), 2.0 * 0.5 + 1e-9);
+    prev = now;
+  }
+}
+
+TEST(NetworkMovementTest, MoversActuallyTravel) {
+  auto network = MakeNetwork(4);
+  NetworkMovementModel model(&network, 13);
+  for (ObjectId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(model.AddUser(id, 0).ok());
+  }
+  std::vector<Point> start;
+  for (ObjectId id = 1; id <= 10; ++id) {
+    start.push_back(model.LocationOf(id).value());
+  }
+  for (int step = 0; step < 40; ++step) model.Step(1.0);
+  size_t moved = 0;
+  for (ObjectId id = 1; id <= 10; ++id) {
+    if (Distance(start[id - 1], model.LocationOf(id).value()) > 1.0) ++moved;
+  }
+  EXPECT_GE(moved, 8u);
+}
+
+TEST(NetworkMovementTest, DeterministicFromSeed) {
+  auto network = MakeNetwork(5);
+  NetworkMovementModel a(&network, 99), b(&network, 99);
+  for (ObjectId id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(a.AddUser(id, 3).ok());
+    ASSERT_TRUE(b.AddUser(id, 3).ok());
+  }
+  for (int step = 0; step < 25; ++step) {
+    a.Step(0.9);
+    b.Step(0.9);
+  }
+  for (ObjectId id = 1; id <= 5; ++id) {
+    EXPECT_EQ(a.LocationOf(id).value(), b.LocationOf(id).value());
+  }
+}
+
+// The end-to-end road scenario: moving users obfuscated per step, network
+// NN queries exact after refinement throughout the drive.
+TEST(NetworkMovementTest, ObfuscationStaysExactWhileMoving) {
+  auto network = MakeNetwork(6);
+  NetworkMovementModel model(&network, 17);
+  ASSERT_TRUE(model.AddUser(1, 0).ok());
+  std::vector<bool> stations(network.num_vertices(), false);
+  for (VertexId v = 0; v < network.num_vertices(); v += 11) {
+    stations[v] = true;
+  }
+  Rng rng(18);
+  ObfuscationOptions options;
+  options.min_vertices = 8;
+  for (int step = 0; step < 25; ++step) {
+    model.Step(1.0);
+    VertexId me = model.NearestVertexOf(1).value();
+    auto cloak = ObfuscateVertex(network, me, options, &rng);
+    ASSERT_TRUE(cloak.ok());
+    auto candidates = ObfuscatedNnCandidates(network, cloak.value(),
+                                             stations);
+    ASSERT_TRUE(candidates.ok());
+    auto refined = RefineObfuscatedNn(network, me, candidates.value());
+    ASSERT_TRUE(refined.ok());
+    auto truth = network.NetworkNearest(me, stations).value();
+    EXPECT_DOUBLE_EQ(network.NetworkDistance(me, refined.value()).value(),
+                     network.NetworkDistance(me, truth).value())
+        << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace cloakdb

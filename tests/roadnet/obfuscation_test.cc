@@ -1,0 +1,148 @@
+#include "roadnet/obfuscation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace cloakdb {
+namespace {
+
+RoadNetwork MakeNetwork(uint64_t seed = 1) {
+  Rng rng(seed);
+  GridNetworkOptions options;
+  options.rows = 14;
+  options.cols = 14;
+  options.drop_fraction = 0.2;
+  return MakeGridNetwork(Rect(0, 0, 100, 100), options, &rng).value();
+}
+
+TEST(ObfuscationTest, CloakContainsTrueVertexAndMeetsSize) {
+  auto network = MakeNetwork();
+  Rng rng(2);
+  ObfuscationOptions options;
+  options.min_vertices = 12;
+  for (VertexId v = 0; v < network.num_vertices(); v += 7) {
+    auto cloak = ObfuscateVertex(network, v, options, &rng);
+    ASSERT_TRUE(cloak.ok());
+    EXPECT_GE(cloak.value().vertices.size(), 12u);
+    EXPECT_NE(std::find(cloak.value().vertices.begin(),
+                        cloak.value().vertices.end(), v),
+              cloak.value().vertices.end());
+  }
+  EXPECT_FALSE(ObfuscateVertex(network, 9999, options, &rng).ok());
+}
+
+TEST(ObfuscationTest, TrueVertexIsNotAlwaysTheMedoid) {
+  // The displaced-anchor design: across many cloaks, the true vertex is
+  // frequently NOT the vertex minimizing total distance to the set (which
+  // a naive centered ball would make it).
+  auto network = MakeNetwork(3);
+  Rng rng(4);
+  ObfuscationOptions options;
+  options.min_vertices = 15;
+  size_t medoid_hits = 0;
+  const size_t trials = 60;
+  for (size_t t = 0; t < trials; ++t) {
+    VertexId truth =
+        static_cast<VertexId>(rng.NextBelow(network.num_vertices()));
+    auto cloak = ObfuscateVertex(network, truth, options, &rng);
+    ASSERT_TRUE(cloak.ok());
+    // Find the set's medoid by network distance.
+    VertexId best = kNoVertex;
+    double best_sum = std::numeric_limits<double>::infinity();
+    for (VertexId candidate : cloak.value().vertices) {
+      auto dist = network.ShortestPaths(candidate).value();
+      double sum = 0.0;
+      for (VertexId other : cloak.value().vertices) sum += dist[other];
+      if (sum < best_sum) {
+        best_sum = sum;
+        best = candidate;
+      }
+    }
+    if (best == truth) ++medoid_hits;
+  }
+  EXPECT_LT(medoid_hits, trials / 2);
+}
+
+TEST(ObfuscationTest, NnCandidatesContainTrueAnswer) {
+  auto network = MakeNetwork(5);
+  Rng rng(6);
+  // Targets: every 9th vertex is a "gas station".
+  std::vector<bool> targets(network.num_vertices(), false);
+  for (VertexId v = 0; v < network.num_vertices(); v += 9) targets[v] = true;
+  ObfuscationOptions options;
+  options.min_vertices = 10;
+  for (int trial = 0; trial < 30; ++trial) {
+    VertexId truth =
+        static_cast<VertexId>(rng.NextBelow(network.num_vertices()));
+    auto cloak = ObfuscateVertex(network, truth, options, &rng);
+    ASSERT_TRUE(cloak.ok());
+    auto candidates =
+        ObfuscatedNnCandidates(network, cloak.value(), targets);
+    ASSERT_TRUE(candidates.ok());
+    auto true_nn = network.NetworkNearest(truth, targets).value();
+    EXPECT_NE(std::find(candidates.value().begin(),
+                        candidates.value().end(), true_nn),
+              candidates.value().end());
+    // Refinement returns an equally-near candidate.
+    auto refined =
+        RefineObfuscatedNn(network, truth, candidates.value());
+    ASSERT_TRUE(refined.ok());
+    EXPECT_DOUBLE_EQ(
+        network.NetworkDistance(truth, refined.value()).value(),
+        network.NetworkDistance(truth, true_nn).value());
+  }
+}
+
+TEST(ObfuscationTest, RefineValidation) {
+  auto network = MakeNetwork(7);
+  EXPECT_EQ(RefineObfuscatedNn(network, 0, {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ObfuscationTest, LargerSetsReduceLeakage) {
+  auto network = MakeNetwork(8);
+  Rng rng(9);
+  auto observe = [&](size_t min_vertices) {
+    ObfuscationOptions options;
+    options.min_vertices = min_vertices;
+    std::vector<ObfuscationObservation> observations;
+    for (int t = 0; t < 200; ++t) {
+      VertexId truth =
+          static_cast<VertexId>(rng.NextBelow(network.num_vertices()));
+      auto cloak = ObfuscateVertex(network, truth, options, &rng);
+      EXPECT_TRUE(cloak.ok());
+      observations.push_back({std::move(cloak).value(), truth});
+    }
+    return EvaluateObfuscationLeakage(network, observations, &rng).value();
+  };
+  auto small = observe(4);
+  auto large = observe(40);
+  EXPECT_GT(small.hit_rate, large.hit_rate);
+  EXPECT_LT(small.mean_network_error, large.mean_network_error);
+  EXPECT_NEAR(small.avg_set_size, 4.0, 2.0);
+  EXPECT_NEAR(large.avg_set_size, 40.0, 3.0);
+}
+
+TEST(ObfuscationTest, HitRateMatchesOneOverSetSize) {
+  auto network = MakeNetwork(10);
+  Rng rng(11);
+  ObfuscationOptions options;
+  options.min_vertices = 10;
+  std::vector<ObfuscationObservation> observations;
+  for (int t = 0; t < 3000; ++t) {
+    VertexId truth =
+        static_cast<VertexId>(rng.NextBelow(network.num_vertices()));
+    auto cloak = ObfuscateVertex(network, truth, options, &rng);
+    ASSERT_TRUE(cloak.ok());
+    observations.push_back({std::move(cloak).value(), truth});
+  }
+  auto leakage =
+      EvaluateObfuscationLeakage(network, observations, &rng).value();
+  EXPECT_NEAR(leakage.hit_rate, 1.0 / leakage.avg_set_size,
+              0.5 / leakage.avg_set_size);
+}
+
+}  // namespace
+}  // namespace cloakdb

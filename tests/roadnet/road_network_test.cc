@@ -1,0 +1,188 @@
+#include "roadnet/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/distance.h"
+
+namespace cloakdb {
+namespace {
+
+// A 3x3 unit grid with known ids:
+//   6-7-8
+//   3-4-5
+//   0-1-2
+RoadNetwork MakeUnitGrid() {
+  RoadNetwork network;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      network.AddVertex({static_cast<double>(c), static_cast<double>(r)});
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_TRUE(network.AddEdge(r * 3 + c, r * 3 + c + 1).ok());
+    }
+  }
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_TRUE(network.AddEdge(r * 3 + c, (r + 1) * 3 + c).ok());
+    }
+  }
+  return network;
+}
+
+TEST(RoadNetworkTest, EdgeValidation) {
+  RoadNetwork network;
+  VertexId a = network.AddVertex({0, 0});
+  VertexId b = network.AddVertex({1, 0});
+  EXPECT_EQ(network.AddEdge(a, 99).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(network.AddEdge(a, a).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(network.AddEdge(a, b, 0.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(network.AddEdge(a, b).ok());
+  EXPECT_EQ(network.num_edges(), 1u);
+  EXPECT_EQ(network.NeighborsOf(a).size(), 1u);
+  EXPECT_EQ(network.NeighborsOf(b).size(), 1u);
+}
+
+TEST(RoadNetworkTest, ImplicitWeightIsEuclidean) {
+  RoadNetwork network;
+  VertexId a = network.AddVertex({0, 0});
+  VertexId b = network.AddVertex({3, 4});
+  ASSERT_TRUE(network.AddEdge(a, b).ok());
+  EXPECT_DOUBLE_EQ(network.NeighborsOf(a).front().second, 5.0);
+}
+
+TEST(RoadNetworkTest, ShortestPathsOnUnitGrid) {
+  auto network = MakeUnitGrid();
+  auto dist = network.ShortestPaths(0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ(dist.value()[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist.value()[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist.value()[4], 2.0);  // Manhattan, not diagonal
+  EXPECT_DOUBLE_EQ(dist.value()[8], 4.0);
+  EXPECT_FALSE(network.ShortestPaths(99).ok());
+}
+
+TEST(RoadNetworkTest, NetworkDistanceMatchesShortestPaths) {
+  auto network = MakeUnitGrid();
+  auto all = network.ShortestPaths(2).value();
+  for (VertexId v = 0; v < network.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(network.NetworkDistance(2, v).value(), all[v]);
+  }
+}
+
+TEST(RoadNetworkTest, DisconnectedComponentsAreInfinite) {
+  RoadNetwork network;
+  VertexId a = network.AddVertex({0, 0});
+  VertexId b = network.AddVertex({1, 0});
+  VertexId c = network.AddVertex({5, 5});
+  ASSERT_TRUE(network.AddEdge(a, b).ok());
+  EXPECT_TRUE(std::isinf(network.NetworkDistance(a, c).value()));
+  EXPECT_FALSE(network.IsConnected());
+}
+
+TEST(RoadNetworkTest, VerticesWithinIsTheDijkstraBall) {
+  auto network = MakeUnitGrid();
+  auto ball = network.VerticesWithin(4, 1.0);  // center vertex
+  ASSERT_TRUE(ball.ok());
+  // Center + its 4 grid neighbors.
+  EXPECT_EQ(ball.value().size(), 5u);
+  for (const auto& [v, d] : ball.value()) {
+    EXPECT_LE(d, 1.0);
+    EXPECT_DOUBLE_EQ(network.NetworkDistance(4, v).value(), d);
+  }
+}
+
+TEST(RoadNetworkTest, NetworkNearestFindsClosestTarget) {
+  auto network = MakeUnitGrid();
+  std::vector<bool> targets(network.num_vertices(), false);
+  targets[8] = true;  // far corner
+  targets[1] = true;  // adjacent to 0
+  auto nn = network.NetworkNearest(0, targets);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn.value(), 1u);
+  // The source being a target returns itself.
+  targets[0] = true;
+  EXPECT_EQ(network.NetworkNearest(0, targets).value(), 0u);
+  // No reachable target.
+  std::vector<bool> none(network.num_vertices(), false);
+  EXPECT_EQ(network.NetworkNearest(0, none).value(), kNoVertex);
+  // Indicator size mismatch.
+  EXPECT_FALSE(network.NetworkNearest(0, {true}).ok());
+}
+
+TEST(RoadNetworkTest, NearestVertexSnapsToClosest) {
+  auto network = MakeUnitGrid();
+  EXPECT_EQ(network.NearestVertex({0.1, 0.2}), 0u);
+  EXPECT_EQ(network.NearestVertex({1.9, 1.9}), 8u);
+  RoadNetwork empty;
+  EXPECT_EQ(empty.NearestVertex({0, 0}), kNoVertex);
+}
+
+TEST(GridNetworkTest, GeneratorValidation) {
+  Rng rng(1);
+  GridNetworkOptions options;
+  options.rows = 1;
+  EXPECT_FALSE(MakeGridNetwork(Rect(0, 0, 10, 10), options, &rng).ok());
+  options.rows = 8;
+  options.drop_fraction = 1.0;
+  EXPECT_FALSE(MakeGridNetwork(Rect(0, 0, 10, 10), options, &rng).ok());
+  EXPECT_FALSE(MakeGridNetwork(Rect(), GridNetworkOptions{}, &rng).ok());
+}
+
+TEST(GridNetworkTest, GeneratedNetworksAreConnected) {
+  Rng rng(2);
+  for (double drop : {0.0, 0.3, 0.6}) {
+    GridNetworkOptions options;
+    options.rows = 12;
+    options.cols = 12;
+    options.drop_fraction = drop;
+    auto network = MakeGridNetwork(Rect(0, 0, 100, 100), options, &rng);
+    ASSERT_TRUE(network.ok());
+    EXPECT_EQ(network.value().num_vertices(), 144u);
+    EXPECT_TRUE(network.value().IsConnected()) << "drop=" << drop;
+  }
+}
+
+TEST(GridNetworkTest, VerticesStayInsideSpace) {
+  Rng rng(3);
+  GridNetworkOptions options;
+  options.jitter_fraction = 0.45;
+  Rect space(10, 20, 60, 90);
+  auto network = MakeGridNetwork(space, options, &rng);
+  ASSERT_TRUE(network.ok());
+  for (VertexId v = 0; v < network.value().num_vertices(); ++v) {
+    EXPECT_TRUE(space.Contains(network.value().LocationOf(v)));
+  }
+}
+
+TEST(GridNetworkTest, DroppingEdgesLengthensPaths) {
+  GridNetworkOptions options;
+  options.rows = 16;
+  options.cols = 16;
+  options.jitter_fraction = 0.0;
+  Rng rng_a(7), rng_b(7);
+  options.drop_fraction = 0.0;
+  auto full = MakeGridNetwork(Rect(0, 0, 100, 100), options, &rng_a);
+  options.drop_fraction = 0.5;
+  auto sparse = MakeGridNetwork(Rect(0, 0, 100, 100), options, &rng_b);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sparse.ok());
+  // Source away from the always-connected spanning column (paths from
+  // column 0 are optimal regardless of drops).
+  const VertexId source = 8 * 16 + 8;
+  double full_sum = 0.0, sparse_sum = 0.0;
+  auto df = full.value().ShortestPaths(source).value();
+  auto ds = sparse.value().ShortestPaths(source).value();
+  for (size_t v = 0; v < df.size(); ++v) {
+    full_sum += df[v];
+    sparse_sum += ds[v];
+  }
+  EXPECT_GT(sparse_sum, full_sum);
+}
+
+}  // namespace
+}  // namespace cloakdb

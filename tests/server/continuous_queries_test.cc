@@ -1,0 +1,253 @@
+#include "server/continuous_queries.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geom/distance.h"
+#include "server/private_queries.h"
+#include "server/public_queries.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+ObjectStore MakeStoreWithPois(size_t n, uint64_t seed) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(seed);
+  for (ObjectId id = 1; id <= n; ++id) {
+    PublicObject o;
+    o.id = id;
+    o.location = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    o.category = 1;
+    EXPECT_TRUE(store.AddPublicObject(o).ok());
+  }
+  return store;
+}
+
+std::set<ObjectId> Ids(const std::vector<PublicObject>& objects) {
+  std::set<ObjectId> out;
+  for (const auto& o : objects) out.insert(o.id);
+  return out;
+}
+
+TEST(ContinuousRangeTest, RegistrationValidation) {
+  auto store = MakeStoreWithPois(50, 1);
+  ContinuousQueryProcessor cq(&store);
+  EXPECT_FALSE(cq.RegisterRange(Rect(), 5.0, 1).ok());
+  EXPECT_FALSE(cq.RegisterRange(Rect(0, 0, 1, 1), 0.0, 1).ok());
+  EXPECT_FALSE(cq.RegisterRange(Rect(0, 0, 1, 1), 5.0, 9).ok());
+  EXPECT_EQ(cq.num_queries(), 0u);
+}
+
+TEST(ContinuousRangeTest, MatchesOneShotQueryAfterEveryUpdate) {
+  auto store = MakeStoreWithPois(300, 2);
+  ContinuousQueryProcessor cq(&store);
+  Rect region(40, 40, 48, 48);
+  auto id = cq.RegisterRange(region, 4.0, 1);
+  ASSERT_TRUE(id.ok());
+
+  Rng rng(3);
+  for (int step = 0; step < 40; ++step) {
+    // Mix of small moves (cache hits) and jumps (cache misses).
+    double jump = step % 10 == 9 ? 30.0 : 1.0;
+    region = Rect(std::clamp(region.min_x + rng.Uniform(-jump, jump), 0.0,
+                             90.0),
+                  std::clamp(region.min_y + rng.Uniform(-jump, jump), 0.0,
+                             90.0),
+                  0, 0);
+    region.max_x = region.min_x + 8;
+    region.max_y = region.min_y + 8;
+    auto incremental = cq.UpdateRegion(id.value(), region);
+    ASSERT_TRUE(incremental.ok());
+    auto oneshot = PrivateRangeQuery(store, region, 4.0, 1);
+    ASSERT_TRUE(oneshot.ok());
+    EXPECT_EQ(Ids(incremental.value()), Ids(oneshot.value().candidates))
+        << "step " << step;
+  }
+  EXPECT_GT(cq.stats().incremental_filters, 0u);
+  EXPECT_GT(cq.stats().full_evaluations, 0u);
+  EXPECT_LT(cq.stats().full_evaluations, cq.stats().region_updates);
+}
+
+TEST(ContinuousNnTest, MatchesOneShotQueryAfterEveryUpdate) {
+  auto store = MakeStoreWithPois(300, 4);
+  ContinuousQueryProcessor cq(&store);
+  Rect region(30, 30, 36, 36);
+  auto id = cq.RegisterNn(region, 1);
+  ASSERT_TRUE(id.ok());
+
+  Rng rng(5);
+  for (int step = 0; step < 40; ++step) {
+    double jump = step % 10 == 9 ? 35.0 : 1.0;
+    region = Rect(std::clamp(region.min_x + rng.Uniform(-jump, jump), 0.0,
+                             90.0),
+                  std::clamp(region.min_y + rng.Uniform(-jump, jump), 0.0,
+                             90.0),
+                  0, 0);
+    region.max_x = region.min_x + 6;
+    region.max_y = region.min_y + 6;
+    auto incremental = cq.UpdateRegion(id.value(), region);
+    ASSERT_TRUE(incremental.ok());
+    auto oneshot = PrivateNnQuery(store, region, 1);
+    ASSERT_TRUE(oneshot.ok());
+    // The incremental candidate set must be a sound superset of the
+    // one-shot set (cache-derived bounds are conservative) and must still
+    // contain the NN of every interior probe.
+    auto inc_ids = Ids(incremental.value());
+    for (ObjectId oneshot_id : Ids(oneshot.value().candidates)) {
+      EXPECT_TRUE(inc_ids.count(oneshot_id) > 0) << "step " << step;
+    }
+    auto index = store.CategoryIndex(1);
+    for (int s = 0; s < 8; ++s) {
+      Point p{rng.Uniform(region.min_x, region.max_x),
+              rng.Uniform(region.min_y, region.max_y)};
+      auto nn = index.value()->KNearest(p, 1);
+      EXPECT_TRUE(inc_ids.count(nn.front().id) > 0) << "step " << step;
+    }
+  }
+  EXPECT_GT(cq.stats().incremental_filters, 0u);
+}
+
+TEST(ContinuousTest, CurrentCandidatesAndUnregister) {
+  auto store = MakeStoreWithPois(100, 6);
+  ContinuousQueryProcessor cq(&store);
+  auto id = cq.RegisterRange(Rect(40, 40, 50, 50), 5.0, 1);
+  ASSERT_TRUE(id.ok());
+  auto current = cq.CurrentCandidates(id.value());
+  ASSERT_TRUE(current.ok());
+  auto oneshot = PrivateRangeQuery(store, Rect(40, 40, 50, 50), 5.0, 1);
+  EXPECT_EQ(Ids(current.value()), Ids(oneshot.value().candidates));
+  EXPECT_TRUE(cq.Unregister(id.value()).ok());
+  EXPECT_EQ(cq.Unregister(id.value()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(cq.CurrentCandidates(id.value()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cq.UpdateRegion(id.value(), Rect(0, 0, 1, 1)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ContinuousTest, PublicInsertInvalidatesAffectedCache) {
+  auto store = MakeStoreWithPois(100, 7);
+  ContinuousQueryProcessor cq(&store);
+  Rect region(40, 40, 50, 50);
+  auto id = cq.RegisterRange(region, 5.0, 1);
+  ASSERT_TRUE(id.ok());
+  // Insert a new POI right inside the query range.
+  PublicObject fresh;
+  fresh.id = 9999;
+  fresh.location = {45, 45};
+  fresh.category = 1;
+  ASSERT_TRUE(store.AddPublicObject(fresh).ok());
+  cq.NotifyPublicInserted(fresh);
+  auto current = cq.CurrentCandidates(id.value());
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(Ids(current.value()).count(9999) > 0);
+  // Remove it again.
+  ASSERT_TRUE(store.RemovePublicObject(9999).ok());
+  cq.NotifyPublicRemoved(fresh);
+  current = cq.CurrentCandidates(id.value());
+  ASSERT_TRUE(current.ok());
+  EXPECT_FALSE(Ids(current.value()).count(9999) > 0);
+}
+
+TEST(ContinuousCountTest, TracksRegionChangesIncrementally) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  ContinuousQueryProcessor cq(&store);
+  Rect window(20, 20, 40, 40);
+  // Pre-existing user fully inside.
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect(25, 25, 30, 30)).ok());
+  auto id = cq.RegisterCount(window);
+  ASSERT_TRUE(id.ok());
+  auto answer = cq.CurrentCount(id.value());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer.value().expected, 1.0);
+  EXPECT_EQ(answer.value().min_count, 1);
+
+  // A new user appears, half inside.
+  Rect half(10, 20, 30, 40);  // overlap [20,30]x[20,40] = 200 of 400
+  ASSERT_TRUE(store.UpsertPrivateRegion(2, half).ok());
+  ASSERT_TRUE(
+      cq.NotifyPrivateRegionChanged(2, std::nullopt, half).ok());
+  answer = cq.CurrentCount(id.value());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer.value().expected, 1.5);
+  EXPECT_EQ(answer.value().min_count, 1);
+  EXPECT_EQ(answer.value().max_count, 2);
+
+  // User 1 moves out entirely.
+  Rect away(70, 70, 75, 75);
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, away).ok());
+  ASSERT_TRUE(cq.NotifyPrivateRegionChanged(1, Rect(25, 25, 30, 30), away)
+                  .ok());
+  answer = cq.CurrentCount(id.value());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer.value().expected, 0.5);
+  EXPECT_EQ(answer.value().min_count, 0);
+  EXPECT_EQ(answer.value().max_count, 1);
+
+  // User 2 disappears.
+  ASSERT_TRUE(store.RemovePrivateRegion(2).ok());
+  ASSERT_TRUE(cq.NotifyPrivateRegionChanged(2, half, std::nullopt).ok());
+  answer = cq.CurrentCount(id.value());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer.value().expected, 0.0);
+  EXPECT_EQ(answer.value().max_count, 0);
+  EXPECT_GT(cq.stats().count_delta_updates, 0u);
+}
+
+TEST(ContinuousCountTest, MatchesOneShotAfterRandomChurn) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  ContinuousQueryProcessor cq(&store);
+  Rect window(30, 30, 70, 70);
+  auto id = cq.RegisterCount(window);
+  ASSERT_TRUE(id.ok());
+
+  Rng rng(8);
+  std::unordered_map<ObjectId, Rect> current;
+  for (int step = 0; step < 200; ++step) {
+    ObjectId user = 1 + rng.NextBelow(30);
+    Point c{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+    Rect next = Rect::CenteredSquare(c, rng.Uniform(2, 12));
+    std::optional<Rect> old;
+    if (auto it = current.find(user); it != current.end()) old = it->second;
+    ASSERT_TRUE(store.UpsertPrivateRegion(user, next).ok());
+    ASSERT_TRUE(cq.NotifyPrivateRegionChanged(user, old, next).ok());
+    current[user] = next;
+  }
+  auto incremental = cq.CurrentCount(id.value());
+  ASSERT_TRUE(incremental.ok());
+  auto oneshot = PublicRangeCountQuery(store, window);
+  ASSERT_TRUE(oneshot.ok());
+  EXPECT_NEAR(incremental.value().expected, oneshot.value().answer.expected,
+              1e-9);
+  EXPECT_EQ(incremental.value().min_count, oneshot.value().answer.min_count);
+  EXPECT_EQ(incremental.value().max_count, oneshot.value().answer.max_count);
+}
+
+TEST(ContinuousTest, SlackMarginControlsCacheHitRate) {
+  auto run = [](double slack) {
+    auto store = MakeStoreWithPois(300, 9);
+    ContinuousQueryProcessor::Options options;
+    options.slack_margin = slack;
+    ContinuousQueryProcessor cq(&store, options);
+    Rect region(40, 40, 46, 46);
+    auto id = cq.RegisterRange(region, 3.0, 1);
+    EXPECT_TRUE(id.ok());
+    Rng rng(10);
+    for (int step = 0; step < 50; ++step) {
+      region = Rect(std::clamp(region.min_x + rng.Uniform(-1.0, 1.0), 0.0,
+                               94.0),
+                    std::clamp(region.min_y + rng.Uniform(-1.0, 1.0), 0.0,
+                               94.0),
+                    0, 0);
+      region.max_x = region.min_x + 6;
+      region.max_y = region.min_y + 6;
+      EXPECT_TRUE(cq.UpdateRegion(id.value(), region).ok());
+    }
+    return cq.stats().incremental_filters;
+  };
+  EXPECT_GT(run(10.0), run(0.0));
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "server/public_queries.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+TEST(HeatmapTest, Validation) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  EXPECT_EQ(PublicHeatmapQuery(store, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HeatmapTest, EmptyStoreIsAllZero) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  auto map = PublicHeatmapQuery(store, 8);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map.value().expected.size(), 64u);
+  EXPECT_DOUBLE_EQ(map.value().TotalMass(), 0.0);
+}
+
+TEST(HeatmapTest, SingleRegionMassSplitsByOverlap) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  // Region exactly covering four cells of an 4x4 heatmap (cells 25x25):
+  // [0,50]x[0,50] overlaps cells (0,0),(1,0),(0,1),(1,1) equally.
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect(0, 0, 50, 50)).ok());
+  auto map = PublicHeatmapQuery(store, 4);
+  ASSERT_TRUE(map.ok());
+  EXPECT_DOUBLE_EQ(map.value().CellValue(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(map.value().CellValue(1, 0), 0.25);
+  EXPECT_DOUBLE_EQ(map.value().CellValue(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(map.value().CellValue(1, 1), 0.25);
+  EXPECT_DOUBLE_EQ(map.value().CellValue(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(map.value().TotalMass(), 1.0);
+}
+
+TEST(HeatmapTest, DegeneratePointRegionLandsInOneCell) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect::FromPoint({80, 30})).ok());
+  auto map = PublicHeatmapQuery(store, 10);
+  ASSERT_TRUE(map.ok());
+  EXPECT_DOUBLE_EQ(map.value().CellValue(8, 3), 1.0);
+  EXPECT_DOUBLE_EQ(map.value().TotalMass(), 1.0);
+}
+
+TEST(HeatmapTest, MassConservedForInteriorRegions) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(3);
+  const size_t n = 200;
+  for (ObjectId id = 1; id <= n; ++id) {
+    Point c{rng.Uniform(10, 90), rng.Uniform(10, 90)};
+    ASSERT_TRUE(store.UpsertPrivateRegion(
+                         id, Rect::CenteredSquare(c, rng.Uniform(1, 15)))
+                    .ok());
+  }
+  auto map = PublicHeatmapQuery(store, 16);
+  ASSERT_TRUE(map.ok());
+  // Every region lies fully inside the space, so all mass is preserved.
+  EXPECT_NEAR(map.value().TotalMass(), static_cast<double>(n), 1e-9);
+}
+
+TEST(HeatmapTest, MatchesPerCellCountQueries) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(4);
+  for (ObjectId id = 1; id <= 60; ++id) {
+    Point c{rng.Uniform(10, 90), rng.Uniform(10, 90)};
+    ASSERT_TRUE(store.UpsertPrivateRegion(
+                         id, Rect::CenteredSquare(c, rng.Uniform(2, 12)))
+                    .ok());
+  }
+  const uint32_t res = 5;
+  auto map = PublicHeatmapQuery(store, res);
+  ASSERT_TRUE(map.ok());
+  for (uint32_t cy = 0; cy < res; ++cy) {
+    for (uint32_t cx = 0; cx < res; ++cx) {
+      auto count =
+          PublicRangeCountQuery(store, map.value().CellRect(cx, cy));
+      ASSERT_TRUE(count.ok());
+      EXPECT_NEAR(map.value().CellValue(cx, cy),
+                  count.value().answer.expected, 1e-9)
+          << "cell (" << cx << ", " << cy << ")";
+    }
+  }
+}
+
+TEST(HeatmapTest, HotspotShowsUp) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(5);
+  // 50 users crowded in [70,90]^2, 10 scattered elsewhere.
+  for (ObjectId id = 1; id <= 50; ++id) {
+    Point c{rng.Uniform(72, 88), rng.Uniform(72, 88)};
+    ASSERT_TRUE(store.UpsertPrivateRegion(
+                         id, Rect::CenteredSquare(c, 3)).ok());
+  }
+  for (ObjectId id = 51; id <= 60; ++id) {
+    Point c{rng.Uniform(5, 40), rng.Uniform(5, 40)};
+    ASSERT_TRUE(store.UpsertPrivateRegion(
+                         id, Rect::CenteredSquare(c, 3)).ok());
+  }
+  auto map = PublicHeatmapQuery(store, 5);  // 20x20 cells
+  ASSERT_TRUE(map.ok());
+  EXPECT_GT(map.value().CellValue(4, 4) + map.value().CellValue(3, 3) +
+                map.value().CellValue(4, 3) + map.value().CellValue(3, 4),
+            30.0);
+}
+
+}  // namespace
+}  // namespace cloakdb

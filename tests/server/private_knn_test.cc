@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geom/distance.h"
+#include "server/private_queries.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+ObjectStore MakeStoreWithPois(size_t n, uint64_t seed) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(seed);
+  for (ObjectId id = 1; id <= n; ++id) {
+    PublicObject o;
+    o.id = id;
+    o.location = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    o.category = 1;
+    EXPECT_TRUE(store.AddPublicObject(o).ok());
+  }
+  return store;
+}
+
+TEST(PrivateKnnQueryTest, InputValidation) {
+  auto store = MakeStoreWithPois(10, 1);
+  EXPECT_EQ(PrivateKnnQuery(store, Rect(), 3, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PrivateKnnQuery(store, Rect(0, 0, 1, 1), 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PrivateKnnQuery(store, Rect(0, 0, 1, 1), 3, 9).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PrivateKnnQueryTest, KEqualsOneMatchesNnQuery) {
+  auto store = MakeStoreWithPois(200, 2);
+  Rect cloaked(40, 40, 50, 50);
+  auto knn = PrivateKnnQuery(store, cloaked, 1, 1);
+  auto nn = PrivateNnQuery(store, cloaked, 1);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_TRUE(nn.ok());
+  std::set<ObjectId> a, b;
+  for (const auto& c : knn.value().candidates) a.insert(c.id);
+  for (const auto& c : nn.value().candidates) b.insert(c.id);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrivateKnnQueryTest, FewerObjectsThanKReturnsAll) {
+  auto store = MakeStoreWithPois(5, 3);
+  auto r = PrivateKnnQuery(store, Rect(10, 10, 20, 20), 10, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().candidates.size(), 5u);
+}
+
+// The k-NN guarantee: for ANY point in the cloaked region, all of its k
+// nearest neighbors are in the candidate set.
+TEST(PrivateKnnQueryTest, CandidatesContainKnnOfEveryInteriorPoint) {
+  auto store = MakeStoreWithPois(300, 4);
+  auto index = store.CategoryIndex(1);
+  ASSERT_TRUE(index.ok());
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    Rect cloaked(rng.Uniform(5, 70), rng.Uniform(5, 70), 0, 0);
+    cloaked.max_x = cloaked.min_x + rng.Uniform(1, 20);
+    cloaked.max_y = cloaked.min_y + rng.Uniform(1, 20);
+    size_t k = 1 + rng.NextBelow(8);
+    auto r = PrivateKnnQuery(store, cloaked, k, 1);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> candidate_ids;
+    for (const auto& c : r.value().candidates) candidate_ids.insert(c.id);
+    std::vector<Point> probes;
+    for (const auto& corner : cloaked.Corners()) probes.push_back(corner);
+    probes.push_back(cloaked.Center());
+    for (int s = 0; s < 20; ++s) {
+      probes.push_back({rng.Uniform(cloaked.min_x, cloaked.max_x),
+                        rng.Uniform(cloaked.min_y, cloaked.max_y)});
+    }
+    for (const auto& p : probes) {
+      for (const auto& nn : index.value()->KNearest(p, k)) {
+        EXPECT_TRUE(candidate_ids.count(nn.id) > 0)
+            << "k=" << k << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(PrivateKnnQueryTest, RefinementMatchesGroundTruth) {
+  auto store = MakeStoreWithPois(300, 6);
+  auto index = store.CategoryIndex(1);
+  ASSERT_TRUE(index.ok());
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    Rect cloaked(rng.Uniform(5, 70), rng.Uniform(5, 70), 0, 0);
+    cloaked.max_x = cloaked.min_x + rng.Uniform(1, 15);
+    cloaked.max_y = cloaked.min_y + rng.Uniform(1, 15);
+    Point p{rng.Uniform(cloaked.min_x, cloaked.max_x),
+            rng.Uniform(cloaked.min_y, cloaked.max_y)};
+    size_t k = 1 + rng.NextBelow(5);
+    auto r = PrivateKnnQuery(store, cloaked, k, 1);
+    ASSERT_TRUE(r.ok());
+    auto refined = RefineKnnCandidates(r.value().candidates, p, k);
+    auto truth = index.value()->KNearest(p, k);
+    ASSERT_EQ(refined.size(), truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_DOUBLE_EQ(Distance(p, refined[i].location),
+                       Distance(p, truth[i].location));
+    }
+  }
+}
+
+TEST(PrivateKnnQueryTest, CandidateCountGrowsWithK) {
+  auto store = MakeStoreWithPois(500, 8);
+  Rect cloaked(45, 45, 55, 55);
+  size_t prev = 0;
+  for (size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    auto r = PrivateKnnQuery(store, cloaked, k, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r.value().candidates.size(), std::max<size_t>(prev, k));
+    prev = r.value().candidates.size();
+  }
+}
+
+TEST(PrivateKnnQueryTest, PruningStillRemovesFarObjects) {
+  auto store = MakeStoreWithPois(500, 9);
+  auto r = PrivateKnnQuery(store, Rect(45, 45, 55, 55), 3, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().dominance_pruned, 0u);
+  EXPECT_LT(r.value().candidates.size(), 200u);
+}
+
+TEST(PrivateKnnQueryTest, RefineHandlesShortLists) {
+  std::vector<PublicObject> two(2);
+  two[0].id = 1;
+  two[0].location = {0, 0};
+  two[1].id = 2;
+  two[1].location = {1, 1};
+  auto refined = RefineKnnCandidates(two, {0, 0}, 5);
+  ASSERT_EQ(refined.size(), 2u);
+  EXPECT_EQ(refined[0].id, 1u);
+}
+
+}  // namespace
+}  // namespace cloakdb

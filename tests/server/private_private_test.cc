@@ -1,0 +1,185 @@
+#include "server/private_private.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geom/distance.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+TEST(PrivatePrivateRangeTest, InputValidation) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  EXPECT_EQ(PrivatePrivateRangeQuery(store, Rect(), 5.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      PrivatePrivateRangeQuery(store, Rect(0, 0, 1, 1), 0.0).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(PrivatePrivateRangeTest, CertainPossibleAndExcluded) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rect querier(40, 40, 50, 50);
+  // Certain: even the farthest pair is within 30.
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect(52, 40, 56, 50)).ok());
+  // Possible but uncertain: min below, max above the radius.
+  ASSERT_TRUE(store.UpsertPrivateRegion(2, Rect(55, 55, 80, 80)).ok());
+  // Impossible: min distance above the radius.
+  ASSERT_TRUE(store.UpsertPrivateRegion(3, Rect(90, 90, 95, 95)).ok());
+  auto r = PrivatePrivateRangeQuery(store, querier, 30.0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().matches.size(), 2u);
+  EXPECT_EQ(r.value().min_count, 1);
+  EXPECT_EQ(r.value().max_count, 2);
+  for (const auto& m : r.value().matches) {
+    if (m.pseudonym == 1) {
+      EXPECT_TRUE(m.certain);
+      EXPECT_DOUBLE_EQ(m.probability, 1.0);
+    } else {
+      EXPECT_EQ(m.pseudonym, 2u);
+      EXPECT_FALSE(m.certain);
+      EXPECT_GT(m.probability, 0.0);
+      EXPECT_LT(m.probability, 1.0);
+    }
+  }
+  EXPECT_GT(r.value().expected_count, 1.0);
+  EXPECT_LT(r.value().expected_count, 2.0);
+}
+
+TEST(PrivatePrivateRangeTest, ExcludesTheQuerier) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  ASSERT_TRUE(store.UpsertPrivateRegion(7, Rect(40, 40, 50, 50)).ok());
+  ASSERT_TRUE(store.UpsertPrivateRegion(8, Rect(42, 42, 48, 48)).ok());
+  PrivatePrivateOptions options;
+  options.exclude = 7;
+  auto r = PrivatePrivateRangeQuery(store, Rect(40, 40, 50, 50), 10.0,
+                                    options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().matches.size(), 1u);
+  EXPECT_EQ(r.value().matches[0].pseudonym, 8u);
+}
+
+TEST(PrivatePrivateRangeTest, IntervalBracketsSampledTruth) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    ObjectStore store(Rect(0, 0, 100, 100));
+    // Hidden true locations with cloaked regions around them.
+    Point querier_true{rng.Uniform(20, 80), rng.Uniform(20, 80)};
+    Rect querier = Rect::CenteredSquare(querier_true, rng.Uniform(2, 10));
+    std::vector<std::pair<ObjectId, Point>> truth;
+    for (ObjectId id = 1; id <= 40; ++id) {
+      Point p{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+      ASSERT_TRUE(store.UpsertPrivateRegion(
+                           id, Rect::CenteredSquare(p, rng.Uniform(2, 10)))
+                      .ok());
+      truth.push_back({id, p});
+    }
+    double radius = rng.Uniform(10, 25);
+    auto r = PrivatePrivateRangeQuery(store, querier, radius);
+    ASSERT_TRUE(r.ok());
+    int actual = 0;
+    for (const auto& [id, p] : truth) {
+      if (Distance(p, querier_true) <= radius) ++actual;
+    }
+    EXPECT_GE(actual, r.value().min_count);
+    EXPECT_LE(actual, r.value().max_count);
+  }
+}
+
+TEST(PrivatePrivateNnTest, Validation) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  EXPECT_EQ(PrivatePrivateNnQuery(store, Rect()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PrivatePrivateNnQuery(store, Rect(0, 0, 1, 1)).status().code(),
+            StatusCode::kNotFound);
+  // Only the querier herself stored: still NotFound after exclusion.
+  ASSERT_TRUE(store.UpsertPrivateRegion(7, Rect(0, 0, 1, 1)).ok());
+  PrivatePrivateOptions options;
+  options.exclude = 7;
+  EXPECT_EQ(
+      PrivatePrivateNnQuery(store, Rect(0, 0, 1, 1), options).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST(PrivatePrivateNnTest, PrunesGuaranteedFarther) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rect querier(45, 45, 55, 55);
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect(56, 45, 60, 55)).ok());
+  ASSERT_TRUE(store.UpsertPrivateRegion(2, Rect(90, 90, 95, 95)).ok());
+  auto r = PrivatePrivateNnQuery(store, querier);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().candidates.size(), 1u);
+  EXPECT_EQ(r.value().candidates[0].pseudonym, 1u);
+  EXPECT_DOUBLE_EQ(r.value().candidates[0].probability, 1.0);
+  EXPECT_EQ(r.value().pruned, 1u);
+  EXPECT_EQ(r.value().most_likely, 1u);
+}
+
+TEST(PrivatePrivateNnTest, SymmetricCandidatesSplitProbability) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rect querier(48, 48, 52, 52);
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect(40, 48, 44, 52)).ok());
+  ASSERT_TRUE(store.UpsertPrivateRegion(2, Rect(56, 48, 60, 52)).ok());
+  PrivatePrivateOptions options;
+  options.mc_samples = 20000;
+  auto r = PrivatePrivateNnQuery(store, querier, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().candidates.size(), 2u);
+  EXPECT_NEAR(r.value().candidates[0].probability, 0.5, 0.02);
+  EXPECT_NEAR(r.value().candidates[1].probability, 0.5, 0.02);
+}
+
+TEST(PrivatePrivateNnTest, TrueNearestSurvivesPruning) {
+  Rng rng(13);
+  for (int trial = 0; trial < 15; ++trial) {
+    ObjectStore store(Rect(0, 0, 100, 100));
+    Point querier_true{rng.Uniform(20, 80), rng.Uniform(20, 80)};
+    Rect querier = Rect::CenteredSquare(querier_true, rng.Uniform(2, 8));
+    ObjectId nearest = 0;
+    double best = 1e18;
+    for (ObjectId id = 1; id <= 30; ++id) {
+      Point p{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+      ASSERT_TRUE(store.UpsertPrivateRegion(
+                           id, Rect::CenteredSquare(p, rng.Uniform(2, 8)))
+                      .ok());
+      double d = Distance(p, querier_true);
+      if (d < best) {
+        best = d;
+        nearest = id;
+      }
+    }
+    PrivatePrivateOptions options;
+    options.mc_samples = 0;
+    auto r = PrivatePrivateNnQuery(store, querier, options);
+    ASSERT_TRUE(r.ok());
+    bool found = false;
+    for (const auto& c : r.value().candidates) {
+      if (c.pseudonym == nearest) found = true;
+    }
+    EXPECT_TRUE(found) << "trial " << trial;
+  }
+}
+
+TEST(PrivatePrivateNnTest, DeterministicGivenSeed) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(14);
+  for (ObjectId id = 1; id <= 15; ++id) {
+    Point p{rng.Uniform(10, 90), rng.Uniform(10, 90)};
+    ASSERT_TRUE(
+        store.UpsertPrivateRegion(id, Rect::CenteredSquare(p, 6)).ok());
+  }
+  auto a = PrivatePrivateNnQuery(store, Rect(45, 45, 55, 55));
+  auto b = PrivatePrivateNnQuery(store, Rect(45, 45, 55, 55));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().candidates.size(), b.value().candidates.size());
+  for (size_t i = 0; i < a.value().candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value().candidates[i].probability,
+                     b.value().candidates[i].probability);
+  }
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,254 @@
+#include "server/private_queries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "geom/distance.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+ObjectStore MakeStoreWithPois(size_t n, uint64_t seed, Category cat = 1) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(seed);
+  for (ObjectId id = 1; id <= n; ++id) {
+    PublicObject o;
+    o.id = id;
+    o.location = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    o.category = cat;
+    EXPECT_TRUE(store.AddPublicObject(o).ok());
+  }
+  return store;
+}
+
+TEST(PrivateRangeQueryTest, InputValidation) {
+  auto store = MakeStoreWithPois(10, 1);
+  EXPECT_EQ(PrivateRangeQuery(store, Rect(), 1.0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      PrivateRangeQuery(store, Rect(0, 0, 1, 1), 0.0, 1).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      PrivateRangeQuery(store, Rect(0, 0, 1, 1), 1.0, 9).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST(PrivateRangeQueryTest, ExtendedRegionIsMinkowskiExpansion) {
+  auto store = MakeStoreWithPois(10, 2);
+  auto r = PrivateRangeQuery(store, Rect(10, 10, 20, 20), 3.0, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().extended_region, Rect(7, 7, 23, 23));
+}
+
+TEST(PrivateRangeQueryTest, CandidatesAreExactlyTheReachableObjects) {
+  auto store = MakeStoreWithPois(300, 3);
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    Rect cloaked(rng.Uniform(10, 70), rng.Uniform(10, 70), 0, 0);
+    cloaked.max_x = cloaked.min_x + rng.Uniform(1, 15);
+    cloaked.max_y = cloaked.min_y + rng.Uniform(1, 15);
+    double radius = rng.Uniform(2, 10);
+    auto r = PrivateRangeQuery(store, cloaked, radius, 1);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> got;
+    for (const auto& c : r.value().candidates) got.insert(c.id);
+    // Brute force: object is a candidate iff within `radius` of some point
+    // of the cloaked region, i.e. MinDist <= radius.
+    for (ObjectId id = 1; id <= 300; ++id) {
+      auto obj = store.GetPublicObject(id);
+      ASSERT_TRUE(obj.ok());
+      bool reachable = MinDist(obj.value().location, cloaked) <= radius;
+      EXPECT_EQ(got.count(id) > 0, reachable) << "object " << id;
+    }
+  }
+}
+
+TEST(PrivateRangeQueryTest, MbrApproximationIsSupersetOfExact) {
+  auto store = MakeStoreWithPois(300, 5);
+  Rect cloaked(40, 40, 50, 50);
+  PrivateRangeOptions exact;
+  exact.exact_rounded_rect = true;
+  PrivateRangeOptions approx;
+  approx.exact_rounded_rect = false;
+  auto e = PrivateRangeQuery(store, cloaked, 8.0, 1, exact);
+  auto a = PrivateRangeQuery(store, cloaked, 8.0, 1, approx);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(a.ok());
+  EXPECT_GE(a.value().candidates.size(), e.value().candidates.size());
+  std::set<ObjectId> approx_ids;
+  for (const auto& c : a.value().candidates) approx_ids.insert(c.id);
+  for (const auto& c : e.value().candidates)
+    EXPECT_TRUE(approx_ids.count(c.id) > 0);
+  EXPECT_EQ(a.value().rounded_rect_pruned, 0u);
+}
+
+// The paper's core guarantee (Fig. 5a): for ANY point in the cloaked
+// region, refining the candidate list yields exactly the true range answer.
+TEST(PrivateRangeQueryTest, RefinementIsExactForAnyInteriorPoint) {
+  auto store = MakeStoreWithPois(300, 6);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rect cloaked(rng.Uniform(10, 60), rng.Uniform(10, 60), 0, 0);
+    cloaked.max_x = cloaked.min_x + rng.Uniform(2, 20);
+    cloaked.max_y = cloaked.min_y + rng.Uniform(2, 20);
+    double radius = rng.Uniform(3, 10);
+    auto r = PrivateRangeQuery(store, cloaked, radius, 1);
+    ASSERT_TRUE(r.ok());
+    for (int s = 0; s < 10; ++s) {
+      Point p{rng.Uniform(cloaked.min_x, cloaked.max_x),
+              rng.Uniform(cloaked.min_y, cloaked.max_y)};
+      auto refined = RefineRangeCandidates(r.value().candidates, p, radius);
+      std::set<ObjectId> got;
+      for (const auto& o : refined) got.insert(o.id);
+      std::set<ObjectId> want;
+      for (ObjectId id = 1; id <= 300; ++id) {
+        if (Distance(store.GetPublicObject(id).value().location, p) <= radius)
+          want.insert(id);
+      }
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+TEST(PrivateNnQueryTest, InputValidation) {
+  auto store = MakeStoreWithPois(10, 8);
+  EXPECT_EQ(PrivateNnQuery(store, Rect(), 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PrivateNnQuery(store, Rect(0, 0, 1, 1), 9).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PrivateNnQueryTest, SingleObjectIsTheOnlyCandidate) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  PublicObject o;
+  o.id = 1;
+  o.location = {50, 50};
+  o.category = 1;
+  ASSERT_TRUE(store.AddPublicObject(o).ok());
+  auto r = PrivateNnQuery(store, Rect(10, 10, 20, 20), 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().candidates.size(), 1u);
+  EXPECT_EQ(r.value().candidates[0].id, 1u);
+}
+
+// The paper's core guarantee (Fig. 5b): for ANY point in the cloaked
+// region, the true NN is in the candidate set.
+TEST(PrivateNnQueryTest, CandidateSetContainsNnOfEveryInteriorPoint) {
+  auto store = MakeStoreWithPois(200, 9);
+  auto index = store.CategoryIndex(1);
+  ASSERT_TRUE(index.ok());
+  Rng rng(10);
+  for (int trial = 0; trial < 25; ++trial) {
+    Rect cloaked(rng.Uniform(5, 75), rng.Uniform(5, 75), 0, 0);
+    cloaked.max_x = cloaked.min_x + rng.Uniform(1, 20);
+    cloaked.max_y = cloaked.min_y + rng.Uniform(1, 20);
+    auto r = PrivateNnQuery(store, cloaked, 1);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> candidate_ids;
+    for (const auto& c : r.value().candidates) candidate_ids.insert(c.id);
+    // Sample interior points including all corners and the center.
+    std::vector<Point> probes;
+    for (const auto& corner : cloaked.Corners()) probes.push_back(corner);
+    probes.push_back(cloaked.Center());
+    for (int s = 0; s < 30; ++s) {
+      probes.push_back({rng.Uniform(cloaked.min_x, cloaked.max_x),
+                        rng.Uniform(cloaked.min_y, cloaked.max_y)});
+    }
+    for (const auto& p : probes) {
+      auto nn = index.value()->KNearest(p, 1);
+      ASSERT_EQ(nn.size(), 1u);
+      EXPECT_TRUE(candidate_ids.count(nn.front().id) > 0)
+          << "NN of " << p.ToString() << " missing from candidates (trial "
+          << trial << ")";
+    }
+  }
+}
+
+TEST(PrivateNnQueryTest, DominancePruningIsSafeAndEffective) {
+  auto store = MakeStoreWithPois(500, 11);
+  Rect cloaked(45, 45, 55, 55);
+  auto r = PrivateNnQuery(store, cloaked, 1);
+  ASSERT_TRUE(r.ok());
+  // With 500 uniform POIs over 100x100, the vast majority must be pruned.
+  EXPECT_LT(r.value().candidates.size(), 100u);
+  EXPECT_GT(r.value().dominance_pruned, 0u);
+  // Safety: every kept candidate could actually be an NN — its MinDist does
+  // not exceed every other candidate's MaxDist.
+  double min_max = std::numeric_limits<double>::infinity();
+  for (const auto& c : r.value().candidates) {
+    min_max = std::min(min_max, MaxDist(c.location, cloaked));
+  }
+  for (const auto& c : r.value().candidates) {
+    EXPECT_LE(MinDist(c.location, cloaked), min_max + 1e-12);
+  }
+}
+
+TEST(PrivateNnQueryTest, ObjectsInsideRegionAreAlwaysCandidates) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  // Two objects inside the region, one far away.
+  for (ObjectId id = 1; id <= 2; ++id) {
+    PublicObject o;
+    o.id = id;
+    o.location = {48.0 + id, 50.0};
+    o.category = 1;
+    ASSERT_TRUE(store.AddPublicObject(o).ok());
+  }
+  PublicObject far;
+  far.id = 3;
+  far.location = {95, 95};
+  far.category = 1;
+  ASSERT_TRUE(store.AddPublicObject(far).ok());
+  auto r = PrivateNnQuery(store, Rect(45, 45, 55, 55), 1);
+  ASSERT_TRUE(r.ok());
+  std::set<ObjectId> ids;
+  for (const auto& c : r.value().candidates) ids.insert(c.id);
+  EXPECT_TRUE(ids.count(1) > 0);
+  EXPECT_TRUE(ids.count(2) > 0);
+  EXPECT_FALSE(ids.count(3) > 0);  // dominated by the interior objects
+}
+
+TEST(PrivateNnQueryTest, DegenerateRegionReducesToPlainNn) {
+  auto store = MakeStoreWithPois(100, 12);
+  auto index = store.CategoryIndex(1);
+  ASSERT_TRUE(index.ok());
+  Point q{33, 44};
+  auto r = PrivateNnQuery(store, Rect::FromPoint(q), 1);
+  ASSERT_TRUE(r.ok());
+  auto truth = index.value()->KNearest(q, 1);
+  auto refined = RefineNnCandidates(r.value().candidates, q);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_DOUBLE_EQ(Distance(q, refined.value().location),
+                   Distance(q, truth.front().location));
+}
+
+TEST(RefineTest, NnRefinementPicksNearest) {
+  std::vector<PublicObject> candidates(3);
+  candidates[0].id = 1;
+  candidates[0].location = {0, 0};
+  candidates[1].id = 2;
+  candidates[1].location = {5, 5};
+  candidates[2].id = 3;
+  candidates[2].location = {1, 1};
+  auto best = RefineNnCandidates(candidates, {1.2, 1.2});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().id, 3u);
+  EXPECT_EQ(RefineNnCandidates({}, {0, 0}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RefineTest, NnTieBrokenByLowestId) {
+  std::vector<PublicObject> candidates(2);
+  candidates[0].id = 9;
+  candidates[0].location = {1, 0};
+  candidates[1].id = 2;
+  candidates[1].location = {-1, 0};
+  auto best = RefineNnCandidates(candidates, {0, 0});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().id, 2u);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,260 @@
+#include "server/public_queries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "geom/distance.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+TEST(PublicCountQueryTest, RejectsEmptyWindow) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  EXPECT_EQ(PublicRangeCountQuery(store, Rect()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PublicCountQueryTest, EmptyStoreGivesZero) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  auto r = PublicRangeCountQuery(store, Rect(0, 0, 10, 10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().naive_count, 0u);
+  EXPECT_DOUBLE_EQ(r.value().answer.expected, 0.0);
+  EXPECT_EQ(r.value().answer.min_count, 0);
+  EXPECT_EQ(r.value().answer.max_count, 0);
+}
+
+TEST(PublicCountQueryTest, PaperFigure6aScenario) {
+  // Reconstructs Fig. 6a: one fully-inside region (D), one disjoint (C),
+  // and four partial overlaps of 75%, 50%, 20%, 25% (A, B, E, F).
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rect window(10, 10, 30, 30);
+  // D: fully inside.
+  ASSERT_TRUE(store.UpsertPrivateRegion(4, Rect(15, 15, 20, 20)).ok());
+  // C: disjoint.
+  ASSERT_TRUE(store.UpsertPrivateRegion(3, Rect(50, 50, 60, 60)).ok());
+  // A: 75% inside. Region 10x4 = 40 area; 30 inside.
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect(12, 7, 22, 11)).ok());
+  // Overlap: x [12,22] full 10 wide, y [10,11] of [7,11] -> 10/40 = 25%?
+  // Fix: choose region [12,22]x[8,11]: area 30, overlap [10,11]x10 = 10 ->
+  // 33%. Simplest exact framings below instead:
+  ASSERT_TRUE(store.RemovePrivateRegion(1).ok());
+  // A: region [5,25]x[12,14], area 40; overlap x [10,25] =15, y full 2 ->
+  // 30. 75%.
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect(5, 12, 25, 14)).ok());
+  // B: region [20,40]x[20,22], area 40; overlap x [20,30] = 10 -> 50%.
+  ASSERT_TRUE(store.UpsertPrivateRegion(2, Rect(20, 20, 40, 22)).ok());
+  // E: region [25,35]x[25,29], area 40; overlap [25,30]x[25,29]... x 5 of
+  // 10, y 4 of 4 -> 50%. Want 20%: region [26,46]x[24,26], area 40,
+  // overlap x [26,30] = 4 of 20, y full -> 20%.
+  ASSERT_TRUE(store.UpsertPrivateRegion(5, Rect(26, 24, 46, 26)).ok());
+  // F: region [10,30]x[28,36], area 160; overlap y [28,30] = 2 of 8, x
+  // full -> 25%.
+  ASSERT_TRUE(store.UpsertPrivateRegion(6, Rect(10, 28, 30, 36)).ok());
+
+  auto r = PublicRangeCountQuery(store, window);
+  ASSERT_TRUE(r.ok());
+  // Naive non-zero-size treatment counts all five intersecting objects —
+  // the inaccuracy the paper calls out.
+  EXPECT_EQ(r.value().naive_count, 5u);
+  // Probabilistic absolute answer: 1 + 0.75 + 0.5 + 0.2 + 0.25 = 2.7.
+  EXPECT_NEAR(r.value().answer.expected, 2.7, 1e-9);
+  // Interval [1, 5].
+  EXPECT_EQ(r.value().answer.min_count, 1);
+  EXPECT_EQ(r.value().answer.max_count, 5);
+  // PDF over [0, 5] summing to 1 with zero mass below 1.
+  double total = std::accumulate(r.value().answer.pmf.begin(),
+                                 r.value().answer.pmf.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.value().answer.pmf[0], 0.0);
+}
+
+TEST(PublicCountQueryTest, ExpectedValueIsUnbiasedUnderUniformity) {
+  // Monte-Carlo validation of the uniformity assumption: draw true
+  // locations uniformly in their regions and compare the empirical count
+  // with the probabilistic expectation.
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(31);
+  std::vector<Rect> regions;
+  for (ObjectId id = 1; id <= 60; ++id) {
+    Rect region(rng.Uniform(0, 80), rng.Uniform(0, 80), 0, 0);
+    region.max_x = region.min_x + rng.Uniform(2, 20);
+    region.max_y = region.min_y + rng.Uniform(2, 20);
+    ASSERT_TRUE(store.UpsertPrivateRegion(id, region).ok());
+    regions.push_back(region);
+  }
+  Rect window(20, 20, 60, 60);
+  auto r = PublicRangeCountQuery(store, window);
+  ASSERT_TRUE(r.ok());
+
+  double empirical = 0.0;
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    int count = 0;
+    for (const auto& region : regions) {
+      Point p{rng.Uniform(region.min_x, region.max_x),
+              rng.Uniform(region.min_y, region.max_y)};
+      if (window.Contains(p)) ++count;
+    }
+    empirical += count;
+  }
+  empirical /= kTrials;
+  EXPECT_NEAR(empirical, r.value().answer.expected,
+              4.0 * std::sqrt(r.value().answer.variance / kTrials) + 0.05);
+}
+
+TEST(PublicCountQueryTest, IntervalAlwaysBracketsTruth) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(32);
+  std::vector<std::pair<Rect, Point>> users;  // region + true location
+  for (ObjectId id = 1; id <= 50; ++id) {
+    Point p{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+    Rect region = Rect::CenteredSquare(p, rng.Uniform(1, 15));
+    ASSERT_TRUE(store.UpsertPrivateRegion(id, region).ok());
+    users.push_back({region, p});
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    Rect window(rng.Uniform(0, 70), rng.Uniform(0, 70), 0, 0);
+    window.max_x = window.min_x + rng.Uniform(5, 30);
+    window.max_y = window.min_y + rng.Uniform(5, 30);
+    auto r = PublicRangeCountQuery(store, window);
+    ASSERT_TRUE(r.ok());
+    int truth = 0;
+    for (const auto& [region, p] : users) {
+      if (window.Contains(p)) ++truth;
+    }
+    EXPECT_GE(truth, r.value().answer.min_count);
+    EXPECT_LE(truth, r.value().answer.max_count);
+  }
+}
+
+TEST(PublicCountQueryTest, DegeneratePointRegionCountsAsCertain) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect::FromPoint({5, 5})).ok());
+  auto r = PublicRangeCountQuery(store, Rect(0, 0, 10, 10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().answer.min_count, 1);
+  EXPECT_DOUBLE_EQ(r.value().answer.expected, 1.0);
+}
+
+TEST(PublicNnQueryTest, FailsWithoutPrivateData) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  EXPECT_EQ(PublicNnQuery(store, {50, 50}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PublicNnQueryTest, PaperFigure6bPruning) {
+  // Fig. 6b: candidates D (closest), E, F survive; A, B, C are eliminated
+  // because D beats them for every possible pair of locations.
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Point gas_station{50, 50};
+  // D: very close to the query point.
+  ASSERT_TRUE(store.UpsertPrivateRegion(4, Rect(52, 48, 56, 52)).ok());
+  // E, F: overlapping D's distance band.
+  ASSERT_TRUE(store.UpsertPrivateRegion(5, Rect(44, 52, 49, 58)).ok());
+  ASSERT_TRUE(store.UpsertPrivateRegion(6, Rect(47, 40, 53, 46)).ok());
+  // A, B, C: far away — their MinDist exceeds D's MaxDist.
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect(10, 10, 15, 15)).ok());
+  ASSERT_TRUE(store.UpsertPrivateRegion(2, Rect(80, 80, 90, 90)).ok());
+  ASSERT_TRUE(store.UpsertPrivateRegion(3, Rect(10, 80, 20, 95)).ok());
+
+  auto r = PublicNnQuery(store, gas_station);
+  ASSERT_TRUE(r.ok());
+  std::set<ObjectId> survivors;
+  for (const auto& c : r.value().candidates) survivors.insert(c.pseudonym);
+  EXPECT_EQ(survivors, (std::set<ObjectId>{4, 5, 6}));
+  EXPECT_EQ(r.value().pruned, 3u);
+  EXPECT_EQ(r.value().most_likely, 4u);  // D has the highest probability
+  // Probabilities sum to ~1 over the candidate set.
+  double total = 0.0;
+  for (const auto& c : r.value().candidates) total += c.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PublicNnQueryTest, SingleUserHasProbabilityOne) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  ASSERT_TRUE(store.UpsertPrivateRegion(9, Rect(10, 10, 20, 20)).ok());
+  auto r = PublicNnQuery(store, {0, 0});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().candidates.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.value().candidates[0].probability, 1.0);
+  EXPECT_EQ(r.value().most_likely, 9u);
+}
+
+TEST(PublicNnQueryTest, ProbabilitiesMatchAnalyticTwoUserCase) {
+  // Two identical regions equidistant from the query point: by symmetry
+  // each is the NN with probability 1/2.
+  ObjectStore store(Rect(0, 0, 100, 100));
+  ASSERT_TRUE(store.UpsertPrivateRegion(1, Rect(40, 60, 44, 64)).ok());
+  ASSERT_TRUE(store.UpsertPrivateRegion(2, Rect(56, 60, 60, 64)).ok());
+  PublicNnOptions options;
+  options.mc_samples = 20000;
+  auto r = PublicNnQuery(store, {50, 50}, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().candidates.size(), 2u);
+  EXPECT_NEAR(r.value().candidates[0].probability, 0.5, 0.02);
+  EXPECT_NEAR(r.value().candidates[1].probability, 0.5, 0.02);
+}
+
+TEST(PublicNnQueryTest, DeterministicGivenSeed) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  Rng rng(33);
+  for (ObjectId id = 1; id <= 20; ++id) {
+    Rect region(rng.Uniform(0, 90), rng.Uniform(0, 90), 0, 0);
+    region.max_x = region.min_x + rng.Uniform(1, 10);
+    region.max_y = region.min_y + rng.Uniform(1, 10);
+    ASSERT_TRUE(store.UpsertPrivateRegion(id, region).ok());
+  }
+  auto a = PublicNnQuery(store, {50, 50});
+  auto b = PublicNnQuery(store, {50, 50});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().candidates.size(), b.value().candidates.size());
+  for (size_t i = 0; i < a.value().candidates.size(); ++i) {
+    EXPECT_EQ(a.value().candidates[i].pseudonym,
+              b.value().candidates[i].pseudonym);
+    EXPECT_DOUBLE_EQ(a.value().candidates[i].probability,
+                     b.value().candidates[i].probability);
+  }
+}
+
+TEST(PublicNnQueryTest, TrueNearestUserIsAlwaysACandidate) {
+  // Property: draw true locations, the actually-nearest user must survive
+  // pruning (the candidate set is a sound superset).
+  Rng rng(34);
+  for (int trial = 0; trial < 20; ++trial) {
+    ObjectStore store(Rect(0, 0, 100, 100));
+    std::vector<std::pair<ObjectId, Point>> truth;
+    for (ObjectId id = 1; id <= 30; ++id) {
+      Point p{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+      Rect region = Rect::CenteredSquare(p, rng.Uniform(1, 12));
+      ASSERT_TRUE(store.UpsertPrivateRegion(id, region).ok());
+      truth.push_back({id, p});
+    }
+    Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    PublicNnOptions options;
+    options.mc_samples = 0;  // pruning only
+    auto r = PublicNnQuery(store, q, options);
+    ASSERT_TRUE(r.ok());
+    ObjectId nearest = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [id, p] : truth) {
+      double d = Distance(q, p);
+      if (d < best) {
+        best = d;
+        nearest = id;
+      }
+    }
+    bool found = false;
+    for (const auto& c : r.value().candidates) {
+      if (c.pseudonym == nearest) found = true;
+    }
+    EXPECT_TRUE(found) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cloakdb

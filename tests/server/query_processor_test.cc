@@ -1,0 +1,117 @@
+#include "server/query_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+QueryProcessor MakeServer(size_t pois, uint64_t seed = 41) {
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Rng rng(seed);
+  for (ObjectId id = 1; id <= pois; ++id) {
+    PublicObject o;
+    o.id = id;
+    o.location = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    o.category = 1;
+    EXPECT_TRUE(server.store().AddPublicObject(o).ok());
+  }
+  return server;
+}
+
+TEST(QueryProcessorTest, CloakedUpdateLifecycle) {
+  auto server = MakeServer(10);
+  ASSERT_TRUE(server.ApplyCloakedUpdate(1001, Rect(10, 10, 20, 20)).ok());
+  EXPECT_EQ(server.store().num_private(), 1u);
+  EXPECT_EQ(server.stats().cloaked_updates, 1u);
+  // Update replaces (a moving user).
+  ASSERT_TRUE(server.ApplyCloakedUpdate(1001, Rect(30, 30, 40, 40)).ok());
+  EXPECT_EQ(server.store().num_private(), 1u);
+  EXPECT_EQ(server.stats().cloaked_updates, 2u);
+  ASSERT_TRUE(server.DropPseudonym(1001).ok());
+  EXPECT_EQ(server.store().num_private(), 0u);
+  EXPECT_EQ(server.DropPseudonym(1001).code(), StatusCode::kNotFound);
+}
+
+TEST(QueryProcessorTest, PrivateQueriesUpdateStats) {
+  auto server = MakeServer(200);
+  Rect cloaked(40, 40, 50, 50);
+  auto range = server.PrivateRange(cloaked, 5.0, 1);
+  ASSERT_TRUE(range.ok());
+  auto nn = server.PrivateNn(cloaked, 1);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(server.stats().private_range_queries, 1u);
+  EXPECT_EQ(server.stats().private_nn_queries, 1u);
+  EXPECT_EQ(server.stats().range_candidates.count(), 1u);
+  EXPECT_EQ(server.stats().nn_candidates.count(), 1u);
+  size_t expected_bytes =
+      (range.value().candidates.size() + nn.value().candidates.size()) *
+      kBytesPerObject;
+  EXPECT_EQ(server.stats().bytes_to_clients, expected_bytes);
+}
+
+TEST(QueryProcessorTest, FailedQueriesDoNotCountInStats) {
+  auto server = MakeServer(10);
+  EXPECT_FALSE(server.PrivateRange(Rect(), 5.0, 1).ok());
+  EXPECT_FALSE(server.PrivateNn(Rect(1, 1, 2, 2), 99).ok());
+  EXPECT_EQ(server.stats().private_range_queries, 0u);
+  EXPECT_EQ(server.stats().private_nn_queries, 0u);
+}
+
+TEST(QueryProcessorTest, PublicQueriesRouted) {
+  auto server = MakeServer(10);
+  ASSERT_TRUE(server.ApplyCloakedUpdate(1001, Rect(10, 10, 20, 20)).ok());
+  auto count = server.PublicCount(Rect(0, 0, 50, 50));
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count.value().answer.expected, 1.0);
+  auto nn = server.PublicNn({0, 0});
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn.value().most_likely, 1001u);
+  EXPECT_EQ(server.stats().public_count_queries, 1u);
+  EXPECT_EQ(server.stats().public_nn_queries, 1u);
+}
+
+TEST(QueryProcessorTest, KnnAndPrivatePrivateRouted) {
+  auto server = MakeServer(200);
+  ASSERT_TRUE(server.ApplyCloakedUpdate(1001, Rect(10, 10, 20, 20)).ok());
+  ASSERT_TRUE(server.ApplyCloakedUpdate(1002, Rect(30, 30, 40, 40)).ok());
+
+  auto knn = server.PrivateKnn(Rect(40, 40, 50, 50), 3, 1);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_GE(knn.value().candidates.size(), 3u);
+  EXPECT_EQ(server.stats().private_knn_queries, 1u);
+
+  PrivatePrivateOptions options;
+  options.exclude = 1001;
+  auto pp_range =
+      server.PrivatePrivateRange(Rect(10, 10, 20, 20), 50.0, options);
+  ASSERT_TRUE(pp_range.ok());
+  EXPECT_EQ(pp_range.value().matches.size(), 1u);
+  auto pp_nn = server.PrivatePrivateNn(Rect(10, 10, 20, 20), options);
+  ASSERT_TRUE(pp_nn.ok());
+  EXPECT_EQ(pp_nn.value().most_likely, 1002u);
+  EXPECT_EQ(server.stats().private_private_queries, 2u);
+}
+
+TEST(QueryProcessorTest, HeatmapFacade) {
+  auto server = MakeServer(10);
+  ASSERT_TRUE(server.ApplyCloakedUpdate(1, Rect(0, 0, 50, 50)).ok());
+  auto map = server.Heatmap(4);
+  ASSERT_TRUE(map.ok());
+  EXPECT_NEAR(map.value().TotalMass(), 1.0, 1e-9);
+  EXPECT_FALSE(server.Heatmap(0).ok());
+}
+
+TEST(QueryProcessorTest, ResetStatsClearsEverything) {
+  auto server = MakeServer(50);
+  ASSERT_TRUE(server.ApplyCloakedUpdate(1, Rect(1, 1, 2, 2)).ok());
+  ASSERT_TRUE(server.PrivateNn(Rect(10, 10, 20, 20), 1).ok());
+  server.ResetStats();
+  EXPECT_EQ(server.stats().cloaked_updates, 0u);
+  EXPECT_EQ(server.stats().private_nn_queries, 0u);
+  EXPECT_EQ(server.stats().bytes_to_clients, 0u);
+}
+
+}  // namespace
+}  // namespace cloakdb

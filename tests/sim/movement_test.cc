@@ -1,0 +1,123 @@
+#include "sim/movement.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/distance.h"
+
+namespace cloakdb {
+namespace {
+
+const Rect kSpace(0, 0, 100, 100);
+
+RandomWaypointModel::Options FastOptions() {
+  RandomWaypointModel::Options options;
+  options.min_speed = 1.0;
+  options.max_speed = 5.0;
+  return options;
+}
+
+TEST(MovementTest, AddRemoveUsers) {
+  RandomWaypointModel model(kSpace, FastOptions());
+  ASSERT_TRUE(model.AddUser(1, {10, 10}).ok());
+  EXPECT_EQ(model.AddUser(1, {20, 20}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(model.AddUser(2, {200, 0}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(model.size(), 1u);
+  ASSERT_TRUE(model.RemoveUser(1).ok());
+  EXPECT_EQ(model.RemoveUser(1).code(), StatusCode::kNotFound);
+}
+
+TEST(MovementTest, MoversStayInsideSpace) {
+  RandomWaypointModel model(kSpace, FastOptions());
+  for (ObjectId id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(model.AddUser(id, {50, 50}).ok());
+  }
+  for (int step = 0; step < 200; ++step) {
+    model.Step(1.0);
+    for (const auto& e : model.Locations()) {
+      EXPECT_TRUE(kSpace.Contains(e.location));
+    }
+  }
+}
+
+TEST(MovementTest, SpeedBoundsRespected) {
+  RandomWaypointModel model(kSpace, FastOptions());
+  ASSERT_TRUE(model.AddUser(1, {50, 50}).ok());
+  Point prev = model.LocationOf(1).value();
+  for (int step = 0; step < 100; ++step) {
+    model.Step(0.5);
+    Point now = model.LocationOf(1).value();
+    // Distance per step never exceeds max_speed * dt (waypoint turns can
+    // only shorten the displacement).
+    EXPECT_LE(Distance(prev, now), 5.0 * 0.5 + 1e-9);
+    prev = now;
+  }
+}
+
+TEST(MovementTest, ZeroDtIsNoOp) {
+  RandomWaypointModel model(kSpace, FastOptions());
+  ASSERT_TRUE(model.AddUser(1, {25, 75}).ok());
+  Point before = model.LocationOf(1).value();
+  model.Step(0.0);
+  EXPECT_EQ(model.LocationOf(1).value(), before);
+}
+
+TEST(MovementTest, PauseDelaysMovement) {
+  RandomWaypointModel::Options options;
+  options.min_speed = 100.0;  // reaches any waypoint within one step
+  options.max_speed = 100.0;
+  options.pause_time = 10.0;
+  RandomWaypointModel model(kSpace, options);
+  ASSERT_TRUE(model.AddUser(1, {50, 50}).ok());
+  model.Step(2.0);  // arrives at first waypoint, starts pausing
+  Point at_arrival = model.LocationOf(1).value();
+  model.Step(1.0);  // still pausing
+  EXPECT_EQ(model.LocationOf(1).value(), at_arrival);
+}
+
+TEST(MovementTest, UsersActuallyMove) {
+  RandomWaypointModel model(kSpace, FastOptions());
+  for (ObjectId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(model.AddUser(id, {50, 50}).ok());
+  }
+  auto before = model.Locations();
+  model.Step(5.0);
+  auto after = model.Locations();
+  size_t moved = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (Distance(before[i].location, after[i].location) > 0.1) ++moved;
+  }
+  EXPECT_GT(moved, 15u);
+}
+
+TEST(MovementTest, DeterministicFromSeed) {
+  auto opts = FastOptions();
+  opts.seed = 999;
+  RandomWaypointModel a(kSpace, opts), b(kSpace, opts);
+  for (ObjectId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(a.AddUser(id, {50, 50}).ok());
+    ASSERT_TRUE(b.AddUser(id, {50, 50}).ok());
+  }
+  for (int step = 0; step < 20; ++step) {
+    a.Step(1.0);
+    b.Step(1.0);
+  }
+  auto la = a.Locations(), lb = b.Locations();
+  for (size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].location, lb[i].location);
+  }
+}
+
+TEST(MovementTest, LocationsPreserveInsertionOrder) {
+  RandomWaypointModel model(kSpace, FastOptions());
+  ASSERT_TRUE(model.AddUser(5, {1, 1}).ok());
+  ASSERT_TRUE(model.AddUser(2, {2, 2}).ok());
+  ASSERT_TRUE(model.AddUser(9, {3, 3}).ok());
+  auto locs = model.Locations();
+  ASSERT_EQ(locs.size(), 3u);
+  EXPECT_EQ(locs[0].id, 5u);
+  EXPECT_EQ(locs[1].id, 2u);
+  EXPECT_EQ(locs[2].id, 9u);
+}
+
+}  // namespace
+}  // namespace cloakdb

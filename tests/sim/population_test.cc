@@ -1,0 +1,141 @@
+#include "sim/population.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cloakdb {
+namespace {
+
+const Rect kSpace(0, 0, 100, 100);
+
+TEST(PopulationTest, RejectsEmptySpace) {
+  Rng rng(1);
+  PopulationOptions options;
+  EXPECT_FALSE(GeneratePopulation(Rect(), options, &rng).ok());
+}
+
+TEST(PopulationTest, RejectsZeroClusters) {
+  Rng rng(1);
+  PopulationOptions options;
+  options.model = PopulationModel::kGaussianClusters;
+  options.num_clusters = 0;
+  EXPECT_FALSE(GeneratePopulation(kSpace, options, &rng).ok());
+}
+
+class PopulationModelsTest
+    : public ::testing::TestWithParam<PopulationModel> {};
+
+TEST_P(PopulationModelsTest, GeneratesRequestedCountInsideSpace) {
+  Rng rng(2);
+  PopulationOptions options;
+  options.model = GetParam();
+  options.num_users = 2000;
+  auto pop = GeneratePopulation(kSpace, options, &rng);
+  ASSERT_TRUE(pop.ok());
+  EXPECT_EQ(pop.value().size(), 2000u);
+  for (const auto& e : pop.value()) {
+    EXPECT_TRUE(kSpace.Contains(e.location));
+  }
+}
+
+TEST_P(PopulationModelsTest, IdsAreConsecutiveFromFirstId) {
+  Rng rng(3);
+  PopulationOptions options;
+  options.model = GetParam();
+  options.num_users = 50;
+  options.first_id = 1000;
+  auto pop = GeneratePopulation(kSpace, options, &rng);
+  ASSERT_TRUE(pop.ok());
+  std::set<ObjectId> ids;
+  for (const auto& e : pop.value()) ids.insert(e.id);
+  EXPECT_EQ(ids.size(), 50u);
+  EXPECT_EQ(*ids.begin(), 1000u);
+  EXPECT_EQ(*ids.rbegin(), 1049u);
+}
+
+TEST_P(PopulationModelsTest, DeterministicFromSeed) {
+  PopulationOptions options;
+  options.model = GetParam();
+  options.num_users = 100;
+  Rng a(7), b(7);
+  auto pa = GeneratePopulation(kSpace, options, &a);
+  auto pb = GeneratePopulation(kSpace, options, &b);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(pa.value()[i].location, pb.value()[i].location);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, PopulationModelsTest,
+    ::testing::Values(PopulationModel::kUniform,
+                      PopulationModel::kGaussianClusters,
+                      PopulationModel::kZipfGrid),
+    [](const ::testing::TestParamInfo<PopulationModel>& info) {
+      switch (info.param) {
+        case PopulationModel::kUniform:
+          return "uniform";
+        case PopulationModel::kGaussianClusters:
+          return "gaussian";
+        case PopulationModel::kZipfGrid:
+          return "zipf";
+      }
+      return "unknown";
+    });
+
+TEST(PopulationTest, GaussianClustersAreSkewed) {
+  // Clustered populations concentrate: the densest 10x10 sub-window holds
+  // far more than the uniform share.
+  Rng rng(11);
+  PopulationOptions options;
+  options.model = PopulationModel::kGaussianClusters;
+  options.num_users = 5000;
+  options.num_clusters = 4;
+  auto pop = GeneratePopulation(kSpace, options, &rng);
+  ASSERT_TRUE(pop.ok());
+  size_t densest = 0;
+  for (int cx = 0; cx < 10; ++cx) {
+    for (int cy = 0; cy < 10; ++cy) {
+      Rect cell(cx * 10.0, cy * 10.0, (cx + 1) * 10.0, (cy + 1) * 10.0);
+      size_t count = 0;
+      for (const auto& e : pop.value())
+        if (cell.Contains(e.location)) ++count;
+      densest = std::max(densest, count);
+    }
+  }
+  EXPECT_GT(densest, 5000u / 100 * 5);  // >5x the uniform expectation
+}
+
+TEST(PopulationTest, ZipfGridIsSkewed) {
+  Rng rng(12);
+  PopulationOptions options;
+  options.model = PopulationModel::kZipfGrid;
+  options.num_users = 5000;
+  options.zipf_theta = 1.2;
+  options.zipf_cells_per_side = 10;
+  auto pop = GeneratePopulation(kSpace, options, &rng);
+  ASSERT_TRUE(pop.ok());
+  size_t densest = 0;
+  for (int cx = 0; cx < 10; ++cx) {
+    for (int cy = 0; cy < 10; ++cy) {
+      Rect cell(cx * 10.0, cy * 10.0, (cx + 1) * 10.0, (cy + 1) * 10.0);
+      size_t count = 0;
+      for (const auto& e : pop.value())
+        if (cell.Contains(e.location)) ++count;
+      densest = std::max(densest, count);
+    }
+  }
+  EXPECT_GT(densest, 5000u / 100 * 4);
+}
+
+TEST(PopulationTest, SamplePointStaysInside) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(kSpace.Contains(SamplePoint(kSpace, &rng)));
+  }
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,71 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace cloakdb {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceTest, RecordProducesStepsTimesUsersEvents) {
+  RandomWaypointModel model(Rect(0, 0, 100, 100), {});
+  for (ObjectId id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(model.AddUser(id, {50, 50}).ok());
+  }
+  auto events = RecordTrace(&model, 10, 1.0);
+  EXPECT_EQ(events.size(), 11u * 5u);
+  // Tick 0 captures the starting positions.
+  EXPECT_EQ(events[0].time, 0.0);
+  EXPECT_EQ(events[0].location, Point(50, 50));
+  // Last tick at t = 10.
+  EXPECT_DOUBLE_EQ(events.back().time, 10.0);
+}
+
+TEST(TraceTest, CsvRoundTripIsExact) {
+  RandomWaypointModel model(Rect(0, 0, 100, 100), {});
+  for (ObjectId id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(model.AddUser(id, {10.0 * id, 20.0 * id}).ok());
+  }
+  auto events = RecordTrace(&model, 5, 0.5);
+  auto path = TempPath("trace_roundtrip.csv");
+  ASSERT_TRUE(WriteTraceCsv(path, events).ok());
+  auto loaded = ReadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i], events[i]) << "event " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadTraceCsv("/nonexistent/trace.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TraceTest, ReadMalformedLineFails) {
+  auto path = TempPath("trace_malformed.csv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "time,user,x,y\n1.0,7,3.5\n");  // missing y
+  std::fclose(f);
+  auto loaded = ReadTraceCsv(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, EmptyTraceRoundTrips) {
+  auto path = TempPath("trace_empty.csv");
+  ASSERT_TRUE(WriteTraceCsv(path, {}).ok());
+  auto loaded = ReadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,137 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace cloakdb {
+namespace {
+
+const Rect kSpace(0, 0, 100, 100);
+
+std::vector<UserId> SomeUsers() { return {1, 2, 3, 4, 5}; }
+
+TEST(WorkloadTest, CreateValidation) {
+  WorkloadOptions options;
+  EXPECT_TRUE(WorkloadGenerator::Create(kSpace, SomeUsers(), options).ok());
+
+  WorkloadOptions zero;
+  zero.mix = {0, 0, 0, 0, 0};
+  EXPECT_FALSE(WorkloadGenerator::Create(kSpace, SomeUsers(), zero).ok());
+
+  WorkloadOptions negative;
+  negative.mix.private_nn = -1.0;
+  EXPECT_FALSE(WorkloadGenerator::Create(kSpace, SomeUsers(), negative).ok());
+
+  // Private queries without issuers.
+  EXPECT_FALSE(WorkloadGenerator::Create(kSpace, {}, options).ok());
+
+  // Public-only mix needs no issuers.
+  WorkloadOptions public_only;
+  public_only.mix = {0, 0, 0, 1, 1};
+  EXPECT_TRUE(WorkloadGenerator::Create(kSpace, {}, public_only).ok());
+
+  WorkloadOptions no_categories;
+  no_categories.categories.clear();
+  EXPECT_FALSE(
+      WorkloadGenerator::Create(kSpace, SomeUsers(), no_categories).ok());
+
+  WorkloadOptions bad_radius;
+  bad_radius.min_radius_fraction = 0.0;
+  EXPECT_FALSE(
+      WorkloadGenerator::Create(kSpace, SomeUsers(), bad_radius).ok());
+
+  EXPECT_FALSE(WorkloadGenerator::Create(Rect(), SomeUsers(), options).ok());
+}
+
+TEST(WorkloadTest, MixFrequenciesRespected) {
+  WorkloadOptions options;
+  options.mix = {0.4, 0.2, 0.1, 0.2, 0.1};
+  auto gen = WorkloadGenerator::Create(kSpace, SomeUsers(), options);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(1);
+  int counts[5] = {0, 0, 0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    counts[static_cast<int>(gen.value().Next(&rng).type)]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.4, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[4] / static_cast<double>(n), 0.1, 0.02);
+}
+
+TEST(WorkloadTest, SpecsAreWellFormed) {
+  WorkloadOptions options;
+  options.categories = {7, 9};
+  options.mix.private_knn = 0.2;  // include the extension type
+  auto gen = WorkloadGenerator::Create(kSpace, SomeUsers(), options);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(2);
+  for (const auto& spec : gen.value().Batch(2000, &rng)) {
+    switch (spec.type) {
+      case QueryType::kPrivateRange:
+        EXPECT_GT(spec.radius, 0.0);
+        EXPECT_LE(spec.radius, 100.0 * options.max_radius_fraction + 1e-9);
+        [[fallthrough]];
+      case QueryType::kPrivateNn:
+        EXPECT_GE(spec.issuer, 1u);
+        EXPECT_LE(spec.issuer, 5u);
+        EXPECT_TRUE(spec.category == 7 || spec.category == 9);
+        break;
+      case QueryType::kPrivateKnn:
+        EXPECT_GE(spec.knn_k, options.min_knn);
+        EXPECT_LE(spec.knn_k, options.max_knn);
+        EXPECT_GE(spec.issuer, 1u);
+        EXPECT_LE(spec.issuer, 5u);
+        EXPECT_TRUE(spec.category == 7 || spec.category == 9);
+        break;
+      case QueryType::kPublicCount:
+        EXPECT_FALSE(spec.window.IsEmpty());
+        EXPECT_TRUE(kSpace.Contains(spec.window));
+        break;
+      case QueryType::kPublicNn:
+        EXPECT_TRUE(kSpace.Contains(spec.from));
+        break;
+    }
+  }
+}
+
+TEST(WorkloadTest, DeterministicFromSeed) {
+  WorkloadOptions options;
+  auto gen = WorkloadGenerator::Create(kSpace, SomeUsers(), options);
+  ASSERT_TRUE(gen.ok());
+  Rng a(5), b(5);
+  auto batch_a = gen.value().Batch(100, &a);
+  auto batch_b = gen.value().Batch(100, &b);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(batch_a[i].type, batch_b[i].type);
+    EXPECT_EQ(batch_a[i].issuer, batch_b[i].issuer);
+  }
+}
+
+TEST(WorkloadTest, QueryTypeNames) {
+  EXPECT_STREQ(QueryTypeName(QueryType::kPrivateRange), "private-range");
+  EXPECT_STREQ(QueryTypeName(QueryType::kPrivateNn), "private-nn");
+  EXPECT_STREQ(QueryTypeName(QueryType::kPrivateKnn), "private-knn");
+  EXPECT_STREQ(QueryTypeName(QueryType::kPublicCount), "public-count");
+  EXPECT_STREQ(QueryTypeName(QueryType::kPublicNn), "public-nn");
+}
+
+TEST(WorkloadTest, KnnValidation) {
+  WorkloadOptions options;
+  options.min_knn = 0;
+  EXPECT_FALSE(WorkloadGenerator::Create(kSpace, SomeUsers(), options).ok());
+  options.min_knn = 5;
+  options.max_knn = 2;
+  EXPECT_FALSE(WorkloadGenerator::Create(kSpace, SomeUsers(), options).ok());
+}
+
+TEST(WorkloadTest, KnnOnlyMixNeedsIssuers) {
+  WorkloadOptions options;
+  options.mix = {0, 0, 1, 0, 0};
+  EXPECT_FALSE(WorkloadGenerator::Create(kSpace, {}, options).ok());
+  EXPECT_TRUE(WorkloadGenerator::Create(kSpace, SomeUsers(), options).ok());
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cloakdb {
+namespace {
+
+// Restores the global log level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MacroEmitsToStderrWhenEnabled) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  CLOAKDB_LOG(kInfo) << "cloaked " << 3 << " users";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO]"), std::string::npos);
+  EXPECT_NE(out.find("cloaked 3 users"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressedBelowThreshold) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  CLOAKDB_LOG(kDebug) << "hidden";
+  CLOAKDB_LOG(kWarning) << "also hidden";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LoggingTest, LevelNamesAppear) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  CLOAKDB_LOG(kDebug) << "d";
+  CLOAKDB_LOG(kWarning) << "w";
+  CLOAKDB_LOG(kError) << "e";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[DEBUG]"), std::string::npos);
+  EXPECT_NE(out.find("[WARN]"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,114 @@
+#include "util/poisson_binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace cloakdb {
+namespace {
+
+double PmfSum(const std::vector<double>& pmf) {
+  return std::accumulate(pmf.begin(), pmf.end(), 0.0);
+}
+
+TEST(PoissonBinomialTest, EmptyInputIsPointMassAtZero) {
+  auto pmf = PoissonBinomialPmf({});
+  ASSERT_TRUE(pmf.ok());
+  ASSERT_EQ(pmf.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf.value()[0], 1.0);
+}
+
+TEST(PoissonBinomialTest, SingleTrial) {
+  auto pmf = PoissonBinomialPmf({0.3});
+  ASSERT_TRUE(pmf.ok());
+  EXPECT_NEAR(pmf.value()[0], 0.7, 1e-15);
+  EXPECT_NEAR(pmf.value()[1], 0.3, 1e-15);
+}
+
+TEST(PoissonBinomialTest, MatchesBinomialWhenProbsEqual) {
+  auto pmf = PoissonBinomialPmf({0.5, 0.5, 0.5, 0.5});
+  ASSERT_TRUE(pmf.ok());
+  const double expected[] = {1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16,
+                             1.0 / 16};
+  for (int i = 0; i <= 4; ++i) EXPECT_NEAR(pmf.value()[i], expected[i], 1e-12);
+}
+
+TEST(PoissonBinomialTest, PaperFigure6aExample) {
+  // Paper Fig. 6a: probabilities 1, 0.75, 0.5, 0.2, 0.25 -> expected 2.7.
+  std::vector<double> ps{1.0, 0.75, 0.5, 0.2, 0.25};
+  auto answer = MakeCountAnswer(ps);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NEAR(answer.value().expected, 2.7, 1e-12);
+  EXPECT_EQ(answer.value().min_count, 1);  // only the certain object
+  EXPECT_EQ(answer.value().max_count, 5);  // all five can contribute
+  // PMF sanity: sums to 1, zero mass outside [min, max] certainty bound.
+  EXPECT_NEAR(PmfSum(answer.value().pmf), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(answer.value().pmf[0], 0.0);  // count 0 impossible (p=1)
+  // Mean of the PMF equals the expected value.
+  double mean = 0.0;
+  for (size_t i = 0; i < answer.value().pmf.size(); ++i)
+    mean += static_cast<double>(i) * answer.value().pmf[i];
+  EXPECT_NEAR(mean, 2.7, 1e-12);
+}
+
+TEST(PoissonBinomialTest, VarianceFormula) {
+  std::vector<double> ps{0.2, 0.5, 0.9};
+  auto answer = MakeCountAnswer(ps);
+  ASSERT_TRUE(answer.ok());
+  double want = 0.2 * 0.8 + 0.5 * 0.5 + 0.9 * 0.1;
+  EXPECT_NEAR(answer.value().variance, want, 1e-12);
+  // Cross-check against the PMF's second moment.
+  double mean = 0.0, second = 0.0;
+  for (size_t i = 0; i < answer.value().pmf.size(); ++i) {
+    mean += static_cast<double>(i) * answer.value().pmf[i];
+    second += static_cast<double>(i * i) * answer.value().pmf[i];
+  }
+  EXPECT_NEAR(second - mean * mean, want, 1e-12);
+}
+
+TEST(PoissonBinomialTest, RejectsOutOfRangeProbabilities) {
+  EXPECT_FALSE(PoissonBinomialPmf({0.5, 1.5}).ok());
+  EXPECT_FALSE(PoissonBinomialPmf({-0.1}).ok());
+  EXPECT_FALSE(MakeCountAnswer({2.0}).ok());
+}
+
+TEST(PoissonBinomialTest, SnapsNearCertainties) {
+  auto answer = MakeCountAnswer({1.0 - 1e-15, 1e-15});
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value().min_count, 1);
+  EXPECT_EQ(answer.value().max_count, 1);
+  EXPECT_DOUBLE_EQ(answer.value().expected, 1.0);
+}
+
+TEST(PoissonBinomialTest, MostLikelyIsMode) {
+  auto answer = MakeCountAnswer({0.9, 0.9, 0.9});
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value().MostLikely(), 3);
+  auto answer2 = MakeCountAnswer({0.1, 0.1, 0.1});
+  ASSERT_TRUE(answer2.ok());
+  EXPECT_EQ(answer2.value().MostLikely(), 0);
+}
+
+TEST(PoissonBinomialTest, AllCertainObjectsGiveDegeneratePmf) {
+  auto answer = MakeCountAnswer({1.0, 1.0, 1.0});
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value().min_count, 3);
+  EXPECT_EQ(answer.value().max_count, 3);
+  EXPECT_NEAR(answer.value().pmf[3], 1.0, 1e-12);
+  EXPECT_NEAR(answer.value().variance, 0.0, 1e-12);
+}
+
+TEST(PoissonBinomialTest, LargeInputStaysNormalized) {
+  std::vector<double> ps(500, 0.37);
+  auto pmf = PoissonBinomialPmf(ps);
+  ASSERT_TRUE(pmf.ok());
+  EXPECT_NEAR(PmfSum(pmf.value()), 1.0, 1e-9);
+  // Mode near n*p.
+  auto answer = MakeCountAnswer(ps);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NEAR(answer.value().MostLikely(), 185, 2);
+}
+
+}  // namespace
+}  // namespace cloakdb

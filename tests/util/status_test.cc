@@ -1,0 +1,96 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cloakdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Unsatisfiable("f"), StatusCode::kUnsatisfiable,
+       "Unsatisfiable"},
+      {Status::Internal("g"), StatusCode::kInternal, "Internal"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::NotFound("user 42 missing");
+  EXPECT_EQ(s.ToString(), "NotFound: user 42 missing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), 5);
+}
+
+Status FailingHelper() { return Status::OutOfRange("boom"); }
+
+Status UsesReturnIfError() {
+  CLOAKDB_RETURN_IF_ERROR(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -1,0 +1,144 @@
+#include "util/time_of_day.h"
+
+#include <gtest/gtest.h>
+
+namespace cloakdb {
+namespace {
+
+TEST(TimeOfDayTest, FromHmsValid) {
+  auto t = TimeOfDay::FromHms(13, 45, 30);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().hour(), 13);
+  EXPECT_EQ(t.value().minute(), 45);
+  EXPECT_EQ(t.value().second(), 30);
+  EXPECT_EQ(t.value().seconds(), 13 * 3600 + 45 * 60 + 30);
+}
+
+TEST(TimeOfDayTest, FromHmsRejectsOutOfRange) {
+  EXPECT_FALSE(TimeOfDay::FromHms(24, 0).ok());
+  EXPECT_FALSE(TimeOfDay::FromHms(-1, 0).ok());
+  EXPECT_FALSE(TimeOfDay::FromHms(0, 60).ok());
+  EXPECT_FALSE(TimeOfDay::FromHms(0, 0, 60).ok());
+}
+
+TEST(TimeOfDayTest, FromSecondsWraps) {
+  EXPECT_EQ(TimeOfDay::FromSeconds(86400).seconds(), 0);
+  EXPECT_EQ(TimeOfDay::FromSeconds(86401).seconds(), 1);
+  EXPECT_EQ(TimeOfDay::FromSeconds(-1).seconds(), 86399);
+  EXPECT_EQ(TimeOfDay::FromSeconds(2 * 86400 + 5).seconds(), 5);
+}
+
+TEST(TimeOfDayTest, ParseFormats) {
+  auto a = TimeOfDay::Parse("08:30");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().hour(), 8);
+  EXPECT_EQ(a.value().minute(), 30);
+
+  auto b = TimeOfDay::Parse("23:59:59");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().seconds(), 86399);
+
+  EXPECT_FALSE(TimeOfDay::Parse("nonsense").ok());
+  EXPECT_FALSE(TimeOfDay::Parse("25:00").ok());
+}
+
+TEST(TimeOfDayTest, PlusWrapsMidnight) {
+  auto t = TimeOfDay::FromHms(23, 30).value();
+  EXPECT_EQ(t.Plus(3600).hour(), 0);
+  EXPECT_EQ(t.Plus(3600).minute(), 30);
+  EXPECT_EQ(t.Plus(-86400), t);
+}
+
+TEST(TimeOfDayTest, ToStringPadsFields) {
+  EXPECT_EQ(TimeOfDay::FromHms(7, 5, 9).value().ToString(), "07:05:09");
+}
+
+TEST(TimeOfDayTest, Ordering) {
+  auto a = TimeOfDay::FromHms(8, 0).value();
+  auto b = TimeOfDay::FromHms(17, 0).value();
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a != b);
+}
+
+TEST(DailyIntervalTest, SimpleContains) {
+  DailyInterval day(TimeOfDay::FromHms(8, 0).value(),
+                    TimeOfDay::FromHms(17, 0).value());
+  EXPECT_TRUE(day.Contains(TimeOfDay::FromHms(8, 0).value()));   // closed lo
+  EXPECT_TRUE(day.Contains(TimeOfDay::FromHms(12, 0).value()));
+  EXPECT_FALSE(day.Contains(TimeOfDay::FromHms(17, 0).value()));  // open hi
+  EXPECT_FALSE(day.Contains(TimeOfDay::FromHms(3, 0).value()));
+  EXPECT_FALSE(day.WrapsMidnight());
+}
+
+TEST(DailyIntervalTest, MidnightWrapContains) {
+  // The paper's "10:00 PM - 8:00 AM" night interval.
+  DailyInterval night(TimeOfDay::FromHms(22, 0).value(),
+                      TimeOfDay::FromHms(8, 0).value());
+  EXPECT_TRUE(night.WrapsMidnight());
+  EXPECT_TRUE(night.Contains(TimeOfDay::FromHms(23, 0).value()));
+  EXPECT_TRUE(night.Contains(TimeOfDay::FromHms(0, 0).value()));
+  EXPECT_TRUE(night.Contains(TimeOfDay::FromHms(7, 59).value()));
+  EXPECT_FALSE(night.Contains(TimeOfDay::FromHms(8, 0).value()));
+  EXPECT_FALSE(night.Contains(TimeOfDay::FromHms(12, 0).value()));
+}
+
+TEST(DailyIntervalTest, FullDayWhenStartEqualsEnd) {
+  DailyInterval full;
+  EXPECT_TRUE(full.Contains(TimeOfDay::FromHms(0, 0).value()));
+  EXPECT_TRUE(full.Contains(TimeOfDay::FromHms(23, 59, 59).value()));
+  EXPECT_EQ(full.DurationSeconds(), TimeOfDay::kSecondsPerDay);
+}
+
+TEST(DailyIntervalTest, DurationHandlesWrap) {
+  DailyInterval night(TimeOfDay::FromHms(22, 0).value(),
+                      TimeOfDay::FromHms(8, 0).value());
+  EXPECT_EQ(night.DurationSeconds(), 10 * 3600);
+  DailyInterval day(TimeOfDay::FromHms(8, 0).value(),
+                    TimeOfDay::FromHms(17, 0).value());
+  EXPECT_EQ(day.DurationSeconds(), 9 * 3600);
+}
+
+TEST(DailyIntervalTest, OverlapsDisjointAndAdjacent) {
+  DailyInterval a(TimeOfDay::FromHms(8, 0).value(),
+                  TimeOfDay::FromHms(17, 0).value());
+  DailyInterval b(TimeOfDay::FromHms(17, 0).value(),
+                  TimeOfDay::FromHms(22, 0).value());
+  DailyInterval c(TimeOfDay::FromHms(12, 0).value(),
+                  TimeOfDay::FromHms(18, 0).value());
+  EXPECT_FALSE(a.Overlaps(b));  // half-open adjacency does not overlap
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_TRUE(c.Overlaps(b));
+}
+
+TEST(DailyIntervalTest, OverlapsAcrossMidnight) {
+  DailyInterval night(TimeOfDay::FromHms(22, 0).value(),
+                      TimeOfDay::FromHms(8, 0).value());
+  DailyInterval early(TimeOfDay::FromHms(6, 0).value(),
+                      TimeOfDay::FromHms(9, 0).value());
+  DailyInterval noon(TimeOfDay::FromHms(11, 0).value(),
+                     TimeOfDay::FromHms(13, 0).value());
+  EXPECT_TRUE(night.Overlaps(early));
+  EXPECT_TRUE(early.Overlaps(night));
+  EXPECT_FALSE(night.Overlaps(noon));
+  EXPECT_FALSE(noon.Overlaps(night));
+}
+
+TEST(DailyIntervalTest, PaperProfileIntervalsPartitionTheDay) {
+  // The three Fig. 2 rows cover the whole day without overlap.
+  DailyInterval day(TimeOfDay::FromHms(8, 0).value(),
+                    TimeOfDay::FromHms(17, 0).value());
+  DailyInterval evening(TimeOfDay::FromHms(17, 0).value(),
+                        TimeOfDay::FromHms(22, 0).value());
+  DailyInterval night(TimeOfDay::FromHms(22, 0).value(),
+                      TimeOfDay::FromHms(8, 0).value());
+  EXPECT_FALSE(day.Overlaps(evening));
+  EXPECT_FALSE(evening.Overlaps(night));
+  EXPECT_FALSE(night.Overlaps(day));
+  EXPECT_EQ(day.DurationSeconds() + evening.DurationSeconds() +
+                night.DurationSeconds(),
+            TimeOfDay::kSecondsPerDay);
+}
+
+}  // namespace
+}  // namespace cloakdb
