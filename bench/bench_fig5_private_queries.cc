@@ -52,9 +52,9 @@ void BM_Fig5a_PrivateRange(benchmark::State& state) {
       total_candidates / static_cast<double>(queries);
   state.counters["avg_bytes"] = total_candidates /
                                 static_cast<double>(queries) *
-                                kBytesPerObject;
+                                WireCostModel{}.bytes_per_object;
   state.counters["naive_send_all_bytes"] =
-      2000.0 * kBytesPerObject;  // the paper's baseline
+      2000.0 * WireCostModel{}.bytes_per_object;  // the paper's baseline
 }
 BENCHMARK(BM_Fig5a_PrivateRange)
     ->Arg(1)->Arg(10)->Arg(50)->Arg(200)->Arg(1000)
@@ -82,8 +82,8 @@ void BM_Fig5b_PrivateNn(benchmark::State& state) {
   state.counters["avg_pruned"] = total_pruned / static_cast<double>(queries);
   state.counters["avg_bytes"] = total_candidates /
                                 static_cast<double>(queries) *
-                                kBytesPerObject;
-  state.counters["naive_send_all_bytes"] = 2000.0 * kBytesPerObject;
+                                WireCostModel{}.bytes_per_object;
+  state.counters["naive_send_all_bytes"] = 2000.0 * WireCostModel{}.bytes_per_object;
 }
 BENCHMARK(BM_Fig5b_PrivateNn)
     ->Arg(1)->Arg(10)->Arg(50)->Arg(200)->Arg(1000)

@@ -12,6 +12,7 @@
 #include <algorithm>
 
 #include "bench_common.h"
+#include "service/cloak_db_service.h"
 
 namespace cloakdb {
 namespace {
@@ -136,6 +137,108 @@ BENCHMARK(BM_S53_ScaleQuadtree)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_S53_ScaleMbr)
     ->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Shard/worker sweep of the service layer: one round = every user's exact
+// location enqueued (blocking) and the queues fully drained through the
+// batched shared-execution path. Single-shard is the sequential baseline;
+// N shards with N workers should approach Nx on real multicore hardware
+// (the shards share no locks, only the producer thread).
+void BM_Service_ShardedUpdateRounds(benchmark::State& state) {
+  const auto shards = static_cast<uint32_t>(state.range(0));
+  const size_t users = 20000;
+
+  CloakDbServiceOptions options;
+  options.space = bench::Space();
+  options.num_shards = shards;
+  options.worker_threads = shards;  // one drain worker per shard
+  options.queue_capacity = 8192;
+  options.max_batch = 512;
+  auto service = CloakDbService::Create(options);
+  if (!service.ok()) {
+    state.SkipWithError("service setup failed");
+    return;
+  }
+  CloakDbService& db = *service.value();
+  auto locations = bench::MakeUsers(users);
+  PrivacyProfile profile =
+      PrivacyProfile::Uniform({20, 0.0, kInf}).value();
+  for (const auto& u : locations) (void)db.RegisterUser(u.id, profile);
+
+  Rng rng(83);
+  TimeOfDay now = bench::Noon();
+  for (auto _ : state) {
+    for (auto& u : locations) {
+      u.location.x =
+          std::clamp(u.location.x + rng.Uniform(-1.0, 1.0), 0.0, 100.0);
+      u.location.y =
+          std::clamp(u.location.y + rng.Uniform(-1.0, 1.0), 0.0, 100.0);
+      if (!db.EnqueueUpdate(u.id, u.location, now).ok()) {
+        state.SkipWithError("enqueue failed");
+        return;
+      }
+    }
+    if (!db.Flush().ok()) {
+      state.SkipWithError("flush failed");
+      return;
+    }
+    now = now.Plus(60);
+  }
+  ServiceStats stats = db.Stats();
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["avg_batch"] = stats.ingest.batch_size.mean();
+  state.counters["updates_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * users),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Service_ShardedUpdateRounds)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()  // wall clock: the work happens on the worker pool
+    ->Unit(benchmark::kMillisecond);
+
+// Fan-out query throughput while the shards hold a live population: mixed
+// private range + public count against a 4-shard service, driven by
+// `threads` concurrent clients (queries take only shared locks, so client
+// scaling measures reader-side contention).
+void BM_Service_FanOutQueries(benchmark::State& state) {
+  static CloakDbService* db = nullptr;
+  if (state.thread_index() == 0 && db == nullptr) {
+    CloakDbServiceOptions options;
+    options.space = bench::Space();
+    options.num_shards = 4;
+    auto service = CloakDbService::Create(options);
+    Rng poi_rng(bench::kSeed ^ 0x9999);
+    PoiOptions poi;
+    poi.count = 2000;
+    poi.category = poi_category::kGasStation;
+    auto pois = GeneratePois(bench::Space(), poi, &poi_rng).value();
+    (void)service.value()->BulkLoadCategory(poi_category::kGasStation,
+                                            std::move(pois));
+    PrivacyProfile profile =
+        PrivacyProfile::Uniform({20, 0.0, kInf}).value();
+    Rng rng(84);
+    for (UserId user = 1; user <= 10000; ++user) {
+      (void)service.value()->RegisterUser(user, profile);
+      (void)service.value()->UpdateLocation(
+          user, {rng.Uniform(0, 100), rng.Uniform(0, 100)}, bench::Noon());
+    }
+    db = service.value().release();
+  }
+  Rng rng(85 + state.thread_index());
+  for (auto _ : state) {
+    double x = rng.Uniform(0, 90), y = rng.Uniform(0, 90);
+    Rect cloaked(x, y, x + 5, y + 5);
+    benchmark::DoNotOptimize(
+        db->PrivateRange(cloaked, 2.0, poi_category::kGasStation));
+    benchmark::DoNotOptimize(db->PublicCount(Rect(x, y, x + 20, y + 20)));
+  }
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 2),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Service_FanOutQueries)
+    ->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -37,7 +37,8 @@ int main() {
   PopulationOptions crowd;
   crowd.num_users = 4000;
   crowd.first_id = 100;
-  for (const auto& u : GeneratePopulation(space, crowd, &rng).value()) {
+  auto others = GeneratePopulation(space, crowd, &rng).value();
+  for (const auto& u : others) {
     (void)anonymizer->RegisterUser(u.id, PrivacyProfile::Public());
     (void)anonymizer->UpdateLocation(u.id, u.location, now);
   }

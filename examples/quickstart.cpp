@@ -1,96 +1,108 @@
-// Quickstart: the full privacy pipeline in ~80 lines.
+// Quickstart: the sharded CloakDB service in ~90 lines.
 //
-// Builds a small city, registers one privacy-conscious user, streams her
-// location through the Location Anonymizer, and runs a private
-// nearest-gas-station query that is exact despite the server never seeing
-// her true position.
+// Builds a small city, spins up a 4-shard CloakDbService (each shard a
+// Location Anonymizer + privacy-aware query processor with its own update
+// queue and drain worker), streams a crowd through the asynchronous update
+// path, and runs a private nearest-gas-station query that is exact despite
+// no server shard ever seeing Alice's true position.
 //
 // Run: ./quickstart
 
 #include <cstdio>
 
-#include "core/anonymizer.h"
-#include "server/query_processor.h"
+#include "server/private_queries.h"
+#include "service/cloak_db_service.h"
 #include "sim/poi.h"
 #include "sim/population.h"
-#include "system/messages.h"
-#include "system/mobile_client.h"
 
 using namespace cloakdb;
 
 int main() {
   const Rect space(0.0, 0.0, 10.0, 10.0);  // a 10x10-mile city
   Rng rng(2006);
+  TimeOfDay now = TimeOfDay::FromHms(18, 30).value();
 
-  // 1. The location-based database server with public data (gas stations).
-  QueryProcessor server(space);
+  // 1. The sharded service: 4 anonymizer/server shards, one drain worker
+  //    per shard, updates batched through the shared-execution path.
+  CloakDbServiceOptions options;
+  options.space = space;
+  options.num_shards = 4;
+  options.anonymizer.algorithm = CloakingKind::kGrid;
+  auto service = CloakDbService::Create(options);
+  if (!service.ok()) return 1;
+  CloakDbService& db = *service.value();
+
+  // 2. Public data: gas stations, striped across the shards by x.
   PoiOptions poi;
   poi.count = 40;
   poi.category = poi_category::kGasStation;
   poi.name_prefix = "gas";
   auto pois = GeneratePois(space, poi, &rng);
   if (!pois.ok()) return 1;
-  if (!server.store().BulkLoadCategory(poi.category, pois.value()).ok())
-    return 1;
+  if (!db.BulkLoadCategory(poi.category, pois.value()).ok()) return 1;
 
-  // 2. The trusted Location Anonymizer with a crowd of other users.
-  AnonymizerOptions anon_options;
-  anon_options.space = space;
-  anon_options.algorithm = CloakingKind::kGrid;
-  auto anonymizer = Anonymizer::Create(anon_options);
-  if (!anonymizer.ok()) return 1;
-  TimeOfDay now = TimeOfDay::FromHms(18, 30).value();
+  // 3. A crowd of 500 public users reporting through the async queue.
   PopulationOptions crowd;
   crowd.num_users = 500;
   crowd.first_id = 100;
   auto others = GeneratePopulation(space, crowd, &rng);
   if (!others.ok()) return 1;
   for (const auto& u : others.value()) {
-    (void)anonymizer.value()->RegisterUser(u.id, PrivacyProfile::Public());
-    (void)anonymizer.value()->UpdateLocation(u.id, u.location, now);
+    (void)db.RegisterUser(u.id, PrivacyProfile::Public());
+    if (!db.EnqueueUpdate(u.id, u.location, now).ok()) return 1;
   }
+  if (!db.Flush().ok()) return 1;  // wait for the workers to drain
 
-  // 3. Alice wants to be 20-anonymous with at least a 0.25-sq-mile cloak.
-  MessageCounters counters;
+  // 4. Alice wants to be 20-anonymous with at least a 0.25-sq-mile cloak.
   auto profile = PrivacyProfile::Uniform(
       {20, 0.25, std::numeric_limits<double>::infinity()});
   if (!profile.ok()) return 1;
-  auto alice = MobileClient::Connect(1, profile.value(),
-                                     anonymizer.value().get(), &server,
-                                     &counters);
-  if (!alice.ok()) return 1;
+  if (!db.RegisterUser(1, profile.value()).ok()) return 1;
 
   Point true_location{4.20, 6.90};
-  if (!alice.value().ReportLocation(true_location, now).ok()) return 1;
-
-  ObjectId pseudonym = anonymizer.value()->PseudonymOf(1).value();
-  Rect stored = server.store().GetPrivateRegion(pseudonym).value();
+  auto update = db.UpdateLocation(1, true_location, now);
+  if (!update.ok()) return 1;
   std::printf("Alice's true location      : %s (never leaves her device+TTP)\n",
               true_location.ToString().c_str());
-  std::printf("Server sees pseudonym %llx with region %s (area %.3f sq mi)\n",
-              static_cast<unsigned long long>(pseudonym),
-              stored.ToString().c_str(), stored.Area());
+  std::printf("Shard %u sees pseudonym %llx with region %s (area %.3f "
+              "sq mi)\n",
+              db.ShardOfUser(1),
+              static_cast<unsigned long long>(update.value().pseudonym),
+              update.value().cloaked.region.ToString().c_str(),
+              update.value().cloaked.region.Area());
 
-  // 4. Private query over public data: nearest gas station.
-  auto answer = alice.value().FindNearest(poi_category::kGasStation, now);
+  // 5. Private query over public data: cloak, fan out to the overlapping
+  //    stripes, refine the merged candidate list on Alice's device.
+  auto cloaked = db.CloakForQuery(1, now);
+  if (!cloaked.ok()) return 1;
+  auto answer = db.PrivateNn(cloaked.value().cloaked.region,
+                             poi_category::kGasStation);
   if (!answer.ok()) {
     std::printf("query failed: %s\n", answer.status().ToString().c_str());
     return 1;
   }
-  std::printf("Server returned %zu candidate stations; Alice refined to "
+  auto nearest = RefineNnCandidates(answer.value().candidates, true_location);
+  if (!nearest.ok()) return 1;
+  std::printf("Service returned %zu candidate stations; Alice refined to "
               "'%s' at %s\n",
-              answer.value().candidates_received,
-              answer.value().nearest.name.c_str(),
-              answer.value().nearest.location.ToString().c_str());
+              answer.value().candidates.size(),
+              nearest.value().name.c_str(),
+              nearest.value().location.ToString().c_str());
 
-  // 5. Verify against the non-private ground truth.
-  auto index = server.store().CategoryIndex(poi_category::kGasStation);
-  auto truth = index.value()->KNearest(true_location, 1).front();
+  // 6. Verify against the non-private ground truth (the raw POI list).
+  const PublicObject* truth = nullptr;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& object : pois.value()) {
+    double d = DistanceSquared(object.location, true_location);
+    if (d < best) {
+      best = d;
+      truth = &object;
+    }
+  }
   std::printf("Ground-truth nearest       : id %llu -> %s\n",
-              static_cast<unsigned long long>(truth.id),
-              truth.id == answer.value().nearest.id ? "EXACT MATCH"
-                                                    : "MISMATCH");
+              static_cast<unsigned long long>(truth->id),
+              truth->id == nearest.value().id ? "EXACT MATCH" : "MISMATCH");
 
-  std::printf("\nMessage traffic:\n%s", counters.ToString().c_str());
-  return truth.id == answer.value().nearest.id ? 0 : 1;
+  std::printf("\nService stats:\n%s", db.Stats().ToString().c_str());
+  return truth->id == nearest.value().id ? 0 : 1;
 }

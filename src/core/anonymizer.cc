@@ -12,6 +12,15 @@
 
 namespace cloakdb {
 
+Result<CloakingKind> CloakingKindFromName(const std::string& name) {
+  for (CloakingKind kind :
+       {CloakingKind::kNaive, CloakingKind::kMbr, CloakingKind::kQuadtree,
+        CloakingKind::kGrid, CloakingKind::kMultiLevelGrid}) {
+    if (name == CloakingKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown cloaking algorithm: " + name);
+}
+
 const char* CloakingKindName(CloakingKind kind) {
   switch (kind) {
     case CloakingKind::kNaive:
@@ -204,14 +213,18 @@ Result<CloakedUpdate> Anonymizer::UpdateLocation(UserId user,
 
 Result<std::vector<CloakedUpdate>> Anonymizer::UpdateLocationsBatch(
     const std::vector<std::pair<UserId, Point>>& updates, TimeOfDay now) {
-  // Phase 1: validate and apply every snapshot change.
+  // Phase 0: validate the whole batch before touching any state, so a bad
+  // entry anywhere in the batch leaves no partial snapshot changes behind.
   for (const auto& [user, location] : updates) {
-    auto it = users_.find(user);
-    if (it == users_.end())
+    if (users_.find(user) == users_.end())
       return Status::NotFound("user not registered in batch update");
     if (!options_.space.Contains(location))
       return Status::OutOfRange("location outside the anonymizer space");
-    UserState& state = it->second;
+  }
+
+  // Phase 1: apply every snapshot change.
+  for (const auto& [user, location] : updates) {
+    UserState& state = users_.find(user)->second;
     if (state.has_location) {
       CLOAKDB_RETURN_IF_ERROR(snapshot_->Move(user, location));
     } else {

@@ -46,6 +46,11 @@ enum class CloakingKind {
 /// Human-readable algorithm name ("naive", "mbr", ...).
 const char* CloakingKindName(CloakingKind kind);
 
+/// Parse-side inverse of CloakingKindName: resolves "naive", "mbr",
+/// "quadtree", "grid" or "multilevel-grid" back to the enum. Fails with
+/// InvalidArgument on any other spelling.
+Result<CloakingKind> CloakingKindFromName(const std::string& name);
+
 /// Anonymizer configuration.
 struct AnonymizerOptions {
   /// The managed space; every reported location must fall inside.
@@ -100,6 +105,16 @@ struct AnonymizerStats {
 };
 
 /// The trusted third party between mobile users and the database server.
+///
+/// Thread safety: the Anonymizer is *externally synchronized*. All mutating
+/// entry points (registration, profile changes, location updates, and
+/// CloakForQuery — which refreshes caches, stats and pseudonym rotation)
+/// require exclusive access. The const read paths (`PseudonymOf`,
+/// `num_users`, `snapshot`, `options`, `stats`) perform no mutation, not
+/// even of caches, and are safe to call concurrently with each other as
+/// long as no mutating call is in flight. The service layer
+/// (`src/service/`) enforces this contract with one reader/writer lock per
+/// shard.
 class Anonymizer {
  public:
   /// Validates the options. Fails with InvalidArgument on an empty space.
@@ -125,7 +140,9 @@ class Anonymizer {
   /// Batch form of UpdateLocation: applies all snapshot changes first, then
   /// cloaks everyone against the resulting snapshot, sharing computations
   /// per (grid cell, requirement) group when enabled. Results align with
-  /// the input order. Fails atomically on the first invalid update.
+  /// the input order. Fails atomically: every update is validated before
+  /// any snapshot or user state changes, so one invalid entry leaves the
+  /// anonymizer exactly as it was.
   Result<std::vector<CloakedUpdate>> UpdateLocationsBatch(
       const std::vector<std::pair<UserId, Point>>& updates, TimeOfDay now);
 

@@ -1,13 +1,34 @@
 #include "server/query_processor.h"
 
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "geom/distance.h"
+
 namespace cloakdb {
 
-QueryProcessor::QueryProcessor(const Rect& space, uint32_t rect_grid_cells)
-    : store_(space, rect_grid_cells) {}
+void MergeServerStats(ServerStats* into, const ServerStats& from) {
+  into->cloaked_updates += from.cloaked_updates;
+  into->private_range_queries += from.private_range_queries;
+  into->private_nn_queries += from.private_nn_queries;
+  into->private_knn_queries += from.private_knn_queries;
+  into->private_private_queries += from.private_private_queries;
+  into->public_count_queries += from.public_count_queries;
+  into->public_nn_queries += from.public_nn_queries;
+  into->range_candidates.Merge(from.range_candidates);
+  into->nn_candidates.Merge(from.nn_candidates);
+  into->bytes_to_clients += from.bytes_to_clients;
+}
+
+QueryProcessor::QueryProcessor(const Rect& space, uint32_t rect_grid_cells,
+                               const WireCostModel& wire_cost)
+    : store_(space, rect_grid_cells), wire_cost_(wire_cost) {}
 
 Status QueryProcessor::ApplyCloakedUpdate(ObjectId pseudonym,
                                           const Rect& region) {
   CLOAKDB_RETURN_IF_ERROR(store_.UpsertPrivateRegion(pseudonym, region));
+  std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.cloaked_updates;
   return Status::OK();
 }
@@ -18,76 +39,244 @@ Status QueryProcessor::DropPseudonym(ObjectId pseudonym) {
 
 Result<PrivateRangeResult> QueryProcessor::PrivateRange(
     const Rect& cloaked, double radius, Category category,
-    const PrivateRangeOptions& opts) {
+    const PrivateRangeOptions& opts) const {
   auto result = PrivateRangeQuery(store_, cloaked, radius, category, opts);
   if (result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.private_range_queries;
     stats_.range_candidates.Add(
         static_cast<double>(result.value().candidates.size()));
     stats_.bytes_to_clients +=
-        result.value().candidates.size() * kBytesPerObject;
+        result.value().candidates.size() * wire_cost_.bytes_per_object;
   }
   return result;
 }
 
 Result<PrivateNnResult> QueryProcessor::PrivateNn(const Rect& cloaked,
-                                                  Category category) {
+                                                  Category category) const {
   auto result = PrivateNnQuery(store_, cloaked, category);
   if (result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.private_nn_queries;
     stats_.nn_candidates.Add(
         static_cast<double>(result.value().candidates.size()));
     stats_.bytes_to_clients +=
-        result.value().candidates.size() * kBytesPerObject;
+        result.value().candidates.size() * wire_cost_.bytes_per_object;
   }
   return result;
 }
 
 Result<PrivateKnnResult> QueryProcessor::PrivateKnn(const Rect& cloaked,
                                                     size_t k,
-                                                    Category category) {
+                                                    Category category) const {
   auto result = PrivateKnnQuery(store_, cloaked, k, category);
   if (result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.private_knn_queries;
     stats_.nn_candidates.Add(
         static_cast<double>(result.value().candidates.size()));
     stats_.bytes_to_clients +=
-        result.value().candidates.size() * kBytesPerObject;
+        result.value().candidates.size() * wire_cost_.bytes_per_object;
   }
   return result;
 }
 
 Result<PrivatePrivateRangeResult> QueryProcessor::PrivatePrivateRange(
-    const Rect& querier, double radius, const PrivatePrivateOptions& opts) {
+    const Rect& querier, double radius,
+    const PrivatePrivateOptions& opts) const {
   auto result = PrivatePrivateRangeQuery(store_, querier, radius, opts);
-  if (result.ok()) ++stats_.private_private_queries;
+  if (result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.private_private_queries;
+  }
   return result;
 }
 
 Result<PrivatePrivateNnResult> QueryProcessor::PrivatePrivateNn(
-    const Rect& querier, const PrivatePrivateOptions& opts) {
+    const Rect& querier, const PrivatePrivateOptions& opts) const {
   auto result = PrivatePrivateNnQuery(store_, querier, opts);
-  if (result.ok()) ++stats_.private_private_queries;
+  if (result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.private_private_queries;
+  }
   return result;
 }
 
-Result<PublicCountResult> QueryProcessor::PublicCount(const Rect& window) {
+Result<PublicCountResult> QueryProcessor::PublicCount(
+    const Rect& window) const {
   auto result = PublicRangeCountQuery(store_, window);
-  if (result.ok()) ++stats_.public_count_queries;
+  if (result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.public_count_queries;
+  }
   return result;
 }
 
-Result<PublicNnResult> QueryProcessor::PublicNn(const Point& from,
-                                                const PublicNnOptions& opts) {
+Result<PublicNnResult> QueryProcessor::PublicNn(
+    const Point& from, const PublicNnOptions& opts) const {
   auto result = PublicNnQuery(store_, from, opts);
-  if (result.ok()) ++stats_.public_nn_queries;
+  if (result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.public_nn_queries;
+  }
   return result;
 }
 
-Result<HeatmapResult> QueryProcessor::Heatmap(uint32_t resolution) {
+Result<HeatmapResult> QueryProcessor::Heatmap(uint32_t resolution) const {
   auto result = PublicHeatmapQuery(store_, resolution);
-  if (result.ok()) ++stats_.public_count_queries;
+  if (result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.public_count_queries;
+  }
   return result;
+}
+
+ServerStats QueryProcessor::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void QueryProcessor::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = ServerStats{};
+}
+
+namespace {
+
+// Deduplicates by id and sorts — shards hold disjoint objects, so the sort
+// is what makes merged lists deterministic across shard counts.
+void SortUniqueById(std::vector<PublicObject>* objects) {
+  std::sort(objects->begin(), objects->end(),
+            [](const PublicObject& a, const PublicObject& b) {
+              return a.id < b.id;
+            });
+  objects->erase(std::unique(objects->begin(), objects->end(),
+                             [](const PublicObject& a, const PublicObject& b) {
+                               return a.id == b.id;
+                             }),
+                 objects->end());
+}
+
+}  // namespace
+
+PrivateRangeResult MergePrivateRangeResults(
+    std::vector<PrivateRangeResult> parts) {
+  PrivateRangeResult merged;
+  for (auto& part : parts) {
+    if (merged.candidates.empty() && merged.extended_region.IsEmpty())
+      merged.extended_region = part.extended_region;
+    merged.rounded_rect_pruned += part.rounded_rect_pruned;
+    merged.candidates.insert(merged.candidates.end(),
+                             std::make_move_iterator(part.candidates.begin()),
+                             std::make_move_iterator(part.candidates.end()));
+  }
+  SortUniqueById(&merged.candidates);
+  return merged;
+}
+
+PrivateNnResult MergePrivateNnResults(const Rect& cloaked,
+                                      std::vector<PrivateNnResult> parts) {
+  PrivateNnResult merged;
+  for (auto& part : parts) {
+    merged.fetch_radius = std::max(merged.fetch_radius, part.fetch_radius);
+    merged.dominance_pruned += part.dominance_pruned;
+    merged.candidates.insert(merged.candidates.end(),
+                             std::make_move_iterator(part.candidates.begin()),
+                             std::make_move_iterator(part.candidates.end()));
+  }
+  SortUniqueById(&merged.candidates);
+
+  // Cross-shard dominance: a candidate that survived its shard can still be
+  // beaten by another shard's object for every possible querier location.
+  double min_max_dist = std::numeric_limits<double>::infinity();
+  for (const auto& c : merged.candidates) {
+    min_max_dist = std::min(min_max_dist, MaxDist(c.location, cloaked));
+  }
+  size_t before = merged.candidates.size();
+  merged.candidates.erase(
+      std::remove_if(merged.candidates.begin(), merged.candidates.end(),
+                     [&](const PublicObject& o) {
+                       return MinDist(o.location, cloaked) > min_max_dist;
+                     }),
+      merged.candidates.end());
+  merged.dominance_pruned += before - merged.candidates.size();
+  return merged;
+}
+
+PrivateKnnResult MergePrivateKnnResults(const Rect& cloaked, size_t k,
+                                        std::vector<PrivateKnnResult> parts) {
+  PrivateKnnResult merged;
+  for (auto& part : parts) {
+    merged.fetch_radius = std::max(merged.fetch_radius, part.fetch_radius);
+    merged.dominance_pruned += part.dominance_pruned;
+    merged.candidates.insert(merged.candidates.end(),
+                             std::make_move_iterator(part.candidates.begin()),
+                             std::make_move_iterator(part.candidates.end()));
+  }
+  SortUniqueById(&merged.candidates);
+
+  // Cross-shard k-dominance, same rule as PrivateKnnQuery: drop o when at
+  // least k union members satisfy MaxDist(o', R) < MinDist(o, R).
+  std::vector<double> max_dists;
+  max_dists.reserve(merged.candidates.size());
+  for (const auto& c : merged.candidates) {
+    max_dists.push_back(MaxDist(c.location, cloaked));
+  }
+  std::sort(max_dists.begin(), max_dists.end());
+  size_t before = merged.candidates.size();
+  merged.candidates.erase(
+      std::remove_if(merged.candidates.begin(), merged.candidates.end(),
+                     [&](const PublicObject& o) {
+                       double min_d = MinDist(o.location, cloaked);
+                       size_t closer = static_cast<size_t>(
+                           std::lower_bound(max_dists.begin(),
+                                            max_dists.end(), min_d) -
+                           max_dists.begin());
+                       return closer >= k;
+                     }),
+      merged.candidates.end());
+  merged.dominance_pruned += before - merged.candidates.size();
+  return merged;
+}
+
+Result<PublicCountResult> MergePublicCountResults(
+    std::vector<PublicCountResult> parts) {
+  PublicCountResult merged;
+  for (auto& part : parts) {
+    merged.naive_count += part.naive_count;
+    merged.contributions.insert(
+        merged.contributions.end(),
+        std::make_move_iterator(part.contributions.begin()),
+        std::make_move_iterator(part.contributions.end()));
+  }
+  std::sort(merged.contributions.begin(), merged.contributions.end(),
+            [](const CountContribution& a, const CountContribution& b) {
+              return a.pseudonym < b.pseudonym;
+            });
+  std::vector<double> probabilities;
+  probabilities.reserve(merged.contributions.size());
+  for (const auto& c : merged.contributions)
+    probabilities.push_back(c.probability);
+  auto answer = MakeCountAnswer(probabilities);
+  if (!answer.ok()) return answer.status();
+  merged.answer = std::move(answer).value();
+  return merged;
+}
+
+Result<HeatmapResult> MergeHeatmapResults(std::vector<HeatmapResult> parts) {
+  if (parts.empty())
+    return Status::InvalidArgument("no heatmap partials to merge");
+  HeatmapResult merged = std::move(parts.front());
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const HeatmapResult& part = parts[i];
+    if (part.resolution != merged.resolution ||
+        part.expected.size() != merged.expected.size())
+      return Status::InvalidArgument(
+          "heatmap partials disagree on resolution");
+    for (size_t j = 0; j < merged.expected.size(); ++j)
+      merged.expected[j] += part.expected[j];
+  }
+  return merged;
 }
 
 }  // namespace cloakdb

@@ -5,10 +5,18 @@
 // public-over-private) while keeping per-query cost statistics (candidate
 // counts and an estimate of bytes shipped to mobile clients — the
 // transmission-cost side of the paper's privacy/QoS trade-off).
+//
+// Thread safety: data-management entry points (ApplyCloakedUpdate,
+// DropPseudonym, store() mutation) require exclusive access. All query
+// methods are const and touch only immutable store state plus the
+// internally-locked stats block, so any number of threads may run queries
+// concurrently as long as no writer is in flight — the read path the
+// sharded service layer (src/service/) relies on.
 
 #ifndef CLOAKDB_SERVER_QUERY_PROCESSOR_H_
 #define CLOAKDB_SERVER_QUERY_PROCESSOR_H_
 
+#include <mutex>
 #include <vector>
 
 #include "server/object_store.h"
@@ -20,9 +28,15 @@
 
 namespace cloakdb {
 
-/// Wire-size model: bytes to ship one public object to a client
-/// (id + location + category, ignoring names).
-constexpr size_t kBytesPerObject = 8 + 16 + 4;
+/// Wire-size model for the candidate lists shipped to mobile clients.
+/// Experiments vary payload size (richer records, compression) by passing a
+/// different model to the QueryProcessor constructor instead of
+/// recompiling.
+struct WireCostModel {
+  /// Bytes to ship one public object (id + location + category by default,
+  /// ignoring names).
+  size_t bytes_per_object = 8 + 16 + 4;
+};
 
 /// Query-processing counters.
 struct ServerStats {
@@ -38,11 +52,17 @@ struct ServerStats {
   uint64_t bytes_to_clients = 0;   ///< Modeled candidate-list traffic.
 };
 
+/// Folds `from` into `into` (counter sums; candidate stats merged) — the
+/// reduction used to aggregate per-shard stats into ServiceStats.
+void MergeServerStats(ServerStats* into, const ServerStats& from);
+
 /// The location-based database server.
 class QueryProcessor {
  public:
-  /// `space` bounds the private-region index.
-  explicit QueryProcessor(const Rect& space, uint32_t rect_grid_cells = 64);
+  /// `space` bounds the private-region index; `wire_cost` prices the
+  /// candidate lists charged to bytes_to_clients.
+  explicit QueryProcessor(const Rect& space, uint32_t rect_grid_cells = 64,
+                          const WireCostModel& wire_cost = {});
 
   /// Data management (delegates to the ObjectStore).
   ObjectStore& store() { return store_; }
@@ -56,43 +76,89 @@ class QueryProcessor {
   Status DropPseudonym(ObjectId pseudonym);
 
   /// Private range query over public data (Fig. 5a).
-  Result<PrivateRangeResult> PrivateRange(const Rect& cloaked, double radius,
-                                          Category category,
-                                          const PrivateRangeOptions& opts = {});
+  Result<PrivateRangeResult> PrivateRange(
+      const Rect& cloaked, double radius, Category category,
+      const PrivateRangeOptions& opts = {}) const;
 
   /// Private NN query over public data (Fig. 5b).
-  Result<PrivateNnResult> PrivateNn(const Rect& cloaked, Category category);
+  Result<PrivateNnResult> PrivateNn(const Rect& cloaked,
+                                    Category category) const;
 
   /// Private k-NN query over public data (k > 1 extension of Fig. 5b).
   Result<PrivateKnnResult> PrivateKnn(const Rect& cloaked, size_t k,
-                                      Category category);
+                                      Category category) const;
 
   /// Private range query over private data (both sides cloaked).
   Result<PrivatePrivateRangeResult> PrivatePrivateRange(
       const Rect& querier, double radius,
-      const PrivatePrivateOptions& opts = {});
+      const PrivatePrivateOptions& opts = {}) const;
 
   /// Private NN query over private data (both sides cloaked).
   Result<PrivatePrivateNnResult> PrivatePrivateNn(
-      const Rect& querier, const PrivatePrivateOptions& opts = {});
+      const Rect& querier, const PrivatePrivateOptions& opts = {}) const;
 
   /// Public count query over private data (Fig. 6a).
-  Result<PublicCountResult> PublicCount(const Rect& window);
+  Result<PublicCountResult> PublicCount(const Rect& window) const;
 
   /// Public NN query over private data (Fig. 6b).
   Result<PublicNnResult> PublicNn(const Point& from,
-                                  const PublicNnOptions& opts = {});
+                                  const PublicNnOptions& opts = {}) const;
 
   /// Expected-density heatmap over private data (Fig. 6a generalized).
-  Result<HeatmapResult> Heatmap(uint32_t resolution);
+  Result<HeatmapResult> Heatmap(uint32_t resolution) const;
 
-  const ServerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ServerStats{}; }
+  const WireCostModel& wire_cost() const { return wire_cost_; }
+
+  /// Snapshot of the counters (copied under the stats lock).
+  ServerStats stats() const;
+  void ResetStats();
 
  private:
   ObjectStore store_;
-  ServerStats stats_;
+  WireCostModel wire_cost_;
+  /// Query methods are logically read-only; the counters they bump live
+  /// behind this lock so concurrent const queries stay race-free.
+  mutable std::mutex stats_mu_;
+  mutable ServerStats stats_;
 };
+
+// --- Fan-in merge helpers -------------------------------------------------
+//
+// The sharded service layer partitions public objects across shards and
+// hash-routes private users, then fans one query out to several
+// QueryProcessors and merges the partial results with these helpers. Merged
+// candidate lists are sorted by object id (deterministic regardless of
+// shard count); merged Range/Count results are *identical* to a
+// single-shard oracle over the union of the data, and merged NN/kNN results
+// preserve the candidate-list guarantee (the true answer for every possible
+// querier location survives the merge).
+
+/// Merges private-range partials: candidate union (sorted by id), summed
+/// prune counters. `parts` must stem from the same (cloaked, radius) query
+/// over disjoint object sets.
+PrivateRangeResult MergePrivateRangeResults(
+    std::vector<PrivateRangeResult> parts);
+
+/// Merges private-NN partials for `cloaked`: candidate union re-pruned by
+/// global dominance (keep o iff MinDist(o, R) <= min over the union of
+/// MaxDist(o', R)).
+PrivateNnResult MergePrivateNnResults(const Rect& cloaked,
+                                      std::vector<PrivateNnResult> parts);
+
+/// Merges private-kNN partials for `cloaked`: candidate union re-pruned by
+/// global k-dominance (drop o when at least k union members are guaranteed
+/// nearer for every location in R).
+PrivateKnnResult MergePrivateKnnResults(const Rect& cloaked, size_t k,
+                                        std::vector<PrivateKnnResult> parts);
+
+/// Merges public-count partials: contributions concatenated (sorted by
+/// pseudonym) and the three paper answer formats recomputed from the merged
+/// per-object probabilities — bit-identical to the single-shard answer.
+Result<PublicCountResult> MergePublicCountResults(
+    std::vector<PublicCountResult> parts);
+
+/// Merges heatmaps of identical resolution/space by summing expected mass.
+Result<HeatmapResult> MergeHeatmapResults(std::vector<HeatmapResult> parts);
 
 }  // namespace cloakdb
 

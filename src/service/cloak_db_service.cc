@@ -1,0 +1,296 @@
+#include "service/cloak_db_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace cloakdb {
+
+namespace {
+
+// splitmix64: cheap, well-mixed hash for id -> shard routing and for
+// perturbing per-shard pseudonym seeds (sequential user ids must not all
+// land on one shard, and two shards must not draw the same pseudonym
+// stream).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CloakDbService::CloakDbService(const CloakDbServiceOptions& options)
+    : options_(options) {}
+
+Result<std::unique_ptr<CloakDbService>> CloakDbService::Create(
+    const CloakDbServiceOptions& options) {
+  if (options.space.IsEmpty() || options.space.Area() <= 0.0)
+    return Status::InvalidArgument("service space must be non-empty");
+  if (options.num_shards == 0)
+    return Status::InvalidArgument("service needs at least one shard");
+  std::unique_ptr<CloakDbService> service(new CloakDbService(options));
+  CLOAKDB_RETURN_IF_ERROR(service->Start());
+  return service;
+}
+
+Status CloakDbService::Start() {
+  const uint32_t n = options_.num_shards;
+  shards_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ShardConfig config;
+    config.index = i;
+    config.anonymizer = options_.anonymizer;
+    config.anonymizer.space = options_.space;
+    config.anonymizer.pseudonym_seed =
+        options_.anonymizer.pseudonym_seed ^ Mix64(i + 1);
+    config.rect_grid_cells = options_.rect_grid_cells;
+    config.wire_cost = options_.wire_cost;
+    config.queue_capacity = options_.queue_capacity;
+    auto shard = Shard::Create(config);
+    if (!shard.ok()) return shard.status();
+    shards_.push_back(std::move(shard).value());
+  }
+  const double stripe_width = options_.space.Width() / n;
+  for (uint32_t i = 1; i < n; ++i) {
+    stripe_bounds_.push_back(options_.space.min_x + stripe_width * i);
+  }
+  worker_count_ = options_.worker_threads == 0 ? n : options_.worker_threads;
+  workers_.reserve(worker_count_);
+  for (uint32_t w = 0; w < worker_count_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  return Status::OK();
+}
+
+CloakDbService::~CloakDbService() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->CloseQueue();
+  for (auto& worker : workers_) worker.join();
+  // Workers sweep their shards once after stop; finish anything left (e.g.
+  // updates raced in before the queues closed).
+  (void)Flush();
+}
+
+void CloakDbService::WorkerLoop(uint32_t worker) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    size_t drained = 0;
+    for (uint32_t s = worker; s < shards_.size(); s += worker_count_) {
+      drained += shards_[s]->DrainOnce(options_.max_batch);
+    }
+    if (drained == 0) {
+      // Idle: nap instead of spinning; enqueue latency stays sub-ms while
+      // an idle service costs ~no CPU.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  for (uint32_t s = worker; s < shards_.size(); s += worker_count_) {
+    while (shards_[s]->DrainOnce(options_.max_batch) > 0) {
+    }
+  }
+}
+
+uint32_t CloakDbService::ShardOfUser(UserId user) const {
+  return static_cast<uint32_t>(Mix64(user) % shards_.size());
+}
+
+uint32_t CloakDbService::ShardOfX(double x) const {
+  auto it =
+      std::upper_bound(stripe_bounds_.begin(), stripe_bounds_.end(), x);
+  return static_cast<uint32_t>(it - stripe_bounds_.begin());
+}
+
+std::pair<uint32_t, uint32_t> CloakDbService::StripeRangeOf(
+    const Rect& region) const {
+  return {ShardOfX(region.min_x), ShardOfX(region.max_x)};
+}
+
+Status CloakDbService::RegisterUser(UserId user, PrivacyProfile profile) {
+  return shards_[ShardOfUser(user)]->RegisterUser(user, std::move(profile));
+}
+
+Status CloakDbService::UpdateProfile(UserId user, PrivacyProfile profile) {
+  return shards_[ShardOfUser(user)]->UpdateProfile(user, std::move(profile));
+}
+
+Status CloakDbService::UnregisterUser(UserId user) {
+  return shards_[ShardOfUser(user)]->UnregisterUser(user);
+}
+
+Result<ObjectId> CloakDbService::PseudonymOf(UserId user) const {
+  return shards_[ShardOfUser(user)]->PseudonymOf(user);
+}
+
+Status CloakDbService::AddPublicObject(const PublicObject& object) {
+  return shards_[ShardOfX(object.location.x)]->AddPublicObject(object);
+}
+
+Status CloakDbService::BulkLoadCategory(Category category,
+                                        std::vector<PublicObject> objects) {
+  std::vector<std::vector<PublicObject>> parts(shards_.size());
+  for (auto& object : objects) {
+    parts[ShardOfX(object.location.x)].push_back(std::move(object));
+  }
+  // Every shard is loaded (including with an empty slice) so the call
+  // replaces the category service-wide, like ObjectStore::BulkLoadCategory.
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    CLOAKDB_RETURN_IF_ERROR(
+        shards_[i]->BulkLoadCategory(category, std::move(parts[i])));
+  }
+  return Status::OK();
+}
+
+Status CloakDbService::EnqueueUpdate(UserId user, const Point& location,
+                                     TimeOfDay now) {
+  if (!options_.space.Contains(location))
+    return Status::OutOfRange("location outside the service space");
+  return shards_[ShardOfUser(user)]->Enqueue({user, location, now},
+                                             /*block=*/true);
+}
+
+Status CloakDbService::TryEnqueueUpdate(UserId user, const Point& location,
+                                        TimeOfDay now) {
+  if (!options_.space.Contains(location))
+    return Status::OutOfRange("location outside the service space");
+  return shards_[ShardOfUser(user)]->Enqueue({user, location, now},
+                                             /*block=*/false);
+}
+
+Result<CloakedUpdate> CloakDbService::UpdateLocation(UserId user,
+                                                     const Point& location,
+                                                     TimeOfDay now) {
+  return shards_[ShardOfUser(user)]->UpdateLocation(user, location, now);
+}
+
+Result<CloakedUpdate> CloakDbService::CloakForQuery(UserId user,
+                                                    TimeOfDay now) {
+  return shards_[ShardOfUser(user)]->CloakForQuery(user, now);
+}
+
+Status CloakDbService::Flush() {
+  for (;;) {
+    size_t drained = 0;
+    bool idle = true;
+    for (auto& shard : shards_) {
+      drained += shard->DrainOnce(options_.max_batch);
+      if (!shard->Idle()) idle = false;
+    }
+    if (idle) return Status::OK();
+    if (drained == 0) {
+      // Another thread holds a popped batch; wait for it to apply.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+Result<PrivateRangeResult> CloakDbService::PrivateRange(
+    const Rect& cloaked, double radius, Category category,
+    const PrivateRangeOptions& opts) const {
+  if (cloaked.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  if (!(radius > 0.0))
+    return Status::InvalidArgument("query radius must be positive");
+  const Rect extended = cloaked.Expanded(radius);
+  auto [first, last] = StripeRangeOf(extended);
+
+  std::vector<PrivateRangeResult> parts;
+  bool category_exists = false;
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    if (i < first || i > last) {
+      // Stripe cannot contribute candidates, but its holdings decide
+      // whether an all-empty fan-out is "empty answer" or NotFound.
+      if (!category_exists) category_exists = shards_[i]->HasCategory(category);
+      continue;
+    }
+    auto part = shards_[i]->PrivateRange(cloaked, radius, category, opts);
+    if (part.ok()) {
+      category_exists = true;
+      parts.push_back(std::move(part).value());
+    } else if (part.status().code() != StatusCode::kNotFound) {
+      return part.status();
+    }
+  }
+  if (parts.empty()) {
+    if (!category_exists)
+      return Status::NotFound("no public objects in category");
+    PrivateRangeResult empty;
+    empty.extended_region = extended;
+    return empty;
+  }
+  return MergePrivateRangeResults(std::move(parts));
+}
+
+Result<PrivateNnResult> CloakDbService::PrivateNn(const Rect& cloaked,
+                                                  Category category) const {
+  if (cloaked.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  std::vector<PrivateNnResult> parts;
+  for (const auto& shard : shards_) {
+    auto part = shard->PrivateNn(cloaked, category);
+    if (part.ok()) {
+      parts.push_back(std::move(part).value());
+    } else if (part.status().code() != StatusCode::kNotFound) {
+      return part.status();
+    }
+  }
+  if (parts.empty())
+    return Status::NotFound("no public objects in category");
+  return MergePrivateNnResults(cloaked, std::move(parts));
+}
+
+Result<PrivateKnnResult> CloakDbService::PrivateKnn(const Rect& cloaked,
+                                                    size_t k,
+                                                    Category category) const {
+  if (cloaked.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<PrivateKnnResult> parts;
+  for (const auto& shard : shards_) {
+    auto part = shard->PrivateKnn(cloaked, k, category);
+    if (part.ok()) {
+      parts.push_back(std::move(part).value());
+    } else if (part.status().code() != StatusCode::kNotFound) {
+      return part.status();
+    }
+  }
+  if (parts.empty())
+    return Status::NotFound("no public objects in category");
+  return MergePrivateKnnResults(cloaked, k, std::move(parts));
+}
+
+Result<PublicCountResult> CloakDbService::PublicCount(
+    const Rect& window) const {
+  std::vector<PublicCountResult> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    auto part = shard->PublicCount(window);
+    if (!part.ok()) return part.status();
+    parts.push_back(std::move(part).value());
+  }
+  return MergePublicCountResults(std::move(parts));
+}
+
+Result<HeatmapResult> CloakDbService::Heatmap(uint32_t resolution) const {
+  std::vector<HeatmapResult> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    auto part = shard->Heatmap(resolution);
+    if (!part.ok()) return part.status();
+    parts.push_back(std::move(part).value());
+  }
+  return MergeHeatmapResults(std::move(parts));
+}
+
+ServiceStats CloakDbService::Stats() const {
+  return AggregateShardStats(PerShardStats(), worker_count_);
+}
+
+std::vector<ShardStats> CloakDbService::PerShardStats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.push_back(shard->Stats());
+  return stats;
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,177 @@
+// CloakDbService: the sharded, multi-threaded front door of CloakDB.
+//
+// The paper's Fig. 1 pipeline (users -> Location Anonymizer -> privacy-
+// aware server) as one concurrent system. The service owns N shards, each
+// pairing an Anonymizer with a QueryProcessor:
+//
+//   - users are hash-routed to shards by id, so every shard anonymizes an
+//     independent slice of the population (k-anonymity is enforced within
+//     the slice — shard count trades throughput against crowd size, the
+//     same knob as running N independent Casper instances);
+//   - public objects are partitioned across shards by vertical stripes of
+//     the space; private-over-public queries fan out to the overlapping
+//     stripes and fan the partial candidate lists back in with the merge
+//     helpers of server/query_processor.h;
+//   - public-over-private queries (count, heatmap) fan out to every shard
+//     (users are hash-scattered) and merge exactly.
+//
+// Updates stream through bounded per-shard MPMC queues (backpressure on
+// the producers) and a fixed worker pool drains them in batches through
+// Anonymizer::UpdateLocationsBatch, so the paper's shared-execution
+// optimization finally pays off under sustained load.
+
+#ifndef CLOAKDB_SERVICE_CLOAK_DB_SERVICE_H_
+#define CLOAKDB_SERVICE_CLOAK_DB_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "service/shard.h"
+
+namespace cloakdb {
+
+/// Service configuration.
+struct CloakDbServiceOptions {
+  /// The managed space (also every shard's anonymizer space).
+  Rect space{0.0, 0.0, 1.0, 1.0};
+
+  /// Number of anonymizer/server shards (>= 1).
+  uint32_t num_shards = 4;
+
+  /// Drain workers; 0 means one worker per shard.
+  uint32_t worker_threads = 0;
+
+  /// Per-shard bound of the pending-update queue (backpressure beyond).
+  size_t queue_capacity = 4096;
+
+  /// Maximum updates drained into one UpdateLocationsBatch call.
+  size_t max_batch = 256;
+
+  /// Template for every shard's anonymizer; `space` above overrides the
+  /// embedded space and the pseudonym seed is perturbed per shard so
+  /// pseudonyms stay unique across the service.
+  AnonymizerOptions anonymizer;
+
+  /// Private-region index granularity of each shard's server.
+  uint32_t rect_grid_cells = 64;
+
+  /// Wire-cost model applied by every shard's server.
+  WireCostModel wire_cost;
+};
+
+/// The sharded CloakDB facade. All public methods are thread-safe.
+class CloakDbService {
+ public:
+  /// Validates the options (non-empty space, >= 1 shard).
+  static Result<std::unique_ptr<CloakDbService>> Create(
+      const CloakDbServiceOptions& options);
+
+  /// Stops the worker pool; queued updates are drained first.
+  ~CloakDbService();
+
+  CloakDbService(const CloakDbService&) = delete;
+  CloakDbService& operator=(const CloakDbService&) = delete;
+
+  // --- User management ---------------------------------------------------
+  Status RegisterUser(UserId user, PrivacyProfile profile);
+  Status UpdateProfile(UserId user, PrivacyProfile profile);
+  Status UnregisterUser(UserId user);
+  Result<ObjectId> PseudonymOf(UserId user) const;
+
+  // --- Public data -------------------------------------------------------
+  /// Routes the object to the shard owning its stripe.
+  Status AddPublicObject(const PublicObject& object);
+  /// Partitions `objects` by stripe and bulk-loads every shard (replacing
+  /// the category service-wide).
+  Status BulkLoadCategory(Category category,
+                          std::vector<PublicObject> objects);
+
+  // --- Location updates --------------------------------------------------
+  /// Enqueues one exact location report; blocks while the owning shard's
+  /// queue is full (backpressure). The update is anonymized and forwarded
+  /// to the shard's server by the worker pool.
+  Status EnqueueUpdate(UserId user, const Point& location, TimeOfDay now);
+
+  /// Non-blocking EnqueueUpdate: ResourceExhausted when the queue is full
+  /// (caller sheds load or retries).
+  Status TryEnqueueUpdate(UserId user, const Point& location, TimeOfDay now);
+
+  /// Synchronous update path: anonymize + forward immediately, bypassing
+  /// the queue. Returns the cloaked update like Anonymizer::UpdateLocation.
+  Result<CloakedUpdate> UpdateLocation(UserId user, const Point& location,
+                                       TimeOfDay now);
+
+  /// Cloaks the user's current location for an outgoing query.
+  Result<CloakedUpdate> CloakForQuery(UserId user, TimeOfDay now);
+
+  /// Blocks until every queued update has been applied (drains in the
+  /// calling thread too, so it works with a busy or small worker pool).
+  Status Flush();
+
+  // --- Queries (fan-out + merge) -----------------------------------------
+  /// Private range query over public data; fans out to the stripes
+  /// overlapping the radius-extended region. The merged result equals the
+  /// single-shard oracle's.
+  Result<PrivateRangeResult> PrivateRange(
+      const Rect& cloaked, double radius, Category category,
+      const PrivateRangeOptions& opts = {}) const;
+
+  /// Private NN query over public data (all stripes; answer-preserving
+  /// merge).
+  Result<PrivateNnResult> PrivateNn(const Rect& cloaked,
+                                    Category category) const;
+
+  /// Private k-NN query over public data (all stripes; answer-preserving
+  /// merge).
+  Result<PrivateKnnResult> PrivateKnn(const Rect& cloaked, size_t k,
+                                      Category category) const;
+
+  /// Public count over private data (every shard; exact merge).
+  Result<PublicCountResult> PublicCount(const Rect& window) const;
+
+  /// Expected-density heatmap over private data (every shard; exact merge).
+  Result<HeatmapResult> Heatmap(uint32_t resolution) const;
+
+  // --- Introspection -----------------------------------------------------
+  /// Cross-shard aggregate counters.
+  ServiceStats Stats() const;
+  /// Per-shard counters, for imbalance diagnosis.
+  std::vector<ShardStats> PerShardStats() const;
+  void ResetStats() = delete;  // per-shard stats are monotonic by design
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  /// Hash route of a user id (exposed for tests and routing diagnostics).
+  uint32_t ShardOfUser(UserId user) const;
+  /// Stripe owning x-coordinate `x`.
+  uint32_t ShardOfX(double x) const;
+  /// Direct access to one shard (e.g. for per-shard diagnostics or the
+  /// queries without a fan-in merge, like PublicNn).
+  Shard& shard(uint32_t index) { return *shards_[index]; }
+  const Shard& shard(uint32_t index) const { return *shards_[index]; }
+
+  const CloakDbServiceOptions& options() const { return options_; }
+
+ private:
+  explicit CloakDbService(const CloakDbServiceOptions& options);
+
+  Status Start();
+  void WorkerLoop(uint32_t worker);
+  /// [first, last] stripe range overlapping `region` in x.
+  std::pair<uint32_t, uint32_t> StripeRangeOf(const Rect& region) const;
+
+  CloakDbServiceOptions options_;
+  uint32_t worker_count_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Interior stripe boundaries (num_shards - 1 ascending x values).
+  std::vector<double> stripe_bounds_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVICE_CLOAK_DB_SERVICE_H_

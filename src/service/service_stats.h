@@ -1,0 +1,64 @@
+// Aggregated self-instrumentation of the sharded CloakDB service.
+//
+// Every shard keeps its own AnonymizerStats / ServerStats plus ingestion
+// counters; ServiceStats is the cross-shard reduction handed to operators
+// (the per-shard partials stay available for imbalance diagnosis).
+
+#ifndef CLOAKDB_SERVICE_SERVICE_STATS_H_
+#define CLOAKDB_SERVICE_SERVICE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/anonymizer.h"
+#include "server/query_processor.h"
+#include "util/stats.h"
+
+namespace cloakdb {
+
+/// Folds `from` into `into` — the anonymizer-side reduction.
+void MergeAnonymizerStats(AnonymizerStats* into, const AnonymizerStats& from);
+
+/// Per-shard ingestion counters maintained by the drain loop.
+struct ShardIngestStats {
+  uint64_t updates_enqueued = 0;   ///< Accepted into the shard queue.
+  uint64_t updates_applied = 0;    ///< Cloaked and forwarded to the server.
+  uint64_t updates_rejected = 0;   ///< Dropped (invalid user / location).
+  uint64_t batches_drained = 0;    ///< UpdateLocationsBatch invocations.
+  uint64_t pseudonym_rotations = 0; ///< Retired pseudonyms forwarded.
+  RunningStats batch_size;         ///< Updates per drained batch.
+};
+
+void MergeIngestStats(ShardIngestStats* into, const ShardIngestStats& from);
+
+/// One shard's full counter snapshot.
+struct ShardStats {
+  uint32_t shard = 0;
+  AnonymizerStats anonymizer;
+  ServerStats server;
+  ShardIngestStats ingest;
+  size_t queue_depth = 0;   ///< Updates waiting in the shard queue.
+  size_t num_users = 0;     ///< Users routed to this shard.
+};
+
+/// The service-wide aggregate of all shards.
+struct ServiceStats {
+  uint32_t num_shards = 0;
+  uint32_t worker_threads = 0;
+  AnonymizerStats anonymizer;  ///< Sum over shards.
+  ServerStats server;          ///< Sum over shards.
+  ShardIngestStats ingest;     ///< Sum over shards.
+  size_t queue_depth = 0;      ///< Total updates currently queued.
+  size_t num_users = 0;        ///< Total registered users.
+
+  /// Multi-line human-readable summary for logs and CLI output.
+  std::string ToString() const;
+};
+
+/// Reduces per-shard snapshots into the service-wide aggregate.
+ServiceStats AggregateShardStats(const std::vector<ShardStats>& shards,
+                                 uint32_t worker_threads);
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVICE_SERVICE_STATS_H_

@@ -1,0 +1,194 @@
+#include "service/shard.h"
+
+#include <utility>
+
+namespace cloakdb {
+
+Result<std::unique_ptr<Shard>> Shard::Create(const ShardConfig& config) {
+  auto anonymizer = Anonymizer::Create(config.anonymizer);
+  if (!anonymizer.ok()) return anonymizer.status();
+  return std::unique_ptr<Shard>(
+      new Shard(config, std::move(anonymizer).value()));
+}
+
+Shard::Shard(const ShardConfig& config,
+             std::unique_ptr<Anonymizer> anonymizer)
+    : config_(config),
+      anonymizer_(std::move(anonymizer)),
+      server_(config.anonymizer.space, config.rect_grid_cells,
+              config.wire_cost),
+      queue_(config.queue_capacity) {}
+
+Status Shard::RegisterUser(UserId user, PrivacyProfile profile) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return anonymizer_->RegisterUser(user, std::move(profile));
+}
+
+Status Shard::UpdateProfile(UserId user, PrivacyProfile profile) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return anonymizer_->UpdateProfile(user, std::move(profile));
+}
+
+Status Shard::UnregisterUser(UserId user) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto pseudonym = anonymizer_->PseudonymOf(user);
+  CLOAKDB_RETURN_IF_ERROR(anonymizer_->UnregisterUser(user));
+  // The server record is best-effort: the user may never have reported.
+  if (pseudonym.ok()) (void)server_.DropPseudonym(pseudonym.value());
+  return Status::OK();
+}
+
+Result<ObjectId> Shard::PseudonymOf(UserId user) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return anonymizer_->PseudonymOf(user);
+}
+
+Status Shard::Enqueue(const PendingUpdate& update, bool block) {
+  // Count before pushing so Idle() can never miss an in-queue update; undo
+  // on rejection.
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  Status status =
+      block ? queue_.Push(update) : queue_.TryPush(update);
+  if (!status.ok()) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return status;
+  }
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+size_t Shard::DrainOnce(size_t max_batch) {
+  std::vector<PendingUpdate> batch;
+  batch.reserve(max_batch);
+  queue_.TryPopBatch(max_batch, &batch);
+  if (batch.empty()) return 0;
+  ApplyBatch(batch);
+  return batch.size();
+}
+
+void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // UpdateLocationsBatch cloaks everyone against one timestamp, so the
+  // batch is split into runs of equal report time (streams usually arrive
+  // tick-aligned, making this one run).
+  size_t i = 0;
+  while (i < batch.size()) {
+    size_t j = i;
+    std::vector<std::pair<UserId, Point>> updates;
+    while (j < batch.size() && batch[j].time == batch[i].time) {
+      updates.push_back({batch[j].user, batch[j].location});
+      ++j;
+    }
+    auto results = anonymizer_->UpdateLocationsBatch(updates, batch[i].time);
+    ++ingest_.batches_drained;
+    ingest_.batch_size.Add(static_cast<double>(updates.size()));
+    if (results.ok()) {
+      for (const CloakedUpdate& u : results.value()) ForwardCloaked(u);
+      ingest_.updates_applied += updates.size();
+    } else {
+      // The batch refused atomically; retry one by one so a single bad
+      // entry (unregistered user, out-of-space point) sheds only itself.
+      for (const auto& [user, location] : updates) {
+        auto result =
+            anonymizer_->UpdateLocation(user, location, batch[i].time);
+        if (result.ok()) {
+          ForwardCloaked(result.value());
+          ++ingest_.updates_applied;
+        } else {
+          ++ingest_.updates_rejected;
+        }
+      }
+    }
+    i = j;
+  }
+  pending_.fetch_sub(batch.size(), std::memory_order_acq_rel);
+}
+
+void Shard::ForwardCloaked(const CloakedUpdate& update) {
+  if (update.retired_pseudonym != 0) {
+    (void)server_.DropPseudonym(update.retired_pseudonym);
+    ++ingest_.pseudonym_rotations;
+  }
+  (void)server_.ApplyCloakedUpdate(update.pseudonym, update.cloaked.region);
+}
+
+Result<CloakedUpdate> Shard::UpdateLocation(UserId user,
+                                            const Point& location,
+                                            TimeOfDay now) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto update = anonymizer_->UpdateLocation(user, location, now);
+  if (!update.ok()) return update.status();
+  ForwardCloaked(update.value());
+  ++ingest_.updates_applied;
+  return update;
+}
+
+Result<CloakedUpdate> Shard::CloakForQuery(UserId user, TimeOfDay now) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto update = anonymizer_->CloakForQuery(user, now);
+  if (!update.ok()) return update.status();
+  // A rotation at query time re-keys the server record too, otherwise the
+  // user would disappear from public queries until the next report.
+  if (update.value().retired_pseudonym != 0) ForwardCloaked(update.value());
+  return update;
+}
+
+Status Shard::AddPublicObject(const PublicObject& object) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return server_.store().AddPublicObject(object);
+}
+
+Status Shard::BulkLoadCategory(Category category,
+                               std::vector<PublicObject> objects) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return server_.store().BulkLoadCategory(category, std::move(objects));
+}
+
+bool Shard::HasCategory(Category category) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return server_.store().CategoryIndex(category).ok();
+}
+
+Result<PrivateRangeResult> Shard::PrivateRange(
+    const Rect& cloaked, double radius, Category category,
+    const PrivateRangeOptions& opts) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return server_.PrivateRange(cloaked, radius, category, opts);
+}
+
+Result<PrivateNnResult> Shard::PrivateNn(const Rect& cloaked,
+                                         Category category) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return server_.PrivateNn(cloaked, category);
+}
+
+Result<PrivateKnnResult> Shard::PrivateKnn(const Rect& cloaked, size_t k,
+                                           Category category) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return server_.PrivateKnn(cloaked, k, category);
+}
+
+Result<PublicCountResult> Shard::PublicCount(const Rect& window) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return server_.PublicCount(window);
+}
+
+Result<HeatmapResult> Shard::Heatmap(uint32_t resolution) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return server_.Heatmap(resolution);
+}
+
+ShardStats Shard::Stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ShardStats stats;
+  stats.shard = config_.index;
+  stats.anonymizer = anonymizer_->stats();
+  stats.server = server_.stats();
+  stats.ingest = ingest_;
+  stats.ingest.updates_enqueued = enqueued_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_.size();
+  stats.num_users = anonymizer_->num_users();
+  return stats;
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,128 @@
+// One shard of the CloakDB service: an Anonymizer paired with a
+// QueryProcessor behind a reader/writer lock, plus the bounded update queue
+// the worker pool drains into batched anonymization.
+//
+// Locking discipline (this file enforces the external-synchronization
+// contract of Anonymizer and the writer side of QueryProcessor):
+//   - exclusive lock: user management, update ingestion (drain), the
+//     synchronous update path, CloakForQuery (it refreshes caches, stats
+//     and pseudonym rotation), public-data mutation;
+//   - shared lock: every query method and stats snapshotting, which only
+//     touch const paths (QueryProcessor queries synchronize their own
+//     counters internally).
+
+#ifndef CLOAKDB_SERVICE_SHARD_H_
+#define CLOAKDB_SERVICE_SHARD_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/anonymizer.h"
+#include "server/query_processor.h"
+#include "service/service_stats.h"
+#include "service/update_queue.h"
+
+namespace cloakdb {
+
+/// Per-shard construction parameters (derived by CloakDbService from its
+/// own options; the anonymizer space is always the full service space so a
+/// cloaked region may extend beyond the shard's public-data stripe).
+struct ShardConfig {
+  uint32_t index = 0;
+  AnonymizerOptions anonymizer;
+  uint32_t rect_grid_cells = 64;
+  WireCostModel wire_cost;
+  size_t queue_capacity = 4096;
+};
+
+/// One anonymizer + server pair owning a hash-slice of the users.
+class Shard {
+ public:
+  static Result<std::unique_ptr<Shard>> Create(const ShardConfig& config);
+
+  uint32_t index() const { return config_.index; }
+
+  // --- User management (exclusive) ---------------------------------------
+  Status RegisterUser(UserId user, PrivacyProfile profile);
+  Status UpdateProfile(UserId user, PrivacyProfile profile);
+  /// Unregisters and drops the user's server-side record.
+  Status UnregisterUser(UserId user);
+  Result<ObjectId> PseudonymOf(UserId user) const;
+
+  // --- Ingestion ---------------------------------------------------------
+  /// Enqueues one pending update; blocks on a full queue when `block`,
+  /// otherwise fails fast with ResourceExhausted.
+  Status Enqueue(const PendingUpdate& update, bool block);
+
+  /// Drains up to `max_batch` queued updates through
+  /// Anonymizer::UpdateLocationsBatch and forwards the cloaked results to
+  /// the query processor. Returns the number of updates taken off the
+  /// queue (0 when it was empty). Safe to call from any thread.
+  size_t DrainOnce(size_t max_batch);
+
+  /// True when nothing is queued and no drained batch is still applying.
+  bool Idle() const { return pending_.load(std::memory_order_acquire) == 0; }
+
+  /// Closes the queue: producers fail, drains keep working until empty.
+  void CloseQueue() { queue_.Close(); }
+
+  // --- Synchronous paths (exclusive) -------------------------------------
+  /// Anonymizes one update and forwards it to the server immediately,
+  /// bypassing the queue (used by low-rate callers and tests).
+  Result<CloakedUpdate> UpdateLocation(UserId user, const Point& location,
+                                       TimeOfDay now);
+
+  /// Cloaks the user's current location for an outgoing query; a rotation
+  /// triggered here retires the stale server record like an update would.
+  Result<CloakedUpdate> CloakForQuery(UserId user, TimeOfDay now);
+
+  // --- Public data (exclusive) -------------------------------------------
+  Status AddPublicObject(const PublicObject& object);
+  Status BulkLoadCategory(Category category,
+                          std::vector<PublicObject> objects);
+  bool HasCategory(Category category) const;
+
+  // --- Queries (shared) --------------------------------------------------
+  Result<PrivateRangeResult> PrivateRange(
+      const Rect& cloaked, double radius, Category category,
+      const PrivateRangeOptions& opts = {}) const;
+  Result<PrivateNnResult> PrivateNn(const Rect& cloaked,
+                                    Category category) const;
+  Result<PrivateKnnResult> PrivateKnn(const Rect& cloaked, size_t k,
+                                      Category category) const;
+  Result<PublicCountResult> PublicCount(const Rect& window) const;
+  Result<HeatmapResult> Heatmap(uint32_t resolution) const;
+
+  /// Counter snapshot (shared lock; consistent within the shard).
+  ShardStats Stats() const;
+
+ private:
+  explicit Shard(const ShardConfig& config,
+                 std::unique_ptr<Anonymizer> anonymizer);
+
+  /// Applies one popped batch; takes the exclusive lock itself.
+  void ApplyBatch(const std::vector<PendingUpdate>& batch);
+
+  /// Forwards one cloaked update (and any retired pseudonym) to the
+  /// server. Caller holds the exclusive lock.
+  void ForwardCloaked(const CloakedUpdate& update);
+
+  ShardConfig config_;
+  std::unique_ptr<Anonymizer> anonymizer_;
+  QueryProcessor server_;
+  BoundedUpdateQueue queue_;
+  mutable std::shared_mutex mu_;
+  ShardIngestStats ingest_;  ///< Guarded by mu_ (written under exclusive).
+  /// Lock-free so producers never contend with the shard lock; folded into
+  /// ingest_.updates_enqueued when stats are snapshotted.
+  std::atomic<uint64_t> enqueued_{0};
+  /// Queued + popped-but-not-yet-applied updates; lets Flush observe
+  /// completion without holding any lock.
+  std::atomic<size_t> pending_{0};
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVICE_SHARD_H_

@@ -1,0 +1,72 @@
+#include "service/update_queue.h"
+
+#include <algorithm>
+
+namespace cloakdb {
+
+BoundedUpdateQueue::BoundedUpdateQueue(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+Status BoundedUpdateQueue::Push(const PendingUpdate& update) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [&] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return Status::FailedPrecondition("update queue closed");
+  items_.push_back(update);
+  // Wake one drainer; batching means a single wake amortizes well.
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+Status BoundedUpdateQueue::TryPush(const PendingUpdate& update) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::FailedPrecondition("update queue closed");
+  if (items_.size() >= capacity_)
+    return Status::ResourceExhausted("update queue full");
+  items_.push_back(update);
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+size_t BoundedUpdateQueue::PopLocked(size_t max,
+                                     std::vector<PendingUpdate>* out) {
+  size_t n = std::min(max, items_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(items_.front());
+    items_.pop_front();
+  }
+  if (n > 0) not_full_.notify_all();
+  return n;
+}
+
+size_t BoundedUpdateQueue::PopBatch(size_t max,
+                                    std::vector<PendingUpdate>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  return PopLocked(max, out);
+}
+
+size_t BoundedUpdateQueue::TryPopBatch(size_t max,
+                                       std::vector<PendingUpdate>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PopLocked(max, out);
+}
+
+void BoundedUpdateQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t BoundedUpdateQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool BoundedUpdateQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,78 @@
+// Bounded MPMC queue of pending location updates.
+//
+// The ingress side of the sharded service: producers (client threads)
+// enqueue exact location reports, the shard worker pool drains them in
+// batches that feed Anonymizer::UpdateLocationsBatch. The queue is bounded
+// so a slow shard pushes backpressure to producers instead of growing
+// without limit: Push blocks until space frees up, TryPush fails fast with
+// ResourceExhausted for callers that prefer load shedding.
+
+#ifndef CLOAKDB_SERVICE_UPDATE_QUEUE_H_
+#define CLOAKDB_SERVICE_UPDATE_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/anonymizer.h"
+#include "geom/point.h"
+#include "util/status.h"
+#include "util/time_of_day.h"
+
+namespace cloakdb {
+
+/// One exact location report waiting to be anonymized.
+struct PendingUpdate {
+  UserId user = 0;
+  Point location;
+  TimeOfDay time;
+};
+
+/// Bounded multi-producer multi-consumer queue (mutex + condvars — the
+/// simple, provably-correct shape; per-shard fan-out keeps contention low).
+class BoundedUpdateQueue {
+ public:
+  explicit BoundedUpdateQueue(size_t capacity);
+
+  BoundedUpdateQueue(const BoundedUpdateQueue&) = delete;
+  BoundedUpdateQueue& operator=(const BoundedUpdateQueue&) = delete;
+
+  /// Enqueues, blocking while the queue is full (backpressure). Fails with
+  /// FailedPrecondition once the queue is closed.
+  Status Push(const PendingUpdate& update);
+
+  /// Non-blocking enqueue: ResourceExhausted when full, FailedPrecondition
+  /// when closed.
+  Status TryPush(const PendingUpdate& update);
+
+  /// Pops up to `max` updates into `*out` (appended), blocking until at
+  /// least one update is available or the queue is closed. Returns the
+  /// number popped (0 only when closed and drained).
+  size_t PopBatch(size_t max, std::vector<PendingUpdate>* out);
+
+  /// Non-blocking PopBatch: returns immediately with whatever is queued.
+  size_t TryPopBatch(size_t max, std::vector<PendingUpdate>* out);
+
+  /// Closes the queue: pending items can still be popped, further pushes
+  /// fail, blocked poppers wake up.
+  void Close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  size_t PopLocked(size_t max, std::vector<PendingUpdate>* out);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<PendingUpdate> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVICE_UPDATE_QUEUE_H_

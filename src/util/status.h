@@ -23,6 +23,7 @@ enum class StatusCode {
   kOutOfRange,        ///< A coordinate or index is outside the managed space.
   kFailedPrecondition,///< The object is not in a state that allows the call.
   kUnsatisfiable,     ///< A best-effort request could not be satisfied at all.
+  kResourceExhausted, ///< A bounded resource (e.g. a queue) is full.
   kInternal,          ///< An invariant was violated inside the library.
 };
 
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Unsatisfiable(std::string msg) {
     return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -325,6 +325,66 @@ TEST(AnonymizerTest, PseudonymRotationPeriodHonored) {
   EXPECT_EQ(seen.size(), 4u);  // initial + 3 rotations
 }
 
+TEST(AnonymizerTest, BatchUpdateIsAtomicOnLateFailure) {
+  auto a = MakeAnonymizer();
+  ASSERT_TRUE(a->RegisterUser(1, KProfile(1)).ok());
+  ASSERT_TRUE(a->RegisterUser(2, KProfile(1)).ok());
+  ASSERT_TRUE(a->UpdateLocation(1, {10, 10}, Noon()).ok());
+  ASSERT_TRUE(a->UpdateLocation(2, {20, 20}, Noon()).ok());
+  const uint64_t updates_before = a->stats().updates;
+
+  // The bad entry is LAST, so a non-atomic implementation would have moved
+  // users 1 and 2 before noticing it.
+  std::vector<std::pair<UserId, Point>> unregistered{
+      {1, {30, 30}}, {2, {40, 40}}, {99, {50, 50}}};
+  EXPECT_EQ(a->UpdateLocationsBatch(unregistered, Noon()).status().code(),
+            StatusCode::kNotFound);
+  std::vector<std::pair<UserId, Point>> out_of_space{
+      {1, {30, 30}}, {2, {200, 200}}};
+  EXPECT_EQ(a->UpdateLocationsBatch(out_of_space, Noon()).status().code(),
+            StatusCode::kOutOfRange);
+
+  EXPECT_EQ(a->snapshot().Locate(1).value(), (Point{10, 10}));
+  EXPECT_EQ(a->snapshot().Locate(2).value(), (Point{20, 20}));
+  EXPECT_EQ(a->stats().updates, updates_before);
+}
+
+TEST(AnonymizerTest, BatchUpdateRotatesPseudonyms) {
+  auto opts = DefaultOptions();
+  opts.pseudonym_rotation_period = 2;
+  auto a = MakeAnonymizer(opts);
+  ASSERT_TRUE(a->RegisterUser(1, KProfile(1)).ok());
+  ASSERT_TRUE(a->RegisterUser(2, KProfile(1)).ok());
+  ASSERT_TRUE(a->UpdateLocation(1, {10, 10}, Noon()).ok());
+  ASSERT_TRUE(a->UpdateLocation(2, {20, 20}, Noon()).ok());
+  const ObjectId old1 = a->PseudonymOf(1).value();
+  const ObjectId old2 = a->PseudonymOf(2).value();
+
+  // Second update per user -> both rotate inside the same batch.
+  std::vector<std::pair<UserId, Point>> updates{{1, {11, 11}}, {2, {21, 21}}};
+  auto results = a->UpdateLocationsBatch(updates, Noon().Plus(60));
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results.value().size(), 2u);
+  EXPECT_EQ(results.value()[0].retired_pseudonym, old1);
+  EXPECT_EQ(results.value()[1].retired_pseudonym, old2);
+  EXPECT_NE(results.value()[0].pseudonym, old1);
+  EXPECT_NE(results.value()[1].pseudonym, old2);
+  EXPECT_EQ(a->PseudonymOf(1).value(), results.value()[0].pseudonym);
+  EXPECT_EQ(a->PseudonymOf(2).value(), results.value()[1].pseudonym);
+}
+
+TEST(AnonymizerTest, CloakingKindNamesRoundTrip) {
+  for (CloakingKind kind :
+       {CloakingKind::kNaive, CloakingKind::kMbr, CloakingKind::kQuadtree,
+        CloakingKind::kGrid, CloakingKind::kMultiLevelGrid}) {
+    auto parsed = CloakingKindFromName(CloakingKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << CloakingKindName(kind);
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_EQ(CloakingKindFromName("voronoi").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(AnonymizerTest, AllAlgorithmsWorkThroughTheAnonymizer) {
   for (CloakingKind kind :
        {CloakingKind::kNaive, CloakingKind::kMbr, CloakingKind::kQuadtree,

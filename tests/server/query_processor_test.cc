@@ -7,21 +7,22 @@
 namespace cloakdb {
 namespace {
 
-QueryProcessor MakeServer(size_t pois, uint64_t seed = 41) {
-  QueryProcessor server(Rect(0, 0, 100, 100));
+// QueryProcessor is pinned in place (it owns a stats lock), so the fixture
+// populates an instance the caller constructed.
+void Populate(QueryProcessor* server, size_t pois, uint64_t seed = 41) {
   Rng rng(seed);
   for (ObjectId id = 1; id <= pois; ++id) {
     PublicObject o;
     o.id = id;
     o.location = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
     o.category = 1;
-    EXPECT_TRUE(server.store().AddPublicObject(o).ok());
+    EXPECT_TRUE(server->store().AddPublicObject(o).ok());
   }
-  return server;
 }
 
 TEST(QueryProcessorTest, CloakedUpdateLifecycle) {
-  auto server = MakeServer(10);
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 10);
   ASSERT_TRUE(server.ApplyCloakedUpdate(1001, Rect(10, 10, 20, 20)).ok());
   EXPECT_EQ(server.store().num_private(), 1u);
   EXPECT_EQ(server.stats().cloaked_updates, 1u);
@@ -35,7 +36,8 @@ TEST(QueryProcessorTest, CloakedUpdateLifecycle) {
 }
 
 TEST(QueryProcessorTest, PrivateQueriesUpdateStats) {
-  auto server = MakeServer(200);
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 200);
   Rect cloaked(40, 40, 50, 50);
   auto range = server.PrivateRange(cloaked, 5.0, 1);
   ASSERT_TRUE(range.ok());
@@ -47,12 +49,13 @@ TEST(QueryProcessorTest, PrivateQueriesUpdateStats) {
   EXPECT_EQ(server.stats().nn_candidates.count(), 1u);
   size_t expected_bytes =
       (range.value().candidates.size() + nn.value().candidates.size()) *
-      kBytesPerObject;
+      server.wire_cost().bytes_per_object;
   EXPECT_EQ(server.stats().bytes_to_clients, expected_bytes);
 }
 
 TEST(QueryProcessorTest, FailedQueriesDoNotCountInStats) {
-  auto server = MakeServer(10);
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 10);
   EXPECT_FALSE(server.PrivateRange(Rect(), 5.0, 1).ok());
   EXPECT_FALSE(server.PrivateNn(Rect(1, 1, 2, 2), 99).ok());
   EXPECT_EQ(server.stats().private_range_queries, 0u);
@@ -60,7 +63,8 @@ TEST(QueryProcessorTest, FailedQueriesDoNotCountInStats) {
 }
 
 TEST(QueryProcessorTest, PublicQueriesRouted) {
-  auto server = MakeServer(10);
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 10);
   ASSERT_TRUE(server.ApplyCloakedUpdate(1001, Rect(10, 10, 20, 20)).ok());
   auto count = server.PublicCount(Rect(0, 0, 50, 50));
   ASSERT_TRUE(count.ok());
@@ -73,7 +77,8 @@ TEST(QueryProcessorTest, PublicQueriesRouted) {
 }
 
 TEST(QueryProcessorTest, KnnAndPrivatePrivateRouted) {
-  auto server = MakeServer(200);
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 200);
   ASSERT_TRUE(server.ApplyCloakedUpdate(1001, Rect(10, 10, 20, 20)).ok());
   ASSERT_TRUE(server.ApplyCloakedUpdate(1002, Rect(30, 30, 40, 40)).ok());
 
@@ -95,7 +100,8 @@ TEST(QueryProcessorTest, KnnAndPrivatePrivateRouted) {
 }
 
 TEST(QueryProcessorTest, HeatmapFacade) {
-  auto server = MakeServer(10);
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 10);
   ASSERT_TRUE(server.ApplyCloakedUpdate(1, Rect(0, 0, 50, 50)).ok());
   auto map = server.Heatmap(4);
   ASSERT_TRUE(map.ok());
@@ -104,7 +110,8 @@ TEST(QueryProcessorTest, HeatmapFacade) {
 }
 
 TEST(QueryProcessorTest, ResetStatsClearsEverything) {
-  auto server = MakeServer(50);
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 50);
   ASSERT_TRUE(server.ApplyCloakedUpdate(1, Rect(1, 1, 2, 2)).ok());
   ASSERT_TRUE(server.PrivateNn(Rect(10, 10, 20, 20), 1).ok());
   server.ResetStats();

@@ -1,0 +1,124 @@
+#include "service/update_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace cloakdb {
+namespace {
+
+TimeOfDay Noon() { return TimeOfDay::FromHms(12, 0).value(); }
+
+PendingUpdate Update(UserId user) { return {user, {1.0, 2.0}, Noon()}; }
+
+TEST(BoundedUpdateQueueTest, FifoWithinCapacity) {
+  BoundedUpdateQueue queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  for (UserId u = 1; u <= 4; ++u) ASSERT_TRUE(queue.TryPush(Update(u)).ok());
+  EXPECT_EQ(queue.size(), 4u);
+
+  std::vector<PendingUpdate> out;
+  EXPECT_EQ(queue.TryPopBatch(3, &out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].user, 1u);
+  EXPECT_EQ(out[2].user, 3u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedUpdateQueueTest, TryPushFailsFastWhenFull) {
+  BoundedUpdateQueue queue(2);
+  ASSERT_TRUE(queue.TryPush(Update(1)).ok());
+  ASSERT_TRUE(queue.TryPush(Update(2)).ok());
+  EXPECT_EQ(queue.TryPush(Update(3)).code(), StatusCode::kResourceExhausted);
+  // Draining frees a slot.
+  std::vector<PendingUpdate> out;
+  EXPECT_EQ(queue.TryPopBatch(1, &out), 1u);
+  EXPECT_TRUE(queue.TryPush(Update(3)).ok());
+}
+
+TEST(BoundedUpdateQueueTest, PushBlocksUntilConsumerFreesASlot) {
+  BoundedUpdateQueue queue(1);
+  ASSERT_TRUE(queue.Push(Update(1)).ok());
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.Push(Update(2)).ok());  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+
+  std::vector<PendingUpdate> out;
+  EXPECT_EQ(queue.PopBatch(1, &out), 1u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.TryPopBatch(4, &out), 1u);
+  EXPECT_EQ(out.back().user, 2u);
+}
+
+TEST(BoundedUpdateQueueTest, PopBatchBlocksUntilProducerArrives) {
+  BoundedUpdateQueue queue(4);
+  std::vector<PendingUpdate> out;
+  std::thread consumer([&] { EXPECT_EQ(queue.PopBatch(4, &out), 1u); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(queue.Push(Update(7)).ok());
+  consumer.join();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].user, 7u);
+}
+
+TEST(BoundedUpdateQueueTest, CloseWakesBlockedPopperAndFailsPushers) {
+  BoundedUpdateQueue queue(2);
+  ASSERT_TRUE(queue.Push(Update(1)).ok());
+
+  std::thread consumer([&] {
+    std::vector<PendingUpdate> out;
+    // First pop gets the queued item, second observes the close.
+    EXPECT_EQ(queue.PopBatch(1, &out), 1u);
+    EXPECT_EQ(queue.PopBatch(1, &out), 0u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  consumer.join();
+
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.Push(Update(2)).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(queue.TryPush(Update(2)).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BoundedUpdateQueueTest, ManyProducersManyConsumersLoseNothing) {
+  BoundedUpdateQueue queue(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(
+            queue.Push(Update(static_cast<UserId>(p * kPerProducer + i + 1)))
+                .ok());
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      std::vector<PendingUpdate> out;
+      for (;;) {
+        out.clear();
+        if (queue.PopBatch(16, &out) == 0) return;  // closed and drained
+        consumed.fetch_add(static_cast<int>(out.size()));
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  queue.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -29,6 +29,8 @@ TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
        "FailedPrecondition"},
       {Status::Unsatisfiable("f"), StatusCode::kUnsatisfiable,
        "Unsatisfiable"},
+      {Status::ResourceExhausted("h"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
       {Status::Internal("g"), StatusCode::kInternal, "Internal"},
   };
   for (const auto& c : cases) {

@@ -64,19 +64,9 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (ParseArg(argv[i], "profile", &value)) {
       args.profile = value;
     } else if (ParseArg(argv[i], "algorithm", &value)) {
-      if (value == "naive") {
-        args.algorithm = CloakingKind::kNaive;
-      } else if (value == "mbr") {
-        args.algorithm = CloakingKind::kMbr;
-      } else if (value == "quadtree") {
-        args.algorithm = CloakingKind::kQuadtree;
-      } else if (value == "grid") {
-        args.algorithm = CloakingKind::kGrid;
-      } else if (value == "multilevel-grid") {
-        args.algorithm = CloakingKind::kMultiLevelGrid;
-      } else {
-        return Status::InvalidArgument("unknown algorithm: " + value);
-      }
+      auto kind = CloakingKindFromName(value);
+      if (!kind.ok()) return kind.status();
+      args.algorithm = kind.value();
     } else {
       return Status::InvalidArgument(std::string("unknown flag: ") +
                                      argv[i]);
