@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "bench_common.h"
 #include "service/cloak_db_service.h"
@@ -190,6 +192,17 @@ void BM_Service_ShardedUpdateRounds(benchmark::State& state) {
   state.counters["updates_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations() * users),
       benchmark::Counter::kIsRate);
+  // Ingest-side percentiles from the service's MetricsRegistry: time spent
+  // waiting in the shard queues and inside batched cloaking.
+  auto queue_wait =
+      db.metrics().SnapshotHistogram("ingest.queue_wait_us");
+  state.counters["queue_wait_p50_us"] = queue_wait.p50();
+  state.counters["queue_wait_p95_us"] = queue_wait.p95();
+  state.counters["queue_wait_p99_us"] = queue_wait.p99();
+  auto cloak = db.metrics().SnapshotHistogram("ingest.cloak_us");
+  state.counters["cloak_p50_us"] = cloak.p50();
+  state.counters["cloak_p95_us"] = cloak.p95();
+  state.counters["cloak_p99_us"] = cloak.p99();
 }
 BENCHMARK(BM_Service_ShardedUpdateRounds)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
@@ -197,9 +210,10 @@ BENCHMARK(BM_Service_ShardedUpdateRounds)
     ->Unit(benchmark::kMillisecond);
 
 // Fan-out query throughput while the shards hold a live population: mixed
-// private range + public count against a 4-shard service, driven by
-// `threads` concurrent clients (queries take only shared locks, so client
-// scaling measures reader-side contention).
+// private range + NN + kNN + public count against a 4-shard service,
+// driven by `threads` concurrent clients (queries take only shared locks,
+// so client scaling measures reader-side contention). Per-kind latency
+// percentiles come from the service's MetricsRegistry.
 void BM_Service_FanOutQueries(benchmark::State& state) {
   static CloakDbService* db = nullptr;
   if (state.thread_index() == 0 && db == nullptr) {
@@ -230,11 +244,27 @@ void BM_Service_FanOutQueries(benchmark::State& state) {
     Rect cloaked(x, y, x + 5, y + 5);
     benchmark::DoNotOptimize(
         db->PrivateRange(cloaked, 2.0, poi_category::kGasStation));
+    benchmark::DoNotOptimize(
+        db->PrivateNn(cloaked, poi_category::kGasStation));
+    benchmark::DoNotOptimize(
+        db->PrivateKnn(cloaked, 5, poi_category::kGasStation));
     benchmark::DoNotOptimize(db->PublicCount(Rect(x, y, x + 20, y + 20)));
   }
   state.counters["queries_per_sec"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * 2),
+      static_cast<double>(state.iterations() * 4),
       benchmark::Counter::kIsRate);
+  if (state.thread_index() == 0) {
+    for (const auto& [label, metric] :
+         {std::pair<const char*, const char*>{
+              "range", "query.private_range.latency_us"},
+          {"nn", "query.private_nn.latency_us"},
+          {"knn", "query.private_knn.latency_us"}}) {
+      auto snap = db->metrics().SnapshotHistogram(metric);
+      state.counters[std::string(label) + "_p50_us"] = snap.p50();
+      state.counters[std::string(label) + "_p95_us"] = snap.p95();
+      state.counters[std::string(label) + "_p99_us"] = snap.p99();
+    }
+  }
 }
 BENCHMARK(BM_Service_FanOutQueries)
     ->Threads(1)->Threads(2)->Threads(4)

@@ -153,6 +153,11 @@ class Anonymizer {
   /// The stable pseudonym of a registered user.
   Result<ObjectId> PseudonymOf(UserId user) const;
 
+  /// True when `user` is currently registered (cheap pre-validation for
+  /// batch ingestion: lets the drain path shed unknown users without
+  /// tripping the batch API's atomic-failure contract).
+  bool IsRegistered(UserId user) const { return users_.count(user) != 0; }
+
   /// Number of registered users.
   size_t num_users() const { return users_.size(); }
 

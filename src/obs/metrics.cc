@@ -1,0 +1,288 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace cloakdb::obs {
+
+namespace {
+
+/// CAS add for atomic<double> (fetch_add on floating atomics is C++20 but
+/// not universally lock-free; the loop compiles to the same code where it
+/// is).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value < expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value > expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) value = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+size_t StripeOfThisThread() {
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+      (kMetricStripes - 1);
+  return stripe;
+}
+
+void Counter::Increment(uint64_t delta) {
+  slots_[StripeOfThisThread()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_)
+    total += slot.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Gauge::Set(double value) {
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
+void Gauge::UpdateMax(double value) { AtomicMax(&value_, value); }
+
+double Gauge::Value() const { return value_.load(std::memory_order_relaxed); }
+
+size_t ShardedHistogram::BucketOf(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  int octave = std::ilogb(value);
+  if (octave >= static_cast<int>(kOctaves)) return kNumBuckets - 1;
+  double scaled = std::ldexp(value, -octave) - 1.0;  // [0, 1)
+  size_t sub = std::min(static_cast<size_t>(scaled * kSubBuckets),
+                        kSubBuckets - 1);
+  return 1 + static_cast<size_t>(octave) * kSubBuckets + sub;
+}
+
+double ShardedHistogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0.0;
+  size_t octave = (bucket - 1) / kSubBuckets;
+  size_t sub = (bucket - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                    static_cast<int>(octave));
+}
+
+void ShardedHistogram::Record(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  Stripe& stripe = stripes_[StripeOfThisThread()];
+  stripe.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&stripe.sum, value);
+  AtomicMin(&stripe.min, value);
+  AtomicMax(&stripe.max, value);
+}
+
+HistogramSnapshot ShardedHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.buckets.assign(kNumBuckets, 0);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  for (const Stripe& stripe : stripes_) {
+    for (size_t b = 0; b < kNumBuckets; ++b)
+      snapshot.buckets[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    snapshot.count += stripe.count.load(std::memory_order_relaxed);
+    snapshot.sum += stripe.sum.load(std::memory_order_relaxed);
+    min = std::min(min, stripe.min.load(std::memory_order_relaxed));
+    max = std::max(max, stripe.max.load(std::memory_order_relaxed));
+  }
+  snapshot.min = snapshot.count == 0 ? 0.0 : min;
+  snapshot.max = snapshot.count == 0 ? 0.0 : max;
+  return snapshot;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    double next = cum + static_cast<double>(buckets[b]);
+    if (target <= next) {
+      double frac = (target - cum) / static_cast<double>(buckets[b]);
+      if (frac < 0.0) frac = 0.0;
+      double lo = ShardedHistogram::BucketLowerBound(b);
+      double hi = b + 1 < buckets.size()
+                      ? ShardedHistogram::BucketLowerBound(b + 1)
+                      : lo * (1.0 + 1.0 / ShardedHistogram::kSubBuckets);
+      if (b == 0) hi = 1.0;
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    cum = next;
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  if (buckets.size() < other.buckets.size())
+    buckets.resize(other.buckets.size(), 0);
+  for (size_t b = 0; b < other.buckets.size(); ++b)
+    buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+ShardedHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<ShardedHistogram>();
+  return slot.get();
+}
+
+HistogramSnapshot MetricsRegistry::SnapshotHistogram(
+    const std::string& name) const {
+  const ShardedHistogram* histogram = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) histogram = it->second.get();
+  }
+  return histogram == nullptr ? HistogramSnapshot{} : histogram->Snapshot();
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->Value()));
+    out += buf;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%s %.6g\n", name.c_str(),
+                  gauge->Value());
+    out += buf;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot s = histogram->Snapshot();
+    std::snprintf(buf, sizeof(buf),
+                  "%s count=%llu mean=%.6g min=%.6g max=%.6g p50=%.6g "
+                  "p95=%.6g p99=%.6g\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.mean(), s.min, s.max, s.p50(), s.p95(), s.p99());
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(counter->Value()));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    out += "\":";
+    AppendNumber(&out, gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot s = histogram->Snapshot();
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\":{\"count\":%llu,\"mean\":",
+                  static_cast<unsigned long long>(s.count));
+    out += buf;
+    AppendNumber(&out, s.mean());
+    out += ",\"min\":";
+    AppendNumber(&out, s.min);
+    out += ",\"max\":";
+    AppendNumber(&out, s.max);
+    out += ",\"p50\":";
+    AppendNumber(&out, s.p50());
+    out += ",\"p95\":";
+    AppendNumber(&out, s.p95());
+    out += ",\"p99\":";
+    AppendNumber(&out, s.p99());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace cloakdb::obs

@@ -1,0 +1,151 @@
+// Query-path observability primitives: named monotonic counters, gauges,
+// and mergeable log-scale latency histograms behind one thread-safe
+// registry, with text and JSON exporters.
+//
+// Recording is designed to stay off the contended path: every counter and
+// histogram is striped across cache-line-aligned slots selected by a hash
+// of the recording thread, so concurrent writers from the service's worker
+// pool and client threads touch disjoint cache lines. Reads (snapshots and
+// exports) merge the stripes; they are wait-free for writers.
+//
+// The registry hands out stable pointers (get-or-create by name) that stay
+// valid for the registry's lifetime, so hot paths resolve their metrics
+// once at startup and record through raw pointers afterwards.
+
+#ifndef CLOAKDB_OBS_METRICS_H_
+#define CLOAKDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cloakdb::obs {
+
+/// Number of write stripes per metric (power of two; selected by thread).
+inline constexpr size_t kMetricStripes = 8;
+
+/// Stripe owned by the calling thread (stable per thread).
+size_t StripeOfThisThread();
+
+/// Monotonic counter, striped so concurrent increments never share a cache
+/// line. Value() is the sum over stripes.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1);
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Slot, kMetricStripes> slots_;
+};
+
+/// Last-writer-wins scalar with an atomic-max update for high-water marks.
+class Gauge {
+ public:
+  void Set(double value);
+  void Add(double delta);
+  /// Raises the gauge to `value` when larger (high-water-mark semantics).
+  void UpdateMax(double value);
+  double Value() const;
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time merge of a histogram's stripes: bucket counts plus the
+/// streaming moments needed for mean/min/max and quantile estimation.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty.
+  double max = 0.0;  ///< 0 when empty.
+  std::vector<uint64_t> buckets;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Estimated q-quantile (q clamped to [0,1]); 0 when empty. Linear
+  /// interpolation inside the owning log-scale bucket, clamped to the
+  /// observed min/max.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+  /// Folds another snapshot in (bucket-wise sum; min/max/moments merged).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Lock-free log-linear histogram for non-negative values (latencies in
+/// microseconds, batch sizes, candidate counts, ...). Buckets cover
+/// [2^o * (1 + s/8), 2^o * (1 + (s+1)/8)) — 8 sub-buckets per power of
+/// two, so quantile estimates carry at most ~6% relative bucketing error.
+/// Recording is a relaxed fetch_add on the caller's stripe; snapshots
+/// merge all stripes.
+class ShardedHistogram {
+ public:
+  static constexpr size_t kSubBuckets = 8;
+  static constexpr size_t kOctaves = 36;  ///< Up to ~2^36 (~19h in us).
+  static constexpr size_t kNumBuckets = 1 + kOctaves * kSubBuckets;
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket owning `value` (values < 1 land in bucket 0; huge values clamp
+  /// to the last bucket).
+  static size_t BucketOf(double value);
+  /// Inclusive lower edge of a bucket.
+  static double BucketLowerBound(size_t bucket);
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Thread-safe name -> metric registry with get-or-create semantics.
+/// Counters, gauges, and histograms live in separate namespaces. Returned
+/// pointers stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  ShardedHistogram* histogram(const std::string& name);
+
+  /// Snapshot of one histogram by name; empty snapshot when unknown.
+  HistogramSnapshot SnapshotHistogram(const std::string& name) const;
+
+  /// "name value" / "name count=.. mean=.. p50=.. p95=.. p99=.." lines,
+  /// sorted by name — for logs and CLI output.
+  std::string ExportText() const;
+
+  /// One JSON object: {"counters": {..}, "gauges": {..}, "histograms":
+  /// {"name": {"count","mean","min","max","p50","p95","p99"}, ..}}.
+  std::string ExportJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+};
+
+}  // namespace cloakdb::obs
+
+#endif  // CLOAKDB_OBS_METRICS_H_

@@ -1,0 +1,84 @@
+// Wall-clock stage timing for the query/ingest paths: a RAII ScopedTimer
+// that records its lifetime into a ShardedHistogram, and a StageSpan that
+// splits one request into consecutive named stages.
+//
+// Both accept a null sink, in which case they skip the clock reads
+// entirely — instrumented code paths stay free when metrics are not wired.
+
+#ifndef CLOAKDB_OBS_SCOPED_TIMER_H_
+#define CLOAKDB_OBS_SCOPED_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace cloakdb::obs {
+
+/// Microseconds between two steady_clock points.
+inline double MicrosBetween(std::chrono::steady_clock::time_point from,
+                            std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Records the time from construction to Stop() (or destruction) into the
+/// sink histogram, in microseconds. Records exactly once.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(ShardedHistogram* sink)
+      : sink_(sink),
+        start_(sink == nullptr ? std::chrono::steady_clock::time_point{}
+                               : std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  /// Ends the measurement and records it; returns the elapsed microseconds
+  /// (0 when the sink is null or the timer was already stopped).
+  double Stop() {
+    if (sink_ == nullptr) return 0.0;
+    double elapsed = MicrosBetween(start_, std::chrono::steady_clock::now());
+    sink_->Record(elapsed);
+    sink_ = nullptr;
+    return elapsed;
+  }
+
+  /// Abandons the measurement without recording.
+  void Cancel() { sink_ = nullptr; }
+
+ private:
+  ShardedHistogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Splits one request into consecutive stages: each EndStage(sink) records
+/// the time since the previous boundary into `sink` and starts the next
+/// stage. Example:
+///
+///   StageSpan span;
+///   ... fan out to shards ...
+///   span.EndStage(probe_us);
+///   ... merge partials ...
+///   span.EndStage(merge_us);
+class StageSpan {
+ public:
+  StageSpan() : last_(std::chrono::steady_clock::now()) {}
+
+  /// Closes the current stage into `sink` (null: stage time is dropped)
+  /// and returns its duration in microseconds.
+  double EndStage(ShardedHistogram* sink) {
+    auto now = std::chrono::steady_clock::now();
+    double elapsed = MicrosBetween(last_, now);
+    last_ = now;
+    if (sink != nullptr) sink->Record(elapsed);
+    return elapsed;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace cloakdb::obs
+
+#endif  // CLOAKDB_OBS_SCOPED_TIMER_H_

@@ -1,0 +1,52 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cloakdb::obs {
+
+namespace {
+
+bool SlowerThan(const SlowQueryRecord& a, const SlowQueryRecord& b) {
+  return a.latency_us > b.latency_us;
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(size_t capacity) : capacity_(capacity) {
+  heap_.reserve(capacity);
+}
+
+void SlowQueryLog::Record(SlowQueryRecord record) {
+  if (capacity_ == 0) return;
+  // Fast reject: once full, anything at or below the floor cannot displace
+  // a retained entry. The floor only ever rises, so a stale read rejects
+  // strictly less than the lock would — never more.
+  double floor = floor_.load(std::memory_order_relaxed);
+  if (floor >= 0.0 && record.latency_us <= floor) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heap_.size() < capacity_) {
+    heap_.push_back(std::move(record));
+    std::push_heap(heap_.begin(), heap_.end(), SlowerThan);
+  } else {
+    if (record.latency_us <= heap_.front().latency_us) return;
+    std::pop_heap(heap_.begin(), heap_.end(), SlowerThan);
+    heap_.back() = std::move(record);
+    std::push_heap(heap_.begin(), heap_.end(), SlowerThan);
+  }
+  if (heap_.size() == capacity_)
+    floor_.store(heap_.front().latency_us, std::memory_order_relaxed);
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::TopN() const {
+  std::vector<SlowQueryRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(), SlowerThan);
+  return out;
+}
+
+}  // namespace cloakdb::obs

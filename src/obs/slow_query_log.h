@@ -1,0 +1,58 @@
+// Fixed-capacity slow-query log: keeps the top-N queries by wall-clock
+// latency with enough context to diagnose them (query kind, cloaked-region
+// area, shards touched, candidate-list size).
+//
+// Recording is cheap on the common path: once the log is full, a relaxed
+// atomic floor (the smallest retained latency) rejects fast queries
+// without taking the lock.
+
+#ifndef CLOAKDB_OBS_SLOW_QUERY_LOG_H_
+#define CLOAKDB_OBS_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cloakdb::obs {
+
+/// One retained slow query.
+struct SlowQueryRecord {
+  std::string kind;            ///< "private_range", "public_count", ...
+  double latency_us = 0.0;     ///< End-to-end service wall time.
+  double region_area = 0.0;    ///< Cloaked-region / window area.
+  uint32_t shards_touched = 0; ///< Fan-out width of the query.
+  uint64_t candidates = 0;     ///< Candidate / contribution list size.
+};
+
+/// Thread-safe top-N-by-latency ring (a min-heap under a mutex, guarded by
+/// a lock-free admission floor).
+class SlowQueryLog {
+ public:
+  /// `capacity` = 0 disables the log (every Record is a no-op).
+  explicit SlowQueryLog(size_t capacity);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Admits `record` when it is among the `capacity` slowest seen so far.
+  void Record(SlowQueryRecord record);
+
+  /// The retained queries, slowest first.
+  std::vector<SlowQueryRecord> TopN() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  /// Smallest retained latency once full; admission filter.
+  std::atomic<double> floor_{-1.0};
+  mutable std::mutex mu_;
+  /// Min-heap on latency_us (front = cheapest retained query).
+  std::vector<SlowQueryRecord> heap_;
+};
+
+}  // namespace cloakdb::obs
+
+#endif  // CLOAKDB_OBS_SLOW_QUERY_LOG_H_

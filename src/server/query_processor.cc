@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "geom/distance.h"
+#include "obs/scoped_timer.h"
 
 namespace cloakdb {
 
@@ -40,7 +41,9 @@ Status QueryProcessor::DropPseudonym(ObjectId pseudonym) {
 Result<PrivateRangeResult> QueryProcessor::PrivateRange(
     const Rect& cloaked, double radius, Category category,
     const PrivateRangeOptions& opts) const {
+  obs::ScopedTimer probe(obs_.range_probe_us);
   auto result = PrivateRangeQuery(store_, cloaked, radius, category, opts);
+  probe.Stop();
   if (result.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.private_range_queries;
@@ -54,7 +57,9 @@ Result<PrivateRangeResult> QueryProcessor::PrivateRange(
 
 Result<PrivateNnResult> QueryProcessor::PrivateNn(const Rect& cloaked,
                                                   Category category) const {
+  obs::ScopedTimer probe(obs_.nn_probe_us);
   auto result = PrivateNnQuery(store_, cloaked, category);
+  probe.Stop();
   if (result.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.private_nn_queries;
@@ -69,7 +74,9 @@ Result<PrivateNnResult> QueryProcessor::PrivateNn(const Rect& cloaked,
 Result<PrivateKnnResult> QueryProcessor::PrivateKnn(const Rect& cloaked,
                                                     size_t k,
                                                     Category category) const {
+  obs::ScopedTimer probe(obs_.knn_probe_us);
   auto result = PrivateKnnQuery(store_, cloaked, k, category);
+  probe.Stop();
   if (result.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.private_knn_queries;
@@ -104,7 +111,9 @@ Result<PrivatePrivateNnResult> QueryProcessor::PrivatePrivateNn(
 
 Result<PublicCountResult> QueryProcessor::PublicCount(
     const Rect& window) const {
+  obs::ScopedTimer probe(obs_.count_probe_us);
   auto result = PublicRangeCountQuery(store_, window);
+  probe.Stop();
   if (result.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.public_count_queries;
@@ -123,7 +132,9 @@ Result<PublicNnResult> QueryProcessor::PublicNn(
 }
 
 Result<HeatmapResult> QueryProcessor::Heatmap(uint32_t resolution) const {
+  obs::ScopedTimer probe(obs_.heatmap_probe_us);
   auto result = PublicHeatmapQuery(store_, resolution);
+  probe.Stop();
   if (result.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.public_count_queries;

@@ -19,6 +19,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/object_store.h"
 #include "server/private_private.h"
 #include "server/private_queries.h"
@@ -55,6 +56,20 @@ struct ServerStats {
 /// Folds `from` into `into` (counter sums; candidate stats merged) — the
 /// reduction used to aggregate per-shard stats into ServiceStats.
 void MergeServerStats(ServerStats* into, const ServerStats& from);
+
+/// Optional per-query-kind index-probe latency sinks (microseconds). The
+/// sharded service points every shard's processor at one set of shared
+/// histograms from its MetricsRegistry; standalone processors leave them
+/// null and pay nothing. "Probe" covers the full single-processor query —
+/// index lookup plus local dominance pruning — i.e. everything below the
+/// service's fan-in merge.
+struct QueryProcessorObs {
+  obs::ShardedHistogram* range_probe_us = nullptr;
+  obs::ShardedHistogram* nn_probe_us = nullptr;
+  obs::ShardedHistogram* knn_probe_us = nullptr;
+  obs::ShardedHistogram* count_probe_us = nullptr;
+  obs::ShardedHistogram* heatmap_probe_us = nullptr;
+};
 
 /// The location-based database server.
 class QueryProcessor {
@@ -113,9 +128,15 @@ class QueryProcessor {
   ServerStats stats() const;
   void ResetStats();
 
+  /// Installs probe-latency sinks (histograms are internally synchronized,
+  /// so concurrent const queries may record freely). Call before queries
+  /// start; the handles must outlive the processor.
+  void SetObs(const QueryProcessorObs& obs) { obs_ = obs; }
+
  private:
   ObjectStore store_;
   WireCostModel wire_cost_;
+  QueryProcessorObs obs_;
   /// Query methods are logically read-only; the counters they bump live
   /// behind this lock so concurrent const queries stay race-free.
   mutable std::mutex stats_mu_;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
+
+#include "obs/scoped_timer.h"
 
 namespace cloakdb {
 
@@ -22,7 +25,7 @@ uint64_t Mix64(uint64_t x) {
 }  // namespace
 
 CloakDbService::CloakDbService(const CloakDbServiceOptions& options)
-    : options_(options) {}
+    : options_(options), slow_log_(options.slow_query_log_capacity) {}
 
 Result<std::unique_ptr<CloakDbService>> CloakDbService::Create(
     const CloakDbServiceOptions& options) {
@@ -30,12 +33,48 @@ Result<std::unique_ptr<CloakDbService>> CloakDbService::Create(
     return Status::InvalidArgument("service space must be non-empty");
   if (options.num_shards == 0)
     return Status::InvalidArgument("service needs at least one shard");
+  if (options.queue_capacity == 0)
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  if (options.max_batch == 0)
+    return Status::InvalidArgument("max_batch must be >= 1");
   std::unique_ptr<CloakDbService> service(new CloakDbService(options));
   CLOAKDB_RETURN_IF_ERROR(service->Start());
   return service;
 }
 
 Status CloakDbService::Start() {
+  // Resolve every metric handle once; shards and query paths record through
+  // these raw pointers for the service's lifetime.
+  auto init_kind = [this](QueryKindObs* o, const char* kind) {
+    const std::string p = std::string("query.") + kind + ".";
+    o->latency_us = metrics_.histogram(p + "latency_us");
+    o->merge_us = metrics_.histogram(p + "merge_us");
+    o->shards_touched = metrics_.histogram(p + "shards_touched");
+    o->candidates = metrics_.histogram(p + "candidates");
+    o->wire_bytes = metrics_.counter(p + "wire_bytes");
+  };
+  init_kind(&range_obs_, "private_range");
+  init_kind(&nn_obs_, "private_nn");
+  init_kind(&knn_obs_, "private_knn");
+  init_kind(&count_obs_, "public_count");
+  init_kind(&heatmap_obs_, "heatmap");
+
+  ShardObs shard_obs;
+  shard_obs.queue_wait_us = metrics_.histogram("ingest.queue_wait_us");
+  shard_obs.cloak_us = metrics_.histogram("ingest.cloak_us");
+  shard_obs.batch_size = metrics_.histogram("ingest.batch_size");
+  shard_obs.rotations = metrics_.counter("ingest.rotations_total");
+  shard_obs.rejected = metrics_.counter("ingest.rejected_total");
+  shard_obs.queue.depth_hwm = metrics_.gauge("queue.depth_hwm");
+  shard_obs.queue.blocked_push_us = metrics_.histogram("queue.blocked_push_us");
+
+  QueryProcessorObs server_obs;
+  server_obs.range_probe_us = metrics_.histogram("query.private_range.probe_us");
+  server_obs.nn_probe_us = metrics_.histogram("query.private_nn.probe_us");
+  server_obs.knn_probe_us = metrics_.histogram("query.private_knn.probe_us");
+  server_obs.count_probe_us = metrics_.histogram("query.public_count.probe_us");
+  server_obs.heatmap_probe_us = metrics_.histogram("query.heatmap.probe_us");
+
   const uint32_t n = options_.num_shards;
   shards_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -48,6 +87,8 @@ Status CloakDbService::Start() {
     config.rect_grid_cells = options_.rect_grid_cells;
     config.wire_cost = options_.wire_cost;
     config.queue_capacity = options_.queue_capacity;
+    config.obs = shard_obs;
+    config.server_obs = server_obs;
     auto shard = Shard::Create(config);
     if (!shard.ok()) return shard.status();
     shards_.push_back(std::move(shard).value());
@@ -191,11 +232,13 @@ Result<PrivateRangeResult> CloakDbService::PrivateRange(
     return Status::InvalidArgument("cloaked region must be non-empty");
   if (!(radius > 0.0))
     return Status::InvalidArgument("query radius must be positive");
+  obs::ScopedTimer total(range_obs_.latency_us);
   const Rect extended = cloaked.Expanded(radius);
   auto [first, last] = StripeRangeOf(extended);
 
   std::vector<PrivateRangeResult> parts;
   bool category_exists = false;
+  uint32_t shards_touched = 0;
   for (uint32_t i = 0; i < shards_.size(); ++i) {
     if (i < first || i > last) {
       // Stripe cannot contribute candidates, but its holdings decide
@@ -203,40 +246,64 @@ Result<PrivateRangeResult> CloakDbService::PrivateRange(
       if (!category_exists) category_exists = shards_[i]->HasCategory(category);
       continue;
     }
+    ++shards_touched;
     auto part = shards_[i]->PrivateRange(cloaked, radius, category, opts);
     if (part.ok()) {
       category_exists = true;
       parts.push_back(std::move(part).value());
     } else if (part.status().code() != StatusCode::kNotFound) {
+      total.Cancel();
       return part.status();
     }
   }
   if (parts.empty()) {
-    if (!category_exists)
+    if (!category_exists) {
+      total.Cancel();
       return Status::NotFound("no public objects in category");
+    }
     PrivateRangeResult empty;
     empty.extended_region = extended;
+    RecordQuery(range_obs_, "private_range", total.Stop(), cloaked.Area(),
+                shards_touched, 0, 0);
     return empty;
   }
-  return MergePrivateRangeResults(std::move(parts));
+  obs::ScopedTimer merge(range_obs_.merge_us);
+  auto merged = MergePrivateRangeResults(std::move(parts));
+  merge.Stop();
+  const uint64_t candidates = merged.candidates.size();
+  RecordQuery(range_obs_, "private_range", total.Stop(), cloaked.Area(),
+              shards_touched, candidates,
+              candidates * options_.wire_cost.bytes_per_object);
+  return merged;
 }
 
 Result<PrivateNnResult> CloakDbService::PrivateNn(const Rect& cloaked,
                                                   Category category) const {
   if (cloaked.IsEmpty())
     return Status::InvalidArgument("cloaked region must be non-empty");
+  obs::ScopedTimer total(nn_obs_.latency_us);
   std::vector<PrivateNnResult> parts;
   for (const auto& shard : shards_) {
     auto part = shard->PrivateNn(cloaked, category);
     if (part.ok()) {
       parts.push_back(std::move(part).value());
     } else if (part.status().code() != StatusCode::kNotFound) {
+      total.Cancel();
       return part.status();
     }
   }
-  if (parts.empty())
+  if (parts.empty()) {
+    total.Cancel();
     return Status::NotFound("no public objects in category");
-  return MergePrivateNnResults(cloaked, std::move(parts));
+  }
+  obs::ScopedTimer merge(nn_obs_.merge_us);
+  auto merged = MergePrivateNnResults(cloaked, std::move(parts));
+  merge.Stop();
+  const uint64_t candidates = merged.candidates.size();
+  RecordQuery(nn_obs_, "private_nn", total.Stop(), cloaked.Area(),
+              num_shards(), candidates,
+              candidates * options_.wire_cost.bytes_per_object);
+  return merged;
 }
 
 Result<PrivateKnnResult> CloakDbService::PrivateKnn(const Rect& cloaked,
@@ -245,45 +312,97 @@ Result<PrivateKnnResult> CloakDbService::PrivateKnn(const Rect& cloaked,
   if (cloaked.IsEmpty())
     return Status::InvalidArgument("cloaked region must be non-empty");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  obs::ScopedTimer total(knn_obs_.latency_us);
   std::vector<PrivateKnnResult> parts;
   for (const auto& shard : shards_) {
     auto part = shard->PrivateKnn(cloaked, k, category);
     if (part.ok()) {
       parts.push_back(std::move(part).value());
     } else if (part.status().code() != StatusCode::kNotFound) {
+      total.Cancel();
       return part.status();
     }
   }
-  if (parts.empty())
+  if (parts.empty()) {
+    total.Cancel();
     return Status::NotFound("no public objects in category");
-  return MergePrivateKnnResults(cloaked, k, std::move(parts));
+  }
+  obs::ScopedTimer merge(knn_obs_.merge_us);
+  auto merged = MergePrivateKnnResults(cloaked, k, std::move(parts));
+  merge.Stop();
+  const uint64_t candidates = merged.candidates.size();
+  RecordQuery(knn_obs_, "private_knn", total.Stop(), cloaked.Area(),
+              num_shards(), candidates,
+              candidates * options_.wire_cost.bytes_per_object);
+  return merged;
 }
 
 Result<PublicCountResult> CloakDbService::PublicCount(
     const Rect& window) const {
+  obs::ScopedTimer total(count_obs_.latency_us);
   std::vector<PublicCountResult> parts;
   parts.reserve(shards_.size());
   for (const auto& shard : shards_) {
     auto part = shard->PublicCount(window);
-    if (!part.ok()) return part.status();
+    if (!part.ok()) {
+      total.Cancel();
+      return part.status();
+    }
     parts.push_back(std::move(part).value());
   }
-  return MergePublicCountResults(std::move(parts));
+  obs::ScopedTimer merge(count_obs_.merge_us);
+  auto merged = MergePublicCountResults(std::move(parts));
+  merge.Stop();
+  if (!merged.ok()) {
+    total.Cancel();
+    return merged.status();
+  }
+  // A count ships three scalars, not a candidate list — wire bytes 0; the
+  // contribution-list size still tracks the fan-in work.
+  RecordQuery(count_obs_, "public_count", total.Stop(), window.Area(),
+              num_shards(), merged.value().contributions.size(), 0);
+  return merged;
 }
 
 Result<HeatmapResult> CloakDbService::Heatmap(uint32_t resolution) const {
+  obs::ScopedTimer total(heatmap_obs_.latency_us);
   std::vector<HeatmapResult> parts;
   parts.reserve(shards_.size());
   for (const auto& shard : shards_) {
     auto part = shard->Heatmap(resolution);
-    if (!part.ok()) return part.status();
+    if (!part.ok()) {
+      total.Cancel();
+      return part.status();
+    }
     parts.push_back(std::move(part).value());
   }
-  return MergeHeatmapResults(std::move(parts));
+  obs::ScopedTimer merge(heatmap_obs_.merge_us);
+  auto merged = MergeHeatmapResults(std::move(parts));
+  merge.Stop();
+  if (!merged.ok()) {
+    total.Cancel();
+    return merged.status();
+  }
+  RecordQuery(heatmap_obs_, "heatmap", total.Stop(), options_.space.Area(),
+              num_shards(), merged.value().expected.size(), 0);
+  return merged;
+}
+
+void CloakDbService::RecordQuery(const QueryKindObs& obs, const char* kind,
+                                 double latency_us, double region_area,
+                                 uint32_t shards_touched, uint64_t candidates,
+                                 uint64_t wire_bytes) const {
+  obs.shards_touched->Record(static_cast<double>(shards_touched));
+  obs.candidates->Record(static_cast<double>(candidates));
+  if (wire_bytes > 0) obs.wire_bytes->Increment(wire_bytes);
+  slow_log_.Record(
+      {kind, latency_us, region_area, shards_touched, candidates});
 }
 
 ServiceStats CloakDbService::Stats() const {
-  return AggregateShardStats(PerShardStats(), worker_count_);
+  ServiceStats stats = AggregateShardStats(PerShardStats(), worker_count_);
+  stats.slow_queries = slow_log_.TopN();
+  return stats;
 }
 
 std::vector<ShardStats> CloakDbService::PerShardStats() const {

@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "service/shard.h"
 
 namespace cloakdb {
@@ -59,12 +61,17 @@ struct CloakDbServiceOptions {
 
   /// Wire-cost model applied by every shard's server.
   WireCostModel wire_cost;
+
+  /// Retained slowest queries (kind, latency, region area, fan-out width,
+  /// candidate count), surfaced via Stats().slow_queries; 0 disables.
+  size_t slow_query_log_capacity = 16;
 };
 
 /// The sharded CloakDB facade. All public methods are thread-safe.
 class CloakDbService {
  public:
-  /// Validates the options (non-empty space, >= 1 shard).
+  /// Validates the options (non-empty space, >= 1 shard, non-zero queue
+  /// capacity and batch size).
   static Result<std::unique_ptr<CloakDbService>> Create(
       const CloakDbServiceOptions& options);
 
@@ -135,8 +142,12 @@ class CloakDbService {
   Result<HeatmapResult> Heatmap(uint32_t resolution) const;
 
   // --- Introspection -----------------------------------------------------
-  /// Cross-shard aggregate counters.
+  /// Cross-shard aggregate counters, including the slow-query log.
   ServiceStats Stats() const;
+  /// The service's metric registry (latency/queue-wait histograms, wire
+  /// counters, ...). Safe to export concurrently with traffic.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
   /// Per-shard counters, for imbalance diagnosis.
   std::vector<ShardStats> PerShardStats() const;
   void ResetStats() = delete;  // per-shard stats are monotonic by design
@@ -156,6 +167,16 @@ class CloakDbService {
   const CloakDbServiceOptions& options() const { return options_; }
 
  private:
+  /// Metric handles of one query kind, resolved once in Start() so the
+  /// query paths record through raw pointers.
+  struct QueryKindObs {
+    obs::ShardedHistogram* latency_us = nullptr;  ///< End-to-end wall time.
+    obs::ShardedHistogram* merge_us = nullptr;    ///< Fan-in merge time.
+    obs::ShardedHistogram* shards_touched = nullptr;
+    obs::ShardedHistogram* candidates = nullptr;  ///< Result-list size.
+    obs::Counter* wire_bytes = nullptr;  ///< Modeled client payload bytes.
+  };
+
   explicit CloakDbService(const CloakDbServiceOptions& options);
 
   Status Start();
@@ -163,8 +184,24 @@ class CloakDbService {
   /// [first, last] stripe range overlapping `region` in x.
   std::pair<uint32_t, uint32_t> StripeRangeOf(const Rect& region) const;
 
+  /// Closes the bookkeeping of one successful query: fan-out width and
+  /// candidate histograms, wire counter, slow-query admission.
+  void RecordQuery(const QueryKindObs& obs, const char* kind,
+                   double latency_us, double region_area,
+                   uint32_t shards_touched, uint64_t candidates,
+                   uint64_t wire_bytes) const;
+
   CloakDbServiceOptions options_;
   uint32_t worker_count_ = 0;
+  /// Declared before shards_ so the metric handles the shards record into
+  /// outlive them (members destroy in reverse order).
+  obs::MetricsRegistry metrics_;
+  mutable obs::SlowQueryLog slow_log_;
+  QueryKindObs range_obs_;
+  QueryKindObs nn_obs_;
+  QueryKindObs knn_obs_;
+  QueryKindObs count_obs_;
+  QueryKindObs heatmap_obs_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Interior stripe boundaries (num_shards - 1 ascending x values).
   std::vector<double> stripe_bounds_;

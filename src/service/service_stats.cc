@@ -65,7 +65,16 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(server.private_knn_queries),
       static_cast<unsigned long long>(server.public_count_queries),
       static_cast<unsigned long long>(server.bytes_to_clients));
-  return buf;
+  std::string out = buf;
+  for (const obs::SlowQueryRecord& q : slow_queries) {
+    std::snprintf(buf, sizeof(buf),
+                  "slow: %s %.0fus area=%.4g shards=%u candidates=%llu\n",
+                  q.kind.c_str(), q.latency_us, q.region_area,
+                  q.shards_touched,
+                  static_cast<unsigned long long>(q.candidates));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace cloakdb

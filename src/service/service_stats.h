@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/anonymizer.h"
+#include "obs/slow_query_log.h"
 #include "server/query_processor.h"
 #include "util/stats.h"
 
@@ -50,6 +51,9 @@ struct ServiceStats {
   ShardIngestStats ingest;     ///< Sum over shards.
   size_t queue_depth = 0;      ///< Total updates currently queued.
   size_t num_users = 0;        ///< Total registered users.
+  /// The slowest queries seen so far, slowest first (empty when the
+  /// service's slow-query log is disabled).
+  std::vector<obs::SlowQueryRecord> slow_queries;
 
   /// Multi-line human-readable summary for logs and CLI output.
   std::string ToString() const;

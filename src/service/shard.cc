@@ -1,6 +1,9 @@
 #include "service/shard.h"
 
+#include <chrono>
 #include <utility>
+
+#include "obs/scoped_timer.h"
 
 namespace cloakdb {
 
@@ -17,7 +20,10 @@ Shard::Shard(const ShardConfig& config,
       anonymizer_(std::move(anonymizer)),
       server_(config.anonymizer.space, config.rect_grid_cells,
               config.wire_cost),
-      queue_(config.queue_capacity) {}
+      queue_(config.queue_capacity) {
+  queue_.SetObs(config.obs.queue);
+  server_.SetObs(config.server_obs);
+}
 
 Status Shard::RegisterUser(UserId user, PrivacyProfile profile) {
   std::unique_lock<std::shared_mutex> lock(mu_);
@@ -44,11 +50,13 @@ Result<ObjectId> Shard::PseudonymOf(UserId user) const {
 }
 
 Status Shard::Enqueue(const PendingUpdate& update, bool block) {
+  PendingUpdate stamped = update;
+  stamped.enqueued_at = std::chrono::steady_clock::now();
   // Count before pushing so Idle() can never miss an in-queue update; undo
   // on rejection.
   pending_.fetch_add(1, std::memory_order_acq_rel);
   Status status =
-      block ? queue_.Push(update) : queue_.TryPush(update);
+      block ? queue_.Push(stamped) : queue_.TryPush(stamped);
   if (!status.ok()) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     return status;
@@ -68,6 +76,17 @@ size_t Shard::DrainOnce(size_t max_batch) {
 
 void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // One clock read covers the whole batch: every entry waited until this
+  // apply, and per-entry now() would put ~30ns of clock traffic on the
+  // exclusive-lock path.
+  if (config_.obs.queue_wait_us != nullptr) {
+    auto now = std::chrono::steady_clock::now();
+    for (const PendingUpdate& u : batch) {
+      if (u.enqueued_at.time_since_epoch().count() != 0)
+        config_.obs.queue_wait_us->Record(obs::MicrosBetween(u.enqueued_at,
+                                                             now));
+    }
+  }
   // UpdateLocationsBatch cloaks everyone against one timestamp, so the
   // batch is split into runs of equal report time (streams usually arrive
   // tick-aligned, making this one run).
@@ -76,18 +95,36 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
     size_t j = i;
     std::vector<std::pair<UserId, Point>> updates;
     while (j < batch.size() && batch[j].time == batch[i].time) {
+      // Shed poisoned entries (unknown user, point outside the space) up
+      // front: UpdateLocationsBatch is all-or-nothing, and one bad entry
+      // used to force the whole run through the serial fallback below.
+      if (!anonymizer_->IsRegistered(batch[j].user) ||
+          !config_.anonymizer.space.Contains(batch[j].location)) {
+        ++ingest_.updates_rejected;
+        if (config_.obs.rejected != nullptr) config_.obs.rejected->Increment();
+        ++j;
+        continue;
+      }
       updates.push_back({batch[j].user, batch[j].location});
       ++j;
     }
+    if (updates.empty()) {
+      i = j;
+      continue;
+    }
+    obs::ScopedTimer cloak_timer(config_.obs.cloak_us);
     auto results = anonymizer_->UpdateLocationsBatch(updates, batch[i].time);
+    cloak_timer.Stop();
     ++ingest_.batches_drained;
     ingest_.batch_size.Add(static_cast<double>(updates.size()));
+    if (config_.obs.batch_size != nullptr)
+      config_.obs.batch_size->Record(static_cast<double>(updates.size()));
     if (results.ok()) {
       for (const CloakedUpdate& u : results.value()) ForwardCloaked(u);
       ingest_.updates_applied += updates.size();
     } else {
-      // The batch refused atomically; retry one by one so a single bad
-      // entry (unregistered user, out-of-space point) sheds only itself.
+      // The batch refused atomically for a reason pre-validation could not
+      // see; retry one by one so the failure sheds only itself.
       for (const auto& [user, location] : updates) {
         auto result =
             anonymizer_->UpdateLocation(user, location, batch[i].time);
@@ -96,6 +133,8 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
           ++ingest_.updates_applied;
         } else {
           ++ingest_.updates_rejected;
+          if (config_.obs.rejected != nullptr)
+            config_.obs.rejected->Increment();
         }
       }
     }
@@ -108,6 +147,7 @@ void Shard::ForwardCloaked(const CloakedUpdate& update) {
   if (update.retired_pseudonym != 0) {
     (void)server_.DropPseudonym(update.retired_pseudonym);
     ++ingest_.pseudonym_rotations;
+    if (config_.obs.rotations != nullptr) config_.obs.rotations->Increment();
   }
   (void)server_.ApplyCloakedUpdate(update.pseudonym, update.cloaked.region);
 }

@@ -20,11 +20,30 @@
 #include <vector>
 
 #include "core/anonymizer.h"
+#include "obs/metrics.h"
 #include "server/query_processor.h"
 #include "service/service_stats.h"
 #include "service/update_queue.h"
 
 namespace cloakdb {
+
+/// Optional ingest-path observability hooks of one shard. All handles are
+/// shared across shards (ShardedHistogram/Counter stripe internally), live
+/// in the service's MetricsRegistry, and may be null (measurement off).
+struct ShardObs {
+  /// Enqueue -> batch-apply wall time per update (microseconds).
+  obs::ShardedHistogram* queue_wait_us = nullptr;
+  /// Anonymizer::UpdateLocationsBatch wall time per batch (microseconds).
+  obs::ShardedHistogram* cloak_us = nullptr;
+  /// Updates per drained batch.
+  obs::ShardedHistogram* batch_size = nullptr;
+  /// Retired pseudonyms forwarded to the server.
+  obs::Counter* rotations = nullptr;
+  /// Updates shed at drain (unknown user / invalid location).
+  obs::Counter* rejected = nullptr;
+  /// Queue observability, forwarded to the BoundedUpdateQueue.
+  UpdateQueueObs queue;
+};
 
 /// Per-shard construction parameters (derived by CloakDbService from its
 /// own options; the anonymizer space is always the full service space so a
@@ -35,6 +54,9 @@ struct ShardConfig {
   uint32_t rect_grid_cells = 64;
   WireCostModel wire_cost;
   size_t queue_capacity = 4096;
+  ShardObs obs;
+  /// Probe sinks installed into the shard's QueryProcessor.
+  QueryProcessorObs server_obs;
 };
 
 /// One anonymizer + server pair owning a hash-slice of the users.

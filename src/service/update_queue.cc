@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/scoped_timer.h"
+
 namespace cloakdb {
 
 BoundedUpdateQueue::BoundedUpdateQueue(size_t capacity)
@@ -9,10 +11,20 @@ BoundedUpdateQueue::BoundedUpdateQueue(size_t capacity)
 
 Status BoundedUpdateQueue::Push(const PendingUpdate& update) {
   std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [&] { return closed_ || items_.size() < capacity_; });
+  if (!closed_ && items_.size() >= capacity_) {
+    // Producer is about to block on backpressure: measure the stall.
+    auto blocked_from = std::chrono::steady_clock::now();
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (obs_.blocked_push_us != nullptr) {
+      obs_.blocked_push_us->Record(obs::MicrosBetween(
+          blocked_from, std::chrono::steady_clock::now()));
+    }
+  }
   if (closed_) return Status::FailedPrecondition("update queue closed");
   items_.push_back(update);
+  if (obs_.depth_hwm != nullptr)
+    obs_.depth_hwm->UpdateMax(static_cast<double>(items_.size()));
   // Wake one drainer; batching means a single wake amortizes well.
   not_empty_.notify_one();
   return Status::OK();
@@ -24,6 +36,8 @@ Status BoundedUpdateQueue::TryPush(const PendingUpdate& update) {
   if (items_.size() >= capacity_)
     return Status::ResourceExhausted("update queue full");
   items_.push_back(update);
+  if (obs_.depth_hwm != nullptr)
+    obs_.depth_hwm->UpdateMax(static_cast<double>(items_.size()));
   not_empty_.notify_one();
   return Status::OK();
 }

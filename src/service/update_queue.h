@@ -10,6 +10,7 @@
 #ifndef CLOAKDB_SERVICE_UPDATE_QUEUE_H_
 #define CLOAKDB_SERVICE_UPDATE_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -17,6 +18,7 @@
 
 #include "core/anonymizer.h"
 #include "geom/point.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "util/time_of_day.h"
 
@@ -27,6 +29,19 @@ struct PendingUpdate {
   UserId user = 0;
   Point location;
   TimeOfDay time;
+  /// Stamped at enqueue; origin of the ingest queue-wait measurement
+  /// (enqueue -> batch apply).
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+/// Optional observability hooks of one queue (shared handles into the
+/// service's MetricsRegistry; null pointers disable the measurement).
+struct UpdateQueueObs {
+  /// High-water mark of the queue depth since startup.
+  obs::Gauge* depth_hwm = nullptr;
+  /// Time blocking producers spent waiting for space (microseconds);
+  /// recorded only when Push actually blocked.
+  obs::ShardedHistogram* blocked_push_us = nullptr;
 };
 
 /// Bounded multi-producer multi-consumer queue (mutex + condvars — the
@@ -37,6 +52,10 @@ class BoundedUpdateQueue {
 
   BoundedUpdateQueue(const BoundedUpdateQueue&) = delete;
   BoundedUpdateQueue& operator=(const BoundedUpdateQueue&) = delete;
+
+  /// Installs the observability hooks. Call before producers start; the
+  /// handles must outlive the queue.
+  void SetObs(const UpdateQueueObs& obs) { obs_ = obs; }
 
   /// Enqueues, blocking while the queue is full (backpressure). Fails with
   /// FailedPrecondition once the queue is closed.
@@ -66,6 +85,7 @@ class BoundedUpdateQueue {
   size_t PopLocked(size_t max, std::vector<PendingUpdate>* out);
 
   const size_t capacity_;
+  UpdateQueueObs obs_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

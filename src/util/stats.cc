@@ -83,11 +83,16 @@ double Histogram::Quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   double target = q * static_cast<double>(count_);
   double cum = static_cast<double>(underflow_);
-  if (target <= cum) return lo_;
+  // Clamp to lo only when actual underflow mass covers the target; with
+  // zero underflow the quantile must come from the first non-empty bucket
+  // (q=0 used to return lo even when every sample was far above it).
+  if (underflow_ > 0 && target <= cum) return lo_;
   for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
     double next = cum + static_cast<double>(buckets_[i]);
-    if (target <= next && buckets_[i] > 0) {
+    if (target <= next) {
       double frac = (target - cum) / static_cast<double>(buckets_[i]);
+      if (frac < 0.0) frac = 0.0;  // target landed below this bucket's mass
       return lo_ + (static_cast<double>(i) + frac) * width_;
     }
     cum = next;

@@ -1,0 +1,242 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cloakdb::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddAndHighWaterMark) {
+  Gauge g;
+  g.Set(3.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.0);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.5);
+  g.UpdateMax(2.0);  // below current value: no change
+  EXPECT_DOUBLE_EQ(g.Value(), 4.5);
+  g.UpdateMax(10.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 10.0);
+}
+
+TEST(ShardedHistogramTest, BucketOfIsMonotoneAndCoversRange) {
+  EXPECT_EQ(ShardedHistogram::BucketOf(0.0), 0u);
+  EXPECT_EQ(ShardedHistogram::BucketOf(0.5), 0u);
+  EXPECT_EQ(ShardedHistogram::BucketOf(-3.0), 0u);  // negatives clamp low
+  size_t prev = 0;
+  for (double v = 1.0; v < 1e9; v *= 1.37) {
+    size_t b = ShardedHistogram::BucketOf(v);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, ShardedHistogram::kNumBuckets);
+    // The bucket's lower edge never exceeds the value it claims to own.
+    EXPECT_LE(ShardedHistogram::BucketLowerBound(b), v * (1 + 1e-12));
+    prev = b;
+  }
+  // Absurd values clamp to the last bucket instead of indexing out.
+  EXPECT_EQ(ShardedHistogram::BucketOf(1e300),
+            ShardedHistogram::kNumBuckets - 1);
+}
+
+TEST(ShardedHistogramTest, SnapshotTracksMomentsExactly) {
+  ShardedHistogram h;
+  h.Record(10.0);
+  h.Record(20.0);
+  h.Record(90.0);
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 120.0);
+  EXPECT_DOUBLE_EQ(snap.min, 10.0);
+  EXPECT_DOUBLE_EQ(snap.max, 90.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 40.0);
+}
+
+TEST(ShardedHistogramTest, EmptySnapshotIsAllZero) {
+  ShardedHistogram h;
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+}
+
+TEST(ShardedHistogramTest, QuantilesWithinBucketingError) {
+  ShardedHistogram h;
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.Uniform(1.0, 10000.0);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  auto snap = h.Snapshot();
+  for (double q : {0.5, 0.95, 0.99}) {
+    double exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    // Log-linear buckets with 8 sub-buckets per octave: <= ~6.25% relative
+    // error, plus slack for the within-bucket interpolation.
+    EXPECT_NEAR(snap.Quantile(q), exact, exact * 0.13)
+        << "q=" << q;
+  }
+  EXPECT_GE(snap.Quantile(0.0), snap.min);
+  EXPECT_LE(snap.Quantile(1.0), snap.max);
+}
+
+TEST(ShardedHistogramTest, QuantileClampsToObservedMinMax) {
+  ShardedHistogram h;
+  h.Record(100.0);
+  h.Record(100.0);
+  auto snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(snap.p50(), 100.0);
+}
+
+TEST(ShardedHistogramTest, ConcurrentRecordsAreLossless) {
+  ShardedHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.Record(static_cast<double>(t * kPerThread + i));
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, kThreads * kPerThread - 1.0);
+}
+
+TEST(HistogramSnapshotTest, MergeMatchesSingleStream) {
+  ShardedHistogram a;
+  ShardedHistogram b;
+  ShardedHistogram both;
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.Uniform(0.0, 500.0);
+    (i % 2 == 0 ? a : b).Record(v);
+    both.Record(v);
+  }
+  auto merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  auto reference = both.Snapshot();
+  EXPECT_EQ(merged.count, reference.count);
+  // Summation order differs between the streams; allow rounding slack.
+  EXPECT_NEAR(merged.sum, reference.sum, 1e-6 * reference.sum);
+  EXPECT_DOUBLE_EQ(merged.min, reference.min);
+  EXPECT_DOUBLE_EQ(merged.max, reference.max);
+  EXPECT_EQ(merged.buckets, reference.buckets);
+  EXPECT_DOUBLE_EQ(merged.p95(), reference.p95());
+}
+
+TEST(HistogramSnapshotTest, MergeWithEmptySidesIsIdentity) {
+  ShardedHistogram h;
+  h.Record(42.0);
+  auto snap = h.Snapshot();
+  HistogramSnapshot empty;
+  snap.Merge(empty);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min, 42.0);
+  HistogramSnapshot acc;
+  acc.Merge(snap);
+  EXPECT_EQ(acc.count, 1u);
+  EXPECT_DOUBLE_EQ(acc.max, 42.0);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("requests");
+  EXPECT_EQ(c, registry.counter("requests"));
+  Gauge* g = registry.gauge("depth");
+  EXPECT_EQ(g, registry.gauge("depth"));
+  ShardedHistogram* h = registry.histogram("latency");
+  EXPECT_EQ(h, registry.histogram("latency"));
+  // Namespaces are separate: a counter and a histogram may share a name.
+  registry.histogram("requests");
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotUnknownHistogramIsEmpty) {
+  MetricsRegistry registry;
+  auto snap = registry.SnapshotHistogram("no-such-metric");
+  EXPECT_EQ(snap.count, 0u);
+}
+
+TEST(MetricsRegistryTest, ExportJsonContainsAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.counter("ingest.rejected_total")->Increment(3);
+  registry.gauge("queue.depth_hwm")->Set(17.0);
+  registry.histogram("query.latency_us")->Record(250.0);
+  std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ingest.rejected_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue.depth_hwm\""), std::string::npos);
+  EXPECT_NE(json.find("\"query.latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ExportTextMentionsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("a.count")->Increment();
+  registry.histogram("b.latency")->Record(5.0);
+  std::string text = registry.ExportText();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("b.latency"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetOrCreateAndExport) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::string name = "metric." + std::to_string(t % 3);
+      for (int i = 0; i < 2000; ++i) {
+        registry.counter(name)->Increment();
+        registry.histogram(name)->Record(static_cast<double>(i));
+      }
+    });
+  }
+  // Exports race the writers; they must stay well-formed and crash-free.
+  for (int i = 0; i < 10; ++i) (void)registry.ExportJson();
+  for (auto& t : threads) t.join();
+  uint64_t total = 0;
+  for (int m = 0; m < 3; ++m)
+    total += registry.counter("metric." + std::to_string(m))->Value();
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * 2000);
+}
+
+}  // namespace
+}  // namespace cloakdb::obs

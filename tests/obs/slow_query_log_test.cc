@@ -1,0 +1,68 @@
+#include "obs/slow_query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cloakdb::obs {
+namespace {
+
+SlowQueryRecord Query(double latency_us) {
+  return {"private_range", latency_us, 1.0, 4, 10};
+}
+
+TEST(SlowQueryLogTest, ZeroCapacityDisablesRecording) {
+  SlowQueryLog log(0);
+  log.Record(Query(1e6));
+  EXPECT_TRUE(log.TopN().empty());
+}
+
+TEST(SlowQueryLogTest, KeepsSlowestAndOrdersDescending) {
+  SlowQueryLog log(3);
+  for (double latency : {50.0, 10.0, 80.0, 20.0, 70.0, 90.0}) {
+    log.Record(Query(latency));
+  }
+  auto top = log.TopN();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(top[0].latency_us, 90.0);
+  EXPECT_DOUBLE_EQ(top[1].latency_us, 80.0);
+  EXPECT_DOUBLE_EQ(top[2].latency_us, 70.0);
+}
+
+TEST(SlowQueryLogTest, RetainsRecordContext) {
+  SlowQueryLog log(2);
+  log.Record({"public_count", 123.0, 42.5, 8, 99});
+  auto top = log.TopN();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].kind, "public_count");
+  EXPECT_DOUBLE_EQ(top[0].region_area, 42.5);
+  EXPECT_EQ(top[0].shards_touched, 8u);
+  EXPECT_EQ(top[0].candidates, 99u);
+}
+
+TEST(SlowQueryLogTest, ConcurrentRecordsKeepGlobalTop) {
+  SlowQueryLog log(4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(Query(static_cast<double>(t * kPerThread + i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto top = log.TopN();
+  ASSERT_EQ(top.size(), 4u);
+  // The four globally slowest latencies survive regardless of interleaving.
+  const double n = kThreads * kPerThread;
+  EXPECT_DOUBLE_EQ(top[0].latency_us, n - 1);
+  EXPECT_DOUBLE_EQ(top[1].latency_us, n - 2);
+  EXPECT_DOUBLE_EQ(top[2].latency_us, n - 3);
+  EXPECT_DOUBLE_EQ(top[3].latency_us, n - 4);
+}
+
+}  // namespace
+}  // namespace cloakdb::obs

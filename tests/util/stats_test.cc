@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
+
+#include "util/random.h"
 
 namespace cloakdb {
 namespace {
@@ -56,6 +59,29 @@ TEST(RunningStatsTest, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStatsTest, MergeMatchesSingleStreamAddOnSameData) {
+  // Three-way split merged in arbitrary order must reproduce the single
+  // accumulator fed the same observations.
+  RunningStats all, parts[3];
+  Rng rng(91);
+  std::vector<double> data;
+  for (int i = 0; i < 300; ++i) data.push_back(rng.Uniform(-50.0, 200.0));
+  for (size_t i = 0; i < data.size(); ++i) {
+    all.Add(data[i]);
+    parts[i % 3].Add(data[i]);
+  }
+  RunningStats merged;
+  merged.Merge(parts[2]);
+  merged.Merge(parts[0]);
+  merged.Merge(parts[1]);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-8);
+  EXPECT_NEAR(merged.sum(), all.sum(), 1e-7);
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+}
+
 TEST(RunningStatsTest, ResetClears) {
   RunningStats s;
   s.Add(5.0);
@@ -98,6 +124,54 @@ TEST(HistogramTest, QuantilesOnUniformData) {
   EXPECT_NEAR(h.P95(), 95.0, 1.5);
   EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.5);
   EXPECT_NEAR(h.Quantile(1.0), 100.0, 1.5);
+}
+
+TEST(HistogramTest, QuantileZeroInterpolatesFromFirstNonEmptyBucket) {
+  // Regression: q=0 used to return lo (0) because zero underflow satisfied
+  // `target <= cum`, even with every sample far above lo.
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 50; ++i) h.Add(75.0);  // all mass in bucket [70, 80)
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 70.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 80.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 75.0);
+}
+
+TEST(HistogramTest, QuantileWithEmptyLeadingBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(4.5);  // bucket 4
+  h.Add(8.5);  // bucket 8
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 4.0);
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1e-12);  // upper edge of bucket 4
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 9.0);
+}
+
+TEST(HistogramTest, QuantileAllMassInOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.Add(5.0);
+  // Overflow clamps to hi at every quantile, including q=0.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, QuantileAllMassInUnderflowClampsToLo) {
+  Histogram h(10.0, 20.0, 4);
+  for (int i = 0; i < 5; ++i) h.Add(1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileMixedUnderflowAndBucketMass) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);  // underflow
+  h.Add(-2.0);  // underflow
+  h.Add(5.5);
+  h.Add(5.5);
+  // Half the mass is genuine underflow: small quantiles clamp to lo, large
+  // ones interpolate inside bucket 5.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 0.0);
+  EXPECT_NEAR(h.Quantile(1.0), 6.0, 1e-12);
 }
 
 TEST(HistogramTest, QuantileEmptyIsZero) {

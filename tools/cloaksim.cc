@@ -1,27 +1,41 @@
 // cloaksim — command-line day simulator for CloakDB.
 //
-// Runs a configurable population through the full privacy pipeline
-// (movement -> anonymizer -> server -> mixed query workload) and prints
-// per-tick CSV metrics, so experiments can be scripted without writing
-// C++.
+// Drives the sharded CloakDbService through the full privacy pipeline
+// (movement -> bounded ingest queues -> anonymizer shards -> fan-out
+// queries with client-side refinement) and prints per-tick CSV metrics
+// plus a per-stage latency summary sourced from the service's
+// MetricsRegistry, so experiments can be scripted without writing C++.
 //
 // Usage:
 //   cloaksim [--users=N] [--k=K] [--algorithm=naive|mbr|quadtree|grid|
-//            multilevel-grid] [--ticks=T] [--queries-per-tick=Q]
-//            [--pois=P] [--seed=S] [--profile="08:00-17:00 k=1; ..."]
+//            multilevel-grid] [--shards=S] [--workers=W] [--ticks=T]
+//            [--queries-per-tick=Q] [--pois=P] [--seed=S]
+//            [--profile="08:00-17:00 k=1; ..."] [--metrics-json=PATH]
 //
 // Output columns:
-//   tick,users,updates_per_s,reuse_frac,nn_acc,range_acc,avg_nn_cands,
-//   bytes_total,unsatisfied_frac
+//   tick,users,updates_per_s,nn_acc,range_acc,knn_acc,
+//   queue_wait_p95_us,range_p95_us
+//
+// Accuracy columns compare the refined candidate lists against brute-force
+// ground truth over the full POI set; they must be 1.0 (the candidate-list
+// guarantee) — anything less is a bug, not a tuning problem.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <set>
 #include <string>
+#include <vector>
 
-#include "sim/workload.h"
-#include "system/system.h"
+#include "server/private_queries.h"
+#include "service/cloak_db_service.h"
+#include "sim/movement.h"
+#include "sim/poi.h"
+#include "sim/population.h"
+#include "util/random.h"
 
 namespace cloakdb {
 namespace {
@@ -30,11 +44,14 @@ struct Args {
   size_t users = 2000;
   uint32_t k = 10;
   CloakingKind algorithm = CloakingKind::kGrid;
+  uint32_t shards = 4;
+  uint32_t workers = 0;  // 0 = one per shard
   size_t ticks = 10;
   size_t queries_per_tick = 50;
   size_t pois = 300;
   uint64_t seed = 42;
-  std::string profile;  // optional Parse()-format profile
+  std::string profile;       // optional Parse()-format profile
+  std::string metrics_json;  // optional JSON dump path
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -53,6 +70,12 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (ParseArg(argv[i], "k", &value)) {
       args.k = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr,
                                                   10));
+    } else if (ParseArg(argv[i], "shards", &value)) {
+      args.shards = static_cast<uint32_t>(std::strtoul(value.c_str(),
+                                                       nullptr, 10));
+    } else if (ParseArg(argv[i], "workers", &value)) {
+      args.workers = static_cast<uint32_t>(std::strtoul(value.c_str(),
+                                                        nullptr, 10));
     } else if (ParseArg(argv[i], "ticks", &value)) {
       args.ticks = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(argv[i], "queries-per-tick", &value)) {
@@ -63,6 +86,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(argv[i], "profile", &value)) {
       args.profile = value;
+    } else if (ParseArg(argv[i], "metrics-json", &value)) {
+      args.metrics_json = value;
     } else if (ParseArg(argv[i], "algorithm", &value)) {
       auto kind = CloakingKindFromName(value);
       if (!kind.ok()) return kind.status();
@@ -73,98 +98,252 @@ Result<Args> ParseArgs(int argc, char** argv) {
     }
   }
   if (args.users == 0) return Status::InvalidArgument("users must be >= 1");
+  if (args.shards == 0) return Status::InvalidArgument("shards must be >= 1");
   return args;
 }
 
+// Brute-force ground truth over the retained POI copies: ids of all objects
+// within `radius` of `from`.
+std::set<ObjectId> ExactRangeIds(const std::vector<PublicObject>& pois,
+                                 const Point& from, double radius) {
+  std::set<ObjectId> ids;
+  for (const auto& poi : pois) {
+    if (Distance(poi.location, from) <= radius) ids.insert(poi.id);
+  }
+  return ids;
+}
+
+// Ids of the k nearest POIs (distance, then id — same tie-break the
+// refinement helpers use).
+std::set<ObjectId> ExactKnnIds(const std::vector<PublicObject>& pois,
+                               const Point& from, size_t k) {
+  std::vector<const PublicObject*> sorted;
+  sorted.reserve(pois.size());
+  for (const auto& poi : pois) sorted.push_back(&poi);
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const PublicObject* a, const PublicObject* b) {
+              double da = Distance(a->location, from);
+              double db = Distance(b->location, from);
+              if (da != db) return da < db;
+              return a->id < b->id;
+            });
+  std::set<ObjectId> ids;
+  for (size_t i = 0; i < std::min(k, sorted.size()); ++i)
+    ids.insert(sorted[i]->id);
+  return ids;
+}
+
+void PrintHistogramRow(const obs::MetricsRegistry& metrics,
+                       const char* name) {
+  auto snap = metrics.SnapshotHistogram(name);
+  std::printf("# %-32s count=%-8llu p50=%-10.1f p95=%-10.1f p99=%.1f\n",
+              name, static_cast<unsigned long long>(snap.count), snap.p50(),
+              snap.p95(), snap.p99());
+}
+
 int Run(const Args& args) {
-  LbsSystemOptions options;
-  options.num_users = args.users;
-  options.requirement = {args.k, 0.0,
-                         std::numeric_limits<double>::infinity()};
+  const Rect space(0.0, 0.0, 100.0, 100.0);
+
+  CloakDbServiceOptions options;
+  options.space = space;
+  options.num_shards = args.shards;
+  options.worker_threads = args.workers;
   options.anonymizer.algorithm = args.algorithm;
-  options.pois_per_category = args.pois;
-  options.seed = args.seed;
-  auto system = LbsSystem::Create(options);
-  if (!system.ok()) {
-    std::fprintf(stderr, "system setup failed: %s\n",
-                 system.status().ToString().c_str());
+  options.anonymizer.pseudonym_seed = args.seed;
+  auto service = CloakDbService::Create(options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service setup failed: %s\n",
+                 service.status().ToString().c_str());
     return 1;
   }
-  LbsSystem& sys = *system.value();
+  CloakDbService& db = *service.value();
 
-  // Optional per-user profile override.
+  PrivacyProfile profile =
+      PrivacyProfile::Uniform(
+          {args.k, 0.0, std::numeric_limits<double>::infinity()})
+          .value();
   if (!args.profile.empty()) {
-    auto profile = PrivacyProfile::Parse(args.profile);
-    if (!profile.ok()) {
+    auto parsed = PrivacyProfile::Parse(args.profile);
+    if (!parsed.ok()) {
       std::fprintf(stderr, "bad --profile: %s\n",
-                   profile.status().ToString().c_str());
+                   parsed.status().ToString().c_str());
       return 1;
     }
-    for (UserId user : sys.user_ids()) {
-      auto st = sys.anonymizer().UpdateProfile(user, profile.value());
-      if (!st.ok()) {
-        std::fprintf(stderr, "profile update failed: %s\n",
-                     st.ToString().c_str());
-        return 1;
-      }
-    }
+    profile = parsed.value();
   }
 
-  WorkloadOptions workload;
-  workload.categories = {poi_category::kGasStation,
-                         poi_category::kRestaurant};
-  auto gen = WorkloadGenerator::Create(options.space, sys.user_ids(),
-                                       workload);
-  if (!gen.ok()) {
-    std::fprintf(stderr, "workload setup failed: %s\n",
-                 gen.status().ToString().c_str());
+  Rng rng(args.seed);
+  PopulationOptions pop;
+  pop.num_users = args.users;
+  pop.model = PopulationModel::kGaussianClusters;
+  auto population = GeneratePopulation(space, pop, &rng);
+  if (!population.ok()) {
+    std::fprintf(stderr, "population setup failed: %s\n",
+                 population.status().ToString().c_str());
     return 1;
   }
-  Rng rng(args.seed ^ 0xabcdef);
+  RandomWaypointModel::Options move_options;
+  move_options.seed = args.seed ^ 0x5eedULL;
+  RandomWaypointModel movement(space, move_options);
+  std::vector<UserId> user_ids;
+  user_ids.reserve(population.value().size());
+  for (const auto& entry : population.value()) {
+    if (!db.RegisterUser(entry.id, profile).ok() ||
+        !movement.AddUser(entry.id, entry.location).ok()) {
+      std::fprintf(stderr, "user setup failed for id %llu\n",
+                   static_cast<unsigned long long>(entry.id));
+      return 1;
+    }
+    user_ids.push_back(entry.id);
+  }
+
+  // Public data: two categories, with copies retained as the brute-force
+  // oracle the accuracy columns compare against.
+  std::vector<std::vector<PublicObject>> pois_by_category;
+  for (Category cat :
+       {poi_category::kGasStation, poi_category::kRestaurant}) {
+    PoiOptions poi_options;
+    poi_options.count = args.pois;
+    poi_options.category = cat;
+    poi_options.name_prefix = "poi" + std::to_string(cat);
+    poi_options.first_id = 1'000'000ULL + 1'000'000ULL * cat;
+    auto pois = GeneratePois(space, poi_options, &rng);
+    if (!pois.ok() ||
+        !db.BulkLoadCategory(cat, pois.value()).ok()) {
+      std::fprintf(stderr, "poi setup failed\n");
+      return 1;
+    }
+    pois_by_category.push_back(std::move(pois).value());
+  }
+  const std::vector<Category> categories = {poi_category::kGasStation,
+                                            poi_category::kRestaurant};
+
   TimeOfDay now = TimeOfDay::FromHms(12, 0).value();
+  const auto& metrics = db.metrics();
 
   std::printf(
-      "tick,users,updates_per_s,reuse_frac,nn_acc,range_acc,"
-      "avg_nn_cands,bytes_total,unsatisfied_frac\n");
+      "tick,users,updates_per_s,nn_acc,range_acc,knn_acc,"
+      "queue_wait_p95_us,range_p95_us\n");
   for (size_t tick = 1; tick <= args.ticks; ++tick) {
-    sys.anonymizer().ResetStats();
+    movement.Step(1.0);
     auto begin = std::chrono::steady_clock::now();
-    auto st = sys.Tick(1.0, now);
-    auto elapsed = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - begin)
-                       .count();
-    if (!st.ok()) {
-      std::fprintf(stderr, "tick failed: %s\n", st.ToString().c_str());
-      return 1;
-    }
-    for (const auto& spec : gen.value().Batch(args.queries_per_tick, &rng)) {
-      auto qs = sys.RunQuery(spec, now);
-      if (!qs.ok()) {
-        std::fprintf(stderr, "query failed: %s\n", qs.ToString().c_str());
+    for (UserId user : user_ids) {
+      auto st = db.EnqueueUpdate(user, movement.LocationOf(user).value(),
+                                 now);
+      if (!st.ok()) {
+        std::fprintf(stderr, "update failed: %s\n", st.ToString().c_str());
         return 1;
       }
     }
-    const auto& astats = sys.anonymizer().stats();
-    double reuse = astats.updates == 0
-                       ? 0.0
-                       : static_cast<double>(astats.incremental_reuses) /
-                             static_cast<double>(astats.updates);
-    double unsatisfied =
-        astats.updates == 0
-            ? 0.0
-            : static_cast<double>(astats.unsatisfied) /
-                  static_cast<double>(astats.updates);
-    std::printf("%zu,%zu,%.0f,%.3f,%.4f,%.4f,%.2f,%llu,%.4f\n", tick,
-                args.users,
+    if (auto st = db.Flush(); !st.ok()) {
+      std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - begin)
+                         .count();
+
+    size_t nn_total = 0, nn_exact = 0;
+    size_t range_total = 0, range_exact = 0;
+    size_t knn_total = 0, knn_exact = 0;
+    for (size_t q = 0; q < args.queries_per_tick; ++q) {
+      UserId user = user_ids[rng.NextBelow(user_ids.size())];
+      auto cloak = db.CloakForQuery(user, now);
+      if (!cloak.ok()) {
+        std::fprintf(stderr, "cloak failed: %s\n",
+                     cloak.status().ToString().c_str());
+        return 1;
+      }
+      const Rect region = cloak.value().cloaked.region;
+      const Point true_loc = movement.LocationOf(user).value();
+      const size_t cat_index = q % categories.size();
+      const Category category = categories[cat_index];
+      const auto& oracle = pois_by_category[cat_index];
+      switch (q % 3) {
+        case 0: {
+          constexpr double kRadius = 10.0;
+          auto result = db.PrivateRange(region, kRadius, category);
+          if (!result.ok()) break;
+          auto refined = RefineRangeCandidates(result.value().candidates,
+                                               true_loc, kRadius);
+          std::set<ObjectId> ids;
+          for (const auto& o : refined) ids.insert(o.id);
+          ++range_total;
+          if (ids == ExactRangeIds(oracle, true_loc, kRadius)) ++range_exact;
+          break;
+        }
+        case 1: {
+          auto result = db.PrivateNn(region, category);
+          if (!result.ok()) break;
+          auto refined =
+              RefineNnCandidates(result.value().candidates, true_loc);
+          ++nn_total;
+          if (refined.ok() &&
+              ExactKnnIds(oracle, true_loc, 1).count(refined.value().id))
+            ++nn_exact;
+          break;
+        }
+        default: {
+          constexpr size_t kKnn = 3;
+          auto result = db.PrivateKnn(region, kKnn, category);
+          if (!result.ok()) break;
+          auto refined = RefineKnnCandidates(result.value().candidates,
+                                             true_loc, kKnn);
+          std::set<ObjectId> ids;
+          for (const auto& o : refined) ids.insert(o.id);
+          ++knn_total;
+          if (ids == ExactKnnIds(oracle, true_loc, kKnn)) ++knn_exact;
+          break;
+        }
+      }
+    }
+
+    auto frac = [](size_t exact, size_t total) {
+      return total == 0 ? 1.0
+                        : static_cast<double>(exact) /
+                              static_cast<double>(total);
+    };
+    std::printf("%zu,%zu,%.0f,%.4f,%.4f,%.4f,%.1f,%.1f\n", tick, args.users,
                 elapsed > 0.0 ? static_cast<double>(args.users) / elapsed
                               : 0.0,
-                reuse, sys.metrics().NnAccuracy(),
-                sys.metrics().RangeAccuracy(),
-                sys.metrics().nn_candidates.mean(),
-                static_cast<unsigned long long>(
-                    sys.counters().TotalBytes()),
-                unsatisfied);
+                frac(nn_exact, nn_total), frac(range_exact, range_total),
+                frac(knn_exact, knn_total),
+                metrics.SnapshotHistogram("ingest.queue_wait_us").p95(),
+                metrics.SnapshotHistogram("query.private_range.latency_us")
+                    .p95());
     now = now.Plus(60);
+  }
+
+  // Per-stage latency summary, straight from the MetricsRegistry.
+  std::printf("# --- per-stage latency (us, cumulative) ---\n");
+  for (const char* name :
+       {"query.private_range.latency_us", "query.private_range.probe_us",
+        "query.private_range.merge_us", "query.private_nn.latency_us",
+        "query.private_nn.probe_us", "query.private_nn.merge_us",
+        "query.private_knn.latency_us", "query.private_knn.probe_us",
+        "query.private_knn.merge_us", "ingest.queue_wait_us",
+        "ingest.cloak_us", "queue.blocked_push_us"}) {
+    PrintHistogramRow(metrics, name);
+  }
+  auto stats = db.Stats();
+  for (const auto& q : stats.slow_queries) {
+    std::printf("# slow: %-14s %10.1fus area=%-10.4g shards=%u "
+                "candidates=%llu\n",
+                q.kind.c_str(), q.latency_us, q.region_area,
+                q.shards_touched,
+                static_cast<unsigned long long>(q.candidates));
+  }
+
+  if (!args.metrics_json.empty()) {
+    std::FILE* f = std::fopen(args.metrics_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_json.c_str());
+      return 1;
+    }
+    std::string json = metrics.ExportJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
   }
   return 0;
 }
@@ -178,8 +357,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     std::fprintf(
         stderr,
-        "usage: %s [--users=N] [--k=K] [--algorithm=KIND] [--ticks=T] "
-        "[--queries-per-tick=Q] [--pois=P] [--seed=S] [--profile=SPEC]\n"
+        "usage: %s [--users=N] [--k=K] [--algorithm=KIND] [--shards=S] "
+        "[--workers=W] [--ticks=T] [--queries-per-tick=Q] [--pois=P] "
+        "[--seed=S] [--profile=SPEC] [--metrics-json=PATH]\n"
         "  KIND: naive | mbr | quadtree | grid | multilevel-grid\n"
         "  SPEC: e.g. \"08:00-17:00 k=1; 17:00-22:00 k=100 amin=1\"\n",
         argv[0]);
