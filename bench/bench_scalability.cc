@@ -271,7 +271,96 @@ BENCHMARK(BM_Service_FanOutQueries)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
+// Shared-execution payoff under a temporally-local query workload: a hot
+// pool of cloaked regions is queried over and over (the locality real LBS
+// traffic exhibits, cf. WorkloadOptions::repeat_probability). Arg(0) runs
+// the isolated planner every time; Arg(1) serves repeats from the
+// candidate cache. The CI perf gate compares the two.
+void BM_Service_RepeatedQueryCache(benchmark::State& state) {
+  const bool shared = state.range(0) != 0;
+  CloakDbServiceOptions options;
+  options.space = bench::Space();
+  options.num_shards = 4;
+  options.enable_shared_execution = shared;
+  options.cache_capacity = 4096;
+  options.signature_grid_cells = 32;
+  auto service = CloakDbService::Create(options);
+  if (!service.ok()) {
+    state.SkipWithError("service setup failed");
+    return;
+  }
+  CloakDbService& db = *service.value();
+  Rng poi_rng(bench::kSeed ^ 0x7777);
+  PoiOptions poi;
+  poi.count = 20000;
+  poi.category = poi_category::kGasStation;
+  (void)db.BulkLoadCategory(poi_category::kGasStation,
+                            GeneratePois(bench::Space(), poi, &poi_rng)
+                                .value());
+
+  // The hot set: 48 cloaked regions, revisited uniformly.
+  Rng rng(86);
+  std::vector<Rect> hot;
+  for (int i = 0; i < 48; ++i) {
+    double x = rng.Uniform(0, 88), y = rng.Uniform(0, 88);
+    hot.push_back(Rect(x, y, x + rng.Uniform(2, 8), y + rng.Uniform(2, 8)));
+  }
+  // Prime the cache so short --quick runs measure the steady state (the
+  // hit path) instead of the one-off cold misses.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Rect& cloaked : hot) {
+      benchmark::DoNotOptimize(
+          db.PrivateRange(cloaked, 3.0, poi_category::kGasStation));
+      benchmark::DoNotOptimize(
+          db.PrivateNn(cloaked, poi_category::kGasStation));
+    }
+  }
+  for (auto _ : state) {
+    const Rect& cloaked = hot[rng.NextBelow(hot.size())];
+    benchmark::DoNotOptimize(
+        db.PrivateRange(cloaked, 3.0, poi_category::kGasStation));
+    benchmark::DoNotOptimize(
+        db.PrivateNn(cloaked, poi_category::kGasStation));
+  }
+  state.counters["shared"] = shared ? 1.0 : 0.0;
+  const double hits =
+      static_cast<double>(db.metrics().counter("cache.hits_total")->Value());
+  const double misses = static_cast<double>(
+      db.metrics().counter("cache.misses_total")->Value());
+  state.counters["cache_hit_rate"] =
+      hits + misses == 0.0 ? 0.0 : hits / (hits + misses);
+  state.counters["range_p95_us"] =
+      db.metrics().SnapshotHistogram("query.private_range.latency_us").p95();
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 2),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Service_RepeatedQueryCache)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace cloakdb
 
-BENCHMARK_MAIN();
+// Custom main so CI can pass `--quick`: it is rewritten into a short
+// --benchmark_min_time before the library parses the arguments.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  static char quick_min_time[] = "--benchmark_min_time=0.05";
+  bool quick = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (quick) args.push_back(quick_min_time);
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -206,6 +206,16 @@ HistogramSnapshot MetricsRegistry::SnapshotHistogram(
   return histogram == nullptr ? HistogramSnapshot{} : histogram->Snapshot();
 }
 
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  const Counter* counter = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) counter = it->second.get();
+  }
+  return counter == nullptr ? 0 : counter->Value();
+}
+
 std::string MetricsRegistry::ExportText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

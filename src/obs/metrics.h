@@ -131,6 +131,9 @@ class MetricsRegistry {
   /// Snapshot of one histogram by name; empty snapshot when unknown.
   HistogramSnapshot SnapshotHistogram(const std::string& name) const;
 
+  /// Current value of one counter by name; 0 when unknown.
+  uint64_t CounterValue(const std::string& name) const;
+
   /// "name value" / "name count=.. mean=.. p50=.. p95=.. p99=.." lines,
   /// sorted by name — for logs and CLI output.
   std::string ExportText() const;

@@ -24,6 +24,61 @@ std::vector<PublicObject> Materialize(const ObjectStore& store,
   return out;
 }
 
+// Half the diagonal of a rectangle: the worst-case distance from a point
+// inside to its nearest corner, the slack term of both fetch bounds.
+double HalfDiagonal(const Rect& rect) {
+  return 0.5 * std::sqrt(rect.Width() * rect.Width() +
+                         rect.Height() * rect.Height());
+}
+
+// Dominance pruning: keep o iff MinDist(o, R) <= min_o' MaxDist(o', R).
+// Survivors are exactly the objects no other object is guaranteed to beat
+// for every possible user position. Shared between the isolated query
+// (PointEntry hits) and superset refinement (PublicObject hits) so both
+// paths apply the same predicate by construction. Returns the prune count.
+template <typename T>
+size_t DominancePrune(std::vector<T>* hits, const Rect& cloaked) {
+  double min_max_dist = std::numeric_limits<double>::infinity();
+  for (const auto& h : *hits) {
+    min_max_dist = std::min(min_max_dist, MaxDist(h.location, cloaked));
+  }
+  size_t before = hits->size();
+  hits->erase(std::remove_if(hits->begin(), hits->end(),
+                             [&](const T& e) {
+                               return MinDist(e.location, cloaked) >
+                                      min_max_dist;
+                             }),
+              hits->end());
+  return before - hits->size();
+}
+
+// k-dominance pruning: o cannot be among any point's k nearest when at
+// least k objects are guaranteed nearer for every possible location, i.e.
+// have MaxDist(o', R) < MinDist(o, R). (o never dominates itself:
+// MaxDist >= MinDist.) Returns the prune count.
+template <typename T>
+size_t KDominancePrune(std::vector<T>* hits, const Rect& cloaked, size_t k) {
+  std::vector<double> max_dists;
+  max_dists.reserve(hits->size());
+  for (const auto& h : *hits) {
+    max_dists.push_back(MaxDist(h.location, cloaked));
+  }
+  std::sort(max_dists.begin(), max_dists.end());
+  size_t before = hits->size();
+  hits->erase(std::remove_if(
+                  hits->begin(), hits->end(),
+                  [&](const T& e) {
+                    double min_d = MinDist(e.location, cloaked);
+                    size_t closer = static_cast<size_t>(
+                        std::lower_bound(max_dists.begin(), max_dists.end(),
+                                         min_d) -
+                        max_dists.begin());
+                    return closer >= k;
+                  }),
+              hits->end());
+  return before - hits->size();
+}
+
 }  // namespace
 
 Result<PrivateRangeResult> PrivateRangeQuery(
@@ -55,9 +110,8 @@ Result<PrivateRangeResult> PrivateRangeQuery(
   return result;
 }
 
-Result<PrivateNnResult> PrivateNnQuery(const ObjectStore& store,
-                                       const Rect& cloaked,
-                                       Category category) {
+Result<double> NnFetchRadius(const ObjectStore& store, const Rect& cloaked,
+                             Category category) {
   if (cloaked.IsEmpty())
     return Status::InvalidArgument("cloaked region must be non-empty");
   auto index_or = store.CategoryIndex(category);
@@ -74,10 +128,45 @@ Result<PrivateNnResult> PrivateNnQuery(const ObjectStore& store,
   for (const Point& corner : cloaked.Corners()) {
     max_corner_nn = std::max(max_corner_nn, index.NearestDistance(corner));
   }
-  double half_diag = 0.5 * std::sqrt(cloaked.Width() * cloaked.Width() +
-                                     cloaked.Height() * cloaked.Height());
+  return max_corner_nn + HalfDiagonal(cloaked);
+}
+
+Result<double> KnnFetchRadius(const ObjectStore& store, const Rect& cloaked,
+                              size_t k, Category category) {
+  if (cloaked.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  auto index_or = store.CategoryIndex(category);
+  if (!index_or.ok()) return index_or.status();
+  const RTree& index = *index_or.value();
+  if (index.size() == 0)
+    return Status::NotFound("no public objects in category");
+  // Everything is an answer candidate by pigeonhole; no bounded probe can
+  // serve this case, signalled as radius 0.
+  if (index.size() <= k) return 0.0;
+
+  // Fetch bound: for any p in R and its nearest corner c, the k objects
+  // nearest to c all lie within d(p, c) + d(c, kth-NN(c)), so the k-th NN
+  // distance of p is at most half_diag + max_c d(c, kth-NN(c)); every
+  // possible answer object has MinDist(o, R) below that.
+  double max_corner_kth = 0.0;
+  for (const Point& corner : cloaked.Corners()) {
+    auto knn = index.KNearest(corner, k);
+    max_corner_kth =
+        std::max(max_corner_kth, Distance(corner, knn.back().location));
+  }
+  return max_corner_kth + HalfDiagonal(cloaked);
+}
+
+Result<PrivateNnResult> PrivateNnQuery(const ObjectStore& store,
+                                       const Rect& cloaked,
+                                       Category category) {
+  auto fetch = NnFetchRadius(store, cloaked, category);
+  if (!fetch.ok()) return fetch.status();
+  const RTree& index = *store.CategoryIndex(category).value();
+
   PrivateNnResult result;
-  result.fetch_radius = max_corner_nn + half_diag;
+  result.fetch_radius = fetch.value();
 
   auto hits = index.RangeSearch(cloaked.Expanded(result.fetch_radius));
   // The expanded MBR over-approximates the disc sum; drop the corners.
@@ -87,22 +176,7 @@ Result<PrivateNnResult> PrivateNnQuery(const ObjectStore& store,
                                      result.fetch_radius;
                             }),
              hits.end());
-
-  // Dominance pruning: keep o iff MinDist(o, R) <= min_o' MaxDist(o', R).
-  // Survivors are exactly the objects no other object is guaranteed to
-  // beat for every possible user position.
-  double min_max_dist = std::numeric_limits<double>::infinity();
-  for (const auto& h : hits) {
-    min_max_dist = std::min(min_max_dist, MaxDist(h.location, cloaked));
-  }
-  size_t before = hits.size();
-  hits.erase(std::remove_if(hits.begin(), hits.end(),
-                            [&](const PointEntry& e) {
-                              return MinDist(e.location, cloaked) >
-                                     min_max_dist;
-                            }),
-             hits.end());
-  result.dominance_pruned = before - hits.size();
+  result.dominance_pruned = DominancePrune(&hits, cloaked);
   result.candidates = Materialize(store, hits);
   return result;
 }
@@ -110,14 +184,9 @@ Result<PrivateNnResult> PrivateNnQuery(const ObjectStore& store,
 Result<PrivateKnnResult> PrivateKnnQuery(const ObjectStore& store,
                                          const Rect& cloaked, size_t k,
                                          Category category) {
-  if (cloaked.IsEmpty())
-    return Status::InvalidArgument("cloaked region must be non-empty");
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  auto index_or = store.CategoryIndex(category);
-  if (!index_or.ok()) return index_or.status();
-  const RTree& index = *index_or.value();
-  if (index.size() == 0)
-    return Status::NotFound("no public objects in category");
+  auto fetch = KnnFetchRadius(store, cloaked, k, category);
+  if (!fetch.ok()) return fetch.status();
+  const RTree& index = *store.CategoryIndex(category).value();
 
   PrivateKnnResult result;
   if (index.size() <= k) {
@@ -130,20 +199,7 @@ Result<PrivateKnnResult> PrivateKnnQuery(const ObjectStore& store,
     result.candidates = Materialize(store, hits);
     return result;
   }
-
-  // Fetch bound: for any p in R and its nearest corner c, the k objects
-  // nearest to c all lie within d(p, c) + d(c, kth-NN(c)), so the k-th NN
-  // distance of p is at most half_diag + max_c d(c, kth-NN(c)); every
-  // possible answer object has MinDist(o, R) below that.
-  double max_corner_kth = 0.0;
-  for (const Point& corner : cloaked.Corners()) {
-    auto knn = index.KNearest(corner, k);
-    max_corner_kth = std::max(
-        max_corner_kth, Distance(corner, knn.back().location));
-  }
-  double half_diag = 0.5 * std::sqrt(cloaked.Width() * cloaked.Width() +
-                                     cloaked.Height() * cloaked.Height());
-  result.fetch_radius = max_corner_kth + half_diag;
+  result.fetch_radius = fetch.value();
 
   auto hits = index.RangeSearch(cloaked.Expanded(result.fetch_radius));
   hits.erase(std::remove_if(hits.begin(), hits.end(),
@@ -152,31 +208,98 @@ Result<PrivateKnnResult> PrivateKnnQuery(const ObjectStore& store,
                                      result.fetch_radius;
                             }),
              hits.end());
-
-  // Dominance pruning: o cannot be among any point's k nearest when at
-  // least k objects are guaranteed nearer for every possible location,
-  // i.e. have MaxDist(o', R) < MinDist(o, R). (o never dominates itself:
-  // MaxDist >= MinDist.)
-  std::vector<double> max_dists;
-  max_dists.reserve(hits.size());
-  for (const auto& h : hits) {
-    max_dists.push_back(MaxDist(h.location, cloaked));
-  }
-  std::sort(max_dists.begin(), max_dists.end());
-  size_t before = hits.size();
-  hits.erase(std::remove_if(
-                 hits.begin(), hits.end(),
-                 [&](const PointEntry& e) {
-                   double min_d = MinDist(e.location, cloaked);
-                   size_t closer = static_cast<size_t>(
-                       std::lower_bound(max_dists.begin(), max_dists.end(),
-                                        min_d) -
-                       max_dists.begin());
-                   return closer >= k;
-                 }),
-             hits.end());
-  result.dominance_pruned = before - hits.size();
+  result.dominance_pruned = KDominancePrune(&hits, cloaked, k);
   result.candidates = Materialize(store, hits);
+  return result;
+}
+
+Result<std::vector<PublicObject>> SharedProbeQuery(const ObjectStore& store,
+                                                   const Rect& probe_region,
+                                                   Category category) {
+  if (probe_region.IsEmpty())
+    return Status::InvalidArgument("probe region must be non-empty");
+  auto index = store.CategoryIndex(category);
+  if (!index.ok()) return index.status();
+  return Materialize(store, index.value()->RangeSearch(probe_region));
+}
+
+Result<PrivateRangeResult> PrivateRangeFromSuperset(
+    const ObjectStore& store, const std::vector<PublicObject>& superset,
+    const Rect& cloaked, double radius, Category category,
+    const PrivateRangeOptions& options) {
+  if (cloaked.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  if (!(radius > 0.0))
+    return Status::InvalidArgument("query radius must be positive");
+  // The category check keeps superset refinement status-identical to the
+  // isolated query (NotFound on an absent category even when the shared
+  // probe predates its removal).
+  auto index = store.CategoryIndex(category);
+  if (!index.ok()) return index.status();
+
+  PrivateRangeResult result;
+  result.extended_region = cloaked.Expanded(radius);
+  for (const PublicObject& o : superset) {
+    // Same two-stage filter as the isolated query: extended-MBR fetch,
+    // then the exact rounded-rectangle test — so the prune counter matches
+    // the isolated run even though the superset is wider.
+    if (!result.extended_region.Contains(o.location)) continue;
+    if (options.exact_rounded_rect && MinDist(o.location, cloaked) > radius) {
+      ++result.rounded_rect_pruned;
+      continue;
+    }
+    result.candidates.push_back(o);
+  }
+  return result;
+}
+
+Result<PrivateNnResult> PrivateNnFromSuperset(
+    const ObjectStore& store, const std::vector<PublicObject>& superset,
+    const Rect& cloaked, Category category, double known_fetch_radius) {
+  PrivateNnResult result;
+  if (known_fetch_radius > 0.0) {
+    result.fetch_radius = known_fetch_radius;
+  } else {
+    auto fetch = NnFetchRadius(store, cloaked, category);
+    if (!fetch.ok()) return fetch.status();
+    result.fetch_radius = fetch.value();
+  }
+  // An isolated candidate satisfies MinDist <= fetch_radius, which already
+  // implies membership in the expanded MBR — one predicate suffices here.
+  std::vector<PublicObject> hits;
+  for (const PublicObject& o : superset) {
+    if (MinDist(o.location, cloaked) <= result.fetch_radius)
+      hits.push_back(o);
+  }
+  result.dominance_pruned = DominancePrune(&hits, cloaked);
+  result.candidates = std::move(hits);
+  return result;
+}
+
+Result<PrivateKnnResult> PrivateKnnFromSuperset(
+    const ObjectStore& store, const std::vector<PublicObject>& superset,
+    const Rect& cloaked, size_t k, Category category,
+    double known_fetch_radius) {
+  PrivateKnnResult result;
+  if (known_fetch_radius > 0.0) {
+    result.fetch_radius = known_fetch_radius;
+  } else {
+    auto fetch = KnnFetchRadius(store, cloaked, k, category);
+    if (!fetch.ok()) return fetch.status();
+    if (fetch.value() == 0.0) {
+      // <= k objects in the category: the bounded superset cannot prove
+      // completeness, so take the pigeonhole path against the index itself.
+      return PrivateKnnQuery(store, cloaked, k, category);
+    }
+    result.fetch_radius = fetch.value();
+  }
+  std::vector<PublicObject> hits;
+  for (const PublicObject& o : superset) {
+    if (MinDist(o.location, cloaked) <= result.fetch_radius)
+      hits.push_back(o);
+  }
+  result.dominance_pruned = KDominancePrune(&hits, cloaked, k);
+  result.candidates = std::move(hits);
   return result;
 }
 

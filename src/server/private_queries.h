@@ -86,6 +86,64 @@ Result<PrivateKnnResult> PrivateKnnQuery(const ObjectStore& store,
                                          const Rect& cloaked, size_t k,
                                          Category category);
 
+// --- Shared execution (one probe serving many queries) --------------------
+//
+// The service's shared-execution engine runs ONE widened index probe for a
+// cluster of overlapping cloaked queries and refines every member's
+// candidate list from the shared superset with the functions below. They
+// apply the same predicates as the isolated queries, and every isolated
+// candidate o satisfies MinDist(o, R) <= reach — which places o inside
+// R.Expanded(reach) — so whenever the probe rectangle contains
+// R.Expanded(reach), refining from the superset returns exactly the
+// isolated answer. Sharing can only widen what is *fetched*, never shrink
+// what is *kept*: pruning stays per-query, so the paper's candidate-list
+// guarantee is unaffected.
+
+/// Fetches every `category` object inside `probe_region`, materialized once
+/// for a cluster of queries. Fails with InvalidArgument on an empty probe
+/// region and NotFound on an absent category.
+Result<std::vector<PublicObject>> SharedProbeQuery(const ObjectStore& store,
+                                                   const Rect& probe_region,
+                                                   Category category);
+
+/// The conservative NN fetch radius of `cloaked` (max corner-NN distance
+/// plus half the diagonal): the reach a shared probe must cover for
+/// PrivateNnFromSuperset to be exact. Fails like PrivateNnQuery.
+Result<double> NnFetchRadius(const ObjectStore& store, const Rect& cloaked,
+                             Category category);
+
+/// The conservative k-NN fetch radius; returns 0.0 when the category holds
+/// at most k objects (the probe is bypassed — everything is a candidate).
+/// Fails like PrivateKnnQuery.
+Result<double> KnnFetchRadius(const ObjectStore& store, const Rect& cloaked,
+                              size_t k, Category category);
+
+/// PrivateRangeQuery refined from a shared superset. Exact iff `superset`
+/// contains every `category` object inside cloaked.Expanded(radius).
+Result<PrivateRangeResult> PrivateRangeFromSuperset(
+    const ObjectStore& store, const std::vector<PublicObject>& superset,
+    const Rect& cloaked, double radius, Category category,
+    const PrivateRangeOptions& options = {});
+
+/// PrivateNnQuery refined from a shared superset. Exact iff `superset`
+/// contains every `category` object o with MinDist(o, cloaked) <= the
+/// NnFetchRadius of `cloaked`. A caller that already computed that radius
+/// (e.g. to build a cache key) passes it as `known_fetch_radius` to skip
+/// the corner probes; 0.0 means "compute it here".
+Result<PrivateNnResult> PrivateNnFromSuperset(
+    const ObjectStore& store, const std::vector<PublicObject>& superset,
+    const Rect& cloaked, Category category, double known_fetch_radius = 0.0);
+
+/// PrivateKnnQuery refined from a shared superset (same exactness contract
+/// with KnnFetchRadius; the <= k pigeonhole case re-fetches the whole
+/// category from the index and ignores `superset`). `known_fetch_radius`
+/// as in PrivateNnFromSuperset — 0.0 recomputes, which also re-detects the
+/// pigeonhole case.
+Result<PrivateKnnResult> PrivateKnnFromSuperset(
+    const ObjectStore& store, const std::vector<PublicObject>& superset,
+    const Rect& cloaked, size_t k, Category category,
+    double known_fetch_radius = 0.0);
+
 /// Picks the true k nearest neighbors from k-NN candidates, sorted by
 /// distance (ties by id). Returns fewer when the list is shorter than k.
 std::vector<PublicObject> RefineKnnCandidates(

@@ -17,6 +17,7 @@ void MergeServerStats(ServerStats* into, const ServerStats& from) {
   into->private_private_queries += from.private_private_queries;
   into->public_count_queries += from.public_count_queries;
   into->public_nn_queries += from.public_nn_queries;
+  into->heatmap_queries += from.heatmap_queries;
   into->range_candidates.Merge(from.range_candidates);
   into->nn_candidates.Merge(from.nn_candidates);
   into->bytes_to_clients += from.bytes_to_clients;
@@ -38,6 +39,15 @@ Status QueryProcessor::DropPseudonym(ObjectId pseudonym) {
   return store_.RemovePrivateRegion(pseudonym);
 }
 
+void QueryProcessor::CountPrivateQuery(uint64_t ServerStats::*counter,
+                                       RunningStats ServerStats::*candidates,
+                                       size_t num_candidates) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++(stats_.*counter);
+  (stats_.*candidates).Add(static_cast<double>(num_candidates));
+  stats_.bytes_to_clients += num_candidates * wire_cost_.bytes_per_object;
+}
+
 Result<PrivateRangeResult> QueryProcessor::PrivateRange(
     const Rect& cloaked, double radius, Category category,
     const PrivateRangeOptions& opts) const {
@@ -45,12 +55,9 @@ Result<PrivateRangeResult> QueryProcessor::PrivateRange(
   auto result = PrivateRangeQuery(store_, cloaked, radius, category, opts);
   probe.Stop();
   if (result.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.private_range_queries;
-    stats_.range_candidates.Add(
-        static_cast<double>(result.value().candidates.size()));
-    stats_.bytes_to_clients +=
-        result.value().candidates.size() * wire_cost_.bytes_per_object;
+    CountPrivateQuery(&ServerStats::private_range_queries,
+                      &ServerStats::range_candidates,
+                      result.value().candidates.size());
   }
   return result;
 }
@@ -61,12 +68,9 @@ Result<PrivateNnResult> QueryProcessor::PrivateNn(const Rect& cloaked,
   auto result = PrivateNnQuery(store_, cloaked, category);
   probe.Stop();
   if (result.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.private_nn_queries;
-    stats_.nn_candidates.Add(
-        static_cast<double>(result.value().candidates.size()));
-    stats_.bytes_to_clients +=
-        result.value().candidates.size() * wire_cost_.bytes_per_object;
+    CountPrivateQuery(&ServerStats::private_nn_queries,
+                      &ServerStats::nn_candidates,
+                      result.value().candidates.size());
   }
   return result;
 }
@@ -78,14 +82,73 @@ Result<PrivateKnnResult> QueryProcessor::PrivateKnn(const Rect& cloaked,
   auto result = PrivateKnnQuery(store_, cloaked, k, category);
   probe.Stop();
   if (result.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.private_knn_queries;
-    stats_.nn_candidates.Add(
-        static_cast<double>(result.value().candidates.size()));
-    stats_.bytes_to_clients +=
-        result.value().candidates.size() * wire_cost_.bytes_per_object;
+    CountPrivateQuery(&ServerStats::private_knn_queries,
+                      &ServerStats::nn_candidates,
+                      result.value().candidates.size());
   }
   return result;
+}
+
+Result<std::vector<PublicObject>> QueryProcessor::SharedProbe(
+    const Rect& probe_region, Category category) const {
+  // Not a client-visible query: no stats. Probe latency is recorded by the
+  // service's shared-execution histogram around this call.
+  return SharedProbeQuery(store_, probe_region, category);
+}
+
+Result<double> QueryProcessor::NnFetchReach(const Rect& cloaked,
+                                            Category category) const {
+  return NnFetchRadius(store_, cloaked, category);
+}
+
+Result<double> QueryProcessor::KnnFetchReach(const Rect& cloaked, size_t k,
+                                             Category category) const {
+  return KnnFetchRadius(store_, cloaked, k, category);
+}
+
+Result<PrivateRangeResult> QueryProcessor::PrivateRangeShared(
+    const std::vector<PublicObject>& superset, const Rect& cloaked,
+    double radius, Category category,
+    const PrivateRangeOptions& opts) const {
+  auto result = PrivateRangeFromSuperset(store_, superset, cloaked, radius,
+                                         category, opts);
+  if (result.ok()) {
+    CountPrivateQuery(&ServerStats::private_range_queries,
+                      &ServerStats::range_candidates,
+                      result.value().candidates.size());
+  }
+  return result;
+}
+
+Result<PrivateNnResult> QueryProcessor::PrivateNnShared(
+    const std::vector<PublicObject>& superset, const Rect& cloaked,
+    Category category, double known_fetch_radius) const {
+  auto result = PrivateNnFromSuperset(store_, superset, cloaked, category,
+                                      known_fetch_radius);
+  if (result.ok()) {
+    CountPrivateQuery(&ServerStats::private_nn_queries,
+                      &ServerStats::nn_candidates,
+                      result.value().candidates.size());
+  }
+  return result;
+}
+
+Result<PrivateKnnResult> QueryProcessor::PrivateKnnShared(
+    const std::vector<PublicObject>& superset, const Rect& cloaked, size_t k,
+    Category category, double known_fetch_radius) const {
+  auto result = PrivateKnnFromSuperset(store_, superset, cloaked, k, category,
+                                       known_fetch_radius);
+  if (result.ok()) {
+    CountPrivateQuery(&ServerStats::private_knn_queries,
+                      &ServerStats::nn_candidates,
+                      result.value().candidates.size());
+  }
+  return result;
+}
+
+void QueryProcessor::NotePublicCountFromCache() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.public_count_queries;
 }
 
 Result<PrivatePrivateRangeResult> QueryProcessor::PrivatePrivateRange(
@@ -136,8 +199,10 @@ Result<HeatmapResult> QueryProcessor::Heatmap(uint32_t resolution) const {
   auto result = PublicHeatmapQuery(store_, resolution);
   probe.Stop();
   if (result.ok()) {
+    // Heatmaps used to inflate public_count_queries; they have their own
+    // counter so the count-query stream stays an honest workload signal.
     std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.public_count_queries;
+    ++stats_.heatmap_queries;
   }
   return result;
 }

@@ -48,6 +48,7 @@ struct ServerStats {
   uint64_t private_private_queries = 0;
   uint64_t public_count_queries = 0;
   uint64_t public_nn_queries = 0;
+  uint64_t heatmap_queries = 0;
   RunningStats range_candidates;   ///< Candidates per private range query.
   RunningStats nn_candidates;      ///< Candidates per private NN query.
   uint64_t bytes_to_clients = 0;   ///< Modeled candidate-list traffic.
@@ -103,6 +104,46 @@ class QueryProcessor {
   Result<PrivateKnnResult> PrivateKnn(const Rect& cloaked, size_t k,
                                       Category category) const;
 
+  // --- Shared execution (src/service/ probe sharing) ----------------------
+  // One widened probe fetched via SharedProbe can serve a whole cluster of
+  // overlapping cloaked queries; the *Shared entry points refine a member's
+  // exact answer from that superset and keep the same per-kind statistics
+  // as the isolated queries (counted only when the query is accepted, so
+  // cached and uncached runs stay comparable).
+
+  /// Materializes every `category` object inside `probe_region`.
+  Result<std::vector<PublicObject>> SharedProbe(const Rect& probe_region,
+                                                Category category) const;
+
+  /// Conservative NN / k-NN fetch radii (the reach a shared probe must
+  /// cover); thin wrappers over server/private_queries.h, no stats.
+  Result<double> NnFetchReach(const Rect& cloaked, Category category) const;
+  Result<double> KnnFetchReach(const Rect& cloaked, size_t k,
+                               Category category) const;
+
+  /// PrivateRange refined from a shared probe superset.
+  Result<PrivateRangeResult> PrivateRangeShared(
+      const std::vector<PublicObject>& superset, const Rect& cloaked,
+      double radius, Category category,
+      const PrivateRangeOptions& opts = {}) const;
+
+  /// PrivateNn refined from a shared probe superset. `known_fetch_radius`
+  /// (when > 0) is a fetch radius the caller already computed via
+  /// NnFetchReach, skipping a second round of corner probes.
+  Result<PrivateNnResult> PrivateNnShared(
+      const std::vector<PublicObject>& superset, const Rect& cloaked,
+      Category category, double known_fetch_radius = 0.0) const;
+
+  /// PrivateKnn refined from a shared probe superset; `known_fetch_radius`
+  /// as in PrivateNnShared.
+  Result<PrivateKnnResult> PrivateKnnShared(
+      const std::vector<PublicObject>& superset, const Rect& cloaked,
+      size_t k, Category category, double known_fetch_radius = 0.0) const;
+
+  /// Counts a public-count query served verbatim from the service's
+  /// candidate cache, so ServerStats stays comparable with uncached runs.
+  void NotePublicCountFromCache() const;
+
   /// Private range query over private data (both sides cloaked).
   Result<PrivatePrivateRangeResult> PrivatePrivateRange(
       const Rect& querier, double radius,
@@ -134,6 +175,12 @@ class QueryProcessor {
   void SetObs(const QueryProcessorObs& obs) { obs_ = obs; }
 
  private:
+  /// Books one *accepted* private query: kind counter, candidate-count
+  /// stream, modeled wire bytes. Rejected queries must never reach this.
+  void CountPrivateQuery(uint64_t ServerStats::*counter,
+                         RunningStats ServerStats::*candidates,
+                         size_t num_candidates) const;
+
   ObjectStore store_;
   WireCostModel wire_cost_;
   QueryProcessorObs obs_;

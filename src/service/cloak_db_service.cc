@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <string>
 #include <utility>
 
+#include "geom/distance.h"
 #include "obs/scoped_timer.h"
 
 namespace cloakdb {
@@ -37,6 +39,10 @@ Result<std::unique_ptr<CloakDbService>> CloakDbService::Create(
     return Status::InvalidArgument("queue_capacity must be >= 1");
   if (options.max_batch == 0)
     return Status::InvalidArgument("max_batch must be >= 1");
+  if (options.signature_grid_cells == 0)
+    return Status::InvalidArgument("signature_grid_cells must be >= 1");
+  if (options.max_batch_width == 0)
+    return Status::InvalidArgument("max_batch_width must be >= 1");
   std::unique_ptr<CloakDbService> service(new CloakDbService(options));
   CLOAKDB_RETURN_IF_ERROR(service->Start());
   return service;
@@ -75,7 +81,24 @@ Status CloakDbService::Start() {
   server_obs.count_probe_us = metrics_.histogram("query.public_count.probe_us");
   server_obs.heatmap_probe_us = metrics_.histogram("query.heatmap.probe_us");
 
+  shared_batch_width_ = metrics_.histogram("query.shared.batch_width");
+  shared_cluster_fanin_ = metrics_.histogram("query.shared.cluster_fanin");
+  CandidateCacheObs cache_obs;
+  cache_obs.hits = metrics_.counter("cache.hits_total");
+  cache_obs.misses = metrics_.counter("cache.misses_total");
+  cache_obs.insertions = metrics_.counter("cache.insertions_total");
+  cache_obs.lru_evictions = metrics_.counter("cache.lru_evictions_total");
+  cache_obs.invalidations = metrics_.counter("cache.invalidations_total");
+
+  signature_ = CellSignature(options_.space, options_.signature_grid_cells);
+
   const uint32_t n = options_.num_shards;
+  // Split the cache budget evenly (at least one entry per shard so a tiny
+  // budget still exercises the cache path everywhere).
+  const size_t per_shard_cache =
+      options_.enable_shared_execution && options_.cache_capacity > 0
+          ? (options_.cache_capacity + n - 1) / n
+          : 0;
   shards_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     ShardConfig config;
@@ -89,6 +112,10 @@ Status CloakDbService::Start() {
     config.queue_capacity = options_.queue_capacity;
     config.obs = shard_obs;
     config.server_obs = server_obs;
+    config.cache_capacity = per_shard_cache;
+    config.signature_cells = options_.signature_grid_cells;
+    config.cache_obs = cache_obs;
+    config.shared_probe_us = metrics_.histogram("query.shared.probe_us");
     auto shard = Shard::Create(config);
     if (!shard.ok()) return shard.status();
     shards_.push_back(std::move(shard).value());
@@ -96,6 +123,13 @@ Status CloakDbService::Start() {
   const double stripe_width = options_.space.Width() / n;
   for (uint32_t i = 1; i < n; ++i) {
     stripe_bounds_.push_back(options_.space.min_x + stripe_width * i);
+  }
+  if (options_.enable_shared_execution && options_.batch_window_us > 0) {
+    batcher_ = std::make_unique<QueryBatcher>(
+        options_.batch_window_us, options_.max_batch_width,
+        [this](const std::vector<BatchQuery>& queries) {
+          return ExecuteBatch(queries);
+        });
   }
   worker_count_ = options_.worker_threads == 0 ? n : options_.worker_threads;
   workers_.reserve(worker_count_);
@@ -145,6 +179,15 @@ uint32_t CloakDbService::ShardOfX(double x) const {
 std::pair<uint32_t, uint32_t> CloakDbService::StripeRangeOf(
     const Rect& region) const {
   return {ShardOfX(region.min_x), ShardOfX(region.max_x)};
+}
+
+double CloakDbService::StripeMinDist(uint32_t stripe,
+                                     const Rect& region) const {
+  const double lo =
+      stripe == 0 ? options_.space.min_x : stripe_bounds_[stripe - 1];
+  const double hi = stripe + 1 == shards_.size() ? options_.space.max_x
+                                                 : stripe_bounds_[stripe];
+  return std::max({0.0, lo - region.max_x, region.min_x - hi});
 }
 
 Status CloakDbService::RegisterUser(UserId user, PrivacyProfile profile) {
@@ -228,6 +271,24 @@ Status CloakDbService::Flush() {
 Result<PrivateRangeResult> CloakDbService::PrivateRange(
     const Rect& cloaked, double radius, Category category,
     const PrivateRangeOptions& opts) const {
+  if (batcher_ != nullptr) {
+    BatchQuery query;
+    query.kind = BatchQueryKind::kRange;
+    query.cloaked = cloaked;
+    query.radius = radius;
+    query.category = category;
+    query.range_options = opts;
+    BatchQueryResult result = batcher_->Submit(query);
+    if (!result.status.ok()) return result.status;
+    return std::move(result.range);
+  }
+  return PrivateRangeImpl(cloaked, radius, category, opts,
+                          options_.enable_shared_execution, Rect());
+}
+
+Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
+    const Rect& cloaked, double radius, Category category,
+    const PrivateRangeOptions& opts, bool cached, const Rect& cover) const {
   if (cloaked.IsEmpty())
     return Status::InvalidArgument("cloaked region must be non-empty");
   if (!(radius > 0.0))
@@ -247,7 +308,11 @@ Result<PrivateRangeResult> CloakDbService::PrivateRange(
       continue;
     }
     ++shards_touched;
-    auto part = shards_[i]->PrivateRange(cloaked, radius, category, opts);
+    auto part =
+        cached
+            ? shards_[i]->PrivateRangeCached(cloaked, radius, category, opts,
+                                             cover)
+            : shards_[i]->PrivateRange(cloaked, radius, category, opts);
     if (part.ok()) {
       category_exists = true;
       parts.push_back(std::move(part).value());
@@ -279,17 +344,66 @@ Result<PrivateRangeResult> CloakDbService::PrivateRange(
 
 Result<PrivateNnResult> CloakDbService::PrivateNn(const Rect& cloaked,
                                                   Category category) const {
+  if (batcher_ != nullptr) {
+    BatchQuery query;
+    query.kind = BatchQueryKind::kNn;
+    query.cloaked = cloaked;
+    query.category = category;
+    BatchQueryResult result = batcher_->Submit(query);
+    if (!result.status.ok()) return result.status;
+    return std::move(result.nn);
+  }
+  return PrivateNnImpl(cloaked, category, options_.enable_shared_execution,
+                       Rect());
+}
+
+Result<PrivateNnResult> CloakDbService::PrivateNnImpl(const Rect& cloaked,
+                                                      Category category,
+                                                      bool cached,
+                                                      const Rect& cover) const {
   if (cloaked.IsEmpty())
     return Status::InvalidArgument("cloaked region must be non-empty");
   obs::ScopedTimer total(nn_obs_.latency_us);
   std::vector<PrivateNnResult> parts;
-  for (const auto& shard : shards_) {
-    auto part = shard->PrivateNn(cloaked, category);
+  uint32_t shards_touched = 0;
+  auto consult = [&](uint32_t i) -> Status {
+    ++shards_touched;
+    auto part = cached ? shards_[i]->PrivateNnCached(cloaked, category, cover)
+                       : shards_[i]->PrivateNn(cloaked, category);
     if (part.ok()) {
       parts.push_back(std::move(part).value());
     } else if (part.status().code() != StatusCode::kNotFound) {
-      total.Cancel();
       return part.status();
+    }
+    return Status::OK();
+  };
+  // The stripes under the cloak always answer; they set the dominance bound.
+  const auto [first, last] = StripeRangeOf(cloaked);
+  for (uint32_t i = first; i <= last; ++i) {
+    Status status = consult(i);
+    if (!status.ok()) {
+      total.Cancel();
+      return status;
+    }
+  }
+  // An off-stripe shard whose whole stripe lies farther than the best
+  // guaranteed candidate distance can only return objects the cross-shard
+  // dominance prune would drop — skipping it keeps the merged candidate
+  // list bit-identical (every skipped object o has MinDist(o, R) >= the
+  // stripe distance > bound >= the union's min MaxDist).
+  double bound = std::numeric_limits<double>::infinity();
+  for (const auto& part : parts) {
+    for (const auto& c : part.candidates) {
+      bound = std::min(bound, MaxDist(c.location, cloaked));
+    }
+  }
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    if ((i >= first && i <= last) || StripeMinDist(i, cloaked) > bound)
+      continue;
+    Status status = consult(i);
+    if (!status.ok()) {
+      total.Cancel();
+      return status;
     }
   }
   if (parts.empty()) {
@@ -301,7 +415,7 @@ Result<PrivateNnResult> CloakDbService::PrivateNn(const Rect& cloaked,
   merge.Stop();
   const uint64_t candidates = merged.candidates.size();
   RecordQuery(nn_obs_, "private_nn", total.Stop(), cloaked.Area(),
-              num_shards(), candidates,
+              shards_touched, candidates,
               candidates * options_.wire_cost.bytes_per_object);
   return merged;
 }
@@ -309,18 +423,72 @@ Result<PrivateNnResult> CloakDbService::PrivateNn(const Rect& cloaked,
 Result<PrivateKnnResult> CloakDbService::PrivateKnn(const Rect& cloaked,
                                                     size_t k,
                                                     Category category) const {
+  if (batcher_ != nullptr) {
+    BatchQuery query;
+    query.kind = BatchQueryKind::kKnn;
+    query.cloaked = cloaked;
+    query.k = k;
+    query.category = category;
+    BatchQueryResult result = batcher_->Submit(query);
+    if (!result.status.ok()) return result.status;
+    return std::move(result.knn);
+  }
+  return PrivateKnnImpl(cloaked, k, category, options_.enable_shared_execution,
+                        Rect());
+}
+
+Result<PrivateKnnResult> CloakDbService::PrivateKnnImpl(
+    const Rect& cloaked, size_t k, Category category, bool cached,
+    const Rect& cover) const {
   if (cloaked.IsEmpty())
     return Status::InvalidArgument("cloaked region must be non-empty");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   obs::ScopedTimer total(knn_obs_.latency_us);
   std::vector<PrivateKnnResult> parts;
-  for (const auto& shard : shards_) {
-    auto part = shard->PrivateKnn(cloaked, k, category);
+  uint32_t shards_touched = 0;
+  auto consult = [&](uint32_t i) -> Status {
+    ++shards_touched;
+    auto part = cached ? shards_[i]->PrivateKnnCached(cloaked, k, category,
+                                                      cover)
+                       : shards_[i]->PrivateKnn(cloaked, k, category);
     if (part.ok()) {
       parts.push_back(std::move(part).value());
     } else if (part.status().code() != StatusCode::kNotFound) {
-      total.Cancel();
       return part.status();
+    }
+    return Status::OK();
+  };
+  const auto [first, last] = StripeRangeOf(cloaked);
+  for (uint32_t i = first; i <= last; ++i) {
+    Status status = consult(i);
+    if (!status.ok()) {
+      total.Cancel();
+      return status;
+    }
+  }
+  // k-dominance analogue of the NN stripe skip: with >= k home candidates,
+  // the k-th smallest MaxDist bounds what a farther stripe could add — any
+  // of its objects o already has k known candidates strictly closer than o
+  // for every possible querier position, so o is never an answer.
+  double bound = std::numeric_limits<double>::infinity();
+  std::vector<double> max_dists;
+  for (const auto& part : parts) {
+    for (const auto& c : part.candidates) {
+      max_dists.push_back(MaxDist(c.location, cloaked));
+    }
+  }
+  if (max_dists.size() >= k) {
+    std::nth_element(max_dists.begin(), max_dists.begin() + (k - 1),
+                     max_dists.end());
+    bound = max_dists[k - 1];
+  }
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    if ((i >= first && i <= last) || StripeMinDist(i, cloaked) > bound)
+      continue;
+    Status status = consult(i);
+    if (!status.ok()) {
+      total.Cancel();
+      return status;
     }
   }
   if (parts.empty()) {
@@ -332,7 +500,7 @@ Result<PrivateKnnResult> CloakDbService::PrivateKnn(const Rect& cloaked,
   merge.Stop();
   const uint64_t candidates = merged.candidates.size();
   RecordQuery(knn_obs_, "private_knn", total.Stop(), cloaked.Area(),
-              num_shards(), candidates,
+              shards_touched, candidates,
               candidates * options_.wire_cost.bytes_per_object);
   return merged;
 }
@@ -343,7 +511,9 @@ Result<PublicCountResult> CloakDbService::PublicCount(
   std::vector<PublicCountResult> parts;
   parts.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    auto part = shard->PublicCount(window);
+    auto part = options_.enable_shared_execution
+                    ? shard->PublicCountCached(window)
+                    : shard->PublicCount(window);
     if (!part.ok()) {
       total.Cancel();
       return part.status();
@@ -386,6 +556,71 @@ Result<HeatmapResult> CloakDbService::Heatmap(uint32_t resolution) const {
   RecordQuery(heatmap_obs_, "heatmap", total.Stop(), options_.space.Area(),
               num_shards(), merged.value().expected.size(), 0);
   return merged;
+}
+
+BatchQueryResult CloakDbService::ExecuteOne(const BatchQuery& query,
+                                            bool cached,
+                                            const Rect& cover) const {
+  BatchQueryResult result;
+  switch (query.kind) {
+    case BatchQueryKind::kRange: {
+      auto range = PrivateRangeImpl(query.cloaked, query.radius, query.category,
+                                    query.range_options, cached, cover);
+      if (range.ok()) {
+        result.range = std::move(range).value();
+      } else {
+        result.status = range.status();
+      }
+      break;
+    }
+    case BatchQueryKind::kNn: {
+      auto nn = PrivateNnImpl(query.cloaked, query.category, cached, cover);
+      if (nn.ok()) {
+        result.nn = std::move(nn).value();
+      } else {
+        result.status = nn.status();
+      }
+      break;
+    }
+    case BatchQueryKind::kKnn: {
+      auto knn =
+          PrivateKnnImpl(query.cloaked, query.k, query.category, cached, cover);
+      if (knn.ok()) {
+        result.knn = std::move(knn).value();
+      } else {
+        result.status = knn.status();
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<BatchQueryResult> CloakDbService::ExecuteBatch(
+    const std::vector<BatchQuery>& queries) const {
+  std::vector<BatchQueryResult> results(queries.size());
+  if (!options_.enable_shared_execution) {
+    for (size_t i = 0; i < queries.size(); ++i)
+      results[i] = ExecuteOne(queries[i], /*cached=*/false, Rect());
+    return results;
+  }
+  if (shared_batch_width_ != nullptr)
+    shared_batch_width_->Record(static_cast<double>(queries.size()));
+  const std::vector<QueryCluster> clusters = ClusterBatch(queries, signature_);
+  for (const QueryCluster& cluster : clusters) {
+    if (shared_cluster_fanin_ != nullptr)
+      shared_cluster_fanin_->Record(
+          static_cast<double>(cluster.members.size()));
+    for (size_t member : cluster.members)
+      results[member] =
+          ExecuteOne(queries[member], /*cached=*/true, cluster.cover);
+  }
+  return results;
+}
+
+std::vector<BatchQueryResult> CloakDbService::ExecuteQueryBatch(
+    const std::vector<BatchQuery>& queries) const {
+  return ExecuteBatch(queries);
 }
 
 void CloakDbService::RecordQuery(const QueryKindObs& obs, const char* kind,

@@ -30,6 +30,7 @@
 
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
+#include "service/query_batcher.h"
 #include "service/shard.h"
 
 namespace cloakdb {
@@ -65,6 +66,34 @@ struct CloakDbServiceOptions {
   /// Retained slowest queries (kind, latency, region area, fan-out width,
   /// candidate count), surfaced via Stats().slow_queries; 0 disables.
   size_t slow_query_log_capacity = 16;
+
+  // --- Shared execution --------------------------------------------------
+
+  /// Turns on the shared-execution engine: private queries are snapped to
+  /// the signature grid, served from each shard's candidate cache, and —
+  /// through ExecuteQueryBatch or the batch window — clustered so
+  /// overlapping queries share one widened index probe. Off by default:
+  /// every query is planned and probed in isolation, exactly as before.
+  bool enable_shared_execution = false;
+
+  /// Total candidate-cache entries across the service (split evenly over
+  /// the shards, at least one per shard); 0 disables caching while keeping
+  /// batch clustering. Only meaningful with enable_shared_execution.
+  size_t cache_capacity = 4096;
+
+  /// Signature-grid resolution per side (>= 1) used to snap cloaked
+  /// regions to cache keys and to cluster batched queries. Coarser grids
+  /// share more but probe wider.
+  uint32_t signature_grid_cells = 32;
+
+  /// How long (microseconds) a query submitted through PrivateRange/Nn/Knn
+  /// waits to be batched with concurrent submissions; 0 executes each
+  /// query immediately (ExecuteQueryBatch still clusters explicit
+  /// batches). Only meaningful with enable_shared_execution.
+  uint32_t batch_window_us = 0;
+
+  /// Queries that release a batch window early once collected (>= 1).
+  size_t max_batch_width = 64;
 };
 
 /// The sharded CloakDB facade. All public methods are thread-safe.
@@ -135,6 +164,16 @@ class CloakDbService {
   Result<PrivateKnnResult> PrivateKnn(const Rect& cloaked, size_t k,
                                       Category category) const;
 
+  /// Executes a batch of private queries with shared execution: the batch
+  /// is clustered by cloaked-region overlap and every cluster shares one
+  /// widened probe per shard, with each member's candidate list refined
+  /// per query (results are identical to issuing the queries one by one).
+  /// With enable_shared_execution off, the queries run isolated — same
+  /// API, no sharing — which is what makes on/off differential testing a
+  /// one-flag change. Returns one result per query, in order.
+  std::vector<BatchQueryResult> ExecuteQueryBatch(
+      const std::vector<BatchQuery>& queries) const;
+
   /// Public count over private data (every shard; exact merge).
   Result<PublicCountResult> PublicCount(const Rect& window) const;
 
@@ -181,8 +220,35 @@ class CloakDbService {
 
   Status Start();
   void WorkerLoop(uint32_t worker);
+
+  /// Fan-out bodies shared by the isolated, cached and batched paths.
+  /// `cached` routes the per-shard call through the candidate cache;
+  /// `cover` is the cluster probe base (empty for single queries).
+  Result<PrivateRangeResult> PrivateRangeImpl(
+      const Rect& cloaked, double radius, Category category,
+      const PrivateRangeOptions& opts, bool cached, const Rect& cover) const;
+  Result<PrivateNnResult> PrivateNnImpl(const Rect& cloaked,
+                                        Category category, bool cached,
+                                        const Rect& cover) const;
+  Result<PrivateKnnResult> PrivateKnnImpl(const Rect& cloaked, size_t k,
+                                          Category category, bool cached,
+                                          const Rect& cover) const;
+
+  /// Dispatches one batch member to the matching Impl.
+  BatchQueryResult ExecuteOne(const BatchQuery& query, bool cached,
+                              const Rect& cover) const;
+  /// Clusters + executes a batch (the executor behind ExecuteQueryBatch
+  /// and the batch window).
+  std::vector<BatchQueryResult> ExecuteBatch(
+      const std::vector<BatchQuery>& queries) const;
+
   /// [first, last] stripe range overlapping `region` in x.
   std::pair<uint32_t, uint32_t> StripeRangeOf(const Rect& region) const;
+
+  /// Lower bound on MinDist(o, region) for any object held by `stripe`
+  /// (x-distance from the region to the stripe's interval). Lets NN / k-NN
+  /// fan-out skip stripes that cannot beat the home-stripe dominance bound.
+  double StripeMinDist(uint32_t stripe, const Rect& region) const;
 
   /// Closes the bookkeeping of one successful query: fan-out width and
   /// candidate histograms, wire counter, slow-query admission.
@@ -202,7 +268,15 @@ class CloakDbService {
   QueryKindObs knn_obs_;
   QueryKindObs count_obs_;
   QueryKindObs heatmap_obs_;
+  /// Shared-execution instrumentation (batch width / cluster fan-in).
+  obs::ShardedHistogram* shared_batch_width_ = nullptr;
+  obs::ShardedHistogram* shared_cluster_fanin_ = nullptr;
+  /// Snaps cloaked regions for batch clustering (mirrors every shard's).
+  CellSignature signature_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Collects concurrent query submissions into shared batches; non-null
+  /// only with enable_shared_execution and a positive batch window.
+  std::unique_ptr<QueryBatcher> batcher_;
   /// Interior stripe boundaries (num_shards - 1 ascending x values).
   std::vector<double> stripe_bounds_;
   std::vector<std::thread> workers_;

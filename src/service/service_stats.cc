@@ -46,7 +46,7 @@ std::string ServiceStats::ToString() const {
       "anonymizer: updates=%llu computed=%llu incremental=%llu shared=%llu "
       "unsatisfied=%llu\n"
       "server: cloaked=%llu range=%llu nn=%llu knn=%llu count=%llu "
-      "bytes=%llu\n",
+      "heatmap=%llu bytes=%llu\n",
       num_shards, worker_threads, num_users, queue_depth,
       static_cast<unsigned long long>(ingest.updates_enqueued),
       static_cast<unsigned long long>(ingest.updates_applied),
@@ -64,6 +64,7 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(server.private_nn_queries),
       static_cast<unsigned long long>(server.private_knn_queries),
       static_cast<unsigned long long>(server.public_count_queries),
+      static_cast<unsigned long long>(server.heatmap_queries),
       static_cast<unsigned long long>(server.bytes_to_clients));
   std::string out = buf;
   for (const obs::SlowQueryRecord& q : slow_queries) {

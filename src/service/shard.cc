@@ -20,9 +20,12 @@ Shard::Shard(const ShardConfig& config,
       anonymizer_(std::move(anonymizer)),
       server_(config.anonymizer.space, config.rect_grid_cells,
               config.wire_cost),
+      signature_(config.anonymizer.space, config.signature_cells),
+      cache_(config.cache_capacity),
       queue_(config.queue_capacity) {
   queue_.SetObs(config.obs.queue);
   server_.SetObs(config.server_obs);
+  cache_.SetObs(config.cache_obs);
 }
 
 Status Shard::RegisterUser(UserId user, PrivacyProfile profile) {
@@ -40,7 +43,7 @@ Status Shard::UnregisterUser(UserId user) {
   auto pseudonym = anonymizer_->PseudonymOf(user);
   CLOAKDB_RETURN_IF_ERROR(anonymizer_->UnregisterUser(user));
   // The server record is best-effort: the user may never have reported.
-  if (pseudonym.ok()) (void)server_.DropPseudonym(pseudonym.value());
+  if (pseudonym.ok()) DropServerRecord(pseudonym.value());
   return Status::OK();
 }
 
@@ -145,11 +148,26 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
 
 void Shard::ForwardCloaked(const CloakedUpdate& update) {
   if (update.retired_pseudonym != 0) {
-    (void)server_.DropPseudonym(update.retired_pseudonym);
+    DropServerRecord(update.retired_pseudonym);
     ++ingest_.pseudonym_rotations;
     if (config_.obs.rotations != nullptr) config_.obs.rotations->Increment();
   }
+  if (cache_.enabled()) {
+    // Region-precise invalidation: only count answers whose window touches
+    // where the user was or now is can have changed.
+    auto old_region = server_.store().GetPrivateRegion(update.pseudonym);
+    if (old_region.ok()) cache_.InvalidatePrivateRegion(old_region.value());
+    cache_.InvalidatePrivateRegion(update.cloaked.region);
+  }
   (void)server_.ApplyCloakedUpdate(update.pseudonym, update.cloaked.region);
+}
+
+void Shard::DropServerRecord(ObjectId pseudonym) {
+  if (cache_.enabled()) {
+    auto old_region = server_.store().GetPrivateRegion(pseudonym);
+    if (old_region.ok()) cache_.InvalidatePrivateRegion(old_region.value());
+  }
+  (void)server_.DropPseudonym(pseudonym);
 }
 
 Result<CloakedUpdate> Shard::UpdateLocation(UserId user,
@@ -175,12 +193,16 @@ Result<CloakedUpdate> Shard::CloakForQuery(UserId user, TimeOfDay now) {
 
 Status Shard::AddPublicObject(const PublicObject& object) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // Only probe supersets that could have fetched this point go stale.
+  cache_.InvalidatePublicRegion(Rect::FromPoint(object.location));
   return server_.store().AddPublicObject(object);
 }
 
 Status Shard::BulkLoadCategory(Category category,
                                std::vector<PublicObject> objects) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // A bulk load replaces the category wholesale; no probe of it survives.
+  cache_.InvalidateCategory(category);
   return server_.store().BulkLoadCategory(category, std::move(objects));
 }
 
@@ -216,6 +238,134 @@ Result<PublicCountResult> Shard::PublicCount(const Rect& window) const {
 Result<HeatmapResult> Shard::Heatmap(uint32_t resolution) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return server_.Heatmap(resolution);
+}
+
+namespace {
+
+// Snapping + reach quantization widen the shared probe beyond what the
+// query alone would fetch. Past this area ratio a cold miss costs more
+// than cache reuse can recover (and the entry crowds out denser keys), so
+// such outliers are served isolated — the answer is identical either way.
+constexpr double kMaxProbeBloat = 2.5;
+
+bool ProbeTooBloated(const Rect& probe, const Rect& fetch) {
+  return probe.Area() > kMaxProbeBloat * fetch.Area();
+}
+
+}  // namespace
+
+CacheKey Shard::ProbeKey(CacheKind kind, Category category,
+                         const Rect& cloaked, double reach,
+                         const Rect& cover) const {
+  CacheKey key;
+  key.kind = kind;
+  key.category = category;
+  key.region = cover.IsEmpty() ? signature_.SnapToCells(cloaked) : cover;
+  key.reach = signature_.QuantizeReach(reach);
+  return key;
+}
+
+Result<std::shared_ptr<const CacheEntry>> Shard::ProbeOrLookup(
+    const CacheKey& key, const Rect& probe_region) const {
+  if (auto entry = cache_.Lookup(key); entry != nullptr) return entry;
+  obs::ScopedTimer probe_timer(config_.shared_probe_us);
+  auto superset = server_.SharedProbe(probe_region, key.category);
+  if (!superset.ok()) {
+    probe_timer.Cancel();
+    return superset.status();
+  }
+  probe_timer.Stop();
+  CacheEntry entry;
+  entry.superset = std::move(superset).value();
+  entry.coverage = probe_region;
+  auto shared = std::make_shared<const CacheEntry>(std::move(entry));
+  // Still under the caller's shared lock, so no writer can have slipped a
+  // conflicting update between the probe and this insert.
+  cache_.Insert(key, shared);
+  return shared;
+}
+
+Result<PrivateRangeResult> Shard::PrivateRangeCached(
+    const Rect& cloaked, double radius, Category category,
+    const PrivateRangeOptions& opts, const Rect& cover) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!cache_.enabled())
+    return server_.PrivateRange(cloaked, radius, category, opts);
+  if (cloaked.IsEmpty())
+    return Status::InvalidArgument("cloaked region must be non-empty");
+  if (!(radius > 0.0))
+    return Status::InvalidArgument("query radius must be positive");
+  CacheKey key = ProbeKey(CacheKind::kRange, category, cloaked, radius, cover);
+  const Rect probe = key.region.Expanded(key.reach);
+  if (ProbeTooBloated(probe, cloaked.Expanded(radius)))
+    return server_.PrivateRange(cloaked, radius, category, opts);
+  auto entry = ProbeOrLookup(key, probe);
+  if (!entry.ok()) return entry.status();
+  return server_.PrivateRangeShared(entry.value()->superset, cloaked, radius,
+                                    category, opts);
+}
+
+Result<PrivateNnResult> Shard::PrivateNnCached(const Rect& cloaked,
+                                               Category category,
+                                               const Rect& cover) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!cache_.enabled()) return server_.PrivateNn(cloaked, category);
+  // The NN reach depends on this shard's data, so the key is computed here
+  // under the lock (cluster members with similar regions quantize to the
+  // same reach and still share the probe).
+  auto reach = server_.NnFetchReach(cloaked, category);
+  if (!reach.ok()) return reach.status();
+  CacheKey key =
+      ProbeKey(CacheKind::kNn, category, cloaked, reach.value(), cover);
+  const Rect probe = key.region.Expanded(key.reach);
+  if (ProbeTooBloated(probe, cloaked.Expanded(reach.value())))
+    return server_.PrivateNn(cloaked, category);
+  auto entry = ProbeOrLookup(key, probe);
+  if (!entry.ok()) return entry.status();
+  return server_.PrivateNnShared(entry.value()->superset, cloaked, category,
+                                 reach.value());
+}
+
+Result<PrivateKnnResult> Shard::PrivateKnnCached(const Rect& cloaked,
+                                                 size_t k, Category category,
+                                                 const Rect& cover) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!cache_.enabled()) return server_.PrivateKnn(cloaked, k, category);
+  auto reach = server_.KnnFetchReach(cloaked, k, category);
+  if (!reach.ok()) return reach.status();
+  if (reach.value() == 0.0) {
+    // <= k objects here: the pigeonhole answer needs the whole category,
+    // which no bounded probe covers — take the isolated path.
+    return server_.PrivateKnn(cloaked, k, category);
+  }
+  CacheKey key =
+      ProbeKey(CacheKind::kKnn, category, cloaked, reach.value(), cover);
+  const Rect probe = key.region.Expanded(key.reach);
+  if (ProbeTooBloated(probe, cloaked.Expanded(reach.value())))
+    return server_.PrivateKnn(cloaked, k, category);
+  auto entry = ProbeOrLookup(key, probe);
+  if (!entry.ok()) return entry.status();
+  return server_.PrivateKnnShared(entry.value()->superset, cloaked, k,
+                                  category, reach.value());
+}
+
+Result<PublicCountResult> Shard::PublicCountCached(const Rect& window) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!cache_.enabled()) return server_.PublicCount(window);
+  CacheKey key;
+  key.kind = CacheKind::kCount;
+  key.region = window;
+  if (auto entry = cache_.Lookup(key); entry != nullptr) {
+    server_.NotePublicCountFromCache();
+    return entry->count;
+  }
+  auto result = server_.PublicCount(window);
+  if (!result.ok()) return result;
+  CacheEntry entry;
+  entry.count = result.value();
+  entry.coverage = window;
+  cache_.Insert(key, std::move(entry));
+  return result;
 }
 
 ShardStats Shard::Stats() const {

@@ -22,6 +22,7 @@
 #include "core/anonymizer.h"
 #include "obs/metrics.h"
 #include "server/query_processor.h"
+#include "service/candidate_cache.h"
 #include "service/service_stats.h"
 #include "service/update_queue.h"
 
@@ -57,6 +58,18 @@ struct ShardConfig {
   ShardObs obs;
   /// Probe sinks installed into the shard's QueryProcessor.
   QueryProcessorObs server_obs;
+
+  /// Candidate-cache entries this shard may hold; 0 disables caching (the
+  /// *Cached query variants then forward to the uncached paths).
+  size_t cache_capacity = 0;
+  /// Signature-grid resolution per side used to snap cloaked regions to
+  /// cache keys (must match the service's, so cluster covers computed at
+  /// the service level key consistently here).
+  uint32_t signature_cells = 32;
+  /// Cache counters (hits/misses/insertions/evictions/invalidations).
+  CandidateCacheObs cache_obs;
+  /// Widened shared-probe wall time on a cache miss (microseconds).
+  obs::ShardedHistogram* shared_probe_us = nullptr;
 };
 
 /// One anonymizer + server pair owning a hash-slice of the users.
@@ -117,6 +130,32 @@ class Shard {
   Result<PublicCountResult> PublicCount(const Rect& window) const;
   Result<HeatmapResult> Heatmap(uint32_t resolution) const;
 
+  // --- Shared execution (shared lock) ------------------------------------
+  // Cached variants: serve the widened probe from the shard's candidate
+  // cache when possible, then refine exactly like the uncached query —
+  // results are identical, only the fetch is shared. `cover` optionally
+  // overrides the snapped cloaked region as the probe base (the service
+  // passes a cluster's union cover so every member shares one entry); it
+  // must contain the snapped cloaked region; pass an empty Rect for the
+  // single-query default. Probe + cache insert happen under one shared
+  // lock, and writers invalidate under the exclusive lock, so a stale
+  // entry can never be inserted over a concurrent update.
+
+  Result<PrivateRangeResult> PrivateRangeCached(
+      const Rect& cloaked, double radius, Category category,
+      const PrivateRangeOptions& opts, const Rect& cover) const;
+  Result<PrivateNnResult> PrivateNnCached(const Rect& cloaked,
+                                          Category category,
+                                          const Rect& cover) const;
+  Result<PrivateKnnResult> PrivateKnnCached(const Rect& cloaked, size_t k,
+                                            Category category,
+                                            const Rect& cover) const;
+  /// Caches the complete count answer keyed by the exact window.
+  Result<PublicCountResult> PublicCountCached(const Rect& window) const;
+
+  /// The shard's candidate cache (for diagnostics and tests).
+  const CandidateCache& cache() const { return cache_; }
+
   /// Counter snapshot (shared lock; consistent within the shard).
   ShardStats Stats() const;
 
@@ -128,12 +167,30 @@ class Shard {
   void ApplyBatch(const std::vector<PendingUpdate>& batch);
 
   /// Forwards one cloaked update (and any retired pseudonym) to the
-  /// server. Caller holds the exclusive lock.
+  /// server, invalidating cached count entries the update's old or new
+  /// region overlaps. Caller holds the exclusive lock.
   void ForwardCloaked(const CloakedUpdate& update);
+
+  /// Drops a pseudonym's server record after invalidating cached count
+  /// entries its last region overlaps. Caller holds the exclusive lock.
+  void DropServerRecord(ObjectId pseudonym);
+
+  /// Serves the probe superset for `key` from cache or the index (caller
+  /// holds at least the shared lock; probe_region is the widened rect the
+  /// key stands for).
+  Result<std::shared_ptr<const CacheEntry>> ProbeOrLookup(
+      const CacheKey& key, const Rect& probe_region) const;
+
+  /// The probe cache key of one private query: the cluster `cover` (or the
+  /// snapped cloaked region when cover is empty) plus the quantized reach.
+  CacheKey ProbeKey(CacheKind kind, Category category, const Rect& cloaked,
+                    double reach, const Rect& cover) const;
 
   ShardConfig config_;
   std::unique_ptr<Anonymizer> anonymizer_;
   QueryProcessor server_;
+  CellSignature signature_;
+  mutable CandidateCache cache_;
   BoundedUpdateQueue queue_;
   mutable std::shared_mutex mu_;
   ShardIngestStats ingest_;  ///< Guarded by mu_ (written under exclusive).

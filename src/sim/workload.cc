@@ -69,10 +69,15 @@ Result<WorkloadGenerator> WorkloadGenerator::Create(
     return Status::InvalidArgument("invalid window fraction interval");
   if (space.IsEmpty() || space.Area() <= 0.0)
     return Status::InvalidArgument("workload space must be non-empty");
+  if (options.repeat_probability < 0.0 || options.repeat_probability > 1.0)
+    return Status::InvalidArgument("repeat probability must be in [0, 1]");
   return WorkloadGenerator(space, std::move(users), options);
 }
 
 QuerySpec WorkloadGenerator::Next(Rng* rng) {
+  if (options_.repeat_probability > 0.0 && has_last_ &&
+      rng->NextDouble() < options_.repeat_probability)
+    return last_;
   QuerySpec spec;
   double u = rng->NextDouble();
   if (u < cum_[0]) {
@@ -116,6 +121,8 @@ QuerySpec WorkloadGenerator::Next(Rng* rng) {
       spec.from = SamplePoint(space_, rng);
       break;
   }
+  last_ = spec;
+  has_last_ = true;
   return spec;
 }
 

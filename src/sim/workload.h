@@ -67,6 +67,11 @@ struct WorkloadOptions {
   /// k-NN result sizes drawn uniformly from [min_knn, max_knn].
   size_t min_knn = 2;
   size_t max_knn = 8;
+  /// Probability that a draw re-issues the previous spec verbatim instead
+  /// of sampling a fresh one. Models the temporal locality real LBS
+  /// workloads exhibit (the same hot queries recur), which is what the
+  /// service's candidate cache exploits. 0 disables repetition.
+  double repeat_probability = 0.0;
 };
 
 /// Draws query specs over a fixed user population and space.
@@ -93,6 +98,8 @@ class WorkloadGenerator {
   std::vector<UserId> users_;
   WorkloadOptions options_;
   double cum_[5] = {0, 0, 0, 0, 0};  // normalized cumulative mix
+  bool has_last_ = false;
+  QuerySpec last_;  // previous spec, re-issued with repeat_probability
 };
 
 }  // namespace cloakdb

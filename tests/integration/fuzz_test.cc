@@ -5,14 +5,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "geom/distance.h"
 #include "index/grid_index.h"
 #include "index/quadtree.h"
 #include "index/rect_grid.h"
 #include "index/rtree.h"
+#include "service/cloak_db_service.h"
+#include "sim/poi.h"
 #include "util/random.h"
 
 namespace cloakdb {
@@ -177,6 +183,139 @@ TEST(FuzzTest, RectGridAgainstReference) {
       }
     }
     ASSERT_EQ(index.size(), model.size());
+  }
+}
+
+// --- Shared-execution configuration sweep ---------------------------------
+//
+// Replays one seeded trace of mixed updates and queries against a shared-
+// off baseline service and a sweep of shared-execution configurations
+// (cache capacity including the 0/1 degenerates, batch window on/off) with
+// the same shard count, and diffs every query result. Sharing must be
+// invisible in the answers.
+
+std::string QuerySignature(const std::vector<PublicObject>& candidates) {
+  std::vector<ObjectId> ids;
+  ids.reserve(candidates.size());
+  for (const auto& o : candidates) ids.push_back(o.id);
+  std::sort(ids.begin(), ids.end());
+  std::ostringstream out;
+  for (ObjectId id : ids) out << id << ',';
+  return out.str();
+}
+
+// Runs the trace for `seed` and returns one signature per query issued.
+// Updates go through the synchronous path so every configuration sees the
+// identical anonymizer state at each step.
+std::vector<std::string> ReplayTrace(CloakDbService* db, uint64_t seed) {
+  const Category category = poi_category::kGasStation;
+  {
+    Rng poi_rng(seed);
+    PoiOptions poi_options;
+    poi_options.count = 120;
+    poi_options.category = category;
+    EXPECT_TRUE(
+        db->BulkLoadCategory(
+              category,
+              GeneratePois(kSpace, poi_options, &poi_rng).value())
+            .ok());
+  }
+  const PrivacyProfile profile =
+      PrivacyProfile::Uniform(
+          {3, 0.0, std::numeric_limits<double>::infinity()})
+          .value();
+  constexpr UserId kUsers = 20;
+  for (UserId user = 1; user <= kUsers; ++user) {
+    EXPECT_TRUE(db->RegisterUser(user, profile).ok());
+  }
+
+  std::vector<std::string> signatures;
+  Rng rng(seed * 131 + 7);
+  TimeOfDay now = TimeOfDay::FromHms(9, 0).value();
+  ObjectId next_object = 500000;
+  for (int op = 0; op < 150; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.25) {
+      UserId user = 1 + rng.NextBelow(kUsers);
+      EXPECT_TRUE(
+          db->UpdateLocation(user, RandomPoint(&rng), now).ok());
+      now = now.Plus(30);
+    } else if (dice < 0.32) {
+      PublicObject object;
+      object.id = next_object++;
+      object.category = category;
+      object.location = RandomPoint(&rng);
+      object.name = "fuzz";
+      EXPECT_TRUE(db->AddPublicObject(object).ok());
+    } else {
+      double x = rng.Uniform(0, 88), y = rng.Uniform(0, 88);
+      Rect cloaked(x, y, x + rng.Uniform(0.5, 10), y + rng.Uniform(0.5, 10));
+      double sub = rng.NextDouble();
+      if (sub < 0.3) {
+        auto result = db->PrivateRange(cloaked, rng.Uniform(0.5, 6.0),
+                                       category);
+        signatures.push_back(result.ok()
+                                 ? QuerySignature(result.value().candidates)
+                                 : result.status().ToString());
+      } else if (sub < 0.55) {
+        auto result = db->PrivateNn(cloaked, category);
+        signatures.push_back(result.ok()
+                                 ? QuerySignature(result.value().candidates)
+                                 : result.status().ToString());
+      } else if (sub < 0.8) {
+        auto result = db->PrivateKnn(cloaked, 1 + rng.NextBelow(5), category);
+        signatures.push_back(result.ok()
+                                 ? QuerySignature(result.value().candidates)
+                                 : result.status().ToString());
+      } else {
+        auto result = db->PublicCount(Rect(x, y, x + 20, y + 20));
+        std::ostringstream out;
+        if (result.ok()) {
+          out << result.value().naive_count << '/'
+              << result.value().answer.expected << '/'
+              << result.value().answer.min_count << '/'
+              << result.value().answer.max_count;
+        } else {
+          out << result.status().ToString();
+        }
+        signatures.push_back(out.str());
+      }
+    }
+  }
+  return signatures;
+}
+
+TEST(FuzzTest, SharedExecutionConfigSweepMatchesIsolatedReplay) {
+  for (uint64_t seed : {21u, 22u}) {
+    for (uint32_t shards : {1u, 3u}) {
+      CloakDbServiceOptions base;
+      base.space = kSpace;
+      base.num_shards = shards;
+      base.worker_threads = 1;
+      auto baseline_db = CloakDbService::Create(base).value();
+      const std::vector<std::string> baseline =
+          ReplayTrace(baseline_db.get(), seed);
+      ASSERT_FALSE(baseline.empty());
+
+      for (size_t cache_capacity : {size_t{0}, size_t{1}, size_t{32}}) {
+        for (uint32_t window_us : {0u, 200u}) {
+          auto options = base;
+          options.enable_shared_execution = true;
+          options.cache_capacity = cache_capacity;
+          options.signature_grid_cells = 8;
+          options.batch_window_us = window_us;
+          auto db = CloakDbService::Create(options).value();
+          const std::vector<std::string> got = ReplayTrace(db.get(), seed);
+          ASSERT_EQ(got.size(), baseline.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i], baseline[i])
+                << "seed " << seed << " shards " << shards << " cache "
+                << cache_capacity << " window " << window_us << " query "
+                << i;
+          }
+        }
+      }
+    }
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "util/random.h"
 
 namespace cloakdb {
@@ -60,6 +62,80 @@ TEST(QueryProcessorTest, FailedQueriesDoNotCountInStats) {
   EXPECT_FALSE(server.PrivateNn(Rect(1, 1, 2, 2), 99).ok());
   EXPECT_EQ(server.stats().private_range_queries, 0u);
   EXPECT_EQ(server.stats().private_nn_queries, 0u);
+}
+
+// Regression: only accepted queries may count, on every entry point —
+// including the shared-execution ones. A rejected query must leave all of
+// query count, candidate moments and wire bytes untouched.
+TEST(QueryProcessorTest, RejectedQueriesLeaveAllStatsUntouched) {
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 50);
+  std::vector<PublicObject> superset;
+
+  EXPECT_FALSE(server.PrivateRange(Rect(1, 1, 2, 2), -1.0, 1).ok());
+  EXPECT_FALSE(server.PrivateKnn(Rect(1, 1, 2, 2), 0, 1).ok());
+  EXPECT_FALSE(server.PrivateRangeShared(superset, Rect(), 5.0, 1).ok());
+  EXPECT_FALSE(server.PrivateNnShared(superset, Rect(), 1).ok());
+  EXPECT_FALSE(server.PrivateKnnShared(superset, Rect(1, 1, 2, 2), 0, 1).ok());
+  EXPECT_FALSE(server.PublicCount(Rect()).ok());
+
+  const ServerStats& stats = server.stats();
+  EXPECT_EQ(stats.private_range_queries, 0u);
+  EXPECT_EQ(stats.private_nn_queries, 0u);
+  EXPECT_EQ(stats.private_knn_queries, 0u);
+  EXPECT_EQ(stats.public_count_queries, 0u);
+  EXPECT_EQ(stats.range_candidates.count(), 0u);
+  EXPECT_EQ(stats.nn_candidates.count(), 0u);
+  EXPECT_EQ(stats.bytes_to_clients, 0u);
+}
+
+// The shared entry points count through the same counters as the isolated
+// ones, so ServerStats stays comparable whether a query was answered from
+// a shared probe or its own.
+TEST(QueryProcessorTest, SharedQueriesCountLikeIsolatedOnes) {
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 200);
+  const Rect cloaked(40, 40, 50, 50);
+
+  auto superset = server.SharedProbe(Rect(20, 20, 70, 70), 1);
+  ASSERT_TRUE(superset.ok());
+  auto range = server.PrivateRangeShared(superset.value(), cloaked, 5.0, 1);
+  ASSERT_TRUE(range.ok());
+  auto nn = server.PrivateNnShared(superset.value(), cloaked, 1);
+  ASSERT_TRUE(nn.ok());
+  auto knn = server.PrivateKnnShared(superset.value(), cloaked, 3, 1);
+  ASSERT_TRUE(knn.ok());
+
+  const ServerStats& stats = server.stats();
+  EXPECT_EQ(stats.private_range_queries, 1u);
+  EXPECT_EQ(stats.private_nn_queries, 1u);
+  EXPECT_EQ(stats.private_knn_queries, 1u);
+  EXPECT_EQ(stats.range_candidates.count(), 1u);
+  EXPECT_EQ(stats.nn_candidates.count(), 2u);  // NN + kNN share the moment
+  size_t expected_bytes = (range.value().candidates.size() +
+                           nn.value().candidates.size() +
+                           knn.value().candidates.size()) *
+                          server.wire_cost().bytes_per_object;
+  EXPECT_EQ(stats.bytes_to_clients, expected_bytes);
+}
+
+// Regression for the stats miscount: Heatmap used to increment
+// public_count_queries, inflating the count-query rate. It now has its own
+// counter.
+TEST(QueryProcessorTest, HeatmapCountsItsOwnQueries) {
+  QueryProcessor server(Rect(0, 0, 100, 100));
+  Populate(&server, 10);
+  ASSERT_TRUE(server.ApplyCloakedUpdate(1, Rect(0, 0, 50, 50)).ok());
+  ASSERT_TRUE(server.Heatmap(4).ok());
+  ASSERT_TRUE(server.Heatmap(8).ok());
+  EXPECT_EQ(server.stats().heatmap_queries, 2u);
+  EXPECT_EQ(server.stats().public_count_queries, 0u);
+  ASSERT_TRUE(server.PublicCount(Rect(0, 0, 50, 50)).ok());
+  EXPECT_EQ(server.stats().heatmap_queries, 2u);
+  EXPECT_EQ(server.stats().public_count_queries, 1u);
+  // A rejected heatmap does not count either.
+  EXPECT_FALSE(server.Heatmap(0).ok());
+  EXPECT_EQ(server.stats().heatmap_queries, 2u);
 }
 
 TEST(QueryProcessorTest, PublicQueriesRouted) {

@@ -1,0 +1,340 @@
+// CandidateCache unit tests plus the cache-coherence property suite: no
+// stale candidate list or count may survive an overlapping update, while
+// non-overlapping entries stay resident. The concurrency stress at the
+// bottom runs under TSan in CI.
+
+#include "service/candidate_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "service/cloak_db_service.h"
+#include "sim/poi.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr Category kCat = poi_category::kGasStation;
+
+TimeOfDay Noon() { return TimeOfDay::FromHms(12, 0).value(); }
+
+PrivacyProfile KProfile(uint32_t k) {
+  return PrivacyProfile::Uniform({k, 0.0, kInf}).value();
+}
+
+CacheKey ProbeKey(double min_x, double min_y, double max_x, double max_y,
+                  CacheKind kind = CacheKind::kRange, double reach = 1.0) {
+  CacheKey key;
+  key.kind = kind;
+  key.category = kCat;
+  key.region = Rect(min_x, min_y, max_x, max_y);
+  key.reach = reach;
+  return key;
+}
+
+CacheEntry EntryCovering(const Rect& coverage) {
+  CacheEntry entry;
+  entry.coverage = coverage;
+  return entry;
+}
+
+TEST(CandidateCacheTest, ZeroCapacityDisablesEverything) {
+  CandidateCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(ProbeKey(0, 0, 1, 1), EntryCovering(Rect(0, 0, 2, 2)));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(ProbeKey(0, 0, 1, 1)), nullptr);
+}
+
+TEST(CandidateCacheTest, LruEvictsLeastRecentlyUsed) {
+  obs::Counter evictions, hits, misses;
+  CandidateCacheObs obs;
+  obs.lru_evictions = &evictions;
+  obs.hits = &hits;
+  obs.misses = &misses;
+  CandidateCache cache(2);
+  cache.SetObs(obs);
+
+  CacheKey k1 = ProbeKey(0, 0, 1, 1);
+  CacheKey k2 = ProbeKey(2, 2, 3, 3);
+  CacheKey k3 = ProbeKey(4, 4, 5, 5);
+  cache.Insert(k1, EntryCovering(Rect(0, 0, 2, 2)));
+  cache.Insert(k2, EntryCovering(Rect(2, 2, 4, 4)));
+  ASSERT_NE(cache.Lookup(k1), nullptr);  // refresh k1 -> k2 is now LRU
+  cache.Insert(k3, EntryCovering(Rect(4, 4, 6, 6)));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(evictions.Value(), 1u);
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  EXPECT_EQ(cache.Lookup(k2), nullptr);
+  EXPECT_NE(cache.Lookup(k3), nullptr);
+  EXPECT_EQ(hits.Value(), 3u);
+  EXPECT_EQ(misses.Value(), 1u);
+}
+
+TEST(CandidateCacheTest, InsertSameKeyReplacesInPlace) {
+  CandidateCache cache(2);
+  CacheKey key = ProbeKey(0, 0, 1, 1);
+  CacheEntry first = EntryCovering(Rect(0, 0, 2, 2));
+  first.superset.resize(1);
+  cache.Insert(key, first);
+  CacheEntry second = EntryCovering(Rect(0, 0, 2, 2));
+  second.superset.resize(5);
+  cache.Insert(key, second);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(key)->superset.size(), 5u);
+}
+
+TEST(CandidateCacheTest, InvalidationIsRegionAndGroupPrecise) {
+  obs::Counter invalidations;
+  CandidateCacheObs obs;
+  obs.invalidations = &invalidations;
+  CandidateCache cache(16);
+  cache.SetObs(obs);
+
+  CacheKey probe_west = ProbeKey(0, 0, 10, 10);
+  CacheKey probe_east = ProbeKey(80, 80, 90, 90);
+  CacheKey count_west = ProbeKey(0, 0, 10, 10, CacheKind::kCount, 0.0);
+  CacheKey count_east = ProbeKey(80, 80, 90, 90, CacheKind::kCount, 0.0);
+  cache.Insert(probe_west, EntryCovering(Rect(0, 0, 12, 12)));
+  cache.Insert(probe_east, EntryCovering(Rect(78, 78, 92, 92)));
+  cache.Insert(count_west, EntryCovering(Rect(0, 0, 10, 10)));
+  cache.Insert(count_east, EntryCovering(Rect(80, 80, 90, 90)));
+
+  // A public mutation in the west kills only the west probe entry: the
+  // east probe and both count entries (different group) survive.
+  cache.InvalidatePublicRegion(Rect(5, 5, 6, 6));
+  EXPECT_EQ(cache.Lookup(probe_west), nullptr);
+  EXPECT_NE(cache.Lookup(probe_east), nullptr);
+  EXPECT_NE(cache.Lookup(count_west), nullptr);
+  EXPECT_NE(cache.Lookup(count_east), nullptr);
+  EXPECT_EQ(invalidations.Value(), 1u);
+
+  // A private (cloaked) update in the east kills only the east count.
+  cache.InvalidatePrivateRegion(Rect(85, 85, 86, 86));
+  EXPECT_NE(cache.Lookup(probe_east), nullptr);
+  EXPECT_NE(cache.Lookup(count_west), nullptr);
+  EXPECT_EQ(cache.Lookup(count_east), nullptr);
+  EXPECT_EQ(invalidations.Value(), 2u);
+
+  // Category invalidation clears the remaining probe entry of kCat.
+  cache.InvalidateCategory(kCat);
+  EXPECT_EQ(cache.Lookup(probe_east), nullptr);
+  EXPECT_NE(cache.Lookup(count_west), nullptr);
+}
+
+TEST(CandidateCacheTest, SignatureSnapAndReachQuantization) {
+  CellSignature signature(Rect(0, 0, 100, 100), 10);  // 10x10 cells
+  EXPECT_DOUBLE_EQ(signature.cell_size(), 10.0);
+  Rect snapped = signature.SnapToCells(Rect(12, 27, 18, 33));
+  EXPECT_TRUE(snapped.Contains(Rect(12, 27, 18, 33)));
+  EXPECT_DOUBLE_EQ(snapped.min_x, 10.0);
+  EXPECT_DOUBLE_EQ(snapped.min_y, 20.0);
+  EXPECT_DOUBLE_EQ(snapped.max_x, 20.0);
+  EXPECT_DOUBLE_EQ(snapped.max_y, 40.0);
+  // Nearby regions inside the same cell block snap identically — that is
+  // what makes drifting queries collide on one cache key.
+  EXPECT_EQ(signature.SnapToCells(Rect(11, 21, 19, 39)), snapped);
+  // Quantized reach is monotone and never below the true reach.
+  EXPECT_DOUBLE_EQ(signature.QuantizeReach(3.0), 10.0);
+  EXPECT_DOUBLE_EQ(signature.QuantizeReach(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(signature.QuantizeReach(10.5), 20.0);
+  EXPECT_DOUBLE_EQ(signature.QuantizeReach(35.0), 40.0);
+}
+
+// --- Coherence through the service ---------------------------------------
+
+CloakDbServiceOptions SharedOptions(uint32_t shards, size_t cache_capacity) {
+  CloakDbServiceOptions options;
+  options.space = Rect(0, 0, 100, 100);
+  options.num_shards = shards;
+  options.enable_shared_execution = true;
+  options.cache_capacity = cache_capacity;
+  options.signature_grid_cells = 16;
+  return options;
+}
+
+std::vector<PublicObject> MakePois(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  PoiOptions options;
+  options.count = count;
+  options.category = kCat;
+  options.name_prefix = "poi";
+  auto pois = GeneratePois(Rect(0, 0, 100, 100), options, &rng);
+  EXPECT_TRUE(pois.ok());
+  return std::move(pois).value();
+}
+
+// Interleaves cloaked location updates with cached public counts: after
+// every Flush, the cached count must equal the count of a shared-off twin
+// service that saw the identical update stream (no stale entry survives an
+// overlapping update).
+TEST(CandidateCacheTest, NoStaleCountSurvivesOverlappingUpdates) {
+  auto shared_opts = SharedOptions(2, 128);
+  auto isolated_opts = shared_opts;
+  isolated_opts.enable_shared_execution = false;
+  auto shared_db = CloakDbService::Create(shared_opts).value();
+  auto isolated_db = CloakDbService::Create(isolated_opts).value();
+
+  constexpr UserId kUsers = 40;
+  for (UserId user = 1; user <= kUsers; ++user) {
+    ASSERT_TRUE(shared_db->RegisterUser(user, KProfile(3)).ok());
+    ASSERT_TRUE(isolated_db->RegisterUser(user, KProfile(3)).ok());
+  }
+  const std::vector<Rect> windows = {Rect(0, 0, 50, 50), Rect(25, 25, 75, 75),
+                                     Rect(50, 50, 100, 100),
+                                     Rect(0, 0, 100, 100)};
+  Rng rng(91);
+  TimeOfDay now = Noon();
+  for (int round = 0; round < 12; ++round) {
+    // Prime the cache on every window, twice (second is a hit).
+    for (const Rect& window : windows) {
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        auto ours = shared_db->PublicCount(window);
+        auto truth = isolated_db->PublicCount(window);
+        ASSERT_TRUE(ours.ok());
+        ASSERT_TRUE(truth.ok());
+        EXPECT_DOUBLE_EQ(ours.value().answer.expected,
+                         truth.value().answer.expected)
+            << "round " << round;
+        EXPECT_EQ(ours.value().naive_count, truth.value().naive_count);
+      }
+    }
+    // Move a random slice of the population. Updates go through the
+    // synchronous path: batch cloaking depends on batch boundaries (the
+    // batch cloaks against its settled snapshot), so only the serial path
+    // guarantees both services produce identical cloaked regions under
+    // load. The queued path races the cache in the stress test below.
+    for (int move = 0; move < 10; ++move) {
+      UserId user = 1 + rng.NextBelow(kUsers);
+      Point location{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      ASSERT_TRUE(shared_db->UpdateLocation(user, location, now).ok());
+      ASSERT_TRUE(isolated_db->UpdateLocation(user, location, now).ok());
+    }
+    now = now.Plus(60);
+  }
+  EXPECT_GT(shared_db->metrics().counter("cache.hits_total")->Value(), 0u);
+  EXPECT_GT(shared_db->metrics().counter("cache.invalidations_total")->Value(),
+            0u);
+}
+
+// A public insert inside a cached probe's coverage must show up in the
+// next query (entry invalidated); an insert far away must leave the entry
+// resident (served as a hit, unchanged).
+TEST(CandidateCacheTest, PublicInsertInvalidatesOnlyOverlappingProbes) {
+  auto db = CloakDbService::Create(SharedOptions(1, 64)).value();
+  ASSERT_TRUE(db->BulkLoadCategory(kCat, MakePois(100, 7)).ok());
+
+  const Rect cloaked(20, 20, 30, 30);
+  const double radius = 5.0;
+  auto first = db->PrivateRange(cloaked, radius, kCat);
+  ASSERT_TRUE(first.ok());
+  const uint64_t hits_before =
+      db->metrics().counter("cache.hits_total")->Value();
+  ASSERT_TRUE(db->PrivateRange(cloaked, radius, kCat).ok());
+  EXPECT_GT(db->metrics().counter("cache.hits_total")->Value(), hits_before);
+
+  // Far-away insert: the cached probe for (20..30) survives.
+  PublicObject far;
+  far.id = 100001;
+  far.category = kCat;
+  far.location = {95, 95};
+  far.name = "far";
+  ASSERT_TRUE(db->AddPublicObject(far).ok());
+  const uint64_t hits_mid = db->metrics().counter("cache.hits_total")->Value();
+  auto after_far = db->PrivateRange(cloaked, radius, kCat);
+  ASSERT_TRUE(after_far.ok());
+  EXPECT_GT(db->metrics().counter("cache.hits_total")->Value(), hits_mid);
+  EXPECT_EQ(after_far.value().candidates.size(),
+            first.value().candidates.size());
+
+  // Insert inside the cloaked region itself: the stale superset must not
+  // be served — the new object is a legal exact answer and must appear.
+  PublicObject inside;
+  inside.id = 100002;
+  inside.category = kCat;
+  inside.location = {25, 25};
+  inside.name = "inside";
+  ASSERT_TRUE(db->AddPublicObject(inside).ok());
+  auto after_inside = db->PrivateRange(cloaked, radius, kCat);
+  ASSERT_TRUE(after_inside.ok());
+  bool found = false;
+  for (const auto& o : after_inside.value().candidates)
+    found = found || o.id == inside.id;
+  EXPECT_TRUE(found) << "stale candidate list served after overlapping insert";
+}
+
+// Concurrent cached queries racing location updates, public inserts and
+// LRU evictions (tiny capacity). Run under TSan in CI; the invariant
+// checks are done by the racing readers themselves.
+TEST(CandidateCacheTest, ConcurrentHitEvictInvalidateStress) {
+  auto options = SharedOptions(2, 8);  // tiny: constant LRU churn
+  options.worker_threads = 2;
+  auto db = CloakDbService::Create(options).value();
+  ASSERT_TRUE(db->BulkLoadCategory(kCat, MakePois(150, 13)).ok());
+  constexpr UserId kUsers = 24;
+  for (UserId user = 1; user <= kUsers; ++user) {
+    ASSERT_TRUE(db->RegisterUser(user, KProfile(2)).ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int reader = 0; reader < 3; ++reader) {
+    threads.emplace_back([&, reader] {
+      Rng rng(500 + reader);
+      while (!done.load(std::memory_order_acquire)) {
+        double x = rng.Uniform(0, 85), y = rng.Uniform(0, 85);
+        Rect cloaked(x, y, x + 8, y + 8);
+        auto range = db->PrivateRange(cloaked, 3.0, kCat);
+        ASSERT_TRUE(range.ok());
+        // Candidate lists out of the cache are never empty here: the
+        // extended region always overlaps a dense 150-POI field.
+        auto nn = db->PrivateNn(cloaked, kCat);
+        ASSERT_TRUE(nn.ok());
+        ASSERT_FALSE(nn.value().candidates.empty());
+        ASSERT_TRUE(db->PublicCount(Rect(x, y, x + 20, y + 20)).ok());
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    Rng rng(900);
+    TimeOfDay now = Noon();
+    for (int round = 0; round < 50; ++round) {
+      for (UserId user = 1; user <= kUsers; ++user) {
+        ASSERT_TRUE(
+            db->EnqueueUpdate(user, {rng.Uniform(0, 100), rng.Uniform(0, 100)},
+                              now)
+                .ok());
+      }
+      ASSERT_TRUE(db->Flush().ok());
+      now = now.Plus(60);
+    }
+    for (int i = 0; i < 30; ++i) {
+      PublicObject object;
+      object.id = 200000 + i;
+      object.category = kCat;
+      object.location = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      object.name = "hot";
+      ASSERT_TRUE(db->AddPublicObject(object).ok());
+    }
+  });
+  threads.back().join();
+  done.store(true, std::memory_order_release);
+  for (int reader = 0; reader < 3; ++reader) threads[reader].join();
+
+  auto& metrics = db->metrics();
+  EXPECT_GT(metrics.counter("cache.hits_total")->Value() +
+                metrics.counter("cache.misses_total")->Value(),
+            0u);
+  EXPECT_GT(metrics.counter("cache.lru_evictions_total")->Value(), 0u);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -126,6 +126,56 @@ TEST(WorkloadTest, KnnValidation) {
   EXPECT_FALSE(WorkloadGenerator::Create(kSpace, SomeUsers(), options).ok());
 }
 
+TEST(WorkloadTest, RepeatProbabilityValidation) {
+  WorkloadOptions options;
+  options.repeat_probability = -0.1;
+  EXPECT_FALSE(WorkloadGenerator::Create(kSpace, SomeUsers(), options).ok());
+  options.repeat_probability = 1.1;
+  EXPECT_FALSE(WorkloadGenerator::Create(kSpace, SomeUsers(), options).ok());
+  options.repeat_probability = 1.0;
+  EXPECT_TRUE(WorkloadGenerator::Create(kSpace, SomeUsers(), options).ok());
+}
+
+TEST(WorkloadTest, RepeatProbabilityReplaysLastSpecVerbatim) {
+  WorkloadOptions options;
+  options.repeat_probability = 1.0;
+  auto gen = WorkloadGenerator::Create(kSpace, SomeUsers(), options);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(9);
+  const QuerySpec first = gen.value().Next(&rng);
+  for (int i = 0; i < 20; ++i) {
+    const QuerySpec repeat = gen.value().Next(&rng);
+    EXPECT_EQ(repeat.type, first.type);
+    EXPECT_EQ(repeat.issuer, first.issuer);
+    EXPECT_EQ(repeat.category, first.category);
+    EXPECT_EQ(repeat.radius, first.radius);
+    EXPECT_EQ(repeat.knn_k, first.knn_k);
+  }
+}
+
+TEST(WorkloadTest, RepeatProbabilityMatchesObservedRate) {
+  WorkloadOptions options;
+  options.repeat_probability = 0.6;
+  // Private NN only: two consecutive draws are virtually never identical
+  // by chance (fresh issuer + fresh category), so equal neighbors measure
+  // the repeat path.
+  options.mix = {0, 1, 0, 0, 0};
+  options.categories = {1, 2, 3, 4};
+  auto gen = WorkloadGenerator::Create(kSpace, SomeUsers(), options);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(11);
+  int repeats = 0;
+  const int n = 20000;
+  QuerySpec last = gen.value().Next(&rng);
+  for (int i = 0; i < n; ++i) {
+    const QuerySpec next = gen.value().Next(&rng);
+    if (next.issuer == last.issuer && next.category == last.category)
+      ++repeats;
+    last = next;
+  }
+  EXPECT_NEAR(repeats / static_cast<double>(n), 0.6, 0.07);
+}
+
 TEST(WorkloadTest, KnnOnlyMixNeedsIssuers) {
   WorkloadOptions options;
   options.mix = {0, 0, 1, 0, 0};

@@ -11,6 +11,12 @@
 //            multilevel-grid] [--shards=S] [--workers=W] [--ticks=T]
 //            [--queries-per-tick=Q] [--pois=P] [--seed=S]
 //            [--profile="08:00-17:00 k=1; ..."] [--metrics-json=PATH]
+//            [--shared-exec] [--cache-capacity=N] [--batch-window-us=U]
+//
+// --shared-exec turns on the service's shared-execution engine (clustered
+// probes + candidate cache); cloaked regions snap to grid cells, so nearby
+// users naturally repeat cache keys. Accuracy columns must stay 1.0 either
+// way — sharing is answer-invisible.
 //
 // Output columns:
 //   tick,users,updates_per_s,nn_acc,range_acc,knn_acc,
@@ -50,6 +56,10 @@ struct Args {
   size_t queries_per_tick = 50;
   size_t pois = 300;
   uint64_t seed = 42;
+  bool shared_exec = false;
+  size_t cache_capacity = 4096;
+  uint64_t batch_window_us = 0;
+  uint32_t signature_cells = 0;  // 0 = service default
   std::string profile;       // optional Parse()-format profile
   std::string metrics_json;  // optional JSON dump path
 };
@@ -84,6 +94,15 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.pois = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(argv[i], "seed", &value)) {
       args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shared-exec") == 0) {
+      args.shared_exec = true;
+    } else if (ParseArg(argv[i], "cache-capacity", &value)) {
+      args.cache_capacity = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "batch-window-us", &value)) {
+      args.batch_window_us = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "signature-cells", &value)) {
+      args.signature_cells =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (ParseArg(argv[i], "profile", &value)) {
       args.profile = value;
     } else if (ParseArg(argv[i], "metrics-json", &value)) {
@@ -150,6 +169,11 @@ int Run(const Args& args) {
   options.worker_threads = args.workers;
   options.anonymizer.algorithm = args.algorithm;
   options.anonymizer.pseudonym_seed = args.seed;
+  options.enable_shared_execution = args.shared_exec;
+  options.cache_capacity = args.cache_capacity;
+  options.batch_window_us = args.batch_window_us;
+  if (args.signature_cells > 0)
+    options.signature_grid_cells = args.signature_cells;
   auto service = CloakDbService::Create(options);
   if (!service.ok()) {
     std::fprintf(stderr, "service setup failed: %s\n",
@@ -325,6 +349,17 @@ int Run(const Args& args) {
         "ingest.cloak_us", "queue.blocked_push_us"}) {
     PrintHistogramRow(metrics, name);
   }
+  if (args.shared_exec) {
+    std::printf("# --- candidate cache ---\n");
+    for (const char* name :
+         {"cache.hits_total", "cache.misses_total", "cache.insertions_total",
+          "cache.lru_evictions_total", "cache.invalidations_total"}) {
+      std::printf("# %-32s %llu\n", name,
+                  static_cast<unsigned long long>(
+                      metrics.CounterValue(name)));
+    }
+    PrintHistogramRow(metrics, "query.shared.probe_us");
+  }
   auto stats = db.Stats();
   for (const auto& q : stats.slow_queries) {
     std::printf("# slow: %-14s %10.1fus area=%-10.4g shards=%u "
@@ -359,7 +394,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s [--users=N] [--k=K] [--algorithm=KIND] [--shards=S] "
         "[--workers=W] [--ticks=T] [--queries-per-tick=Q] [--pois=P] "
-        "[--seed=S] [--profile=SPEC] [--metrics-json=PATH]\n"
+        "[--seed=S] [--profile=SPEC] [--metrics-json=PATH] "
+        "[--shared-exec] [--cache-capacity=N] [--batch-window-us=U]\n"
         "  KIND: naive | mbr | quadtree | grid | multilevel-grid\n"
         "  SPEC: e.g. \"08:00-17:00 k=1; 17:00-22:00 k=100 amin=1\"\n",
         argv[0]);
