@@ -339,6 +339,68 @@ BENCHMARK(BM_Service_RepeatedQueryCache)
     ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
+// Tracing overhead on the fan-out query path: the same mixed private-query
+// workload with tracing off (0), head-sampled at 1% (1), and fully sampled
+// (2). Spans are recorded into the per-thread rings in every traced mode —
+// sampling only decides retention — so mode 1 measures the steady-state
+// production cost (the ≤5%-overhead budget), and mode 2 bounds the
+// worst case. Collection (TakeCompletedSpans) runs amortized inside the
+// loop, as a live deployment's collector would.
+void BM_Service_TraceOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  CloakDbServiceOptions options;
+  options.space = bench::Space();
+  options.num_shards = 4;
+  if (mode > 0) {
+    options.trace.enabled = true;
+    options.trace.sample_probability = mode == 1 ? 0.01 : 1.0;
+    options.trace.slow_trace_us = 0.0;  // Isolate the sampling knob.
+  }
+  auto service = CloakDbService::Create(options);
+  if (!service.ok()) {
+    state.SkipWithError("service setup failed");
+    return;
+  }
+  CloakDbService& db = *service.value();
+  Rng poi_rng(bench::kSeed ^ 0x5151);
+  PoiOptions poi;
+  poi.count = 5000;
+  poi.category = poi_category::kGasStation;
+  (void)db.BulkLoadCategory(
+      poi_category::kGasStation,
+      GeneratePois(bench::Space(), poi, &poi_rng).value());
+
+  Rng rng(87);
+  size_t spans_collected = 0;
+  size_t iterations = 0;
+  for (auto _ : state) {
+    double x = rng.Uniform(0, 90), y = rng.Uniform(0, 90);
+    Rect cloaked(x, y, x + 5, y + 5);
+    benchmark::DoNotOptimize(
+        db.PrivateRange(cloaked, 2.0, poi_category::kGasStation));
+    benchmark::DoNotOptimize(
+        db.PrivateNn(cloaked, poi_category::kGasStation));
+    benchmark::DoNotOptimize(
+        db.PrivateKnn(cloaked, 5, poi_category::kGasStation));
+    if ((++iterations & 1023) == 0 && db.tracer() != nullptr)
+      spans_collected += db.tracer()->TakeCompletedSpans().size();
+  }
+  if (db.tracer() != nullptr)
+    spans_collected += db.tracer()->TakeCompletedSpans().size();
+  state.counters["trace_mode"] = static_cast<double>(mode);
+  state.counters["spans_collected"] = static_cast<double>(spans_collected);
+  state.counters["dropped_spans"] =
+      db.tracer() == nullptr
+          ? 0.0
+          : static_cast<double>(db.tracer()->dropped_spans());
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 3),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Service_TraceOverhead)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace cloakdb
 

@@ -1,5 +1,6 @@
 #include "core/attack.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace cloakdb {
@@ -27,6 +28,39 @@ Point BoundaryAttack::Guess(const Rect& region, Rng* rng) const {
 Point UniformAttack::Guess(const Rect& region, Rng* rng) const {
   return {rng->Uniform(region.min_x, region.max_x),
           rng->Uniform(region.min_y, region.max_y)};
+}
+
+namespace {
+
+double HalfDiagonal(const Rect& region) {
+  return 0.5 * std::sqrt(region.Width() * region.Width() +
+                         region.Height() * region.Height());
+}
+
+}  // namespace
+
+bool CenterAttackCompromises(const Rect& region, const Point& true_location,
+                             double epsilon_fraction) {
+  const double half_diag = HalfDiagonal(region);
+  const double err = Distance(region.Center(), true_location);
+  // A degenerate region (point) always compromises a user inside it.
+  if (half_diag <= 0.0) return err <= 0.0;
+  return err <= epsilon_fraction * half_diag;
+}
+
+bool BoundaryAttackCompromises(const Rect& region, const Point& true_location,
+                               double epsilon_fraction) {
+  const double half_diag = HalfDiagonal(region);
+  if (half_diag <= 0.0) return true;
+  // Distance from the true location to the nearest boundary point: for a
+  // point inside the rectangle, the smallest distance to any of the four
+  // edges.
+  const double to_edge =
+      std::min(std::min(true_location.x - region.min_x,
+                        region.max_x - true_location.x),
+               std::min(true_location.y - region.min_y,
+                        region.max_y - true_location.y));
+  return std::abs(to_edge) <= epsilon_fraction * half_diag;
 }
 
 LeakageReport EvaluateLeakage(

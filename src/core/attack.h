@@ -85,6 +85,22 @@ LeakageReport EvaluateLeakage(const Attack& attack,
                               const std::vector<CloakObservation>& observations,
                               Rng* rng, double epsilon_fraction = 0.05);
 
+// Deterministic single-region risk checks for online auditing: does the
+// named adversary's best guess land within `epsilon_fraction` of the
+// region's half-diagonal from the true location? Unlike EvaluateLeakage
+// these need no Rng (the boundary check uses the nearest boundary point,
+// the adversary's best case), so the service can audit every cloak it
+// emits at query time.
+
+/// True when the center guess compromises `true_location`.
+bool CenterAttackCompromises(const Rect& region, const Point& true_location,
+                             double epsilon_fraction = 0.05);
+
+/// True when some boundary point compromises `true_location` (the user sits
+/// close enough to an edge that a boundary guess can recover them).
+bool BoundaryAttackCompromises(const Rect& region, const Point& true_location,
+                               double epsilon_fraction = 0.05);
+
 }  // namespace cloakdb
 
 #endif  // CLOAKDB_CORE_ATTACK_H_

@@ -35,14 +35,17 @@ void AtomicMax(std::atomic<double>* target, double value) {
   }
 }
 
-void AppendEscaped(std::string* out, const std::string& s) {
+}  // namespace
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
   for (char c : s) {
     if (c == '"' || c == '\\') {
       out->push_back('\\');
       out->push_back(c);
     } else if (static_cast<unsigned char>(c) < 0x20) {
       char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
       *out += buf;
     } else {
       out->push_back(c);
@@ -50,14 +53,12 @@ void AppendEscaped(std::string* out, const std::string& s) {
   }
 }
 
-void AppendNumber(std::string* out, double value) {
+void AppendJsonNumber(std::string* out, double value) {
   if (!std::isfinite(value)) value = 0.0;
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   *out += buf;
 }
-
-}  // namespace
 
 size_t StripeOfThisThread() {
   static thread_local const size_t stripe =
@@ -250,8 +251,10 @@ std::string MetricsRegistry::ExportJson() const {
     if (!first) out += ',';
     first = false;
     out += '"';
-    AppendEscaped(&out, name);
-    char buf[32];
+    AppendJsonEscaped(&out, name);
+    // 64 bytes: the widest uint64 is 20 digits, and a truncated snprintf
+    // here would emit invalid JSON.
+    char buf[64];
     std::snprintf(buf, sizeof(buf), "\":%llu",
                   static_cast<unsigned long long>(counter->Value()));
     out += buf;
@@ -262,9 +265,9 @@ std::string MetricsRegistry::ExportJson() const {
     if (!first) out += ',';
     first = false;
     out += '"';
-    AppendEscaped(&out, name);
+    AppendJsonEscaped(&out, name);
     out += "\":";
-    AppendNumber(&out, gauge->Value());
+    AppendJsonNumber(&out, gauge->Value());
   }
   out += "},\"histograms\":{";
   first = true;
@@ -273,22 +276,22 @@ std::string MetricsRegistry::ExportJson() const {
     if (!first) out += ',';
     first = false;
     out += '"';
-    AppendEscaped(&out, name);
-    char buf[32];
+    AppendJsonEscaped(&out, name);
+    char buf[64];
     std::snprintf(buf, sizeof(buf), "\":{\"count\":%llu,\"mean\":",
                   static_cast<unsigned long long>(s.count));
     out += buf;
-    AppendNumber(&out, s.mean());
+    AppendJsonNumber(&out, s.mean());
     out += ",\"min\":";
-    AppendNumber(&out, s.min);
+    AppendJsonNumber(&out, s.min);
     out += ",\"max\":";
-    AppendNumber(&out, s.max);
+    AppendJsonNumber(&out, s.max);
     out += ",\"p50\":";
-    AppendNumber(&out, s.p50());
+    AppendJsonNumber(&out, s.p50());
     out += ",\"p95\":";
-    AppendNumber(&out, s.p95());
+    AppendJsonNumber(&out, s.p95());
     out += ",\"p99\":";
-    AppendNumber(&out, s.p99());
+    AppendJsonNumber(&out, s.p99());
     out += '}';
   }
   out += "}}";

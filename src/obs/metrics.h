@@ -23,9 +23,20 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cloakdb::obs {
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters). Shared by every JSON producer in the observability
+/// layer (metrics export, trace export, status dumps) so user-supplied
+/// strings — metric labels, category names, query kinds — can never break
+/// a document.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// Appends a JSON-safe number (non-finite values rendered as 0).
+void AppendJsonNumber(std::string* out, double value);
 
 /// Number of write stripes per metric (power of two; selected by thread).
 inline constexpr size_t kMetricStripes = 8;

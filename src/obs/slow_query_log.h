@@ -24,6 +24,9 @@ struct SlowQueryRecord {
   double region_area = 0.0;    ///< Cloaked-region / window area.
   uint32_t shards_touched = 0; ///< Fan-out width of the query.
   uint64_t candidates = 0;     ///< Candidate / contribution list size.
+  /// Trace of this query when tracing was on (0 = untraced). Slow traces
+  /// are tail-kept, so a slow entry's full span tree is in the export.
+  uint64_t trace_id = 0;
 };
 
 /// Thread-safe top-N-by-latency ring (a min-heap under a mutex, guarded by

@@ -1,0 +1,40 @@
+// Exporters for completed trace spans.
+//
+// Two formats, one serializer:
+//   - ExportChromeTrace: the chrome://tracing / Perfetto JSON object format
+//     ({"traceEvents": [...]}), complete "X" events with ts/dur in
+//     microseconds. pid encodes nothing (always 1); tid is the tracer's
+//     per-thread ring index, so lanes in the viewer correspond to recording
+//     threads. Span identity, hierarchy, links, attributes, and audit
+//     payloads ride in "args".
+//   - ExportJsonl: one flat JSON object per line per span — grep/jq-friendly
+//     and concatenation-safe for streaming collection.
+//
+// Both are pure functions over SpanRecord vectors (as returned by
+// Tracer::TakeCompletedSpans) so tests and tools can serialize snapshots
+// without touching a live tracer.
+
+#ifndef CLOAKDB_OBS_TRACE_EXPORT_H_
+#define CLOAKDB_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cloakdb::obs {
+
+/// Appends one span as a flat JSON object (no trailing newline). The shared
+/// serializer behind both exporters; exposed for status dumps.
+void AppendSpanJson(std::string* out, const SpanRecord& span);
+
+/// Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...}, ...]}.
+/// Load the result in chrome://tracing or ui.perfetto.dev.
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans);
+
+/// One JSON object per line, one line per span.
+std::string ExportJsonl(const std::vector<SpanRecord>& spans);
+
+}  // namespace cloakdb::obs
+
+#endif  // CLOAKDB_OBS_TRACE_EXPORT_H_

@@ -6,6 +6,7 @@
 
 #include "geom/distance.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace cloakdb {
 
@@ -52,7 +53,12 @@ Result<PrivateRangeResult> QueryProcessor::PrivateRange(
     const Rect& cloaked, double radius, Category category,
     const PrivateRangeOptions& opts) const {
   obs::ScopedTimer probe(obs_.range_probe_us);
+  obs::TraceSpan span(obs::CurrentTraceContext(), "index.probe");
   auto result = PrivateRangeQuery(store_, cloaked, radius, category, opts);
+  if (result.ok())
+    span.AddAttr("candidates",
+                 static_cast<double>(result.value().candidates.size()));
+  span.End();
   probe.Stop();
   if (result.ok()) {
     CountPrivateQuery(&ServerStats::private_range_queries,
@@ -65,7 +71,12 @@ Result<PrivateRangeResult> QueryProcessor::PrivateRange(
 Result<PrivateNnResult> QueryProcessor::PrivateNn(const Rect& cloaked,
                                                   Category category) const {
   obs::ScopedTimer probe(obs_.nn_probe_us);
+  obs::TraceSpan span(obs::CurrentTraceContext(), "index.probe");
   auto result = PrivateNnQuery(store_, cloaked, category);
+  if (result.ok())
+    span.AddAttr("candidates",
+                 static_cast<double>(result.value().candidates.size()));
+  span.End();
   probe.Stop();
   if (result.ok()) {
     CountPrivateQuery(&ServerStats::private_nn_queries,
@@ -79,7 +90,12 @@ Result<PrivateKnnResult> QueryProcessor::PrivateKnn(const Rect& cloaked,
                                                     size_t k,
                                                     Category category) const {
   obs::ScopedTimer probe(obs_.knn_probe_us);
+  obs::TraceSpan span(obs::CurrentTraceContext(), "index.probe");
   auto result = PrivateKnnQuery(store_, cloaked, k, category);
+  if (result.ok())
+    span.AddAttr("candidates",
+                 static_cast<double>(result.value().candidates.size()));
+  span.End();
   probe.Stop();
   if (result.ok()) {
     CountPrivateQuery(&ServerStats::private_knn_queries,
@@ -93,6 +109,7 @@ Result<std::vector<PublicObject>> QueryProcessor::SharedProbe(
     const Rect& probe_region, Category category) const {
   // Not a client-visible query: no stats. Probe latency is recorded by the
   // service's shared-execution histogram around this call.
+  obs::TraceSpan span(obs::CurrentTraceContext(), "index.shared_probe");
   return SharedProbeQuery(store_, probe_region, category);
 }
 
@@ -175,7 +192,9 @@ Result<PrivatePrivateNnResult> QueryProcessor::PrivatePrivateNn(
 Result<PublicCountResult> QueryProcessor::PublicCount(
     const Rect& window) const {
   obs::ScopedTimer probe(obs_.count_probe_us);
+  obs::TraceSpan span(obs::CurrentTraceContext(), "index.probe");
   auto result = PublicRangeCountQuery(store_, window);
+  span.End();
   probe.Stop();
   if (result.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -196,7 +215,9 @@ Result<PublicNnResult> QueryProcessor::PublicNn(
 
 Result<HeatmapResult> QueryProcessor::Heatmap(uint32_t resolution) const {
   obs::ScopedTimer probe(obs_.heatmap_probe_us);
+  obs::TraceSpan span(obs::CurrentTraceContext(), "index.probe");
   auto result = PublicHeatmapQuery(store_, resolution);
+  span.End();
   probe.Stop();
   if (result.ok()) {
     // Heatmaps used to inflate public_count_queries; they have their own

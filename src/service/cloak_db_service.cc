@@ -24,10 +24,46 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// One traced request: assigns the trace id at admission, owns the root
+/// span, and completes the trace — also on early error returns, via the
+/// destructor — feeding the root latency into the tail-sampling decision.
+/// Inert (and free) when the service has no tracer.
+class RootTrace {
+ public:
+  RootTrace(obs::Tracer* tracer, const char* name) {
+    if (tracer == nullptr) return;
+    begin_ = tracer->BeginTrace(name);
+    span_ = obs::TraceSpan(begin_, name);
+  }
+
+  RootTrace(const RootTrace&) = delete;
+  RootTrace& operator=(const RootTrace&) = delete;
+
+  ~RootTrace() { Finish(); }
+
+  /// Children built from this context parent under the root span.
+  obs::TraceContext context() const { return span_.context(); }
+
+  void Finish() {
+    if (begin_.tracer == nullptr) return;
+    const double latency_us = span_.End();
+    // Audit violations reach the tracer directly (NoteAuditViolation
+    // force-keeps the trace), so only the latency feeds in here.
+    begin_.tracer->FinishTrace(begin_, latency_us, /*audit_violation=*/false);
+    begin_ = obs::TraceContext{};
+  }
+
+ private:
+  obs::TraceContext begin_;
+  obs::TraceSpan span_;
+};
+
 }  // namespace
 
 CloakDbService::CloakDbService(const CloakDbServiceOptions& options)
-    : options_(options), slow_log_(options.slow_query_log_capacity) {}
+    : options_(options),
+      start_time_(std::chrono::steady_clock::now()),
+      slow_log_(options.slow_query_log_capacity) {}
 
 Result<std::unique_ptr<CloakDbService>> CloakDbService::Create(
     const CloakDbServiceOptions& options) {
@@ -92,6 +128,9 @@ Status CloakDbService::Start() {
 
   signature_ = CellSignature(options_.space, options_.signature_grid_cells);
 
+  if (options_.trace.enabled)
+    tracer_ = std::make_unique<obs::Tracer>(options_.trace);
+
   const uint32_t n = options_.num_shards;
   // Split the cache budget evenly (at least one entry per shard so a tiny
   // budget still exercises the cache path everywhere).
@@ -116,6 +155,7 @@ Status CloakDbService::Start() {
     config.signature_cells = options_.signature_grid_cells;
     config.cache_obs = cache_obs;
     config.shared_probe_us = metrics_.histogram("query.shared.probe_us");
+    config.tracer = tracer_.get();
     auto shard = Shard::Create(config);
     if (!shard.ok()) return shard.status();
     shards_.push_back(std::move(shard).value());
@@ -244,11 +284,15 @@ Status CloakDbService::TryEnqueueUpdate(UserId user, const Point& location,
 Result<CloakedUpdate> CloakDbService::UpdateLocation(UserId user,
                                                      const Point& location,
                                                      TimeOfDay now) {
+  RootTrace trace(tracer_.get(), "cloak.update");
+  obs::ScopedTraceContext scope(trace.context());
   return shards_[ShardOfUser(user)]->UpdateLocation(user, location, now);
 }
 
 Result<CloakedUpdate> CloakDbService::CloakForQuery(UserId user,
                                                     TimeOfDay now) {
+  RootTrace trace(tracer_.get(), "cloak.query");
+  obs::ScopedTraceContext scope(trace.context());
   return shards_[ShardOfUser(user)]->CloakForQuery(user, now);
 }
 
@@ -271,6 +315,8 @@ Status CloakDbService::Flush() {
 Result<PrivateRangeResult> CloakDbService::PrivateRange(
     const Rect& cloaked, double radius, Category category,
     const PrivateRangeOptions& opts) const {
+  RootTrace trace(tracer_.get(), "query.private_range");
+  obs::ScopedTraceContext scope(trace.context());
   if (batcher_ != nullptr) {
     BatchQuery query;
     query.kind = BatchQueryKind::kRange;
@@ -278,6 +324,7 @@ Result<PrivateRangeResult> CloakDbService::PrivateRange(
     query.radius = radius;
     query.category = category;
     query.range_options = opts;
+    query.trace = trace.context();
     BatchQueryResult result = batcher_->Submit(query);
     if (!result.status.ok()) return result.status;
     return std::move(result.range);
@@ -300,6 +347,7 @@ Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
   std::vector<PrivateRangeResult> parts;
   bool category_exists = false;
   uint32_t shards_touched = 0;
+  obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
   for (uint32_t i = 0; i < shards_.size(); ++i) {
     if (i < first || i > last) {
       // Stripe cannot contribute candidates, but its holdings decide
@@ -308,12 +356,17 @@ Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
       continue;
     }
     ++shards_touched;
+    obs::TraceSpan probe_span(fanout.context(), "shard.probe");
+    probe_span.AddAttr("shard", static_cast<double>(i));
+    obs::ScopedTraceContext probe_scope(probe_span.context());
     auto part =
         cached
             ? shards_[i]->PrivateRangeCached(cloaked, radius, category, opts,
                                              cover)
             : shards_[i]->PrivateRange(cloaked, radius, category, opts);
     if (part.ok()) {
+      probe_span.AddAttr("candidates",
+                         static_cast<double>(part.value().candidates.size()));
       category_exists = true;
       parts.push_back(std::move(part).value());
     } else if (part.status().code() != StatusCode::kNotFound) {
@@ -321,6 +374,8 @@ Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
       return part.status();
     }
   }
+  fanout.AddAttr("shards", static_cast<double>(shards_touched));
+  fanout.End();
   if (parts.empty()) {
     if (!category_exists) {
       total.Cancel();
@@ -333,7 +388,9 @@ Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
     return empty;
   }
   obs::ScopedTimer merge(range_obs_.merge_us);
+  obs::TraceSpan merge_span(obs::CurrentTraceContext(), "merge");
   auto merged = MergePrivateRangeResults(std::move(parts));
+  merge_span.End();
   merge.Stop();
   const uint64_t candidates = merged.candidates.size();
   RecordQuery(range_obs_, "private_range", total.Stop(), cloaked.Area(),
@@ -344,11 +401,14 @@ Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
 
 Result<PrivateNnResult> CloakDbService::PrivateNn(const Rect& cloaked,
                                                   Category category) const {
+  RootTrace trace(tracer_.get(), "query.private_nn");
+  obs::ScopedTraceContext scope(trace.context());
   if (batcher_ != nullptr) {
     BatchQuery query;
     query.kind = BatchQueryKind::kNn;
     query.cloaked = cloaked;
     query.category = category;
+    query.trace = trace.context();
     BatchQueryResult result = batcher_->Submit(query);
     if (!result.status.ok()) return result.status;
     return std::move(result.nn);
@@ -366,11 +426,17 @@ Result<PrivateNnResult> CloakDbService::PrivateNnImpl(const Rect& cloaked,
   obs::ScopedTimer total(nn_obs_.latency_us);
   std::vector<PrivateNnResult> parts;
   uint32_t shards_touched = 0;
+  obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
   auto consult = [&](uint32_t i) -> Status {
     ++shards_touched;
+    obs::TraceSpan probe_span(fanout.context(), "shard.probe");
+    probe_span.AddAttr("shard", static_cast<double>(i));
+    obs::ScopedTraceContext probe_scope(probe_span.context());
     auto part = cached ? shards_[i]->PrivateNnCached(cloaked, category, cover)
                        : shards_[i]->PrivateNn(cloaked, category);
     if (part.ok()) {
+      probe_span.AddAttr("candidates",
+                         static_cast<double>(part.value().candidates.size()));
       parts.push_back(std::move(part).value());
     } else if (part.status().code() != StatusCode::kNotFound) {
       return part.status();
@@ -406,12 +472,16 @@ Result<PrivateNnResult> CloakDbService::PrivateNnImpl(const Rect& cloaked,
       return status;
     }
   }
+  fanout.AddAttr("shards", static_cast<double>(shards_touched));
+  fanout.End();
   if (parts.empty()) {
     total.Cancel();
     return Status::NotFound("no public objects in category");
   }
   obs::ScopedTimer merge(nn_obs_.merge_us);
+  obs::TraceSpan merge_span(obs::CurrentTraceContext(), "merge");
   auto merged = MergePrivateNnResults(cloaked, std::move(parts));
+  merge_span.End();
   merge.Stop();
   const uint64_t candidates = merged.candidates.size();
   RecordQuery(nn_obs_, "private_nn", total.Stop(), cloaked.Area(),
@@ -423,12 +493,15 @@ Result<PrivateNnResult> CloakDbService::PrivateNnImpl(const Rect& cloaked,
 Result<PrivateKnnResult> CloakDbService::PrivateKnn(const Rect& cloaked,
                                                     size_t k,
                                                     Category category) const {
+  RootTrace trace(tracer_.get(), "query.private_knn");
+  obs::ScopedTraceContext scope(trace.context());
   if (batcher_ != nullptr) {
     BatchQuery query;
     query.kind = BatchQueryKind::kKnn;
     query.cloaked = cloaked;
     query.k = k;
     query.category = category;
+    query.trace = trace.context();
     BatchQueryResult result = batcher_->Submit(query);
     if (!result.status.ok()) return result.status;
     return std::move(result.knn);
@@ -446,12 +519,18 @@ Result<PrivateKnnResult> CloakDbService::PrivateKnnImpl(
   obs::ScopedTimer total(knn_obs_.latency_us);
   std::vector<PrivateKnnResult> parts;
   uint32_t shards_touched = 0;
+  obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
   auto consult = [&](uint32_t i) -> Status {
     ++shards_touched;
+    obs::TraceSpan probe_span(fanout.context(), "shard.probe");
+    probe_span.AddAttr("shard", static_cast<double>(i));
+    obs::ScopedTraceContext probe_scope(probe_span.context());
     auto part = cached ? shards_[i]->PrivateKnnCached(cloaked, k, category,
                                                       cover)
                        : shards_[i]->PrivateKnn(cloaked, k, category);
     if (part.ok()) {
+      probe_span.AddAttr("candidates",
+                         static_cast<double>(part.value().candidates.size()));
       parts.push_back(std::move(part).value());
     } else if (part.status().code() != StatusCode::kNotFound) {
       return part.status();
@@ -491,12 +570,16 @@ Result<PrivateKnnResult> CloakDbService::PrivateKnnImpl(
       return status;
     }
   }
+  fanout.AddAttr("shards", static_cast<double>(shards_touched));
+  fanout.End();
   if (parts.empty()) {
     total.Cancel();
     return Status::NotFound("no public objects in category");
   }
   obs::ScopedTimer merge(knn_obs_.merge_us);
+  obs::TraceSpan merge_span(obs::CurrentTraceContext(), "merge");
   auto merged = MergePrivateKnnResults(cloaked, k, std::move(parts));
+  merge_span.End();
   merge.Stop();
   const uint64_t candidates = merged.candidates.size();
   RecordQuery(knn_obs_, "private_knn", total.Stop(), cloaked.Area(),
@@ -507,10 +590,17 @@ Result<PrivateKnnResult> CloakDbService::PrivateKnnImpl(
 
 Result<PublicCountResult> CloakDbService::PublicCount(
     const Rect& window) const {
+  RootTrace trace(tracer_.get(), "query.public_count");
+  obs::ScopedTraceContext scope(trace.context());
   obs::ScopedTimer total(count_obs_.latency_us);
   std::vector<PublicCountResult> parts;
   parts.reserve(shards_.size());
+  obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
+  fanout.AddAttr("shards", static_cast<double>(shards_.size()));
   for (const auto& shard : shards_) {
+    obs::TraceSpan probe_span(fanout.context(), "shard.probe");
+    probe_span.AddAttr("shard", static_cast<double>(shard->index()));
+    obs::ScopedTraceContext probe_scope(probe_span.context());
     auto part = options_.enable_shared_execution
                     ? shard->PublicCountCached(window)
                     : shard->PublicCount(window);
@@ -520,8 +610,11 @@ Result<PublicCountResult> CloakDbService::PublicCount(
     }
     parts.push_back(std::move(part).value());
   }
+  fanout.End();
   obs::ScopedTimer merge(count_obs_.merge_us);
+  obs::TraceSpan merge_span(obs::CurrentTraceContext(), "merge");
   auto merged = MergePublicCountResults(std::move(parts));
+  merge_span.End();
   merge.Stop();
   if (!merged.ok()) {
     total.Cancel();
@@ -535,10 +628,17 @@ Result<PublicCountResult> CloakDbService::PublicCount(
 }
 
 Result<HeatmapResult> CloakDbService::Heatmap(uint32_t resolution) const {
+  RootTrace trace(tracer_.get(), "query.heatmap");
+  obs::ScopedTraceContext scope(trace.context());
   obs::ScopedTimer total(heatmap_obs_.latency_us);
   std::vector<HeatmapResult> parts;
   parts.reserve(shards_.size());
+  obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
+  fanout.AddAttr("shards", static_cast<double>(shards_.size()));
   for (const auto& shard : shards_) {
+    obs::TraceSpan probe_span(fanout.context(), "shard.probe");
+    probe_span.AddAttr("shard", static_cast<double>(shard->index()));
+    obs::ScopedTraceContext probe_scope(probe_span.context());
     auto part = shard->Heatmap(resolution);
     if (!part.ok()) {
       total.Cancel();
@@ -546,8 +646,11 @@ Result<HeatmapResult> CloakDbService::Heatmap(uint32_t resolution) const {
     }
     parts.push_back(std::move(part).value());
   }
+  fanout.End();
   obs::ScopedTimer merge(heatmap_obs_.merge_us);
+  obs::TraceSpan merge_span(obs::CurrentTraceContext(), "merge");
   auto merged = MergeHeatmapResults(std::move(parts));
+  merge_span.End();
   merge.Stop();
   if (!merged.ok()) {
     total.Cancel();
@@ -599,9 +702,30 @@ BatchQueryResult CloakDbService::ExecuteOne(const BatchQuery& query,
 std::vector<BatchQueryResult> CloakDbService::ExecuteBatch(
     const std::vector<BatchQuery>& queries) const {
   std::vector<BatchQueryResult> results(queries.size());
+  // The leader's execution is one span in the first traced member's trace;
+  // every member (including followers whose submitting threads are parked
+  // in the batcher) executes under a "batch.adopt" span in its *own* trace,
+  // linked to the leader span — the cross-trace record of the adoption.
+  obs::TraceContext lead_ctx;
+  for (const BatchQuery& query : queries) {
+    if (query.trace.active()) {
+      lead_ctx = query.trace;
+      break;
+    }
+  }
+  obs::TraceSpan batch_span(lead_ctx, "batch.execute");
+  batch_span.AddAttr("width", static_cast<double>(queries.size()));
+  auto run_one = [&](size_t member, bool cached, const Rect& cover) {
+    obs::TraceSpan adopt(queries[member].trace, "batch.adopt");
+    if (adopt.active() && batch_span.active())
+      adopt.SetLink(batch_span.span_id());
+    obs::ScopedTraceContext scope(adopt.active() ? adopt.context()
+                                                 : obs::TraceContext{});
+    results[member] = ExecuteOne(queries[member], cached, cover);
+  };
   if (!options_.enable_shared_execution) {
     for (size_t i = 0; i < queries.size(); ++i)
-      results[i] = ExecuteOne(queries[i], /*cached=*/false, Rect());
+      run_one(i, /*cached=*/false, Rect());
     return results;
   }
   if (shared_batch_width_ != nullptr)
@@ -612,8 +736,7 @@ std::vector<BatchQueryResult> CloakDbService::ExecuteBatch(
       shared_cluster_fanin_->Record(
           static_cast<double>(cluster.members.size()));
     for (size_t member : cluster.members)
-      results[member] =
-          ExecuteOne(queries[member], /*cached=*/true, cluster.cover);
+      run_one(member, /*cached=*/true, cluster.cover);
   }
   return results;
 }
@@ -630,13 +753,23 @@ void CloakDbService::RecordQuery(const QueryKindObs& obs, const char* kind,
   obs.shards_touched->Record(static_cast<double>(shards_touched));
   obs.candidates->Record(static_cast<double>(candidates));
   if (wire_bytes > 0) obs.wire_bytes->Increment(wire_bytes);
-  slow_log_.Record(
-      {kind, latency_us, region_area, shards_touched, candidates});
+  // A slow entry keeps its trace id: slow traces are tail-kept, so the
+  // entry links to a complete span tree in the export.
+  slow_log_.Record({kind, latency_us, region_area, shards_touched, candidates,
+                    obs::CurrentTraceContext().trace_id});
 }
 
 ServiceStats CloakDbService::Stats() const {
   ServiceStats stats = AggregateShardStats(PerShardStats(), worker_count_);
   stats.slow_queries = slow_log_.TopN();
+  stats.uptime_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+  stats.snapshot_unix_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
   return stats;
 }
 

@@ -24,12 +24,14 @@
 #define CLOAKDB_SERVICE_CLOAK_DB_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "service/query_batcher.h"
 #include "service/shard.h"
 
@@ -94,6 +96,13 @@ struct CloakDbServiceOptions {
 
   /// Queries that release a batch window early once collected (>= 1).
   size_t max_batch_width = 64;
+
+  // --- Tracing -----------------------------------------------------------
+
+  /// End-to-end tracing (span trees + privacy-audit events). With
+  /// trace.enabled off (the default) no Tracer is created and every span
+  /// site in the request path is inert.
+  obs::TraceOptions trace;
 };
 
 /// The sharded CloakDB facade. All public methods are thread-safe.
@@ -187,6 +196,9 @@ class CloakDbService {
   /// counters, ...). Safe to export concurrently with traffic.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
+  /// The service's tracer; null when options().trace.enabled is off. Use
+  /// tracer()->TakeCompletedSpans() + obs::ExportChromeTrace to export.
+  obs::Tracer* tracer() const { return tracer_.get(); }
   /// Per-shard counters, for imbalance diagnosis.
   std::vector<ShardStats> PerShardStats() const;
   void ResetStats() = delete;  // per-shard stats are monotonic by design
@@ -259,9 +271,14 @@ class CloakDbService {
 
   CloakDbServiceOptions options_;
   uint32_t worker_count_ = 0;
+  /// Steady-clock birth of the service; anchors ServiceStats::uptime_us.
+  std::chrono::steady_clock::time_point start_time_;
   /// Declared before shards_ so the metric handles the shards record into
   /// outlive them (members destroy in reverse order).
   obs::MetricsRegistry metrics_;
+  /// Declared before shards_ for the same reason: shards hold a raw
+  /// pointer and record cloak-audit spans into it from the worker pool.
+  std::unique_ptr<obs::Tracer> tracer_;
   mutable obs::SlowQueryLog slow_log_;
   QueryKindObs range_obs_;
   QueryKindObs nn_obs_;

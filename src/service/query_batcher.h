@@ -22,6 +22,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace.h"
 #include "server/private_queries.h"
 #include "service/candidate_cache.h"
 #include "util/status.h"
@@ -39,6 +40,10 @@ struct BatchQuery {
   size_t k = 1;         ///< kKnn.
   Category category = 0;
   PrivateRangeOptions range_options;  ///< kRange.
+  /// Trace of the submitting request; the batch leader executes this
+  /// member under it (adoption is recorded as a span link), so a query's
+  /// spans land in its own trace even when a different thread ran it.
+  obs::TraceContext trace;
 };
 
 /// The result of one batched query; exactly the matching field of the

@@ -40,7 +40,7 @@ std::string ServiceStats::ToString() const {
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
-      "shards=%u workers=%u users=%zu queued=%zu\n"
+      "shards=%u workers=%u users=%zu queued=%zu uptime=%.1fs\n"
       "ingest: enqueued=%llu applied=%llu rejected=%llu batches=%llu "
       "avg_batch=%.1f rotations=%llu\n"
       "anonymizer: updates=%llu computed=%llu incremental=%llu shared=%llu "
@@ -48,6 +48,7 @@ std::string ServiceStats::ToString() const {
       "server: cloaked=%llu range=%llu nn=%llu knn=%llu count=%llu "
       "heatmap=%llu bytes=%llu\n",
       num_shards, worker_threads, num_users, queue_depth,
+      static_cast<double>(uptime_us) / 1e6,
       static_cast<unsigned long long>(ingest.updates_enqueued),
       static_cast<unsigned long long>(ingest.updates_applied),
       static_cast<unsigned long long>(ingest.updates_rejected),
@@ -69,10 +70,12 @@ std::string ServiceStats::ToString() const {
   std::string out = buf;
   for (const obs::SlowQueryRecord& q : slow_queries) {
     std::snprintf(buf, sizeof(buf),
-                  "slow: %s %.0fus area=%.4g shards=%u candidates=%llu\n",
+                  "slow: %s %.0fus area=%.4g shards=%u candidates=%llu "
+                  "trace=%llu\n",
                   q.kind.c_str(), q.latency_us, q.region_area,
                   q.shards_touched,
-                  static_cast<unsigned long long>(q.candidates));
+                  static_cast<unsigned long long>(q.candidates),
+                  static_cast<unsigned long long>(q.trace_id));
     out += buf;
   }
   return out;

@@ -46,6 +46,12 @@ struct ShardStats {
 struct ServiceStats {
   uint32_t num_shards = 0;
   uint32_t worker_threads = 0;
+  /// Monotonic microseconds since the service started (steady clock), so
+  /// two snapshots always yield a well-defined rate denominator.
+  uint64_t uptime_us = 0;
+  /// Wall-clock time of this snapshot (microseconds since the Unix epoch);
+  /// labels the snapshot for dashboards and artifacts.
+  int64_t snapshot_unix_us = 0;
   AnonymizerStats anonymizer;  ///< Sum over shards.
   ServerStats server;          ///< Sum over shards.
   ShardIngestStats ingest;     ///< Sum over shards.

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/attack.h"
 #include "obs/scoped_timer.h"
 
 namespace cloakdb {
@@ -77,7 +78,48 @@ size_t Shard::DrainOnce(size_t max_batch) {
   return batch.size();
 }
 
+obs::AuditEvent Shard::EmitCloakAudit(obs::TraceSpan* span, UserId user,
+                                      const CloakedUpdate& update,
+                                      uint64_t trace_id) const {
+  obs::AuditEvent event;
+  event.requested_k = update.cloaked.requirement.k;
+  event.achieved_k = update.cloaked.achieved_k;
+  event.area = update.cloaked.region.Area();
+  event.min_area = update.cloaked.requirement.min_area;
+  event.max_area = update.cloaked.requirement.max_area;
+  event.k_satisfied = update.cloaked.k_satisfied;
+  event.min_area_satisfied = update.cloaked.min_area_satisfied;
+  event.max_area_satisfied = update.cloaked.max_area_satisfied;
+  event.cloaking_kind =
+      static_cast<uint8_t>(config_.anonymizer.algorithm);
+  // The snapshot holds the exact reported location the region was built
+  // around — the ground truth the paper's Section 5 adversaries aim for.
+  auto true_location = anonymizer_->snapshot().Locate(user);
+  if (true_location.ok()) {
+    event.center_risk =
+        CenterAttackCompromises(update.cloaked.region, true_location.value());
+    event.boundary_risk = BoundaryAttackCompromises(update.cloaked.region,
+                                                    true_location.value());
+  }
+  span->SetAudit(event);
+  if (event.Violation() && config_.tracer != nullptr)
+    config_.tracer->NoteAuditViolation(trace_id, update.pseudonym, event);
+  return event;
+}
+
 void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
+  // The ingest path has no client-side trace to join, so each drained
+  // batch opens its own: a root over the whole apply, a child over the
+  // batched cloak computation, and one audit-carrying span per update.
+  obs::TraceContext trace_ctx;
+  obs::TraceSpan root;
+  if (config_.tracer != nullptr) {
+    trace_ctx = config_.tracer->BeginTrace("ingest.batch");
+    root = obs::TraceSpan(trace_ctx, "ingest.batch");
+    root.AddAttr("shard", static_cast<double>(config_.index));
+    root.AddAttr("batch_size", static_cast<double>(batch.size()));
+  }
+  bool any_violation = false;
   std::unique_lock<std::shared_mutex> lock(mu_);
   // One clock read covers the whole batch: every entry waited until this
   // apply, and per-entry now() would put ~30ns of clock traffic on the
@@ -116,14 +158,31 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
       continue;
     }
     obs::ScopedTimer cloak_timer(config_.obs.cloak_us);
+    obs::TraceSpan cloak_span(root.context(), "cloak.batch");
+    cloak_span.AddAttr("updates", static_cast<double>(updates.size()));
     auto results = anonymizer_->UpdateLocationsBatch(updates, batch[i].time);
+    cloak_span.End();
     cloak_timer.Stop();
     ++ingest_.batches_drained;
     ingest_.batch_size.Add(static_cast<double>(updates.size()));
     if (config_.obs.batch_size != nullptr)
       config_.obs.batch_size->Record(static_cast<double>(updates.size()));
+    // Every applied cloak gets an audit-carrying span (duration ~0: the
+    // computation was timed by cloak.batch; this span is the per-user
+    // privacy record).
+    auto audit_one = [&](UserId user, const CloakedUpdate& u) {
+      if (config_.tracer == nullptr) return;
+      obs::TraceSpan span(root.context(), "cloak");
+      span.AddAttr("achieved_k", static_cast<double>(u.cloaked.achieved_k));
+      span.AddAttr("area", u.cloaked.region.Area());
+      if (EmitCloakAudit(&span, user, u, trace_ctx.trace_id).Violation())
+        any_violation = true;
+    };
     if (results.ok()) {
-      for (const CloakedUpdate& u : results.value()) ForwardCloaked(u);
+      for (size_t u = 0; u < results.value().size(); ++u) {
+        ForwardCloaked(results.value()[u]);
+        audit_one(updates[u].first, results.value()[u]);
+      }
       ingest_.updates_applied += updates.size();
     } else {
       // The batch refused atomically for a reason pre-validation could not
@@ -133,6 +192,7 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
             anonymizer_->UpdateLocation(user, location, batch[i].time);
         if (result.ok()) {
           ForwardCloaked(result.value());
+          audit_one(user, result.value());
           ++ingest_.updates_applied;
         } else {
           ++ingest_.updates_rejected;
@@ -144,6 +204,8 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
     i = j;
   }
   pending_.fetch_sub(batch.size(), std::memory_order_acq_rel);
+  if (config_.tracer != nullptr)
+    config_.tracer->FinishTrace(trace_ctx, root.End(), any_violation);
 }
 
 void Shard::ForwardCloaked(const CloakedUpdate& update) {
@@ -174,20 +236,28 @@ Result<CloakedUpdate> Shard::UpdateLocation(UserId user,
                                             const Point& location,
                                             TimeOfDay now) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  obs::TraceSpan span(obs::CurrentTraceContext(), "cloak");
   auto update = anonymizer_->UpdateLocation(user, location, now);
   if (!update.ok()) return update.status();
   ForwardCloaked(update.value());
   ++ingest_.updates_applied;
+  if (span.active())
+    EmitCloakAudit(&span, user, update.value(),
+                   obs::CurrentTraceContext().trace_id);
   return update;
 }
 
 Result<CloakedUpdate> Shard::CloakForQuery(UserId user, TimeOfDay now) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  obs::TraceSpan span(obs::CurrentTraceContext(), "cloak");
   auto update = anonymizer_->CloakForQuery(user, now);
   if (!update.ok()) return update.status();
   // A rotation at query time re-keys the server record too, otherwise the
   // user would disappear from public queries until the next report.
   if (update.value().retired_pseudonym != 0) ForwardCloaked(update.value());
+  if (span.active())
+    EmitCloakAudit(&span, user, update.value(),
+                   obs::CurrentTraceContext().trace_id);
   return update;
 }
 
@@ -267,7 +337,13 @@ CacheKey Shard::ProbeKey(CacheKind kind, Category category,
 
 Result<std::shared_ptr<const CacheEntry>> Shard::ProbeOrLookup(
     const CacheKey& key, const Rect& probe_region) const {
-  if (auto entry = cache_.Lookup(key); entry != nullptr) return entry;
+  obs::TraceSpan span(obs::CurrentTraceContext(), "cache.lookup");
+  span.AddAttr("shard", static_cast<double>(config_.index));
+  if (auto entry = cache_.Lookup(key); entry != nullptr) {
+    span.AddAttr("hit", 1.0);
+    return entry;
+  }
+  span.AddAttr("hit", 0.0);  // Span covers the widened probe below.
   obs::ScopedTimer probe_timer(config_.shared_probe_us);
   auto superset = server_.SharedProbe(probe_region, key.category);
   if (!superset.ok()) {

@@ -21,6 +21,7 @@
 
 #include "core/anonymizer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/query_processor.h"
 #include "service/candidate_cache.h"
 #include "service/service_stats.h"
@@ -70,6 +71,9 @@ struct ShardConfig {
   CandidateCacheObs cache_obs;
   /// Widened shared-probe wall time on a cache miss (microseconds).
   obs::ShardedHistogram* shared_probe_us = nullptr;
+  /// Service-wide tracer; null = tracing off. Cloak sites emit audit spans
+  /// into it, the ingest drain opens its own per-batch traces.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One anonymizer + server pair owning a hash-slice of the users.
@@ -185,6 +189,15 @@ class Shard {
   /// snapped cloaked region when cover is empty) plus the quantized reach.
   CacheKey ProbeKey(CacheKind kind, Category category, const Rect& cloaked,
                     double reach, const Rect& cover) const;
+
+  /// Builds the privacy-audit payload of one cloak (constraint
+  /// satisfaction plus the deterministic center/boundary attack checks
+  /// against the user's true location) and attaches it to `span`. Reports
+  /// violations to the tracer. Caller holds at least the shared lock (the
+  /// snapshot is read).
+  obs::AuditEvent EmitCloakAudit(obs::TraceSpan* span, UserId user,
+                                 const CloakedUpdate& update,
+                                 uint64_t trace_id) const;
 
   ShardConfig config_;
   std::unique_ptr<Anonymizer> anonymizer_;

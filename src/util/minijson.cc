@@ -1,0 +1,310 @@
+#include "util/minijson.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cloakdb::util {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+/// Recursive-descent parser over a string_view; tracks a byte cursor for
+/// error reporting.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool ParseDocument(JsonValue* out, std::string* error) {
+    if (!ParseValue(out, 0)) {
+      Report(error);
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      error_ = "trailing characters after document";
+      Report(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* message) {
+    if (error_ == nullptr) error_ = message;
+    return false;
+  }
+
+  void Report(std::string* error) const {
+    if (error == nullptr) return;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s (at byte %zu)",
+                  error_ != nullptr ? error_ : "parse error", pos_);
+    *error = buf;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (!Literal("true")) return Fail("invalid literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return true;
+      case 'f':
+        if (!Literal("false")) return Fail("invalid literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return true;
+      case 'n':
+        if (!Literal("null")) return Fail("invalid literal");
+        out->kind_ = JsonValue::Kind::kNull;
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return Fail("expected object key");
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return Fail("expected ':' after object key");
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->items_.push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t cp = 0;
+            if (!ParseHex4(&cp)) return false;
+            AppendUtf8(out, cp);
+            break;
+          }
+          default:
+            return Fail("invalid escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return Fail("unescaped control character in string");
+      out->push_back(c);
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ == start) return Fail("invalid value");
+    // strtod needs NUL termination; the slice is short, so copy.
+    std::string slice(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(slice.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return Fail("invalid number");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  const char* error_ = nullptr;
+};
+
+std::unique_ptr<JsonValue> JsonValue::Parse(std::string_view text,
+                                            std::string* error) {
+  auto value = std::make_unique<JsonValue>();
+  JsonParser parser(text);
+  if (!parser.ParseDocument(value.get(), error)) return nullptr;
+  return value;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindArray(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_array() ? value : nullptr;
+}
+
+const JsonValue* JsonValue::FindObject(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_object() ? value : nullptr;
+}
+
+double JsonValue::NumberAt(std::string_view key, double fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr ? value->AsNumber(fallback) : fallback;
+}
+
+bool JsonValue::BoolAt(std::string_view key, bool fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr ? value->AsBool(fallback) : fallback;
+}
+
+const std::string& JsonValue::StringAt(std::string_view key) const {
+  static const std::string kEmpty;
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_string() ? value->AsString() : kEmpty;
+}
+
+}  // namespace cloakdb::util

@@ -1,0 +1,84 @@
+// Minimal JSON DOM parser for tooling: cloakmon's status-file polling, the
+// CI trace-smoke validator, and tests that assert on exported JSON without
+// string-matching. Strict on structure (rejects trailing garbage, enforces
+// a recursion cap), tolerant on nothing — a document either parses or the
+// error says where it stopped.
+//
+// Scope is deliberately small: UTF-8 pass-through (no surrogate-pair
+// decoding beyond \uXXXX -> UTF-8), numbers as double, object member order
+// preserved. Not for hot paths.
+
+#ifndef CLOAKDB_UTIL_MINIJSON_H_
+#define CLOAKDB_UTIL_MINIJSON_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cloakdb::util {
+
+/// One parsed JSON value. Arrays/objects own their children.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a full document. Returns nullptr and fills `*error` (with a
+  /// byte offset) on malformed input or trailing non-whitespace.
+  static std::unique_ptr<JsonValue> Parse(std::string_view text,
+                                          std::string* error = nullptr);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access; empty for non-arrays.
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object members in document order; empty for non-objects.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// First member with `key`, or nullptr (also for non-objects).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience: Find(key), or nullptr when absent or of different kind.
+  const JsonValue* FindArray(std::string_view key) const;
+  const JsonValue* FindObject(std::string_view key) const;
+
+  /// Find(key) as a number; `fallback` when absent or not a number.
+  double NumberAt(std::string_view key, double fallback = 0.0) const;
+  /// Find(key) as a bool; `fallback` when absent or not a bool.
+  bool BoolAt(std::string_view key, bool fallback = false) const;
+  /// Find(key) as a string; empty when absent or not a string.
+  const std::string& StringAt(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace cloakdb::util
+
+#endif  // CLOAKDB_UTIL_MINIJSON_H_

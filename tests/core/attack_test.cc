@@ -139,5 +139,40 @@ TEST(LeakageTest, ReportRecordsAbsoluteErrorsToo) {
   EXPECT_EQ(report.attack_name, "uniform");
 }
 
+TEST(AttackRiskTest, CenterRiskFlagsTrueLocationNearCenter) {
+  const Rect region(0, 0, 10, 10);
+  EXPECT_TRUE(CenterAttackCompromises(region, Point(5.0, 5.0)));
+  EXPECT_TRUE(CenterAttackCompromises(region, Point(5.2, 5.1)));
+  EXPECT_FALSE(CenterAttackCompromises(region, Point(8.0, 8.0)));
+  EXPECT_FALSE(CenterAttackCompromises(region, Point(0.0, 0.0)));
+}
+
+TEST(AttackRiskTest, BoundaryRiskFlagsTrueLocationNearAnyEdge) {
+  const Rect region(0, 0, 10, 10);
+  EXPECT_TRUE(BoundaryAttackCompromises(region, Point(0.1, 5.0)));  // Left.
+  EXPECT_TRUE(BoundaryAttackCompromises(region, Point(5.0, 9.9)));  // Top.
+  EXPECT_FALSE(BoundaryAttackCompromises(region, Point(5.0, 5.0)));
+  EXPECT_FALSE(BoundaryAttackCompromises(region, Point(3.0, 4.0)));
+}
+
+TEST(AttackRiskTest, EpsilonScalesWithRegionDiagonal) {
+  // The threshold is a fraction of the half-diagonal, so the same absolute
+  // center offset is safe in a small region and risky in a large one.
+  EXPECT_FALSE(
+      CenterAttackCompromises(Rect(0, 0, 100, 100), Point(55.0, 55.0)));
+  EXPECT_TRUE(
+      CenterAttackCompromises(Rect(0, 0, 1000, 1000), Point(505.0, 505.0)));
+  EXPECT_FALSE(CenterAttackCompromises(Rect(0, 0, 100, 100), Point(50.05, 50.0),
+                                       /*epsilon_fraction=*/0.0));
+  EXPECT_TRUE(CenterAttackCompromises(Rect(0, 0, 100, 100), Point(60.0, 60.0),
+                                      /*epsilon_fraction=*/0.5));
+}
+
+TEST(AttackRiskTest, DegenerateRegionAlwaysCompromises) {
+  const Rect point_region(3, 4, 3, 4);
+  EXPECT_TRUE(CenterAttackCompromises(point_region, Point(3, 4)));
+  EXPECT_TRUE(BoundaryAttackCompromises(point_region, Point(3, 4)));
+}
+
 }  // namespace
 }  // namespace cloakdb

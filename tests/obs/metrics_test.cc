@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -236,6 +237,32 @@ TEST(MetricsRegistryTest, ConcurrentGetOrCreateAndExport) {
   for (int m = 0; m < 3; ++m)
     total += registry.counter("metric." + std::to_string(m))->Value();
   EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * 2000);
+}
+
+TEST(MetricsRegistryTest, ExportJsonEscapesMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\tcontrol")->Increment();
+  std::string json = registry.ExportJson();
+  // The raw quote/backslash/tab must not survive unescaped.
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\u0009control"),
+            std::string::npos);
+}
+
+TEST(MetricsJsonHelpersTest, EscapesQuotesBackslashesAndControls) {
+  std::string out;
+  AppendJsonEscaped(&out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\u000ad\\u0001");
+}
+
+TEST(MetricsJsonHelpersTest, NumbersStayFiniteJson) {
+  std::string out;
+  AppendJsonNumber(&out, 2.5);
+  out += ',';
+  AppendJsonNumber(&out, std::numeric_limits<double>::infinity());
+  out += ',';
+  AppendJsonNumber(&out, std::nan(""));
+  // Non-finite values (which JSON cannot represent) serialize as 0.
+  EXPECT_EQ(out, "2.5,0,0");
 }
 
 }  // namespace

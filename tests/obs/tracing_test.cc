@@ -1,0 +1,276 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace_export.h"
+#include "util/minijson.h"
+
+namespace cloakdb::obs {
+namespace {
+
+TraceOptions AllOn() {
+  TraceOptions options;
+  options.enabled = true;
+  options.sample_probability = 1.0;
+  options.slow_trace_us = 0.0;
+  return options;
+}
+
+// A trace with one root and one child span, finished and kept.
+void EmitSimpleTrace(Tracer* tracer, const char* root_name) {
+  TraceContext context = tracer->BeginTrace(root_name);
+  TraceSpan root(context, root_name);
+  {
+    TraceSpan child(root.context(), "child");
+    child.AddAttr("shard", 3.0);
+  }
+  tracer->FinishTrace(context, root.End(), /*audit_violation=*/false);
+}
+
+TEST(TracerTest, InactiveContextMakesSpansInert) {
+  TraceContext inactive;
+  TraceSpan span(inactive, "noop");
+  EXPECT_FALSE(span.active());
+  span.AddAttr("k", 1.0);
+  EXPECT_DOUBLE_EQ(span.End(), 0.0);
+}
+
+TEST(TracerTest, KeepsSampledTraceWithFullTree) {
+  Tracer tracer(AllOn());
+  EmitSimpleTrace(&tracer, "query");
+  auto spans = tracer.TakeCompletedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(tracer.kept_traces(), 1u);
+  // Exactly one root; the child parents under it.
+  const SpanRecord* root = nullptr;
+  const SpanRecord* child = nullptr;
+  for (const auto& span : spans) {
+    (span.parent_id == 0 ? root : child) = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->parent_id, root->span_id);
+  EXPECT_EQ(child->trace_id, root->trace_id);
+  ASSERT_EQ(child->num_attrs, 1u);
+  EXPECT_STREQ(child->attrs[0].key, "shard");
+  EXPECT_DOUBLE_EQ(child->attrs[0].value, 3.0);
+}
+
+TEST(TracerTest, ZeroProbabilityDropsEverything) {
+  TraceOptions options = AllOn();
+  options.sample_probability = 0.0;
+  Tracer tracer(options);
+  for (int i = 0; i < 50; ++i) EmitSimpleTrace(&tracer, "query");
+  EXPECT_TRUE(tracer.TakeCompletedSpans().empty());
+  EXPECT_EQ(tracer.dropped_traces(), 50u);
+  EXPECT_EQ(tracer.kept_traces(), 0u);
+}
+
+TEST(TracerTest, HeadSamplingKeepsRoughlyTheRequestedFraction) {
+  TraceOptions options = AllOn();
+  options.sample_probability = 0.25;
+  Tracer tracer(options);
+  constexpr int kTraces = 2000;
+  for (int i = 0; i < kTraces; ++i) EmitSimpleTrace(&tracer, "query");
+  const double kept = static_cast<double>(tracer.kept_traces());
+  EXPECT_GT(kept / kTraces, 0.15);
+  EXPECT_LT(kept / kTraces, 0.35);
+  EXPECT_EQ(tracer.kept_traces() + tracer.dropped_traces(),
+            static_cast<uint64_t>(kTraces));
+}
+
+TEST(TracerTest, SlowTraceIsTailKeptDespiteZeroSampling) {
+  TraceOptions options = AllOn();
+  options.sample_probability = 0.0;
+  options.slow_trace_us = 100.0;
+  Tracer tracer(options);
+  TraceContext context = tracer.BeginTrace("query");
+  TraceSpan root(context, "query");
+  root.End();
+  // Report a latency past the slow threshold regardless of real elapsed
+  // time — FinishTrace trusts the caller's measurement.
+  tracer.FinishTrace(context, 250.0, /*audit_violation=*/false);
+  EXPECT_EQ(tracer.TakeCompletedSpans().size(), 1u);
+  EXPECT_EQ(tracer.kept_traces(), 1u);
+}
+
+TEST(TracerTest, AuditViolationFlagTailKeeps) {
+  TraceOptions options = AllOn();
+  options.sample_probability = 0.0;
+  options.slow_trace_us = 0.0;
+  Tracer tracer(options);
+  TraceContext context = tracer.BeginTrace("cloak");
+  TraceSpan root(context, "cloak");
+  tracer.FinishTrace(context, root.End(), /*audit_violation=*/true);
+  EXPECT_EQ(tracer.TakeCompletedSpans().size(), 1u);
+}
+
+TEST(TracerTest, NoteAuditViolationForcesKeepFromAnotherLayer) {
+  TraceOptions options = AllOn();
+  options.sample_probability = 0.0;
+  options.slow_trace_us = 0.0;
+  Tracer tracer(options);
+  TraceContext context = tracer.BeginTrace("query");
+  TraceSpan root(context, "query");
+  AuditEvent event;
+  event.k_satisfied = false;
+  // A layer that only knows the trace id reports the violation; the
+  // finisher passes audit_violation=false and the trace must still be kept.
+  tracer.NoteAuditViolation(context.trace_id, /*pseudonym=*/77, event);
+  tracer.FinishTrace(context, root.End(), /*audit_violation=*/false);
+  EXPECT_EQ(tracer.TakeCompletedSpans().size(), 1u);
+  EXPECT_EQ(tracer.kept_traces(), 1u);
+  EXPECT_EQ(tracer.audit_violations_total(), 1u);
+  auto recent = tracer.RecentAuditViolations();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].trace_id, context.trace_id);
+  EXPECT_EQ(recent[0].pseudonym, 77u);
+  EXPECT_FALSE(recent[0].event.k_satisfied);
+  EXPECT_TRUE(recent[0].event.Violation());
+}
+
+TEST(TracerTest, RecentViolationsRingIsBounded) {
+  TraceOptions options = AllOn();
+  options.max_recent_violations = 4;
+  Tracer tracer(options);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    AuditEvent event;
+    event.k_satisfied = false;
+    tracer.NoteAuditViolation(i, i, event);
+  }
+  auto recent = tracer.RecentAuditViolations();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front().trace_id, 7u);  // Oldest surviving.
+  EXPECT_EQ(recent.back().trace_id, 10u);  // Newest last.
+}
+
+TEST(TracerTest, RingOverflowDropsAndCounts) {
+  TraceOptions options = AllOn();
+  options.span_buffer_capacity = 8;
+  Tracer tracer(options);
+  TraceContext context = tracer.BeginTrace("query");
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span(context, "burst");
+    span.End();
+  }
+  // 8 fit in the undrained ring; 12 dropped.
+  EXPECT_EQ(tracer.dropped_spans(), 12u);
+  tracer.FinishTrace(context, 0.0, false);
+  EXPECT_EQ(tracer.TakeCompletedSpans().size(), 8u);
+}
+
+TEST(TracerTest, SpansGroupedByTraceAcrossInterleavedTraces) {
+  Tracer tracer(AllOn());
+  TraceContext a = tracer.BeginTrace("a");
+  TraceContext b = tracer.BeginTrace("b");
+  TraceSpan ra(a, "a");
+  TraceSpan rb(b, "b");
+  TraceSpan ca(ra.context(), "child");
+  TraceSpan cb(rb.context(), "child");
+  ca.End();
+  cb.End();
+  tracer.FinishTrace(a, ra.End(), false);
+  tracer.FinishTrace(b, rb.End(), false);
+  auto spans = tracer.TakeCompletedSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Contiguous runs per trace id.
+  std::set<uint64_t> seen;
+  uint64_t current = 0;
+  for (const auto& span : spans) {
+    if (span.trace_id != current) {
+      EXPECT_TRUE(seen.insert(span.trace_id).second);
+      current = span.trace_id;
+    }
+  }
+}
+
+TEST(TracerTest, ConcurrentRecordingAndCollectionIsClean) {
+  TraceOptions options = AllOn();
+  Tracer tracer(options);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> stop{false};
+  std::vector<SpanRecord> collected;
+  std::thread collector([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto spans = tracer.TakeCompletedSpans();
+      collected.insert(collected.end(), spans.begin(), spans.end());
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) EmitSimpleTrace(&tracer, "query");
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true, std::memory_order_release);
+  collector.join();
+  auto tail = tracer.TakeCompletedSpans();
+  collected.insert(collected.end(), tail.begin(), tail.end());
+  EXPECT_EQ(tracer.kept_traces(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(collected.size() + tracer.dropped_spans(),
+            static_cast<uint64_t>(2 * kThreads * kPerThread));
+}
+
+TEST(TraceExportTest, ChromeTraceParsesAndCarriesAudit) {
+  Tracer tracer(AllOn());
+  TraceContext context = tracer.BeginTrace("cloak");
+  TraceSpan root(context, "cloak");
+  AuditEvent event;
+  event.requested_k = 10;
+  event.achieved_k = 7;
+  event.k_satisfied = false;
+  event.area = 12.5;
+  root.SetAudit(event);
+  tracer.FinishTrace(context, root.End(), true);
+  const std::string json = ExportChromeTrace(tracer.TakeCompletedSpans());
+
+  std::string error;
+  auto doc = util::JsonValue::Parse(json, &error);
+  ASSERT_NE(doc, nullptr) << error;
+  const util::JsonValue* events = doc->FindArray("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 1u);
+  const util::JsonValue& span = events->items()[0];
+  EXPECT_EQ(span.StringAt("name"), "cloak");
+  EXPECT_EQ(span.StringAt("ph"), "X");
+  EXPECT_EQ(span.StringAt("cat"), "cloak");  // Audit-carrying spans.
+  const util::JsonValue* span_args = span.FindObject("args");
+  ASSERT_NE(span_args, nullptr);
+  const util::JsonValue* audit = span_args->FindObject("audit");
+  ASSERT_NE(audit, nullptr);
+  EXPECT_DOUBLE_EQ(audit->NumberAt("requested_k"), 10.0);
+  EXPECT_DOUBLE_EQ(audit->NumberAt("achieved_k"), 7.0);
+  EXPECT_FALSE(audit->BoolAt("k_satisfied", true));
+  EXPECT_TRUE(audit->BoolAt("violation"));
+}
+
+TEST(TraceExportTest, JsonlEmitsOneParsableObjectPerSpan) {
+  Tracer tracer(AllOn());
+  EmitSimpleTrace(&tracer, "query");
+  const std::string jsonl = ExportJsonl(tracer.TakeCompletedSpans());
+  size_t lines = 0, start = 0;
+  while (start < jsonl.size()) {
+    size_t end = jsonl.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string error;
+    auto doc = util::JsonValue::Parse(jsonl.substr(start, end - start),
+                                      &error);
+    ASSERT_NE(doc, nullptr) << error;
+    EXPECT_TRUE(doc->is_object());
+    ++lines;
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+}  // namespace
+}  // namespace cloakdb::obs

@@ -1,0 +1,91 @@
+#include "util/minijson.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cloakdb::util {
+namespace {
+
+TEST(MiniJsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool(true));
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-12.5e2")->AsNumber(), -1250.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(MiniJsonTest, ParsesNestedDocument) {
+  auto doc = JsonValue::Parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": "x"}, "e": null})");
+  ASSERT_NE(doc, nullptr);
+  const JsonValue* a = doc->FindArray("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].AsNumber(), 2.0);
+  EXPECT_TRUE(a->items()[2].BoolAt("b"));
+  const JsonValue* c = doc->FindObject("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->StringAt("d"), "x");
+  EXPECT_TRUE(doc->Find("e")->is_null());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(MiniJsonTest, AccessorsFallBackOnKindMismatch) {
+  auto doc = JsonValue::Parse(R"({"s": "text", "n": 4})");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_DOUBLE_EQ(doc->NumberAt("s", -1.0), -1.0);
+  EXPECT_FALSE(doc->BoolAt("n", false));
+  EXPECT_TRUE(doc->StringAt("n").empty());
+  EXPECT_EQ(doc->FindArray("s"), nullptr);
+  EXPECT_EQ(doc->FindObject("s"), nullptr);
+}
+
+TEST(MiniJsonTest, DecodesEscapesAndUnicode) {
+  auto doc = JsonValue::Parse(R"("a\"b\\c\n\tAé")");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->AsString(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(MiniJsonTest, PreservesMemberOrder) {
+  auto doc = JsonValue::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_NE(doc, nullptr);
+  ASSERT_EQ(doc->members().size(), 3u);
+  EXPECT_EQ(doc->members()[0].first, "z");
+  EXPECT_EQ(doc->members()[1].first, "a");
+  EXPECT_EQ(doc->members()[2].first, "m");
+}
+
+TEST(MiniJsonTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_EQ(JsonValue::Parse("", &error), nullptr);
+  EXPECT_EQ(JsonValue::Parse("{", &error), nullptr);
+  EXPECT_EQ(JsonValue::Parse("[1,]", &error), nullptr);
+  EXPECT_EQ(JsonValue::Parse("{\"a\" 1}", &error), nullptr);
+  EXPECT_EQ(JsonValue::Parse("tru", &error), nullptr);
+  EXPECT_EQ(JsonValue::Parse("\"unterminated", &error), nullptr);
+  EXPECT_EQ(JsonValue::Parse("1e", &error), nullptr);
+}
+
+TEST(MiniJsonTest, RejectsTrailingGarbage) {
+  std::string error;
+  EXPECT_EQ(JsonValue::Parse("{} x", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  // Trailing whitespace is fine.
+  EXPECT_NE(JsonValue::Parse("{}  \n"), nullptr);
+}
+
+TEST(MiniJsonTest, EnforcesRecursionCap) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  std::string error;
+  EXPECT_EQ(JsonValue::Parse(deep, &error), nullptr);
+  // A nesting under the cap parses.
+  std::string ok(40, '[');
+  ok += "1";
+  ok += std::string(40, ']');
+  EXPECT_NE(JsonValue::Parse(ok), nullptr);
+}
+
+}  // namespace
+}  // namespace cloakdb::util

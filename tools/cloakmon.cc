@@ -1,0 +1,174 @@
+// cloakmon — terminal live monitor for a running cloaksim / CloakDB
+// service.
+//
+// Polls the status-JSON snapshot the service rewrites atomically (cloaksim
+// --monitor-json=PATH) and renders a single-screen dashboard: uptime and
+// ingest state, per-stage latency digests (p50/p95/p99), candidate-cache
+// hit rate, tracer accounting, and the most recent privacy-audit
+// violations. Reading and rendering never touch the service — the file is
+// the only interface, so the monitor can run on another terminal, another
+// user, or after the producer exited.
+//
+// Usage:
+//   cloakmon --status=PATH [--interval-ms=500] [--once]
+//
+// --once reads and renders a single snapshot without clearing the screen
+// (scriptable; used by the CI smoke job). Exit: 0 on a rendered snapshot,
+// 1 when the file never appeared/parsed in --once mode.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <chrono>
+
+#include "util/minijson.h"
+
+namespace cloakdb {
+namespace {
+
+struct Args {
+  std::string status_path;
+  long interval_ms = 500;
+  bool once = false;
+};
+
+bool ParseArg(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseArg(argv[i], "status", &value)) {
+      args->status_path = value;
+    } else if (ParseArg(argv[i], "interval-ms", &value)) {
+      args->interval_ms = std::strtol(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      args->once = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (args->status_path.empty()) {
+    std::fprintf(stderr, "--status=PATH is required\n");
+    return false;
+  }
+  if (args->interval_ms < 50) args->interval_ms = 50;
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+void RenderStage(const util::JsonValue& stages, const char* name) {
+  const util::JsonValue* stage = stages.FindObject(name);
+  if (stage == nullptr) return;
+  std::printf("  %-34s count=%-9.0f p50=%-9.1f p95=%-9.1f p99=%.1f\n", name,
+              stage->NumberAt("count"), stage->NumberAt("p50"),
+              stage->NumberAt("p95"), stage->NumberAt("p99"));
+}
+
+void Render(const util::JsonValue& status) {
+  std::printf("cloakmon — tick %.0f/%.0f  uptime %.1fs  shards=%.0f  "
+              "users=%.0f\n",
+              status.NumberAt("tick"), status.NumberAt("ticks_total"),
+              status.NumberAt("uptime_us") / 1e6,
+              status.NumberAt("num_shards"), status.NumberAt("users"));
+  std::printf("ingest: applied=%.0f rejected=%.0f queue_depth=%.0f\n",
+              status.NumberAt("updates_applied"),
+              status.NumberAt("updates_rejected"),
+              status.NumberAt("queue_depth"));
+
+  if (const util::JsonValue* stages = status.FindObject("stages")) {
+    std::printf("stages (us):\n");
+    for (const auto& [name, unused] : stages->members())
+      RenderStage(*stages, name.c_str());
+  }
+
+  if (const util::JsonValue* cache = status.FindObject("cache")) {
+    std::printf("cache: hits=%.0f misses=%.0f hit_rate=%.1f%%\n",
+                cache->NumberAt("hits"), cache->NumberAt("misses"),
+                cache->NumberAt("hit_rate") * 100.0);
+  }
+
+  if (const util::JsonValue* trace = status.FindObject("trace")) {
+    std::printf("trace: kept=%.0f dropped=%.0f dropped_spans=%.0f "
+                "violations=%.0f\n",
+                trace->NumberAt("kept"), trace->NumberAt("dropped"),
+                trace->NumberAt("dropped_spans"),
+                trace->NumberAt("violations_total"));
+  }
+
+  const util::JsonValue* violations = status.FindArray("recent_violations");
+  if (violations != nullptr && !violations->items().empty()) {
+    std::printf("recent audit violations (newest last):\n");
+    for (const util::JsonValue& v : violations->items()) {
+      std::printf("  trace=%s pseudonym=%s k=%.0f/%.0f area=%.4g%s%s%s\n",
+                  v.StringAt("trace_id").c_str(),
+                  v.StringAt("pseudonym").c_str(),
+                  v.NumberAt("achieved_k"), v.NumberAt("requested_k"),
+                  v.NumberAt("area"),
+                  v.BoolAt("k_satisfied") ? "" : " K-MISS",
+                  v.BoolAt("center_risk") ? " CENTER-RISK" : "",
+                  v.BoolAt("boundary_risk") ? " BOUNDARY-RISK" : "");
+    }
+  } else {
+    std::printf("recent audit violations: none\n");
+  }
+}
+
+int Run(const Args& args) {
+  bool rendered = false;
+  for (;;) {
+    std::string text;
+    if (ReadFile(args.status_path, &text)) {
+      std::string error;
+      auto status = util::JsonValue::Parse(text, &error);
+      if (status != nullptr && status->is_object()) {
+        if (!args.once) std::printf("\x1b[2J\x1b[H");  // clear + home
+        Render(*status);
+        std::fflush(stdout);
+        rendered = true;
+      } else if (args.once) {
+        std::fprintf(stderr, "bad status JSON: %s\n", error.c_str());
+        return 1;
+      }
+      // A transiently unparsable file outside --once is expected only if
+      // the producer is not writing atomically; keep the last screen.
+    } else if (args.once) {
+      std::fprintf(stderr, "cannot read %s\n", args.status_path.c_str());
+      return 1;
+    }
+    if (args.once) return rendered ? 0 : 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
+  }
+}
+
+}  // namespace
+}  // namespace cloakdb
+
+int main(int argc, char** argv) {
+  cloakdb::Args args;
+  if (!cloakdb::ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s --status=PATH [--interval-ms=MS] [--once]\n",
+                 argv[0]);
+    return 2;
+  }
+  return cloakdb::Run(args);
+}

@@ -12,11 +12,20 @@
 //            [--queries-per-tick=Q] [--pois=P] [--seed=S]
 //            [--profile="08:00-17:00 k=1; ..."] [--metrics-json=PATH]
 //            [--shared-exec] [--cache-capacity=N] [--batch-window-us=U]
+//            [--trace-out=PATH] [--trace-jsonl=PATH] [--trace-sample=P]
+//            [--monitor-json=PATH]
 //
 // --shared-exec turns on the service's shared-execution engine (clustered
 // probes + candidate cache); cloaked regions snap to grid cells, so nearby
 // users naturally repeat cache keys. Accuracy columns must stay 1.0 either
 // way — sharing is answer-invisible.
+//
+// --trace-out / --trace-jsonl enable end-to-end tracing and export the kept
+// span trees at exit (Chrome trace-event JSON for chrome://tracing /
+// ui.perfetto.dev, or one JSON object per line). --trace-sample sets the
+// head-sampling probability; slow and audit-violating traces are tail-kept
+// regardless. --monitor-json rewrites a status snapshot (atomically, via
+// rename) once per tick — point `cloakmon` at it for a live view.
 //
 // Output columns:
 //   tick,users,updates_per_s,nn_acc,range_acc,knn_acc,
@@ -36,6 +45,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "server/private_queries.h"
 #include "service/cloak_db_service.h"
 #include "sim/movement.h"
@@ -62,6 +74,10 @@ struct Args {
   uint32_t signature_cells = 0;  // 0 = service default
   std::string profile;       // optional Parse()-format profile
   std::string metrics_json;  // optional JSON dump path
+  std::string trace_out;     // Chrome trace-event JSON export path
+  std::string trace_jsonl;   // JSONL span export path
+  double trace_sample = 1.0;  // head-sampling probability
+  std::string monitor_json;  // per-tick status snapshot for cloakmon
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -107,6 +123,14 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.profile = value;
     } else if (ParseArg(argv[i], "metrics-json", &value)) {
       args.metrics_json = value;
+    } else if (ParseArg(argv[i], "trace-out", &value)) {
+      args.trace_out = value;
+    } else if (ParseArg(argv[i], "trace-jsonl", &value)) {
+      args.trace_jsonl = value;
+    } else if (ParseArg(argv[i], "trace-sample", &value)) {
+      args.trace_sample = std::strtod(value.c_str(), nullptr);
+    } else if (ParseArg(argv[i], "monitor-json", &value)) {
+      args.monitor_json = value;
     } else if (ParseArg(argv[i], "algorithm", &value)) {
       auto kind = CloakingKindFromName(value);
       if (!kind.ok()) return kind.status();
@@ -118,7 +142,140 @@ Result<Args> ParseArgs(int argc, char** argv) {
   }
   if (args.users == 0) return Status::InvalidArgument("users must be >= 1");
   if (args.shards == 0) return Status::InvalidArgument("shards must be >= 1");
+  if (args.trace_sample < 0.0 || args.trace_sample > 1.0)
+    return Status::InvalidArgument("trace-sample must be in [0, 1]");
   return args;
+}
+
+// Writes `contents` to `path` atomically: readers (cloakmon) either see the
+// previous snapshot or this one, never a torn write.
+bool WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+void AppendHistogramJson(std::string* out, const obs::MetricsRegistry& metrics,
+                         const char* name) {
+  auto snap = metrics.SnapshotHistogram(name);
+  *out += '"';
+  obs::AppendJsonEscaped(out, name);
+  *out += "\":{\"count\":";
+  obs::AppendJsonNumber(out, static_cast<double>(snap.count));
+  *out += ",\"p50\":";
+  obs::AppendJsonNumber(out, snap.p50());
+  *out += ",\"p95\":";
+  obs::AppendJsonNumber(out, snap.p95());
+  *out += ",\"p99\":";
+  obs::AppendJsonNumber(out, snap.p99());
+  *out += '}';
+}
+
+// The per-tick status snapshot cloakmon polls: identity + uptime, ingest
+// and queue state, per-stage latency digests, cache disposition, tracer
+// accounting, and the most recent audit violations.
+std::string BuildStatusJson(const CloakDbService& db, size_t tick,
+                            size_t ticks) {
+  const auto stats = db.Stats();
+  const auto& metrics = db.metrics();
+  std::string out = "{\"tick\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(tick));
+  out += ",\"ticks_total\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(ticks));
+  out += ",\"uptime_us\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(stats.uptime_us));
+  out += ",\"snapshot_unix_us\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(stats.snapshot_unix_us));
+  out += ",\"num_shards\":";
+  obs::AppendJsonNumber(&out, stats.num_shards);
+  out += ",\"users\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(stats.num_users));
+  out += ",\"queue_depth\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(stats.queue_depth));
+  out += ",\"updates_applied\":";
+  obs::AppendJsonNumber(&out,
+                        static_cast<double>(stats.ingest.updates_applied));
+  out += ",\"updates_rejected\":";
+  obs::AppendJsonNumber(&out,
+                        static_cast<double>(stats.ingest.updates_rejected));
+
+  out += ",\"stages\":{";
+  bool first = true;
+  for (const char* name :
+       {"query.private_range.latency_us", "query.private_nn.latency_us",
+        "query.private_knn.latency_us", "ingest.queue_wait_us",
+        "ingest.cloak_us"}) {
+    if (!first) out += ',';
+    first = false;
+    AppendHistogramJson(&out, metrics, name);
+  }
+  out += '}';
+
+  const double hits = static_cast<double>(metrics.CounterValue("cache.hits_total"));
+  const double misses =
+      static_cast<double>(metrics.CounterValue("cache.misses_total"));
+  out += ",\"cache\":{\"hits\":";
+  obs::AppendJsonNumber(&out, hits);
+  out += ",\"misses\":";
+  obs::AppendJsonNumber(&out, misses);
+  out += ",\"hit_rate\":";
+  obs::AppendJsonNumber(&out,
+                        hits + misses > 0.0 ? hits / (hits + misses) : 0.0);
+  out += '}';
+
+  if (const obs::Tracer* tracer = db.tracer(); tracer != nullptr) {
+    out += ",\"trace\":{\"kept\":";
+    obs::AppendJsonNumber(&out, static_cast<double>(tracer->kept_traces()));
+    out += ",\"dropped\":";
+    obs::AppendJsonNumber(&out, static_cast<double>(tracer->dropped_traces()));
+    out += ",\"dropped_spans\":";
+    obs::AppendJsonNumber(&out, static_cast<double>(tracer->dropped_spans()));
+    out += ",\"violations_total\":";
+    obs::AppendJsonNumber(
+        &out, static_cast<double>(tracer->audit_violations_total()));
+    out += '}';
+    out += ",\"recent_violations\":[";
+    bool first_violation = true;
+    for (const auto& v : tracer->RecentAuditViolations()) {
+      if (!first_violation) out += ',';
+      first_violation = false;
+      // Ids are emitted as strings: 64-bit values do not round-trip
+      // through double-typed JSON numbers.
+      char id_buf[32];
+      out += "{\"trace_id\":\"";
+      std::snprintf(id_buf, sizeof(id_buf), "%llu",
+                    static_cast<unsigned long long>(v.trace_id));
+      out += id_buf;
+      out += "\",\"pseudonym\":\"";
+      std::snprintf(id_buf, sizeof(id_buf), "%llu",
+                    static_cast<unsigned long long>(v.pseudonym));
+      out += id_buf;
+      out += "\",\"requested_k\":";
+      obs::AppendJsonNumber(&out, v.event.requested_k);
+      out += ",\"achieved_k\":";
+      obs::AppendJsonNumber(&out, v.event.achieved_k);
+      out += ",\"area\":";
+      obs::AppendJsonNumber(&out, v.event.area);
+      out += ",\"k_satisfied\":";
+      out += v.event.k_satisfied ? "true" : "false";
+      out += ",\"center_risk\":";
+      out += v.event.center_risk ? "true" : "false";
+      out += ",\"boundary_risk\":";
+      out += v.event.boundary_risk ? "true" : "false";
+      out += '}';
+    }
+    out += ']';
+  }
+  out += "}\n";
+  return out;
 }
 
 // Brute-force ground truth over the retained POI copies: ids of all objects
@@ -174,6 +331,12 @@ int Run(const Args& args) {
   options.batch_window_us = args.batch_window_us;
   if (args.signature_cells > 0)
     options.signature_grid_cells = args.signature_cells;
+  const bool tracing = !args.trace_out.empty() || !args.trace_jsonl.empty() ||
+                       !args.monitor_json.empty();
+  if (tracing) {
+    options.trace.enabled = true;
+    options.trace.sample_probability = args.trace_sample;
+  }
   auto service = CloakDbService::Create(options);
   if (!service.ok()) {
     std::fprintf(stderr, "service setup failed: %s\n",
@@ -335,6 +498,12 @@ int Run(const Args& args) {
                 metrics.SnapshotHistogram("ingest.queue_wait_us").p95(),
                 metrics.SnapshotHistogram("query.private_range.latency_us")
                     .p95());
+    if (!args.monitor_json.empty() &&
+        !WriteFileAtomic(args.monitor_json,
+                         BuildStatusJson(db, tick, args.ticks))) {
+      std::fprintf(stderr, "cannot write %s\n", args.monitor_json.c_str());
+      return 1;
+    }
     now = now.Plus(60);
   }
 
@@ -363,10 +532,11 @@ int Run(const Args& args) {
   auto stats = db.Stats();
   for (const auto& q : stats.slow_queries) {
     std::printf("# slow: %-14s %10.1fus area=%-10.4g shards=%u "
-                "candidates=%llu\n",
+                "candidates=%llu trace=%llu\n",
                 q.kind.c_str(), q.latency_us, q.region_area,
                 q.shards_touched,
-                static_cast<unsigned long long>(q.candidates));
+                static_cast<unsigned long long>(q.candidates),
+                static_cast<unsigned long long>(q.trace_id));
   }
 
   if (!args.metrics_json.empty()) {
@@ -379,6 +549,29 @@ int Run(const Args& args) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fputc('\n', f);
     std::fclose(f);
+  }
+
+  if (tracing && db.tracer() != nullptr) {
+    const std::vector<obs::SpanRecord> spans =
+        db.tracer()->TakeCompletedSpans();
+    if (!args.trace_out.empty() &&
+        !WriteFileAtomic(args.trace_out, obs::ExportChromeTrace(spans))) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_out.c_str());
+      return 1;
+    }
+    if (!args.trace_jsonl.empty() &&
+        !WriteFileAtomic(args.trace_jsonl, obs::ExportJsonl(spans))) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_jsonl.c_str());
+      return 1;
+    }
+    std::printf(
+        "# trace: %zu spans exported, %llu traces kept, %llu dropped, "
+        "%llu audit violations\n",
+        spans.size(),
+        static_cast<unsigned long long>(db.tracer()->kept_traces()),
+        static_cast<unsigned long long>(db.tracer()->dropped_traces()),
+        static_cast<unsigned long long>(
+            db.tracer()->audit_violations_total()));
   }
   return 0;
 }
@@ -395,7 +588,9 @@ int main(int argc, char** argv) {
         "usage: %s [--users=N] [--k=K] [--algorithm=KIND] [--shards=S] "
         "[--workers=W] [--ticks=T] [--queries-per-tick=Q] [--pois=P] "
         "[--seed=S] [--profile=SPEC] [--metrics-json=PATH] "
-        "[--shared-exec] [--cache-capacity=N] [--batch-window-us=U]\n"
+        "[--shared-exec] [--cache-capacity=N] [--batch-window-us=U] "
+        "[--trace-out=PATH] [--trace-jsonl=PATH] [--trace-sample=P] "
+        "[--monitor-json=PATH]\n"
         "  KIND: naive | mbr | quadtree | grid | multilevel-grid\n"
         "  SPEC: e.g. \"08:00-17:00 k=1; 17:00-22:00 k=100 amin=1\"\n",
         argv[0]);
