@@ -401,6 +401,73 @@ BENCHMARK(BM_Service_TraceOverhead)
     ->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMicrosecond);
 
+// Robustness-layer overhead on the fan-out query path. Mode 0 is the
+// baseline (no deadlines, no admission control). Mode 1 arms the full
+// admission path — a generous deadline plus a token bucket far above the
+// offered rate — so every query pays the deadline stamp, the bucket, and
+// the per-probe deadline checks but nothing ever sheds: the counter
+// `degraded_queries` must stay 0 and the delta over mode 0 is the pure
+// steady-state cost of overload protection. Mode 2 runs the same workload
+// under chaos (seeded probe failures) to show the degraded path's cost.
+void BM_Service_RobustnessOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  CloakDbServiceOptions options;
+  options.space = bench::Space();
+  options.num_shards = 4;
+  if (mode >= 1) {
+    options.overload.query_deadline_us = 10'000'000;
+    options.overload.max_queries_per_s = 50'000'000.0;
+    options.overload.burst = 1'000'000;
+    options.overload.policy = OverloadPolicy::kDegrade;
+  }
+  if (mode == 2) {
+    options.fault_injection.enabled = true;
+    options.fault_injection.seed = 17;
+    options.fault_injection.probe_failure_probability = 0.2;
+  }
+  auto service = CloakDbService::Create(options);
+  if (!service.ok()) {
+    state.SkipWithError("service setup failed");
+    return;
+  }
+  CloakDbService& db = *service.value();
+  Rng poi_rng(bench::kSeed ^ 0x7A7A);
+  PoiOptions poi;
+  poi.count = 5000;
+  poi.category = poi_category::kGasStation;
+  (void)db.BulkLoadCategory(
+      poi_category::kGasStation,
+      GeneratePois(bench::Space(), poi, &poi_rng).value());
+
+  Rng rng(53);
+  uint64_t degraded = 0, failed = 0;
+  for (auto _ : state) {
+    double x = rng.Uniform(0, 90), y = rng.Uniform(0, 90);
+    Rect cloaked(x, y, x + 5, y + 5);
+    auto range = db.PrivateRange(cloaked, 2.0, poi_category::kGasStation);
+    if (range.ok()) degraded += range.value().degraded ? 1 : 0;
+    else ++failed;
+    auto nn = db.PrivateNn(cloaked, poi_category::kGasStation);
+    if (nn.ok()) degraded += nn.value().degraded ? 1 : 0;
+    else ++failed;
+    benchmark::DoNotOptimize(range);
+    benchmark::DoNotOptimize(nn);
+  }
+  if (mode == 1 && (degraded != 0 || failed != 0)) {
+    state.SkipWithError("mode 1 must not shed: overhead measurement invalid");
+    return;
+  }
+  state.counters["robustness_mode"] = static_cast<double>(mode);
+  state.counters["degraded_queries"] = static_cast<double>(degraded);
+  state.counters["failed_queries"] = static_cast<double>(failed);
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 2),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Service_RobustnessOverhead)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace cloakdb
 

@@ -29,6 +29,15 @@ struct PrivateRangeResult {
   /// Number of objects fetched from the extended MBR but discarded by the
   /// exact rounded-rectangle test.
   size_t rounded_rect_pruned = 0;
+  /// Set by the service layer when the fan-out was cut short (deadline,
+  /// overload budget, or shard failure). The candidate list is then a
+  /// correct superset only for objects on the shards marked in
+  /// `covered_shards`; it never silently drops coverage without the flag.
+  bool degraded = false;
+  /// Service-layer coverage bitmap: bit i set iff shard i's contribution is
+  /// fully reflected (the shard answered, or provably holds no qualifying
+  /// object). All-ones (on the shards that exist) when !degraded.
+  uint64_t covered_shards = 0;
 };
 
 /// Options for private range queries.
@@ -58,6 +67,10 @@ struct PrivateNnResult {
   /// i.e. o' is guaranteed nearer for every possible user location — the
   /// paper's "target A is eliminated" argument).
   size_t dominance_pruned = 0;
+  /// Degradation markers filled by the service layer; see
+  /// PrivateRangeResult::degraded / covered_shards.
+  bool degraded = false;
+  uint64_t covered_shards = 0;
 };
 
 /// Executes a private NN query for cloaked region `cloaked` over category
@@ -77,6 +90,10 @@ struct PrivateKnnResult {
   /// Objects eliminated because at least k others are guaranteed nearer
   /// for every possible user location.
   size_t dominance_pruned = 0;
+  /// Degradation markers filled by the service layer; see
+  /// PrivateRangeResult::degraded / covered_shards.
+  bool degraded = false;
+  uint64_t covered_shards = 0;
 };
 
 /// Executes a private k-NN query. Fails with InvalidArgument on an empty

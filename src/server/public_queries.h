@@ -35,6 +35,11 @@ struct PublicCountResult {
   size_t naive_count = 0;
   /// Per-object probabilities, for callers that post-process.
   std::vector<CountContribution> contributions;
+  /// Set by the service layer when not every user shard contributed
+  /// (deadline or failure mid-fan-out); bit i of `covered_shards` is set
+  /// iff shard i's users are counted.
+  bool degraded = false;
+  uint64_t covered_shards = 0;
 };
 
 /// Counts mobile users inside `window`. Fails with InvalidArgument on an
@@ -92,6 +97,9 @@ struct HeatmapResult {
   /// split across cells by overlap fraction, so the total equals the
   /// expected number of users inside `space`.
   std::vector<double> expected;
+  /// Service-layer degradation markers; see PublicCountResult.
+  bool degraded = false;
+  uint64_t covered_shards = 0;
 
   double CellValue(uint32_t cx, uint32_t cy) const {
     return expected[static_cast<size_t>(cy) * resolution + cx];

@@ -44,6 +44,9 @@ class RootTrace {
   /// Children built from this context parent under the root span.
   obs::TraceContext context() const { return span_.context(); }
 
+  /// Annotates the root span (shed / degraded-admission markers).
+  void AddAttr(const char* key, double value) { span_.AddAttr(key, value); }
+
   void Finish() {
     if (begin_.tracer == nullptr) return;
     const double latency_us = span_.End();
@@ -59,6 +62,84 @@ class RootTrace {
 };
 
 }  // namespace
+
+/// Tracks one fan-out's degradation state. Coverage is a 64-bit bitmap, so
+/// per-shard coverage is reported for the first 64 shards; beyond that the
+/// degraded flag alone is authoritative.
+struct CloakDbService::FanoutGuard {
+  const CloakDbService* service;
+  Deadline deadline;
+  uint32_t budget;  ///< 0 = unlimited.
+  uint32_t probes = 0;
+  uint64_t covered = 0;
+  bool degraded = false;
+  bool deadline_hit = false;
+  Status first_error;  ///< First hard probe error (injected or real).
+
+  FanoutGuard(const CloakDbService* s, Deadline d, uint32_t b)
+      : service(s), deadline(d), budget(b) {}
+
+  /// Gate before each probe: consumes budget, checks the deadline. A false
+  /// return means the shard stays uncovered and the result is degraded.
+  bool AllowProbe() {
+    if (budget > 0 && probes >= budget) {
+      degraded = true;
+      return false;
+    }
+    if (deadline.Expired()) {
+      deadline_hit = true;
+      degraded = true;
+      return false;
+    }
+    ++probes;
+    return true;
+  }
+
+  /// Marks shard `i`'s contribution as fully reflected: it answered, holds
+  /// no qualifying object, or was provably dominance-skipped.
+  void Cover(uint32_t i) {
+    if (i < 64) covered |= uint64_t{1} << i;
+  }
+
+  /// Records a hard probe failure: the shard stays uncovered.
+  void Fail(const Status& status) {
+    degraded = true;
+    if (first_error.ok()) first_error = status;
+  }
+
+  /// Closes the fan-out: span attributes + degradation counters. Call once,
+  /// before the fanout span ends.
+  void Finish(obs::TraceSpan* fanout) {
+    if (!degraded) return;
+    fanout->AddAttr("degraded", 1.0);
+    fanout->AddAttr("covered_shards", static_cast<double>(covered));
+    if (deadline_hit)
+      service->robustness_obs_.deadline_hits->Increment();
+  }
+
+  /// Stamps the degradation markers onto a merged result and counts the
+  /// degraded return. `ResultT` is any result struct with the degraded /
+  /// covered_shards pair.
+  template <typename ResultT>
+  void Stamp(ResultT* result) {
+    result->degraded = degraded;
+    result->covered_shards = covered;
+    if (degraded)
+      service->robustness_obs_.queries_degraded->Increment();
+  }
+
+  /// The error to return when the fan-out produced no usable part at all.
+  Status EmptyError(Status fallback) const {
+    if (!first_error.ok()) return first_error;
+    if (deadline_hit)
+      return Status::DeadlineExceeded(
+          "query deadline expired before enough shards answered");
+    if (degraded)
+      return Status::ResourceExhausted(
+          "degraded query produced no candidates");
+    return fallback;
+  }
+};
 
 CloakDbService::CloakDbService(const CloakDbServiceOptions& options)
     : options_(options),
@@ -79,6 +160,24 @@ Result<std::unique_ptr<CloakDbService>> CloakDbService::Create(
     return Status::InvalidArgument("signature_grid_cells must be >= 1");
   if (options.max_batch_width == 0)
     return Status::InvalidArgument("max_batch_width must be >= 1");
+  if (options.overload.query_deadline_us < 0)
+    return Status::InvalidArgument("query_deadline_us must be >= 0");
+  if (options.overload.max_queries_per_s < 0.0)
+    return Status::InvalidArgument("max_queries_per_s must be >= 0");
+  if (options.overload.burst < 0.0)
+    return Status::InvalidArgument("burst must be >= 0");
+  if (options.overload.shed_queue_fraction < 0.0 ||
+      options.overload.shed_queue_fraction > 1.0)
+    return Status::InvalidArgument("shed_queue_fraction must be in [0, 1]");
+  const FaultInjectorOptions& fault = options.fault_injection;
+  if (fault.probe_failure_probability < 0.0 ||
+      fault.probe_delay_probability < 0.0 ||
+      fault.queue_stall_probability < 0.0 ||
+      fault.probe_failure_probability + fault.probe_delay_probability > 1.0 ||
+      fault.queue_stall_probability > 1.0)
+    return Status::InvalidArgument("fault probabilities must be in [0, 1]");
+  if (fault.probe_delay_us < 0 || fault.queue_stall_us < 0)
+    return Status::InvalidArgument("fault delays must be >= 0");
   std::unique_ptr<CloakDbService> service(new CloakDbService(options));
   CLOAKDB_RETURN_IF_ERROR(service->Start());
   return service;
@@ -126,10 +225,36 @@ Status CloakDbService::Start() {
   cache_obs.lru_evictions = metrics_.counter("cache.lru_evictions_total");
   cache_obs.invalidations = metrics_.counter("cache.invalidations_total");
 
+  // Robustness counters are created eagerly (not on first use) so a metrics
+  // export always lists them — the doc-drift guard test depends on the full
+  // catalog being present after any smoke run.
+  robustness_obs_.queries_shed = metrics_.counter("admission.queries_shed_total");
+  robustness_obs_.queries_admitted_degraded =
+      metrics_.counter("admission.queries_degraded_total");
+  robustness_obs_.updates_shed =
+      metrics_.counter("admission.updates_shed_total");
+  robustness_obs_.queries_degraded = metrics_.counter("query.degraded_total");
+  robustness_obs_.deadline_hits =
+      metrics_.counter("query.deadline_hits_total");
+  robustness_obs_.probe_failures =
+      metrics_.counter("fault.probe_failures_total");
+  robustness_obs_.probe_delays = metrics_.counter("fault.probe_delays_total");
+  robustness_obs_.queue_stalls = metrics_.counter("fault.queue_stalls_total");
+  shard_obs.fault_stalls = robustness_obs_.queue_stalls;
+
   signature_ = CellSignature(options_.space, options_.signature_grid_cells);
 
   if (options_.trace.enabled)
     tracer_ = std::make_unique<obs::Tracer>(options_.trace);
+
+  const OverloadOptions& overload = options_.overload;
+  if (overload.query_deadline_us > 0 || overload.max_queries_per_s > 0.0 ||
+      overload.shed_queue_fraction > 0.0) {
+    admission_ = std::make_unique<AdmissionController>(
+        overload, options_.num_shards, options_.queue_capacity);
+  }
+  if (options_.fault_injection.enabled)
+    fault_injector_ = std::make_unique<FaultInjector>(options_.fault_injection);
 
   const uint32_t n = options_.num_shards;
   // Split the cache budget evenly (at least one entry per shard so a tiny
@@ -156,6 +281,7 @@ Status CloakDbService::Start() {
     config.cache_obs = cache_obs;
     config.shared_probe_us = metrics_.histogram("query.shared.probe_us");
     config.tracer = tracer_.get();
+    config.fault_injector = fault_injector_.get();
     auto shard = Shard::Create(config);
     if (!shard.ok()) return shard.status();
     shards_.push_back(std::move(shard).value());
@@ -230,6 +356,48 @@ double CloakDbService::StripeMinDist(uint32_t stripe,
   return std::max({0.0, lo - region.max_x, region.min_x - hi});
 }
 
+size_t CloakDbService::AggregateQueueDepth() const {
+  size_t depth = 0;
+  for (const auto& shard : shards_) depth += shard->QueueDepth();
+  return depth;
+}
+
+CloakDbService::Admission CloakDbService::AdmitQuery() const {
+  Admission admission;
+  if (admission_ == nullptr) return admission;
+  admission.deadline = admission_->QueryDeadline();
+  switch (admission_->AdmitQuery(AggregateQueueDepth())) {
+    case AdmissionDecision::kAdmit:
+      break;
+    case AdmissionDecision::kDegrade:
+      admission.degraded_admission = true;
+      admission.shard_budget = admission_->options().degrade_shard_budget;
+      robustness_obs_.queries_admitted_degraded->Increment();
+      break;
+    case AdmissionDecision::kReject:
+      robustness_obs_.queries_shed->Increment();
+      admission.status =
+          Status::ResourceExhausted("query shed: service overloaded");
+      break;
+  }
+  return admission;
+}
+
+ProbeFault CloakDbService::InjectProbeFault(obs::TraceSpan* probe_span) const {
+  if (fault_injector_ == nullptr) return ProbeFault::kNone;
+  const ProbeFault fault = fault_injector_->NextProbeFault();
+  if (fault == ProbeFault::kFail) {
+    robustness_obs_.probe_failures->Increment();
+    probe_span->AddAttr("fault_fail", 1.0);
+  } else if (fault == ProbeFault::kDelay) {
+    robustness_obs_.probe_delays->Increment();
+    probe_span->AddAttr("fault_delay", 1.0);
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        fault_injector_->options().probe_delay_us));
+  }
+  return fault;
+}
+
 Status CloakDbService::RegisterUser(UserId user, PrivacyProfile profile) {
   return shards_[ShardOfUser(user)]->RegisterUser(user, std::move(profile));
 }
@@ -269,16 +437,28 @@ Status CloakDbService::EnqueueUpdate(UserId user, const Point& location,
                                      TimeOfDay now) {
   if (!options_.space.Contains(location))
     return Status::OutOfRange("location outside the service space");
-  return shards_[ShardOfUser(user)]->Enqueue({user, location, now},
-                                             /*block=*/true);
+  Shard& shard = *shards_[ShardOfUser(user)];
+  // Queue-depth shedding replaces blocking backpressure: an overloaded
+  // shard rejects fast instead of parking the producer thread.
+  if (admission_ != nullptr &&
+      admission_->ShouldShedUpdate(shard.QueueDepth())) {
+    robustness_obs_.updates_shed->Increment();
+    return Status::ResourceExhausted("update shed: shard queue overloaded");
+  }
+  return shard.Enqueue({user, location, now}, /*block=*/true);
 }
 
 Status CloakDbService::TryEnqueueUpdate(UserId user, const Point& location,
                                         TimeOfDay now) {
   if (!options_.space.Contains(location))
     return Status::OutOfRange("location outside the service space");
-  return shards_[ShardOfUser(user)]->Enqueue({user, location, now},
-                                             /*block=*/false);
+  Shard& shard = *shards_[ShardOfUser(user)];
+  if (admission_ != nullptr &&
+      admission_->ShouldShedUpdate(shard.QueueDepth())) {
+    robustness_obs_.updates_shed->Increment();
+    return Status::ResourceExhausted("update shed: shard queue overloaded");
+  }
+  return shard.Enqueue({user, location, now}, /*block=*/false);
 }
 
 Result<CloakedUpdate> CloakDbService::UpdateLocation(UserId user,
@@ -317,6 +497,12 @@ Result<PrivateRangeResult> CloakDbService::PrivateRange(
     const PrivateRangeOptions& opts) const {
   RootTrace trace(tracer_.get(), "query.private_range");
   obs::ScopedTraceContext scope(trace.context());
+  Admission admission = AdmitQuery();
+  if (admission.degraded_admission) trace.AddAttr("degraded_admission", 1.0);
+  if (!admission.status.ok()) {
+    trace.AddAttr("shed", 1.0);
+    return admission.status;
+  }
   if (batcher_ != nullptr) {
     BatchQuery query;
     query.kind = BatchQueryKind::kRange;
@@ -325,17 +511,21 @@ Result<PrivateRangeResult> CloakDbService::PrivateRange(
     query.category = category;
     query.range_options = opts;
     query.trace = trace.context();
+    query.deadline = admission.deadline;
+    query.shard_budget = admission.shard_budget;
     BatchQueryResult result = batcher_->Submit(query);
     if (!result.status.ok()) return result.status;
     return std::move(result.range);
   }
   return PrivateRangeImpl(cloaked, radius, category, opts,
-                          options_.enable_shared_execution, Rect());
+                          options_.enable_shared_execution, Rect(),
+                          admission.deadline, admission.shard_budget);
 }
 
 Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
     const Rect& cloaked, double radius, Category category,
-    const PrivateRangeOptions& opts, bool cached, const Rect& cover) const {
+    const PrivateRangeOptions& opts, bool cached, const Rect& cover,
+    Deadline deadline, uint32_t shard_budget) const {
   if (cloaked.IsEmpty())
     return Status::InvalidArgument("cloaked region must be non-empty");
   if (!(radius > 0.0))
@@ -347,18 +537,26 @@ Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
   std::vector<PrivateRangeResult> parts;
   bool category_exists = false;
   uint32_t shards_touched = 0;
+  FanoutGuard guard(this, deadline, shard_budget);
   obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
   for (uint32_t i = 0; i < shards_.size(); ++i) {
     if (i < first || i > last) {
-      // Stripe cannot contribute candidates, but its holdings decide
-      // whether an all-empty fan-out is "empty answer" or NotFound.
+      // Stripe cannot contribute candidates (covered without probing), but
+      // its holdings decide whether an all-empty fan-out is "empty answer"
+      // or NotFound.
+      guard.Cover(i);
       if (!category_exists) category_exists = shards_[i]->HasCategory(category);
       continue;
     }
+    if (!guard.AllowProbe()) continue;
     ++shards_touched;
     obs::TraceSpan probe_span(fanout.context(), "shard.probe");
     probe_span.AddAttr("shard", static_cast<double>(i));
     obs::ScopedTraceContext probe_scope(probe_span.context());
+    if (InjectProbeFault(&probe_span) == ProbeFault::kFail) {
+      guard.Fail(Status::Internal("injected probe failure"));
+      continue;
+    }
     auto part =
         cached
             ? shards_[i]->PrivateRangeCached(cloaked, radius, category, opts,
@@ -368,21 +566,32 @@ Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
       probe_span.AddAttr("candidates",
                          static_cast<double>(part.value().candidates.size()));
       category_exists = true;
+      guard.Cover(i);
       parts.push_back(std::move(part).value());
-    } else if (part.status().code() != StatusCode::kNotFound) {
-      total.Cancel();
-      return part.status();
+    } else if (part.status().code() == StatusCode::kNotFound) {
+      // The category is absent on this shard: nothing it could contribute.
+      guard.Cover(i);
+    } else {
+      // A failed shard no longer aborts the whole query: its stripe is
+      // marked uncovered and the merged remainder ships degraded.
+      guard.Fail(part.status());
     }
   }
   fanout.AddAttr("shards", static_cast<double>(shards_touched));
+  guard.Finish(&fanout);
   fanout.End();
   if (parts.empty()) {
+    if (guard.degraded) {
+      total.Cancel();
+      return guard.EmptyError(Status::OK());
+    }
     if (!category_exists) {
       total.Cancel();
       return Status::NotFound("no public objects in category");
     }
     PrivateRangeResult empty;
     empty.extended_region = extended;
+    guard.Stamp(&empty);
     RecordQuery(range_obs_, "private_range", total.Stop(), cloaked.Area(),
                 shards_touched, 0, 0);
     return empty;
@@ -392,6 +601,7 @@ Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
   auto merged = MergePrivateRangeResults(std::move(parts));
   merge_span.End();
   merge.Stop();
+  guard.Stamp(&merged);
   const uint64_t candidates = merged.candidates.size();
   RecordQuery(range_obs_, "private_range", total.Stop(), cloaked.Area(),
               shards_touched, candidates,
@@ -403,60 +613,73 @@ Result<PrivateNnResult> CloakDbService::PrivateNn(const Rect& cloaked,
                                                   Category category) const {
   RootTrace trace(tracer_.get(), "query.private_nn");
   obs::ScopedTraceContext scope(trace.context());
+  Admission admission = AdmitQuery();
+  if (admission.degraded_admission) trace.AddAttr("degraded_admission", 1.0);
+  if (!admission.status.ok()) {
+    trace.AddAttr("shed", 1.0);
+    return admission.status;
+  }
   if (batcher_ != nullptr) {
     BatchQuery query;
     query.kind = BatchQueryKind::kNn;
     query.cloaked = cloaked;
     query.category = category;
     query.trace = trace.context();
+    query.deadline = admission.deadline;
+    query.shard_budget = admission.shard_budget;
     BatchQueryResult result = batcher_->Submit(query);
     if (!result.status.ok()) return result.status;
     return std::move(result.nn);
   }
   return PrivateNnImpl(cloaked, category, options_.enable_shared_execution,
-                       Rect());
+                       Rect(), admission.deadline, admission.shard_budget);
 }
 
-Result<PrivateNnResult> CloakDbService::PrivateNnImpl(const Rect& cloaked,
-                                                      Category category,
-                                                      bool cached,
-                                                      const Rect& cover) const {
+Result<PrivateNnResult> CloakDbService::PrivateNnImpl(
+    const Rect& cloaked, Category category, bool cached, const Rect& cover,
+    Deadline deadline, uint32_t shard_budget) const {
   if (cloaked.IsEmpty())
     return Status::InvalidArgument("cloaked region must be non-empty");
   obs::ScopedTimer total(nn_obs_.latency_us);
   std::vector<PrivateNnResult> parts;
   uint32_t shards_touched = 0;
+  FanoutGuard guard(this, deadline, shard_budget);
   obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
-  auto consult = [&](uint32_t i) -> Status {
+  auto consult = [&](uint32_t i) {
+    if (!guard.AllowProbe()) return;
     ++shards_touched;
     obs::TraceSpan probe_span(fanout.context(), "shard.probe");
     probe_span.AddAttr("shard", static_cast<double>(i));
     obs::ScopedTraceContext probe_scope(probe_span.context());
+    if (InjectProbeFault(&probe_span) == ProbeFault::kFail) {
+      guard.Fail(Status::Internal("injected probe failure"));
+      return;
+    }
     auto part = cached ? shards_[i]->PrivateNnCached(cloaked, category, cover)
                        : shards_[i]->PrivateNn(cloaked, category);
     if (part.ok()) {
       probe_span.AddAttr("candidates",
                          static_cast<double>(part.value().candidates.size()));
+      guard.Cover(i);
       parts.push_back(std::move(part).value());
-    } else if (part.status().code() != StatusCode::kNotFound) {
-      return part.status();
+    } else if (part.status().code() == StatusCode::kNotFound) {
+      guard.Cover(i);
+    } else {
+      guard.Fail(part.status());
     }
-    return Status::OK();
   };
   // The stripes under the cloak always answer; they set the dominance bound.
   const auto [first, last] = StripeRangeOf(cloaked);
-  for (uint32_t i = first; i <= last; ++i) {
-    Status status = consult(i);
-    if (!status.ok()) {
-      total.Cancel();
-      return status;
-    }
-  }
+  for (uint32_t i = first; i <= last; ++i) consult(i);
   // An off-stripe shard whose whole stripe lies farther than the best
   // guaranteed candidate distance can only return objects the cross-shard
   // dominance prune would drop — skipping it keeps the merged candidate
   // list bit-identical (every skipped object o has MinDist(o, R) >= the
-  // stripe distance > bound >= the union's min MaxDist).
+  // stripe distance > bound >= the union's min MaxDist). The bound stays
+  // valid under a partial (degraded) home fan-out: it is computed from the
+  // candidates actually collected, and anything it skips is dominated by
+  // one of them — so dominance-skipped stripes count as covered even in a
+  // degraded answer.
   double bound = std::numeric_limits<double>::infinity();
   for (const auto& part : parts) {
     for (const auto& c : part.candidates) {
@@ -464,25 +687,27 @@ Result<PrivateNnResult> CloakDbService::PrivateNnImpl(const Rect& cloaked,
     }
   }
   for (uint32_t i = 0; i < shards_.size(); ++i) {
-    if ((i >= first && i <= last) || StripeMinDist(i, cloaked) > bound)
+    if (i >= first && i <= last) continue;
+    if (StripeMinDist(i, cloaked) > bound) {
+      guard.Cover(i);
       continue;
-    Status status = consult(i);
-    if (!status.ok()) {
-      total.Cancel();
-      return status;
     }
+    consult(i);
   }
   fanout.AddAttr("shards", static_cast<double>(shards_touched));
+  guard.Finish(&fanout);
   fanout.End();
   if (parts.empty()) {
     total.Cancel();
-    return Status::NotFound("no public objects in category");
+    return guard.EmptyError(
+        Status::NotFound("no public objects in category"));
   }
   obs::ScopedTimer merge(nn_obs_.merge_us);
   obs::TraceSpan merge_span(obs::CurrentTraceContext(), "merge");
   auto merged = MergePrivateNnResults(cloaked, std::move(parts));
   merge_span.End();
   merge.Stop();
+  guard.Stamp(&merged);
   const uint64_t candidates = merged.candidates.size();
   RecordQuery(nn_obs_, "private_nn", total.Stop(), cloaked.Area(),
               shards_touched, candidates,
@@ -495,6 +720,12 @@ Result<PrivateKnnResult> CloakDbService::PrivateKnn(const Rect& cloaked,
                                                     Category category) const {
   RootTrace trace(tracer_.get(), "query.private_knn");
   obs::ScopedTraceContext scope(trace.context());
+  Admission admission = AdmitQuery();
+  if (admission.degraded_admission) trace.AddAttr("degraded_admission", 1.0);
+  if (!admission.status.ok()) {
+    trace.AddAttr("shed", 1.0);
+    return admission.status;
+  }
   if (batcher_ != nullptr) {
     BatchQuery query;
     query.kind = BatchQueryKind::kKnn;
@@ -502,53 +733,60 @@ Result<PrivateKnnResult> CloakDbService::PrivateKnn(const Rect& cloaked,
     query.k = k;
     query.category = category;
     query.trace = trace.context();
+    query.deadline = admission.deadline;
+    query.shard_budget = admission.shard_budget;
     BatchQueryResult result = batcher_->Submit(query);
     if (!result.status.ok()) return result.status;
     return std::move(result.knn);
   }
   return PrivateKnnImpl(cloaked, k, category, options_.enable_shared_execution,
-                        Rect());
+                        Rect(), admission.deadline, admission.shard_budget);
 }
 
 Result<PrivateKnnResult> CloakDbService::PrivateKnnImpl(
     const Rect& cloaked, size_t k, Category category, bool cached,
-    const Rect& cover) const {
+    const Rect& cover, Deadline deadline, uint32_t shard_budget) const {
   if (cloaked.IsEmpty())
     return Status::InvalidArgument("cloaked region must be non-empty");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   obs::ScopedTimer total(knn_obs_.latency_us);
   std::vector<PrivateKnnResult> parts;
   uint32_t shards_touched = 0;
+  FanoutGuard guard(this, deadline, shard_budget);
   obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
-  auto consult = [&](uint32_t i) -> Status {
+  auto consult = [&](uint32_t i) {
+    if (!guard.AllowProbe()) return;
     ++shards_touched;
     obs::TraceSpan probe_span(fanout.context(), "shard.probe");
     probe_span.AddAttr("shard", static_cast<double>(i));
     obs::ScopedTraceContext probe_scope(probe_span.context());
+    if (InjectProbeFault(&probe_span) == ProbeFault::kFail) {
+      guard.Fail(Status::Internal("injected probe failure"));
+      return;
+    }
     auto part = cached ? shards_[i]->PrivateKnnCached(cloaked, k, category,
                                                       cover)
                        : shards_[i]->PrivateKnn(cloaked, k, category);
     if (part.ok()) {
       probe_span.AddAttr("candidates",
                          static_cast<double>(part.value().candidates.size()));
+      guard.Cover(i);
       parts.push_back(std::move(part).value());
-    } else if (part.status().code() != StatusCode::kNotFound) {
-      return part.status();
+    } else if (part.status().code() == StatusCode::kNotFound) {
+      guard.Cover(i);
+    } else {
+      guard.Fail(part.status());
     }
-    return Status::OK();
   };
   const auto [first, last] = StripeRangeOf(cloaked);
-  for (uint32_t i = first; i <= last; ++i) {
-    Status status = consult(i);
-    if (!status.ok()) {
-      total.Cancel();
-      return status;
-    }
-  }
+  for (uint32_t i = first; i <= last; ++i) consult(i);
   // k-dominance analogue of the NN stripe skip: with >= k home candidates,
   // the k-th smallest MaxDist bounds what a farther stripe could add — any
   // of its objects o already has k known candidates strictly closer than o
-  // for every possible querier position, so o is never an answer.
+  // for every possible querier position, so o is never an answer. Like the
+  // NN bound, this holds for whatever subset of candidates was actually
+  // collected, so the skip stays sound (and counts as coverage) when the
+  // home fan-out was degraded.
   double bound = std::numeric_limits<double>::infinity();
   std::vector<double> max_dists;
   for (const auto& part : parts) {
@@ -562,25 +800,27 @@ Result<PrivateKnnResult> CloakDbService::PrivateKnnImpl(
     bound = max_dists[k - 1];
   }
   for (uint32_t i = 0; i < shards_.size(); ++i) {
-    if ((i >= first && i <= last) || StripeMinDist(i, cloaked) > bound)
+    if (i >= first && i <= last) continue;
+    if (StripeMinDist(i, cloaked) > bound) {
+      guard.Cover(i);
       continue;
-    Status status = consult(i);
-    if (!status.ok()) {
-      total.Cancel();
-      return status;
     }
+    consult(i);
   }
   fanout.AddAttr("shards", static_cast<double>(shards_touched));
+  guard.Finish(&fanout);
   fanout.End();
   if (parts.empty()) {
     total.Cancel();
-    return Status::NotFound("no public objects in category");
+    return guard.EmptyError(
+        Status::NotFound("no public objects in category"));
   }
   obs::ScopedTimer merge(knn_obs_.merge_us);
   obs::TraceSpan merge_span(obs::CurrentTraceContext(), "merge");
   auto merged = MergePrivateKnnResults(cloaked, k, std::move(parts));
   merge_span.End();
   merge.Stop();
+  guard.Stamp(&merged);
   const uint64_t candidates = merged.candidates.size();
   RecordQuery(knn_obs_, "private_knn", total.Stop(), cloaked.Area(),
               shards_touched, candidates,
@@ -592,25 +832,49 @@ Result<PublicCountResult> CloakDbService::PublicCount(
     const Rect& window) const {
   RootTrace trace(tracer_.get(), "query.public_count");
   obs::ScopedTraceContext scope(trace.context());
+  Admission admission = AdmitQuery();
+  if (admission.degraded_admission) trace.AddAttr("degraded_admission", 1.0);
+  if (!admission.status.ok()) {
+    trace.AddAttr("shed", 1.0);
+    return admission.status;
+  }
   obs::ScopedTimer total(count_obs_.latency_us);
   std::vector<PublicCountResult> parts;
   parts.reserve(shards_.size());
+  FanoutGuard guard(this, admission.deadline, admission.shard_budget);
   obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
   fanout.AddAttr("shards", static_cast<double>(shards_.size()));
   for (const auto& shard : shards_) {
+    if (!guard.AllowProbe()) continue;
     obs::TraceSpan probe_span(fanout.context(), "shard.probe");
     probe_span.AddAttr("shard", static_cast<double>(shard->index()));
     obs::ScopedTraceContext probe_scope(probe_span.context());
+    if (InjectProbeFault(&probe_span) == ProbeFault::kFail) {
+      guard.Fail(Status::Internal("injected probe failure"));
+      continue;
+    }
     auto part = options_.enable_shared_execution
                     ? shard->PublicCountCached(window)
                     : shard->PublicCount(window);
     if (!part.ok()) {
-      total.Cancel();
-      return part.status();
+      // Validation errors (empty window) are identical on every shard, so
+      // they surface directly instead of reading as a shard failure.
+      if (part.status().code() == StatusCode::kInvalidArgument) {
+        total.Cancel();
+        return part.status();
+      }
+      guard.Fail(part.status());
+      continue;
     }
+    guard.Cover(shard->index());
     parts.push_back(std::move(part).value());
   }
+  guard.Finish(&fanout);
   fanout.End();
+  if (parts.empty()) {
+    total.Cancel();
+    return guard.EmptyError(Status::Internal("no shard answered the count"));
+  }
   obs::ScopedTimer merge(count_obs_.merge_us);
   obs::TraceSpan merge_span(obs::CurrentTraceContext(), "merge");
   auto merged = MergePublicCountResults(std::move(parts));
@@ -620,33 +884,57 @@ Result<PublicCountResult> CloakDbService::PublicCount(
     total.Cancel();
     return merged.status();
   }
+  guard.Stamp(&merged.value());
   // A count ships three scalars, not a candidate list — wire bytes 0; the
   // contribution-list size still tracks the fan-in work.
   RecordQuery(count_obs_, "public_count", total.Stop(), window.Area(),
-              num_shards(), merged.value().contributions.size(), 0);
+              guard.probes, merged.value().contributions.size(), 0);
   return merged;
 }
 
 Result<HeatmapResult> CloakDbService::Heatmap(uint32_t resolution) const {
   RootTrace trace(tracer_.get(), "query.heatmap");
   obs::ScopedTraceContext scope(trace.context());
+  Admission admission = AdmitQuery();
+  if (admission.degraded_admission) trace.AddAttr("degraded_admission", 1.0);
+  if (!admission.status.ok()) {
+    trace.AddAttr("shed", 1.0);
+    return admission.status;
+  }
   obs::ScopedTimer total(heatmap_obs_.latency_us);
   std::vector<HeatmapResult> parts;
   parts.reserve(shards_.size());
+  FanoutGuard guard(this, admission.deadline, admission.shard_budget);
   obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
   fanout.AddAttr("shards", static_cast<double>(shards_.size()));
   for (const auto& shard : shards_) {
+    if (!guard.AllowProbe()) continue;
     obs::TraceSpan probe_span(fanout.context(), "shard.probe");
     probe_span.AddAttr("shard", static_cast<double>(shard->index()));
     obs::ScopedTraceContext probe_scope(probe_span.context());
+    if (InjectProbeFault(&probe_span) == ProbeFault::kFail) {
+      guard.Fail(Status::Internal("injected probe failure"));
+      continue;
+    }
     auto part = shard->Heatmap(resolution);
     if (!part.ok()) {
-      total.Cancel();
-      return part.status();
+      if (part.status().code() == StatusCode::kInvalidArgument) {
+        total.Cancel();
+        return part.status();
+      }
+      guard.Fail(part.status());
+      continue;
     }
+    guard.Cover(shard->index());
     parts.push_back(std::move(part).value());
   }
+  guard.Finish(&fanout);
   fanout.End();
+  if (parts.empty()) {
+    total.Cancel();
+    return guard.EmptyError(
+        Status::Internal("no shard answered the heatmap"));
+  }
   obs::ScopedTimer merge(heatmap_obs_.merge_us);
   obs::TraceSpan merge_span(obs::CurrentTraceContext(), "merge");
   auto merged = MergeHeatmapResults(std::move(parts));
@@ -656,8 +944,9 @@ Result<HeatmapResult> CloakDbService::Heatmap(uint32_t resolution) const {
     total.Cancel();
     return merged.status();
   }
+  guard.Stamp(&merged.value());
   RecordQuery(heatmap_obs_, "heatmap", total.Stop(), options_.space.Area(),
-              num_shards(), merged.value().expected.size(), 0);
+              guard.probes, merged.value().expected.size(), 0);
   return merged;
 }
 
@@ -668,7 +957,8 @@ BatchQueryResult CloakDbService::ExecuteOne(const BatchQuery& query,
   switch (query.kind) {
     case BatchQueryKind::kRange: {
       auto range = PrivateRangeImpl(query.cloaked, query.radius, query.category,
-                                    query.range_options, cached, cover);
+                                    query.range_options, cached, cover,
+                                    query.deadline, query.shard_budget);
       if (range.ok()) {
         result.range = std::move(range).value();
       } else {
@@ -677,7 +967,8 @@ BatchQueryResult CloakDbService::ExecuteOne(const BatchQuery& query,
       break;
     }
     case BatchQueryKind::kNn: {
-      auto nn = PrivateNnImpl(query.cloaked, query.category, cached, cover);
+      auto nn = PrivateNnImpl(query.cloaked, query.category, cached, cover,
+                              query.deadline, query.shard_budget);
       if (nn.ok()) {
         result.nn = std::move(nn).value();
       } else {
@@ -687,7 +978,8 @@ BatchQueryResult CloakDbService::ExecuteOne(const BatchQuery& query,
     }
     case BatchQueryKind::kKnn: {
       auto knn =
-          PrivateKnnImpl(query.cloaked, query.k, query.category, cached, cover);
+          PrivateKnnImpl(query.cloaked, query.k, query.category, cached, cover,
+                         query.deadline, query.shard_budget);
       if (knn.ok()) {
         result.knn = std::move(knn).value();
       } else {
@@ -770,6 +1062,21 @@ ServiceStats CloakDbService::Stats() const {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count();
+  stats.robustness.queries_shed = robustness_obs_.queries_shed->Value();
+  stats.robustness.queries_admitted_degraded =
+      robustness_obs_.queries_admitted_degraded->Value();
+  stats.robustness.queries_degraded =
+      robustness_obs_.queries_degraded->Value();
+  stats.robustness.deadline_hits = robustness_obs_.deadline_hits->Value();
+  stats.robustness.updates_shed = robustness_obs_.updates_shed->Value();
+  if (fault_injector_ != nullptr) {
+    // The injector's own counts are ground truth; the fault.* metrics are
+    // incremented at the same sites and must reconcile exactly.
+    stats.robustness.injected_probe_failures =
+        fault_injector_->probe_failures();
+    stats.robustness.injected_probe_delays = fault_injector_->probe_delays();
+    stats.robustness.injected_queue_stalls = fault_injector_->queue_stalls();
+  }
   return stats;
 }
 

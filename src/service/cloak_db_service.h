@@ -32,8 +32,11 @@
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "service/fault_injector.h"
+#include "service/overload.h"
 #include "service/query_batcher.h"
 #include "service/shard.h"
+#include "util/deadline.h"
 
 namespace cloakdb {
 
@@ -103,6 +106,18 @@ struct CloakDbServiceOptions {
   /// trace.enabled off (the default) no Tracer is created and every span
   /// site in the request path is inert.
   obs::TraceOptions trace;
+
+  // --- Robustness ---------------------------------------------------------
+
+  /// Deadlines, token-bucket admission, and queue-depth load shedding. All
+  /// fields default to "off"; with everything off no admission controller
+  /// is created and the query path is unchanged.
+  OverloadOptions overload;
+
+  /// Deterministic seeded fault injection (chaos testing): probe failures,
+  /// probe latency spikes, drain stalls. Inert unless
+  /// fault_injection.enabled.
+  FaultInjectorOptions fault_injection;
 };
 
 /// The sharded CloakDB facade. All public methods are thread-safe.
@@ -156,6 +171,16 @@ class CloakDbService {
   Status Flush();
 
   // --- Queries (fan-out + merge) -----------------------------------------
+  // Overload behaviour (options().overload): a query caught by the
+  // admission controller is either rejected with ResourceExhausted
+  // (OverloadPolicy::kReject) or admitted with a capped shard budget
+  // (kDegrade). When a deadline, budget, or shard failure cuts a fan-out
+  // short, the merged result carries degraded=true and a covered_shards
+  // bitmap: it is still a correct candidate superset restricted to the
+  // covered shards — never a silently wrong exact answer. A query that
+  // could not produce any part fails with DeadlineExceeded (deadline) or
+  // the first shard error.
+
   /// Private range query over public data; fans out to the stripes
   /// overlapping the radius-extended region. The merged result equals the
   /// single-shard oracle's.
@@ -199,6 +224,12 @@ class CloakDbService {
   /// The service's tracer; null when options().trace.enabled is off. Use
   /// tracer()->TakeCompletedSpans() + obs::ExportChromeTrace to export.
   obs::Tracer* tracer() const { return tracer_.get(); }
+  /// The fault injector; null unless options().fault_injection.enabled.
+  /// Chaos tests reconcile its exact counts against metrics and results.
+  FaultInjector* fault_injector() const { return fault_injector_.get(); }
+  /// Total updates currently waiting across all shard queues (the lock-free
+  /// admission-control signal; momentarily stale by design).
+  size_t AggregateQueueDepth() const;
   /// Per-shard counters, for imbalance diagnosis.
   std::vector<ShardStats> PerShardStats() const;
   void ResetStats() = delete;  // per-shard stats are monotonic by design
@@ -228,23 +259,60 @@ class CloakDbService {
     obs::Counter* wire_bytes = nullptr;  ///< Modeled client payload bytes.
   };
 
+  /// Robustness metric handles, resolved once in Start().
+  struct RobustnessObs {
+    obs::Counter* queries_shed = nullptr;
+    obs::Counter* queries_admitted_degraded = nullptr;
+    obs::Counter* queries_degraded = nullptr;
+    obs::Counter* deadline_hits = nullptr;
+    obs::Counter* updates_shed = nullptr;
+    obs::Counter* probe_failures = nullptr;
+    obs::Counter* probe_delays = nullptr;
+    obs::Counter* queue_stalls = nullptr;
+  };
+
+  /// The front-door verdict plus the per-query limits it stamped.
+  struct Admission {
+    Status status = Status::OK();  ///< ResourceExhausted when shed.
+    Deadline deadline;
+    uint32_t shard_budget = 0;  ///< 0 = unlimited.
+    bool degraded_admission = false;
+  };
+
+  /// Tracks one fan-out's degradation state: which shards are covered, why
+  /// coverage was lost, and the first hard error seen.
+  struct FanoutGuard;
+
   explicit CloakDbService(const CloakDbServiceOptions& options);
 
   Status Start();
   void WorkerLoop(uint32_t worker);
 
+  /// Runs admission control for one query (counts shed/degraded decisions
+  /// and stamps the deadline). No-op admit when no controller is active.
+  Admission AdmitQuery() const;
+
+  /// Consults the fault injector for one probe. Returns the fault decision
+  /// after applying a delay fault in place (sleep + counters + span attr).
+  ProbeFault InjectProbeFault(obs::TraceSpan* probe_span) const;
+
   /// Fan-out bodies shared by the isolated, cached and batched paths.
   /// `cached` routes the per-shard call through the candidate cache;
-  /// `cover` is the cluster probe base (empty for single queries).
+  /// `cover` is the cluster probe base (empty for single queries);
+  /// `deadline` and `shard_budget` are the admission limits (infinite / 0
+  /// for unconstrained queries).
   Result<PrivateRangeResult> PrivateRangeImpl(
       const Rect& cloaked, double radius, Category category,
-      const PrivateRangeOptions& opts, bool cached, const Rect& cover) const;
+      const PrivateRangeOptions& opts, bool cached, const Rect& cover,
+      Deadline deadline, uint32_t shard_budget) const;
   Result<PrivateNnResult> PrivateNnImpl(const Rect& cloaked,
                                         Category category, bool cached,
-                                        const Rect& cover) const;
+                                        const Rect& cover, Deadline deadline,
+                                        uint32_t shard_budget) const;
   Result<PrivateKnnResult> PrivateKnnImpl(const Rect& cloaked, size_t k,
                                           Category category, bool cached,
-                                          const Rect& cover) const;
+                                          const Rect& cover, Deadline deadline,
+                                          uint32_t shard_budget) const;
 
   /// Dispatches one batch member to the matching Impl.
   BatchQueryResult ExecuteOne(const BatchQuery& query, bool cached,
@@ -288,6 +356,11 @@ class CloakDbService {
   /// Shared-execution instrumentation (batch width / cluster fan-in).
   obs::ShardedHistogram* shared_batch_width_ = nullptr;
   obs::ShardedHistogram* shared_cluster_fanin_ = nullptr;
+  RobustnessObs robustness_obs_;
+  /// Non-null only when any overload option is active.
+  std::unique_ptr<AdmissionController> admission_;
+  /// Non-null only when fault_injection.enabled; shards share this pointer.
+  std::unique_ptr<FaultInjector> fault_injector_;
   /// Snaps cloaked regions for batch clustering (mirrors every shard's).
   CellSignature signature_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,96 @@
+// FaultInjector: deterministic, seeded injection of shard-level faults.
+//
+// The injector answers "should this probe fail / stall / run slow?" from a
+// counter-indexed hash of its seed, so a fixed seed plus a fixed workload
+// order reproduces the exact same fault sequence — which is what lets the
+// chaos tests reconcile injected-fault counts against metrics and trace
+// events to the last event. Draws are lock-free (one atomic increment per
+// decision) so the injector can sit on the hot probe path of every shard.
+
+#ifndef CLOAKDB_SERVICE_FAULT_INJECTOR_H_
+#define CLOAKDB_SERVICE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cloakdb {
+
+/// Configuration for the fault-injection harness. All probabilities are in
+/// [0, 1]; the harness is inert unless `enabled` is set, so production paths
+/// pay a single predictable branch.
+struct FaultInjectorOptions {
+  bool enabled = false;
+
+  /// Seed for the deterministic decision stream.
+  uint64_t seed = 42;
+
+  /// Probability that a shard probe fails outright (the shard returns an
+  /// Internal error for that query's part).
+  double probe_failure_probability = 0.0;
+
+  /// Probability that a shard probe is delayed by `probe_delay_us` before
+  /// running (a latency spike).
+  double probe_delay_probability = 0.0;
+  int64_t probe_delay_us = 500;
+
+  /// Probability that an update-queue drain batch stalls for
+  /// `queue_stall_us` before applying (simulates a slow consumer).
+  double queue_stall_probability = 0.0;
+  int64_t queue_stall_us = 200;
+};
+
+/// The decision for one shard probe.
+enum class ProbeFault {
+  kNone = 0,
+  kDelay,  ///< Sleep for options().probe_delay_us, then run the probe.
+  kFail,   ///< Do not run the probe; report an injected shard failure.
+};
+
+/// Thread-safe deterministic fault source shared by all shards of a service.
+///
+/// Every decision consumes exactly one draw from a splitmix64 stream indexed
+/// by an atomic counter. The injector also keeps exact counts of each fault
+/// kind it has fired, so callers (tests, cloaksim --chaos) can reconcile
+/// observed behaviour against injected behaviour.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorOptions& options)
+      : options_(options) {}
+
+  const FaultInjectorOptions& options() const { return options_; }
+  bool enabled() const { return options_.enabled; }
+
+  /// Decides the fate of the next shard probe. Returns kNone when disabled.
+  ProbeFault NextProbeFault();
+
+  /// Decides whether the next drain batch stalls. False when disabled.
+  bool NextQueueStall();
+
+  /// Exact counts of fired faults, for reconciliation.
+  uint64_t probe_failures() const {
+    return probe_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t probe_delays() const {
+    return probe_delays_.load(std::memory_order_relaxed);
+  }
+  uint64_t queue_stalls() const {
+    return queue_stalls_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_faults() const {
+    return probe_failures() + probe_delays() + queue_stalls();
+  }
+
+ private:
+  /// Uniform double in [0, 1) for draw number `n`, pure in (seed, n).
+  double DrawAt(uint64_t n) const;
+
+  FaultInjectorOptions options_;
+  std::atomic<uint64_t> draws_{0};
+  std::atomic<uint64_t> probe_failures_{0};
+  std::atomic<uint64_t> probe_delays_{0};
+  std::atomic<uint64_t> queue_stalls_{0};
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVICE_FAULT_INJECTOR_H_

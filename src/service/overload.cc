@@ -1,0 +1,61 @@
+#include "service/overload.h"
+
+#include <algorithm>
+
+namespace cloakdb {
+
+AdmissionController::AdmissionController(const OverloadOptions& options,
+                                         size_t num_shards,
+                                         size_t queue_capacity_per_shard)
+    : options_(options),
+      aggregate_capacity_(num_shards * queue_capacity_per_shard),
+      per_shard_capacity_(queue_capacity_per_shard),
+      last_refill_(std::chrono::steady_clock::now()) {
+  if (options_.degrade_shard_budget == 0) options_.degrade_shard_budget = 1;
+  burst_ = options_.burst > 0.0
+               ? options_.burst
+               : std::max(1.0, options_.max_queries_per_s / 10.0);
+  tokens_ = burst_;
+}
+
+bool AdmissionController::TryTakeToken() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed_s =
+      std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * options_.max_queries_per_s);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionDecision AdmissionController::AdmitQuery(
+    size_t aggregate_queue_depth) {
+  bool overloaded = false;
+  if (options_.shed_queue_fraction > 0.0 && aggregate_capacity_ > 0) {
+    const double threshold = options_.shed_queue_fraction *
+                             static_cast<double>(aggregate_capacity_);
+    if (static_cast<double>(aggregate_queue_depth) >= threshold) {
+      overloaded = true;
+    }
+  }
+  if (!overloaded && options_.max_queries_per_s > 0.0 && !TryTakeToken()) {
+    overloaded = true;
+  }
+  if (!overloaded) return AdmissionDecision::kAdmit;
+  return options_.policy == OverloadPolicy::kDegrade
+             ? AdmissionDecision::kDegrade
+             : AdmissionDecision::kReject;
+}
+
+bool AdmissionController::ShouldShedUpdate(size_t shard_queue_depth) const {
+  if (options_.shed_queue_fraction <= 0.0 || per_shard_capacity_ == 0) {
+    return false;
+  }
+  const double threshold =
+      options_.shed_queue_fraction * static_cast<double>(per_shard_capacity_);
+  return static_cast<double>(shard_queue_depth) >= threshold;
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,107 @@
+// Admission control and load shedding for CloakDbService.
+//
+// The controller sits at the front door of the service and decides, before
+// any shard is touched, whether a query should run at full fan-out, run
+// degraded (capped shard budget), or be rejected outright. Two independent
+// overload signals feed the decision:
+//
+//   * a token bucket over offered query load (max_queries_per_s + burst),
+//   * aggregate update-queue depth vs. capacity (shed_queue_fraction),
+//
+// Updates are shed per-shard: when the target shard's queue is beyond the
+// shed fraction, TryEnqueue-style rejection replaces blocking backpressure
+// so ingest overload cannot stall query threads.
+
+#ifndef CLOAKDB_SERVICE_OVERLOAD_H_
+#define CLOAKDB_SERVICE_OVERLOAD_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/deadline.h"
+
+namespace cloakdb {
+
+/// What to do with a query that arrives while the service is overloaded.
+enum class OverloadPolicy {
+  kReject = 0,  ///< Fail fast with ResourceExhausted.
+  kDegrade,     ///< Admit, but cap the shard fan-out at degrade_shard_budget.
+};
+
+/// Overload-protection knobs. All default to "off" so existing callers see
+/// no behaviour change.
+struct OverloadOptions {
+  /// Per-query deadline applied at admission; 0 = no deadline.
+  int64_t query_deadline_us = 0;
+
+  /// Token-bucket rate limit on admitted queries; 0 = unlimited.
+  double max_queries_per_s = 0.0;
+
+  /// Token-bucket burst size; 0 = derived default (max(1, rate/10)).
+  double burst = 0.0;
+
+  /// Shed when aggregate update-queue depth reaches this fraction of
+  /// aggregate capacity (also the per-shard update shed threshold);
+  /// 0 = queue-depth shedding off.
+  double shed_queue_fraction = 0.0;
+
+  /// What happens to queries caught by the overload detector.
+  OverloadPolicy policy = OverloadPolicy::kDegrade;
+
+  /// Shard fan-out budget for degraded queries (>= 1).
+  uint32_t degrade_shard_budget = 1;
+};
+
+/// The front-door verdict for one query.
+enum class AdmissionDecision {
+  kAdmit = 0,  ///< Run at full fan-out.
+  kDegrade,    ///< Run with the degraded shard budget.
+  kReject,     ///< Shed: do not run.
+};
+
+/// Thread-safe admission controller. One instance per service.
+///
+/// The token bucket is mutex-guarded: it is consulted once per query, never
+/// per shard, so the lock is not on any hot inner loop.
+class AdmissionController {
+ public:
+  AdmissionController(const OverloadOptions& options, size_t num_shards,
+                      size_t queue_capacity_per_shard);
+
+  const OverloadOptions& options() const { return options_; }
+
+  /// Decides the fate of one query given the current aggregate update-queue
+  /// depth across all shards.
+  AdmissionDecision AdmitQuery(size_t aggregate_queue_depth);
+
+  /// True when an update aimed at a shard whose queue currently holds
+  /// `shard_queue_depth` entries should be shed instead of enqueued.
+  bool ShouldShedUpdate(size_t shard_queue_depth) const;
+
+  /// The deadline to stamp on a newly admitted query (Infinite when
+  /// query_deadline_us == 0).
+  Deadline QueryDeadline() const {
+    return options_.query_deadline_us > 0
+               ? Deadline::After(options_.query_deadline_us)
+               : Deadline::Infinite();
+  }
+
+ private:
+  /// Takes one token if available; refills from elapsed time first.
+  bool TryTakeToken();
+
+  OverloadOptions options_;
+  size_t aggregate_capacity_;
+  size_t per_shard_capacity_;
+
+  std::mutex mu_;
+  double tokens_;
+  double burst_;
+  std::chrono::steady_clock::time_point last_refill_;
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVICE_OVERLOAD_H_

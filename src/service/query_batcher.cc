@@ -1,5 +1,6 @@
 #include "service/query_batcher.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <utility>
@@ -68,8 +69,17 @@ BatchQueryResult QueryBatcher::Submit(const BatchQuery& query) {
     return std::move(pending.result);
   }
   if (window_us_ > 0 && pending_.size() < max_width_) {
-    leader_cv_.wait_for(lock, std::chrono::microseconds(window_us_),
-                        [&] { return pending_.size() >= max_width_; });
+    // A leader with a deadline never waits past what it can still afford:
+    // batching trades latency for sharing, and an admission deadline caps
+    // that trade at one window, never more.
+    int64_t wait_us = static_cast<int64_t>(window_us_);
+    if (!query.deadline.is_infinite()) {
+      wait_us = std::min(wait_us, query.deadline.RemainingUs());
+    }
+    if (wait_us > 0) {
+      leader_cv_.wait_for(lock, std::chrono::microseconds(wait_us),
+                          [&] { return pending_.size() >= max_width_; });
+    }
   }
   std::vector<Pending*> batch;
   batch.swap(pending_);  // The next submitter becomes the next leader.

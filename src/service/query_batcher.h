@@ -25,6 +25,7 @@
 #include "obs/trace.h"
 #include "server/private_queries.h"
 #include "service/candidate_cache.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace cloakdb {
@@ -44,6 +45,13 @@ struct BatchQuery {
   /// member under it (adoption is recorded as a span link), so a query's
   /// spans land in its own trace even when a different thread ran it.
   obs::TraceContext trace;
+  /// Admission deadline of the submitting request. The batch leader caps
+  /// its window wait by its own deadline, and the executor checks member
+  /// deadlines between shard probes.
+  Deadline deadline;
+  /// Shard fan-out budget stamped at admission: 0 = unlimited; a degraded
+  /// admission sets the configured degrade budget.
+  uint32_t shard_budget = 0;
 };
 
 /// The result of one batched query; exactly the matching field of the

@@ -68,6 +68,19 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(server.heatmap_queries),
       static_cast<unsigned long long>(server.bytes_to_clients));
   std::string out = buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "robustness: shed=%llu admitted_degraded=%llu degraded=%llu "
+      "deadline_hits=%llu updates_shed=%llu faults=%llu/%llu/%llu\n",
+      static_cast<unsigned long long>(robustness.queries_shed),
+      static_cast<unsigned long long>(robustness.queries_admitted_degraded),
+      static_cast<unsigned long long>(robustness.queries_degraded),
+      static_cast<unsigned long long>(robustness.deadline_hits),
+      static_cast<unsigned long long>(robustness.updates_shed),
+      static_cast<unsigned long long>(robustness.injected_probe_failures),
+      static_cast<unsigned long long>(robustness.injected_probe_delays),
+      static_cast<unsigned long long>(robustness.injected_queue_stalls));
+  out += buf;
   for (const obs::SlowQueryRecord& q : slow_queries) {
     std::snprintf(buf, sizeof(buf),
                   "slow: %s %.0fus area=%.4g shards=%u candidates=%llu "

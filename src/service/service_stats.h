@@ -42,6 +42,20 @@ struct ShardStats {
   size_t num_users = 0;     ///< Users routed to this shard.
 };
 
+/// Overload-protection and fault-injection counters. Service-level (the
+/// admission controller and fault injector are shared across shards), so
+/// these are copied into ServiceStats rather than aggregated.
+struct RobustnessStats {
+  uint64_t queries_shed = 0;      ///< Rejected at admission (ResourceExhausted).
+  uint64_t queries_admitted_degraded = 0;  ///< Admitted with a capped budget.
+  uint64_t queries_degraded = 0;  ///< Returned with the degraded flag set.
+  uint64_t deadline_hits = 0;     ///< Queries whose deadline tripped mid-flight.
+  uint64_t updates_shed = 0;      ///< Updates shed by queue-depth admission.
+  uint64_t injected_probe_failures = 0;  ///< Chaos: probes failed by injection.
+  uint64_t injected_probe_delays = 0;    ///< Chaos: probes delayed by injection.
+  uint64_t injected_queue_stalls = 0;    ///< Chaos: drain batches stalled.
+};
+
 /// The service-wide aggregate of all shards.
 struct ServiceStats {
   uint32_t num_shards = 0;
@@ -57,6 +71,7 @@ struct ServiceStats {
   ShardIngestStats ingest;     ///< Sum over shards.
   size_t queue_depth = 0;      ///< Total updates currently queued.
   size_t num_users = 0;        ///< Total registered users.
+  RobustnessStats robustness;  ///< Overload + chaos counters.
   /// The slowest queries seen so far, slowest first (empty when the
   /// service's slow-query log is disabled).
   std::vector<obs::SlowQueryRecord> slow_queries;

@@ -1,6 +1,7 @@
 #include "service/shard.h"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "core/attack.h"
@@ -74,6 +75,16 @@ size_t Shard::DrainOnce(size_t max_batch) {
   batch.reserve(max_batch);
   queue_.TryPopBatch(max_batch, &batch);
   if (batch.empty()) return 0;
+  if (config_.fault_injector != nullptr &&
+      config_.fault_injector->NextQueueStall()) {
+    // Injected slow consumer: the batch is already off the queue, so the
+    // stall shows up as apply latency and queue growth, exactly like a
+    // real drain hiccup would.
+    if (config_.obs.fault_stalls != nullptr)
+      config_.obs.fault_stalls->Increment();
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        config_.fault_injector->options().queue_stall_us));
+  }
   ApplyBatch(batch);
   return batch.size();
 }

@@ -24,6 +24,7 @@
 #include "obs/trace.h"
 #include "server/query_processor.h"
 #include "service/candidate_cache.h"
+#include "service/fault_injector.h"
 #include "service/service_stats.h"
 #include "service/update_queue.h"
 
@@ -43,6 +44,8 @@ struct ShardObs {
   obs::Counter* rotations = nullptr;
   /// Updates shed at drain (unknown user / invalid location).
   obs::Counter* rejected = nullptr;
+  /// Injected drain stalls that fired on this service (chaos testing).
+  obs::Counter* fault_stalls = nullptr;
   /// Queue observability, forwarded to the BoundedUpdateQueue.
   UpdateQueueObs queue;
 };
@@ -74,6 +77,9 @@ struct ShardConfig {
   /// Service-wide tracer; null = tracing off. Cloak sites emit audit spans
   /// into it, the ingest drain opens its own per-batch traces.
   obs::Tracer* tracer = nullptr;
+  /// Service-wide fault injector; null = chaos off. The shard consults it
+  /// for drain stalls (probe faults are injected at the service fan-out).
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// One anonymizer + server pair owning a hash-slice of the users.
@@ -106,6 +112,9 @@ class Shard {
 
   /// Closes the queue: producers fail, drains keep working until empty.
   void CloseQueue() { queue_.Close(); }
+
+  /// Lock-free approximate update-queue depth (admission-control signal).
+  size_t QueueDepth() const { return queue_.ApproxDepth(); }
 
   // --- Synchronous paths (exclusive) -------------------------------------
   /// Anonymizes one update and forwards it to the server immediately,

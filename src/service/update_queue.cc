@@ -23,6 +23,7 @@ Status BoundedUpdateQueue::Push(const PendingUpdate& update) {
   }
   if (closed_) return Status::FailedPrecondition("update queue closed");
   items_.push_back(update);
+  depth_.store(items_.size(), std::memory_order_relaxed);
   if (obs_.depth_hwm != nullptr)
     obs_.depth_hwm->UpdateMax(static_cast<double>(items_.size()));
   // Wake one drainer; batching means a single wake amortizes well.
@@ -36,6 +37,7 @@ Status BoundedUpdateQueue::TryPush(const PendingUpdate& update) {
   if (items_.size() >= capacity_)
     return Status::ResourceExhausted("update queue full");
   items_.push_back(update);
+  depth_.store(items_.size(), std::memory_order_relaxed);
   if (obs_.depth_hwm != nullptr)
     obs_.depth_hwm->UpdateMax(static_cast<double>(items_.size()));
   not_empty_.notify_one();
@@ -49,6 +51,7 @@ size_t BoundedUpdateQueue::PopLocked(size_t max,
     out->push_back(items_.front());
     items_.pop_front();
   }
+  depth_.store(items_.size(), std::memory_order_relaxed);
   if (n > 0) not_full_.notify_all();
   return n;
 }

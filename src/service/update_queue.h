@@ -10,6 +10,7 @@
 #ifndef CLOAKDB_SERVICE_UPDATE_QUEUE_H_
 #define CLOAKDB_SERVICE_UPDATE_QUEUE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -81,6 +82,12 @@ class BoundedUpdateQueue {
   size_t capacity() const { return capacity_; }
   bool closed() const;
 
+  /// Lock-free snapshot of the depth, maintained alongside the locked
+  /// deque. Admission control reads this on every query/update, so it must
+  /// not contend with producers and drainers; it can be momentarily stale,
+  /// which is fine for an overload signal.
+  size_t ApproxDepth() const { return depth_.load(std::memory_order_relaxed); }
+
  private:
   size_t PopLocked(size_t max, std::vector<PendingUpdate>* out);
 
@@ -90,6 +97,7 @@ class BoundedUpdateQueue {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<PendingUpdate> items_;
+  std::atomic<size_t> depth_{0};
   bool closed_ = false;
 };
 

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnsatisfiable,     ///< A best-effort request could not be satisfied at all.
   kResourceExhausted, ///< A bounded resource (e.g. a queue) is full.
   kInternal,          ///< An invariant was violated inside the library.
+  kDeadlineExceeded,  ///< The request's deadline passed before completion.
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

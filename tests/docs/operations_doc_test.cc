@@ -1,0 +1,166 @@
+// Doc-drift guard for docs/OPERATIONS.md.
+//
+// The operator's manual carries a metrics catalog between explicit
+// `<!-- metrics-catalog:begin/end -->` markers. This test boots a fully
+// featured service, runs a small smoke workload, exports the live
+// MetricsRegistry, and requires the documented catalog and the registered
+// metric set to match *exactly* — a new metric without documentation fails,
+// and so does documentation of a metric that no longer exists.
+//
+// CLOAKDB_SOURCE_DIR is injected by the build so the test can read the
+// checked-in markdown regardless of the build directory.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "service/cloak_db_service.h"
+#include "sim/poi.h"
+#include "util/minijson.h"
+#include "util/random.h"
+
+#ifndef CLOAKDB_SOURCE_DIR
+#error "CLOAKDB_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace cloakdb {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// True for metric-shaped names: lowercase dotted paths like
+/// `query.private_nn.latency_us`. Filters out prose code spans
+/// (`ResourceExhausted`, policy names) sharing the catalog cells.
+bool LooksLikeMetricName(const std::string& token) {
+  bool has_dot = false;
+  if (token.empty() || token.front() == '.' || token.back() == '.')
+    return false;
+  for (char c : token) {
+    if (c == '.') {
+      has_dot = true;
+    } else if (!(c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))) {
+      return false;
+    }
+  }
+  return has_dot;
+}
+
+/// Backtick-quoted metric names between the metrics-catalog markers.
+std::set<std::string> DocumentedMetrics(const std::string& markdown) {
+  const std::string begin_marker = "<!-- metrics-catalog:begin -->";
+  const std::string end_marker = "<!-- metrics-catalog:end -->";
+  size_t begin = markdown.find(begin_marker);
+  size_t end = markdown.find(end_marker);
+  EXPECT_NE(begin, std::string::npos) << "missing " << begin_marker;
+  EXPECT_NE(end, std::string::npos) << "missing " << end_marker;
+  std::set<std::string> names;
+  if (begin == std::string::npos || end == std::string::npos) return names;
+  size_t pos = begin;
+  while (true) {
+    size_t open = markdown.find('`', pos);
+    if (open == std::string::npos || open >= end) break;
+    size_t close = markdown.find('`', open + 1);
+    if (close == std::string::npos || close > end) break;
+    std::string token = markdown.substr(open + 1, close - open - 1);
+    if (LooksLikeMetricName(token)) names.insert(token);
+    pos = close + 1;
+  }
+  return names;
+}
+
+/// Every metric name the smoke service actually registers, from ExportJson.
+std::set<std::string> RegisteredMetrics(const obs::MetricsRegistry& metrics) {
+  std::string error;
+  auto doc = util::JsonValue::Parse(metrics.ExportJson(), &error);
+  EXPECT_NE(doc, nullptr) << "metrics export is not valid JSON: " << error;
+  std::set<std::string> names;
+  if (doc == nullptr) return names;
+  for (const auto& [section, value] : doc->members()) {
+    for (const auto& [name, metric] : value.members()) names.insert(name);
+  }
+  return names;
+}
+
+TEST(OperationsDocTest, MetricsCatalogMatchesRegistryExactly) {
+  const std::string doc_path =
+      std::string(CLOAKDB_SOURCE_DIR) + "/docs/OPERATIONS.md";
+  std::set<std::string> documented = DocumentedMetrics(ReadFileOrDie(doc_path));
+  ASSERT_FALSE(documented.empty());
+
+  // A smoke service with every subsystem armed, so the registry holds the
+  // complete catalog (robustness metrics are created eagerly either way).
+  CloakDbServiceOptions options;
+  options.space = Rect(0, 0, 100, 100);
+  options.num_shards = 2;
+  options.enable_shared_execution = true;
+  options.trace.enabled = true;
+  options.overload.query_deadline_us = 1'000'000;
+  options.fault_injection.enabled = true;
+  auto db = CloakDbService::Create(options).value();
+
+  // Touch the main paths once; metric creation must not depend on traffic.
+  Rng rng(3);
+  PoiOptions poi_options;
+  poi_options.count = 50;
+  poi_options.category = poi_category::kGasStation;
+  poi_options.name_prefix = "gas";
+  ASSERT_TRUE(db->BulkLoadCategory(
+                    poi_category::kGasStation,
+                    GeneratePois(Rect(0, 0, 100, 100), poi_options, &rng)
+                        .value())
+                  .ok());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ASSERT_TRUE(
+      db->RegisterUser(1, PrivacyProfile::Uniform({2, 0.0, kInf}).value())
+          .ok());
+  ASSERT_TRUE(db->RegisterUser(2, PrivacyProfile::Uniform({2, 0.0, kInf})
+                                      .value())
+                  .ok());
+  TimeOfDay noon = TimeOfDay::FromHms(12, 0).value();
+  ASSERT_TRUE(db->EnqueueUpdate(1, Point(10, 10), noon).ok());
+  ASSERT_TRUE(db->EnqueueUpdate(2, Point(12, 11), noon).ok());
+  ASSERT_TRUE(db->Flush().ok());
+  db->PrivateRange(Rect(5, 5, 20, 20), 5, poi_category::kGasStation);
+  db->PrivateNn(Rect(5, 5, 20, 20), poi_category::kGasStation);
+  db->PrivateKnn(Rect(5, 5, 20, 20), 2, poi_category::kGasStation);
+  db->PublicCount(Rect(0, 0, 50, 50));
+  db->Heatmap(4);
+
+  std::set<std::string> registered = RegisteredMetrics(db->metrics());
+  ASSERT_FALSE(registered.empty());
+
+  for (const auto& name : registered) {
+    EXPECT_TRUE(documented.count(name))
+        << "metric `" << name
+        << "` is registered but missing from docs/OPERATIONS.md — add it to "
+           "the metrics catalog";
+  }
+  for (const auto& name : documented) {
+    EXPECT_TRUE(registered.count(name))
+        << "docs/OPERATIONS.md documents `" << name
+        << "` but no such metric is registered — stale documentation";
+  }
+}
+
+TEST(OperationsDocTest, ManualIsLinkedFromReadmeAndDesign) {
+  const std::string root(CLOAKDB_SOURCE_DIR);
+  EXPECT_NE(ReadFileOrDie(root + "/README.md").find("docs/OPERATIONS.md"),
+            std::string::npos)
+      << "README.md must link the operator's manual";
+  EXPECT_NE(ReadFileOrDie(root + "/DESIGN.md").find("docs/OPERATIONS.md"),
+            std::string::npos)
+      << "DESIGN.md must link the operator's manual";
+}
+
+}  // namespace
+}  // namespace cloakdb

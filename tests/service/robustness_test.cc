@@ -1,0 +1,507 @@
+// Tests of the service robustness layer: deadlines, admission control and
+// load shedding, graceful degradation (candidate-superset correctness on
+// covered shards), and the deterministic fault-injection harness. The
+// RobustnessTest suite runs under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "server/private_queries.h"
+#include "service/cloak_db_service.h"
+#include "service/fault_injector.h"
+#include "service/overload.h"
+#include "sim/poi.h"
+#include "util/deadline.h"
+#include "util/random.h"
+
+namespace cloakdb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TimeOfDay Noon() { return TimeOfDay::FromHms(12, 0).value(); }
+
+PrivacyProfile KProfile(uint32_t k) {
+  return PrivacyProfile::Uniform({k, 0.0, kInf}).value();
+}
+
+CloakDbServiceOptions DefaultOptions(uint32_t shards) {
+  CloakDbServiceOptions options;
+  options.space = Rect(0, 0, 100, 100);
+  options.num_shards = shards;
+  return options;
+}
+
+std::vector<PublicObject> MakePois(size_t count, uint64_t seed = 31) {
+  Rng rng(seed);
+  PoiOptions options;
+  options.count = count;
+  options.category = poi_category::kGasStation;
+  options.name_prefix = "gas";
+  auto pois = GeneratePois(Rect(0, 0, 100, 100), options, &rng);
+  EXPECT_TRUE(pois.ok());
+  return std::move(pois).value();
+}
+
+std::vector<ObjectId> SortedIds(const std::vector<PublicObject>& objects) {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects.size());
+  for (const auto& o : objects) ids.push_back(o.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Ids of `objects` that live on shard `stripe` of `db` (by x-stripe).
+std::vector<ObjectId> IdsOnStripe(const CloakDbService& db,
+                                  const std::vector<PublicObject>& objects,
+                                  uint32_t stripe) {
+  std::vector<ObjectId> ids;
+  for (const auto& o : objects) {
+    if (db.ShardOfX(o.location.x) == stripe) ids.push_back(o.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// --- FaultInjector ---------------------------------------------------------
+
+TEST(FaultInjectorTest, DisabledInjectsNothing) {
+  FaultInjectorOptions options;  // enabled = false
+  options.probe_failure_probability = 1.0;
+  FaultInjector injector(options);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.NextProbeFault(), ProbeFault::kNone);
+    EXPECT_FALSE(injector.NextQueueStall());
+  }
+  EXPECT_EQ(injector.total_faults(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionStream) {
+  FaultInjectorOptions options;
+  options.enabled = true;
+  options.seed = 1234;
+  options.probe_failure_probability = 0.3;
+  options.probe_delay_probability = 0.2;
+  options.queue_stall_probability = 0.4;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.NextProbeFault(), b.NextProbeFault()) << "draw " << i;
+    EXPECT_EQ(a.NextQueueStall(), b.NextQueueStall()) << "draw " << i;
+  }
+  EXPECT_EQ(a.probe_failures(), b.probe_failures());
+  EXPECT_EQ(a.probe_delays(), b.probe_delays());
+  EXPECT_EQ(a.queue_stalls(), b.queue_stalls());
+}
+
+TEST(FaultInjectorTest, CountsReconcileWithReturnedDecisions) {
+  FaultInjectorOptions options;
+  options.enabled = true;
+  options.seed = 7;
+  options.probe_failure_probability = 0.25;
+  options.probe_delay_probability = 0.25;
+  options.queue_stall_probability = 0.5;
+  FaultInjector injector(options);
+  uint64_t fails = 0, delays = 0, stalls = 0;
+  for (int i = 0; i < 1000; ++i) {
+    switch (injector.NextProbeFault()) {
+      case ProbeFault::kFail: ++fails; break;
+      case ProbeFault::kDelay: ++delays; break;
+      case ProbeFault::kNone: break;
+    }
+    if (injector.NextQueueStall()) ++stalls;
+  }
+  EXPECT_EQ(injector.probe_failures(), fails);
+  EXPECT_EQ(injector.probe_delays(), delays);
+  EXPECT_EQ(injector.queue_stalls(), stalls);
+  EXPECT_EQ(injector.total_faults(), fails + delays + stalls);
+  // The probabilities are high enough that a 1000-draw run that fires
+  // nothing means the stream is broken.
+  EXPECT_GT(fails, 0u);
+  EXPECT_GT(delays, 0u);
+  EXPECT_GT(stalls, 0u);
+}
+
+// --- AdmissionController ---------------------------------------------------
+
+TEST(AdmissionControllerTest, TokenBucketRejectsBeyondBurst) {
+  OverloadOptions options;
+  options.max_queries_per_s = 0.001;  // refill is negligible in-test
+  options.burst = 2;
+  options.policy = OverloadPolicy::kReject;
+  AdmissionController controller(options, 4, 1024);
+  EXPECT_EQ(controller.AdmitQuery(0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.AdmitQuery(0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.AdmitQuery(0), AdmissionDecision::kReject);
+}
+
+TEST(AdmissionControllerTest, DegradePolicyDegradesInsteadOfRejecting) {
+  OverloadOptions options;
+  options.max_queries_per_s = 0.001;
+  options.burst = 1;
+  options.policy = OverloadPolicy::kDegrade;
+  AdmissionController controller(options, 4, 1024);
+  EXPECT_EQ(controller.AdmitQuery(0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.AdmitQuery(0), AdmissionDecision::kDegrade);
+}
+
+TEST(AdmissionControllerTest, QueueDepthTriggersShedding) {
+  OverloadOptions options;
+  options.shed_queue_fraction = 0.5;
+  options.policy = OverloadPolicy::kReject;
+  AdmissionController controller(options, 4, 100);  // aggregate capacity 400
+  EXPECT_EQ(controller.AdmitQuery(0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.AdmitQuery(199), AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.AdmitQuery(200), AdmissionDecision::kReject);
+  EXPECT_EQ(controller.AdmitQuery(400), AdmissionDecision::kReject);
+  // Per-shard update shedding uses the same fraction of per-shard capacity.
+  EXPECT_FALSE(controller.ShouldShedUpdate(49));
+  EXPECT_TRUE(controller.ShouldShedUpdate(50));
+}
+
+TEST(AdmissionControllerTest, DeadlineStampsOnlyWhenConfigured) {
+  OverloadOptions no_deadline;
+  no_deadline.max_queries_per_s = 100;
+  AdmissionController without(no_deadline, 4, 1024);
+  EXPECT_TRUE(without.QueryDeadline().is_infinite());
+
+  OverloadOptions with_deadline;
+  with_deadline.query_deadline_us = 5000;
+  AdmissionController with(with_deadline, 4, 1024);
+  EXPECT_FALSE(with.QueryDeadline().is_infinite());
+  EXPECT_LE(with.QueryDeadline().RemainingUs(), 5000);
+}
+
+// --- Service-level shedding and degradation --------------------------------
+
+TEST(RobustnessTest, CreateValidatesRobustnessOptions) {
+  auto negative_deadline = DefaultOptions(2);
+  negative_deadline.overload.query_deadline_us = -1;
+  EXPECT_EQ(CloakDbService::Create(negative_deadline).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto bad_fraction = DefaultOptions(2);
+  bad_fraction.overload.shed_queue_fraction = 1.5;
+  EXPECT_EQ(CloakDbService::Create(bad_fraction).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto bad_probability = DefaultOptions(2);
+  bad_probability.fault_injection.probe_failure_probability = -0.1;
+  EXPECT_EQ(CloakDbService::Create(bad_probability).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto overlapping = DefaultOptions(2);
+  overlapping.fault_injection.probe_failure_probability = 0.7;
+  overlapping.fault_injection.probe_delay_probability = 0.7;
+  EXPECT_EQ(CloakDbService::Create(overlapping).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RobustnessTest, ShedQueryFailsFastWithResourceExhausted) {
+  auto options = DefaultOptions(4);
+  options.overload.max_queries_per_s = 0.001;
+  options.overload.burst = 1;
+  options.overload.policy = OverloadPolicy::kReject;
+  options.trace.enabled = true;
+  auto db = CloakDbService::Create(options).value();
+  ASSERT_TRUE(
+      db->BulkLoadCategory(poi_category::kGasStation, MakePois(200)).ok());
+
+  Rect cloaked(40, 40, 50, 50);
+  ASSERT_TRUE(db->PrivateRange(cloaked, 5, poi_category::kGasStation).ok());
+  auto shed = db->PrivateRange(cloaked, 5, poi_category::kGasStation);
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+
+  ServiceStats stats = db->Stats();
+  EXPECT_EQ(stats.robustness.queries_shed, 1u);
+  EXPECT_EQ(db->metrics().counter("admission.queries_shed_total")->Value(),
+            1u);
+
+  // The shed decision leaves a trace: a root span with the "shed" attr.
+  auto spans = db->tracer()->TakeCompletedSpans();
+  size_t shed_spans = 0;
+  for (const auto& span : spans) {
+    for (uint8_t i = 0; i < span.num_attrs; ++i) {
+      if (std::string(span.attrs[i].key) == "shed") ++shed_spans;
+    }
+  }
+  EXPECT_EQ(shed_spans, 1u);
+}
+
+TEST(RobustnessTest, DegradedQueryIsCorrectSupersetOnCoveredShards) {
+  auto pois = MakePois(300);
+
+  // Ground truth: an identical service with no overload protection.
+  auto oracle = CloakDbService::Create(DefaultOptions(4)).value();
+  ASSERT_TRUE(
+      oracle->BulkLoadCategory(poi_category::kGasStation, pois).ok());
+
+  auto options = DefaultOptions(4);
+  options.overload.max_queries_per_s = 0.001;
+  options.overload.burst = 1;
+  options.overload.policy = OverloadPolicy::kDegrade;
+  options.overload.degrade_shard_budget = 1;
+  auto db = CloakDbService::Create(options).value();
+  ASSERT_TRUE(db->BulkLoadCategory(poi_category::kGasStation, pois).ok());
+
+  // Spans every stripe, so full fan-out touches all 4 shards.
+  Rect cloaked(5, 40, 95, 60);
+  auto full = db->PrivateRange(cloaked, 4, poi_category::kGasStation);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full.value().degraded);
+  EXPECT_EQ(full.value().covered_shards, 0xFull);
+
+  auto expected =
+      oracle->PrivateRange(cloaked, 4, poi_category::kGasStation).value();
+
+  // The second query exhausts the token bucket: admitted degraded with a
+  // one-shard budget.
+  auto degraded = db->PrivateRange(cloaked, 4, poi_category::kGasStation);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded.value().degraded);
+  EXPECT_NE(degraded.value().covered_shards, 0xFull);
+  EXPECT_NE(degraded.value().covered_shards, 0u);
+
+  // On every covered shard, the degraded candidate list carries exactly the
+  // full answer's candidates from that stripe; uncovered stripes contribute
+  // nothing. That is the "correct superset, never silently wrong" contract.
+  for (uint32_t stripe = 0; stripe < 4; ++stripe) {
+    auto got = IdsOnStripe(*db, degraded.value().candidates, stripe);
+    if (degraded.value().covered_shards & (uint64_t{1} << stripe)) {
+      EXPECT_EQ(got, IdsOnStripe(*db, expected.candidates, stripe))
+          << "covered stripe " << stripe;
+    } else {
+      EXPECT_TRUE(got.empty()) << "uncovered stripe " << stripe;
+    }
+  }
+
+  ServiceStats stats = db->Stats();
+  EXPECT_EQ(stats.robustness.queries_admitted_degraded, 1u);
+  EXPECT_EQ(stats.robustness.queries_degraded, 1u);
+  EXPECT_EQ(
+      db->metrics().counter("admission.queries_degraded_total")->Value(), 1u);
+  EXPECT_EQ(db->metrics().counter("query.degraded_total")->Value(), 1u);
+}
+
+TEST(RobustnessTest, ExpiredDeadlineNeverReturnsSilentlyWrongAnswers) {
+  auto options = DefaultOptions(4);
+  options.overload.query_deadline_us = 1;  // expires essentially immediately
+  auto db = CloakDbService::Create(options).value();
+  ASSERT_TRUE(
+      db->BulkLoadCategory(poi_category::kGasStation, MakePois(200)).ok());
+
+  // Whichever way the race lands, the answer is honest: either a degraded
+  // partial superset or an explicit DeadlineExceeded — never a full-looking
+  // partial answer.
+  Rect cloaked(5, 40, 95, 60);
+  bool saw_deadline_side_effect = false;
+  for (int i = 0; i < 20; ++i) {
+    auto result = db->PrivateRange(cloaked, 4, poi_category::kGasStation);
+    if (result.ok()) {
+      if (result.value().degraded) saw_deadline_side_effect = true;
+      if (!result.value().degraded) {
+        EXPECT_EQ(result.value().covered_shards, 0xFull);
+      }
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+      saw_deadline_side_effect = true;
+    }
+  }
+  EXPECT_TRUE(saw_deadline_side_effect);
+  EXPECT_GT(db->Stats().robustness.deadline_hits, 0u);
+  EXPECT_GT(db->metrics().counter("query.deadline_hits_total")->Value(), 0u);
+}
+
+TEST(RobustnessTest, UpdateSheddingUnderQueuePressure) {
+  auto options = DefaultOptions(2);
+  options.worker_threads = 1;
+  options.queue_capacity = 64;
+  // Any non-empty queue is "over" a tiny threshold, so a back-to-back burst
+  // must shed at least once even with the drain worker running.
+  options.overload.shed_queue_fraction = 0.001;
+  auto db = CloakDbService::Create(options).value();
+  for (UserId user = 1; user <= 64; ++user) {
+    ASSERT_TRUE(db->RegisterUser(user, KProfile(2)).ok());
+  }
+  Rng rng(5);
+  uint64_t shed = 0;
+  for (int round = 0; round < 50 && shed == 0; ++round) {
+    for (UserId user = 1; user <= 64; ++user) {
+      Point p(rng.Uniform(0, 100), rng.Uniform(0, 100));
+      Status status = db->EnqueueUpdate(user, p, Noon());
+      if (status.code() == StatusCode::kResourceExhausted) ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  ASSERT_TRUE(db->Flush().ok());
+  ServiceStats stats = db->Stats();
+  EXPECT_EQ(stats.robustness.updates_shed, shed);
+  EXPECT_EQ(db->metrics().counter("admission.updates_shed_total")->Value(),
+            shed);
+}
+
+// --- Chaos: fault injection through the full service -----------------------
+
+CloakDbServiceOptions ChaosOptions(uint32_t shards) {
+  auto options = DefaultOptions(shards);
+  options.fault_injection.enabled = true;
+  options.fault_injection.seed = 99;
+  options.fault_injection.probe_failure_probability = 0.3;
+  options.fault_injection.probe_delay_probability = 0.2;
+  options.fault_injection.probe_delay_us = 50;
+  options.fault_injection.queue_stall_probability = 0.3;
+  options.fault_injection.queue_stall_us = 20;
+  return options;
+}
+
+TEST(RobustnessTest, ChaosCountersReconcileExactly) {
+  auto options = ChaosOptions(4);
+  options.trace.enabled = true;
+  auto db = CloakDbService::Create(options).value();
+  ASSERT_TRUE(
+      db->BulkLoadCategory(poi_category::kGasStation, MakePois(200)).ok());
+  for (UserId user = 1; user <= 50; ++user) {
+    ASSERT_TRUE(db->RegisterUser(user, KProfile(2)).ok());
+  }
+
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    for (UserId user = 1; user <= 50; ++user) {
+      Point p(rng.Uniform(0, 100), rng.Uniform(0, 100));
+      db->EnqueueUpdate(user, p, Noon());  // shed/stall outcomes both fine
+    }
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  for (int i = 0; i < 40; ++i) {
+    double x = rng.Uniform(0, 80);
+    Rect cloaked(x, 20, x + 20, 40);
+    db->PrivateRange(cloaked, 5, poi_category::kGasStation);
+    db->PrivateNn(cloaked, poi_category::kGasStation);
+  }
+
+  const FaultInjector* injector = db->fault_injector();
+  ASSERT_NE(injector, nullptr);
+  EXPECT_GT(injector->total_faults(), 0u);
+
+  // Injector ground truth == fault.* metrics == ServiceStats, exactly.
+  ServiceStats stats = db->Stats();
+  EXPECT_EQ(stats.robustness.injected_probe_failures,
+            injector->probe_failures());
+  EXPECT_EQ(stats.robustness.injected_probe_delays, injector->probe_delays());
+  EXPECT_EQ(stats.robustness.injected_queue_stalls, injector->queue_stalls());
+  EXPECT_EQ(db->metrics().counter("fault.probe_failures_total")->Value(),
+            injector->probe_failures());
+  EXPECT_EQ(db->metrics().counter("fault.probe_delays_total")->Value(),
+            injector->probe_delays());
+  EXPECT_EQ(db->metrics().counter("fault.queue_stalls_total")->Value(),
+            injector->queue_stalls());
+
+  // Probe-level faults also leave per-span trace evidence (head sampling is
+  // 1.0, so every trace is kept).
+  auto spans = db->tracer()->TakeCompletedSpans();
+  uint64_t fail_attrs = 0, delay_attrs = 0;
+  for (const auto& span : spans) {
+    for (uint8_t i = 0; i < span.num_attrs; ++i) {
+      std::string key = span.attrs[i].key;
+      if (key == "fault_fail") ++fail_attrs;
+      if (key == "fault_delay") ++delay_attrs;
+    }
+  }
+  EXPECT_EQ(fail_attrs, injector->probe_failures());
+  EXPECT_EQ(delay_attrs, injector->probe_delays());
+}
+
+TEST(RobustnessTest, ChaosAnswersAreCorrectSupersetsOnCoveredShards) {
+  auto pois = MakePois(300);
+  auto oracle = CloakDbService::Create(DefaultOptions(4)).value();
+  ASSERT_TRUE(
+      oracle->BulkLoadCategory(poi_category::kGasStation, pois).ok());
+
+  auto options = ChaosOptions(4);
+  options.fault_injection.probe_delay_probability = 0;  // keep the test fast
+  options.fault_injection.queue_stall_probability = 0;
+  options.fault_injection.probe_failure_probability = 0.4;
+  auto db = CloakDbService::Create(options).value();
+  ASSERT_TRUE(db->BulkLoadCategory(poi_category::kGasStation, pois).ok());
+
+  Rng rng(29);
+  int degraded_seen = 0;
+  for (int i = 0; i < 60; ++i) {
+    double x = rng.Uniform(0, 70);
+    double y = rng.Uniform(0, 70);
+    Rect cloaked(x, y, x + 30, y + 20);
+    auto chaos = db->PrivateRange(cloaked, 6, poi_category::kGasStation);
+    auto truth = oracle->PrivateRange(cloaked, 6, poi_category::kGasStation);
+    ASSERT_TRUE(truth.ok());
+    if (!chaos.ok()) {
+      // Total loss must be reported as an error, never an empty "answer".
+      EXPECT_EQ(chaos.status().code(), StatusCode::kInternal);
+      continue;
+    }
+    if (!chaos.value().degraded) {
+      // Fault-free fan-out: bit-for-bit the oracle answer.
+      EXPECT_EQ(SortedIds(chaos.value().candidates),
+                SortedIds(truth.value().candidates));
+      continue;
+    }
+    ++degraded_seen;
+    for (uint32_t stripe = 0; stripe < 4; ++stripe) {
+      auto got = IdsOnStripe(*db, chaos.value().candidates, stripe);
+      if (chaos.value().covered_shards & (uint64_t{1} << stripe)) {
+        EXPECT_EQ(got, IdsOnStripe(*oracle, truth.value().candidates, stripe))
+            << "query " << i << " covered stripe " << stripe;
+      } else {
+        EXPECT_TRUE(got.empty())
+            << "query " << i << " uncovered stripe " << stripe;
+      }
+    }
+  }
+  // With 40% probe failures over 60 multi-stripe queries, degradation is a
+  // statistical certainty; zero means the chaos plumbing is broken.
+  EXPECT_GT(degraded_seen, 0);
+  EXPECT_EQ(db->Stats().robustness.queries_degraded,
+            db->metrics().counter("query.degraded_total")->Value());
+}
+
+TEST(RobustnessTest, NnAndKnnDegradeHonestlyUnderChaos) {
+  auto pois = MakePois(250);
+  auto options = ChaosOptions(4);
+  options.fault_injection.probe_delay_probability = 0;
+  options.fault_injection.queue_stall_probability = 0;
+  options.fault_injection.probe_failure_probability = 0.5;
+  auto db = CloakDbService::Create(options).value();
+  ASSERT_TRUE(db->BulkLoadCategory(poi_category::kGasStation, pois).ok());
+
+  Rng rng(43);
+  int answered = 0;
+  for (int i = 0; i < 40; ++i) {
+    double x = rng.Uniform(0, 80);
+    Rect cloaked(x, 30, x + 15, 45);
+    auto nn = db->PrivateNn(cloaked, poi_category::kGasStation);
+    if (nn.ok()) {
+      ++answered;
+      EXPECT_FALSE(nn.value().candidates.empty());
+      if (!nn.value().degraded) {
+        EXPECT_EQ(nn.value().covered_shards, 0xFull);
+      }
+    } else {
+      EXPECT_EQ(nn.status().code(), StatusCode::kInternal);
+    }
+    auto knn = db->PrivateKnn(cloaked, 3, poi_category::kGasStation);
+    if (knn.ok()) {
+      ++answered;
+      EXPECT_FALSE(knn.value().candidates.empty());
+    } else {
+      EXPECT_EQ(knn.status().code(), StatusCode::kInternal);
+    }
+  }
+  EXPECT_GT(answered, 0);
+}
+
+}  // namespace
+}  // namespace cloakdb

@@ -120,5 +120,54 @@ TEST(BoundedUpdateQueueTest, ManyProducersManyConsumersLoseNothing) {
   EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
 }
 
+// Overload shedding (TryPush) racing the drain loop: every attempt is either
+// accepted or rejected, nothing is lost or double-counted, and the lock-free
+// depth snapshot ends at zero. This test runs under TSan in CI.
+TEST(BoundedUpdateQueueTest, ConcurrentShedAndDrainAccountExactly) {
+  BoundedUpdateQueue queue(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> drained{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        UserId user = static_cast<UserId>(p * kPerProducer + i + 1);
+        Status status = queue.TryPush(Update(user));
+        if (status.ok()) {
+          accepted.fetch_add(1);
+        } else {
+          ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      std::vector<PendingUpdate> out;
+      for (;;) {
+        out.clear();
+        if (queue.PopBatch(8, &out) == 0) return;  // closed and drained
+        drained.fetch_add(static_cast<int>(out.size()));
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  queue.Close();
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(drained.load(), accepted.load());
+  // A 16-slot queue against 2000 non-blocking pushes must shed sometimes —
+  // zero rejections would mean TryPush silently blocked.
+  EXPECT_GT(rejected.load(), 0);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.ApproxDepth(), 0u);
+}
+
 }  // namespace
 }  // namespace cloakdb

@@ -1,0 +1,61 @@
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cloakdb {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingUs(), INT64_MAX);
+  EXPECT_EQ(d, Deadline::Infinite());
+}
+
+TEST(DeadlineTest, AfterExpiresOnceElapsed) {
+  Deadline d = Deadline::After(2000);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingUs(), 0);
+  EXPECT_LE(d.RemainingUs(), 2000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingUs(), 0);
+}
+
+TEST(DeadlineTest, AfterZeroOrNegativeIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::After(0).Expired());
+  EXPECT_TRUE(Deadline::After(-100).Expired());
+}
+
+TEST(DeadlineTest, EarliestPicksTheTighterDeadline) {
+  Deadline near = Deadline::After(1000);
+  Deadline far = Deadline::After(1000000);
+  Deadline inf = Deadline::Infinite();
+  EXPECT_EQ(Deadline::Earliest(near, far), near);
+  EXPECT_EQ(Deadline::Earliest(far, near), near);
+  EXPECT_EQ(Deadline::Earliest(near, inf), near);
+  EXPECT_EQ(Deadline::Earliest(inf, inf), inf);
+}
+
+TEST(DeadlineTest, OrderingIsByTimePoint) {
+  Deadline a = Deadline::After(1000);
+  Deadline b = Deadline::After(2000000);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, Deadline::Infinite());
+  EXPECT_FALSE(a < a);
+  EXPECT_NE(a, b);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline inf = Deadline::Infinite();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(inf.Expired());
+  EXPECT_EQ(inf.RemainingUs(), INT64_MAX);
+}
+
+}  // namespace
+}  // namespace cloakdb

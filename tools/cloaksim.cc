@@ -14,6 +14,10 @@
 //            [--shared-exec] [--cache-capacity=N] [--batch-window-us=U]
 //            [--trace-out=PATH] [--trace-jsonl=PATH] [--trace-sample=P]
 //            [--monitor-json=PATH]
+//            [--chaos] [--chaos-seed=S] [--fail-prob=P] [--delay-prob=P]
+//            [--delay-us=U] [--stall-prob=P] [--stall-us=U]
+//            [--deadline-us=U] [--max-qps=Q] [--shed-fraction=F]
+//            [--overload-policy=reject|degrade]
 //
 // --shared-exec turns on the service's shared-execution engine (clustered
 // probes + candidate cache); cloaked regions snap to grid cells, so nearby
@@ -26,6 +30,16 @@
 // head-sampling probability; slow and audit-violating traces are tail-kept
 // regardless. --monitor-json rewrites a status snapshot (atomically, via
 // rename) once per tick — point `cloakmon` at it for a live view.
+//
+// --chaos turns on deterministic fault injection (probe failures, probe
+// latency spikes, drain stalls — tune with --fail-prob / --delay-prob /
+// --stall-prob and the matching *-us flags; --chaos-seed fixes the fault
+// stream). --deadline-us / --max-qps / --shed-fraction arm the admission
+// controller; --overload-policy picks rejection or degraded fan-out for
+// queries caught by it. In chaos mode every degraded answer is verified to
+// be a correct candidate superset restricted to its covered shards, and the
+// run exits non-zero on any wrong answer or on a fault-count reconciliation
+// mismatch — the chaos run is a checker, not just a load generator.
 //
 // Output columns:
 //   tick,users,updates_per_s,nn_acc,range_acc,knn_acc,
@@ -78,6 +92,18 @@ struct Args {
   std::string trace_jsonl;   // JSONL span export path
   double trace_sample = 1.0;  // head-sampling probability
   std::string monitor_json;  // per-tick status snapshot for cloakmon
+  // Chaos / overload (see the header comment).
+  bool chaos = false;
+  uint64_t chaos_seed = 42;
+  double fail_prob = 0.15;
+  double delay_prob = 0.10;
+  int64_t delay_us = 200;
+  double stall_prob = 0.10;
+  int64_t stall_us = 100;
+  int64_t deadline_us = 0;
+  double max_qps = 0.0;
+  double shed_fraction = 0.0;
+  OverloadPolicy overload_policy = OverloadPolicy::kDegrade;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -131,6 +157,35 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.trace_sample = std::strtod(value.c_str(), nullptr);
     } else if (ParseArg(argv[i], "monitor-json", &value)) {
       args.monitor_json = value;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      args.chaos = true;
+    } else if (ParseArg(argv[i], "chaos-seed", &value)) {
+      args.chaos_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "fail-prob", &value)) {
+      args.fail_prob = std::strtod(value.c_str(), nullptr);
+    } else if (ParseArg(argv[i], "delay-prob", &value)) {
+      args.delay_prob = std::strtod(value.c_str(), nullptr);
+    } else if (ParseArg(argv[i], "delay-us", &value)) {
+      args.delay_us = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "stall-prob", &value)) {
+      args.stall_prob = std::strtod(value.c_str(), nullptr);
+    } else if (ParseArg(argv[i], "stall-us", &value)) {
+      args.stall_us = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "deadline-us", &value)) {
+      args.deadline_us = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "max-qps", &value)) {
+      args.max_qps = std::strtod(value.c_str(), nullptr);
+    } else if (ParseArg(argv[i], "shed-fraction", &value)) {
+      args.shed_fraction = std::strtod(value.c_str(), nullptr);
+    } else if (ParseArg(argv[i], "overload-policy", &value)) {
+      if (value == "reject") {
+        args.overload_policy = OverloadPolicy::kReject;
+      } else if (value == "degrade") {
+        args.overload_policy = OverloadPolicy::kDegrade;
+      } else {
+        return Status::InvalidArgument(
+            "overload-policy must be reject or degrade");
+      }
     } else if (ParseArg(argv[i], "algorithm", &value)) {
       auto kind = CloakingKindFromName(value);
       if (!kind.ok()) return kind.status();
@@ -309,6 +364,33 @@ std::set<ObjectId> ExactKnnIds(const std::vector<PublicObject>& pois,
   return ids;
 }
 
+// Objects of `oracle` living on stripes marked covered in `covered_shards`
+// (bitmap bit i = shard i; stripes past bit 63 count as uncovered).
+std::vector<PublicObject> OnCoveredStripes(
+    const CloakDbService& db, const std::vector<PublicObject>& oracle,
+    uint64_t covered_shards) {
+  std::vector<PublicObject> out;
+  for (const auto& poi : oracle) {
+    uint32_t stripe = db.ShardOfX(poi.location.x);
+    if (stripe < 64 && (covered_shards & (uint64_t{1} << stripe)) != 0)
+      out.push_back(poi);
+  }
+  return out;
+}
+
+// True iff every id of `required` appears in `candidates` — the degraded
+// candidate-superset contract, with `required` already restricted to the
+// covered stripes.
+bool ContainsAll(const std::vector<PublicObject>& candidates,
+                 const std::set<ObjectId>& required) {
+  std::set<ObjectId> ids;
+  for (const auto& o : candidates) ids.insert(o.id);
+  for (ObjectId id : required) {
+    if (ids.count(id) == 0) return false;
+  }
+  return true;
+}
+
 void PrintHistogramRow(const obs::MetricsRegistry& metrics,
                        const char* name) {
   auto snap = metrics.SnapshotHistogram(name);
@@ -337,6 +419,22 @@ int Run(const Args& args) {
     options.trace.enabled = true;
     options.trace.sample_probability = args.trace_sample;
   }
+  if (args.chaos) {
+    options.fault_injection.enabled = true;
+    options.fault_injection.seed = args.chaos_seed;
+    options.fault_injection.probe_failure_probability = args.fail_prob;
+    options.fault_injection.probe_delay_probability = args.delay_prob;
+    options.fault_injection.probe_delay_us = args.delay_us;
+    options.fault_injection.queue_stall_probability = args.stall_prob;
+    options.fault_injection.queue_stall_us = args.stall_us;
+  }
+  options.overload.query_deadline_us = args.deadline_us;
+  options.overload.max_queries_per_s = args.max_qps;
+  options.overload.shed_queue_fraction = args.shed_fraction;
+  options.overload.policy = args.overload_policy;
+  const bool robustness_active = args.chaos || args.deadline_us > 0 ||
+                                 args.max_qps > 0.0 ||
+                                 args.shed_fraction > 0.0;
   auto service = CloakDbService::Create(options);
   if (!service.ok()) {
     std::fprintf(stderr, "service setup failed: %s\n",
@@ -408,6 +506,19 @@ int Run(const Args& args) {
   TimeOfDay now = TimeOfDay::FromHms(12, 0).value();
   const auto& metrics = db.metrics();
 
+  // Robustness accounting: every degraded answer is verified against
+  // brute-force ground truth restricted to its covered stripes, so a chaos
+  // run doubles as a correctness checker.
+  uint64_t degraded_queries = 0, shed_queries = 0, failed_queries = 0,
+           wrong_answers = 0;
+  auto note_query_error = [&](const Status& status) {
+    if (status.code() == StatusCode::kResourceExhausted) {
+      ++shed_queries;
+    } else {
+      ++failed_queries;  // injected failures / expired deadlines
+    }
+  };
+
   std::printf(
       "tick,users,updates_per_s,nn_acc,range_acc,knn_acc,"
       "queue_wait_p95_us,range_p95_us\n");
@@ -418,6 +529,12 @@ int Run(const Args& args) {
       auto st = db.EnqueueUpdate(user, movement.LocationOf(user).value(),
                                  now);
       if (!st.ok()) {
+        // With load shedding armed, ResourceExhausted is the service
+        // working as designed, not a failure.
+        if (robustness_active &&
+            st.code() == StatusCode::kResourceExhausted) {
+          continue;
+        }
         std::fprintf(stderr, "update failed: %s\n", st.ToString().c_str());
         return 1;
       }
@@ -450,7 +567,20 @@ int Run(const Args& args) {
         case 0: {
           constexpr double kRadius = 10.0;
           auto result = db.PrivateRange(region, kRadius, category);
-          if (!result.ok()) break;
+          if (!result.ok()) {
+            note_query_error(result.status());
+            break;
+          }
+          if (result.value().degraded) {
+            ++degraded_queries;
+            // The covered-stripe part of the true answer must survive.
+            auto covered = OnCoveredStripes(db, oracle,
+                                            result.value().covered_shards);
+            if (!ContainsAll(result.value().candidates,
+                             ExactRangeIds(covered, true_loc, kRadius)))
+              ++wrong_answers;
+            break;  // degraded answers stay out of the accuracy columns
+          }
           auto refined = RefineRangeCandidates(result.value().candidates,
                                                true_loc, kRadius);
           std::set<ObjectId> ids;
@@ -461,7 +591,19 @@ int Run(const Args& args) {
         }
         case 1: {
           auto result = db.PrivateNn(region, category);
-          if (!result.ok()) break;
+          if (!result.ok()) {
+            note_query_error(result.status());
+            break;
+          }
+          if (result.value().degraded) {
+            ++degraded_queries;
+            auto covered = OnCoveredStripes(db, oracle,
+                                            result.value().covered_shards);
+            if (!ContainsAll(result.value().candidates,
+                             ExactKnnIds(covered, true_loc, 1)))
+              ++wrong_answers;
+            break;
+          }
           auto refined =
               RefineNnCandidates(result.value().candidates, true_loc);
           ++nn_total;
@@ -473,7 +615,19 @@ int Run(const Args& args) {
         default: {
           constexpr size_t kKnn = 3;
           auto result = db.PrivateKnn(region, kKnn, category);
-          if (!result.ok()) break;
+          if (!result.ok()) {
+            note_query_error(result.status());
+            break;
+          }
+          if (result.value().degraded) {
+            ++degraded_queries;
+            auto covered = OnCoveredStripes(db, oracle,
+                                            result.value().covered_shards);
+            if (!ContainsAll(result.value().candidates,
+                             ExactKnnIds(covered, true_loc, kKnn)))
+              ++wrong_answers;
+            break;
+          }
           auto refined = RefineKnnCandidates(result.value().candidates,
                                              true_loc, kKnn);
           std::set<ObjectId> ids;
@@ -539,6 +693,62 @@ int Run(const Args& args) {
                 static_cast<unsigned long long>(q.trace_id));
   }
 
+  int exit_code = 0;
+  if (robustness_active) {
+    std::printf("# --- robustness ---\n");
+    std::printf(
+        "# robustness: degraded=%llu shed=%llu failed=%llu "
+        "wrong_answers=%llu\n",
+        static_cast<unsigned long long>(degraded_queries),
+        static_cast<unsigned long long>(shed_queries),
+        static_cast<unsigned long long>(failed_queries),
+        static_cast<unsigned long long>(wrong_answers));
+    std::printf(
+        "# admission: queries_shed=%llu admitted_degraded=%llu "
+        "updates_shed=%llu deadline_hits=%llu\n",
+        static_cast<unsigned long long>(stats.robustness.queries_shed),
+        static_cast<unsigned long long>(
+            stats.robustness.queries_admitted_degraded),
+        static_cast<unsigned long long>(stats.robustness.updates_shed),
+        static_cast<unsigned long long>(stats.robustness.deadline_hits));
+    if (wrong_answers > 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu degraded answers were not correct covered-"
+                   "stripe supersets\n",
+                   static_cast<unsigned long long>(wrong_answers));
+      exit_code = 1;
+    }
+    if (const FaultInjector* injector = db.fault_injector();
+        injector != nullptr) {
+      // Three independent ledgers of the same events — the injector's own
+      // counts, the fault.* metrics, and ServiceStats — must agree exactly.
+      const bool reconciled =
+          injector->probe_failures() ==
+              metrics.CounterValue("fault.probe_failures_total") &&
+          injector->probe_delays() ==
+              metrics.CounterValue("fault.probe_delays_total") &&
+          injector->queue_stalls() ==
+              metrics.CounterValue("fault.queue_stalls_total") &&
+          injector->probe_failures() ==
+              stats.robustness.injected_probe_failures &&
+          injector->probe_delays() ==
+              stats.robustness.injected_probe_delays &&
+          injector->queue_stalls() ==
+              stats.robustness.injected_queue_stalls;
+      std::printf("# faults: fail=%llu delay=%llu stall=%llu %s\n",
+                  static_cast<unsigned long long>(injector->probe_failures()),
+                  static_cast<unsigned long long>(injector->probe_delays()),
+                  static_cast<unsigned long long>(injector->queue_stalls()),
+                  reconciled ? "(reconciled)" : "(MISMATCH)");
+      if (!reconciled) {
+        std::fprintf(stderr,
+                     "FAIL: injected fault counts do not reconcile with "
+                     "metrics/stats\n");
+        exit_code = 1;
+      }
+    }
+  }
+
   if (!args.metrics_json.empty()) {
     std::FILE* f = std::fopen(args.metrics_json.c_str(), "w");
     if (f == nullptr) {
@@ -573,7 +783,7 @@ int Run(const Args& args) {
         static_cast<unsigned long long>(
             db.tracer()->audit_violations_total()));
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
@@ -590,7 +800,10 @@ int main(int argc, char** argv) {
         "[--seed=S] [--profile=SPEC] [--metrics-json=PATH] "
         "[--shared-exec] [--cache-capacity=N] [--batch-window-us=U] "
         "[--trace-out=PATH] [--trace-jsonl=PATH] [--trace-sample=P] "
-        "[--monitor-json=PATH]\n"
+        "[--monitor-json=PATH] [--chaos] [--chaos-seed=S] [--fail-prob=P] "
+        "[--delay-prob=P] [--delay-us=U] [--stall-prob=P] [--stall-us=U] "
+        "[--deadline-us=U] [--max-qps=Q] [--shed-fraction=F] "
+        "[--overload-policy=reject|degrade]\n"
         "  KIND: naive | mbr | quadtree | grid | multilevel-grid\n"
         "  SPEC: e.g. \"08:00-17:00 k=1; 17:00-22:00 k=100 amin=1\"\n",
         argv[0]);
