@@ -1,0 +1,189 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cloakdb::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+CloakClient::CloakClient(int fd) : fd_(fd) {}
+
+CloakClient::~CloakClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<CloakClient>> CloakClient::Connect(
+    const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<CloakClient>(new CloakClient(fd));
+}
+
+Status CloakClient::WriteAll(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status CloakClient::ReadFrame(FrameHeader* header, std::string* payload) {
+  // Fill until a full header is buffered, validate it, then fill until
+  // the payload is complete.
+  char buffer[64 * 1024];
+  for (;;) {
+    if (readbuf_.size() >= kFrameHeaderSize) {
+      CLOAKDB_RETURN_IF_ERROR(DecodeFrameHeader(
+          reinterpret_cast<const uint8_t*>(readbuf_.data()),
+          readbuf_.size(), header));
+      const size_t total = kFrameHeaderSize + header->payload_len;
+      if (readbuf_.size() >= total) {
+        payload->assign(readbuf_, kFrameHeaderSize, header->payload_len);
+        readbuf_.erase(0, total);
+        return Status::OK();
+      }
+    }
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      readbuf_.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::Internal("connection closed by server");
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Result<uint64_t> CloakClient::Send(const QueryRequest& request) {
+  const uint64_t id = next_request_id_++;
+  std::string frame;
+  AppendQueryFrame(id, request, &frame);
+  CLOAKDB_RETURN_IF_ERROR(WriteAll(frame));
+  return id;
+}
+
+Result<QueryResponse> CloakClient::Await(uint64_t request_id) {
+  for (;;) {
+    auto parked = parked_.find(request_id);
+    if (parked != parked_.end()) {
+      Result<QueryResponse> result = std::move(parked->second);
+      parked_.erase(parked);
+      return result;
+    }
+    FrameHeader header;
+    std::string payload;
+    CLOAKDB_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+    Result<QueryResponse> arrived = Status::Internal("unset");
+    switch (header.type) {
+      case FrameType::kResponse: {
+        QueryResponse response;
+        const Status decoded =
+            DecodeResponsePayload(data, payload.size(), &response);
+        arrived = decoded.ok() ? Result<QueryResponse>(std::move(response))
+                               : Result<QueryResponse>(decoded);
+        break;
+      }
+      case FrameType::kError: {
+        ErrorCode code = ErrorCode::kInternal;
+        std::string message;
+        const Status decoded =
+            DecodeErrorPayload(data, payload.size(), &code, &message);
+        arrived = decoded.ok() ? Result<QueryResponse>(Status(code, message))
+                               : Result<QueryResponse>(decoded);
+        break;
+      }
+      case FrameType::kPong:
+        // A pong mid-pipeline (from an interleaved Ping) is not a query
+        // response; drop it.
+        continue;
+      default:
+        return Status::Internal("unexpected frame type from server");
+    }
+    // An error frame with request_id 0 is the server's last word before
+    // closing an unframeable stream — deliver it to whoever is waiting.
+    if (header.request_id == request_id || header.request_id == 0)
+      return arrived;
+    parked_.emplace(header.request_id, std::move(arrived));
+  }
+}
+
+Result<QueryResponse> CloakClient::Execute(const QueryRequest& request) {
+  auto id = Send(request);
+  if (!id.ok()) return id.status();
+  return Await(id.value());
+}
+
+Status CloakClient::Ping() {
+  const uint64_t id = next_request_id_++;
+  std::string frame;
+  AppendPingFrame(id, &frame);
+  CLOAKDB_RETURN_IF_ERROR(WriteAll(frame));
+  for (;;) {
+    FrameHeader header;
+    std::string payload;
+    CLOAKDB_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+    if (header.type == FrameType::kPong && header.request_id == id)
+      return Status::OK();
+    // Queued query responses may arrive first; park them for Await.
+    if (header.type == FrameType::kResponse ||
+        header.type == FrameType::kError) {
+      const uint8_t* data =
+          reinterpret_cast<const uint8_t*>(payload.data());
+      if (header.type == FrameType::kResponse) {
+        QueryResponse response;
+        const Status decoded =
+            DecodeResponsePayload(data, payload.size(), &response);
+        parked_.emplace(header.request_id,
+                        decoded.ok()
+                            ? Result<QueryResponse>(std::move(response))
+                            : Result<QueryResponse>(decoded));
+      } else {
+        ErrorCode code = ErrorCode::kInternal;
+        std::string message;
+        const Status decoded =
+            DecodeErrorPayload(data, payload.size(), &code, &message);
+        parked_.emplace(header.request_id,
+                        decoded.ok()
+                            ? Result<QueryResponse>(Status(code, message))
+                            : Result<QueryResponse>(decoded));
+      }
+    }
+  }
+}
+
+}  // namespace cloakdb::net

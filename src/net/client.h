@@ -1,0 +1,70 @@
+// Blocking client for the CloakDB wire protocol.
+//
+// One CloakClient owns one TCP connection. The simple path is
+// Execute(): send a query, block for its response. The pipelined path
+// splits that into Send() — which returns immediately with the request
+// id — and Await(id), letting callers keep many requests in flight on
+// one connection; responses may arrive in any order and are parked
+// until their id is awaited.
+//
+// Errors surface uniformly as Result<QueryResponse>: a typed kError
+// frame from the server (shed, malformed) becomes a Status with that
+// code; transport failures become kInternal. The client is not
+// thread-safe — use one client per thread, or external locking.
+
+#ifndef CLOAKDB_NET_CLIENT_H_
+#define CLOAKDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/protocol.h"
+#include "service/api.h"
+#include "util/status.h"
+
+namespace cloakdb::net {
+
+class CloakClient {
+ public:
+  /// Connects (blocking) to host:port.
+  static Result<std::unique_ptr<CloakClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~CloakClient();
+
+  CloakClient(const CloakClient&) = delete;
+  CloakClient& operator=(const CloakClient&) = delete;
+
+  /// Send + Await in one call.
+  Result<QueryResponse> Execute(const QueryRequest& request);
+
+  /// Writes one query frame and returns its request id without waiting.
+  Result<uint64_t> Send(const QueryRequest& request);
+
+  /// Blocks until the response for `request_id` arrives. Out-of-order
+  /// arrivals for other ids are parked for their own Await calls.
+  Result<QueryResponse> Await(uint64_t request_id);
+
+  /// Round-trips a ping frame; proves the connection and flushes the
+  /// server's pipeline.
+  Status Ping();
+
+ private:
+  CloakClient(int fd);
+
+  Status WriteAll(const std::string& bytes);
+  /// Reads exactly one frame (header + payload) off the socket.
+  Status ReadFrame(FrameHeader* header, std::string* payload);
+
+  int fd_;
+  uint64_t next_request_id_ = 1;
+  std::string readbuf_;
+  /// Responses that arrived while awaiting a different id.
+  std::unordered_map<uint64_t, Result<QueryResponse>> parked_;
+};
+
+}  // namespace cloakdb::net
+
+#endif  // CLOAKDB_NET_CLIENT_H_

@@ -1,0 +1,110 @@
+// The CloakDB wire protocol: versioned, length-prefixed binary frames.
+//
+// Every frame is a fixed 20-byte header followed by a payload:
+//
+//   offset  size  field        notes
+//   ------  ----  -----------  ----------------------------------------
+//        0     4  magic        0x42444C43 — the bytes "CLDB" on the wire
+//        4     2  version      kProtocolVersion (currently 1)
+//        6     1  type         FrameType
+//        7     1  reserved     must be written 0; ignored on read
+//        8     8  request_id   echoed verbatim in the matching response
+//       16     4  payload_len  payload bytes after the header
+//
+// All integers are little-endian fixed-width; doubles are IEEE-754 bits in
+// a little-endian u64. Strings are a u32 length prefix plus raw bytes.
+// Frame types: kQuery carries a QueryRequest, kResponse a full
+// QueryResponse (including its in-band ErrorCode — a shed or degraded
+// query is a typed response, not a dropped connection), kError a bare
+// status for requests that never reached the service (malformed payload,
+// pipeline overflow), and kPing/kPong are empty health/flush probes.
+//
+// Decoding is hardened: every read is bounds-checked, lengths are capped
+// (kMaxPayloadBytes, kMaxStringBytes), and element counts are validated
+// against the bytes actually present before any allocation — a hostile
+// length field costs an error, never memory. Malformed *payloads* on an
+// intact frame boundary are recoverable (the server answers with a typed
+// kError frame and keeps the connection); a corrupt *header* means the
+// stream is unframeable and the connection must close.
+
+#ifndef CLOAKDB_NET_PROTOCOL_H_
+#define CLOAKDB_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "service/api.h"
+#include "util/status.h"
+
+namespace cloakdb::net {
+
+/// "CLDB" read as a little-endian u32.
+inline constexpr uint32_t kMagic = 0x42444C43u;
+
+/// Bumped on any change to the header or payload encodings.
+inline constexpr uint16_t kProtocolVersion = 1;
+
+/// Bytes of the fixed frame header.
+inline constexpr size_t kFrameHeaderSize = 20;
+
+/// Upper bound on payload_len: a 4 MiB frame already carries ~100k
+/// candidates, far past any real candidate list. Anything larger is
+/// treated as a corrupt or hostile header.
+inline constexpr uint32_t kMaxPayloadBytes = 4u << 20;
+
+/// Upper bound on one length-prefixed string (object names, messages).
+inline constexpr uint32_t kMaxStringBytes = 64u << 10;
+
+/// Frame discriminator. Values are wire-stable.
+enum class FrameType : uint8_t {
+  kQuery = 1,
+  kResponse = 2,
+  kError = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+/// True for the values listed in FrameType.
+bool IsValidFrameType(uint8_t raw);
+
+/// A decoded frame header.
+struct FrameHeader {
+  FrameType type = FrameType::kQuery;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+// --- Encoding ------------------------------------------------------------
+// Encoders append one complete frame (header + payload) to `out`.
+
+void AppendQueryFrame(uint64_t request_id, const QueryRequest& request,
+                      std::string* out);
+void AppendResponseFrame(uint64_t request_id, const QueryResponse& response,
+                         std::string* out);
+/// A bare typed status for a request that never produced a QueryResponse.
+void AppendErrorFrame(uint64_t request_id, ErrorCode code,
+                      const std::string& message, std::string* out);
+void AppendPingFrame(uint64_t request_id, std::string* out);
+void AppendPongFrame(uint64_t request_id, std::string* out);
+
+// --- Decoding ------------------------------------------------------------
+
+/// Decodes and validates a frame header from `data` (at least
+/// kFrameHeaderSize bytes). kMalformedRequest on bad magic, wrong
+/// version, unknown type, or an oversize payload length — all of which
+/// mean the stream can no longer be framed.
+Status DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out);
+
+/// Payload decoders; `len` is exactly the header's payload_len. Return
+/// kMalformedRequest on truncation, trailing garbage, or invalid values.
+Status DecodeQueryPayload(const uint8_t* data, size_t len,
+                          QueryRequest* out);
+Status DecodeResponsePayload(const uint8_t* data, size_t len,
+                             QueryResponse* out);
+Status DecodeErrorPayload(const uint8_t* data, size_t len, ErrorCode* code,
+                          std::string* message);
+
+}  // namespace cloakdb::net
+
+#endif  // CLOAKDB_NET_PROTOCOL_H_

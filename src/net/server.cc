@@ -1,0 +1,683 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace cloakdb::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return Errno("fcntl(O_NONBLOCK)");
+  return Status::OK();
+}
+
+/// One readiness event from a poller backend.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+/// Readiness-multiplexing backend: level-triggered, one interest set per
+/// fd. Two implementations — epoll (Linux) and portable poll(2).
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual Status Add(int fd, bool want_read, bool want_write) = 0;
+  virtual Status Mod(int fd, bool want_read, bool want_write) = 0;
+  virtual void Del(int fd) = 0;
+  /// Blocks up to `timeout_ms` (-1 = forever); fills `events`.
+  virtual Status Wait(std::vector<PollEvent>* events, int timeout_ms) = 0;
+};
+
+/// poll(2) backend: the interest list is a flat pollfd vector. O(n) per
+/// wait, which is fine for the connection counts the fallback serves.
+class PollPoller : public Poller {
+ public:
+  Status Add(int fd, bool want_read, bool want_write) override {
+    index_[fd] = fds_.size();
+    fds_.push_back({fd, Events(want_read, want_write), 0});
+    return Status::OK();
+  }
+
+  Status Mod(int fd, bool want_read, bool want_write) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return Status::NotFound("fd not registered");
+    fds_[it->second].events = Events(want_read, want_write);
+    return Status::OK();
+  }
+
+  void Del(int fd) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const size_t pos = it->second;
+    index_.erase(it);
+    fds_[pos] = fds_.back();
+    fds_.pop_back();
+    if (pos < fds_.size()) index_[fds_[pos].fd] = pos;
+  }
+
+  Status Wait(std::vector<PollEvent>* events, int timeout_ms) override {
+    events->clear();
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();
+      return Errno("poll");
+    }
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      PollEvent event;
+      event.fd = p.fd;
+      event.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      event.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      events->push_back(event);
+      if (static_cast<int>(events->size()) == n) break;
+    }
+    return Status::OK();
+  }
+
+ private:
+  static short Events(bool want_read, bool want_write) {
+    short events = 0;
+    if (want_read) events |= POLLIN;
+    if (want_write) events |= POLLOUT;
+    return events;
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, size_t> index_;
+};
+
+#ifdef __linux__
+class EpollPoller : public Poller {
+ public:
+  Status Init() {
+    epfd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epfd_ < 0) return Errno("epoll_create1");
+    return Status::OK();
+  }
+
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  Status Add(int fd, bool want_read, bool want_write) override {
+    return Ctl(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+
+  Status Mod(int fd, bool want_read, bool want_write) override {
+    return Ctl(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+
+  void Del(int fd) override {
+    epoll_event unused{};
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &unused);
+  }
+
+  Status Wait(std::vector<PollEvent>* events, int timeout_ms) override {
+    events->clear();
+    epoll_event raw[128];
+    const int n = epoll_wait(epfd_, raw, 128, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();
+      return Errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      PollEvent event;
+      event.fd = raw[i].data.fd;
+      event.readable = (raw[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      event.writable = (raw[i].events & EPOLLOUT) != 0;
+      event.error = (raw[i].events & EPOLLERR) != 0;
+      events->push_back(event);
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Ctl(int op, int fd, bool want_read, bool want_write) {
+    epoll_event event{};
+    if (want_read) event.events |= EPOLLIN;
+    if (want_write) event.events |= EPOLLOUT;
+    event.data.fd = fd;
+    if (epoll_ctl(epfd_, op, fd, &event) < 0) return Errno("epoll_ctl");
+    return Status::OK();
+  }
+
+  int epfd_ = -1;
+};
+#endif  // __linux__
+
+Result<std::unique_ptr<Poller>> MakePoller(bool force_poll) {
+#ifdef __linux__
+  if (!force_poll) {
+    auto poller = std::make_unique<EpollPoller>();
+    CLOAKDB_RETURN_IF_ERROR(poller->Init());
+    return std::unique_ptr<Poller>(std::move(poller));
+  }
+#else
+  (void)force_poll;
+#endif
+  return std::unique_ptr<Poller>(std::make_unique<PollPoller>());
+}
+
+}  // namespace
+
+class CloakServer::Impl {
+ public:
+  Impl(CloakDbService* service, const CloakServerOptions& options)
+      : service_(service), options_(options) {}
+
+  ~Impl() { Stop(); }
+
+  uint16_t port() const { return port_; }
+
+  Status Init() {
+    // Eager metric creation: the catalog is complete before any traffic.
+    auto& metrics = service_->metrics();
+    connections_opened_ = metrics.counter("net.connections_opened_total");
+    connections_closed_ = metrics.counter("net.connections_closed_total");
+    active_connections_ = metrics.gauge("net.active_connections");
+    frames_read_ = metrics.counter("net.frames_read_total");
+    frames_written_ = metrics.counter("net.frames_written_total");
+    decode_errors_ = metrics.counter("net.decode_errors_total");
+    bytes_read_ = metrics.counter("net.bytes_read_total");
+    bytes_written_ = metrics.counter("net.bytes_written_total");
+    write_buffer_hwm_ = metrics.gauge("net.write_buffer_hwm_bytes");
+    read_stalls_ = metrics.counter("net.read_stalls_total");
+    pipeline_shed_ = metrics.counter("net.pipeline_shed_total");
+
+    auto poller = MakePoller(options_.force_poll);
+    if (!poller.ok()) return poller.status();
+    poller_ = std::move(poller).value();
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Errno("socket");
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+      return Status::InvalidArgument("unparseable host address: " +
+                                     options_.host);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+      return Errno("bind");
+    if (::listen(listen_fd_, options_.backlog) < 0) return Errno("listen");
+    CLOAKDB_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0)
+      return Errno("getsockname");
+    port_ = ntohs(bound.sin_port);
+
+    if (::pipe(wake_fds_) < 0) return Errno("pipe");
+    CLOAKDB_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[0]));
+    CLOAKDB_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[1]));
+
+    CLOAKDB_RETURN_IF_ERROR(
+        poller_->Add(listen_fd_, /*want_read=*/true, /*want_write=*/false));
+    CLOAKDB_RETURN_IF_ERROR(
+        poller_->Add(wake_fds_[0], /*want_read=*/true, /*want_write=*/false));
+
+    uint32_t workers = options_.query_threads;
+    if (workers == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      workers = hw == 0 ? 2 : (hw > 8 ? 8 : hw);
+    }
+    for (uint32_t i = 0; i < workers; ++i)
+      workers_.emplace_back([this] { WorkerThread(); });
+    loop_ = std::thread([this] { LoopThread(); });
+    return Status::OK();
+  }
+
+  void Stop() {
+    bool expected = false;
+    if (!stopped_.compare_exchange_strong(expected, true)) return;
+    Wakeup();
+    if (loop_.joinable()) loop_.join();
+    {
+      std::lock_guard<std::mutex> lock(task_mu_);
+      tasks_closed_ = true;
+    }
+    task_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    workers_.clear();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int i : {0, 1}) {
+      if (wake_fds_[i] >= 0) ::close(wake_fds_[i]);
+      wake_fds_[i] = -1;
+    }
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t gen = 0;
+    std::string inbuf;
+    std::string outbuf;
+    size_t out_off = 0;  ///< Sent prefix of outbuf (compacted on drain).
+    size_t inflight = 0;  ///< Queries at the workers, not yet answered.
+    bool want_write = false;
+    bool read_paused = false;
+    bool peer_closed = false;      ///< Read side saw EOF.
+    bool close_after_flush = false;  ///< Fatal framing error: flush + close.
+  };
+
+  struct Task {
+    int fd = -1;
+    uint64_t gen = 0;
+    uint64_t request_id = 0;
+    QueryRequest request;
+  };
+
+  struct Completion {
+    int fd = -1;
+    uint64_t gen = 0;
+    std::string bytes;
+  };
+
+  // --- Event loop --------------------------------------------------------
+
+  void LoopThread() {
+    std::vector<PollEvent> events;
+    while (!stopped_.load(std::memory_order_acquire)) {
+      if (!poller_->Wait(&events, /*timeout_ms=*/200).ok()) break;
+      for (const PollEvent& event : events) {
+        if (event.fd == listen_fd_) {
+          HandleAccept();
+          continue;
+        }
+        if (event.fd == wake_fds_[0]) {
+          DrainWakePipe();
+          continue;
+        }
+        auto it = connections_.find(event.fd);
+        if (it == connections_.end()) continue;
+        Connection& conn = it->second;
+        if (event.error) {
+          CloseConnection(conn.fd);
+          continue;
+        }
+        if (event.writable) HandleWritable(conn);
+        // HandleWritable may close; re-find before reading.
+        auto again = connections_.find(event.fd);
+        if (again == connections_.end()) continue;
+        if (event.readable) HandleReadable(again->second);
+      }
+      DrainCompletions();
+    }
+    // Shutdown: close every connection; workers drain separately.
+    std::vector<int> fds;
+    fds.reserve(connections_.size());
+    for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+    for (int fd : fds) CloseConnection(fd);
+  }
+
+  void HandleAccept() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN or transient error: back to the loop.
+      if (!SetNonBlocking(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Connection conn;
+      conn.fd = fd;
+      conn.gen = next_gen_++;
+      if (!poller_->Add(fd, /*want_read=*/true, /*want_write=*/false).ok()) {
+        ::close(fd);
+        continue;
+      }
+      connections_.emplace(fd, std::move(conn));
+      connections_opened_->Increment();
+      active_connections_->Set(static_cast<double>(connections_.size()));
+    }
+  }
+
+  void HandleReadable(Connection& conn) {
+    if (conn.read_paused || conn.close_after_flush) return;
+    char buffer[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        bytes_read_->Increment(static_cast<uint64_t>(n));
+        conn.inbuf.append(buffer, static_cast<size_t>(n));
+        if (static_cast<size_t>(n) < sizeof(buffer)) break;
+        continue;
+      }
+      if (n == 0) {
+        conn.peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(conn.fd);
+      return;
+    }
+    if (!ParseFrames(conn)) {
+      // Unframeable stream: the error frame (if any) is already queued;
+      // flush it, then close.
+      conn.close_after_flush = true;
+      FlushWrites(conn);
+      auto it = connections_.find(conn.fd);
+      if (it != connections_.end()) UpdateInterest(it->second);
+      return;
+    }
+    if (conn.peer_closed && conn.inflight == 0 &&
+        conn.out_off == conn.outbuf.size()) {
+      CloseConnection(conn.fd);
+      return;
+    }
+    FlushWrites(conn);
+    auto it = connections_.find(conn.fd);
+    if (it != connections_.end()) UpdateInterest(it->second);
+  }
+
+  /// Frames the input buffer; false means the stream is corrupt and the
+  /// connection must close (a best-effort error frame is queued first).
+  bool ParseFrames(Connection& conn) {
+    size_t off = 0;
+    while (conn.inbuf.size() - off >= kFrameHeaderSize) {
+      const uint8_t* base =
+          reinterpret_cast<const uint8_t*>(conn.inbuf.data()) + off;
+      FrameHeader header;
+      Status status =
+          DecodeFrameHeader(base, conn.inbuf.size() - off, &header);
+      if (!status.ok()) {
+        decode_errors_->Increment();
+        std::string frame;
+        AppendErrorFrame(0, ErrorCode::kMalformedRequest, status.message(),
+                         &frame);
+        QueueWrite(conn, frame);
+        conn.inbuf.clear();
+        return false;
+      }
+      const size_t total = kFrameHeaderSize + header.payload_len;
+      if (conn.inbuf.size() - off < total) break;  // Partial frame: wait.
+      frames_read_->Increment();
+      const uint8_t* payload = base + kFrameHeaderSize;
+      switch (header.type) {
+        case FrameType::kQuery: {
+          QueryRequest request;
+          Status decoded =
+              DecodeQueryPayload(payload, header.payload_len, &request);
+          if (!decoded.ok()) {
+            // The frame boundary is intact: answer with a typed error and
+            // keep the connection.
+            decode_errors_->Increment();
+            std::string frame;
+            AppendErrorFrame(header.request_id, ErrorCode::kMalformedRequest,
+                             decoded.message(), &frame);
+            QueueWrite(conn, frame);
+            break;
+          }
+          if (conn.inflight >= options_.max_pipeline) {
+            pipeline_shed_->Increment();
+            std::string frame;
+            AppendErrorFrame(header.request_id, ErrorCode::kShed,
+                             "pipeline limit exceeded", &frame);
+            QueueWrite(conn, frame);
+            break;
+          }
+          ++conn.inflight;
+          SubmitTask({conn.fd, conn.gen, header.request_id,
+                      std::move(request)});
+          break;
+        }
+        case FrameType::kPing: {
+          std::string frame;
+          AppendPongFrame(header.request_id, &frame);
+          QueueWrite(conn, frame);
+          break;
+        }
+        default: {
+          // Clients must not send response/error/pong frames.
+          decode_errors_->Increment();
+          std::string frame;
+          AppendErrorFrame(header.request_id, ErrorCode::kMalformedRequest,
+                           "unexpected frame type from client", &frame);
+          QueueWrite(conn, frame);
+          conn.inbuf.clear();
+          return false;
+        }
+      }
+      off += total;
+    }
+    if (off > 0) conn.inbuf.erase(0, off);
+    return true;
+  }
+
+  void HandleWritable(Connection& conn) {
+    FlushWrites(conn);
+    auto it = connections_.find(conn.fd);
+    if (it != connections_.end()) UpdateInterest(it->second);
+  }
+
+  void QueueWrite(Connection& conn, const std::string& bytes) {
+    conn.outbuf.append(bytes);
+    frames_written_->Increment();
+    write_buffer_hwm_->UpdateMax(
+        static_cast<double>(conn.outbuf.size() - conn.out_off));
+  }
+
+  /// Sends as much of outbuf as the socket accepts; may close the
+  /// connection (on hard error, or when a flagged close finished its
+  /// flush) — callers must re-find the connection afterwards.
+  void FlushWrites(Connection& conn) {
+    while (conn.out_off < conn.outbuf.size()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+                 conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        bytes_written_->Increment(static_cast<uint64_t>(n));
+        conn.out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      CloseConnection(conn.fd);
+      return;
+    }
+    if (conn.out_off == conn.outbuf.size()) {
+      conn.outbuf.clear();
+      conn.out_off = 0;
+      if (conn.close_after_flush ||
+          (conn.peer_closed && conn.inflight == 0)) {
+        CloseConnection(conn.fd);
+        return;
+      }
+    } else if (conn.out_off > (1u << 20)) {
+      // Compact the sent prefix so a long-lived slow connection does not
+      // pin peak-size buffers.
+      conn.outbuf.erase(0, conn.out_off);
+      conn.out_off = 0;
+    }
+  }
+
+  /// Recomputes poller interest: write interest iff bytes are pending;
+  /// read interest drops while the peer is behind on draining responses
+  /// (backpressure) and resumes below half the limit.
+  void UpdateInterest(Connection& conn) {
+    const size_t pending = conn.outbuf.size() - conn.out_off;
+    const bool want_write = pending > 0;
+    bool read_paused = conn.read_paused;
+    if (!read_paused && pending > options_.write_buffer_limit) {
+      read_paused = true;
+      read_stalls_->Increment();
+    } else if (read_paused && pending <= options_.write_buffer_limit / 2) {
+      read_paused = false;
+    }
+    const bool want_read =
+        !read_paused && !conn.close_after_flush && !conn.peer_closed;
+    if (want_write != conn.want_write || read_paused != conn.read_paused) {
+      conn.want_write = want_write;
+      conn.read_paused = read_paused;
+      poller_->Mod(conn.fd, want_read, want_write);
+    }
+  }
+
+  void CloseConnection(int fd) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    poller_->Del(fd);
+    ::close(fd);
+    connections_.erase(it);
+    connections_closed_->Increment();
+    active_connections_->Set(static_cast<double>(connections_.size()));
+  }
+
+  // --- Worker pool -------------------------------------------------------
+
+  void SubmitTask(Task task) {
+    {
+      std::lock_guard<std::mutex> lock(task_mu_);
+      tasks_.push_back(std::move(task));
+    }
+    task_cv_.notify_one();
+  }
+
+  void WorkerThread() {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(task_mu_);
+        task_cv_.wait(lock,
+                      [this] { return tasks_closed_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // Closed and drained.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      const QueryResponse response = service_->ExecuteQuery(task.request);
+      Completion completion;
+      completion.fd = task.fd;
+      completion.gen = task.gen;
+      AppendResponseFrame(task.request_id, response, &completion.bytes);
+      {
+        std::lock_guard<std::mutex> lock(completion_mu_);
+        completions_.push_back(std::move(completion));
+      }
+      Wakeup();
+    }
+  }
+
+  void DrainCompletions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      batch.swap(completions_);
+    }
+    for (Completion& completion : batch) {
+      auto it = connections_.find(completion.fd);
+      // The generation check drops completions for a connection that died
+      // mid-query (its fd may already belong to a new connection).
+      if (it == connections_.end() || it->second.gen != completion.gen)
+        continue;
+      Connection& conn = it->second;
+      if (conn.inflight > 0) --conn.inflight;
+      QueueWrite(conn, completion.bytes);
+      FlushWrites(conn);
+      auto again = connections_.find(completion.fd);
+      if (again != connections_.end()) UpdateInterest(again->second);
+    }
+  }
+
+  void Wakeup() {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+
+  void DrainWakePipe() {
+    char buffer[256];
+    while (::read(wake_fds_[0], buffer, sizeof(buffer)) > 0) {
+    }
+  }
+
+  CloakDbService* const service_;
+  const CloakServerOptions options_;
+
+  obs::Counter* connections_opened_ = nullptr;
+  obs::Counter* connections_closed_ = nullptr;
+  obs::Gauge* active_connections_ = nullptr;
+  obs::Counter* frames_read_ = nullptr;
+  obs::Counter* frames_written_ = nullptr;
+  obs::Counter* decode_errors_ = nullptr;
+  obs::Counter* bytes_read_ = nullptr;
+  obs::Counter* bytes_written_ = nullptr;
+  obs::Gauge* write_buffer_hwm_ = nullptr;
+  obs::Counter* read_stalls_ = nullptr;
+  obs::Counter* pipeline_shed_ = nullptr;
+
+  std::unique_ptr<Poller> poller_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  uint64_t next_gen_ = 1;
+  std::unordered_map<int, Connection> connections_;
+
+  std::mutex task_mu_;
+  std::condition_variable task_cv_;
+  std::deque<Task> tasks_;
+  bool tasks_closed_ = false;
+
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+
+  std::vector<std::thread> workers_;
+  std::thread loop_;
+  std::atomic<bool> stopped_{false};
+};
+
+CloakServer::CloakServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+CloakServer::~CloakServer() = default;
+
+uint16_t CloakServer::port() const { return impl_->port(); }
+
+void CloakServer::Stop() { impl_->Stop(); }
+
+Result<std::unique_ptr<CloakServer>> CloakServer::Create(
+    CloakDbService* service, const CloakServerOptions& options) {
+  if (service == nullptr)
+    return Status::InvalidArgument("service must not be null");
+  auto impl = std::make_unique<Impl>(service, options);
+  CLOAKDB_RETURN_IF_ERROR(impl->Init());
+  return std::unique_ptr<CloakServer>(new CloakServer(std::move(impl)));
+}
+
+}  // namespace cloakdb::net

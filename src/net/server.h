@@ -1,0 +1,87 @@
+// cloakd's engine: a single-threaded event-loop TCP server.
+//
+// One event-loop thread owns every socket: it accepts, reads, frames, and
+// writes — all non-blocking, multiplexed through epoll on Linux (a
+// portable poll(2) backend exists as a fallback and for test coverage,
+// selectable with CloakServerOptions::force_poll). Decoded queries are
+// handed to a small pool of query workers that call
+// CloakDbService::ExecuteQuery — the same entry point in-process callers
+// use, so admission control, deadlines, tracing, and degradation behave
+// identically over the wire. Workers never touch sockets: each finished
+// response is encoded and posted to a completion queue; a self-pipe wakes
+// the loop, which appends the bytes to the connection's write buffer and
+// flushes opportunistically.
+//
+// Backpressure: a connection whose write buffer exceeds
+// write_buffer_limit stops being read (its read interest is dropped)
+// until the peer drains below half the limit — a slow reader throttles
+// itself, never the loop. A connection pipelining more than max_pipeline
+// unanswered requests gets typed kShed error frames instead of unbounded
+// queueing. Malformed payloads on an intact frame boundary earn a typed
+// kMalformedRequest error frame; an unframeable byte stream (bad magic,
+// wrong version, oversize length) closes the connection.
+//
+// All net.* metrics land in the service's own MetricsRegistry, so one
+// export carries service and wire observability together.
+
+#ifndef CLOAKDB_NET_SERVER_H_
+#define CLOAKDB_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/cloak_db_service.h"
+#include "util/status.h"
+
+namespace cloakdb::net {
+
+struct CloakServerOptions {
+  /// Listen address; the default binds loopback only.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+  /// Query workers calling CloakDbService::ExecuteQuery; 0 = one per
+  /// hardware thread, capped at 8.
+  uint32_t query_threads = 0;
+  /// Accept backlog.
+  int backlog = 128;
+  /// Per-connection write-buffer bytes beyond which the connection's read
+  /// interest is dropped until the peer drains half of it.
+  size_t write_buffer_limit = 4u << 20;
+  /// Unanswered pipelined requests per connection beyond which further
+  /// queries are answered with typed kShed error frames.
+  size_t max_pipeline = 1024;
+  /// Use the portable poll(2) backend even where epoll is available.
+  bool force_poll = false;
+};
+
+/// The server. Create() binds + listens + starts the loop and workers;
+/// the destructor (or Stop()) shuts everything down and joins.
+class CloakServer {
+ public:
+  /// `service` must outlive the server.
+  static Result<std::unique_ptr<CloakServer>> Create(
+      CloakDbService* service, const CloakServerOptions& options);
+
+  ~CloakServer();
+
+  CloakServer(const CloakServer&) = delete;
+  CloakServer& operator=(const CloakServer&) = delete;
+
+  /// The bound port (resolves port=0 to the kernel's pick).
+  uint16_t port() const;
+
+  /// Idempotent shutdown: stops accepting, closes every connection,
+  /// drains the workers, joins all threads.
+  void Stop();
+
+ private:
+  class Impl;
+  explicit CloakServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cloakdb::net
+
+#endif  // CLOAKDB_NET_SERVER_H_

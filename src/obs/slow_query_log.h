@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace cloakdb::obs {
 
 /// One retained slow query.
@@ -27,6 +29,10 @@ struct SlowQueryRecord {
   /// Trace of this query when tracing was on (0 = untraced). Slow traces
   /// are tail-kept, so a slow entry's full span tree is in the export.
   uint64_t trace_id = 0;
+  /// How the query ended. Deadline-exceeded and degraded-zero-coverage
+  /// queries burn their whole budget, so they compete for slow-log slots
+  /// like any successful slow query; print with to_string(error).
+  ErrorCode error = ErrorCode::kOk;
 };
 
 /// Thread-safe top-N-by-latency ring (a min-heap under a mutex, guarded by

@@ -1,0 +1,180 @@
+#include "service/api.h"
+
+#include <utility>
+
+namespace cloakdb {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPrivateRange:
+      return "private_range";
+    case QueryKind::kPrivateNn:
+      return "private_nn";
+    case QueryKind::kPrivateKnn:
+      return "private_knn";
+    case QueryKind::kPublicCount:
+      return "public_count";
+    case QueryKind::kHeatmap:
+      return "heatmap";
+  }
+  return "unknown";
+}
+
+bool IsValidQueryKind(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(QueryKind::kHeatmap);
+}
+
+QueryRequest QueryRequest::Range(const Rect& cloaked, double radius,
+                                 Category category,
+                                 const PrivateRangeOptions& opts) {
+  QueryRequest request;
+  request.kind = QueryKind::kPrivateRange;
+  request.region = cloaked;
+  request.radius = radius;
+  request.category = category;
+  request.exact_rounded_rect = opts.exact_rounded_rect;
+  return request;
+}
+
+QueryRequest QueryRequest::Nn(const Rect& cloaked, Category category) {
+  QueryRequest request;
+  request.kind = QueryKind::kPrivateNn;
+  request.region = cloaked;
+  request.category = category;
+  return request;
+}
+
+QueryRequest QueryRequest::Knn(const Rect& cloaked, uint64_t k,
+                               Category category) {
+  QueryRequest request;
+  request.kind = QueryKind::kPrivateKnn;
+  request.region = cloaked;
+  request.k = k;
+  request.category = category;
+  return request;
+}
+
+QueryRequest QueryRequest::Count(const Rect& window) {
+  QueryRequest request;
+  request.kind = QueryKind::kPublicCount;
+  request.region = window;
+  return request;
+}
+
+QueryRequest QueryRequest::HeatmapAt(uint32_t resolution) {
+  QueryRequest request;
+  request.kind = QueryKind::kHeatmap;
+  request.resolution = resolution;
+  return request;
+}
+
+PrivateRangeOptions QueryRequest::range_options() const {
+  PrivateRangeOptions opts;
+  opts.exact_rounded_rect = exact_rounded_rect;
+  return opts;
+}
+
+QueryResponse MakeErrorResponse(QueryKind kind, const Status& status) {
+  QueryResponse response;
+  response.kind = kind;
+  response.error = status.code();
+  response.message = status.message();
+  return response;
+}
+
+QueryResponse ResponseFromRange(PrivateRangeResult result) {
+  QueryResponse response;
+  response.kind = QueryKind::kPrivateRange;
+  response.candidates = std::move(result.candidates);
+  response.extended_region = result.extended_region;
+  response.pruned = result.rounded_rect_pruned;
+  response.degraded = result.degraded;
+  response.covered_shards = result.covered_shards;
+  return response;
+}
+
+QueryResponse ResponseFromNn(PrivateNnResult result) {
+  QueryResponse response;
+  response.kind = QueryKind::kPrivateNn;
+  response.candidates = std::move(result.candidates);
+  response.fetch_radius = result.fetch_radius;
+  response.pruned = result.dominance_pruned;
+  response.degraded = result.degraded;
+  response.covered_shards = result.covered_shards;
+  return response;
+}
+
+QueryResponse ResponseFromKnn(PrivateKnnResult result) {
+  QueryResponse response;
+  response.kind = QueryKind::kPrivateKnn;
+  response.candidates = std::move(result.candidates);
+  response.fetch_radius = result.fetch_radius;
+  response.pruned = result.dominance_pruned;
+  response.degraded = result.degraded;
+  response.covered_shards = result.covered_shards;
+  return response;
+}
+
+QueryResponse ResponseFromCount(const PublicCountResult& result) {
+  QueryResponse response;
+  response.kind = QueryKind::kPublicCount;
+  response.expected_count = result.answer.expected;
+  response.count_min = static_cast<uint64_t>(result.answer.min_count);
+  response.count_max = static_cast<uint64_t>(result.answer.max_count);
+  response.degraded = result.degraded;
+  response.covered_shards = result.covered_shards;
+  return response;
+}
+
+QueryResponse ResponseFromHeatmap(HeatmapResult result) {
+  QueryResponse response;
+  response.kind = QueryKind::kHeatmap;
+  response.resolution = result.resolution;
+  response.space = result.space;
+  response.heat = std::move(result.expected);
+  response.degraded = result.degraded;
+  response.covered_shards = result.covered_shards;
+  return response;
+}
+
+PrivateRangeResult RangeFromResponse(QueryResponse response) {
+  PrivateRangeResult result;
+  result.candidates = std::move(response.candidates);
+  result.extended_region = response.extended_region;
+  result.rounded_rect_pruned = static_cast<size_t>(response.pruned);
+  result.degraded = response.degraded;
+  result.covered_shards = response.covered_shards;
+  return result;
+}
+
+PrivateNnResult NnFromResponse(QueryResponse response) {
+  PrivateNnResult result;
+  result.candidates = std::move(response.candidates);
+  result.fetch_radius = response.fetch_radius;
+  result.dominance_pruned = static_cast<size_t>(response.pruned);
+  result.degraded = response.degraded;
+  result.covered_shards = response.covered_shards;
+  return result;
+}
+
+PrivateKnnResult KnnFromResponse(QueryResponse response) {
+  PrivateKnnResult result;
+  result.candidates = std::move(response.candidates);
+  result.fetch_radius = response.fetch_radius;
+  result.dominance_pruned = static_cast<size_t>(response.pruned);
+  result.degraded = response.degraded;
+  result.covered_shards = response.covered_shards;
+  return result;
+}
+
+HeatmapResult HeatmapFromResponse(QueryResponse response) {
+  HeatmapResult result;
+  result.resolution = response.resolution;
+  result.space = response.space;
+  result.expected = std::move(response.heat);
+  result.degraded = response.degraded;
+  result.covered_shards = response.covered_shards;
+  return result;
+}
+
+}  // namespace cloakdb

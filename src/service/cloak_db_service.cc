@@ -61,6 +61,23 @@ class RootTrace {
   obs::TraceSpan span_;
 };
 
+/// Root-span / metric-family name of one envelope kind.
+const char* RootSpanName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPrivateRange:
+      return "query.private_range";
+    case QueryKind::kPrivateNn:
+      return "query.private_nn";
+    case QueryKind::kPrivateKnn:
+      return "query.private_knn";
+    case QueryKind::kPublicCount:
+      return "query.public_count";
+    case QueryKind::kHeatmap:
+      return "query.heatmap";
+  }
+  return "query.unknown";
+}
+
 }  // namespace
 
 /// Tracks one fan-out's degradation state. Coverage is a 64-bit bitmap, so
@@ -135,7 +152,7 @@ struct CloakDbService::FanoutGuard {
       return Status::DeadlineExceeded(
           "query deadline expired before enough shards answered");
     if (degraded)
-      return Status::ResourceExhausted(
+      return Status::DegradedZeroCoverage(
           "degraded query produced no candidates");
     return fallback;
   }
@@ -376,8 +393,7 @@ CloakDbService::Admission CloakDbService::AdmitQuery() const {
       break;
     case AdmissionDecision::kReject:
       robustness_obs_.queries_shed->Increment();
-      admission.status =
-          Status::ResourceExhausted("query shed: service overloaded");
+      admission.status = Status::Shed("query shed: service overloaded");
       break;
   }
   return admission;
@@ -443,7 +459,7 @@ Status CloakDbService::EnqueueUpdate(UserId user, const Point& location,
   if (admission_ != nullptr &&
       admission_->ShouldShedUpdate(shard.QueueDepth())) {
     robustness_obs_.updates_shed->Increment();
-    return Status::ResourceExhausted("update shed: shard queue overloaded");
+    return Status::Shed("update shed: shard queue overloaded");
   }
   return shard.Enqueue({user, location, now}, /*block=*/true);
 }
@@ -456,7 +472,7 @@ Status CloakDbService::TryEnqueueUpdate(UserId user, const Point& location,
   if (admission_ != nullptr &&
       admission_->ShouldShedUpdate(shard.QueueDepth())) {
     robustness_obs_.updates_shed->Increment();
-    return Status::ResourceExhausted("update shed: shard queue overloaded");
+    return Status::Shed("update shed: shard queue overloaded");
   }
   return shard.Enqueue({user, location, now}, /*block=*/false);
 }
@@ -492,34 +508,83 @@ Status CloakDbService::Flush() {
   }
 }
 
-Result<PrivateRangeResult> CloakDbService::PrivateRange(
-    const Rect& cloaked, double radius, Category category,
-    const PrivateRangeOptions& opts) const {
-  RootTrace trace(tracer_.get(), "query.private_range");
+QueryResponse CloakDbService::ExecuteQuery(const QueryRequest& request) const {
+  const auto started = std::chrono::steady_clock::now();
+  RootTrace trace(tracer_.get(), RootSpanName(request.kind));
   obs::ScopedTraceContext scope(trace.context());
   Admission admission = AdmitQuery();
   if (admission.degraded_admission) trace.AddAttr("degraded_admission", 1.0);
+  QueryResponse response;
   if (!admission.status.ok()) {
     trace.AddAttr("shed", 1.0);
-    return admission.status;
+    response = MakeErrorResponse(request.kind, admission.status);
+  } else {
+    // A client budget can only tighten the server's own admission deadline.
+    Deadline deadline = admission.deadline;
+    if (request.deadline_us > 0) {
+      deadline =
+          Deadline::Earliest(deadline, Deadline::After(request.deadline_us));
+    }
+    switch (request.kind) {
+      case QueryKind::kPrivateRange:
+      case QueryKind::kPrivateNn:
+      case QueryKind::kPrivateKnn: {
+        BatchQuery query;
+        query.request = request;
+        query.trace = trace.context();
+        query.deadline = deadline;
+        query.shard_budget = admission.shard_budget;
+        response = batcher_ != nullptr
+                       ? batcher_->Submit(query)
+                       : ExecuteOne(query, options_.enable_shared_execution,
+                                    Rect());
+        break;
+      }
+      case QueryKind::kPublicCount: {
+        auto count = PublicCountImpl(request.region, deadline,
+                                     admission.shard_budget);
+        response = count.ok()
+                       ? ResponseFromCount(count.value())
+                       : MakeErrorResponse(request.kind, count.status());
+        break;
+      }
+      case QueryKind::kHeatmap: {
+        auto heat =
+            HeatmapImpl(request.resolution, deadline, admission.shard_budget);
+        response = heat.ok()
+                       ? ResponseFromHeatmap(std::move(heat).value())
+                       : MakeErrorResponse(request.kind, heat.status());
+        break;
+      }
+    }
   }
-  if (batcher_ != nullptr) {
-    BatchQuery query;
-    query.kind = BatchQueryKind::kRange;
-    query.cloaked = cloaked;
-    query.radius = radius;
-    query.category = category;
-    query.range_options = opts;
-    query.trace = trace.context();
-    query.deadline = admission.deadline;
-    query.shard_budget = admission.shard_budget;
-    BatchQueryResult result = batcher_->Submit(query);
-    if (!result.status.ok()) return result.status;
-    return std::move(result.range);
+  response.kind = request.kind;
+  response.degraded_admission = admission.degraded_admission;
+  response.trace_id = trace.context().trace_id;
+  response.server_latency_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  // Queries that burned their whole budget before failing are slow queries
+  // too: surface them in the slow log with their typed status. (Fast
+  // rejections — shed, validation — stay out; they carry no latency story.)
+  if (response.error == ErrorCode::kDeadlineExceeded ||
+      response.error == ErrorCode::kDegradedZeroCoverage) {
+    slow_log_.Record({QueryKindName(request.kind),
+                      static_cast<double>(response.server_latency_us),
+                      request.region.Area(), 0, 0,
+                      trace.context().trace_id, response.error});
   }
-  return PrivateRangeImpl(cloaked, radius, category, opts,
-                          options_.enable_shared_execution, Rect(),
-                          admission.deadline, admission.shard_budget);
+  return response;
+}
+
+Result<PrivateRangeResult> CloakDbService::PrivateRange(
+    const Rect& cloaked, double radius, Category category,
+    const PrivateRangeOptions& opts) const {
+  QueryResponse response =
+      ExecuteQuery(QueryRequest::Range(cloaked, radius, category, opts));
+  if (!response.ok()) return response.status();
+  return RangeFromResponse(std::move(response));
 }
 
 Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
@@ -611,28 +676,9 @@ Result<PrivateRangeResult> CloakDbService::PrivateRangeImpl(
 
 Result<PrivateNnResult> CloakDbService::PrivateNn(const Rect& cloaked,
                                                   Category category) const {
-  RootTrace trace(tracer_.get(), "query.private_nn");
-  obs::ScopedTraceContext scope(trace.context());
-  Admission admission = AdmitQuery();
-  if (admission.degraded_admission) trace.AddAttr("degraded_admission", 1.0);
-  if (!admission.status.ok()) {
-    trace.AddAttr("shed", 1.0);
-    return admission.status;
-  }
-  if (batcher_ != nullptr) {
-    BatchQuery query;
-    query.kind = BatchQueryKind::kNn;
-    query.cloaked = cloaked;
-    query.category = category;
-    query.trace = trace.context();
-    query.deadline = admission.deadline;
-    query.shard_budget = admission.shard_budget;
-    BatchQueryResult result = batcher_->Submit(query);
-    if (!result.status.ok()) return result.status;
-    return std::move(result.nn);
-  }
-  return PrivateNnImpl(cloaked, category, options_.enable_shared_execution,
-                       Rect(), admission.deadline, admission.shard_budget);
+  QueryResponse response = ExecuteQuery(QueryRequest::Nn(cloaked, category));
+  if (!response.ok()) return response.status();
+  return NnFromResponse(std::move(response));
 }
 
 Result<PrivateNnResult> CloakDbService::PrivateNnImpl(
@@ -718,29 +764,10 @@ Result<PrivateNnResult> CloakDbService::PrivateNnImpl(
 Result<PrivateKnnResult> CloakDbService::PrivateKnn(const Rect& cloaked,
                                                     size_t k,
                                                     Category category) const {
-  RootTrace trace(tracer_.get(), "query.private_knn");
-  obs::ScopedTraceContext scope(trace.context());
-  Admission admission = AdmitQuery();
-  if (admission.degraded_admission) trace.AddAttr("degraded_admission", 1.0);
-  if (!admission.status.ok()) {
-    trace.AddAttr("shed", 1.0);
-    return admission.status;
-  }
-  if (batcher_ != nullptr) {
-    BatchQuery query;
-    query.kind = BatchQueryKind::kKnn;
-    query.cloaked = cloaked;
-    query.k = k;
-    query.category = category;
-    query.trace = trace.context();
-    query.deadline = admission.deadline;
-    query.shard_budget = admission.shard_budget;
-    BatchQueryResult result = batcher_->Submit(query);
-    if (!result.status.ok()) return result.status;
-    return std::move(result.knn);
-  }
-  return PrivateKnnImpl(cloaked, k, category, options_.enable_shared_execution,
-                        Rect(), admission.deadline, admission.shard_budget);
+  QueryResponse response =
+      ExecuteQuery(QueryRequest::Knn(cloaked, k, category));
+  if (!response.ok()) return response.status();
+  return KnnFromResponse(std::move(response));
 }
 
 Result<PrivateKnnResult> CloakDbService::PrivateKnnImpl(
@@ -830,6 +857,9 @@ Result<PrivateKnnResult> CloakDbService::PrivateKnnImpl(
 
 Result<PublicCountResult> CloakDbService::PublicCount(
     const Rect& window) const {
+  // The rich count result (PMF, per-object contributions) stays a library
+  // feature: this method keeps its own admission so those callers do not
+  // pay envelope summarization. The envelope path shares PublicCountImpl.
   RootTrace trace(tracer_.get(), "query.public_count");
   obs::ScopedTraceContext scope(trace.context());
   Admission admission = AdmitQuery();
@@ -838,10 +868,15 @@ Result<PublicCountResult> CloakDbService::PublicCount(
     trace.AddAttr("shed", 1.0);
     return admission.status;
   }
+  return PublicCountImpl(window, admission.deadline, admission.shard_budget);
+}
+
+Result<PublicCountResult> CloakDbService::PublicCountImpl(
+    const Rect& window, Deadline deadline, uint32_t shard_budget) const {
   obs::ScopedTimer total(count_obs_.latency_us);
   std::vector<PublicCountResult> parts;
   parts.reserve(shards_.size());
-  FanoutGuard guard(this, admission.deadline, admission.shard_budget);
+  FanoutGuard guard(this, deadline, shard_budget);
   obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
   fanout.AddAttr("shards", static_cast<double>(shards_.size()));
   for (const auto& shard : shards_) {
@@ -893,18 +928,18 @@ Result<PublicCountResult> CloakDbService::PublicCount(
 }
 
 Result<HeatmapResult> CloakDbService::Heatmap(uint32_t resolution) const {
-  RootTrace trace(tracer_.get(), "query.heatmap");
-  obs::ScopedTraceContext scope(trace.context());
-  Admission admission = AdmitQuery();
-  if (admission.degraded_admission) trace.AddAttr("degraded_admission", 1.0);
-  if (!admission.status.ok()) {
-    trace.AddAttr("shed", 1.0);
-    return admission.status;
-  }
+  QueryResponse response = ExecuteQuery(QueryRequest::HeatmapAt(resolution));
+  if (!response.ok()) return response.status();
+  return HeatmapFromResponse(std::move(response));
+}
+
+Result<HeatmapResult> CloakDbService::HeatmapImpl(uint32_t resolution,
+                                                  Deadline deadline,
+                                                  uint32_t shard_budget) const {
   obs::ScopedTimer total(heatmap_obs_.latency_us);
   std::vector<HeatmapResult> parts;
   parts.reserve(shards_.size());
-  FanoutGuard guard(this, admission.deadline, admission.shard_budget);
+  FanoutGuard guard(this, deadline, shard_budget);
   obs::TraceSpan fanout(obs::CurrentTraceContext(), "fanout");
   fanout.AddAttr("shards", static_cast<double>(shards_.size()));
   for (const auto& shard : shards_) {
@@ -953,42 +988,35 @@ Result<HeatmapResult> CloakDbService::Heatmap(uint32_t resolution) const {
 BatchQueryResult CloakDbService::ExecuteOne(const BatchQuery& query,
                                             bool cached,
                                             const Rect& cover) const {
-  BatchQueryResult result;
-  switch (query.kind) {
-    case BatchQueryKind::kRange: {
-      auto range = PrivateRangeImpl(query.cloaked, query.radius, query.category,
-                                    query.range_options, cached, cover,
-                                    query.deadline, query.shard_budget);
-      if (range.ok()) {
-        result.range = std::move(range).value();
-      } else {
-        result.status = range.status();
-      }
-      break;
+  const QueryRequest& request = query.request;
+  switch (request.kind) {
+    case QueryKind::kPrivateRange: {
+      auto range = PrivateRangeImpl(request.region, request.radius,
+                                    request.category, request.range_options(),
+                                    cached, cover, query.deadline,
+                                    query.shard_budget);
+      return range.ok() ? ResponseFromRange(std::move(range).value())
+                        : MakeErrorResponse(request.kind, range.status());
     }
-    case BatchQueryKind::kNn: {
-      auto nn = PrivateNnImpl(query.cloaked, query.category, cached, cover,
+    case QueryKind::kPrivateNn: {
+      auto nn = PrivateNnImpl(request.region, request.category, cached, cover,
                               query.deadline, query.shard_budget);
-      if (nn.ok()) {
-        result.nn = std::move(nn).value();
-      } else {
-        result.status = nn.status();
-      }
-      break;
+      return nn.ok() ? ResponseFromNn(std::move(nn).value())
+                     : MakeErrorResponse(request.kind, nn.status());
     }
-    case BatchQueryKind::kKnn: {
-      auto knn =
-          PrivateKnnImpl(query.cloaked, query.k, query.category, cached, cover,
-                         query.deadline, query.shard_budget);
-      if (knn.ok()) {
-        result.knn = std::move(knn).value();
-      } else {
-        result.status = knn.status();
-      }
-      break;
+    case QueryKind::kPrivateKnn: {
+      auto knn = PrivateKnnImpl(request.region,
+                                static_cast<size_t>(request.k),
+                                request.category, cached, cover,
+                                query.deadline, query.shard_budget);
+      return knn.ok() ? ResponseFromKnn(std::move(knn).value())
+                      : MakeErrorResponse(request.kind, knn.status());
     }
+    default:
+      return MakeErrorResponse(
+          request.kind,
+          Status::InvalidArgument("only private query kinds are batchable"));
   }
-  return result;
 }
 
 std::vector<BatchQueryResult> CloakDbService::ExecuteBatch(

@@ -32,6 +32,7 @@
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "service/api.h"
 #include "service/fault_injector.h"
 #include "service/overload.h"
 #include "service/query_batcher.h"
@@ -172,14 +173,23 @@ class CloakDbService {
 
   // --- Queries (fan-out + merge) -----------------------------------------
   // Overload behaviour (options().overload): a query caught by the
-  // admission controller is either rejected with ResourceExhausted
+  // admission controller is either rejected with ErrorCode::kShed
   // (OverloadPolicy::kReject) or admitted with a capped shard budget
   // (kDegrade). When a deadline, budget, or shard failure cuts a fan-out
   // short, the merged result carries degraded=true and a covered_shards
   // bitmap: it is still a correct candidate superset restricted to the
   // covered shards — never a silently wrong exact answer. A query that
-  // could not produce any part fails with DeadlineExceeded (deadline) or
-  // the first shard error.
+  // could not produce any part fails with kDeadlineExceeded (deadline),
+  // kDegradedZeroCoverage (no shard covered), or the first shard error.
+
+  /// The unified entry point: executes one envelope query of any kind —
+  /// root trace, admission control, fan-out, merge — and returns the
+  /// envelope response with errors in-band (never throws, never blocks on
+  /// an overloaded service beyond the admission verdict). The per-kind
+  /// methods below are thin wrappers over this, and the wire server calls
+  /// it directly, so in-process and network queries take the same path.
+  /// `request.deadline_us` can only tighten the admission deadline.
+  QueryResponse ExecuteQuery(const QueryRequest& request) const;
 
   /// Private range query over public data; fans out to the stripes
   /// overlapping the radius-extended region. The merged result equals the
@@ -313,6 +323,11 @@ class CloakDbService {
                                           Category category, bool cached,
                                           const Rect& cover, Deadline deadline,
                                           uint32_t shard_budget) const;
+  Result<PublicCountResult> PublicCountImpl(const Rect& window,
+                                            Deadline deadline,
+                                            uint32_t shard_budget) const;
+  Result<HeatmapResult> HeatmapImpl(uint32_t resolution, Deadline deadline,
+                                    uint32_t shard_budget) const;
 
   /// Dispatches one batch member to the matching Impl.
   BatchQueryResult ExecuteOne(const BatchQuery& query, bool cached,

@@ -14,12 +14,13 @@ std::vector<QueryCluster> ClusterBatch(const std::vector<BatchQuery>& queries,
   // shared (the reach semantics and the probed index differ otherwise).
   std::map<std::pair<uint8_t, Category>, std::vector<size_t>> groups;
   for (size_t i = 0; i < queries.size(); ++i) {
-    if (queries[i].cloaked.IsEmpty()) {
+    const QueryRequest& request = queries[i].request;
+    if (request.region.IsEmpty()) {
       // Fails validation downstream; keep it out of every real cluster.
       out.push_back({{i}, Rect()});
       continue;
     }
-    groups[{static_cast<uint8_t>(queries[i].kind), queries[i].category}]
+    groups[{static_cast<uint8_t>(request.kind), request.category}]
         .push_back(i);
   }
   for (const auto& [key, members] : groups) {
@@ -29,7 +30,7 @@ std::vector<QueryCluster> ClusterBatch(const std::vector<BatchQuery>& queries,
     // the probe — wider, never wrong.
     std::vector<QueryCluster> clusters;
     for (size_t i : members) {
-      Rect snapped = signature.SnapToCells(queries[i].cloaked);
+      Rect snapped = signature.SnapToCells(queries[i].request.region);
       QueryCluster merged{{i}, snapped};
       std::vector<QueryCluster> keep;
       keep.reserve(clusters.size());
@@ -95,8 +96,9 @@ BatchQueryResult QueryBatcher::Submit(const BatchQuery& query) {
     if (i < results.size()) {
       batch[i]->result = std::move(results[i]);
     } else {
-      batch[i]->result.status =
-          Status::FailedPrecondition("batch executor returned short batch");
+      batch[i]->result = MakeErrorResponse(
+          batch[i]->query->request.kind,
+          Status::FailedPrecondition("batch executor returned short batch"));
     }
     batch[i]->done = true;
   }

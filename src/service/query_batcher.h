@@ -23,24 +23,19 @@
 #include <vector>
 
 #include "obs/trace.h"
-#include "server/private_queries.h"
+#include "service/api.h"
 #include "service/candidate_cache.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
 namespace cloakdb {
 
-/// The private-over-public query kinds the shared-execution engine batches.
-enum class BatchQueryKind : uint8_t { kRange = 0, kNn = 1, kKnn = 2 };
-
-/// One query of a batch.
+/// One query of a batch: the unified envelope plus the service-internal
+/// carriage (trace adoption, admission limits) the batch leader needs to
+/// execute the member on the submitter's behalf. Only the private-over-
+/// public kinds are batchable; others fail with kInvalidArgument.
 struct BatchQuery {
-  BatchQueryKind kind = BatchQueryKind::kRange;
-  Rect cloaked;
-  double radius = 0.0;  ///< kRange.
-  size_t k = 1;         ///< kKnn.
-  Category category = 0;
-  PrivateRangeOptions range_options;  ///< kRange.
+  QueryRequest request;
   /// Trace of the submitting request; the batch leader executes this
   /// member under it (adoption is recorded as a span link), so a query's
   /// spans land in its own trace even when a different thread ran it.
@@ -54,14 +49,9 @@ struct BatchQuery {
   uint32_t shard_budget = 0;
 };
 
-/// The result of one batched query; exactly the matching field of the
-/// query's kind is populated when `status` is OK.
-struct BatchQueryResult {
-  Status status = Status::OK();
-  PrivateRangeResult range;
-  PrivateNnResult nn;
-  PrivateKnnResult knn;
-};
+/// The result of one batched query is simply the envelope response: the
+/// same tagged type the wire serializes, with errors in-band.
+using BatchQueryResult = QueryResponse;
 
 /// One shared-probe cluster: member indices into the batch plus the
 /// cell-aligned union cover of their snapped cloaked regions.

@@ -84,11 +84,12 @@ std::string ServiceStats::ToString() const {
   for (const obs::SlowQueryRecord& q : slow_queries) {
     std::snprintf(buf, sizeof(buf),
                   "slow: %s %.0fus area=%.4g shards=%u candidates=%llu "
-                  "trace=%llu\n",
+                  "trace=%llu status=%s\n",
                   q.kind.c_str(), q.latency_us, q.region_area,
                   q.shards_touched,
                   static_cast<unsigned long long>(q.candidates),
-                  static_cast<unsigned long long>(q.trace_id));
+                  static_cast<unsigned long long>(q.trace_id),
+                  to_string(q.error));
     out += buf;
   }
   return out;

@@ -24,8 +24,46 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kShed:
+      return "Shed";
+    case StatusCode::kDegradedZeroCoverage:
+      return "DegradedZeroCoverage";
+    case StatusCode::kMalformedRequest:
+      return "MalformedRequest";
   }
   return "Unknown";
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kAlreadyExists:
+      return "already-exists";
+    case ErrorCode::kOutOfRange:
+      return "out-of-range";
+    case ErrorCode::kFailedPrecondition:
+      return "failed-precondition";
+    case ErrorCode::kUnsatisfiable:
+      return "unsatisfiable";
+    case ErrorCode::kResourceExhausted:
+      return "resource-exhausted";
+    case ErrorCode::kInternal:
+      return "internal";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kShed:
+      return "shed";
+    case ErrorCode::kDegradedZeroCoverage:
+      return "degraded-zero-coverage";
+    case ErrorCode::kMalformedRequest:
+      return "malformed-request";
+  }
+  return "unknown";
 }
 
 std::string Status::ToString() const {

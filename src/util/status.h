@@ -26,10 +26,24 @@ enum class StatusCode {
   kResourceExhausted, ///< A bounded resource (e.g. a queue) is full.
   kInternal,          ///< An invariant was violated inside the library.
   kDeadlineExceeded,  ///< The request's deadline passed before completion.
+  kShed,              ///< Admission control rejected the request (overload).
+  kDegradedZeroCoverage,  ///< A degraded fan-out covered no shard at all.
+  kMalformedRequest,  ///< A wire request failed to decode or validate.
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// The one error vocabulary shared by Result<T>/Status on the library side
+/// and the status byte of the wire protocol's response/error frames
+/// (src/net/protocol.h serializes it as uint8, values are stable).
+using ErrorCode = StatusCode;
+
+/// Wire-stable name of an ErrorCode ("deadline-exceeded", "shed", ...).
+/// Used by cloaksim/cloakd logs, the slow-query log, and cloakload output;
+/// distinct from StatusCodeName so operator-facing strings can stay
+/// kebab-case while test messages keep the CamelCase names.
+const char* to_string(ErrorCode code);
 
 /// The result of an operation that can fail but produces no value.
 ///
@@ -72,6 +86,15 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Shed(std::string msg) {
+    return Status(StatusCode::kShed, std::move(msg));
+  }
+  static Status DegradedZeroCoverage(std::string msg) {
+    return Status(StatusCode::kDegradedZeroCoverage, std::move(msg));
+  }
+  static Status MalformedRequest(std::string msg) {
+    return Status(StatusCode::kMalformedRequest, std::move(msg));
   }
 
   /// True iff the operation succeeded.

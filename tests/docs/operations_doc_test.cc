@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "net/server.h"
 #include "service/cloak_db_service.h"
 #include "sim/poi.h"
 #include "util/minijson.h"
@@ -135,6 +136,11 @@ TEST(OperationsDocTest, MetricsCatalogMatchesRegistryExactly) {
   db->PrivateKnn(Rect(5, 5, 20, 20), 2, poi_category::kGasStation);
   db->PublicCount(Rect(0, 0, 50, 50));
   db->Heatmap(4);
+
+  // The net.* metrics register eagerly when a wire server is created on
+  // the service's registry — no traffic needed.
+  auto server = net::CloakServer::Create(db.get(), {});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
 
   std::set<std::string> registered = RegisteredMetrics(db->metrics());
   ASSERT_FALSE(registered.empty());

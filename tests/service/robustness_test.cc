@@ -202,7 +202,7 @@ TEST(RobustnessTest, CreateValidatesRobustnessOptions) {
             StatusCode::kInvalidArgument);
 }
 
-TEST(RobustnessTest, ShedQueryFailsFastWithResourceExhausted) {
+TEST(RobustnessTest, ShedQueryFailsFastWithTypedShedStatus) {
   auto options = DefaultOptions(4);
   options.overload.max_queries_per_s = 0.001;
   options.overload.burst = 1;
@@ -215,7 +215,8 @@ TEST(RobustnessTest, ShedQueryFailsFastWithResourceExhausted) {
   Rect cloaked(40, 40, 50, 50);
   ASSERT_TRUE(db->PrivateRange(cloaked, 5, poi_category::kGasStation).ok());
   auto shed = db->PrivateRange(cloaked, 5, poi_category::kGasStation);
-  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.status().code(), StatusCode::kShed);
+  EXPECT_STREQ(to_string(shed.status().code()), "shed");
 
   ServiceStats stats = db->Stats();
   EXPECT_EQ(stats.robustness.queries_shed, 1u);
@@ -334,7 +335,7 @@ TEST(RobustnessTest, UpdateSheddingUnderQueuePressure) {
     for (UserId user = 1; user <= 64; ++user) {
       Point p(rng.Uniform(0, 100), rng.Uniform(0, 100));
       Status status = db->EnqueueUpdate(user, p, Noon());
-      if (status.code() == StatusCode::kResourceExhausted) ++shed;
+      if (status.code() == StatusCode::kShed) ++shed;
     }
   }
   EXPECT_GT(shed, 0u);

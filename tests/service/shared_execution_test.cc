@@ -242,53 +242,56 @@ TEST(SharedExecutionTest, ExecuteQueryBatchMatchesIsolatedOracle) {
                 ay + rng.Uniform(2.0, 8.0));
     for (int i = 0; i < 5; ++i) {
       BatchQuery q;
-      q.kind = static_cast<BatchQueryKind>(i % 3);
+      q.request.kind = static_cast<QueryKind>(i % 3);
       double dx = rng.Uniform(-2, 2), dy = rng.Uniform(-2, 2);
-      q.cloaked = Rect(anchor.min_x + dx, anchor.min_y + dy,
-                       anchor.max_x + dx, anchor.max_y + dy)
-                      .Intersection(Rect(0, 0, 100, 100));
-      q.radius = rng.Uniform(0.5, 5.0);
-      q.k = 1 + rng.NextBelow(4);
-      q.category = kCat;
+      q.request.region = Rect(anchor.min_x + dx, anchor.min_y + dy,
+                              anchor.max_x + dx, anchor.max_y + dy)
+                             .Intersection(Rect(0, 0, 100, 100));
+      q.request.radius = rng.Uniform(0.5, 5.0);
+      q.request.k = 1 + rng.NextBelow(4);
+      q.request.category = kCat;
       batch.push_back(q);
     }
     for (int i = 0; i < 3; ++i) {
       BatchQuery q;
-      q.kind = static_cast<BatchQueryKind>(i % 3);
-      q.cloaked = RandomCloak(&rng);
-      q.radius = rng.Uniform(0.5, 5.0);
-      q.k = 1 + rng.NextBelow(4);
-      q.category = kCat;
+      q.request.kind = static_cast<QueryKind>(i % 3);
+      q.request.region = RandomCloak(&rng);
+      q.request.radius = rng.Uniform(0.5, 5.0);
+      q.request.k = 1 + rng.NextBelow(4);
+      q.request.category = kCat;
       batch.push_back(q);
     }
 
     auto results = db->ExecuteQueryBatch(batch);
     ASSERT_EQ(results.size(), batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
-      const BatchQuery& q = batch[i];
-      ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+      const QueryRequest& q = batch[i].request;
+      ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+      EXPECT_EQ(results[i].kind, q.kind);
       switch (q.kind) {
-        case BatchQueryKind::kRange: {
-          auto truth = twin->PrivateRange(q.cloaked, q.radius, q.category);
+        case QueryKind::kPrivateRange: {
+          auto truth = twin->PrivateRange(q.region, q.radius, q.category);
           ASSERT_TRUE(truth.ok());
-          EXPECT_EQ(SortedIds(results[i].range.candidates),
+          EXPECT_EQ(SortedIds(results[i].candidates),
                     SortedIds(truth.value().candidates));
           break;
         }
-        case BatchQueryKind::kNn: {
-          auto truth = twin->PrivateNn(q.cloaked, q.category);
+        case QueryKind::kPrivateNn: {
+          auto truth = twin->PrivateNn(q.region, q.category);
           ASSERT_TRUE(truth.ok());
-          EXPECT_EQ(SortedIds(results[i].nn.candidates),
+          EXPECT_EQ(SortedIds(results[i].candidates),
                     SortedIds(truth.value().candidates));
           break;
         }
-        case BatchQueryKind::kKnn: {
-          auto truth = twin->PrivateKnn(q.cloaked, q.k, q.category);
+        case QueryKind::kPrivateKnn: {
+          auto truth = twin->PrivateKnn(q.region, q.k, q.category);
           ASSERT_TRUE(truth.ok());
-          EXPECT_EQ(SortedIds(results[i].knn.candidates),
+          EXPECT_EQ(SortedIds(results[i].candidates),
                     SortedIds(truth.value().candidates));
           break;
         }
+        default:
+          FAIL() << "unexpected kind";
       }
     }
   }
@@ -308,35 +311,36 @@ TEST(SharedExecutionTest, ClusterBatchPartitionsAndCovers) {
   std::vector<BatchQuery> batch;
   for (int i = 0; i < 40; ++i) {
     BatchQuery q;
-    q.kind = static_cast<BatchQueryKind>(rng.NextBelow(3));
-    q.cloaked = RandomCloak(&rng);
-    q.category = rng.NextBelow(2) == 0 ? kCat : poi_category::kRestaurant;
+    q.request.kind = static_cast<QueryKind>(rng.NextBelow(3));
+    q.request.region = RandomCloak(&rng);
+    q.request.category =
+        rng.NextBelow(2) == 0 ? kCat : poi_category::kRestaurant;
     batch.push_back(q);
   }
   auto clusters = ClusterBatch(batch, signature);
   std::vector<int> seen(batch.size(), 0);
   for (const auto& cluster : clusters) {
     ASSERT_FALSE(cluster.members.empty());
-    const BatchQuery& head = batch[cluster.members.front()];
+    const QueryRequest& head = batch[cluster.members.front()].request;
     for (size_t m : cluster.members) {
       ASSERT_LT(m, batch.size());
       ++seen[m];
-      EXPECT_EQ(batch[m].kind, head.kind);
-      EXPECT_EQ(batch[m].category, head.category);
-      EXPECT_TRUE(cluster.cover.Contains(batch[m].cloaked));
+      EXPECT_EQ(batch[m].request.kind, head.kind);
+      EXPECT_EQ(batch[m].request.category, head.category);
+      EXPECT_TRUE(cluster.cover.Contains(batch[m].request.region));
     }
   }
   for (int count : seen) EXPECT_EQ(count, 1);
 
   // Two overlapping queries of the same kind+category share a cluster.
   std::vector<BatchQuery> pair(2);
-  pair[0].kind = pair[1].kind = BatchQueryKind::kNn;
-  pair[0].category = pair[1].category = kCat;
-  pair[0].cloaked = Rect(10, 10, 20, 20);
-  pair[1].cloaked = Rect(15, 15, 25, 25);
+  pair[0].request.kind = pair[1].request.kind = QueryKind::kPrivateNn;
+  pair[0].request.category = pair[1].request.category = kCat;
+  pair[0].request.region = Rect(10, 10, 20, 20);
+  pair[1].request.region = Rect(15, 15, 25, 25);
   EXPECT_EQ(ClusterBatch(pair, signature).size(), 1u);
   // Same geometry, different kind: no sharing.
-  pair[1].kind = BatchQueryKind::kRange;
+  pair[1].request.kind = QueryKind::kPrivateRange;
   EXPECT_EQ(ClusterBatch(pair, signature).size(), 2u);
 }
 

@@ -1,0 +1,425 @@
+// cloakload — open-loop constant-arrival-rate load generator for cloakd.
+//
+// For each offered rate, sends are scheduled on a fixed interval off the
+// monotonic clock *regardless of completions* — a slow server does not
+// slow the generator down, it just falls behind, which is exactly the
+// signal a closed-loop harness hides. Latency is measured from each
+// request's SCHEDULED send time, not its actual send time, so queueing
+// delay caused by a saturated server counts against it (no coordinated
+// omission).
+//
+// Usage:
+//   cloakload [--host=ADDR] (--port=P | --port-file=PATH)
+//             [--rates=R1,R2,...] [--duration-s=D] [--connections=C]
+//             [--kind=range|nn|knn|count|heatmap] [--radius=R] [--k=K]
+//             [--deadline-us=U] [--seed=S] [--json=PATH]
+//
+// Each rate runs for --duration-s seconds over --connections pipelined
+// connections (the offered rate is split evenly across them). The report
+// — text table on stdout, machine-readable JSON via --json — gives
+// offered vs achieved throughput, p50/p90/p99/max latency, and a per
+// typed-ErrorCode response breakdown (ok / shed / deadline-exceeded /
+// degraded...), so shedding past saturation is visible as data, not as
+// timeouts. Exits non-zero if any request went unanswered or any frame
+// failed to decode.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "service/api.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cloakdb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string port_file;
+  std::vector<double> rates = {100, 1000, 5000};
+  double duration_s = 5.0;
+  uint32_t connections = 4;
+  QueryKind kind = QueryKind::kPrivateRange;
+  double radius = 5.0;
+  uint64_t k = 3;
+  int64_t deadline_us = 0;
+  uint64_t seed = 42;
+  std::string json_path;
+};
+
+bool ParseArg(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseArg(argv[i], "host", &value)) {
+      args.host = value;
+    } else if (ParseArg(argv[i], "port", &value)) {
+      args.port = static_cast<uint16_t>(std::stoul(value));
+    } else if (ParseArg(argv[i], "port-file", &value)) {
+      args.port_file = value;
+    } else if (ParseArg(argv[i], "rates", &value)) {
+      args.rates.clear();
+      size_t pos = 0;
+      while (pos < value.size()) {
+        size_t comma = value.find(',', pos);
+        if (comma == std::string::npos) comma = value.size();
+        args.rates.push_back(std::stod(value.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+      if (args.rates.empty())
+        return Status::InvalidArgument("--rates needs at least one rate");
+    } else if (ParseArg(argv[i], "duration-s", &value)) {
+      args.duration_s = std::stod(value);
+    } else if (ParseArg(argv[i], "connections", &value)) {
+      args.connections = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseArg(argv[i], "kind", &value)) {
+      if (value == "range") {
+        args.kind = QueryKind::kPrivateRange;
+      } else if (value == "nn") {
+        args.kind = QueryKind::kPrivateNn;
+      } else if (value == "knn") {
+        args.kind = QueryKind::kPrivateKnn;
+      } else if (value == "count") {
+        args.kind = QueryKind::kPublicCount;
+      } else if (value == "heatmap") {
+        args.kind = QueryKind::kHeatmap;
+      } else {
+        return Status::InvalidArgument("unknown --kind: " + value);
+      }
+    } else if (ParseArg(argv[i], "radius", &value)) {
+      args.radius = std::stod(value);
+    } else if (ParseArg(argv[i], "k", &value)) {
+      args.k = std::stoull(value);
+    } else if (ParseArg(argv[i], "deadline-us", &value)) {
+      args.deadline_us = std::stoll(value);
+    } else if (ParseArg(argv[i], "seed", &value)) {
+      args.seed = std::stoull(value);
+    } else if (ParseArg(argv[i], "json", &value)) {
+      args.json_path = value;
+    } else {
+      return Status::InvalidArgument(std::string("unknown flag: ") + argv[i]);
+    }
+  }
+  if (args.connections == 0)
+    return Status::InvalidArgument("--connections must be >= 1");
+  return args;
+}
+
+QueryRequest MakeRequest(const Args& args, Rng* rng) {
+  const double x = rng->Uniform(5, 85);
+  const double y = rng->Uniform(5, 85);
+  const Rect cloaked(x, y, x + 10, y + 10);
+  QueryRequest request;
+  switch (args.kind) {
+    case QueryKind::kPrivateRange:
+      request = QueryRequest::Range(cloaked, args.radius, 1);
+      break;
+    case QueryKind::kPrivateNn:
+      request = QueryRequest::Nn(cloaked, 1);
+      break;
+    case QueryKind::kPrivateKnn:
+      request = QueryRequest::Knn(cloaked, args.k, 1);
+      break;
+    case QueryKind::kPublicCount:
+      request = QueryRequest::Count(cloaked);
+      break;
+    case QueryKind::kHeatmap:
+      request = QueryRequest::HeatmapAt(16);
+      break;
+  }
+  request.deadline_us = args.deadline_us;
+  return request;
+}
+
+/// What one connection measured during one rate step.
+struct ConnResult {
+  uint64_t sent = 0;
+  uint64_t received = 0;      ///< Any frame back, ok or typed error.
+  uint64_t transport_errors = 0;  ///< Send/recv/decode failures.
+  std::map<ErrorCode, uint64_t> by_code;
+  std::vector<double> latencies_us;  ///< From scheduled send time.
+};
+
+/// One connection's open-loop run: the sender thread emits on schedule
+/// while this (receiver) thread awaits in send order. Send and Await
+/// touch disjoint client state, so the split is safe.
+ConnResult RunConnection(const Args& args, uint16_t port, double rate,
+                         double duration_s, uint64_t seed,
+                         double start_offset_s) {
+  ConnResult result;
+  auto client_or = net::CloakClient::Connect(args.host, port);
+  if (!client_or.ok()) {
+    result.transport_errors = 1;
+    return result;
+  }
+  net::CloakClient* client = client_or.value().get();
+  Rng rng(seed);
+  const auto interval =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / rate));
+  const auto start = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            start_offset_s));
+  const auto stop = start + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(duration_s));
+
+  std::vector<Clock::time_point> scheduled;
+  std::atomic<uint64_t> sent{0};
+  std::atomic<bool> sender_failed{false};
+  // Pre-compute the schedule so the sender never allocates on the path.
+  for (auto t = start; t < stop; t += interval) scheduled.push_back(t);
+
+  std::thread sender([&] {
+    std::vector<QueryRequest> requests;
+    requests.reserve(scheduled.size());
+    for (size_t i = 0; i < scheduled.size(); ++i)
+      requests.push_back(MakeRequest(args, &rng));
+    for (size_t i = 0; i < scheduled.size(); ++i) {
+      std::this_thread::sleep_until(scheduled[i]);
+      if (!client->Send(requests[i]).ok()) {
+        sender_failed.store(true, std::memory_order_release);
+        break;
+      }
+      sent.store(i + 1, std::memory_order_release);
+    }
+  });
+
+  // Await in send order; ids are sequential from 1 on a fresh client.
+  uint64_t awaited = 0;
+  for (;;) {
+    const uint64_t target = sent.load(std::memory_order_acquire);
+    if (awaited == target) {
+      if (!sender.joinable()) break;
+      if (target == scheduled.size() ||
+          sender_failed.load(std::memory_order_acquire)) {
+        sender.join();
+        if (awaited == sent.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    const uint64_t id = awaited + 1;
+    auto response = client->Await(id);
+    const auto now = Clock::now();
+    ++awaited;
+    if (response.ok()) {
+      ++result.received;
+      ++result.by_code[response.value().error];
+    } else if (response.status().code() == StatusCode::kInternal) {
+      ++result.transport_errors;
+    } else {
+      // A typed kError frame (shed at the pipeline, malformed, ...).
+      ++result.received;
+      ++result.by_code[response.status().code()];
+    }
+    result.latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(now - scheduled[id - 1])
+            .count());
+  }
+  if (sender.joinable()) sender.join();
+  result.sent = sent.load(std::memory_order_acquire);
+  return result;
+}
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * (values->size() - 1));
+  std::nth_element(values->begin(), values->begin() + rank, values->end());
+  return (*values)[rank];
+}
+
+struct RateReport {
+  double offered = 0;
+  double achieved_send = 0;
+  double achieved_done = 0;
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t transport_errors = 0;
+  std::map<ErrorCode, uint64_t> by_code;
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+RateReport RunRate(const Args& args, uint16_t port, double rate) {
+  const uint32_t conns = args.connections;
+  std::vector<ConnResult> results(conns);
+  std::vector<std::thread> threads;
+  const auto wall_start = Clock::now();
+  for (uint32_t c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      // Stagger connection start offsets so the aggregate arrival
+      // process is uniform, not burst-aligned.
+      results[c] = RunConnection(args, port, rate / conns, args.duration_s,
+                                 args.seed + c,
+                                 (static_cast<double>(c) / conns) /
+                                     (rate / conns));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  RateReport report;
+  report.offered = rate;
+  std::vector<double> latencies;
+  for (ConnResult& r : results) {
+    report.sent += r.sent;
+    report.received += r.received;
+    report.transport_errors += r.transport_errors;
+    for (const auto& [code, count] : r.by_code) report.by_code[code] += count;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+  report.achieved_send = report.sent / args.duration_s;
+  report.achieved_done = report.received / wall_s;
+  report.p50 = Percentile(&latencies, 0.50);
+  report.p90 = Percentile(&latencies, 0.90);
+  report.p99 = Percentile(&latencies, 0.99);
+  report.max = latencies.empty()
+                   ? 0.0
+                   : *std::max_element(latencies.begin(), latencies.end());
+  return report;
+}
+
+std::string CodeBreakdown(const RateReport& report) {
+  std::string out;
+  for (const auto& [code, count] : report.by_code) {
+    if (!out.empty()) out += " ";
+    out += std::string(to_string(code)) + "=" + std::to_string(count);
+  }
+  return out.empty() ? "-" : out;
+}
+
+void PrintText(const std::vector<RateReport>& reports) {
+  std::printf(
+      "%10s %12s %12s %10s %10s %10s %10s  %s\n", "offered/s", "sent/s",
+      "done/s", "p50_us", "p90_us", "p99_us", "max_us", "responses");
+  for (const RateReport& r : reports) {
+    std::printf("%10.0f %12.1f %12.1f %10.0f %10.0f %10.0f %10.0f  %s\n",
+                r.offered, r.achieved_send, r.achieved_done, r.p50, r.p90,
+                r.p99, r.max, CodeBreakdown(r).c_str());
+  }
+}
+
+std::string ToJson(const Args& args, const std::vector<RateReport>& reports) {
+  std::string json = "{\n  \"kind\": \"";
+  json += QueryKindName(args.kind);
+  json += "\",\n  \"connections\": " + std::to_string(args.connections);
+  json += ",\n  \"duration_s\": " + std::to_string(args.duration_s);
+  json += ",\n  \"rates\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const RateReport& r = reports[i];
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"offered_per_s\": %.1f, \"sent_per_s\": %.1f, "
+                  "\"done_per_s\": %.1f, \"sent\": %llu, \"received\": %llu, "
+                  "\"transport_errors\": %llu, \"latency_us\": "
+                  "{\"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, "
+                  "\"max\": %.1f}, \"responses\": {",
+                  r.offered, r.achieved_send, r.achieved_done,
+                  static_cast<unsigned long long>(r.sent),
+                  static_cast<unsigned long long>(r.received),
+                  static_cast<unsigned long long>(r.transport_errors),
+                  r.p50, r.p90, r.p99, r.max);
+    json += buffer;
+    bool first = true;
+    for (const auto& [code, count] : r.by_code) {
+      if (!first) json += ", ";
+      first = false;
+      json += std::string("\"") + to_string(code) +
+              "\": " + std::to_string(count);
+    }
+    json += "}}";
+    if (i + 1 < reports.size()) json += ",";
+    json += "\n";
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+Result<uint16_t> ResolvePort(const Args& args) {
+  if (args.port != 0) return args.port;
+  if (args.port_file.empty())
+    return Status::InvalidArgument("need --port or --port-file");
+  std::FILE* f = std::fopen(args.port_file.c_str(), "r");
+  if (f == nullptr)
+    return Status::NotFound("cannot open " + args.port_file);
+  unsigned port = 0;
+  const int got = std::fscanf(f, "%u", &port);
+  std::fclose(f);
+  if (got != 1 || port == 0 || port > 65535)
+    return Status::InvalidArgument("no port in " + args.port_file);
+  return static_cast<uint16_t>(port);
+}
+
+int Run(const Args& args) {
+  auto port = ResolvePort(args);
+  if (!port.ok()) {
+    std::fprintf(stderr, "cloakload: %s\n", port.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<RateReport> reports;
+  for (double rate : args.rates) {
+    std::fprintf(stderr, "cloakload: offering %.0f/s for %.1fs over %u conns\n",
+                 rate, args.duration_s, args.connections);
+    reports.push_back(RunRate(args, port.value(), rate));
+  }
+  PrintText(reports);
+  if (!args.json_path.empty()) {
+    const std::string json = ToJson(args, reports);
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cloakload: cannot write %s\n",
+                   args.json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  uint64_t lost = 0, transport = 0;
+  for (const RateReport& r : reports) {
+    lost += r.sent - (r.received + r.transport_errors);
+    transport += r.transport_errors;
+  }
+  if (lost != 0 || transport != 0) {
+    std::fprintf(stderr,
+                 "cloakload: FAILED — %llu lost responses, %llu transport "
+                 "errors\n",
+                 static_cast<unsigned long long>(lost),
+                 static_cast<unsigned long long>(transport));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cloakdb
+
+int main(int argc, char** argv) {
+  auto args = cloakdb::ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "cloakload: %s\n",
+                 args.status().ToString().c_str());
+    return 2;
+  }
+  return cloakdb::Run(args.value());
+}

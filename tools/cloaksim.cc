@@ -512,10 +512,11 @@ int Run(const Args& args) {
   uint64_t degraded_queries = 0, shed_queries = 0, failed_queries = 0,
            wrong_answers = 0;
   auto note_query_error = [&](const Status& status) {
-    if (status.code() == StatusCode::kResourceExhausted) {
+    if (status.code() == StatusCode::kShed) {
       ++shed_queries;
     } else {
-      ++failed_queries;  // injected failures / expired deadlines
+      // Injected failures, expired deadlines, zero-coverage degradation.
+      ++failed_queries;
     }
   };
 
@@ -529,10 +530,9 @@ int Run(const Args& args) {
       auto st = db.EnqueueUpdate(user, movement.LocationOf(user).value(),
                                  now);
       if (!st.ok()) {
-        // With load shedding armed, ResourceExhausted is the service
+        // With load shedding armed, a typed shed status is the service
         // working as designed, not a failure.
-        if (robustness_active &&
-            st.code() == StatusCode::kResourceExhausted) {
+        if (robustness_active && st.code() == StatusCode::kShed) {
           continue;
         }
         std::fprintf(stderr, "update failed: %s\n", st.ToString().c_str());
@@ -686,11 +686,12 @@ int Run(const Args& args) {
   auto stats = db.Stats();
   for (const auto& q : stats.slow_queries) {
     std::printf("# slow: %-14s %10.1fus area=%-10.4g shards=%u "
-                "candidates=%llu trace=%llu\n",
+                "candidates=%llu trace=%llu status=%s\n",
                 q.kind.c_str(), q.latency_us, q.region_area,
                 q.shards_touched,
                 static_cast<unsigned long long>(q.candidates),
-                static_cast<unsigned long long>(q.trace_id));
+                static_cast<unsigned long long>(q.trace_id),
+                to_string(q.error));
   }
 
   int exit_code = 0;
