@@ -206,6 +206,14 @@ void AppendResponseFrame(uint64_t request_id, const QueryResponse& response,
   }
   AppendU32(&payload, static_cast<uint32_t>(response.heat.size()));
   for (double cell : response.heat) AppendF64(&payload, cell);
+  if (payload.size() > kMaxPayloadBytes) {
+    // Never emit a frame our own header validation rejects: the receiver
+    // would treat it as a corrupt header and kill the connection. A typed
+    // error keeps the stream frameable and the request answered.
+    AppendErrorFrame(request_id, ErrorCode::kResourceExhausted,
+                     "response exceeds the frame payload limit", out);
+    return;
+  }
   AppendFrame(out, FrameType::kResponse, request_id, payload);
 }
 
@@ -259,6 +267,13 @@ Status DecodeQueryPayload(const uint8_t* data, size_t len,
   if (!IsValidQueryKind(kind)) return Malformed("unknown query kind");
   out->kind = static_cast<QueryKind>(kind);
   if (out->deadline_us < 0) return Malformed("negative deadline");
+  // Cost caps: these fields size allocations on the server, so a hostile
+  // value is rejected here, before the request reaches the service.
+  if (out->kind == QueryKind::kHeatmap &&
+      out->resolution > kMaxHeatmapResolution)
+    return Malformed("heatmap resolution exceeds limit");
+  if (out->kind == QueryKind::kPrivateKnn && out->k > kMaxKnnK)
+    return Malformed("knn k exceeds limit");
   return Status::OK();
 }
 

@@ -56,6 +56,17 @@ inline constexpr uint32_t kMaxPayloadBytes = 4u << 20;
 /// Upper bound on one length-prefixed string (object names, messages).
 inline constexpr uint32_t kMaxStringBytes = 64u << 10;
 
+/// Upper bound on a kHeatmap request's per-side grid resolution. The
+/// service allocates resolution^2 * 8 bytes per shard plus the merged
+/// grid, so an unchecked value is a remote memory-exhaustion vector; 512
+/// (~2 MiB of cells) also keeps the response inside kMaxPayloadBytes.
+inline constexpr uint32_t kMaxHeatmapResolution = 512;
+
+/// Upper bound on a kPrivateKnn request's k. Far past any real candidate
+/// list, but small enough that a hostile k cannot drive per-shard heap
+/// sizes or an unframeable response.
+inline constexpr uint64_t kMaxKnnK = 4096;
+
 /// Frame discriminator. Values are wire-stable.
 enum class FrameType : uint8_t {
   kQuery = 1,
@@ -80,6 +91,10 @@ struct FrameHeader {
 
 void AppendQueryFrame(uint64_t request_id, const QueryRequest& request,
                       std::string* out);
+/// Appends the response as a kResponse frame. If the encoded payload would
+/// exceed kMaxPayloadBytes — a frame the receiver's own header validation
+/// must reject — a kError frame (kResourceExhausted) is substituted so the
+/// stream stays frameable.
 void AppendResponseFrame(uint64_t request_id, const QueryResponse& response,
                          std::string* out);
 /// A bare typed status for a request that never produced a QueryResponse.

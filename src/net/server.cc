@@ -290,6 +290,7 @@ class CloakServer::Impl {
     std::string outbuf;
     size_t out_off = 0;  ///< Sent prefix of outbuf (compacted on drain).
     size_t inflight = 0;  ///< Queries at the workers, not yet answered.
+    bool want_read = true;  ///< Last read interest handed to the poller.
     bool want_write = false;
     bool read_paused = false;
     bool peer_closed = false;      ///< Read side saw EOF.
@@ -315,6 +316,9 @@ class CloakServer::Impl {
     std::vector<PollEvent> events;
     while (!stopped_.load(std::memory_order_acquire)) {
       if (!poller_->Wait(&events, /*timeout_ms=*/200).ok()) break;
+      // Retry a paused accept on the idle timeout: fds may have been
+      // freed by something other than a connection close.
+      if (events.empty()) ResumeAccept();
       for (const PollEvent& event : events) {
         if (event.fd == listen_fd_) {
           HandleAccept();
@@ -349,7 +353,14 @@ class CloakServer::Impl {
   void HandleAccept() {
     for (;;) {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) return;  // EAGAIN or transient error: back to the loop.
+      if (fd < 0) {
+        // Out of file descriptors: the listen fd stays level-triggered
+        // readable, so keeping read interest would busy-spin the loop.
+        // Drop it and resume when a connection closes (or on the next
+        // idle poll timeout, in case fds free up elsewhere).
+        if (errno == EMFILE || errno == ENFILE) PauseAccept();
+        return;  // EAGAIN or transient error: back to the loop.
+      }
       if (!SetNonBlocking(fd).ok()) {
         ::close(fd);
         continue;
@@ -389,22 +400,25 @@ class CloakServer::Impl {
       CloseConnection(conn.fd);
       return;
     }
+    // FlushWrites may close the connection and erase it from connections_,
+    // so capture the fd now — `conn` is dangling after a close.
+    const int fd = conn.fd;
     if (!ParseFrames(conn)) {
       // Unframeable stream: the error frame (if any) is already queued;
       // flush it, then close.
       conn.close_after_flush = true;
       FlushWrites(conn);
-      auto it = connections_.find(conn.fd);
+      auto it = connections_.find(fd);
       if (it != connections_.end()) UpdateInterest(it->second);
       return;
     }
     if (conn.peer_closed && conn.inflight == 0 &&
         conn.out_off == conn.outbuf.size()) {
-      CloseConnection(conn.fd);
+      CloseConnection(fd);
       return;
     }
     FlushWrites(conn);
-    auto it = connections_.find(conn.fd);
+    auto it = connections_.find(fd);
     if (it != connections_.end()) UpdateInterest(it->second);
   }
 
@@ -483,8 +497,9 @@ class CloakServer::Impl {
   }
 
   void HandleWritable(Connection& conn) {
+    const int fd = conn.fd;  // FlushWrites may destroy `conn` on close.
     FlushWrites(conn);
-    auto it = connections_.find(conn.fd);
+    auto it = connections_.find(fd);
     if (it != connections_.end()) UpdateInterest(it->second);
   }
 
@@ -544,7 +559,12 @@ class CloakServer::Impl {
     }
     const bool want_read =
         !read_paused && !conn.close_after_flush && !conn.peer_closed;
-    if (want_write != conn.want_write || read_paused != conn.read_paused) {
+    // want_read can flip on its own (peer_closed / close_after_flush with
+    // no buffered writes); missing that Mod leaves an EOF socket
+    // readable-forever and busy-spins the loop.
+    if (want_write != conn.want_write || read_paused != conn.read_paused ||
+        want_read != conn.want_read) {
+      conn.want_read = want_read;
       conn.want_write = want_write;
       conn.read_paused = read_paused;
       poller_->Mod(conn.fd, want_read, want_write);
@@ -559,6 +579,19 @@ class CloakServer::Impl {
     connections_.erase(it);
     connections_closed_->Increment();
     active_connections_->Set(static_cast<double>(connections_.size()));
+    ResumeAccept();  // A freed fd makes accept worth retrying.
+  }
+
+  void PauseAccept() {
+    if (accept_paused_) return;
+    accept_paused_ = true;
+    poller_->Mod(listen_fd_, /*want_read=*/false, /*want_write=*/false);
+  }
+
+  void ResumeAccept() {
+    if (!accept_paused_) return;
+    accept_paused_ = false;
+    poller_->Mod(listen_fd_, /*want_read=*/true, /*want_write=*/false);
   }
 
   // --- Worker pool -------------------------------------------------------
@@ -644,6 +677,7 @@ class CloakServer::Impl {
 
   std::unique_ptr<Poller> poller_;
   int listen_fd_ = -1;
+  bool accept_paused_ = false;  ///< Listen fd interest dropped on EMFILE.
   int wake_fds_[2] = {-1, -1};
   uint16_t port_ = 0;
   uint64_t next_gen_ = 1;

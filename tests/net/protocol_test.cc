@@ -318,6 +318,75 @@ TEST(ProtocolMalformedTest, HostileCandidateCountIsRejectedBeforeAllocation) {
             StatusCode::kMalformedRequest);
 }
 
+TEST(ProtocolMalformedTest, OversizeHeatmapResolutionIsRejected) {
+  // resolution sizes resolution^2*8-byte allocations per shard, so a
+  // hostile value must die at decode, never reach the service.
+  QueryRequest request = QueryRequest::HeatmapAt(kMaxHeatmapResolution);
+  std::string frame;
+  AppendQueryFrame(1, request, &frame);
+  const uint8_t* payload =
+      reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderSize;
+  QueryRequest out;
+  EXPECT_TRUE(DecodeQueryPayload(payload, frame.size() - kFrameHeaderSize,
+                                 &out)
+                  .ok());
+
+  request.resolution = kMaxHeatmapResolution + 1;
+  frame.clear();
+  AppendQueryFrame(1, request, &frame);
+  payload = reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderSize;
+  EXPECT_EQ(DecodeQueryPayload(payload, frame.size() - kFrameHeaderSize,
+                               &out)
+                .code(),
+            StatusCode::kMalformedRequest);
+}
+
+TEST(ProtocolMalformedTest, OversizeKnnKIsRejected) {
+  QueryRequest request =
+      QueryRequest::Knn(Rect{1, 2, 3, 4}, kMaxKnnK, /*category=*/0);
+  std::string frame;
+  AppendQueryFrame(1, request, &frame);
+  const uint8_t* payload =
+      reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderSize;
+  QueryRequest out;
+  EXPECT_TRUE(DecodeQueryPayload(payload, frame.size() - kFrameHeaderSize,
+                                 &out)
+                  .ok());
+
+  request.k = kMaxKnnK + 1;
+  frame.clear();
+  AppendQueryFrame(1, request, &frame);
+  payload = reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderSize;
+  EXPECT_EQ(DecodeQueryPayload(payload, frame.size() - kFrameHeaderSize,
+                               &out)
+                .code(),
+            StatusCode::kMalformedRequest);
+}
+
+TEST(ProtocolTest, OversizeResponseBecomesTypedErrorFrame) {
+  // A response whose payload would exceed kMaxPayloadBytes must never hit
+  // the wire as a kResponse frame — the receiver's header validation would
+  // reject it as corrupt and kill the connection. The encoder substitutes
+  // a typed kResourceExhausted error instead.
+  QueryResponse response;
+  response.kind = QueryKind::kHeatmap;
+  response.heat.assign(kMaxPayloadBytes / 8 + 16, 1.0);
+  std::string frame;
+  AppendResponseFrame(77, response, &frame);
+
+  FrameHeader header;
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(frame.data());
+  ASSERT_TRUE(DecodeFrameHeader(data, frame.size(), &header).ok());
+  EXPECT_EQ(header.type, FrameType::kError);
+  EXPECT_EQ(header.request_id, 77u);
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+  ASSERT_TRUE(DecodeErrorPayload(data + kFrameHeaderSize,
+                                 header.payload_len, &code, &message)
+                  .ok());
+  EXPECT_EQ(code, ErrorCode::kResourceExhausted);
+}
+
 TEST(ProtocolMalformedTest, OversizeStringLengthIsRejected) {
   // Hand-build an error payload whose string length prefix exceeds the
   // cap.
