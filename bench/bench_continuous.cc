@@ -14,6 +14,7 @@
 #include "core/linkage.h"
 #include "server/continuous_queries.h"
 #include "server/private_queries.h"
+#include "service/cloak_db_service.h"
 #include "sim/movement.h"
 
 namespace cloakdb {
@@ -140,6 +141,69 @@ void BM_S53b_ContinuousCount(benchmark::State& state) {
 }
 BENCHMARK(BM_S53b_ContinuousCount)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMicrosecond);
+
+// Service-scale standing registry: one full movement tick (every user
+// re-reports through the sharded update path) with N standing queries
+// live. Per-tick cost must grow with the *affected* query count, not with
+// N — the delta-notification grids gate which standing queries re-filter,
+// so the affected_p95 counter stays flat while N grows 50x.
+void BM_S53b_ServiceStandingScale(benchmark::State& state) {
+  const size_t standing = static_cast<size_t>(state.range(0));
+  const size_t num_users = 500;
+  CloakDbServiceOptions options;
+  options.space = bench::Space();
+  options.num_shards = 4;
+  auto service = CloakDbService::Create(options).value();
+  CloakDbService& db = *service;
+  auto profile = PrivacyProfile::Uniform({2, 0.0, kInf}).value();
+  Rng rng(bench::kSeed ^ 0x53b);
+  RandomWaypointModel::Options move_options;
+  move_options.seed = bench::kSeed ^ 0x53b;
+  RandomWaypointModel movement(bench::Space(), move_options);
+  std::vector<UserId> users;
+  for (const auto& entry : bench::MakeUsers(num_users)) {
+    (void)db.RegisterUser(entry.id, profile);
+    (void)movement.AddUser(entry.id, entry.location);
+    (void)db.UpdateLocation(entry.id, entry.location, bench::Noon());
+    users.push_back(entry.id);
+  }
+  PoiOptions poi;
+  poi.count = 2000;
+  poi.category = 1;
+  (void)db.BulkLoadCategory(
+      1, GeneratePois(bench::Space(), poi, &rng).value());
+  for (size_t i = 0; i < standing; ++i) {
+    if (i % 16 == 15) {
+      Point c{rng.Uniform(10, 90), rng.Uniform(10, 90)};
+      (void)db.RegisterContinuousCount(
+          Rect::CenteredSquare(c, rng.Uniform(5, 25)));
+      continue;
+    }
+    UserId user = users[i % users.size()];
+    switch (i % 3) {
+      case 0: (void)db.RegisterContinuousRange(user, 5.0, 1); break;
+      case 1: (void)db.RegisterContinuousNn(user, 1); break;
+      default: (void)db.RegisterContinuousKnn(user, 3, 1); break;
+    }
+  }
+  for (auto _ : state) {
+    movement.Step(1.0);
+    for (UserId user : users) {
+      (void)db.UpdateLocation(user, movement.LocationOf(user).value(),
+                              bench::Noon());
+    }
+  }
+  (void)db.Flush();
+  const auto affected =
+      db.metrics().SnapshotHistogram("cq.affected_per_update");
+  state.counters["standing"] = static_cast<double>(standing);
+  state.counters["affected_p95"] = affected.p95();
+  state.counters["refilters"] = static_cast<double>(
+      db.metrics().CounterValue("cq.incremental_refilters_total"));
+}
+BENCHMARK(BM_S53b_ServiceStandingScale)
+    ->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
 
 // Linkage exposure vs. privacy level (Section 2.1 "avoid location
 // tracking"): moving users, consecutive anonymized batches, reachability

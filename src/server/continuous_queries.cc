@@ -4,6 +4,22 @@
 #include <cmath>
 
 #include "geom/distance.h"
+#include "server/public_queries.h"
+
+namespace {
+
+// True when the closed L2 ball around `center` lies inside `rect` (the
+// ball's bounding square does). Used to certify that nearest-neighbor
+// distances computed from a cached fetch set are exact, not just
+// conservative: every object that could beat the cached nearest lives
+// inside the ball, hence inside the coverage, hence in the cache.
+bool BallInside(const cloakdb::Point& center, double radius,
+                const cloakdb::Rect& rect) {
+  return center.x - radius >= rect.min_x && center.x + radius <= rect.max_x &&
+         center.y - radius >= rect.min_y && center.y + radius <= rect.max_y;
+}
+
+}  // namespace
 
 namespace cloakdb {
 
@@ -146,43 +162,59 @@ Result<std::vector<PublicObject>> ContinuousQueryProcessor::UpdateRegion(
 
   if (auto it = range_queries_.find(id); it != range_queries_.end()) {
     RangeState& state = it->second;
-    state.region = new_region;
     Rect needed = new_region.Expanded(state.radius);
     if (state.cache_valid && state.coverage.Contains(needed)) {
       ++stats_.incremental_filters;
+      state.region = new_region;
       FilterRangeFromCache(&state);
     } else {
-      CLOAKDB_RETURN_IF_ERROR(EvaluateRangeFull(&state));
+      // Evaluate on a scratch copy and commit only on success, so a failed
+      // index walk (e.g. the category vanished) leaves the old region, old
+      // coverage and old answer intact and mutually consistent.
+      RangeState fresh = state;
+      fresh.region = new_region;
+      CLOAKDB_RETURN_IF_ERROR(EvaluateRangeFull(&fresh));
+      state = std::move(fresh);
     }
     return state.current;
   }
 
   if (auto it = nn_queries_.find(id); it != nn_queries_.end()) {
     NnState& state = it->second;
-    state.region = new_region;
     bool incremental = false;
     if (state.cache_valid && !state.fetched.empty()) {
-      // Validity check: the cache-derived fetch radius (conservative upper
-      // bound) must keep the required area inside the cached coverage.
+      // Validity check: the fetch radius derived from the cache must keep
+      // the required area inside the cached coverage, and every corner's
+      // nearest-neighbor ball must lie inside the coverage — then the
+      // cache-derived corner distances are *exact* (not merely
+      // conservative) and the incremental filter returns the same
+      // candidate set a from-scratch evaluation would.
       double max_corner_nn = 0.0;
-      for (const Point& corner : state.region.Corners()) {
+      bool balls_covered = true;
+      for (const Point& corner : new_region.Corners()) {
         double best = std::numeric_limits<double>::infinity();
         for (const auto& e : state.fetched) {
           best = std::min(best, Distance(corner, e.location));
         }
+        balls_covered =
+            balls_covered && BallInside(corner, best, state.coverage);
         max_corner_nn = std::max(max_corner_nn, best);
       }
       double half_diag =
-          0.5 * std::sqrt(state.region.Width() * state.region.Width() +
-                          state.region.Height() * state.region.Height());
-      Rect needed = state.region.Expanded(max_corner_nn + half_diag);
-      incremental = state.coverage.Contains(needed);
+          0.5 * std::sqrt(new_region.Width() * new_region.Width() +
+                          new_region.Height() * new_region.Height());
+      Rect needed = new_region.Expanded(max_corner_nn + half_diag);
+      incremental = balls_covered && state.coverage.Contains(needed);
     }
     if (incremental) {
       ++stats_.incremental_filters;
+      state.region = new_region;
       FilterNnFromCache(&state);
     } else {
-      CLOAKDB_RETURN_IF_ERROR(EvaluateNnFull(&state));
+      NnState fresh = state;
+      fresh.region = new_region;
+      CLOAKDB_RETURN_IF_ERROR(EvaluateNnFull(&fresh));
+      state = std::move(fresh);
     }
     return state.current;
   }
@@ -232,8 +264,10 @@ void ContinuousQueryProcessor::NotifyPublicRemoved(
 
 double ContinuousQueryProcessor::ContributionOf(const Rect& region,
                                                 const Rect& window) const {
-  if (!region.Intersects(window)) return 0.0;
-  return region.Area() > 0.0 ? region.OverlapFraction(window) : 1.0;
+  // Shared with the one-shot count path so standing and one-shot answers
+  // agree bit for bit (including the strictly-inside rule for zero-area
+  // regions).
+  return CountContributionOf(region, window);
 }
 
 Result<ContinuousQueryId> ContinuousQueryProcessor::RegisterCount(
@@ -257,15 +291,20 @@ Result<ContinuousQueryId> ContinuousQueryProcessor::RegisterCount(
 Status ContinuousQueryProcessor::NotifyPrivateRegionChanged(
     ObjectId pseudonym, const std::optional<Rect>& old_region,
     const std::optional<Rect>& new_region) {
+  // The contributions map is the source of truth: any existing entry for
+  // this pseudonym is retired with delta-correct accounting even when the
+  // caller did not know the old region (e.g. a duplicate "first
+  // appearance" notification) — an emplace that silently no-ops while
+  // `expected`/`certain` still mutate would diverge permanently.
+  (void)old_region;
   for (auto& [id, state] : count_queries_) {
-    ++stats_.count_delta_updates;
-    if (old_region.has_value()) {
-      auto it = state.contributions.find(pseudonym);
-      if (it != state.contributions.end()) {
-        state.expected -= it->second;
-        if (it->second >= 1.0) --state.certain;
-        state.contributions.erase(it);
-      }
+    bool affected = false;
+    if (auto it = state.contributions.find(pseudonym);
+        it != state.contributions.end()) {
+      state.expected -= it->second;
+      if (it->second >= 1.0) --state.certain;
+      state.contributions.erase(it);
+      affected = true;
     }
     if (new_region.has_value()) {
       double p = ContributionOf(*new_region, state.window);
@@ -273,8 +312,12 @@ Status ContinuousQueryProcessor::NotifyPrivateRegionChanged(
         state.contributions.emplace(pseudonym, p);
         state.expected += p;
         if (p >= 1.0) ++state.certain;
+        affected = true;
       }
     }
+    // Count queries the update actually touched, not registry size times
+    // notifications.
+    if (affected) ++stats_.count_delta_updates;
   }
   return Status::OK();
 }

@@ -7,6 +7,19 @@
 
 namespace cloakdb {
 
+double CountContributionOf(const Rect& region, const Rect& window) {
+  if (!region.Intersects(window)) return 0.0;
+  if (region.Area() > 0.0) return region.OverlapFraction(window);
+  // Degenerate (zero-area) region: the user's position is pinned to a
+  // point or segment. Certain presence requires the whole region strictly
+  // inside the window; touching the boundary is a measure-zero overlap
+  // and must not count (let alone as certain).
+  bool strictly_inside =
+      region.min_x > window.min_x && region.max_x < window.max_x &&
+      region.min_y > window.min_y && region.max_y < window.max_y;
+  return strictly_inside ? 1.0 : 0.0;
+}
+
 Result<PublicCountResult> PublicRangeCountQuery(const ObjectStore& store,
                                                 const Rect& window) {
   if (window.IsEmpty())
@@ -16,11 +29,7 @@ Result<PublicCountResult> PublicRangeCountQuery(const ObjectStore& store,
   std::vector<double> probabilities;
   for (const auto& entry : store.private_index().IntersectingRects(window)) {
     result.naive_count += 1;
-    // Paper Fig. 6a: contribution = overlapped area / cloaked area. A
-    // degenerate (zero-area) region is an exact point: probability is 1
-    // iff the point is inside (it intersects, so it is).
-    double p = entry.rect.Area() > 0.0 ? entry.rect.OverlapFraction(window)
-                                       : 1.0;
+    double p = CountContributionOf(entry.rect, window);
     probabilities.push_back(p);
     result.contributions.push_back({entry.id, p});
   }

@@ -42,6 +42,15 @@ struct PublicCountResult {
   uint64_t covered_shards = 0;
 };
 
+/// Probabilistic contribution of one cloaked region to a count window
+/// (paper Fig. 6a: overlapped area / cloaked area). A degenerate
+/// (zero-area) region pins the user exactly, so it contributes 1.0 only
+/// when strictly inside the window; a boundary touch is a measure-zero
+/// event and contributes 0.0. Shared by the one-shot count, the standing
+/// count registries, and the heatmap-free continuous paths so every layer
+/// counts identically.
+double CountContributionOf(const Rect& region, const Rect& window);
+
 /// Counts mobile users inside `window`. Fails with InvalidArgument on an
 /// empty window.
 Result<PublicCountResult> PublicRangeCountQuery(const ObjectStore& store,

@@ -259,6 +259,21 @@ Status CloakDbService::Start() {
   robustness_obs_.queue_stalls = metrics_.counter("fault.queue_stalls_total");
   shard_obs.fault_stalls = robustness_obs_.queue_stalls;
 
+  // Continuous-query metrics, likewise eager for the doc-drift guard.
+  cq_obs_.registrations = metrics_.counter("cq.registrations_total");
+  cq_obs_.unregistrations = metrics_.counter("cq.unregistrations_total");
+  cq_obs_.updates_seen = metrics_.counter("cq.updates_seen_total");
+  cq_obs_.incremental_refilters =
+      metrics_.counter("cq.incremental_refilters_total");
+  cq_obs_.full_reevals = metrics_.counter("cq.full_reevals_total");
+  cq_obs_.stale_marked = metrics_.counter("cq.stale_marked_total");
+  cq_obs_.delta_candidates = metrics_.counter("cq.delta_candidates_total");
+  cq_obs_.count_delta_updates =
+      metrics_.counter("cq.count_delta_updates_total");
+  cq_obs_.affected_per_update = metrics_.histogram("cq.affected_per_update");
+  cq_obs_.register_latency_us = metrics_.histogram("cq.register_latency_us");
+  cq_obs_.registered = metrics_.gauge("cq.registered");
+
   signature_ = CellSignature(options_.space, options_.signature_grid_cells);
 
   if (options_.trace.enabled)
@@ -299,6 +314,8 @@ Status CloakDbService::Start() {
     config.shared_probe_us = metrics_.histogram("query.shared.probe_us");
     config.tracer = tracer_.get();
     config.fault_injector = fault_injector_.get();
+    config.continuous = options_.continuous;
+    config.cq_obs = cq_obs_;
     auto shard = Shard::Create(config);
     if (!shard.ok()) return shard.status();
     shards_.push_back(std::move(shard).value());
@@ -338,9 +355,15 @@ void CloakDbService::WorkerLoop(uint32_t worker) {
       drained += shards_[s]->DrainOnce(options_.max_batch);
     }
     if (drained == 0) {
-      // Idle: nap instead of spinning; enqueue latency stays sub-ms while
-      // an idle service costs ~no CPU.
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      // Idle: repair a few stale standing queries on this worker's shards,
+      // then nap instead of spinning; enqueue latency stays sub-ms while an
+      // idle service costs ~no CPU.
+      size_t swept = 0;
+      for (uint32_t s = worker; s < shards_.size(); s += worker_count_) {
+        swept += SweepShardContinuous(s, 8);
+      }
+      if (swept == 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
   for (uint32_t s = worker; s < shards_.size(); s += worker_count_) {
@@ -431,7 +454,13 @@ Result<ObjectId> CloakDbService::PseudonymOf(UserId user) const {
 }
 
 Status CloakDbService::AddPublicObject(const PublicObject& object) {
-  return shards_[ShardOfX(object.location.x)]->AddPublicObject(object);
+  CLOAKDB_RETURN_IF_ERROR(
+      shards_[ShardOfX(object.location.x)]->AddPublicObject(object));
+  // Every shard's registry sees the change: standing private queries home
+  // on the issuer's shard, not the object's stripe.
+  for (auto& shard : shards_)
+    shard->continuous().OnPublicChanged(object.location, object.category);
+  return Status::OK();
 }
 
 Status CloakDbService::BulkLoadCategory(Category category,
@@ -446,6 +475,8 @@ Status CloakDbService::BulkLoadCategory(Category category,
     CLOAKDB_RETURN_IF_ERROR(
         shards_[i]->BulkLoadCategory(category, std::move(parts[i])));
   }
+  for (auto& shard : shards_)
+    shard->continuous().OnCategoryReloaded(category);
   return Status::OK();
 }
 
@@ -500,12 +531,17 @@ Status CloakDbService::Flush() {
       drained += shard->DrainOnce(options_.max_batch);
       if (!shard->Idle()) idle = false;
     }
-    if (idle) return Status::OK();
+    if (idle) break;
     if (drained == 0) {
       // Another thread holds a popped batch; wait for it to apply.
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
+  // Drained updates may have staled standing queries; a flushed service
+  // answers them from fully repaired state.
+  while (SweepContinuousStale() > 0) {
+  }
+  return Status::OK();
 }
 
 QueryResponse CloakDbService::ExecuteQuery(const QueryRequest& request) const {

@@ -26,13 +26,16 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "service/api.h"
+#include "service/continuous_registry.h"
 #include "service/fault_injector.h"
 #include "service/overload.h"
 #include "service/query_batcher.h"
@@ -119,6 +122,12 @@ struct CloakDbServiceOptions {
   /// probe latency spikes, drain stalls. Inert unless
   /// fault_injection.enabled.
   FaultInjectorOptions fault_injection;
+
+  // --- Continuous queries --------------------------------------------------
+
+  /// Standing-query subsystem knobs (slack margin, coverage-grid
+  /// resolution, and the force_full_reeval testing twin).
+  ContinuousRegistryOptions continuous;
 };
 
 /// The sharded CloakDB facade. All public methods are thread-safe.
@@ -223,6 +232,50 @@ class CloakDbService {
 
   /// Expected-density heatmap over private data (every shard; exact merge).
   Result<HeatmapResult> Heatmap(uint32_t resolution) const;
+
+  // --- Continuous queries ------------------------------------------------
+  // Standing queries registered once and kept current by the update
+  // drains: each applied cloaked update consults the home registry's
+  // coverage grid so only the standing queries the update can affect
+  // re-filter (delta notification); a query whose cached coverage no
+  // longer bounds the answer is repaired by an asynchronous full
+  // re-evaluation sweep (Flush() waits for it). Registration runs through
+  // the same admission + deadline + trace path as one-shot queries.
+
+  /// Registers a standing private range query for `user` (who must have a
+  /// current cloaked region, i.e. have reported at least once).
+  Result<ContinuousQueryId> RegisterContinuousRange(UserId user,
+                                                    double radius,
+                                                    Category category);
+  /// Registers a standing private NN query for `user`.
+  Result<ContinuousQueryId> RegisterContinuousNn(UserId user,
+                                                 Category category);
+  /// Registers a standing private k-NN query for `user`.
+  Result<ContinuousQueryId> RegisterContinuousKnn(UserId user, size_t k,
+                                                  Category category);
+  /// Registers a standing public count window (maintained on every shard;
+  /// the window must intersect the service space).
+  Result<ContinuousQueryId> RegisterContinuousCount(const Rect& window);
+
+  /// The current answer of any standing query. Private kinds carry the
+  /// one-shot candidate-list guarantee; counts merge per-shard
+  /// contributions sorted by pseudonym, bit-identical to a one-shot count
+  /// over the same applied updates.
+  Result<StandingAnswer> AnswerContinuous(ContinuousQueryId id) const;
+
+  /// Introspection of one standing query (region, coverage, staleness).
+  Result<ContinuousQueryInfo> ContinuousInfo(ContinuousQueryId id) const;
+
+  /// Drops a standing query.
+  Status UnregisterContinuous(ContinuousQueryId id);
+
+  /// Standing queries currently registered service-wide.
+  size_t NumContinuousQueries() const;
+
+  /// Repairs stale standing queries with full re-evaluations; returns the
+  /// number repaired. Called by idle workers and Flush(); exposed for
+  /// deterministic tests.
+  size_t SweepContinuousStale();
 
   // --- Introspection -----------------------------------------------------
   /// Cross-shard aggregate counters, including the slow-query log.
@@ -352,6 +405,29 @@ class CloakDbService {
                    uint32_t shards_touched, uint64_t candidates,
                    uint64_t wire_bytes) const;
 
+  /// Route of one standing query: its kind plus the home shard (counts are
+  /// registered on every shard; the stored index is unused for them).
+  struct CqRoute {
+    QueryKind kind = QueryKind::kPrivateRange;
+    uint32_t shard = 0;
+  };
+
+  /// Shared body of the private-kind registrations: admission, home-shard
+  /// region lookup, full evaluation, raced-registration repair.
+  Result<ContinuousQueryId> RegisterContinuousImpl(const ContinuousSpec& spec);
+
+  /// Full standing evaluation: derives the conservative coverage for
+  /// `spec` around `region`, probes the overlapping stripes, and computes
+  /// the answer from the merged fetch (degraded/covered semantics like the
+  /// one-shot fan-outs).
+  Result<StandingSnapshot> EvaluateStanding(const ContinuousSpec& spec,
+                                            const Rect& region,
+                                            Deadline deadline,
+                                            uint32_t shard_budget) const;
+
+  /// Repairs up to `max` stale standing queries homed on `shard`.
+  size_t SweepShardContinuous(uint32_t shard, size_t max);
+
   CloakDbServiceOptions options_;
   uint32_t worker_count_ = 0;
   /// Steady-clock birth of the service; anchors ServiceStats::uptime_us.
@@ -372,6 +448,13 @@ class CloakDbService {
   obs::ShardedHistogram* shared_batch_width_ = nullptr;
   obs::ShardedHistogram* shared_cluster_fanin_ = nullptr;
   RobustnessObs robustness_obs_;
+  /// Continuous-query metric handles, shared with every shard registry.
+  ContinuousObs cq_obs_;
+  /// Directory of standing queries: id -> kind + home shard. Guarded by
+  /// cq_mu_; lookups are O(1) and the critical sections tiny.
+  mutable std::mutex cq_mu_;
+  std::unordered_map<ContinuousQueryId, CqRoute> cq_routes_;
+  std::atomic<ContinuousQueryId> next_cq_id_{1};
   /// Non-null only when any overload option is active.
   std::unique_ptr<AdmissionController> admission_;
   /// Non-null only when fault_injection.enabled; shards share this pointer.

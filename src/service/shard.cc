@@ -23,6 +23,7 @@ Shard::Shard(const ShardConfig& config,
       server_(config.anonymizer.space, config.rect_grid_cells,
               config.wire_cost),
       signature_(config.anonymizer.space, config.signature_cells),
+      continuous_(config.anonymizer.space, config.continuous, config.cq_obs),
       cache_(config.cache_capacity),
       queue_(config.queue_capacity) {
   queue_.SetObs(config.obs.queue);
@@ -131,6 +132,9 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
     root.AddAttr("batch_size", static_cast<double>(batch.size()));
   }
   bool any_violation = false;
+  // Standing-query notifications fired by ForwardCloaked emit their spans
+  // into this batch's trace.
+  obs::ScopedTraceContext trace_scope(trace_ctx);
   std::unique_lock<std::shared_mutex> lock(mu_);
   // One clock read covers the whole batch: every entry waited until this
   // apply, and per-entry now() would put ~30ns of clock traffic on the
@@ -191,7 +195,7 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
     };
     if (results.ok()) {
       for (size_t u = 0; u < results.value().size(); ++u) {
-        ForwardCloaked(results.value()[u]);
+        ForwardCloaked(results.value()[u], updates[u].first);
         audit_one(updates[u].first, results.value()[u]);
       }
       ingest_.updates_applied += updates.size();
@@ -202,7 +206,7 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
         auto result =
             anonymizer_->UpdateLocation(user, location, batch[i].time);
         if (result.ok()) {
-          ForwardCloaked(result.value());
+          ForwardCloaked(result.value(), user);
           audit_one(user, result.value());
           ++ingest_.updates_applied;
         } else {
@@ -219,28 +223,45 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
     config_.tracer->FinishTrace(trace_ctx, root.End(), any_violation);
 }
 
-void Shard::ForwardCloaked(const CloakedUpdate& update) {
+void Shard::ForwardCloaked(const CloakedUpdate& update, UserId user) {
   if (update.retired_pseudonym != 0) {
     DropServerRecord(update.retired_pseudonym);
     ++ingest_.pseudonym_rotations;
     if (config_.obs.rotations != nullptr) config_.obs.rotations->Increment();
   }
+  // The old region drives region-precise cache invalidation and the
+  // standing-count delta; read it once when either consumer is live.
+  const bool standing = continuous_.size() > 0;
+  std::optional<Rect> old_region;
+  if (cache_.enabled() || standing) {
+    auto old = server_.store().GetPrivateRegion(update.pseudonym);
+    if (old.ok()) old_region = old.value();
+  }
   if (cache_.enabled()) {
     // Region-precise invalidation: only count answers whose window touches
     // where the user was or now is can have changed.
-    auto old_region = server_.store().GetPrivateRegion(update.pseudonym);
-    if (old_region.ok()) cache_.InvalidatePrivateRegion(old_region.value());
+    if (old_region.has_value())
+      cache_.InvalidatePrivateRegion(old_region.value());
     cache_.InvalidatePrivateRegion(update.cloaked.region);
   }
   (void)server_.ApplyCloakedUpdate(update.pseudonym, update.cloaked.region);
+  if (standing)
+    continuous_.OnLocationUpdate(user, update.pseudonym, old_region,
+                                 update.cloaked.region);
 }
 
 void Shard::DropServerRecord(ObjectId pseudonym) {
-  if (cache_.enabled()) {
-    auto old_region = server_.store().GetPrivateRegion(pseudonym);
-    if (old_region.ok()) cache_.InvalidatePrivateRegion(old_region.value());
+  const bool standing = continuous_.size() > 0;
+  std::optional<Rect> old_region;
+  if (cache_.enabled() || standing) {
+    auto old = server_.store().GetPrivateRegion(pseudonym);
+    if (old.ok()) old_region = old.value();
   }
+  if (cache_.enabled() && old_region.has_value())
+    cache_.InvalidatePrivateRegion(old_region.value());
   (void)server_.DropPseudonym(pseudonym);
+  if (standing && old_region.has_value())
+    continuous_.OnLocationRemoved(pseudonym, old_region.value());
 }
 
 Result<CloakedUpdate> Shard::UpdateLocation(UserId user,
@@ -250,7 +271,7 @@ Result<CloakedUpdate> Shard::UpdateLocation(UserId user,
   obs::TraceSpan span(obs::CurrentTraceContext(), "cloak");
   auto update = anonymizer_->UpdateLocation(user, location, now);
   if (!update.ok()) return update.status();
-  ForwardCloaked(update.value());
+  ForwardCloaked(update.value(), user);
   ++ingest_.updates_applied;
   if (span.active())
     EmitCloakAudit(&span, user, update.value(),
@@ -265,7 +286,8 @@ Result<CloakedUpdate> Shard::CloakForQuery(UserId user, TimeOfDay now) {
   if (!update.ok()) return update.status();
   // A rotation at query time re-keys the server record too, otherwise the
   // user would disappear from public queries until the next report.
-  if (update.value().retired_pseudonym != 0) ForwardCloaked(update.value());
+  if (update.value().retired_pseudonym != 0)
+    ForwardCloaked(update.value(), user);
   if (span.active())
     EmitCloakAudit(&span, user, update.value(),
                    obs::CurrentTraceContext().trace_id);
@@ -453,6 +475,51 @@ Result<PublicCountResult> Shard::PublicCountCached(const Rect& window) const {
   entry.coverage = window;
   cache_.Insert(key, std::move(entry));
   return result;
+}
+
+Result<Rect> Shard::CurrentRegionOfUser(UserId user) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto pseudonym = anonymizer_->PseudonymOf(user);
+  if (!pseudonym.ok()) return pseudonym.status();
+  return server_.store().GetPrivateRegion(pseudonym.value());
+}
+
+Result<double> Shard::KnnReach(const Rect& cloaked, size_t k,
+                               Category category) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return server_.KnnFetchReach(cloaked, k, category);
+}
+
+Result<std::vector<PublicObject>> Shard::ProbeRegion(
+    const Rect& probe, Category category) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return server_.SharedProbe(probe, category);
+}
+
+Status Shard::RegisterStandingCount(ContinuousQueryId id,
+                                    const Rect& window) {
+  // Shared lock held across scan + insert: drains take the exclusive lock,
+  // so no update can slip between the scan and the registration.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::unordered_map<ObjectId, double> contributions;
+  for (const auto& entry :
+       server_.store().private_index().IntersectingRects(window)) {
+    double p = CountContributionOf(entry.rect, window);
+    if (p > 0.0) contributions[entry.id] = p;
+  }
+  return continuous_.InsertCount(id, window, std::move(contributions));
+}
+
+void Shard::RescanStandingCount(ContinuousQueryId id, const Rect& window,
+                                uint64_t epoch) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::unordered_map<ObjectId, double> contributions;
+  for (const auto& entry :
+       server_.store().private_index().IntersectingRects(window)) {
+    double p = CountContributionOf(entry.rect, window);
+    if (p > 0.0) contributions[entry.id] = p;
+  }
+  continuous_.RestoreCount(id, epoch, std::move(contributions));
 }
 
 ShardStats Shard::Stats() const {

@@ -24,6 +24,7 @@
 #include "obs/trace.h"
 #include "server/query_processor.h"
 #include "service/candidate_cache.h"
+#include "service/continuous_registry.h"
 #include "service/fault_injector.h"
 #include "service/service_stats.h"
 #include "service/update_queue.h"
@@ -80,6 +81,9 @@ struct ShardConfig {
   /// Service-wide fault injector; null = chaos off. The shard consults it
   /// for drain stalls (probe faults are injected at the service fan-out).
   FaultInjector* fault_injector = nullptr;
+  /// Standing-query registry knobs + shared metric handles.
+  ContinuousRegistryOptions continuous;
+  ContinuousObs cq_obs;
 };
 
 /// One anonymizer + server pair owning a hash-slice of the users.
@@ -169,6 +173,35 @@ class Shard {
   /// The shard's candidate cache (for diagnostics and tests).
   const CandidateCache& cache() const { return cache_; }
 
+  // --- Continuous queries ------------------------------------------------
+  /// The standing-query registry homed on this shard. Registry methods
+  /// take the registry's own mutex; no shard lock is needed to read it.
+  ContinuousShardRegistry& continuous() { return continuous_; }
+  const ContinuousShardRegistry& continuous() const { return continuous_; }
+
+  /// The current cloaked region of a registered user (shared lock); fails
+  /// with NotFound when the user never reported.
+  Result<Rect> CurrentRegionOfUser(UserId user) const;
+
+  /// Conservative k-NN fetch reach of this shard's data (shared lock);
+  /// 0.0 when the shard holds at most k objects of the category.
+  Result<double> KnnReach(const Rect& cloaked, size_t k,
+                          Category category) const;
+
+  /// Materializes every `category` object inside `probe` (shared lock).
+  Result<std::vector<PublicObject>> ProbeRegion(const Rect& probe,
+                                                Category category) const;
+
+  /// Scans the current private regions intersecting `window` and installs
+  /// the standing count under one shared-lock hold, so no drain can
+  /// interleave between scan and registration.
+  Status RegisterStandingCount(ContinuousQueryId id, const Rect& window);
+
+  /// Re-scans a standing count window (sweep repair path); the registry
+  /// discards the result if the entry mutated past `epoch`.
+  void RescanStandingCount(ContinuousQueryId id, const Rect& window,
+                           uint64_t epoch);
+
   /// Counter snapshot (shared lock; consistent within the shard).
   ShardStats Stats() const;
 
@@ -181,8 +214,10 @@ class Shard {
 
   /// Forwards one cloaked update (and any retired pseudonym) to the
   /// server, invalidating cached count entries the update's old or new
-  /// region overlaps. Caller holds the exclusive lock.
-  void ForwardCloaked(const CloakedUpdate& update);
+  /// region overlaps and notifying the standing-query registry. Caller
+  /// holds the exclusive lock; `user` is the reporting user (standing
+  /// private queries are keyed by issuer).
+  void ForwardCloaked(const CloakedUpdate& update, UserId user);
 
   /// Drops a pseudonym's server record after invalidating cached count
   /// entries its last region overlaps. Caller holds the exclusive lock.
@@ -212,6 +247,7 @@ class Shard {
   std::unique_ptr<Anonymizer> anonymizer_;
   QueryProcessor server_;
   CellSignature signature_;
+  ContinuousShardRegistry continuous_;
   mutable CandidateCache cache_;
   BoundedUpdateQueue queue_;
   mutable std::shared_mutex mu_;

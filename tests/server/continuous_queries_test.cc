@@ -224,6 +224,135 @@ TEST(ContinuousCountTest, MatchesOneShotAfterRandomChurn) {
   EXPECT_EQ(incremental.value().max_count, oneshot.value().answer.max_count);
 }
 
+// Randomized oracle: after every incremental step the processor's answers
+// must match a processor built from scratch against the same store (full
+// re-evaluation at the current regions). Covers the accounting bugs the
+// incremental paths used to have: duplicate-pseudonym inserts with a
+// stale-nullopt old region, moves reported with the correct old region,
+// and removals.
+TEST(ContinuousOracleTest, RandomizedStreamMatchesFromScratchReevaluation) {
+  auto store = MakeStoreWithPois(400, 21);
+  ContinuousQueryProcessor cq(&store);
+  Rect range_region(20, 20, 28, 28);
+  Rect nn_region(60, 60, 66, 66);
+  Rect window(30, 30, 70, 70);
+  auto range_id = cq.RegisterRange(range_region, 5.0, 1);
+  auto nn_id = cq.RegisterNn(nn_region, 1);
+  auto count_id = cq.RegisterCount(window);
+  ASSERT_TRUE(range_id.ok());
+  ASSERT_TRUE(nn_id.ok());
+  ASSERT_TRUE(count_id.ok());
+
+  Rng rng(22);
+  std::unordered_map<ObjectId, Rect> users;
+  auto move_region = [&rng](Rect* r, double side, double jump) {
+    double x = std::clamp(r->min_x + rng.Uniform(-jump, jump), 0.0,
+                          100.0 - side);
+    double y = std::clamp(r->min_y + rng.Uniform(-jump, jump), 0.0,
+                          100.0 - side);
+    *r = Rect(x, y, x + side, y + side);
+  };
+  for (int step = 0; step < 150; ++step) {
+    const double jump = step % 7 == 6 ? 25.0 : 1.5;
+    move_region(&range_region, 8.0, jump);
+    ASSERT_TRUE(cq.UpdateRegion(range_id.value(), range_region).ok());
+    move_region(&nn_region, 6.0, jump);
+    ASSERT_TRUE(cq.UpdateRegion(nn_id.value(), nn_region).ok());
+
+    // Private-population churn: move, appear, disappear — and every 11th
+    // step an insert-shaped notification (old == nullopt) for a pseudonym
+    // that already exists, which the count path must treat as an assign,
+    // not a blind accumulate.
+    ObjectId user = 1 + rng.NextBelow(25);
+    Point c{rng.Uniform(5, 95), rng.Uniform(5, 95)};
+    Rect next = Rect::CenteredSquare(c, rng.Uniform(2, 12));
+    std::optional<Rect> old;
+    if (auto it = users.find(user); it != users.end()) old = it->second;
+    if (old.has_value() && step % 13 == 12) {
+      ASSERT_TRUE(store.RemovePrivateRegion(user).ok());
+      ASSERT_TRUE(
+          cq.NotifyPrivateRegionChanged(user, old, std::nullopt).ok());
+      users.erase(user);
+    } else {
+      ASSERT_TRUE(store.UpsertPrivateRegion(user, next).ok());
+      if (step % 11 == 10) old = std::nullopt;  // Duplicate-insert shape.
+      ASSERT_TRUE(cq.NotifyPrivateRegionChanged(user, old, next).ok());
+      users[user] = next;
+    }
+
+    if (step % 10 == 9) {
+      ContinuousQueryProcessor fresh(&store);
+      auto fresh_range = fresh.RegisterRange(range_region, 5.0, 1);
+      auto fresh_nn = fresh.RegisterNn(nn_region, 1);
+      auto fresh_count = fresh.RegisterCount(window);
+      ASSERT_TRUE(fresh_range.ok());
+      ASSERT_TRUE(fresh_nn.ok());
+      ASSERT_TRUE(fresh_count.ok());
+      EXPECT_EQ(Ids(cq.CurrentCandidates(range_id.value()).value()),
+                Ids(fresh.CurrentCandidates(fresh_range.value()).value()))
+          << "step " << step;
+      EXPECT_EQ(Ids(cq.CurrentCandidates(nn_id.value()).value()),
+                Ids(fresh.CurrentCandidates(fresh_nn.value()).value()))
+          << "step " << step;
+      auto inc = cq.CurrentCount(count_id.value());
+      auto scratch = fresh.CurrentCount(fresh_count.value());
+      ASSERT_TRUE(inc.ok());
+      ASSERT_TRUE(scratch.ok());
+      EXPECT_NEAR(inc.value().expected, scratch.value().expected, 1e-9)
+          << "step " << step;
+      EXPECT_EQ(inc.value().min_count, scratch.value().min_count)
+          << "step " << step;
+      EXPECT_EQ(inc.value().max_count, scratch.value().max_count)
+          << "step " << step;
+    }
+  }
+  EXPECT_GT(cq.stats().incremental_filters, 0u);
+  EXPECT_GT(cq.stats().count_delta_updates, 0u);
+}
+
+// A failed UpdateRegion (the category vanished mid-stream) must leave the
+// query's committed state untouched: the previous answer stays served, and
+// once the data returns the incremental path lines up with a from-scratch
+// processor again.
+TEST(ContinuousOracleTest, UpdateRegionErrorPathLeavesStateIntact) {
+  ObjectStore store(Rect(0, 0, 100, 100));
+  std::vector<PublicObject> pois;
+  Rng rng(23);
+  for (ObjectId id = 1; id <= 200; ++id) {
+    PublicObject o;
+    o.id = id;
+    o.location = {rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    o.category = 1;
+    pois.push_back(o);
+  }
+  ASSERT_TRUE(store.BulkLoadCategory(1, pois).ok());
+  ContinuousQueryProcessor cq(&store);
+  Rect region(40, 40, 48, 48);
+  auto id = cq.RegisterRange(region, 6.0, 1);
+  ASSERT_TRUE(id.ok());
+  auto before = cq.CurrentCandidates(id.value());
+  ASSERT_TRUE(before.ok());
+
+  // Empty the category, then force a full re-evaluation with a jump far
+  // outside the cached coverage. The update must fail...
+  ASSERT_TRUE(store.BulkLoadCategory(1, {}).ok());
+  Rect jumped(5, 5, 13, 13);
+  EXPECT_FALSE(cq.UpdateRegion(id.value(), jumped).ok());
+  // ...and the committed state must still answer from the old region.
+  auto after = cq.CurrentCandidates(id.value());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Ids(before.value()), Ids(after.value()));
+
+  // Data returns: the same update now succeeds and matches from-scratch.
+  ASSERT_TRUE(store.BulkLoadCategory(1, pois).ok());
+  ASSERT_TRUE(cq.UpdateRegion(id.value(), jumped).ok());
+  ContinuousQueryProcessor fresh(&store);
+  auto fresh_id = fresh.RegisterRange(jumped, 6.0, 1);
+  ASSERT_TRUE(fresh_id.ok());
+  EXPECT_EQ(Ids(cq.CurrentCandidates(id.value()).value()),
+            Ids(fresh.CurrentCandidates(fresh_id.value()).value()));
+}
+
 TEST(ContinuousTest, SlackMarginControlsCacheHitRate) {
   auto run = [](double slack) {
     auto store = MakeStoreWithPois(300, 9);

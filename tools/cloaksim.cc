@@ -18,6 +18,7 @@
 //            [--delay-us=U] [--stall-prob=P] [--stall-us=U]
 //            [--deadline-us=U] [--max-qps=Q] [--shed-fraction=F]
 //            [--overload-policy=reject|degrade]
+//            [--continuous] [--standing=N] [--verify-sample=N]
 //
 // --shared-exec turns on the service's shared-execution engine (clustered
 // probes + candidate cache); cloaked regions snap to grid cells, so nearby
@@ -40,6 +41,14 @@
 // be a correct candidate superset restricted to its covered shards, and the
 // run exits non-zero on any wrong answer or on a fault-count reconciliation
 // mismatch — the chaos run is a checker, not just a load generator.
+//
+// --continuous switches to the standing-query workload: --standing queries
+// (range / NN / k-NN round-robined over users, every 16th a count window)
+// are registered up front and kept current by the update drains alone;
+// each tick verifies --verify-sample of them against fresh one-shot
+// queries and the run exits non-zero on any drift. The closing summary
+// reports cq.affected_per_update against the registry size — the
+// incremental-evaluation scaling claim in one number.
 //
 // Output columns:
 //   tick,users,updates_per_s,nn_acc,range_acc,knn_acc,
@@ -92,6 +101,11 @@ struct Args {
   std::string trace_jsonl;   // JSONL span export path
   double trace_sample = 1.0;  // head-sampling probability
   std::string monitor_json;  // per-tick status snapshot for cloakmon
+  // Continuous mode: register a standing-query population and verify
+  // sampled standing answers against one-shot queries every tick.
+  bool continuous = false;
+  size_t standing = 1000;
+  size_t verify_sample = 16;
   // Chaos / overload (see the header comment).
   bool chaos = false;
   uint64_t chaos_seed = 42;
@@ -157,6 +171,12 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.trace_sample = std::strtod(value.c_str(), nullptr);
     } else if (ParseArg(argv[i], "monitor-json", &value)) {
       args.monitor_json = value;
+    } else if (std::strcmp(argv[i], "--continuous") == 0) {
+      args.continuous = true;
+    } else if (ParseArg(argv[i], "standing", &value)) {
+      args.standing = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "verify-sample", &value)) {
+      args.verify_sample = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       args.chaos = true;
     } else if (ParseArg(argv[i], "chaos-seed", &value)) {
@@ -199,6 +219,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
   if (args.shards == 0) return Status::InvalidArgument("shards must be >= 1");
   if (args.trace_sample < 0.0 || args.trace_sample > 1.0)
     return Status::InvalidArgument("trace-sample must be in [0, 1]");
+  if (args.continuous && args.standing == 0)
+    return Status::InvalidArgument("standing must be >= 1");
   return args;
 }
 
@@ -399,6 +421,239 @@ void PrintHistogramRow(const obs::MetricsRegistry& metrics,
               snap.p95(), snap.p99());
 }
 
+// Continuous-query mode: registers a standing population (range / NN /
+// k-NN on round-robin users plus count windows), streams movement through
+// the queued ingest path, and every tick verifies a sample of standing
+// answers against fresh one-shot queries over the same applied state —
+// range and count answers must match exactly, NN/k-NN candidates must
+// contain the brute-force nearest objects of the issuer's true location.
+// Exits non-zero on any mismatch; the closing summary shows that per-update
+// work (cq.affected_per_update) stays far below the registry size.
+int RunContinuous(const Args& args, CloakDbService& db,
+                  RandomWaypointModel& movement,
+                  const std::vector<UserId>& user_ids,
+                  const std::vector<std::vector<PublicObject>>&
+                      pois_by_category,
+                  const std::vector<Category>& categories, Rng& rng,
+                  TimeOfDay now) {
+  const auto& metrics = db.metrics();
+  // Everyone reports once so registrations have a cloaked region to
+  // stand on.
+  for (UserId user : user_ids) {
+    auto st = db.EnqueueUpdate(user, movement.LocationOf(user).value(), now);
+    if (!st.ok()) {
+      std::fprintf(stderr, "seed update failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto st = db.Flush(); !st.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  struct StandingRef {
+    ContinuousQueryId id = 0;
+    QueryKind kind = QueryKind::kPrivateRange;
+    UserId user = 0;
+    double radius = 0.0;
+    size_t k = 0;
+    size_t cat_index = 0;
+    Rect window;
+  };
+  constexpr double kStandingRadius = 8.0;
+  constexpr size_t kStandingK = 3;
+  std::vector<StandingRef> standing;
+  standing.reserve(args.standing);
+  const auto reg_begin = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < args.standing; ++i) {
+    StandingRef ref;
+    Result<ContinuousQueryId> id = Status::OK();
+    if (i % 16 == 15) {
+      ref.kind = QueryKind::kPublicCount;
+      Point c{rng.Uniform(10, 90), rng.Uniform(10, 90)};
+      ref.window = Rect::CenteredSquare(c, rng.Uniform(5, 25));
+      id = db.RegisterContinuousCount(ref.window);
+    } else {
+      ref.user = user_ids[i % user_ids.size()];
+      ref.cat_index = i % categories.size();
+      const Category category = categories[ref.cat_index];
+      switch (i % 3) {
+        case 0:
+          ref.kind = QueryKind::kPrivateRange;
+          ref.radius = kStandingRadius;
+          id = db.RegisterContinuousRange(ref.user, ref.radius, category);
+          break;
+        case 1:
+          ref.kind = QueryKind::kPrivateNn;
+          ref.k = 1;
+          id = db.RegisterContinuousNn(ref.user, category);
+          break;
+        default:
+          ref.kind = QueryKind::kPrivateKnn;
+          ref.k = kStandingK;
+          id = db.RegisterContinuousKnn(ref.user, kStandingK, category);
+          break;
+      }
+    }
+    if (!id.ok()) {
+      std::fprintf(stderr, "standing registration %zu failed: %s\n", i,
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    ref.id = id.value();
+    standing.push_back(ref);
+  }
+  const double reg_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - reg_begin)
+                           .count();
+  std::printf("# continuous: %zu standing queries registered in %.2fs "
+              "(%.0f/s)\n",
+              standing.size(), reg_s,
+              reg_s > 0.0 ? static_cast<double>(standing.size()) / reg_s
+                          : 0.0);
+
+  std::printf(
+      "tick,standing,updates_per_s,verified,mismatches,"
+      "affected_p95,affected_max,refilters,full_reevals\n");
+  uint64_t mismatches = 0;
+  for (size_t tick = 1; tick <= args.ticks; ++tick) {
+    movement.Step(1.0);
+    const auto begin = std::chrono::steady_clock::now();
+    for (UserId user : user_ids) {
+      auto st =
+          db.EnqueueUpdate(user, movement.LocationOf(user).value(), now);
+      if (!st.ok()) {
+        std::fprintf(stderr, "update failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (auto st = db.Flush(); !st.ok()) {
+      std::fprintf(stderr, "flush failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - begin)
+                               .count();
+
+    size_t verified = 0;
+    for (size_t v = 0; v < args.verify_sample; ++v) {
+      const StandingRef& ref = standing[rng.NextBelow(standing.size())];
+      auto answer = db.AnswerContinuous(ref.id);
+      if (!answer.ok() || answer.value().stale) {
+        ++mismatches;
+        continue;
+      }
+      ++verified;
+      if (ref.kind == QueryKind::kPublicCount) {
+        auto oneshot = db.PublicCount(ref.window);
+        if (!oneshot.ok() ||
+            std::abs(answer.value().count.expected -
+                     oneshot.value().answer.expected) > 1e-6 ||
+            answer.value().count.min_count !=
+                oneshot.value().answer.min_count ||
+            answer.value().count.max_count !=
+                oneshot.value().answer.max_count) {
+          std::fprintf(stderr, "standing count %llu drifted from one-shot\n",
+                       static_cast<unsigned long long>(ref.id));
+          ++mismatches;
+        }
+        continue;
+      }
+      auto info = db.ContinuousInfo(ref.id);
+      if (!info.ok()) {
+        ++mismatches;
+        continue;
+      }
+      std::set<ObjectId> ids;
+      for (const auto& o : answer.value().candidates) ids.insert(o.id);
+      const auto& oracle = pois_by_category[ref.cat_index];
+      if (ref.kind == QueryKind::kPrivateRange) {
+        auto oneshot = db.PrivateRange(info.value().region, ref.radius,
+                                       categories[ref.cat_index]);
+        std::set<ObjectId> oneshot_ids;
+        if (oneshot.ok()) {
+          for (const auto& o : oneshot.value().candidates)
+            oneshot_ids.insert(o.id);
+        }
+        if (!oneshot.ok() || ids != oneshot_ids) {
+          std::fprintf(stderr, "standing range %llu drifted from one-shot\n",
+                       static_cast<unsigned long long>(ref.id));
+          ++mismatches;
+        }
+      } else {
+        // The candidate-list guarantee: the issuer's true nearest objects
+        // must be present (the true location lies inside the region).
+        const Point true_loc = movement.LocationOf(ref.user).value();
+        for (ObjectId want : ExactKnnIds(oracle, true_loc, ref.k)) {
+          if (ids.count(want) == 0) {
+            std::fprintf(stderr,
+                         "standing knn %llu lost a true neighbour\n",
+                         static_cast<unsigned long long>(ref.id));
+            ++mismatches;
+            break;
+          }
+        }
+      }
+    }
+
+    const auto affected = metrics.SnapshotHistogram("cq.affected_per_update");
+    std::printf("%zu,%zu,%.0f,%zu,%llu,%.1f,%.1f,%llu,%llu\n", tick,
+                standing.size(),
+                elapsed > 0.0
+                    ? static_cast<double>(user_ids.size()) / elapsed
+                    : 0.0,
+                verified, static_cast<unsigned long long>(mismatches),
+                affected.p95(), affected.max,
+                static_cast<unsigned long long>(
+                    metrics.CounterValue("cq.incremental_refilters_total")),
+                static_cast<unsigned long long>(
+                    metrics.CounterValue("cq.full_reevals_total")));
+    now = now.Plus(60);
+  }
+
+  const auto affected = metrics.SnapshotHistogram("cq.affected_per_update");
+  std::printf("# --- continuous summary ---\n");
+  std::printf("# cq.registered=%zu updates_seen=%llu\n",
+              db.NumContinuousQueries(),
+              static_cast<unsigned long long>(
+                  metrics.CounterValue("cq.updates_seen_total")));
+  std::printf(
+      "# cq.affected_per_update: p50=%.1f p95=%.1f max=%.1f (registry "
+      "size %zu)\n",
+      affected.p50(), affected.p95(), affected.max, standing.size());
+  std::printf(
+      "# cq.incremental_refilters=%llu cq.full_reevals=%llu "
+      "cq.stale_marked=%llu cq.count_delta_updates=%llu\n",
+      static_cast<unsigned long long>(
+          metrics.CounterValue("cq.incremental_refilters_total")),
+      static_cast<unsigned long long>(
+          metrics.CounterValue("cq.full_reevals_total")),
+      static_cast<unsigned long long>(
+          metrics.CounterValue("cq.stale_marked_total")),
+      static_cast<unsigned long long>(
+          metrics.CounterValue("cq.count_delta_updates_total")));
+  if (!args.metrics_json.empty()) {
+    std::FILE* f = std::fopen(args.metrics_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_json.c_str());
+      return 1;
+    }
+    std::string json = metrics.ExportJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu standing answers drifted from one-shot "
+                 "ground truth\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  return 0;
+}
+
 int Run(const Args& args) {
   const Rect space(0.0, 0.0, 100.0, 100.0);
 
@@ -504,6 +759,11 @@ int Run(const Args& args) {
                                             poi_category::kRestaurant};
 
   TimeOfDay now = TimeOfDay::FromHms(12, 0).value();
+
+  if (args.continuous)
+    return RunContinuous(args, db, movement, user_ids, pois_by_category,
+                         categories, rng, now);
+
   const auto& metrics = db.metrics();
 
   // Robustness accounting: every degraded answer is verified against
@@ -804,7 +1064,8 @@ int main(int argc, char** argv) {
         "[--monitor-json=PATH] [--chaos] [--chaos-seed=S] [--fail-prob=P] "
         "[--delay-prob=P] [--delay-us=U] [--stall-prob=P] [--stall-us=U] "
         "[--deadline-us=U] [--max-qps=Q] [--shed-fraction=F] "
-        "[--overload-policy=reject|degrade]\n"
+        "[--overload-policy=reject|degrade] "
+        "[--continuous] [--standing=N] [--verify-sample=N]\n"
         "  KIND: naive | mbr | quadtree | grid | multilevel-grid\n"
         "  SPEC: e.g. \"08:00-17:00 k=1; 17:00-22:00 k=100 amin=1\"\n",
         argv[0]);
