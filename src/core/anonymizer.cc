@@ -40,26 +40,30 @@ const char* CloakingKindName(CloakingKind kind) {
 Anonymizer::Anonymizer(const AnonymizerOptions& options)
     : options_(options), pseudonym_rng_(options.pseudonym_seed) {
   snapshot_ = std::make_unique<UserSnapshot>(options.space, options.snapshot);
-  switch (options.algorithm) {
+  BuildAlgorithm();
+}
+
+void Anonymizer::BuildAlgorithm() {
+  switch (options_.algorithm) {
     case CloakingKind::kNaive:
       algorithm_ =
-          std::make_unique<NaiveCloaking>(snapshot_.get(), options.policy);
+          std::make_unique<NaiveCloaking>(snapshot_.get(), options_.policy);
       break;
     case CloakingKind::kMbr:
       algorithm_ =
-          std::make_unique<MbrCloaking>(snapshot_.get(), options.policy);
+          std::make_unique<MbrCloaking>(snapshot_.get(), options_.policy);
       break;
     case CloakingKind::kQuadtree:
       algorithm_ =
-          std::make_unique<QuadtreeCloaking>(snapshot_.get(), options.policy);
+          std::make_unique<QuadtreeCloaking>(snapshot_.get(), options_.policy);
       break;
     case CloakingKind::kGrid:
       algorithm_ =
-          std::make_unique<GridCloaking>(snapshot_.get(), options.policy);
+          std::make_unique<GridCloaking>(snapshot_.get(), options_.policy);
       break;
     case CloakingKind::kMultiLevelGrid:
       algorithm_ = std::make_unique<MultiLevelGridCloaking>(snapshot_.get(),
-                                                            options.policy);
+                                                            options_.policy);
       break;
   }
 }
@@ -319,6 +323,63 @@ Result<CloakedUpdate> Anonymizer::CloakForQuery(UserId user, TimeOfDay now) {
   if (!region.ok()) return region.status();
   return FinishUpdate(&state, std::move(region).value(), /*reused=*/false,
                       /*shared=*/false);
+}
+
+AnonymizerState Anonymizer::ExportState() const {
+  AnonymizerState out;
+  out.users.reserve(users_.size());
+  for (const auto& [user, state] : users_) {
+    ExportedUserState e;
+    e.user = user;
+    e.profile = state.profile.entries();
+    e.pseudonym = state.pseudonym;
+    e.has_location = state.has_location;
+    e.location = state.location;
+    e.has_cached_region = state.has_cached_region;
+    e.cached = state.cached;
+    e.updates_since_rotation = state.updates_since_rotation;
+    out.users.push_back(std::move(e));
+  }
+  std::sort(out.users.begin(), out.users.end(),
+            [](const ExportedUserState& a, const ExportedUserState& b) {
+              return a.user < b.user;
+            });
+  out.used_pseudonyms.assign(used_pseudonyms_.begin(), used_pseudonyms_.end());
+  std::sort(out.used_pseudonyms.begin(), out.used_pseudonyms.end());
+  out.pseudonym_rng = pseudonym_rng_.SaveState();
+  out.stats = stats_;
+  return out;
+}
+
+Status Anonymizer::RestoreState(const AnonymizerState& state) {
+  // Start from scratch: restore replaces, never merges.
+  users_.clear();
+  used_pseudonyms_.clear();
+  snapshot_ = std::make_unique<UserSnapshot>(options_.space, options_.snapshot);
+  BuildAlgorithm();
+  for (const ExportedUserState& e : state.users) {
+    auto profile = PrivacyProfile::Create(e.profile);
+    if (!profile.ok()) return profile.status();
+    UserState s;
+    s.profile = std::move(profile).value();
+    s.pseudonym = e.pseudonym;
+    s.has_location = e.has_location;
+    s.location = e.location;
+    s.has_cached_region = e.has_cached_region;
+    s.cached = e.cached;
+    s.updates_since_rotation = e.updates_since_rotation;
+    if (e.has_location) {
+      CLOAKDB_RETURN_IF_ERROR(snapshot_->Insert(e.user, e.location));
+    }
+    if (!users_.emplace(e.user, std::move(s)).second) {
+      return Status::MalformedRequest("duplicate user in anonymizer state");
+    }
+  }
+  used_pseudonyms_.insert(state.used_pseudonyms.begin(),
+                          state.used_pseudonyms.end());
+  pseudonym_rng_.LoadState(state.pseudonym_rng);
+  stats_ = state.stats;
+  return Status::OK();
 }
 
 }  // namespace cloakdb

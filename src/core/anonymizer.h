@@ -104,6 +104,31 @@ struct AnonymizerStats {
   uint64_t unsatisfied = 0;        ///< Best-effort results missing a constraint.
 };
 
+/// Complete externalized state of one registered user, for checkpointing.
+/// Mirrors the private UserState plus the user id and the raw profile
+/// entries (a PrivacyProfile is reconstructed from them on restore).
+struct ExportedUserState {
+  UserId user = 0;
+  std::vector<ProfileEntry> profile;
+  ObjectId pseudonym = 0;
+  bool has_location = false;
+  Point location;
+  bool has_cached_region = false;
+  CloakedRegion cached;
+  uint32_t updates_since_rotation = 0;
+};
+
+/// Everything the anonymizer needs to resume bit-exactly after a restart:
+/// per-user state, the full used-pseudonym set (retired pseudonyms stay
+/// reserved until their user unregisters, so it is NOT derivable from the
+/// live users), the pseudonym generator state, and the stats counters.
+struct AnonymizerState {
+  std::vector<ExportedUserState> users;   ///< Sorted by user id.
+  std::vector<ObjectId> used_pseudonyms;  ///< Sorted.
+  RngState pseudonym_rng;
+  AnonymizerStats stats;
+};
+
 /// The trusted third party between mobile users and the database server.
 ///
 /// Thread safety: the Anonymizer is *externally synchronized*. All mutating
@@ -168,6 +193,21 @@ class Anonymizer {
   const AnonymizerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = AnonymizerStats{}; }
 
+  /// Serializes the full mutable state (users sorted by id, pseudonym set
+  /// sorted) for a checkpoint. Const: safe under a shared lock.
+  AnonymizerState ExportState() const;
+
+  /// Replaces ALL mutable state with a previously exported one and
+  /// rebuilds the live snapshot by inserting users in ascending-id order.
+  /// After a successful restore the anonymizer behaves bit-exactly like
+  /// the instance that exported (for the deterministic grid-family
+  /// cloakers, whose regions are pure functions of the location multiset;
+  /// the quadtree cloaker's index shape is insertion-order dependent, so
+  /// only constraint satisfaction — not region geometry — is preserved
+  /// for it). Fails (leaving the anonymizer empty) on invalid state, e.g.
+  /// an unparsable profile or an out-of-space location.
+  Status RestoreState(const AnonymizerState& state);
+
  private:
   struct UserState {
     PrivacyProfile profile;
@@ -184,6 +224,10 @@ class Anonymizer {
   ObjectId MaybeRotatePseudonym(UserState* state);
 
   explicit Anonymizer(const AnonymizerOptions& options);
+
+  /// (Re)creates the cloaking algorithm against the current snapshot_;
+  /// called from the ctor and after RestoreState replaces the snapshot.
+  void BuildAlgorithm();
 
   ObjectId NewPseudonym();
   /// Returns the current population of the cached region when it can be

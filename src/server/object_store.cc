@@ -1,5 +1,7 @@
 #include "server/object_store.h"
 
+#include <algorithm>
+
 namespace cloakdb {
 
 ObjectStore::ObjectStore(const Rect& space, uint32_t rect_grid_cells)
@@ -108,6 +110,27 @@ Status ObjectStore::RemovePrivateRegion(ObjectId pseudonym) {
 
 Result<Rect> ObjectStore::GetPrivateRegion(ObjectId pseudonym) const {
   return private_index_.Get(pseudonym);
+}
+
+std::vector<PublicObject> ObjectStore::AllPublicObjects() const {
+  std::vector<PublicObject> out;
+  out.reserve(public_meta_.size());
+  for (const auto& [id, object] : public_meta_) out.push_back(object);
+  std::sort(out.begin(), out.end(),
+            [](const PublicObject& a, const PublicObject& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<std::pair<ObjectId, Rect>> ObjectStore::AllPrivateRegions() const {
+  std::vector<std::pair<ObjectId, Rect>> out;
+  out.reserve(private_index_.size());
+  private_index_.ForEach(
+      [&out](const RectEntry& e) { out.emplace_back(e.id, e.rect); });
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 }  // namespace cloakdb

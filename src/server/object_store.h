@@ -70,6 +70,10 @@ class ObjectStore {
 
   size_t num_public() const { return public_meta_.size(); }
 
+  /// Every public object across all categories, sorted by id — the
+  /// deterministic enumeration the checkpoint writer serializes.
+  std::vector<PublicObject> AllPublicObjects() const;
+
   // --- Private data ------------------------------------------------------
 
   /// Inserts or replaces the cloaked region of a pseudonym.
@@ -85,6 +89,10 @@ class ObjectStore {
   const RectGrid& private_index() const { return private_index_; }
 
   size_t num_private() const { return private_index_.size(); }
+
+  /// Every (pseudonym, region) pair, sorted by pseudonym — deterministic
+  /// enumeration for the checkpoint writer.
+  std::vector<std::pair<ObjectId, Rect>> AllPrivateRegions() const;
 
   const Rect& space() const { return space_; }
 

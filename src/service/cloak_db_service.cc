@@ -3,15 +3,22 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <map>
 #include <string>
 #include <utility>
 
 #include "geom/distance.h"
 #include "obs/scoped_timer.h"
+#include "storage/shard_snapshot.h"
 
 namespace cloakdb {
 
 namespace {
+
+// How long an un-acknowledged WAL record may sit appended-but-unfsynced
+// before an idle worker forces the group commit. Acknowledged work (Flush)
+// never waits on this — the flush barrier fsyncs immediately.
+constexpr int64_t kGroupCommitDeadlineUs = 10'000;
 
 // splitmix64: cheap, well-mixed hash for id -> shard routing and for
 // perturbing per-shard pseudonym seeds (sequential user ids must not all
@@ -195,6 +202,10 @@ Result<std::unique_ptr<CloakDbService>> CloakDbService::Create(
     return Status::InvalidArgument("fault probabilities must be in [0, 1]");
   if (fault.probe_delay_us < 0 || fault.queue_stall_us < 0)
     return Status::InvalidArgument("fault delays must be >= 0");
+  if (options.durability_mode != storage::DurabilityMode::kOff &&
+      options.data_dir.empty())
+    return Status::InvalidArgument(
+        "data_dir is required when durability_mode is not off");
   std::unique_ptr<CloakDbService> service(new CloakDbService(options));
   CLOAKDB_RETURN_IF_ERROR(service->Start());
   return service;
@@ -288,7 +299,49 @@ Status CloakDbService::Start() {
   if (options_.fault_injection.enabled)
     fault_injector_ = std::make_unique<FaultInjector>(options_.fault_injection);
 
+  // Durability metrics, eager like the rest so the exported catalog is
+  // complete even before the first commit or recovery.
+  storage::DurabilityObs durability_obs;
+  durability_obs.wal_records = metrics_.counter("wal.records_total");
+  durability_obs.wal_bytes = metrics_.counter("wal.bytes_total");
+  durability_obs.wal_fsyncs = metrics_.counter("wal.fsyncs_total");
+  durability_obs.wal_commit_us = metrics_.histogram("wal.commit_us");
+  durability_obs.checkpoints = metrics_.counter("checkpoint.completed_total");
+  durability_obs.checkpoint_bytes = metrics_.counter("checkpoint.bytes_total");
+  durability_obs.checkpoint_us = metrics_.histogram("checkpoint.duration_us");
+  obs::Counter* recovery_replayed =
+      metrics_.counter("recovery.replayed_records_total");
+  obs::Counter* recovery_truncated =
+      metrics_.counter("recovery.truncated_records");
+  obs::Counter* recovery_checkpoints =
+      metrics_.counter("recovery.checkpoints_loaded_total");
+  obs::Counter* recovery_cqs =
+      metrics_.counter("recovery.cq_reregistered_total");
+  obs::ShardedHistogram* recovery_us =
+      metrics_.histogram("recovery.duration_us");
+
   const uint32_t n = options_.num_shards;
+  const bool durable =
+      options_.durability_mode != storage::DurabilityMode::kOff;
+  if (durable) {
+    // The injector owns the crash decision so cloaksim can re-arm points
+    // at runtime; the hook keeps storage below the service layer.
+    storage::CrashHook crash_hook;
+    if (fault_injector_ != nullptr) {
+      FaultInjector* injector = fault_injector_.get();
+      crash_hook = [injector](storage::CrashPoint point) {
+        return injector->ShouldCrash(point);
+      };
+    }
+    durability_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto engine = storage::ShardDurability::Open(
+          options_.data_dir + "/shard-" + std::to_string(i),
+          options_.durability_mode, durability_obs, crash_hook);
+      if (!engine.ok()) return engine.status();
+      durability_.push_back(std::move(engine).value());
+    }
+  }
   // Split the cache budget evenly (at least one entry per shard so a tiny
   // budget still exercises the cache path everywhere).
   const size_t per_shard_cache =
@@ -316,6 +369,7 @@ Status CloakDbService::Start() {
     config.fault_injector = fault_injector_.get();
     config.continuous = options_.continuous;
     config.cq_obs = cq_obs_;
+    config.durability = durable ? durability_[i].get() : nullptr;
     auto shard = Shard::Create(config);
     if (!shard.ok()) return shard.status();
     shards_.push_back(std::move(shard).value());
@@ -331,10 +385,145 @@ Status CloakDbService::Start() {
           return ExecuteBatch(queries);
         });
   }
+  if (durable) {
+    // Recovery must finish before any worker can drain or checkpoint: the
+    // replay re-applies records through the same shard paths the workers
+    // use, and interleaving live traffic would reorder the log.
+    const auto recovery_start = std::chrono::steady_clock::now();
+    CLOAKDB_RETURN_IF_ERROR(RecoverFromDisk());
+    recovery_replayed->Increment(recovery_info_.replayed_records);
+    recovery_truncated->Increment(recovery_info_.truncated_records);
+    recovery_checkpoints->Increment(recovery_info_.checkpoints_loaded);
+    recovery_cqs->Increment(recovery_info_.cq_reregistered);
+    recovery_us->Record(obs::MicrosBetween(recovery_start,
+                                           std::chrono::steady_clock::now()));
+  }
   worker_count_ = options_.worker_threads == 0 ? n : options_.worker_threads;
   workers_.reserve(worker_count_);
   for (uint32_t w = 0; w < worker_count_; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  return Status::OK();
+}
+
+Status CloakDbService::RecoverFromDisk() {
+  recovery_info_.performed = true;
+  recovery_info_.shard_last_lsn.resize(shards_.size(), 0);
+  // Standing-query registrations survive as checkpoint entries plus WAL
+  // register/unregister events; folding both in order yields the set that
+  // was live at the crash. Count windows are logged on every shard, so the
+  // map also dedupes; std::map keeps re-registration in ascending-id order.
+  std::map<ContinuousQueryId, ContinuousSpec> live_cqs;
+  ContinuousQueryId max_cq_id = 0;
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    const storage::ShardRecoveredState& recovered =
+        durability_[i]->recovered();
+    recovery_info_.truncated_records += recovered.truncated_records;
+    recovery_info_.skipped_records += recovered.skipped_records;
+    recovery_info_.shard_last_lsn[i] = durability_[i]->last_lsn();
+    if (recovered.had_checkpoint) {
+      auto snapshot = storage::DecodeShardSnapshot(recovered.checkpoint_blob);
+      if (!snapshot.ok()) return snapshot.status();
+      CLOAKDB_RETURN_IF_ERROR(
+          shards_[i]->RestoreSnapshot(snapshot.value()));
+      ++recovery_info_.checkpoints_loaded;
+      for (const storage::SnapshotCq& cq : snapshot.value().cqs) {
+        ContinuousSpec spec;
+        spec.kind = static_cast<QueryKind>(cq.kind);
+        spec.issuer = cq.issuer;
+        spec.radius = cq.radius;
+        spec.k = static_cast<size_t>(cq.k);
+        spec.category = cq.category;
+        spec.window = cq.window;
+        live_cqs[cq.id] = spec;
+        max_cq_id = std::max(max_cq_id, cq.id);
+      }
+    }
+    for (const storage::WalRecord& record : recovered.records) {
+      ++recovery_info_.replayed_records;
+      if (record.type == storage::WalRecordType::kCqRegister) {
+        ContinuousSpec spec;
+        spec.kind = static_cast<QueryKind>(record.cq_kind);
+        spec.issuer = record.cq_issuer;
+        spec.radius = record.cq_radius;
+        spec.k = static_cast<size_t>(record.cq_k);
+        spec.category = record.cq_category;
+        spec.window = record.cq_window;
+        live_cqs[record.cq_id] = spec;
+        max_cq_id = std::max(max_cq_id, record.cq_id);
+        continue;
+      }
+      if (record.type == storage::WalRecordType::kCqUnregister) {
+        live_cqs.erase(record.cq_id);
+        max_cq_id = std::max(max_cq_id, record.cq_id);
+        continue;
+      }
+      CLOAKDB_RETURN_IF_ERROR(shards_[i]->ReplayWalRecord(record));
+    }
+  }
+  // Never reuse a recovered id, including unregistered ones: a client may
+  // still hold it.
+  next_cq_id_.store(max_cq_id + 1, std::memory_order_relaxed);
+
+  // Re-register the surviving standing queries through the same evaluation
+  // the live registration path uses (registry insert only — the WAL still
+  // holds their registration records, so nothing is re-logged). A private
+  // query whose issuer no longer has a region is dropped, mirroring what
+  // an operator would see had the crash landed a breath earlier.
+  for (const auto& [id, spec] : live_cqs) {
+    if (spec.kind == QueryKind::kPublicCount) {
+      bool ok = true;
+      for (uint32_t s = 0; s < shards_.size(); ++s) {
+        if (!shards_[s]->RegisterStandingCount(id, spec.window).ok()) {
+          for (uint32_t r = 0; r < s; ++r)
+            (void)shards_[r]->continuous().Remove(id);
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      cq_routes_[id] = CqRoute{QueryKind::kPublicCount, 0};
+    } else {
+      const uint32_t home = ShardOfUser(spec.issuer);
+      ContinuousShardRegistry& registry = shards_[home]->continuous();
+      auto region = shards_[home]->CurrentRegionOfUser(spec.issuer);
+      if (!region.ok()) continue;
+      const uint64_t version = registry.public_version();
+      auto snap = EvaluateStanding(spec, region.value(), Deadline(), 0);
+      if (!snap.ok()) continue;
+      if (!registry
+               .InsertPrivate(id, spec, region.value(),
+                              std::move(snap).value(), version)
+               .ok())
+        continue;
+      cq_routes_[id] = CqRoute{spec.kind, home};
+    }
+    ++recovery_info_.cq_reregistered;
+    if (cq_obs_.registered != nullptr) cq_obs_.registered->Add(1.0);
+  }
+  return Status::OK();
+}
+
+Status CloakDbService::Checkpoint() {
+  for (auto& shard : shards_) CLOAKDB_RETURN_IF_ERROR(shard->WriteCheckpoint());
+  return Status::OK();
+}
+
+Status CloakDbService::SyncWal() {
+  if (durability_.empty()) return Status::OK();
+  if (durability_.size() == 1) return durability_[0]->Sync();
+  // The per-shard WALs are independent files: fsync them concurrently so
+  // the barrier costs one fsync's latency, not num_shards of them.
+  std::vector<Status> statuses(durability_.size(), Status::OK());
+  std::vector<std::thread> syncers;
+  syncers.reserve(durability_.size());
+  for (size_t i = 0; i < durability_.size(); ++i) {
+    syncers.emplace_back(
+        [this, i, &statuses] { statuses[i] = durability_[i]->Sync(); });
+  }
+  for (auto& t : syncers) t.join();
+  for (Status& status : statuses) {
+    if (!status.ok()) return status;
   }
   return Status::OK();
 }
@@ -346,6 +535,9 @@ CloakDbService::~CloakDbService() {
   // Workers sweep their shards once after stop; finish anything left (e.g.
   // updates raced in before the queues closed).
   (void)Flush();
+  // In kAsync mode commits were never fsynced; push them out now so a
+  // clean shutdown loses nothing.
+  (void)SyncWal();
 }
 
 void CloakDbService::WorkerLoop(uint32_t worker) {
@@ -353,10 +545,27 @@ void CloakDbService::WorkerLoop(uint32_t worker) {
     size_t drained = 0;
     for (uint32_t s = worker; s < shards_.size(); s += worker_count_) {
       drained += shards_[s]->DrainOnce(options_.max_batch);
+      // Each shard is checkpointed only by the worker that drains it
+      // (stride assignment), so the interval trigger never races itself;
+      // explicit Checkpoint() calls serialize inside the engine.
+      if (!durability_.empty() && options_.checkpoint_interval > 0 &&
+          durability_[s]->records_since_checkpoint() >=
+              options_.checkpoint_interval) {
+        (void)shards_[s]->WriteCheckpoint();
+      }
     }
     if (drained == 0) {
-      // Idle: repair a few stale standing queries on this worker's shards,
-      // then nap instead of spinning; enqueue latency stays sub-ms while an
+      // Idle: settle any deferred group commit that has aged past the
+      // deadline. The time gate matters — a fast drainer bounces off an
+      // empty queue between producer enqueues, so an unconditional sync
+      // here degenerates right back into one fsync per batch.
+      if (options_.durability_mode == storage::DurabilityMode::kFsync) {
+        for (uint32_t s = worker; s < shards_.size(); s += worker_count_) {
+          (void)durability_[s]->SyncIfStale(kGroupCommitDeadlineUs);
+        }
+      }
+      // Repair a few stale standing queries on this worker's shards, then
+      // nap instead of spinning; enqueue latency stays sub-ms while an
       // idle service costs ~no CPU.
       size_t swept = 0;
       for (uint32_t s = worker; s < shards_.size(); s += worker_count_) {
@@ -538,8 +747,28 @@ Status CloakDbService::Flush() {
     }
   }
   // Drained updates may have staled standing queries; a flushed service
-  // answers them from fully repaired state.
-  while (SweepContinuousStale() > 0) {
+  // answers them from fully repaired state. Sweeping until the queue is
+  // empty is not enough: TakeStale clears the stale flags, so an idle
+  // worker mid-repair is invisible to the queue — wait for its restore
+  // (or epoch-mismatch discard, which re-queues) to settle too.
+  for (;;) {
+    if (SweepContinuousStale() > 0) continue;
+    bool repairing = false;
+    for (const auto& shard : shards_) {
+      if (shard->continuous().repairs_in_flight() > 0) {
+        repairing = true;
+        break;
+      }
+    }
+    if (!repairing) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  // Group-commit barrier: drains defer per-batch fsyncs while their queue
+  // still holds work, so a Flush() racing the shard's worker can observe
+  // pending_ == 0 with the last record not yet fsynced. Settle it here —
+  // a no-op when the final drain already committed synchronously.
+  if (options_.durability_mode == storage::DurabilityMode::kFsync) {
+    CLOAKDB_RETURN_IF_ERROR(SyncWal());
   }
   return Status::OK();
 }

@@ -128,6 +128,38 @@ struct CloakDbServiceOptions {
   /// Standing-query subsystem knobs (slack margin, coverage-grid
   /// resolution, and the force_full_reeval testing twin).
   ContinuousRegistryOptions continuous;
+
+  // --- Durability ----------------------------------------------------------
+
+  /// kOff (default): the historical in-memory service, no files touched.
+  /// kAsync/kFsync: every durable mutation is WAL-logged per shard before
+  /// its in-memory apply, with periodic checkpoints; Start() recovers the
+  /// pre-crash state from <data_dir> before any worker runs.
+  storage::DurabilityMode durability_mode = storage::DurabilityMode::kOff;
+
+  /// Root of the on-disk state, one subdirectory per shard
+  /// (<data_dir>/shard-<i>/). Required when durability_mode != kOff. The
+  /// shard count must match the directory's previous run: users are
+  /// hash-routed by num_shards, so reopening with a different count would
+  /// replay records into the wrong shards.
+  std::string data_dir;
+
+  /// WAL records per shard between automatic checkpoints (the owning
+  /// worker checkpoints a shard once its WAL passes this); 0 disables the
+  /// trigger — only explicit Checkpoint() calls truncate the WAL.
+  uint64_t checkpoint_interval = 4096;
+};
+
+/// What Start() recovered from disk (all zeros when durability is off or
+/// the data directory was fresh).
+struct RecoveryInfo {
+  bool performed = false;  ///< Durability was on and recovery ran.
+  uint64_t checkpoints_loaded = 0;
+  uint64_t replayed_records = 0;   ///< WAL records re-applied.
+  uint64_t skipped_records = 0;    ///< Stale records a checkpoint covered.
+  uint64_t truncated_records = 0;  ///< Torn/corrupt records dropped.
+  uint64_t cq_reregistered = 0;    ///< Standing queries re-registered.
+  std::vector<uint64_t> shard_last_lsn;  ///< Per-shard recovered LSN.
 };
 
 /// The sharded CloakDB facade. All public methods are thread-safe.
@@ -277,6 +309,20 @@ class CloakDbService {
   /// deterministic tests.
   size_t SweepContinuousStale();
 
+  // --- Durability ----------------------------------------------------------
+
+  /// Checkpoints every shard now (snapshot + WAL truncate); no-op with
+  /// durability off. Queries proceed concurrently; each shard's appends
+  /// pause for its snapshot export.
+  Status Checkpoint();
+
+  /// Flushes every shard's WAL to disk (the kAsync close-time barrier);
+  /// no-op with durability off.
+  Status SyncWal();
+
+  /// What recovery replayed at Start().
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+
   // --- Introspection -----------------------------------------------------
   /// Cross-shard aggregate counters, including the slow-query log.
   ServiceStats Stats() const;
@@ -350,6 +396,11 @@ class CloakDbService {
 
   Status Start();
   void WorkerLoop(uint32_t worker);
+
+  /// Restores checkpoints, replays WAL records, and re-registers standing
+  /// queries across all shards. Runs in Start() after the shards exist and
+  /// before any worker spawns, so no lock ordering or concurrency applies.
+  Status RecoverFromDisk();
 
   /// Runs admission control for one query (counts shed/degraded decisions
   /// and stamps the deadline). No-op admit when no controller is active.
@@ -459,6 +510,10 @@ class CloakDbService {
   std::unique_ptr<AdmissionController> admission_;
   /// Non-null only when fault_injection.enabled; shards share this pointer.
   std::unique_ptr<FaultInjector> fault_injector_;
+  /// Per-shard durability engines (empty with durability off). Declared
+  /// before shards_: each shard holds a raw pointer into this vector.
+  std::vector<std::unique_ptr<storage::ShardDurability>> durability_;
+  RecoveryInfo recovery_info_;
   /// Snaps cloaked regions for batch clustering (mirrors every shard's).
   CellSignature signature_;
   std::vector<std::unique_ptr<Shard>> shards_;

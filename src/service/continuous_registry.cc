@@ -426,6 +426,23 @@ Result<ContinuousQueryInfo> ContinuousShardRegistry::Info(
   return Status::NotFound("unknown continuous query");
 }
 
+std::vector<std::pair<ContinuousQueryId, ContinuousSpec>>
+ContinuousShardRegistry::RegisteredSpecs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<ContinuousQueryId, ContinuousSpec>> specs;
+  specs.reserve(private_.size() + counts_.size());
+  for (const auto& [id, entry] : private_) specs.emplace_back(id, entry.spec);
+  for (const auto& [id, entry] : counts_) {
+    ContinuousSpec spec;
+    spec.kind = QueryKind::kPublicCount;
+    spec.window = entry.window;
+    specs.emplace_back(id, spec);
+  }
+  std::sort(specs.begin(), specs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return specs;
+}
+
 std::vector<StaleEntry> ContinuousShardRegistry::TakeStale(size_t max) {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<StaleEntry> taken;
@@ -453,6 +470,7 @@ std::vector<StaleEntry> ContinuousShardRegistry::TakeStale(size_t max) {
     }
   }
   stale_queue_.resize(kept);
+  repairs_inflight_.fetch_add(taken.size(), std::memory_order_acq_rel);
   return taken;
 }
 

@@ -223,6 +223,12 @@ class ContinuousShardRegistry {
 
   Result<ContinuousQueryInfo> Info(ContinuousQueryId id) const;
 
+  /// Deterministic enumeration of every standing query homed here (private
+  /// entries plus this shard's count windows as kPublicCount specs),
+  /// sorted by id — the checkpoint writer's view.
+  std::vector<std::pair<ContinuousQueryId, ContinuousSpec>> RegisteredSpecs()
+      const;
+
   // --- Stale repair (service sweep) ---------------------------------------
 
   /// Pops up to `max` stale entries for repair (their stale flags clear;
@@ -241,6 +247,20 @@ class ContinuousShardRegistry {
   /// vanished): the answer empties and ships degraded until a later
   /// notification stales the query again.
   void RepairFailed(ContinuousQueryId id, uint64_t epoch);
+
+  /// Marks one popped entry's repair as settled (restored, discarded, or
+  /// failed). The sweep calls this once per TakeStale entry.
+  void RepairSettled() {
+    repairs_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Popped stale entries whose repair has not yet settled. TakeStale
+  /// clears the stale flags, so "stale queue empty" alone does not mean
+  /// every answer is current — a flush barrier must also wait for this to
+  /// reach zero.
+  size_t repairs_in_flight() const {
+    return repairs_inflight_.load(std::memory_order_acquire);
+  }
 
  private:
   struct PrivateEntry {
@@ -271,6 +291,7 @@ class ContinuousShardRegistry {
   ContinuousObs obs_;
   std::atomic<size_t> total_{0};
   std::atomic<uint64_t> public_version_{0};
+  std::atomic<size_t> repairs_inflight_{0};
   mutable std::mutex mu_;
   std::unordered_map<ContinuousQueryId, PrivateEntry> private_;
   std::unordered_map<UserId, std::vector<ContinuousQueryId>> by_user_;

@@ -117,6 +117,9 @@ Result<ContinuousQueryId> CloakDbService::RegisterContinuousImpl(
   // insertion (the registry was empty, so it was not notified): adopt it.
   auto region2 = home.CurrentRegionOfUser(spec.issuer);
   if (region2.ok()) (void)registry.RefreshRegion(id, region2.value());
+  // Logged after the registration sticks: a crash in between loses an
+  // unacknowledged registration, which the client retries anyway.
+  (void)home.LogCqRegister(id, spec);
 
   {
     std::lock_guard<std::mutex> lock(cq_mu_);
@@ -151,6 +154,14 @@ Result<ContinuousQueryId> CloakDbService::RegisterContinuousCount(
         (void)shards_[r]->continuous().Remove(id);
       return status;
     }
+  }
+  // Logged on every shard so recovery of any one shard's WAL resurrects
+  // the window there; the service-level union dedupes across shards.
+  ContinuousSpec spec;
+  spec.kind = QueryKind::kPublicCount;
+  spec.window = window;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    (void)shards_[s]->LogCqRegister(id, spec);
   }
   {
     std::lock_guard<std::mutex> lock(cq_mu_);
@@ -327,9 +338,13 @@ Status CloakDbService::UnregisterContinuous(ContinuousQueryId id) {
     cq_routes_.erase(it);
   }
   if (route.kind == QueryKind::kPublicCount) {
-    for (const auto& shard : shards_) (void)shard->continuous().Remove(id);
+    for (const auto& shard : shards_) {
+      (void)shard->continuous().Remove(id);
+      (void)shard->LogCqUnregister(id);
+    }
   } else {
     (void)shards_[route.shard]->continuous().Remove(id);
+    (void)shards_[route.shard]->LogCqUnregister(id);
   }
   if (cq_obs_.unregistrations != nullptr)
     cq_obs_.unregistrations->Increment();
@@ -364,6 +379,7 @@ size_t CloakDbService::SweepShardContinuous(uint32_t shard, size_t max) {
       }
     }
     if (cq_obs_.full_reevals != nullptr) cq_obs_.full_reevals->Increment();
+    registry.RepairSettled();
   }
   return stale.size();
 }

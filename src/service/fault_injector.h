@@ -13,6 +13,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "storage/shard_durability.h"
+
 namespace cloakdb {
 
 /// Configuration for the fault-injection harness. All probabilities are in
@@ -37,6 +39,12 @@ struct FaultInjectorOptions {
   /// `queue_stall_us` before applying (simulates a slow consumer).
   double queue_stall_probability = 0.0;
   int64_t queue_stall_us = 200;
+
+  /// Arms a simulated crash at a storage crash point: the `crash_at`-th
+  /// time the durability engine reaches `crash_point`, the hook reports
+  /// "the process dies here" and the engine freezes. kNone disarms.
+  storage::CrashPoint crash_point = storage::CrashPoint::kNone;
+  uint64_t crash_at = 1;
 };
 
 /// The decision for one shard probe.
@@ -55,7 +63,11 @@ enum class ProbeFault {
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultInjectorOptions& options)
-      : options_(options) {}
+      : options_(options) {
+    if (options.crash_point != storage::CrashPoint::kNone) {
+      ArmCrash(options.crash_point, options.crash_at);
+    }
+  }
 
   const FaultInjectorOptions& options() const { return options_; }
   bool enabled() const { return options_.enabled; }
@@ -65,6 +77,21 @@ class FaultInjector {
 
   /// Decides whether the next drain batch stalls. False when disabled.
   bool NextQueueStall();
+
+  /// (Re-)arms the simulated crash: the `after_n_more_hits`-th future time
+  /// the durability engine reaches `point`, the crash fires. Callable while
+  /// the service runs — cloaksim arms after seeding the world so the seed
+  /// phase is never interrupted. kNone disarms.
+  void ArmCrash(storage::CrashPoint point, uint64_t after_n_more_hits = 1);
+
+  /// The storage CrashHook: true exactly once, on the armed hit of the
+  /// armed point. Pass as `crash_hook` when opening ShardDurability.
+  bool ShouldCrash(storage::CrashPoint point);
+
+  /// True once the armed crash has fired.
+  bool crash_fired() const {
+    return crash_fired_.load(std::memory_order_acquire);
+  }
 
   /// Exact counts of fired faults, for reconciliation.
   uint64_t probe_failures() const {
@@ -89,6 +116,9 @@ class FaultInjector {
   std::atomic<uint64_t> probe_failures_{0};
   std::atomic<uint64_t> probe_delays_{0};
   std::atomic<uint64_t> queue_stalls_{0};
+  std::atomic<uint8_t> crash_point_{0};
+  std::atomic<uint64_t> crash_countdown_{0};
+  std::atomic<bool> crash_fired_{false};
 };
 
 }  // namespace cloakdb

@@ -1,6 +1,7 @@
 #include "service/shard.h"
 
 #include <chrono>
+#include <map>
 #include <thread>
 #include <utility>
 
@@ -31,18 +32,43 @@ Shard::Shard(const ShardConfig& config,
   cache_.SetObs(config.cache_obs);
 }
 
+Status Shard::LogDurable(storage::WalRecord record, bool sync_now) {
+  if (config_.durability == nullptr) return Status::OK();
+  return config_.durability->LogAndCommit(std::move(record), sync_now);
+}
+
 Status Shard::RegisterUser(UserId user, PrivacyProfile profile) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (config_.durability != nullptr) {
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kRegisterUser;
+    rec.user = user;
+    rec.profile = profile.entries();
+    CLOAKDB_RETURN_IF_ERROR(LogDurable(std::move(rec)));
+  }
   return anonymizer_->RegisterUser(user, std::move(profile));
 }
 
 Status Shard::UpdateProfile(UserId user, PrivacyProfile profile) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (config_.durability != nullptr) {
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kUpdateProfile;
+    rec.user = user;
+    rec.profile = profile.entries();
+    CLOAKDB_RETURN_IF_ERROR(LogDurable(std::move(rec)));
+  }
   return anonymizer_->UpdateProfile(user, std::move(profile));
 }
 
 Status Shard::UnregisterUser(UserId user) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (config_.durability != nullptr) {
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kUnregisterUser;
+    rec.user = user;
+    CLOAKDB_RETURN_IF_ERROR(LogDurable(std::move(rec)));
+  }
   auto pseudonym = anonymizer_->PseudonymOf(user);
   CLOAKDB_RETURN_IF_ERROR(anonymizer_->UnregisterUser(user));
   // The server record is best-effort: the user may never have reported.
@@ -86,7 +112,14 @@ size_t Shard::DrainOnce(size_t max_batch) {
     std::this_thread::sleep_for(std::chrono::microseconds(
         config_.fault_injector->options().queue_stall_us));
   }
-  ApplyBatch(batch);
+  // Group commit: drained batches append their WAL record without the
+  // per-record fsync. The group's fsync lands at the next quiet point —
+  // the worker's idle transition, the Flush() barrier, or the engine's
+  // deferred-record cap — so a storm of small batches pays one fsync, not
+  // one per batch. Nothing is acknowledged before that sync, so the kFsync
+  // guarantee is unchanged; a crash in the window loses only updates no
+  // Flush() ever vouched for.
+  ApplyBatch(batch, /*sync_wal=*/false);
   return batch.size();
 }
 
@@ -119,7 +152,8 @@ obs::AuditEvent Shard::EmitCloakAudit(obs::TraceSpan* span, UserId user,
   return event;
 }
 
-void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
+void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch,
+                       bool sync_wal) {
   // The ingest path has no client-side trace to join, so each drained
   // batch opens its own: a root over the whole apply, a child over the
   // batched cloak computation, and one audit-carrying span per update.
@@ -131,11 +165,31 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
     root.AddAttr("shard", static_cast<double>(config_.index));
     root.AddAttr("batch_size", static_cast<double>(batch.size()));
   }
-  bool any_violation = false;
   // Standing-query notifications fired by ForwardCloaked emit their spans
   // into this batch's trace.
   obs::ScopedTraceContext trace_scope(trace_ctx);
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (config_.durability != nullptr) {
+    // WAL the raw pre-shedding batch: replay re-sheds identically, and the
+    // record preserves the exact composition the drain applied (composition
+    // determines the equal-time runs below).
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kUpdateBatch;
+    rec.updates.reserve(batch.size());
+    for (const PendingUpdate& u : batch)
+      rec.updates.push_back({u.user, u.location, u.time.seconds()});
+    (void)LogDurable(std::move(rec), sync_wal);
+  }
+  const bool any_violation = ApplyBatchLocked(batch, &root, trace_ctx);
+  pending_.fetch_sub(batch.size(), std::memory_order_acq_rel);
+  if (config_.tracer != nullptr)
+    config_.tracer->FinishTrace(trace_ctx, root.End(), any_violation);
+}
+
+bool Shard::ApplyBatchLocked(const std::vector<PendingUpdate>& batch,
+                             obs::TraceSpan* root,
+                             const obs::TraceContext& trace_ctx) {
+  bool any_violation = false;
   // One clock read covers the whole batch: every entry waited until this
   // apply, and per-entry now() would put ~30ns of clock traffic on the
   // exclusive-lock path.
@@ -173,7 +227,7 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
       continue;
     }
     obs::ScopedTimer cloak_timer(config_.obs.cloak_us);
-    obs::TraceSpan cloak_span(root.context(), "cloak.batch");
+    obs::TraceSpan cloak_span(root->context(), "cloak.batch");
     cloak_span.AddAttr("updates", static_cast<double>(updates.size()));
     auto results = anonymizer_->UpdateLocationsBatch(updates, batch[i].time);
     cloak_span.End();
@@ -187,7 +241,7 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
     // privacy record).
     auto audit_one = [&](UserId user, const CloakedUpdate& u) {
       if (config_.tracer == nullptr) return;
-      obs::TraceSpan span(root.context(), "cloak");
+      obs::TraceSpan span(root->context(), "cloak");
       span.AddAttr("achieved_k", static_cast<double>(u.cloaked.achieved_k));
       span.AddAttr("area", u.cloaked.region.Area());
       if (EmitCloakAudit(&span, user, u, trace_ctx.trace_id).Violation())
@@ -218,9 +272,7 @@ void Shard::ApplyBatch(const std::vector<PendingUpdate>& batch) {
     }
     i = j;
   }
-  pending_.fetch_sub(batch.size(), std::memory_order_acq_rel);
-  if (config_.tracer != nullptr)
-    config_.tracer->FinishTrace(trace_ctx, root.End(), any_violation);
+  return any_violation;
 }
 
 void Shard::ForwardCloaked(const CloakedUpdate& update, UserId user) {
@@ -296,6 +348,12 @@ Result<CloakedUpdate> Shard::CloakForQuery(UserId user, TimeOfDay now) {
 
 Status Shard::AddPublicObject(const PublicObject& object) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (config_.durability != nullptr) {
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kAddPublicObject;
+    rec.object = object;
+    CLOAKDB_RETURN_IF_ERROR(LogDurable(std::move(rec)));
+  }
   // Only probe supersets that could have fetched this point go stale.
   cache_.InvalidatePublicRegion(Rect::FromPoint(object.location));
   return server_.store().AddPublicObject(object);
@@ -304,6 +362,13 @@ Status Shard::AddPublicObject(const PublicObject& object) {
 Status Shard::BulkLoadCategory(Category category,
                                std::vector<PublicObject> objects) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (config_.durability != nullptr) {
+    storage::WalRecord rec;
+    rec.type = storage::WalRecordType::kBulkLoadCategory;
+    rec.category = category;
+    rec.objects = objects;
+    CLOAKDB_RETURN_IF_ERROR(LogDurable(std::move(rec)));
+  }
   // A bulk load replaces the category wholesale; no probe of it survives.
   cache_.InvalidateCategory(category);
   return server_.store().BulkLoadCategory(category, std::move(objects));
@@ -520,6 +585,130 @@ void Shard::RescanStandingCount(ContinuousQueryId id, const Rect& window,
     if (p > 0.0) contributions[entry.id] = p;
   }
   continuous_.RestoreCount(id, epoch, std::move(contributions));
+}
+
+Status Shard::WriteCheckpoint() {
+  if (config_.durability == nullptr) return Status::OK();
+  // Shared lock: durable mutations append under the exclusive lock, so the
+  // WAL cannot advance while the state is being exported — the engine's
+  // last LSN exactly covers this snapshot. Queries proceed concurrently.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  storage::ShardSnapshot snap;
+  snap.anonymizer = anonymizer_->ExportState();
+  snap.public_objects = server_.store().AllPublicObjects();
+  snap.private_regions = server_.store().AllPrivateRegions();
+  auto specs = continuous_.RegisteredSpecs();
+  snap.cqs.reserve(specs.size());
+  for (const auto& [id, spec] : specs) {
+    storage::SnapshotCq cq;
+    cq.id = id;
+    cq.kind = static_cast<uint8_t>(spec.kind);
+    cq.issuer = spec.issuer;
+    cq.radius = spec.radius;
+    cq.k = spec.k;
+    cq.category = spec.category;
+    cq.window = spec.window;
+    snap.cqs.push_back(cq);
+  }
+  return config_.durability->WriteCheckpoint(
+      storage::EncodeShardSnapshot(snap));
+}
+
+Status Shard::RestoreSnapshot(const storage::ShardSnapshot& snapshot) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  CLOAKDB_RETURN_IF_ERROR(anonymizer_->RestoreState(snapshot.anonymizer));
+  // Rebuild each category's R-tree with one bulk load; the snapshot's
+  // objects arrive sorted by id, so the rebuild is deterministic.
+  std::map<Category, std::vector<PublicObject>> by_category;
+  for (const PublicObject& o : snapshot.public_objects)
+    by_category[o.category].push_back(o);
+  for (auto& [category, objects] : by_category) {
+    CLOAKDB_RETURN_IF_ERROR(
+        server_.store().BulkLoadCategory(category, std::move(objects)));
+  }
+  for (const auto& [pseudonym, region] : snapshot.private_regions)
+    CLOAKDB_RETURN_IF_ERROR(server_.ApplyCloakedUpdate(pseudonym, region));
+  return Status::OK();
+}
+
+Status Shard::ReplayWalRecord(const storage::WalRecord& record) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // The log is write-ahead, so a record may mirror an apply that failed
+  // (e.g. a duplicate registration); replaying it fails identically, which
+  // is exactly the original outcome — such statuses are not errors here.
+  switch (record.type) {
+    case storage::WalRecordType::kRegisterUser: {
+      auto profile = PrivacyProfile::Create(record.profile);
+      if (!profile.ok()) return profile.status();
+      (void)anonymizer_->RegisterUser(record.user,
+                                      std::move(profile).value());
+      return Status::OK();
+    }
+    case storage::WalRecordType::kUpdateProfile: {
+      auto profile = PrivacyProfile::Create(record.profile);
+      if (!profile.ok()) return profile.status();
+      (void)anonymizer_->UpdateProfile(record.user,
+                                       std::move(profile).value());
+      return Status::OK();
+    }
+    case storage::WalRecordType::kUnregisterUser: {
+      auto pseudonym = anonymizer_->PseudonymOf(record.user);
+      if (anonymizer_->UnregisterUser(record.user).ok() && pseudonym.ok())
+        DropServerRecord(pseudonym.value());
+      return Status::OK();
+    }
+    case storage::WalRecordType::kUpdateBatch: {
+      std::vector<PendingUpdate> batch;
+      batch.reserve(record.updates.size());
+      for (const storage::WalUpdate& u : record.updates) {
+        PendingUpdate p;
+        p.user = u.user;
+        p.location = u.location;
+        p.time = TimeOfDay::FromSeconds(u.time_seconds);
+        batch.push_back(p);
+      }
+      obs::TraceSpan root;  // Inert: recovery is not a traced ingest.
+      (void)ApplyBatchLocked(batch, &root, obs::TraceContext{});
+      return Status::OK();
+    }
+    case storage::WalRecordType::kAddPublicObject:
+      (void)server_.store().AddPublicObject(record.object);
+      return Status::OK();
+    case storage::WalRecordType::kBulkLoadCategory:
+      (void)server_.store().BulkLoadCategory(
+          record.category, std::vector<PublicObject>(record.objects));
+      return Status::OK();
+    case storage::WalRecordType::kCqRegister:
+    case storage::WalRecordType::kCqUnregister:
+      return Status::InvalidArgument(
+          "standing-query records replay at the service layer");
+  }
+  return Status::InvalidArgument("unknown WAL record type");
+}
+
+Status Shard::LogCqRegister(ContinuousQueryId id,
+                            const ContinuousSpec& spec) {
+  if (config_.durability == nullptr) return Status::OK();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  storage::WalRecord rec;
+  rec.type = storage::WalRecordType::kCqRegister;
+  rec.cq_id = id;
+  rec.cq_kind = static_cast<uint8_t>(spec.kind);
+  rec.cq_issuer = spec.issuer;
+  rec.cq_radius = spec.radius;
+  rec.cq_k = spec.k;
+  rec.cq_category = spec.category;
+  rec.cq_window = spec.window;
+  return LogDurable(std::move(rec));
+}
+
+Status Shard::LogCqUnregister(ContinuousQueryId id) {
+  if (config_.durability == nullptr) return Status::OK();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  storage::WalRecord rec;
+  rec.type = storage::WalRecordType::kCqUnregister;
+  rec.cq_id = id;
+  return LogDurable(std::move(rec));
 }
 
 ShardStats Shard::Stats() const {

@@ -28,6 +28,8 @@
 #include "service/fault_injector.h"
 #include "service/service_stats.h"
 #include "service/update_queue.h"
+#include "storage/shard_durability.h"
+#include "storage/shard_snapshot.h"
 
 namespace cloakdb {
 
@@ -84,6 +86,10 @@ struct ShardConfig {
   /// Standing-query registry knobs + shared metric handles.
   ContinuousRegistryOptions continuous;
   ContinuousObs cq_obs;
+  /// Service-owned durability engine of this shard; null = durability off.
+  /// Every durable mutation is WAL-logged through it, under the shard's
+  /// exclusive lock and before the in-memory apply (write-ahead).
+  storage::ShardDurability* durability = nullptr;
 };
 
 /// One anonymizer + server pair owning a hash-slice of the users.
@@ -202,6 +208,32 @@ class Shard {
   void RescanStandingCount(ContinuousQueryId id, const Rect& window,
                            uint64_t epoch);
 
+  // --- Durability ----------------------------------------------------------
+  /// Exports the shard's durable state and writes it as a checkpoint.
+  /// Takes the shared lock — durable mutations append under the exclusive
+  /// lock, so no WAL record can land mid-export and the checkpoint LSN
+  /// exactly covers the exported state; queries proceed concurrently.
+  /// No-op when durability is off.
+  Status WriteCheckpoint();
+
+  /// Replaces the shard's state with a decoded checkpoint (exclusive
+  /// lock). The anonymizer, object store and private regions are restored
+  /// here; standing-query registrations (`snapshot.cqs`) are re-registered
+  /// by the service, which owns cross-shard CQ evaluation.
+  Status RestoreSnapshot(const storage::ShardSnapshot& snapshot);
+
+  /// Re-applies one recovered WAL record through the normal apply paths
+  /// (exclusive lock), without re-logging it. CQ records are the service's
+  /// to replay; passing one here is an error.
+  Status ReplayWalRecord(const storage::WalRecord& record);
+
+  /// WAL-logs a standing-query (un)registration event (exclusive lock; no
+  /// state change here — the registry mutation is the service's, which
+  /// also decides which shards log the event: the home shard for private
+  /// kinds, every shard for counts). No-ops when durability is off.
+  Status LogCqRegister(ContinuousQueryId id, const ContinuousSpec& spec);
+  Status LogCqUnregister(ContinuousQueryId id);
+
   /// Counter snapshot (shared lock; consistent within the shard).
   ShardStats Stats() const;
 
@@ -209,8 +241,25 @@ class Shard {
   explicit Shard(const ShardConfig& config,
                  std::unique_ptr<Anonymizer> anonymizer);
 
-  /// Applies one popped batch; takes the exclusive lock itself.
-  void ApplyBatch(const std::vector<PendingUpdate>& batch);
+  /// Applies one popped batch; takes the exclusive lock itself, WAL-logs
+  /// the raw batch, applies it, then decrements pending_. `sync_wal =
+  /// false` defers the record's fsync to the engine's next group commit
+  /// (the drain that empties the queue, or Flush()'s SyncWal barrier).
+  void ApplyBatch(const std::vector<PendingUpdate>& batch,
+                  bool sync_wal = true);
+
+  /// The apply loop proper (shedding, batched cloak, forwarding, audit).
+  /// Caller holds the exclusive lock; pending_ is not touched — shared by
+  /// the drain path and WAL replay. Returns whether any audit violated.
+  bool ApplyBatchLocked(const std::vector<PendingUpdate>& batch,
+                        obs::TraceSpan* root,
+                        const obs::TraceContext& trace_ctx);
+
+  /// WAL-logs one durable mutation (no-op when durability is off). Caller
+  /// holds the exclusive lock; called BEFORE the in-memory apply.
+  /// `sync_now = false` appends without the kFsync-mode fsync (group
+  /// commit; see ShardDurability::LogAndCommit).
+  Status LogDurable(storage::WalRecord record, bool sync_now = true);
 
   /// Forwards one cloaked update (and any retired pseudonym) to the
   /// server, invalidating cached count entries the update's old or new

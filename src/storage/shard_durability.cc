@@ -1,0 +1,290 @@
+#include "storage/shard_durability.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "storage/codec.h"
+
+namespace cloakdb {
+namespace storage {
+
+namespace {
+
+constexpr const char* kWalFile = "/wal.log";
+constexpr const char* kCheckpointFile = "/checkpoint.db";
+
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Status MkdirRecursive(const std::string& dir) {
+  std::string path;
+  size_t i = 0;
+  while (i < dir.size()) {
+    size_t next = dir.find('/', i + 1);
+    if (next == std::string::npos) next = dir.size();
+    path = dir.substr(0, next);
+    i = next;
+    if (path.empty() || path == "/" || path == ".") continue;
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir failed for " + path + ": " +
+                              std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kOff:
+      return "off";
+    case DurabilityMode::kAsync:
+      return "async";
+    case DurabilityMode::kFsync:
+      return "fsync";
+  }
+  return "unknown";
+}
+
+Result<DurabilityMode> DurabilityModeFromName(const std::string& name) {
+  for (DurabilityMode mode : {DurabilityMode::kOff, DurabilityMode::kAsync,
+                              DurabilityMode::kFsync}) {
+    if (name == DurabilityModeName(mode)) return mode;
+  }
+  return Status::InvalidArgument("unknown durability mode: " + name);
+}
+
+ShardDurability::ShardDurability(DurabilityMode mode, DurabilityObs obs,
+                                 CrashHook hook)
+    : mode_(mode), obs_(obs), crash_hook_(std::move(hook)) {}
+
+Result<std::unique_ptr<ShardDurability>> ShardDurability::Open(
+    const std::string& dir, DurabilityMode mode, const DurabilityObs& obs,
+    CrashHook crash_hook) {
+  if (mode == DurabilityMode::kOff) {
+    return Status::InvalidArgument(
+        "ShardDurability requires a durable mode (async or fsync)");
+  }
+  CLOAKDB_RETURN_IF_ERROR(MkdirRecursive(dir));
+  auto engine = std::unique_ptr<ShardDurability>(
+      new ShardDurability(mode, obs, std::move(crash_hook)));
+
+  auto store = DiskStorageManager::Open(dir + kCheckpointFile);
+  if (!store.ok()) return store.status();
+  engine->store_ = std::move(store).value();
+
+  // Load the newest checkpoint, if one was ever committed. The header is
+  // the atomic commit point: either it names a fully-fsynced blob or it
+  // does not exist.
+  auto header = engine->store_->ReadHeader();
+  if (header.ok() && !header.value().empty()) {
+    BufReader r(header.value());
+    uint64_t root = 0, lsn = 0;
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&root));
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&lsn));
+    auto blob = engine->store_->LoadBlob(root);
+    if (!blob.ok()) {
+      return Status::FailedPrecondition(
+          "checkpoint blob unreadable (post-header corruption?): " +
+          blob.status().message());
+    }
+    engine->checkpoint_root_ = root;
+    engine->checkpoint_lsn_ = lsn;
+    engine->recovered_.had_checkpoint = true;
+    engine->recovered_.checkpoint_blob = std::move(blob).value();
+    engine->recovered_.checkpoint_lsn = lsn;
+  }
+
+  // Scan the WAL tail. Frame-level validity (length, CRC, LSN sequence) is
+  // the scanner's job; payload decode failures below additionally shorten
+  // the accepted prefix — both end up as truncated_records.
+  const std::string wal_path = dir + kWalFile;
+  auto scan_result = ScanWal(wal_path);
+  if (!scan_result.ok()) return scan_result.status();
+  WalScan& scan = scan_result.value();
+  engine->recovered_.truncated_records += scan.truncated_records;
+  uint64_t accepted_bytes = scan.exists ? scan.valid_bytes : 0;
+  engine->last_lsn_ = engine->checkpoint_lsn_;
+  for (size_t i = 0; i < scan.payloads.size(); ++i) {
+    auto record = DecodeWalRecord(scan.payloads[i]);
+    if (!record.ok()) {
+      // Frame was intact but the payload is garbage: stop here, drop the
+      // rest, and truncate the file back to the last accepted record.
+      engine->recovered_.truncated_records += scan.payloads.size() - i;
+      accepted_bytes = (i == 0) ? kWalHeaderBytes : scan.record_ends[i - 1];
+      break;
+    }
+    if (record.value().lsn <= engine->checkpoint_lsn_) {
+      // Already covered by the checkpoint (crash between header switch and
+      // WAL truncate): skip, never double-apply.
+      ++engine->recovered_.skipped_records;
+      continue;
+    }
+    engine->last_lsn_ = record.value().lsn;
+    engine->recovered_.records.push_back(std::move(record).value());
+  }
+
+  auto wal = WalAppender::Open(wal_path, accepted_bytes);
+  if (!wal.ok()) return wal.status();
+  engine->wal_ = std::move(wal).value();
+  engine->records_since_checkpoint_ = engine->recovered_.records.size();
+  return engine;
+}
+
+Status ShardDurability::LogAndCommit(WalRecord record, bool sync_now) {
+  if (crashed_) return Status::OK();  // the modelled process is dead
+  if (ShouldCrash(CrashPoint::kWalPreAppend)) {
+    crashed_ = true;
+    return Status::OK();
+  }
+  record.lsn = ++last_lsn_;
+  const std::string payload = EncodeWalRecord(record);
+  const uint64_t frame_bytes = payload.size() + 8;
+  // The appender buffers in plain strings; this leaf mutex lets Sync() (no
+  // shard lock held) group-commit concurrently with appends, which arrive
+  // serialized under the shard's exclusive lock.
+  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  if (ShouldCrash(CrashPoint::kWalTornTail)) {
+    // Half the frame reaches the file — exactly what a crash mid-write
+    // leaves behind for the scanner to truncate.
+    wal_->AppendTorn(payload, static_cast<size_t>(frame_bytes / 2));
+    (void)wal_->Commit(/*sync=*/false);
+    crashed_ = true;
+    return Status::OK();
+  }
+  wal_->Append(payload);
+  if (ShouldCrash(CrashPoint::kWalPreFsync)) {
+    // Written but not fsynced. In-process simulation keeps the page-cache
+    // copy, so on reopen this record IS recovered (process-crash
+    // semantics; see the header comment).
+    (void)wal_->Commit(/*sync=*/false);
+    crashed_ = true;
+    return Status::OK();
+  }
+  // Deferred group commit: `sync_now = false` writes the frame to the OS
+  // (process-crash durable) but leaves the fsync for the next Sync() — the
+  // drain path batches a whole burst of appends behind one fsync. The cap
+  // bounds the power-loss exposure when no quiet point arrives: a saturated
+  // drain loop still fsyncs at least every kMaxDeferredRecords appends.
+  const bool force = deferred_records_ >= kMaxDeferredRecords;
+  const bool sync = mode_ == DurabilityMode::kFsync && (sync_now || force);
+  const auto t0 = std::chrono::steady_clock::now();
+  CLOAKDB_RETURN_IF_ERROR(wal_->Commit(sync));
+  pending_sync_.store(!sync, std::memory_order_release);
+  ++appended_seq_;
+  deferred_records_ = sync ? 0 : deferred_records_ + 1;
+  if (sync) last_sync_ = std::chrono::steady_clock::now();
+  ++records_since_checkpoint_;
+  if (obs_.wal_records) obs_.wal_records->Increment();
+  if (obs_.wal_bytes) obs_.wal_bytes->Increment(frame_bytes);
+  if (obs_.wal_fsyncs && sync) obs_.wal_fsyncs->Increment();
+  if (obs_.wal_commit_us) obs_.wal_commit_us->Record(MicrosSince(t0));
+  return Status::OK();
+}
+
+Status ShardDurability::WriteCheckpoint(const std::string& snapshot_blob) {
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  if (crashed_) return Status::OK();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (ShouldCrash(CrashPoint::kCheckpointMid)) {
+    // Blob pages reach the disk but the header never switches: on reopen
+    // the pages are unreachable from the old header and get reclaimed.
+    (void)store_->StoreBlob(snapshot_blob);
+    (void)store_->Flush();
+    crashed_ = true;
+    return Status::OK();
+  }
+  auto root = store_->StoreBlob(snapshot_blob);
+  if (!root.ok()) return root.status();
+  CLOAKDB_RETURN_IF_ERROR(store_->Flush());
+
+  // The atomic commit point: after this header is durable, recovery uses
+  // the new checkpoint no matter what happens to the WAL below.
+  std::string header;
+  BufWriter w(&header);
+  w.PutU64(root.value());
+  w.PutU64(last_lsn_);
+  CLOAKDB_RETURN_IF_ERROR(store_->WriteHeader(header, {root.value()}));
+
+  const PageId old_root = checkpoint_root_;
+  checkpoint_root_ = root.value();
+  checkpoint_lsn_ = last_lsn_;
+  if (old_root != kNullPage) (void)store_->DeleteBlob(old_root);
+
+  if (ShouldCrash(CrashPoint::kCheckpointPreTruncate)) {
+    // Header switched, WAL still carries covered records — replay must
+    // skip them by LSN on reopen.
+    crashed_ = true;
+    return Status::OK();
+  }
+  {
+    // The checkpoint header is durable, so it covers any appended records
+    // still waiting on a deferred fsync — nothing is pending after Reset.
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    CLOAKDB_RETURN_IF_ERROR(wal_->Reset());
+    pending_sync_.store(false, std::memory_order_release);
+  }
+  records_since_checkpoint_ = 0;
+  if (obs_.checkpoints) obs_.checkpoints->Increment();
+  if (obs_.checkpoint_bytes) {
+    obs_.checkpoint_bytes->Increment(snapshot_blob.size());
+  }
+  if (obs_.checkpoint_us) obs_.checkpoint_us->Record(MicrosSince(t0));
+  return Status::OK();
+}
+
+Status ShardDurability::Sync() { return SyncGroup(/*max_age_us=*/-1); }
+
+Status ShardDurability::SyncIfStale(int64_t max_age_us) {
+  // Cheap pre-check so an idle worker's poll costs one atomic load.
+  if (!pending_sync_.load(std::memory_order_acquire)) return Status::OK();
+  return SyncGroup(max_age_us);
+}
+
+Status ShardDurability::SyncGroup(int64_t max_age_us) {
+  uint64_t appended_before = 0;
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    if (crashed_) return Status::OK();
+    // Nothing appended since the last fsync — the common case when the
+    // burst already group-committed via the deferred-record cap.
+    if (!pending_sync_.load(std::memory_order_acquire)) return Status::OK();
+    if (max_age_us >= 0) {
+      const auto age = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - last_sync_)
+                           .count();
+      if (age < max_age_us) return Status::OK();
+    }
+    CLOAKDB_RETURN_IF_ERROR(wal_->Commit(/*sync=*/false));
+    appended_before = appended_seq_;
+  }
+  // The fsync runs without wal_mu_: a multi-millisecond fsync must not
+  // stall the shard's drain loop (appends pwrite concurrently, which POSIX
+  // allows against fsync on the same fd). Records appended after the
+  // fsync started are not vouched for — the accounting below re-arms
+  // pending_sync_ for them.
+  CLOAKDB_RETURN_IF_ERROR(wal_->SyncDisk());
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    if (!crashed_) {
+      if (appended_seq_ == appended_before) {
+        pending_sync_.store(false, std::memory_order_release);
+      }
+      deferred_records_ = appended_seq_ - appended_before;
+      last_sync_ = std::chrono::steady_clock::now();
+    }
+  }
+  if (obs_.wal_fsyncs) obs_.wal_fsyncs->Increment();
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace cloakdb

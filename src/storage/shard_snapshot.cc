@@ -1,0 +1,188 @@
+#include "storage/shard_snapshot.h"
+
+#include "storage/codec.h"
+#include "storage/wal_record.h"
+
+namespace cloakdb {
+namespace storage {
+
+namespace {
+
+// "CDBS"
+constexpr uint32_t kSnapshotMagic = 0x53424443u;
+constexpr uint32_t kSnapshotVersion = 1;
+// Caps sized far above any realistic shard, small enough that a corrupted
+// count cannot force a giant allocation.
+constexpr uint32_t kMaxEntities = 64u << 20;
+
+void PutCloakedRegion(BufWriter* w, const CloakedRegion& c) {
+  PutRect(w, c.region);
+  w->PutU32(c.achieved_k);
+  w->PutU32(c.requirement.k);
+  w->PutDouble(c.requirement.min_area);
+  w->PutDouble(c.requirement.max_area);
+  w->PutBool(c.k_satisfied);
+  w->PutBool(c.min_area_satisfied);
+  w->PutBool(c.max_area_satisfied);
+}
+
+Status GetCloakedRegion(BufReader* r, CloakedRegion* c) {
+  CLOAKDB_RETURN_IF_ERROR(GetRect(r, &c->region));
+  CLOAKDB_RETURN_IF_ERROR(r->GetU32(&c->achieved_k));
+  CLOAKDB_RETURN_IF_ERROR(r->GetU32(&c->requirement.k));
+  CLOAKDB_RETURN_IF_ERROR(r->GetDouble(&c->requirement.min_area));
+  CLOAKDB_RETURN_IF_ERROR(r->GetDouble(&c->requirement.max_area));
+  CLOAKDB_RETURN_IF_ERROR(r->GetBool(&c->k_satisfied));
+  CLOAKDB_RETURN_IF_ERROR(r->GetBool(&c->min_area_satisfied));
+  return r->GetBool(&c->max_area_satisfied);
+}
+
+Status GetCount(BufReader* r, uint32_t* n) {
+  CLOAKDB_RETURN_IF_ERROR(r->GetU32(n));
+  if (*n > kMaxEntities) {
+    return Status::MalformedRequest("snapshot count over cap");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeShardSnapshot(const ShardSnapshot& snapshot) {
+  std::string out;
+  BufWriter w(&out);
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(kSnapshotVersion);
+
+  const AnonymizerState& a = snapshot.anonymizer;
+  w.PutU32(static_cast<uint32_t>(a.users.size()));
+  for (const ExportedUserState& u : a.users) {
+    w.PutU64(u.user);
+    PutProfileEntries(&w, u.profile);
+    w.PutU64(u.pseudonym);
+    w.PutBool(u.has_location);
+    w.PutDouble(u.location.x);
+    w.PutDouble(u.location.y);
+    w.PutBool(u.has_cached_region);
+    PutCloakedRegion(&w, u.cached);
+    w.PutU32(u.updates_since_rotation);
+  }
+  w.PutU32(static_cast<uint32_t>(a.used_pseudonyms.size()));
+  for (ObjectId p : a.used_pseudonyms) w.PutU64(p);
+  for (int i = 0; i < 4; ++i) w.PutU64(a.pseudonym_rng.s[i]);
+  w.PutBool(a.pseudonym_rng.have_cached_gaussian);
+  w.PutDouble(a.pseudonym_rng.cached_gaussian);
+  w.PutU64(a.stats.updates);
+  w.PutU64(a.stats.cloaks_computed);
+  w.PutU64(a.stats.incremental_reuses);
+  w.PutU64(a.stats.shared_reuses);
+  w.PutU64(a.stats.unsatisfied);
+
+  w.PutU32(static_cast<uint32_t>(snapshot.public_objects.size()));
+  for (const PublicObject& o : snapshot.public_objects) PutPublicObject(&w, o);
+
+  w.PutU32(static_cast<uint32_t>(snapshot.private_regions.size()));
+  for (const auto& [pseudonym, region] : snapshot.private_regions) {
+    w.PutU64(pseudonym);
+    PutRect(&w, region);
+  }
+
+  w.PutU32(static_cast<uint32_t>(snapshot.cqs.size()));
+  for (const SnapshotCq& cq : snapshot.cqs) {
+    w.PutU64(cq.id);
+    w.PutU8(cq.kind);
+    w.PutU64(cq.issuer);
+    w.PutDouble(cq.radius);
+    w.PutU64(cq.k);
+    w.PutU32(cq.category);
+    PutRect(&w, cq.window);
+  }
+  return out;
+}
+
+Result<ShardSnapshot> DecodeShardSnapshot(const std::string& blob) {
+  ShardSnapshot snap;
+  BufReader r(blob);
+  uint32_t magic = 0, version = 0, n = 0;
+  CLOAKDB_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kSnapshotMagic) {
+    return Status::MalformedRequest("not a shard snapshot blob");
+  }
+  CLOAKDB_RETURN_IF_ERROR(r.GetU32(&version));
+  if (version != kSnapshotVersion) {
+    return Status::MalformedRequest("unsupported shard snapshot version");
+  }
+
+  AnonymizerState& a = snap.anonymizer;
+  CLOAKDB_RETURN_IF_ERROR(GetCount(&r, &n));
+  a.users.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ExportedUserState u;
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&u.user));
+    CLOAKDB_RETURN_IF_ERROR(GetProfileEntries(&r, &u.profile));
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&u.pseudonym));
+    CLOAKDB_RETURN_IF_ERROR(r.GetBool(&u.has_location));
+    CLOAKDB_RETURN_IF_ERROR(r.GetDouble(&u.location.x));
+    CLOAKDB_RETURN_IF_ERROR(r.GetDouble(&u.location.y));
+    CLOAKDB_RETURN_IF_ERROR(r.GetBool(&u.has_cached_region));
+    CLOAKDB_RETURN_IF_ERROR(GetCloakedRegion(&r, &u.cached));
+    CLOAKDB_RETURN_IF_ERROR(r.GetU32(&u.updates_since_rotation));
+    a.users.push_back(std::move(u));
+  }
+  CLOAKDB_RETURN_IF_ERROR(GetCount(&r, &n));
+  a.used_pseudonyms.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t p = 0;
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&p));
+    a.used_pseudonyms.push_back(p);
+  }
+  for (int i = 0; i < 4; ++i) {
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&a.pseudonym_rng.s[i]));
+  }
+  CLOAKDB_RETURN_IF_ERROR(r.GetBool(&a.pseudonym_rng.have_cached_gaussian));
+  CLOAKDB_RETURN_IF_ERROR(r.GetDouble(&a.pseudonym_rng.cached_gaussian));
+  CLOAKDB_RETURN_IF_ERROR(r.GetU64(&a.stats.updates));
+  CLOAKDB_RETURN_IF_ERROR(r.GetU64(&a.stats.cloaks_computed));
+  CLOAKDB_RETURN_IF_ERROR(r.GetU64(&a.stats.incremental_reuses));
+  CLOAKDB_RETURN_IF_ERROR(r.GetU64(&a.stats.shared_reuses));
+  CLOAKDB_RETURN_IF_ERROR(r.GetU64(&a.stats.unsatisfied));
+
+  CLOAKDB_RETURN_IF_ERROR(GetCount(&r, &n));
+  snap.public_objects.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PublicObject o;
+    CLOAKDB_RETURN_IF_ERROR(GetPublicObject(&r, &o));
+    snap.public_objects.push_back(std::move(o));
+  }
+
+  CLOAKDB_RETURN_IF_ERROR(GetCount(&r, &n));
+  snap.private_regions.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t pseudonym = 0;
+    Rect region;
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&pseudonym));
+    CLOAKDB_RETURN_IF_ERROR(GetRect(&r, &region));
+    snap.private_regions.emplace_back(pseudonym, region);
+  }
+
+  CLOAKDB_RETURN_IF_ERROR(GetCount(&r, &n));
+  snap.cqs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SnapshotCq cq;
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&cq.id));
+    CLOAKDB_RETURN_IF_ERROR(r.GetU8(&cq.kind));
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&cq.issuer));
+    CLOAKDB_RETURN_IF_ERROR(r.GetDouble(&cq.radius));
+    CLOAKDB_RETURN_IF_ERROR(r.GetU64(&cq.k));
+    CLOAKDB_RETURN_IF_ERROR(r.GetU32(&cq.category));
+    CLOAKDB_RETURN_IF_ERROR(GetRect(&r, &cq.window));
+    snap.cqs.push_back(cq);
+  }
+
+  if (r.remaining() != 0) {
+    return Status::MalformedRequest("trailing bytes after shard snapshot");
+  }
+  return snap;
+}
+
+}  // namespace storage
+}  // namespace cloakdb

@@ -1,0 +1,357 @@
+#include "storage/storage_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_set>
+
+#include "storage/codec.h"
+
+namespace cloakdb {
+namespace storage {
+
+namespace {
+
+// "CDBP" — page-store header magic.
+constexpr uint32_t kPageStoreMagic = 0x50424443u;
+constexpr uint32_t kPageStoreVersion = 1;
+// Defensive floor: crc(4) + next(8) + len(4) per data page plus room for
+// at least a few payload bytes.
+constexpr uint32_t kMinPageSize = 64;
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " failed for " + path + ": " +
+         std::strerror(errno);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemoryStorageManager
+
+Result<PageId> MemoryStorageManager::StoreBlob(const std::string& data) {
+  PageId id = next_id_++;
+  blobs_[id] = data;
+  return id;
+}
+
+Result<std::string> MemoryStorageManager::LoadBlob(PageId id) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound("no blob with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status MemoryStorageManager::DeleteBlob(PageId id) {
+  if (blobs_.erase(id) == 0) {
+    return Status::NotFound("no blob with id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status MemoryStorageManager::WriteHeader(const std::string& data,
+                                         const std::vector<PageId>&) {
+  header_ = data;
+  has_header_ = true;
+  return Status::OK();
+}
+
+Result<std::string> MemoryStorageManager::ReadHeader() {
+  if (!has_header_) return Status::NotFound("no header written yet");
+  return header_;
+}
+
+// ---------------------------------------------------------------------------
+// DiskStorageManager
+
+DiskStorageManager::DiskStorageManager(int fd, std::string path,
+                                       uint32_t page_size)
+    : fd_(fd), path_(std::move(path)), page_size_(page_size) {}
+
+DiskStorageManager::~DiskStorageManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<DiskStorageManager>> DiskStorageManager::Open(
+    const std::string& path, uint32_t page_size) {
+  if (page_size < kMinPageSize) {
+    return Status::InvalidArgument("page size below minimum");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::Internal(ErrnoMessage("open", path));
+
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::Internal(ErrnoMessage("lseek", path));
+  }
+
+  auto mgr = std::unique_ptr<DiskStorageManager>(
+      new DiskStorageManager(fd, path, page_size));
+
+  if (size == 0) {
+    // Fresh store: write both header slots (seq 0, empty payload) so a
+    // reopen before the first WriteHeader still validates.
+    CLOAKDB_RETURN_IF_ERROR(mgr->WriteHeaderSlot(0, 0, "", {}));
+    CLOAKDB_RETURN_IF_ERROR(mgr->WriteHeaderSlot(1, 0, "", {}));
+    CLOAKDB_RETURN_IF_ERROR(mgr->Flush());
+    mgr->num_pages_ = 2;
+    return mgr;
+  }
+
+  mgr->num_pages_ = (static_cast<uint64_t>(size) + page_size - 1) / page_size;
+  if (mgr->num_pages_ < 2) mgr->num_pages_ = 2;
+
+  // Pick the newest valid header slot; a torn header write leaves the
+  // other slot intact, so one of them must validate.
+  uint64_t seq0 = 0, seq1 = 0;
+  std::string data0, data1;
+  std::vector<PageId> roots0, roots1;
+  bool ok0 = mgr->TryReadHeaderSlot(0, &seq0, &data0, &roots0);
+  bool ok1 = mgr->TryReadHeaderSlot(1, &seq1, &data1, &roots1);
+  if (!ok0 && !ok1) {
+    return Status::FailedPrecondition(
+        "no valid header slot in " + path +
+        " (not a page store, or both header slots corrupted)");
+  }
+  const bool use1 = ok1 && (!ok0 || seq1 > seq0);
+  mgr->header_seq_ = use1 ? seq1 : seq0;
+  mgr->header_ = use1 ? data1 : data0;
+  mgr->has_header_ = mgr->header_seq_ > 0;
+  CLOAKDB_RETURN_IF_ERROR(mgr->RebuildFreeList(use1 ? roots1 : roots0));
+  return mgr;
+}
+
+Status DiskStorageManager::ReadPage(PageId page, uint64_t* next,
+                                    std::string* data) {
+  if (page < 2 || page >= num_pages_) {
+    return Status::MalformedRequest("page id out of range");
+  }
+  std::string buf(page_size_, '\0');
+  ssize_t n = ::pread(fd_, buf.data(), page_size_,
+                      static_cast<off_t>(page) * page_size_);
+  if (n < 0) return Status::Internal(ErrnoMessage("pread", path_));
+  if (static_cast<size_t>(n) < page_size_) {
+    return Status::MalformedRequest("short page read (truncated file)");
+  }
+  BufReader r(buf);
+  uint32_t crc = 0, len = 0;
+  CLOAKDB_RETURN_IF_ERROR(r.GetU32(&crc));
+  CLOAKDB_RETURN_IF_ERROR(r.GetU64(next));
+  CLOAKDB_RETURN_IF_ERROR(r.GetU32(&len));
+  if (len > data_capacity()) {
+    return Status::MalformedRequest("page data length over capacity");
+  }
+  // CRC covers next + len + data exactly as laid out in the page.
+  if (Crc32(buf.data() + 4, 12 + len) != crc) {
+    return Status::MalformedRequest("page CRC mismatch");
+  }
+  data->assign(buf.data() + 16, len);
+  return Status::OK();
+}
+
+Status DiskStorageManager::WritePage(PageId page, PageId next,
+                                     const char* data, uint32_t len) {
+  std::string buf;
+  buf.reserve(page_size_);
+  BufWriter w(&buf);
+  w.PutU32(0);  // crc placeholder
+  w.PutU64(next);
+  w.PutU32(len);
+  w.PutBytes(data, len);
+  buf.resize(page_size_, '\0');
+  uint32_t crc = Crc32(buf.data() + 4, 12 + len);
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  ssize_t n = ::pwrite(fd_, buf.data(), page_size_,
+                       static_cast<off_t>(page) * page_size_);
+  if (n < 0 || static_cast<size_t>(n) != page_size_) {
+    return Status::Internal(ErrnoMessage("pwrite", path_));
+  }
+  return Status::OK();
+}
+
+PageId DiskStorageManager::AllocPage() {
+  if (!free_.empty()) {
+    PageId p = free_.back();
+    free_.pop_back();
+    return p;
+  }
+  return num_pages_++;
+}
+
+Result<PageId> DiskStorageManager::StoreBlob(const std::string& data) {
+  const uint32_t cap = data_capacity();
+  const size_t pages_needed =
+      data.empty() ? 1 : (data.size() + cap - 1) / cap;
+  std::vector<PageId> chain(pages_needed);
+  for (size_t i = 0; i < pages_needed; ++i) chain[i] = AllocPage();
+  size_t off = 0;
+  for (size_t i = 0; i < pages_needed; ++i) {
+    const uint32_t len = static_cast<uint32_t>(
+        std::min<size_t>(cap, data.size() - off));
+    const PageId next = (i + 1 < pages_needed) ? chain[i + 1] : kNullPage;
+    Status st = WritePage(chain[i], next, data.data() + off, len);
+    if (!st.ok()) {
+      // Return the whole chain to the free list; nothing references it.
+      for (PageId p : chain) free_.push_back(p);
+      std::sort(free_.begin(), free_.end(), std::greater<PageId>());
+      return st;
+    }
+    off += len;
+  }
+  return chain[0];
+}
+
+Result<std::string> DiskStorageManager::LoadBlob(PageId id) {
+  if (id == kNullPage) return Status::NotFound("null blob id");
+  std::string out;
+  PageId page = id;
+  // A corrupted chain could cycle; no valid chain is longer than the file.
+  uint64_t hops = 0;
+  while (page != kNullPage) {
+    if (++hops > num_pages_) {
+      return Status::MalformedRequest("blob chain longer than the file");
+    }
+    uint64_t next = 0;
+    std::string part;
+    CLOAKDB_RETURN_IF_ERROR(ReadPage(page, &next, &part));
+    out += part;
+    page = next;
+  }
+  return out;
+}
+
+Status DiskStorageManager::DeleteBlob(PageId id) {
+  if (id == kNullPage) return Status::NotFound("null blob id");
+  PageId page = id;
+  uint64_t hops = 0;
+  std::vector<PageId> freed;
+  while (page != kNullPage) {
+    if (++hops > num_pages_) {
+      return Status::MalformedRequest("blob chain longer than the file");
+    }
+    uint64_t next = 0;
+    std::string part;
+    CLOAKDB_RETURN_IF_ERROR(ReadPage(page, &next, &part));
+    freed.push_back(page);
+    page = next;
+  }
+  free_.insert(free_.end(), freed.begin(), freed.end());
+  std::sort(free_.begin(), free_.end(), std::greater<PageId>());
+  return Status::OK();
+}
+
+Status DiskStorageManager::WriteHeaderSlot(
+    PageId slot, uint64_t seq, const std::string& data,
+    const std::vector<PageId>& live_roots) {
+  std::string payload;
+  BufWriter w(&payload);
+  w.PutU32(kPageStoreMagic);
+  w.PutU32(kPageStoreVersion);
+  w.PutU32(page_size_);
+  w.PutU64(seq);
+  w.PutU32(static_cast<uint32_t>(live_roots.size()));
+  for (PageId r : live_roots) w.PutU64(r);
+  w.PutString(data);
+  if (payload.size() + 8 > page_size_) {
+    return Status::InvalidArgument("header payload exceeds one page");
+  }
+  std::string buf;
+  buf.reserve(page_size_);
+  BufWriter fw(&buf);
+  fw.PutU32(Crc32(payload.data(), payload.size()));
+  fw.PutU32(static_cast<uint32_t>(payload.size()));
+  fw.PutBytes(payload.data(), payload.size());
+  buf.resize(page_size_, '\0');
+  ssize_t n = ::pwrite(fd_, buf.data(), page_size_,
+                       static_cast<off_t>(slot) * page_size_);
+  if (n < 0 || static_cast<size_t>(n) != page_size_) {
+    return Status::Internal(ErrnoMessage("pwrite", path_));
+  }
+  return Status::OK();
+}
+
+bool DiskStorageManager::TryReadHeaderSlot(PageId slot, uint64_t* seq,
+                                           std::string* data,
+                                           std::vector<PageId>* live_roots) {
+  std::string buf(page_size_, '\0');
+  ssize_t n = ::pread(fd_, buf.data(), page_size_,
+                      static_cast<off_t>(slot) * page_size_);
+  if (n < 0 || static_cast<size_t>(n) < page_size_) return false;
+  BufReader r(buf);
+  uint32_t crc = 0, len = 0;
+  if (!r.GetU32(&crc).ok() || !r.GetU32(&len).ok()) return false;
+  if (len > page_size_ - 8) return false;
+  if (Crc32(buf.data() + 8, len) != crc) return false;
+  BufReader pr(buf.data() + 8, len);
+  uint32_t magic = 0, version = 0, psize = 0, nroots = 0;
+  if (!pr.GetU32(&magic).ok() || magic != kPageStoreMagic) return false;
+  if (!pr.GetU32(&version).ok() || version != kPageStoreVersion) return false;
+  if (!pr.GetU32(&psize).ok() || psize != page_size_) return false;
+  if (!pr.GetU64(seq).ok()) return false;
+  if (!pr.GetU32(&nroots).ok()) return false;
+  live_roots->clear();
+  for (uint32_t i = 0; i < nroots; ++i) {
+    uint64_t root = 0;
+    if (!pr.GetU64(&root).ok()) return false;
+    live_roots->push_back(root);
+  }
+  return pr.GetString(data, page_size_).ok();
+}
+
+Status DiskStorageManager::WriteHeader(const std::string& data,
+                                       const std::vector<PageId>& live_roots) {
+  const uint64_t seq = header_seq_ + 1;
+  // Alternate slots so the previous header survives a torn write of the
+  // new one; fsync before returning so callers may free the old root.
+  CLOAKDB_RETURN_IF_ERROR(WriteHeaderSlot(seq % 2, seq, data, live_roots));
+  CLOAKDB_RETURN_IF_ERROR(Flush());
+  header_seq_ = seq;
+  header_ = data;
+  has_header_ = true;
+  return Status::OK();
+}
+
+Result<std::string> DiskStorageManager::ReadHeader() {
+  if (!has_header_) return Status::NotFound("no header written yet");
+  return header_;
+}
+
+Status DiskStorageManager::Flush() {
+  if (::fsync(fd_) != 0) return Status::Internal(ErrnoMessage("fsync", path_));
+  return Status::OK();
+}
+
+Status DiskStorageManager::RebuildFreeList(
+    const std::vector<PageId>& live_roots) {
+  std::unordered_set<PageId> live;
+  for (PageId root : live_roots) {
+    PageId page = root;
+    uint64_t hops = 0;
+    while (page != kNullPage) {
+      if (++hops > num_pages_) {
+        return Status::MalformedRequest(
+            "live blob chain longer than the file");
+      }
+      uint64_t next = 0;
+      std::string part;
+      CLOAKDB_RETURN_IF_ERROR(ReadPage(page, &next, &part));
+      live.insert(page);
+      page = next;
+    }
+  }
+  free_.clear();
+  for (PageId p = 2; p < num_pages_; ++p) {
+    if (!live.count(p)) free_.push_back(p);
+  }
+  // Descending so AllocPage (pop_back) hands out the lowest page first.
+  std::sort(free_.begin(), free_.end(), std::greater<PageId>());
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace cloakdb

@@ -1,0 +1,168 @@
+// Paged blob storage: the bottom layer of the durability engine.
+//
+// `IStorageManager` is the brepdb-style storage abstraction from the
+// roadmap: callers store opaque byte arrays ("blobs") and get back a page
+// id to load or delete them by, plus one small durable header slot for
+// root metadata. Two implementations:
+//
+//   - `MemoryStorageManager`: a std::unordered_map. Used by tests and as
+//     the no-durability stand-in; also documents the contract.
+//   - `DiskStorageManager`: a single-file page store. Fixed-size pages,
+//     each independently CRC32-checksummed; blobs span a linked chain of
+//     pages; freed pages go on a free list and are reused lowest-first
+//     (deterministic layout). The header lives in TWO alternating slots
+//     (pages 0 and 1) stamped with a monotonically increasing sequence
+//     number — a header write that tears mid-crash leaves the previous
+//     slot intact, so opening always finds the last fully-written root.
+//
+// Crash-safety protocol (enforced by callers, see ShardDurability):
+//   1. write new blob pages (never overwriting live pages),
+//   2. Flush() — the pages are on disk,
+//   3. WriteHeader(root metadata, live roots) — fsynced dual-slot switch,
+//   4. DeleteBlob(old root) — only returns pages to the in-memory free
+//      list; liveness on disk is defined purely by the newest header's
+//      root list, which is how a crash between any two steps stays safe.
+//
+// On open, the free list is rebuilt by walking the live root chains from
+// the header — pages of a half-written blob abandoned by a crash are
+// reclaimed automatically without any journaling.
+
+#ifndef CLOAKDB_STORAGE_STORAGE_MANAGER_H_
+#define CLOAKDB_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cloakdb {
+namespace storage {
+
+/// Handle of a stored blob (the index of its first page for the disk
+/// implementation). `kNullPage` is never a valid blob id — page 0 holds a
+/// header slot.
+using PageId = uint64_t;
+inline constexpr PageId kNullPage = 0;
+
+/// Abstract paged blob store. All methods are NOT thread-safe; callers
+/// serialize access (the per-shard durability engine runs under the
+/// shard's lock).
+class IStorageManager {
+ public:
+  virtual ~IStorageManager() = default;
+
+  /// Stores `data` as a fresh blob and returns its id. Never overwrites
+  /// existing pages in place — delete the old blob only after the header
+  /// referencing the new one is durable.
+  virtual Result<PageId> StoreBlob(const std::string& data) = 0;
+
+  /// Loads a blob previously returned by StoreBlob. Fails with NotFound /
+  /// MalformedRequest on a dangling id or corrupted pages.
+  virtual Result<std::string> LoadBlob(PageId id) = 0;
+
+  /// Releases the blob's pages for reuse.
+  virtual Status DeleteBlob(PageId id) = 0;
+
+  /// Atomically replaces the durable header slot. `live_roots` lists every
+  /// blob id that must survive a crash-reopen (typically just the current
+  /// checkpoint root); pages reachable from none of them are reclaimed on
+  /// the next open. The write is fsynced before returning.
+  virtual Status WriteHeader(const std::string& data,
+                             const std::vector<PageId>& live_roots) = 0;
+
+  /// The payload of the newest valid header slot. NotFound when the store
+  /// has never had a header written.
+  virtual Result<std::string> ReadHeader() = 0;
+
+  /// Durably flushes all buffered page writes (fsync for the disk store).
+  virtual Status Flush() = 0;
+};
+
+/// In-memory implementation: blobs in a map, header in a string. "Durable"
+/// only for the lifetime of the object; exists for tests and symmetry.
+class MemoryStorageManager : public IStorageManager {
+ public:
+  Result<PageId> StoreBlob(const std::string& data) override;
+  Result<std::string> LoadBlob(PageId id) override;
+  Status DeleteBlob(PageId id) override;
+  Status WriteHeader(const std::string& data,
+                     const std::vector<PageId>& live_roots) override;
+  Result<std::string> ReadHeader() override;
+  Status Flush() override { return Status::OK(); }
+
+ private:
+  std::unordered_map<PageId, std::string> blobs_;
+  PageId next_id_ = 1;
+  bool has_header_ = false;
+  std::string header_;
+};
+
+/// Single-file page store with CRC-checksummed pages, a free-page list,
+/// and dual fsynced header slots. See the file comment for the layout and
+/// crash-safety protocol.
+class DiskStorageManager : public IStorageManager {
+ public:
+  /// Default on-disk page size (data pages carry page_size - 16 payload
+  /// bytes each).
+  static constexpr uint32_t kDefaultPageSize = 4096;
+
+  /// Opens (or creates) the store at `path`. For an existing file the
+  /// newest valid header slot is selected, its live roots are walked, and
+  /// every unreachable data page is placed on the free list. Fails with
+  /// FailedPrecondition when neither header slot validates (a store that
+  /// was never created cleanly), or MalformedRequest on a page-size
+  /// mismatch.
+  static Result<std::unique_ptr<DiskStorageManager>> Open(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  ~DiskStorageManager() override;
+
+  DiskStorageManager(const DiskStorageManager&) = delete;
+  DiskStorageManager& operator=(const DiskStorageManager&) = delete;
+
+  Result<PageId> StoreBlob(const std::string& data) override;
+  Result<std::string> LoadBlob(PageId id) override;
+  Status DeleteBlob(PageId id) override;
+  Status WriteHeader(const std::string& data,
+                     const std::vector<PageId>& live_roots) override;
+  Result<std::string> ReadHeader() override;
+  Status Flush() override;
+
+  /// Introspection for tests: number of pages currently on the free list
+  /// and the total page count of the file.
+  size_t free_pages() const { return free_.size(); }
+  uint64_t num_pages() const { return num_pages_; }
+
+ private:
+  DiskStorageManager(int fd, std::string path, uint32_t page_size);
+
+  uint32_t data_capacity() const { return page_size_ - 16; }  // crc+next+len
+  Status ReadPage(PageId page, uint64_t* next, std::string* data);
+  Status WritePage(PageId page, PageId next, const char* data, uint32_t len);
+  /// Lowest-numbered free page, extending the file when the list is empty.
+  PageId AllocPage();
+  Status WriteHeaderSlot(PageId slot, uint64_t seq, const std::string& data,
+                         const std::vector<PageId>& live_roots);
+  /// Decodes a header slot; false on CRC/format mismatch (not an error —
+  /// the other slot may still be valid).
+  bool TryReadHeaderSlot(PageId slot, uint64_t* seq, std::string* data,
+                         std::vector<PageId>* live_roots);
+  Status RebuildFreeList(const std::vector<PageId>& live_roots);
+
+  int fd_;
+  std::string path_;
+  uint32_t page_size_;
+  uint64_t num_pages_ = 2;  // pages 0/1 are header slots
+  uint64_t header_seq_ = 0;
+  bool has_header_ = false;
+  std::string header_;
+  std::vector<PageId> free_;  // kept sorted descending; AllocPage pops back
+};
+
+}  // namespace storage
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_STORAGE_STORAGE_MANAGER_H_

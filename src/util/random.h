@@ -14,6 +14,17 @@
 
 namespace cloakdb {
 
+/// Full serializable state of an Rng: the four xoshiro256++ words plus the
+/// Box-Muller spare. Saving and restoring this reproduces the generator's
+/// future stream bit-exactly — the durability layer checkpoints the
+/// pseudonym generator with it so recovered shards keep assigning the same
+/// pseudonyms an uninterrupted service would have.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool have_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 /// xoshiro256++ pseudo-random generator.
 ///
 /// Fast, high-quality, and fully deterministic from its 64-bit seed (seeded
@@ -49,6 +60,23 @@ class Rng {
 
   /// Exponential with the given rate lambda (> 0).
   double Exponential(double lambda);
+
+  /// Snapshot of the complete generator state (see RngState).
+  RngState SaveState() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.have_cached_gaussian = have_cached_gaussian_;
+    st.cached_gaussian = cached_gaussian_;
+    return st;
+  }
+
+  /// Restores a state captured by SaveState; the future stream continues
+  /// bit-exactly from the capture point.
+  void LoadState(const RngState& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    have_cached_gaussian_ = st.have_cached_gaussian;
+    cached_gaussian_ = st.cached_gaussian;
+  }
 
   /// In-place Fisher-Yates shuffle.
   template <typename T>

@@ -1,0 +1,198 @@
+// Paged blob store contract: round trips, free-page reuse, page CRC
+// detection, and the dual-slot header fallback that makes the checkpoint
+// header switch atomic under a torn write.
+
+#include "storage/storage_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/random.h"
+
+namespace cloakdb {
+namespace storage {
+namespace {
+
+std::string TempStorePath(const std::string& tag) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("cloakdb_store_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return (dir / "store.db").string();
+}
+
+std::string Blob(size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  std::string data(bytes, '\0');
+  for (char& c : data) c = static_cast<char>(rng.UniformInt(0, 255));
+  return data;
+}
+
+void FlipByteAt(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c ^= 0x5A;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+TEST(MemoryStorageManagerTest, BlobAndHeaderRoundTrip) {
+  MemoryStorageManager store;
+  auto id = store.StoreBlob("hello");
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(id.value(), kNullPage);
+  EXPECT_EQ(store.LoadBlob(id.value()).value(), "hello");
+
+  EXPECT_EQ(store.ReadHeader().status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.WriteHeader("root", {id.value()}).ok());
+  EXPECT_EQ(store.ReadHeader().value(), "root");
+
+  ASSERT_TRUE(store.DeleteBlob(id.value()).ok());
+  EXPECT_FALSE(store.LoadBlob(id.value()).ok());
+}
+
+TEST(DiskStorageManagerTest, BlobSurvivesReopen) {
+  const std::string path = TempStorePath("reopen");
+  const std::string small = Blob(100, 1);
+  const std::string multi_page = Blob(3 * 4096 + 17, 2);  // spans 4 pages
+  PageId small_id = kNullPage, multi_id = kNullPage;
+  {
+    auto store = DiskStorageManager::Open(path).value();
+    small_id = store->StoreBlob(small).value();
+    multi_id = store->StoreBlob(multi_page).value();
+    ASSERT_TRUE(store->Flush().ok());
+    ASSERT_TRUE(store->WriteHeader("meta", {small_id, multi_id}).ok());
+  }
+  auto store = DiskStorageManager::Open(path).value();
+  EXPECT_EQ(store->ReadHeader().value(), "meta");
+  EXPECT_EQ(store->LoadBlob(small_id).value(), small);
+  EXPECT_EQ(store->LoadBlob(multi_id).value(), multi_page);
+  EXPECT_TRUE(store->StoreBlob("").ok());
+}
+
+TEST(DiskStorageManagerTest, DeletedPagesAreReusedLowestFirst) {
+  const std::string path = TempStorePath("freelist");
+  auto store = DiskStorageManager::Open(path).value();
+  const std::string blob = Blob(2 * 4096, 3);  // 3 pages
+  PageId a = store->StoreBlob(blob).value();
+  const uint64_t pages_after_a = store->num_pages();
+  ASSERT_TRUE(store->DeleteBlob(a).ok());
+  EXPECT_EQ(store->free_pages(), 3u);
+  // Same-size blob lands on exactly the freed pages: the file stops
+  // growing, and the lowest freed page becomes the new root.
+  PageId b = store->StoreBlob(blob).value();
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(store->num_pages(), pages_after_a);
+  EXPECT_EQ(store->free_pages(), 0u);
+  EXPECT_EQ(store->LoadBlob(b).value(), blob);
+}
+
+TEST(DiskStorageManagerTest, UnreferencedPagesReclaimedOnReopen) {
+  const std::string path = TempStorePath("reclaim");
+  const std::string keep = Blob(300, 4);
+  const std::string drop = Blob(2 * 4096, 5);
+  PageId keep_id = kNullPage;
+  uint64_t pages_before = 0;
+  {
+    auto store = DiskStorageManager::Open(path).value();
+    keep_id = store->StoreBlob(keep).value();
+    PageId drop_id = store->StoreBlob(drop).value();
+    (void)drop_id;
+    ASSERT_TRUE(store->Flush().ok());
+    // Only `keep` is named live: `drop` models a half-committed
+    // checkpoint abandoned by a crash before its header switch.
+    ASSERT_TRUE(store->WriteHeader("h", {keep_id}).ok());
+    pages_before = store->num_pages();
+  }
+  auto store = DiskStorageManager::Open(path).value();
+  EXPECT_EQ(store->LoadBlob(keep_id).value(), keep);
+  EXPECT_EQ(store->free_pages(), 3u);  // drop's pages, rebuilt from roots
+  // A new 3-page blob reuses them without growing the file.
+  PageId fresh = store->StoreBlob(drop).value();
+  EXPECT_EQ(store->num_pages(), pages_before);
+  EXPECT_EQ(store->LoadBlob(fresh).value(), drop);
+}
+
+TEST(DiskStorageManagerTest, PageCorruptionIsDetectedByCrc) {
+  const std::string path = TempStorePath("crc");
+  const std::string blob = Blob(4096 + 100, 6);  // 2 data pages
+  auto store = DiskStorageManager::Open(path).value();
+  PageId id = store->StoreBlob(blob).value();
+  ASSERT_TRUE(store->Flush().ok());
+  ASSERT_TRUE(store->WriteHeader("h", {id}).ok());
+  EXPECT_EQ(store->LoadBlob(id).value(), blob);
+  // Flip one byte in the middle of the first data page (page 2; pages 0/1
+  // are the header slots). Pages are pread on every load, so the running
+  // store sees the rot immediately.
+  FlipByteAt(path, 2 * 4096 + 1000);
+  auto loaded = store->LoadBlob(id);
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(DiskStorageManagerTest, CorruptLivePageFailsOpenClosed) {
+  const std::string path = TempStorePath("crc_reopen");
+  const std::string blob = Blob(200, 7);
+  {
+    auto store = DiskStorageManager::Open(path).value();
+    PageId id = store->StoreBlob(blob).value();
+    ASSERT_TRUE(store->Flush().ok());
+    ASSERT_TRUE(store->WriteHeader("h", {id}).ok());
+  }
+  // The header names this page live, and the protocol fsyncs pages before
+  // the header switch — so a bad CRC here is real bit-rot, and opening
+  // must fail closed rather than silently drop checkpointed state.
+  FlipByteAt(path, 2 * 4096 + 50);
+  EXPECT_FALSE(DiskStorageManager::Open(path).ok());
+}
+
+TEST(DiskStorageManagerTest, TornHeaderFallsBackToPreviousSlot) {
+  const std::string path = TempStorePath("dualheader");
+  PageId first_id = kNullPage;
+  {
+    auto store = DiskStorageManager::Open(path).value();
+    first_id = store->StoreBlob("first").value();
+    ASSERT_TRUE(store->Flush().ok());
+    ASSERT_TRUE(store->WriteHeader("one", {first_id}).ok());  // seq 1, slot 1
+    ASSERT_TRUE(store->WriteHeader("two", {first_id}).ok());  // seq 2, slot 0
+  }
+  // Tear the newest slot (seq 2 lives in page 0; flip inside its CRC-
+  // covered payload region near the slot start): reopen must fall back to
+  // the previous fully-written header rather than fail or return garbage.
+  FlipByteAt(path, 10);
+  auto store = DiskStorageManager::Open(path).value();
+  EXPECT_EQ(store->ReadHeader().value(), "one");
+  EXPECT_EQ(store->LoadBlob(first_id).value(), "first");
+}
+
+TEST(DiskStorageManagerTest, BothHeadersCorruptFailsClosed) {
+  const std::string path = TempStorePath("bothheaders");
+  {
+    auto store = DiskStorageManager::Open(path).value();
+    ASSERT_TRUE(store->WriteHeader("one", {}).ok());
+    ASSERT_TRUE(store->WriteHeader("two", {}).ok());
+  }
+  FlipByteAt(path, 10);
+  FlipByteAt(path, 4096 + 10);
+  EXPECT_FALSE(DiskStorageManager::Open(path).ok());
+}
+
+TEST(DiskStorageManagerTest, DanglingIdFails) {
+  const std::string path = TempStorePath("dangling");
+  auto store = DiskStorageManager::Open(path).value();
+  EXPECT_FALSE(store->LoadBlob(777).ok());
+  EXPECT_FALSE(store->LoadBlob(kNullPage).ok());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace cloakdb

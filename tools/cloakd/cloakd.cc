@@ -15,6 +15,8 @@
 //          [--seed=S] [--metrics-json=PATH] [--trace-sample=P]
 //          [--deadline-us=U] [--max-qps=Q] [--burst=B]
 //          [--shed-fraction=F] [--overload-policy=reject|degrade]
+//          [--durability=off|async|fsync] [--data-dir=DIR]
+//          [--checkpoint-interval=N] [--recover]
 //
 // --port=0 (the default) binds an ephemeral port; --port-file writes the
 // chosen port to PATH (atomically, via rename) so scripts and cloakload
@@ -23,6 +25,13 @@
 // arm the admission controller exactly as cloaksim's do; past saturation
 // cloakd answers with typed in-band shed/degraded verdicts instead of
 // queueing without bound.
+//
+// --durability=async|fsync turns on the per-shard WAL + checkpoint engine
+// under --data-dir (required then). --recover skips the seeded world and
+// serves whatever the data directory holds — the restart half of a
+// kill -9 / restart cycle; a recovery summary line is printed before the
+// server binds. On clean shutdown cloakd checkpoints every shard so the
+// next start replays an empty WAL.
 
 #include <csignal>
 #include <cstdio>
@@ -57,6 +66,10 @@ struct Args {
   double burst = 0.0;
   double shed_fraction = 0.0;
   OverloadPolicy overload_policy = OverloadPolicy::kDegrade;
+  storage::DurabilityMode durability = storage::DurabilityMode::kOff;
+  std::string data_dir;
+  uint64_t checkpoint_interval = 4096;
+  bool recover = false;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -116,10 +129,22 @@ Result<Args> ParseArgs(int argc, char** argv) {
       } else {
         return Status::InvalidArgument("unknown --overload-policy: " + value);
       }
+    } else if (ParseArg(argv[i], "durability", &value)) {
+      auto mode = storage::DurabilityModeFromName(value);
+      if (!mode.ok()) return mode.status();
+      args.durability = mode.value();
+    } else if (ParseArg(argv[i], "data-dir", &value)) {
+      args.data_dir = value;
+    } else if (ParseArg(argv[i], "checkpoint-interval", &value)) {
+      args.checkpoint_interval = std::stoull(value);
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      args.recover = true;
     } else {
       return Status::InvalidArgument(std::string("unknown flag: ") + argv[i]);
     }
   }
+  if (args.recover && args.durability == storage::DurabilityMode::kOff)
+    return Status::InvalidArgument("--recover requires --durability");
   return args;
 }
 
@@ -153,38 +178,56 @@ Status Run(const Args& args) {
     options.trace.enabled = true;
     options.trace.sample_probability = args.trace_sample;
   }
+  options.durability_mode = args.durability;
+  options.data_dir = args.data_dir;
+  options.checkpoint_interval = args.checkpoint_interval;
   auto db = CloakDbService::Create(options);
   if (!db.ok()) return db.status();
 
-  // Seed the world: POIs for the private kinds, cloaked users for the
-  // public aggregates.
-  Rng rng(args.seed);
-  PoiOptions poi_options;
-  poi_options.count = args.pois;
-  poi_options.category = poi_category::kGasStation;
-  poi_options.name_prefix = "gas";
-  auto pois = GeneratePois(options.space, poi_options, &rng);
-  if (!pois.ok()) return pois.status();
-  CLOAKDB_RETURN_IF_ERROR(db.value()->BulkLoadCategory(
-      poi_category::kGasStation, std::move(pois).value()));
+  if (args.recover) {
+    // The world comes from the data directory, not the seeder.
+    const RecoveryInfo& info = db.value()->recovery_info();
+    std::fprintf(stderr,
+                 "cloakd: recovered %zu users, %zu standing queries "
+                 "(%llu checkpoints, %llu wal records replayed, "
+                 "%llu skipped, %llu truncated)\n",
+                 db.value()->Stats().num_users,
+                 db.value()->NumContinuousQueries(),
+                 static_cast<unsigned long long>(info.checkpoints_loaded),
+                 static_cast<unsigned long long>(info.replayed_records),
+                 static_cast<unsigned long long>(info.skipped_records),
+                 static_cast<unsigned long long>(info.truncated_records));
+  } else {
+    // Seed the world: POIs for the private kinds, cloaked users for the
+    // public aggregates.
+    Rng rng(args.seed);
+    PoiOptions poi_options;
+    poi_options.count = args.pois;
+    poi_options.category = poi_category::kGasStation;
+    poi_options.name_prefix = "gas";
+    auto pois = GeneratePois(options.space, poi_options, &rng);
+    if (!pois.ok()) return pois.status();
+    CLOAKDB_RETURN_IF_ERROR(db.value()->BulkLoadCategory(
+        poi_category::kGasStation, std::move(pois).value()));
 
-  const PrivacyProfile profile =
-      PrivacyProfile::Uniform({args.k, 0.0, kInf}).value();
-  const TimeOfDay noon = TimeOfDay::FromHms(12, 0).value();
-  for (UserId user = 1; user <= args.users; ++user) {
-    CLOAKDB_RETURN_IF_ERROR(db.value()->RegisterUser(user, profile));
-    const Point location(rng.Uniform(0, 100), rng.Uniform(0, 100));
-    CLOAKDB_RETURN_IF_ERROR(
-        db.value()->EnqueueUpdate(user, location, noon));
+    const PrivacyProfile profile =
+        PrivacyProfile::Uniform({args.k, 0.0, kInf}).value();
+    const TimeOfDay noon = TimeOfDay::FromHms(12, 0).value();
+    for (UserId user = 1; user <= args.users; ++user) {
+      CLOAKDB_RETURN_IF_ERROR(db.value()->RegisterUser(user, profile));
+      const Point location(rng.Uniform(0, 100), rng.Uniform(0, 100));
+      CLOAKDB_RETURN_IF_ERROR(
+          db.value()->EnqueueUpdate(user, location, noon));
+    }
+    CLOAKDB_RETURN_IF_ERROR(db.value()->Flush());
   }
-  CLOAKDB_RETURN_IF_ERROR(db.value()->Flush());
 
   auto server = net::CloakServer::Create(db.value().get(), args.server);
   if (!server.ok()) return server.status();
   std::fprintf(stderr,
-               "cloakd: listening on %s:%u (%zu pois, %zu users, %u shards)\n",
-               args.server.host.c_str(), server.value()->port(), args.pois,
-               args.users, args.shards);
+               "cloakd: listening on %s:%u (%zu users, %u shards)\n",
+               args.server.host.c_str(), server.value()->port(),
+               db.value()->Stats().num_users, args.shards);
   if (!args.port_file.empty()) {
     CLOAKDB_RETURN_IF_ERROR(WriteFileAtomic(
         args.port_file, std::to_string(server.value()->port()) + "\n"));
@@ -198,6 +241,11 @@ Status Run(const Args& args) {
   }
   std::fprintf(stderr, "cloakd: shutting down\n");
   server.value()->Stop();
+  if (args.durability != storage::DurabilityMode::kOff) {
+    // Checkpoint on the way out so the next start replays an empty WAL.
+    CLOAKDB_RETURN_IF_ERROR(db.value()->Flush());
+    CLOAKDB_RETURN_IF_ERROR(db.value()->Checkpoint());
+  }
 
   if (!args.metrics_json.empty()) {
     CLOAKDB_RETURN_IF_ERROR(WriteFileAtomic(

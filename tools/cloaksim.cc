@@ -19,6 +19,8 @@
 //            [--deadline-us=U] [--max-qps=Q] [--shed-fraction=F]
 //            [--overload-policy=reject|degrade]
 //            [--continuous] [--standing=N] [--verify-sample=N]
+//            [--durability=off|async|fsync] [--data-dir=DIR]
+//            [--checkpoint-interval=N] [--chaos-kill] [--kill-cycles=N]
 //
 // --shared-exec turns on the service's shared-execution engine (clustered
 // probes + candidate cache); cloaked regions snap to grid cells, so nearby
@@ -49,6 +51,14 @@
 // queries and the run exits non-zero on any drift. The closing summary
 // reports cq.affected_per_update against the registry size — the
 // incremental-evaluation scaling claim in one number.
+//
+// --durability=async|fsync turns on the per-shard WAL + checkpoint engine
+// under --data-dir for the normal simulation. --chaos-kill replaces the
+// simulation with randomized kill/restart cycles: each cycle recovers from
+// the previous cycle's mid-write crash, self-checks the recovered state
+// (population, pseudonyms, cloaked regions, standing queries, query
+// service), then arms the next storage crash point and dies on it. Exits
+// non-zero on any recovered-state invariant violation.
 //
 // Output columns:
 //   tick,users,updates_per_s,nn_acc,range_acc,knn_acc,
@@ -106,6 +116,13 @@ struct Args {
   bool continuous = false;
   size_t standing = 1000;
   size_t verify_sample = 16;
+  // Durability (see the header comment). chaos_kill switches to the
+  // kill/restart self-check loop instead of the normal simulation.
+  storage::DurabilityMode durability = storage::DurabilityMode::kOff;
+  std::string data_dir;
+  uint64_t checkpoint_interval = 4096;
+  bool chaos_kill = false;
+  size_t kill_cycles = 6;
   // Chaos / overload (see the header comment).
   bool chaos = false;
   uint64_t chaos_seed = 42;
@@ -177,6 +194,18 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.standing = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(argv[i], "verify-sample", &value)) {
       args.verify_sample = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "durability", &value)) {
+      auto mode = storage::DurabilityModeFromName(value);
+      if (!mode.ok()) return mode.status();
+      args.durability = mode.value();
+    } else if (ParseArg(argv[i], "data-dir", &value)) {
+      args.data_dir = value;
+    } else if (ParseArg(argv[i], "checkpoint-interval", &value)) {
+      args.checkpoint_interval = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--chaos-kill") == 0) {
+      args.chaos_kill = true;
+    } else if (ParseArg(argv[i], "kill-cycles", &value)) {
+      args.kill_cycles = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       args.chaos = true;
     } else if (ParseArg(argv[i], "chaos-seed", &value)) {
@@ -221,6 +250,17 @@ Result<Args> ParseArgs(int argc, char** argv) {
     return Status::InvalidArgument("trace-sample must be in [0, 1]");
   if (args.continuous && args.standing == 0)
     return Status::InvalidArgument("standing must be >= 1");
+  if (args.chaos_kill) {
+    if (args.durability == storage::DurabilityMode::kOff)
+      args.durability = storage::DurabilityMode::kFsync;
+    if (args.data_dir.empty())
+      return Status::InvalidArgument("--chaos-kill requires --data-dir");
+    if (args.kill_cycles == 0)
+      return Status::InvalidArgument("kill-cycles must be >= 1");
+  }
+  if (args.durability != storage::DurabilityMode::kOff &&
+      args.data_dir.empty())
+    return Status::InvalidArgument("--durability requires --data-dir");
   return args;
 }
 
@@ -654,7 +694,201 @@ int RunContinuous(const Args& args, CloakDbService& db,
   return 0;
 }
 
+// --- Chaos-kill: randomized crash/restart cycles --------------------------
+//
+// Each cycle opens the service over --data-dir, validates whatever the
+// previous cycle's crash left behind, then arms a storage crash point and
+// hammers updates until it fires. The fired crash freezes the durability
+// engine exactly where a kill -9 would leave the file (torn frame, missing
+// fsync, half-committed checkpoint); the service object is then discarded
+// mid-flight and the next cycle must recover. Invariants checked at every
+// recovery, against state the driver knows was durable before the first
+// crash was armed (registrations + one applied update per user + the
+// standing-query population, sealed with SyncWal()):
+//   1. recovery is performed and error-free — corruption never panics;
+//   2. the user population is exactly the seeded one;
+//   3. pseudonyms are bit-stable across every kill/restart;
+//   4. every user has a non-empty cloaked region inside the space;
+//   5. the standing-query population survives with answerable queries;
+//   6. the recovered service still answers one-shot queries and absorbs
+//      new updates.
+// Returns non-zero on any violation — like --chaos and --continuous, the
+// kill loop is a checker, not just a load generator.
+int RunChaosKill(const Args& args) {
+  const Rect space(0.0, 0.0, 100.0, 100.0);
+  const TimeOfDay noon = TimeOfDay::FromHms(12, 0).value();
+  const Category category = poi_category::kGasStation;
+
+  CloakDbServiceOptions options;
+  options.space = space;
+  options.num_shards = args.shards;
+  options.worker_threads = args.workers;
+  options.anonymizer.algorithm = args.algorithm;
+  options.anonymizer.pseudonym_seed = args.seed;
+  options.durability_mode = args.durability;
+  options.data_dir = args.data_dir;
+  options.checkpoint_interval = args.checkpoint_interval;
+  // Crash points only — the probe/stall probabilities stay zero.
+  options.fault_injection.enabled = true;
+  options.fault_injection.seed = args.chaos_seed;
+
+  const size_t users = std::max<size_t>(args.users, 4);
+  const size_t standing = std::max<size_t>(std::min(args.standing, users), 1);
+  const PrivacyProfile profile =
+      PrivacyProfile::Uniform(
+          {args.k, 0.0, std::numeric_limits<double>::infinity()})
+          .value();
+  Rng rng(args.seed ^ 0x6b696c6cULL);  // "kill"
+
+  std::vector<ObjectId> stable_pseudonyms;
+  uint64_t violations = 0;
+  uint64_t crashes_fired = 0;
+  uint64_t replayed_total = 0;
+  auto violate = [&](size_t cycle, const std::string& what) {
+    ++violations;
+    std::fprintf(stderr, "chaos-kill violation (cycle %zu): %s\n", cycle,
+                 what.c_str());
+  };
+
+  for (size_t cycle = 0; cycle < args.kill_cycles; ++cycle) {
+    auto service = CloakDbService::Create(options);
+    if (!service.ok()) {
+      // A data directory no restart can open is the worst possible
+      // outcome — report and stop, there is nothing left to cycle.
+      violate(cycle, "service open failed: " + service.status().ToString());
+      break;
+    }
+    CloakDbService& db = *service.value();
+
+    if (cycle == 0) {
+      // Seed the durable baseline the whole run is checked against.
+      for (size_t i = 0; i < 16; ++i) {
+        PublicObject object;
+        object.id = 1000 + i;
+        object.location = Point(rng.Uniform(5.0, 95.0), rng.Uniform(5.0, 95.0));
+        object.category = category;
+        object.name = "poi-" + std::to_string(i);
+        if (!db.AddPublicObject(object).ok())
+          violate(cycle, "seed AddPublicObject failed");
+      }
+      for (UserId u = 1; u <= users; ++u) {
+        if (!db.RegisterUser(u, profile).ok())
+          violate(cycle, "seed RegisterUser failed");
+        (void)db.EnqueueUpdate(
+            u, Point(rng.Uniform(1.0, 99.0), rng.Uniform(1.0, 99.0)), noon);
+      }
+      if (!db.Flush().ok()) violate(cycle, "seed Flush failed");
+      for (size_t q = 0; q < standing; ++q) {
+        auto id =
+            (q % 4 == 3)
+                ? db.RegisterContinuousCount(Rect(20.0, 20.0, 80.0, 80.0))
+                : db.RegisterContinuousRange(
+                      static_cast<UserId>(1 + q % users), 10.0, category);
+        if (!id.ok()) violate(cycle, "seed standing registration failed");
+      }
+      // Seal the stable point: everything above must survive every kill.
+      if (!db.SyncWal().ok()) violate(cycle, "SyncWal failed");
+      for (UserId u = 1; u <= users; ++u)
+        stable_pseudonyms.push_back(db.PseudonymOf(u).value());
+    } else {
+      const RecoveryInfo& info = db.recovery_info();
+      replayed_total += info.replayed_records;
+      if (!info.performed) violate(cycle, "recovery not performed");
+      if (db.Stats().num_users != users)
+        violate(cycle, "recovered " + std::to_string(db.Stats().num_users) +
+                           " users, expected " + std::to_string(users));
+      Rect probe_region;
+      for (UserId u = 1; u <= users; ++u) {
+        auto pseudonym = db.PseudonymOf(u);
+        if (!pseudonym.ok() ||
+            pseudonym.value() != stable_pseudonyms[u - 1]) {
+          violate(cycle,
+                  "pseudonym of user " + std::to_string(u) + " drifted");
+          continue;
+        }
+        auto region = db.shard(db.ShardOfUser(u)).CurrentRegionOfUser(u);
+        if (!region.ok() || region.value().IsEmpty() ||
+            !space.Contains(region.value())) {
+          violate(cycle, "user " + std::to_string(u) +
+                             " has no valid cloaked region after recovery");
+        } else if (u == 1) {
+          probe_region = region.value();
+        }
+      }
+      if (db.NumContinuousQueries() != standing)
+        violate(cycle,
+                "recovered " + std::to_string(db.NumContinuousQueries()) +
+                    " standing queries, expected " + std::to_string(standing));
+      for (ContinuousQueryId id = 1; id <= standing; ++id) {
+        if (!db.AnswerContinuous(id).ok())
+          violate(cycle, "standing query " + std::to_string(id) +
+                             " unanswerable after recovery");
+      }
+      if (!probe_region.IsEmpty() &&
+          !db.PrivateRange(probe_region, 10.0, category).ok())
+        violate(cycle, "one-shot range query failed after recovery");
+    }
+
+    // Arm a crash and push updates until it fires. Rotating through the
+    // five points covers the whole append -> fsync -> checkpoint window.
+    storage::CrashPoint point = storage::CrashPoint::kNone;
+    switch (cycle % 5) {
+      case 0: point = storage::CrashPoint::kWalPreAppend; break;
+      case 1: point = storage::CrashPoint::kWalTornTail; break;
+      case 2: point = storage::CrashPoint::kWalPreFsync; break;
+      case 3: point = storage::CrashPoint::kCheckpointMid; break;
+      case 4: point = storage::CrashPoint::kCheckpointPreTruncate; break;
+    }
+    const bool checkpoint_crash =
+        point == storage::CrashPoint::kCheckpointMid ||
+        point == storage::CrashPoint::kCheckpointPreTruncate;
+    // A drained update batch is one WAL record, so each Flush hits a WAL
+    // point roughly once per shard — keep the countdown inside the hits
+    // four bursts are guaranteed to produce.
+    const uint64_t countdown =
+        checkpoint_crash
+            ? 1
+            : 1 + static_cast<uint64_t>(
+                      rng.UniformInt(0, 2 * static_cast<int>(args.shards)));
+    db.fault_injector()->ArmCrash(point, countdown);
+    for (size_t burst = 0; burst < 4 && !db.fault_injector()->crash_fired();
+         ++burst) {
+      for (UserId u = 1; u <= users; ++u) {
+        (void)db.EnqueueUpdate(
+            u, Point(rng.Uniform(1.0, 99.0), rng.Uniform(1.0, 99.0)), noon);
+      }
+      (void)db.Flush();
+      if (checkpoint_crash) (void)db.Checkpoint();
+    }
+    if (db.fault_injector()->crash_fired()) {
+      ++crashes_fired;
+    } else {
+      // Possible for fsync-site points under --durability=async; the
+      // cycle degenerates to a clean restart, which is still a valid
+      // (if weaker) recovery exercise.
+      std::fprintf(stderr, "# chaos-kill: cycle %zu crash did not fire\n",
+                   cycle);
+    }
+    // The service object goes away with writes in flight — the kill.
+  }
+
+  std::printf(
+      "# chaos-kill: %zu cycles, %llu crashes fired, %llu wal records "
+      "replayed, %llu violations\n",
+      args.kill_cycles, static_cast<unsigned long long>(crashes_fired),
+      static_cast<unsigned long long>(replayed_total),
+      static_cast<unsigned long long>(violations));
+  if (violations > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu recovered-state invariant violations\n",
+                 static_cast<unsigned long long>(violations));
+    return 1;
+  }
+  return 0;
+}
+
 int Run(const Args& args) {
+  if (args.chaos_kill) return RunChaosKill(args);
   const Rect space(0.0, 0.0, 100.0, 100.0);
 
   CloakDbServiceOptions options;
@@ -666,6 +900,9 @@ int Run(const Args& args) {
   options.enable_shared_execution = args.shared_exec;
   options.cache_capacity = args.cache_capacity;
   options.batch_window_us = args.batch_window_us;
+  options.durability_mode = args.durability;
+  options.data_dir = args.data_dir;
+  options.checkpoint_interval = args.checkpoint_interval;
   if (args.signature_cells > 0)
     options.signature_grid_cells = args.signature_cells;
   const bool tracing = !args.trace_out.empty() || !args.trace_jsonl.empty() ||
@@ -1065,7 +1302,9 @@ int main(int argc, char** argv) {
         "[--delay-prob=P] [--delay-us=U] [--stall-prob=P] [--stall-us=U] "
         "[--deadline-us=U] [--max-qps=Q] [--shed-fraction=F] "
         "[--overload-policy=reject|degrade] "
-        "[--continuous] [--standing=N] [--verify-sample=N]\n"
+        "[--continuous] [--standing=N] [--verify-sample=N] "
+        "[--durability=off|async|fsync] [--data-dir=DIR] "
+        "[--checkpoint-interval=N] [--chaos-kill] [--kill-cycles=N]\n"
         "  KIND: naive | mbr | quadtree | grid | multilevel-grid\n"
         "  SPEC: e.g. \"08:00-17:00 k=1; 17:00-22:00 k=100 amin=1\"\n",
         argv[0]);
