@@ -148,6 +148,27 @@ Result<QueryResponse> CloakClient::Execute(const QueryRequest& request) {
   return Await(id.value());
 }
 
+void CloakClient::ParkQueryFrame(const FrameHeader& header,
+                                 const std::string& payload) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+  if (header.type == FrameType::kResponse) {
+    QueryResponse response;
+    const Status decoded =
+        DecodeResponsePayload(data, payload.size(), &response);
+    parked_.emplace(header.request_id,
+                    decoded.ok() ? Result<QueryResponse>(std::move(response))
+                                 : Result<QueryResponse>(decoded));
+  } else if (header.type == FrameType::kError) {
+    ErrorCode code = ErrorCode::kInternal;
+    std::string message;
+    const Status decoded =
+        DecodeErrorPayload(data, payload.size(), &code, &message);
+    parked_.emplace(header.request_id,
+                    decoded.ok() ? Result<QueryResponse>(Status(code, message))
+                                 : Result<QueryResponse>(decoded));
+  }
+}
+
 Status CloakClient::Ping() {
   const uint64_t id = next_request_id_++;
   std::string frame;
@@ -160,29 +181,40 @@ Status CloakClient::Ping() {
     if (header.type == FrameType::kPong && header.request_id == id)
       return Status::OK();
     // Queued query responses may arrive first; park them for Await.
-    if (header.type == FrameType::kResponse ||
-        header.type == FrameType::kError) {
-      const uint8_t* data =
-          reinterpret_cast<const uint8_t*>(payload.data());
-      if (header.type == FrameType::kResponse) {
-        QueryResponse response;
-        const Status decoded =
-            DecodeResponsePayload(data, payload.size(), &response);
-        parked_.emplace(header.request_id,
-                        decoded.ok()
-                            ? Result<QueryResponse>(std::move(response))
-                            : Result<QueryResponse>(decoded));
-      } else {
-        ErrorCode code = ErrorCode::kInternal;
-        std::string message;
-        const Status decoded =
-            DecodeErrorPayload(data, payload.size(), &code, &message);
-        parked_.emplace(header.request_id,
-                        decoded.ok()
-                            ? Result<QueryResponse>(Status(code, message))
-                            : Result<QueryResponse>(decoded));
-      }
+    ParkQueryFrame(header, payload);
+  }
+}
+
+Result<std::string> CloakClient::Admin(AdminCommand command,
+                                       uint32_t limit) {
+  const uint64_t id = next_request_id_++;
+  std::string frame;
+  AppendAdminRequestFrame(id, command, limit, &frame);
+  CLOAKDB_RETURN_IF_ERROR(WriteAll(frame));
+  for (;;) {
+    FrameHeader header;
+    std::string payload;
+    CLOAKDB_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+    if (header.type == FrameType::kAdminResponse && header.request_id == id) {
+      AdminCommand echoed = AdminCommand::kStatus;
+      std::string body;
+      CLOAKDB_RETURN_IF_ERROR(
+          DecodeAdminResponsePayload(data, payload.size(), &echoed, &body));
+      if (echoed != command)
+        return Status::Internal("admin response echoes the wrong command");
+      return body;
     }
+    if (header.type == FrameType::kError &&
+        (header.request_id == id || header.request_id == 0)) {
+      ErrorCode code = ErrorCode::kInternal;
+      std::string message;
+      CLOAKDB_RETURN_IF_ERROR(
+          DecodeErrorPayload(data, payload.size(), &code, &message));
+      return Status(code, message);
+    }
+    // Pipelined query traffic may land first; park it for Await.
+    ParkQueryFrame(header, payload);
   }
 }
 

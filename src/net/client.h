@@ -51,12 +51,22 @@ class CloakClient {
   /// server's pipeline.
   Status Ping();
 
+  /// Round-trips one admin command and returns the JSON body of its
+  /// kAdminResponse. `limit` bounds list-shaped results (0 = the
+  /// command's default). Query responses arriving mid-pipeline are
+  /// parked for their own Await calls, so admin polls interleave freely
+  /// with pipelined queries on the same connection.
+  Result<std::string> Admin(AdminCommand command, uint32_t limit = 0);
+
  private:
   CloakClient(int fd);
 
   Status WriteAll(const std::string& bytes);
   /// Reads exactly one frame (header + payload) off the socket.
   Status ReadFrame(FrameHeader* header, std::string* payload);
+  /// Decodes a kResponse/kError frame that arrived while waiting for
+  /// something else and parks it for its own Await call.
+  void ParkQueryFrame(const FrameHeader& header, const std::string& payload);
 
   int fd_;
   uint64_t next_request_id_ = 1;

@@ -155,7 +155,12 @@ bool IsValidErrorCode(uint8_t raw) {
 
 bool IsValidFrameType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(FrameType::kQuery) &&
-         raw <= static_cast<uint8_t>(FrameType::kPong);
+         raw <= static_cast<uint8_t>(FrameType::kAdminResponse);
+}
+
+bool IsValidAdminCommand(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(AdminCommand::kMetricsSnapshot) &&
+         raw <= static_cast<uint8_t>(AdminCommand::kFlightRecorder);
 }
 
 void AppendQueryFrame(uint64_t request_id, const QueryRequest& request,
@@ -231,6 +236,33 @@ void AppendPingFrame(uint64_t request_id, std::string* out) {
 
 void AppendPongFrame(uint64_t request_id, std::string* out) {
   AppendHeader(out, FrameType::kPong, request_id, 0);
+}
+
+void AppendAdminRequestFrame(uint64_t request_id, AdminCommand command,
+                             uint32_t limit, std::string* out) {
+  std::string payload;
+  AppendU8(&payload, static_cast<uint8_t>(command));
+  AppendU8(&payload, 0);   // reserved
+  AppendU16(&payload, 0);  // reserved
+  AppendU32(&payload, limit > kMaxAdminLimit ? kMaxAdminLimit : limit);
+  AppendFrame(out, FrameType::kAdminRequest, request_id, payload);
+}
+
+void AppendAdminResponseFrame(uint64_t request_id, AdminCommand command,
+                              const std::string& body, std::string* out) {
+  if (body.size() > kMaxAdminBodyBytes) {
+    AppendErrorFrame(request_id, ErrorCode::kResourceExhausted,
+                     "admin response exceeds the body limit", out);
+    return;
+  }
+  std::string payload;
+  payload.reserve(8 + body.size());
+  AppendU8(&payload, static_cast<uint8_t>(command));
+  AppendU8(&payload, 0);   // reserved
+  AppendU16(&payload, 0);  // reserved
+  AppendU32(&payload, static_cast<uint32_t>(body.size()));
+  payload.append(body);
+  AppendFrame(out, FrameType::kAdminResponse, request_id, payload);
 }
 
 Status DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out) {
@@ -338,6 +370,37 @@ Status DecodeErrorPayload(const uint8_t* data, size_t len, ErrorCode* code,
   if (!IsValidErrorCode(raw) || raw == 0)
     return Malformed("invalid error code in error frame");
   *code = static_cast<ErrorCode>(raw);
+  return Status::OK();
+}
+
+Status DecodeAdminRequestPayload(const uint8_t* data, size_t len,
+                                 AdminCommand* command, uint32_t* limit) {
+  ByteReader r{data, len};
+  const uint8_t raw = r.ReadU8();
+  r.ReadU8();   // reserved
+  r.ReadU16();  // reserved
+  *limit = r.ReadU32();
+  if (!r.Done()) return Malformed("truncated admin request payload");
+  if (!IsValidAdminCommand(raw)) return Malformed("unknown admin command");
+  if (*limit > kMaxAdminLimit) return Malformed("admin limit exceeds cap");
+  *command = static_cast<AdminCommand>(raw);
+  return Status::OK();
+}
+
+Status DecodeAdminResponsePayload(const uint8_t* data, size_t len,
+                                  AdminCommand* command, std::string* body) {
+  ByteReader r{data, len};
+  const uint8_t raw = r.ReadU8();
+  r.ReadU8();   // reserved
+  r.ReadU16();  // reserved
+  const uint32_t n = r.ReadU32();
+  if (n > kMaxAdminBodyBytes || !r.Ensure(n))
+    return Malformed("admin body exceeds payload");
+  body->assign(reinterpret_cast<const char*>(data + r.pos), n);
+  r.pos += n;
+  if (!r.Done()) return Malformed("truncated admin response payload");
+  if (!IsValidAdminCommand(raw)) return Malformed("unknown admin command");
+  *command = static_cast<AdminCommand>(raw);
   return Status::OK();
 }
 

@@ -67,6 +67,17 @@ inline constexpr uint32_t kMaxHeatmapResolution = 512;
 /// sizes or an unframeable response.
 inline constexpr uint64_t kMaxKnnK = 4096;
 
+/// Upper bound on an admin response body (JSON text). Larger than
+/// kMaxStringBytes because a full metrics-window dump with interval
+/// percentiles is legitimately bigger than an error message; still well
+/// inside kMaxPayloadBytes.
+inline constexpr uint32_t kMaxAdminBodyBytes = 1u << 20;
+
+/// Upper bound on an admin request's `limit` argument (slow-query rows,
+/// flight-recorder events, window snapshots). Sizes server-side work, so
+/// it is validated at decode time like the query cost caps.
+inline constexpr uint32_t kMaxAdminLimit = 4096;
+
 /// Frame discriminator. Values are wire-stable.
 enum class FrameType : uint8_t {
   kQuery = 1,
@@ -74,10 +85,27 @@ enum class FrameType : uint8_t {
   kError = 3,
   kPing = 4,
   kPong = 5,
+  kAdminRequest = 6,
+  kAdminResponse = 7,
 };
 
 /// True for the values listed in FrameType.
 bool IsValidFrameType(uint8_t raw);
+
+/// Admin sub-commands carried by kAdminRequest frames. Values are
+/// wire-stable. Every command answers with a JSON body in the matching
+/// kAdminResponse frame.
+enum class AdminCommand : uint8_t {
+  kMetricsSnapshot = 1,  ///< Lifetime-cumulative metrics (full registry).
+  kMetricsWindow = 2,    ///< Windowed snapshots: interval rates/percentiles.
+  kStatus = 3,           ///< Service status/health (identity, stats, stages).
+  kSlowQueries = 4,      ///< Top-N slow-query log.
+  kRecentTraces = 5,     ///< Trace accounting + recent audit violations.
+  kFlightRecorder = 6,   ///< Flight-recorder event dump.
+};
+
+/// True for the values listed in AdminCommand.
+bool IsValidAdminCommand(uint8_t raw);
 
 /// A decoded frame header.
 struct FrameHeader {
@@ -102,6 +130,15 @@ void AppendErrorFrame(uint64_t request_id, ErrorCode code,
                       const std::string& message, std::string* out);
 void AppendPingFrame(uint64_t request_id, std::string* out);
 void AppendPongFrame(uint64_t request_id, std::string* out);
+/// Appends a kAdminRequest frame. `limit` bounds the result set (0 means
+/// the command's default); values above kMaxAdminLimit are clamped.
+void AppendAdminRequestFrame(uint64_t request_id, AdminCommand command,
+                             uint32_t limit, std::string* out);
+/// Appends a kAdminResponse frame echoing `command` with a JSON `body`.
+/// A body over kMaxAdminBodyBytes becomes a kError (kResourceExhausted)
+/// frame instead, mirroring AppendResponseFrame's unframeable-frame guard.
+void AppendAdminResponseFrame(uint64_t request_id, AdminCommand command,
+                              const std::string& body, std::string* out);
 
 // --- Decoding ------------------------------------------------------------
 
@@ -119,6 +156,10 @@ Status DecodeResponsePayload(const uint8_t* data, size_t len,
                              QueryResponse* out);
 Status DecodeErrorPayload(const uint8_t* data, size_t len, ErrorCode* code,
                           std::string* message);
+Status DecodeAdminRequestPayload(const uint8_t* data, size_t len,
+                                 AdminCommand* command, uint32_t* limit);
+Status DecodeAdminResponsePayload(const uint8_t* data, size_t len,
+                                  AdminCommand* command, std::string* body);
 
 }  // namespace cloakdb::net
 

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -24,6 +25,8 @@
 #include <vector>
 
 #include "net/protocol.h"
+#include "obs/flight_recorder.h"
+#include "service/admin.h"
 
 namespace cloakdb::net {
 namespace {
@@ -215,6 +218,9 @@ class CloakServer::Impl {
     write_buffer_hwm_ = metrics.gauge("net.write_buffer_hwm_bytes");
     read_stalls_ = metrics.counter("net.read_stalls_total");
     pipeline_shed_ = metrics.counter("net.pipeline_shed_total");
+    admin_requests_ = metrics.counter("admin.requests_total");
+    admin_errors_ = metrics.counter("admin.errors_total");
+    admin_request_us_ = metrics.histogram("admin.request_us");
 
     auto poller = MakePoller(options_.force_poll);
     if (!poller.ok()) return poller.status();
@@ -259,6 +265,8 @@ class CloakServer::Impl {
     for (uint32_t i = 0; i < workers; ++i)
       workers_.emplace_back([this] { WorkerThread(); });
     loop_ = std::thread([this] { LoopThread(); });
+    if (options_.metrics_window_interval_ms > 0)
+      ticker_ = std::thread([this] { WindowTickerThread(); });
     return Status::OK();
   }
 
@@ -266,6 +274,11 @@ class CloakServer::Impl {
     bool expected = false;
     if (!stopped_.compare_exchange_strong(expected, true)) return;
     Wakeup();
+    {
+      std::lock_guard<std::mutex> lock(ticker_mu_);
+    }
+    ticker_cv_.notify_all();
+    if (ticker_.joinable()) ticker_.join();
     if (loop_.joinable()) loop_.join();
     {
       std::lock_guard<std::mutex> lock(task_mu_);
@@ -298,10 +311,14 @@ class CloakServer::Impl {
   };
 
   struct Task {
+    enum class Kind : uint8_t { kQuery, kAdmin };
     int fd = -1;
     uint64_t gen = 0;
     uint64_t request_id = 0;
-    QueryRequest request;
+    Kind kind = Kind::kQuery;
+    QueryRequest request;           ///< Valid when kind == kQuery.
+    AdminCommand admin_command = AdminCommand::kStatus;  ///< kind == kAdmin.
+    uint32_t admin_limit = 0;       ///< kind == kAdmin.
   };
 
   struct Completion {
@@ -461,16 +478,47 @@ class CloakServer::Impl {
             break;
           }
           if (conn.inflight >= options_.max_pipeline) {
-            pipeline_shed_->Increment();
-            std::string frame;
-            AppendErrorFrame(header.request_id, ErrorCode::kShed,
-                             "pipeline limit exceeded", &frame);
-            QueueWrite(conn, frame);
+            ShedPipelined(conn, header.request_id);
             break;
           }
           ++conn.inflight;
-          SubmitTask({conn.fd, conn.gen, header.request_id,
-                      std::move(request)});
+          Task task;
+          task.fd = conn.fd;
+          task.gen = conn.gen;
+          task.request_id = header.request_id;
+          task.kind = Task::Kind::kQuery;
+          task.request = std::move(request);
+          SubmitTask(std::move(task));
+          break;
+        }
+        case FrameType::kAdminRequest: {
+          AdminCommand command = AdminCommand::kStatus;
+          uint32_t limit = 0;
+          Status decoded = DecodeAdminRequestPayload(
+              payload, header.payload_len, &command, &limit);
+          if (!decoded.ok()) {
+            // Intact frame boundary: typed error, keep the connection —
+            // identical treatment to a malformed query payload.
+            decode_errors_->Increment();
+            std::string frame;
+            AppendErrorFrame(header.request_id, ErrorCode::kMalformedRequest,
+                             decoded.message(), &frame);
+            QueueWrite(conn, frame);
+            break;
+          }
+          if (conn.inflight >= options_.max_pipeline) {
+            ShedPipelined(conn, header.request_id);
+            break;
+          }
+          ++conn.inflight;
+          Task task;
+          task.fd = conn.fd;
+          task.gen = conn.gen;
+          task.request_id = header.request_id;
+          task.kind = Task::Kind::kAdmin;
+          task.admin_command = command;
+          task.admin_limit = limit;
+          SubmitTask(std::move(task));
           break;
         }
         case FrameType::kPing: {
@@ -494,6 +542,18 @@ class CloakServer::Impl {
     }
     if (off > 0) conn.inbuf.erase(0, off);
     return true;
+  }
+
+  /// Answers a request that overflowed the pipeline cap with a typed
+  /// kShed error frame and leaves a flight-recorder breadcrumb.
+  void ShedPipelined(Connection& conn, uint64_t request_id) {
+    pipeline_shed_->Increment();
+    service_->flight_recorder()->Record(obs::FlightEventKind::kPipelineShed,
+                                        request_id);
+    std::string frame;
+    AppendErrorFrame(request_id, ErrorCode::kShed, "pipeline limit exceeded",
+                     &frame);
+    QueueWrite(conn, frame);
   }
 
   void HandleWritable(Connection& conn) {
@@ -615,16 +675,58 @@ class CloakServer::Impl {
         task = std::move(tasks_.front());
         tasks_.pop_front();
       }
-      const QueryResponse response = service_->ExecuteQuery(task.request);
       Completion completion;
       completion.fd = task.fd;
       completion.gen = task.gen;
-      AppendResponseFrame(task.request_id, response, &completion.bytes);
+      if (task.kind == Task::Kind::kAdmin) {
+        ServeAdmin(task, &completion.bytes);
+      } else {
+        const QueryResponse response = service_->ExecuteQuery(task.request);
+        AppendResponseFrame(task.request_id, response, &completion.bytes);
+      }
       {
         std::lock_guard<std::mutex> lock(completion_mu_);
         completions_.push_back(std::move(completion));
       }
       Wakeup();
+    }
+  }
+
+  /// Runs one admin command on a worker thread and encodes the reply —
+  /// a kAdminResponse on success, a typed kError otherwise.
+  void ServeAdmin(const Task& task, std::string* bytes) {
+    admin_requests_->Increment();
+    const auto t0 = std::chrono::steady_clock::now();
+    const Result<std::string> body =
+        HandleAdminCommand(*service_, task.admin_command, task.admin_limit);
+    admin_request_us_->Record(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (body.ok()) {
+      AppendAdminResponseFrame(task.request_id, task.admin_command,
+                               body.value(), bytes);
+    } else {
+      admin_errors_->Increment();
+      AppendErrorFrame(task.request_id,
+                       static_cast<ErrorCode>(body.status().code()),
+                       body.status().message(), bytes);
+    }
+  }
+
+  /// Pushes a windowed-metrics snapshot into the service registry on a
+  /// fixed cadence, so kMetricsWindow always has fresh intervals. Runs on
+  /// its own thread; the condition variable makes shutdown prompt.
+  void WindowTickerThread() {
+    std::unique_lock<std::mutex> lock(ticker_mu_);
+    const auto interval =
+        std::chrono::milliseconds(options_.metrics_window_interval_ms);
+    while (!stopped_.load(std::memory_order_acquire)) {
+      if (ticker_cv_.wait_for(lock, interval, [this] {
+            return stopped_.load(std::memory_order_acquire);
+          }))
+        return;
+      service_->metrics().PushWindowSnapshot();
     }
   }
 
@@ -674,6 +776,9 @@ class CloakServer::Impl {
   obs::Gauge* write_buffer_hwm_ = nullptr;
   obs::Counter* read_stalls_ = nullptr;
   obs::Counter* pipeline_shed_ = nullptr;
+  obs::Counter* admin_requests_ = nullptr;
+  obs::Counter* admin_errors_ = nullptr;
+  obs::ShardedHistogram* admin_request_us_ = nullptr;
 
   std::unique_ptr<Poller> poller_;
   int listen_fd_ = -1;
@@ -690,6 +795,10 @@ class CloakServer::Impl {
 
   std::mutex completion_mu_;
   std::vector<Completion> completions_;
+
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  std::thread ticker_;
 
   std::vector<std::thread> workers_;
   std::thread loop_;

@@ -21,6 +21,16 @@
 // kMalformedRequest error frame; an unframeable byte stream (bad magic,
 // wrong version, oversize length) closes the connection.
 //
+// Admin frames (kAdminRequest) ride the same connection and the same
+// worker pool as queries: the loop decodes the sub-command and submits an
+// admin task, a worker renders the JSON body off the event loop, and the
+// kAdminResponse flows back through the ordinary completion queue — an
+// admin poll contends for a worker slot like any query and can never
+// stall the loop. Admin requests share the per-connection pipeline cap
+// with queries. A background ticker pushes a windowed-metrics snapshot
+// into the service registry every metrics_window_interval_ms so
+// kMetricsWindow has interval rates to serve.
+//
 // All net.* metrics land in the service's own MetricsRegistry, so one
 // export carries service and wire observability together.
 
@@ -54,6 +64,11 @@ struct CloakServerOptions {
   size_t max_pipeline = 1024;
   /// Use the portable poll(2) backend even where epoll is available.
   bool force_poll = false;
+  /// Interval between windowed-metrics snapshots pushed into the service
+  /// registry's ring (served by AdminCommand::kMetricsWindow). 0 disables
+  /// the ticker — remote window queries then see only snapshots pushed by
+  /// someone else (tests, the simulator loop).
+  uint32_t metrics_window_interval_ms = 1000;
 };
 
 /// The server. Create() binds + listens + starts the loop and workers;

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <thread>
@@ -159,6 +160,55 @@ double HistogramSnapshot::Quantile(double q) const {
   return max;
 }
 
+HistogramSnapshot HistogramDelta(const HistogramSnapshot& newer,
+                                 const HistogramSnapshot& older) {
+  HistogramSnapshot delta;
+  if (newer.count <= older.count) return delta;  // empty interval
+  const size_t buckets =
+      std::max(newer.buckets.size(), older.buckets.size());
+  delta.buckets.assign(buckets, 0);
+  size_t lowest = buckets;
+  size_t highest = buckets;  // sentinel: none
+  for (size_t b = 0; b < buckets; ++b) {
+    const uint64_t n = b < newer.buckets.size() ? newer.buckets[b] : 0;
+    const uint64_t o = b < older.buckets.size() ? older.buckets[b] : 0;
+    const uint64_t d = n > o ? n - o : 0;
+    delta.buckets[b] = d;
+    if (d > 0) {
+      if (lowest == buckets) lowest = b;
+      highest = b;
+    }
+  }
+  delta.count = newer.count - older.count;
+  delta.sum = newer.sum - older.sum;
+  if (highest == buckets) {
+    // Counts moved but no bucket grew (possible only on corrupt input);
+    // fall back to the lifetime bounds.
+    delta.min = newer.min;
+    delta.max = newer.max;
+    return delta;
+  }
+  // Tightest provable bounds (see header): exact when the interval set a
+  // new lifetime extreme, otherwise the populated-bucket edge.
+  if (older.count == 0 || newer.min < older.min) {
+    delta.min = newer.min;
+  } else {
+    delta.min = std::max(ShardedHistogram::BucketLowerBound(lowest),
+                         newer.min);
+  }
+  if (older.count == 0 || newer.max > older.max) {
+    delta.max = newer.max;
+  } else {
+    const double upper =
+        highest + 1 < ShardedHistogram::kNumBuckets
+            ? ShardedHistogram::BucketLowerBound(highest + 1)
+            : newer.max;
+    delta.max = std::min(highest == 0 ? 1.0 : upper, newer.max);
+  }
+  if (delta.max < delta.min) delta.max = delta.min;
+  return delta;
+}
+
 void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
   if (other.count == 0) return;
   if (count == 0) {
@@ -215,6 +265,48 @@ uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
     if (it != counters_.end()) counter = it->second.get();
   }
   return counter == nullptr ? 0 : counter->Value();
+}
+
+RegistrySnapshot MetricsRegistry::SnapshotAll() const {
+  RegistrySnapshot snapshot;
+  snapshot.unix_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_)
+    snapshot.counters[name] = counter->Value();
+  for (const auto& [name, gauge] : gauges_)
+    snapshot.gauges[name] = gauge->Value();
+  for (const auto& [name, histogram] : histograms_)
+    snapshot.histograms[name] = histogram->Snapshot();
+  return snapshot;
+}
+
+void MetricsRegistry::SetWindowCapacity(size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  std::lock_guard<std::mutex> lock(window_mu_);
+  window_capacity_ = capacity;
+  if (window_.size() > capacity)
+    window_.erase(window_.begin(),
+                  window_.begin() +
+                      static_cast<ptrdiff_t>(window_.size() - capacity));
+}
+
+void MetricsRegistry::PushWindowSnapshot() {
+  auto snapshot = std::make_shared<RegistrySnapshot>(SnapshotAll());
+  std::lock_guard<std::mutex> lock(window_mu_);
+  if (window_.size() >= window_capacity_)
+    window_.erase(window_.begin(),
+                  window_.begin() + static_cast<ptrdiff_t>(
+                                        window_.size() - window_capacity_ + 1));
+  window_.push_back(std::move(snapshot));
+}
+
+std::vector<std::shared_ptr<const RegistrySnapshot>>
+MetricsRegistry::WindowSnapshots() const {
+  std::lock_guard<std::mutex> lock(window_mu_);
+  return window_;
 }
 
 std::string MetricsRegistry::ExportText() const {

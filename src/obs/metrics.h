@@ -94,6 +94,17 @@ struct HistogramSnapshot {
   void Merge(const HistogramSnapshot& other);
 };
 
+/// Interval between two cumulative snapshots of the same histogram:
+/// `newer - older`, bucket-wise. Bucket counts, count, and sum are exact.
+/// The interval's true min/max are not recoverable from cumulative
+/// snapshots, so the delta carries the tightest provable bounds instead:
+/// when the interval set a new lifetime extreme the bound is exact;
+/// otherwise it is the edge of the interval's outermost populated bucket
+/// (so quantiles are off by at most one sub-bucket width at the tails).
+/// Returns an empty snapshot when `newer` holds no new samples.
+HistogramSnapshot HistogramDelta(const HistogramSnapshot& newer,
+                                 const HistogramSnapshot& older);
+
 /// Lock-free log-linear histogram for non-negative values (latencies in
 /// microseconds, batch sizes, candidate counts, ...). Buckets cover
 /// [2^o * (1 + s/8), 2^o * (1 + (s+1)/8)) — 8 sub-buckets per power of
@@ -126,6 +137,17 @@ class ShardedHistogram {
   std::array<Stripe, kMetricStripes> stripes_;
 };
 
+/// Point-in-time copy of every metric in a registry, stamped with the
+/// wall clock. Cheap to diff: counter/gauge maps plus full histogram
+/// snapshots, so an exporter can turn two of these into interval rates
+/// and interval percentiles.
+struct RegistrySnapshot {
+  int64_t unix_us = 0;  ///< Wall-clock microseconds at snapshot time.
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 /// Thread-safe name -> metric registry with get-or-create semantics.
 /// Counters, gauges, and histograms live in separate namespaces. Returned
 /// pointers stay valid for the registry's lifetime.
@@ -153,11 +175,39 @@ class MetricsRegistry {
   /// {"name": {"count","mean","min","max","p50","p95","p99"}, ..}}.
   std::string ExportJson() const;
 
+  // --- Windowed snapshots ------------------------------------------------
+  // The registry keeps a ring of timestamped full snapshots so exporters
+  // can report last-interval rates and interval percentiles instead of
+  // lifetime-cumulative numbers. A sampler (CloakServer's ticker, cloaksim's
+  // tick loop) calls PushWindowSnapshot periodically; readers diff
+  // neighbouring entries with HistogramDelta / counter subtraction.
+
+  /// Default number of snapshots retained (at a 1 s cadence: ~16 s back).
+  static constexpr size_t kDefaultWindowCapacity = 16;
+
+  /// Full copy of every metric, stamped with the current wall clock.
+  RegistrySnapshot SnapshotAll() const;
+
+  /// Resizes the snapshot ring (minimum 2; drops oldest entries).
+  void SetWindowCapacity(size_t capacity);
+
+  /// Takes a snapshot and appends it to the ring (evicting the oldest).
+  void PushWindowSnapshot();
+
+  /// The retained snapshots, oldest first. Shared pointers: entries stay
+  /// valid even if the ring rotates after the call.
+  std::vector<std::shared_ptr<const RegistrySnapshot>> WindowSnapshots()
+      const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+
+  mutable std::mutex window_mu_;  ///< Guards the snapshot ring.
+  size_t window_capacity_ = kDefaultWindowCapacity;
+  std::vector<std::shared_ptr<const RegistrySnapshot>> window_;
 };
 
 }  // namespace cloakdb::obs

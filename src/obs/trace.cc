@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace cloakdb::obs {
 
 namespace {
@@ -159,6 +161,9 @@ void Tracer::FinishTrace(const TraceContext& context, double latency_us,
 void Tracer::NoteAuditViolation(uint64_t trace_id, uint64_t pseudonym,
                                 const AuditEvent& event) {
   violations_total_.fetch_add(1, std::memory_order_relaxed);
+  if (flight_recorder_ != nullptr)
+    flight_recorder_->Record(FlightEventKind::kAuditViolation, trace_id,
+                             pseudonym);
   std::lock_guard<std::mutex> lock(decide_mu_);
   violations_.push_back(AuditViolationRecord{trace_id, pseudonym, event});
   while (violations_.size() > options_.max_recent_violations)

@@ -36,6 +36,8 @@
 
 namespace cloakdb::obs {
 
+class FlightRecorder;
+
 /// Tracing configuration (embedded into CloakDbServiceOptions).
 struct TraceOptions {
   /// Master switch; off means the service creates no Tracer at all.
@@ -213,6 +215,13 @@ class Tracer {
   /// Most recent audit violations, newest last.
   std::vector<AuditViolationRecord> RecentAuditViolations() const;
 
+  /// Optional flight-recorder sink: NoteAuditViolation also records a
+  /// kAuditViolation event so the ring's post-mortem view includes
+  /// privacy incidents.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
   // --- Introspection (tests, monitors) -----------------------------------
   uint64_t dropped_spans() const {
     return dropped_spans_.load(std::memory_order_relaxed);
@@ -264,6 +273,7 @@ class Tracer {
   std::atomic<uint64_t> kept_traces_{0};
   std::atomic<uint64_t> dropped_traces_{0};
   std::atomic<uint64_t> violations_total_{0};
+  FlightRecorder* flight_recorder_ = nullptr;
 
   mutable std::mutex registry_mu_;  ///< Guards buffers_ (registration only).
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;

@@ -1,0 +1,354 @@
+#include "service/admin.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace cloakdb {
+
+namespace {
+
+/// Appends `"key":"<u64 as string>"` — 64-bit ids do not round-trip
+/// through double-typed JSON numbers, so they travel as strings.
+void AppendU64String(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "\"%llu\"",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void AppendHistogramDigest(std::string* out, const char* label,
+                           const obs::HistogramSnapshot& snap) {
+  *out += '"';
+  obs::AppendJsonEscaped(out, label);
+  *out += "\":{\"count\":";
+  obs::AppendJsonNumber(out, static_cast<double>(snap.count));
+  *out += ",\"p50\":";
+  obs::AppendJsonNumber(out, snap.p50());
+  *out += ",\"p95\":";
+  obs::AppendJsonNumber(out, snap.p95());
+  *out += ",\"p99\":";
+  obs::AppendJsonNumber(out, snap.p99());
+  *out += '}';
+}
+
+std::string SlowQueriesJson(const CloakDbService& db, uint32_t limit) {
+  const ServiceStats stats = db.Stats();
+  std::string out = "{\"slow_queries\":[";
+  size_t emitted = 0;
+  for (const obs::SlowQueryRecord& q : stats.slow_queries) {
+    if (limit != 0 && emitted >= limit) break;
+    if (emitted > 0) out += ',';
+    ++emitted;
+    out += "{\"kind\":\"";
+    obs::AppendJsonEscaped(&out, q.kind);
+    out += "\",\"latency_us\":";
+    obs::AppendJsonNumber(&out, q.latency_us);
+    out += ",\"region_area\":";
+    obs::AppendJsonNumber(&out, q.region_area);
+    out += ",\"shards_touched\":";
+    obs::AppendJsonNumber(&out, q.shards_touched);
+    out += ",\"candidates\":";
+    obs::AppendJsonNumber(&out, static_cast<double>(q.candidates));
+    out += ",\"trace_id\":";
+    AppendU64String(&out, q.trace_id);
+    out += ",\"status\":\"";
+    obs::AppendJsonEscaped(&out, to_string(q.error));
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RecentTracesJson(const CloakDbService& db) {
+  const obs::Tracer* tracer = db.tracer();
+  if (tracer == nullptr) return "{\"enabled\":false}";
+  std::string out = "{\"enabled\":true,\"kept\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(tracer->kept_traces()));
+  out += ",\"dropped\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(tracer->dropped_traces()));
+  out += ",\"dropped_spans\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(tracer->dropped_spans()));
+  out += ",\"violations_total\":";
+  obs::AppendJsonNumber(&out,
+                        static_cast<double>(tracer->audit_violations_total()));
+  out += ",\"recent_violations\":[";
+  bool first = true;
+  for (const auto& v : tracer->RecentAuditViolations()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"trace_id\":";
+    AppendU64String(&out, v.trace_id);
+    out += ",\"pseudonym\":";
+    AppendU64String(&out, v.pseudonym);
+    out += ",\"requested_k\":";
+    obs::AppendJsonNumber(&out, v.event.requested_k);
+    out += ",\"achieved_k\":";
+    obs::AppendJsonNumber(&out, v.event.achieved_k);
+    out += ",\"area\":";
+    obs::AppendJsonNumber(&out, v.event.area);
+    out += ",\"k_satisfied\":";
+    out += v.event.k_satisfied ? "true" : "false";
+    out += ",\"center_risk\":";
+    out += v.event.center_risk ? "true" : "false";
+    out += ",\"boundary_risk\":";
+    out += v.event.boundary_risk ? "true" : "false";
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FlightRecorderJson(const CloakDbService& db, uint32_t limit) {
+  const obs::FlightRecorder* recorder = db.flight_recorder();
+  std::string out = "{\"events_total\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(recorder->events_total()));
+  out += ",\"capacity\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(recorder->capacity()));
+  out += ",\"events\":[";
+  bool first = true;
+  for (const obs::FlightEvent& event :
+       db.flight_recorder()->Snapshot(limit)) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"seq\":";
+    AppendU64String(&out, event.seq);
+    out += ",\"unix_us\":";
+    AppendU64String(&out, static_cast<uint64_t>(event.unix_us));
+    out += ",\"kind\":\"";
+    obs::AppendJsonEscaped(&out, obs::FlightEventKindName(event.kind));
+    out += "\",\"a\":";
+    AppendU64String(&out, event.a);
+    out += ",\"b\":";
+    AppendU64String(&out, event.b);
+    out += ",\"detail\":\"";
+    obs::AppendJsonEscaped(&out, event.detail);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+/// The windowed-metrics document: the oldest retained snapshot's absolute
+/// counter values ("base_counters") plus one entry per consecutive
+/// snapshot pair carrying exact counter deltas and interval histogram
+/// digests. base + sum(deltas) reconstructs the newest snapshot's lifetime
+/// counters exactly; zero deltas are omitted (absent means 0).
+std::string MetricsWindowJson(const CloakDbService& db, uint32_t limit) {
+  const auto snapshots = db.metrics().WindowSnapshots();
+  std::string out = "{\"snapshots\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(snapshots.size()));
+  if (snapshots.empty()) {
+    out += ",\"intervals\":[]}";
+    return out;
+  }
+  // Keep the newest `limit` intervals; the base moves up accordingly so
+  // the reconstruction invariant holds for any limit.
+  size_t first_interval = 1;
+  if (limit != 0 && snapshots.size() > static_cast<size_t>(limit) + 1)
+    first_interval = snapshots.size() - limit;
+  const obs::RegistrySnapshot& base = *snapshots[first_interval - 1];
+  out += ",\"base_unix_us\":";
+  AppendU64String(&out, static_cast<uint64_t>(base.unix_us));
+  out += ",\"base_counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : base.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    obs::AppendJsonEscaped(&out, name);
+    out += "\":";
+    AppendU64String(&out, value);
+  }
+  out += "},\"intervals\":[";
+  for (size_t i = first_interval; i < snapshots.size(); ++i) {
+    const obs::RegistrySnapshot& older = *snapshots[i - 1];
+    const obs::RegistrySnapshot& newer = *snapshots[i];
+    if (i > first_interval) out += ',';
+    out += "{\"unix_us\":";
+    AppendU64String(&out, static_cast<uint64_t>(newer.unix_us));
+    out += ",\"interval_us\":";
+    AppendU64String(&out, static_cast<uint64_t>(
+                              newer.unix_us > older.unix_us
+                                  ? newer.unix_us - older.unix_us
+                                  : 0));
+    out += ",\"counters\":{";
+    bool first_counter = true;
+    for (const auto& [name, value] : newer.counters) {
+      auto it = older.counters.find(name);
+      const uint64_t before = it == older.counters.end() ? 0 : it->second;
+      if (value <= before) continue;  // zero delta omitted
+      if (!first_counter) out += ',';
+      first_counter = false;
+      out += '"';
+      obs::AppendJsonEscaped(&out, name);
+      out += "\":";
+      AppendU64String(&out, value - before);
+    }
+    out += "},\"histograms\":{";
+    bool first_hist = true;
+    for (const auto& [name, snap] : newer.histograms) {
+      auto it = older.histograms.find(name);
+      const obs::HistogramSnapshot delta =
+          it == older.histograms.end()
+              ? snap
+              : obs::HistogramDelta(snap, it->second);
+      if (delta.count == 0) continue;
+      if (!first_hist) out += ',';
+      first_hist = false;
+      AppendHistogramDigest(&out, name.c_str(), delta);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string BuildStatusJson(const CloakDbService& db, size_t tick,
+                            size_t ticks) {
+  const auto stats = db.Stats();
+  const auto& metrics = db.metrics();
+  std::string out = "{\"tick\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(tick));
+  out += ",\"ticks_total\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(ticks));
+  out += ",\"version\":\"";
+  obs::AppendJsonEscaped(&out, stats.version);
+  out += "\",\"durability\":\"";
+  obs::AppendJsonEscaped(&out, stats.durability_mode);
+  out += "\",\"data_dir\":\"";
+  obs::AppendJsonEscaped(&out, stats.data_dir);
+  out += "\",\"uptime_us\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(stats.uptime_us));
+  out += ",\"snapshot_unix_us\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(stats.snapshot_unix_us));
+  out += ",\"num_shards\":";
+  obs::AppendJsonNumber(&out, stats.num_shards);
+  out += ",\"users\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(stats.num_users));
+  out += ",\"queue_depth\":";
+  obs::AppendJsonNumber(&out, static_cast<double>(stats.queue_depth));
+  out += ",\"updates_applied\":";
+  obs::AppendJsonNumber(&out,
+                        static_cast<double>(stats.ingest.updates_applied));
+  out += ",\"updates_rejected\":";
+  obs::AppendJsonNumber(&out,
+                        static_cast<double>(stats.ingest.updates_rejected));
+
+  out += ",\"stages\":{";
+  bool first = true;
+  for (const char* name :
+       {"query.private_range.latency_us", "query.private_nn.latency_us",
+        "query.private_knn.latency_us", "ingest.queue_wait_us",
+        "ingest.cloak_us"}) {
+    if (!first) out += ',';
+    first = false;
+    AppendHistogramDigest(&out, name, metrics.SnapshotHistogram(name));
+  }
+  out += '}';
+
+  const double hits =
+      static_cast<double>(metrics.CounterValue("cache.hits_total"));
+  const double misses =
+      static_cast<double>(metrics.CounterValue("cache.misses_total"));
+  out += ",\"cache\":{\"hits\":";
+  obs::AppendJsonNumber(&out, hits);
+  out += ",\"misses\":";
+  obs::AppendJsonNumber(&out, misses);
+  out += ",\"hit_rate\":";
+  obs::AppendJsonNumber(&out,
+                        hits + misses > 0.0 ? hits / (hits + misses) : 0.0);
+  out += '}';
+
+  out += ",\"robustness\":{\"shed\":";
+  obs::AppendJsonNumber(
+      &out, static_cast<double>(stats.robustness.queries_shed));
+  out += ",\"admitted_degraded\":";
+  obs::AppendJsonNumber(
+      &out, static_cast<double>(stats.robustness.queries_admitted_degraded));
+  out += ",\"degraded\":";
+  obs::AppendJsonNumber(
+      &out, static_cast<double>(stats.robustness.queries_degraded));
+  out += ",\"deadline_hits\":";
+  obs::AppendJsonNumber(
+      &out, static_cast<double>(stats.robustness.deadline_hits));
+  out += ",\"updates_shed\":";
+  obs::AppendJsonNumber(
+      &out, static_cast<double>(stats.robustness.updates_shed));
+  out += '}';
+
+  out += ",\"recorder\":{\"events_total\":";
+  obs::AppendJsonNumber(
+      &out, static_cast<double>(db.flight_recorder()->events_total()));
+  out += '}';
+
+  if (const obs::Tracer* tracer = db.tracer(); tracer != nullptr) {
+    out += ",\"trace\":{\"kept\":";
+    obs::AppendJsonNumber(&out, static_cast<double>(tracer->kept_traces()));
+    out += ",\"dropped\":";
+    obs::AppendJsonNumber(&out,
+                          static_cast<double>(tracer->dropped_traces()));
+    out += ",\"dropped_spans\":";
+    obs::AppendJsonNumber(&out, static_cast<double>(tracer->dropped_spans()));
+    out += ",\"violations_total\":";
+    obs::AppendJsonNumber(
+        &out, static_cast<double>(tracer->audit_violations_total()));
+    out += '}';
+    out += ",\"recent_violations\":[";
+    bool first_violation = true;
+    for (const auto& v : tracer->RecentAuditViolations()) {
+      if (!first_violation) out += ',';
+      first_violation = false;
+      // Ids are emitted as strings: 64-bit values do not round-trip
+      // through double-typed JSON numbers.
+      out += "{\"trace_id\":";
+      AppendU64String(&out, v.trace_id);
+      out += ",\"pseudonym\":";
+      AppendU64String(&out, v.pseudonym);
+      out += ",\"requested_k\":";
+      obs::AppendJsonNumber(&out, v.event.requested_k);
+      out += ",\"achieved_k\":";
+      obs::AppendJsonNumber(&out, v.event.achieved_k);
+      out += ",\"area\":";
+      obs::AppendJsonNumber(&out, v.event.area);
+      out += ",\"k_satisfied\":";
+      out += v.event.k_satisfied ? "true" : "false";
+      out += ",\"center_risk\":";
+      out += v.event.center_risk ? "true" : "false";
+      out += ",\"boundary_risk\":";
+      out += v.event.boundary_risk ? "true" : "false";
+      out += '}';
+    }
+    out += ']';
+  }
+  out += "}\n";
+  return out;
+}
+
+Result<std::string> HandleAdminCommand(const CloakDbService& db,
+                                       net::AdminCommand command,
+                                       uint32_t limit) {
+  switch (command) {
+    case net::AdminCommand::kMetricsSnapshot:
+      return db.metrics().ExportJson();
+    case net::AdminCommand::kMetricsWindow:
+      return MetricsWindowJson(db, limit);
+    case net::AdminCommand::kStatus:
+      return BuildStatusJson(db, 0, 0);
+    case net::AdminCommand::kSlowQueries:
+      return SlowQueriesJson(db, limit);
+    case net::AdminCommand::kRecentTraces:
+      return RecentTracesJson(db);
+    case net::AdminCommand::kFlightRecorder:
+      return FlightRecorderJson(db, limit);
+  }
+  return Status::InvalidArgument("unknown admin command");
+}
+
+}  // namespace cloakdb

@@ -1,0 +1,44 @@
+// The admin plane of a CloakDbService: one JSON document per
+// net::AdminCommand, shared by the wire server (kAdminRequest frames), the
+// simulator's --monitor-json file snapshots, and cloakd's periodic dumps —
+// so every consumer of "what is this service doing right now" renders the
+// same shape.
+//
+// Everything here reads concurrently with live traffic: metrics snapshots
+// merge lock-free stripes, the flight recorder is a seqlock ring, and the
+// tracer's accounting is atomic — an admin poll can never stall a query.
+
+#ifndef CLOAKDB_SERVICE_ADMIN_H_
+#define CLOAKDB_SERVICE_ADMIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+#include "service/cloak_db_service.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// The status snapshot (net::AdminCommand::kStatus and cloaksim's
+/// --monitor-json): identity (version, durability, data dir), uptime,
+/// ingest and queue state, per-stage latency digests, cache disposition,
+/// robustness counters, flight-recorder summary, tracer accounting, and
+/// the most recent audit violations. `tick`/`ticks` label simulator
+/// progress; a server with no tick loop passes (0, 0) — the fields are
+/// still emitted so the document shape is stable.
+std::string BuildStatusJson(const CloakDbService& db, size_t tick,
+                            size_t ticks);
+
+/// Serves one admin command, returning the JSON body of the matching
+/// kAdminResponse. `limit` bounds list-shaped results (slow queries,
+/// flight-recorder events, window intervals); 0 means the command's
+/// default. Never blocks the query path; kInvalidArgument for a command
+/// value outside the enum.
+Result<std::string> HandleAdminCommand(const CloakDbService& db,
+                                       net::AdminCommand command,
+                                       uint32_t limit);
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_SERVICE_ADMIN_H_

@@ -10,6 +10,7 @@
 #include "geom/distance.h"
 #include "obs/scoped_timer.h"
 #include "storage/shard_snapshot.h"
+#include "util/build_info.h"
 
 namespace cloakdb {
 
@@ -137,8 +138,11 @@ struct CloakDbService::FanoutGuard {
     if (!degraded) return;
     fanout->AddAttr("degraded", 1.0);
     fanout->AddAttr("covered_shards", static_cast<double>(covered));
-    if (deadline_hit)
+    if (deadline_hit) {
       service->robustness_obs_.deadline_hits->Increment();
+      service->flight_recorder_.Record(obs::FlightEventKind::kDeadlineHit,
+                                       obs::CurrentTraceContext().trace_id);
+    }
   }
 
   /// Stamps the degradation markers onto a merged result and counts the
@@ -148,8 +152,12 @@ struct CloakDbService::FanoutGuard {
   void Stamp(ResultT* result) {
     result->degraded = degraded;
     result->covered_shards = covered;
-    if (degraded)
+    if (degraded) {
       service->robustness_obs_.queries_degraded->Increment();
+      service->flight_recorder_.Record(obs::FlightEventKind::kQueryDegraded,
+                                       obs::CurrentTraceContext().trace_id,
+                                       covered);
+    }
   }
 
   /// The error to return when the fan-out produced no usable part at all.
@@ -270,6 +278,10 @@ Status CloakDbService::Start() {
   robustness_obs_.queue_stalls = metrics_.counter("fault.queue_stalls_total");
   shard_obs.fault_stalls = robustness_obs_.queue_stalls;
 
+  // Flight recorder: every notable-event producer below records through
+  // this ring; the counter keeps the metric catalog aware of it.
+  flight_recorder_.set_counter(metrics_.counter("recorder.events_total"));
+
   // Continuous-query metrics, likewise eager for the doc-drift guard.
   cq_obs_.registrations = metrics_.counter("cq.registrations_total");
   cq_obs_.unregistrations = metrics_.counter("cq.unregistrations_total");
@@ -287,8 +299,10 @@ Status CloakDbService::Start() {
 
   signature_ = CellSignature(options_.space, options_.signature_grid_cells);
 
-  if (options_.trace.enabled)
+  if (options_.trace.enabled) {
     tracer_ = std::make_unique<obs::Tracer>(options_.trace);
+    tracer_->set_flight_recorder(&flight_recorder_);
+  }
 
   const OverloadOptions& overload = options_.overload;
   if (overload.query_deadline_us > 0 || overload.max_queries_per_s > 0.0 ||
@@ -296,8 +310,10 @@ Status CloakDbService::Start() {
     admission_ = std::make_unique<AdmissionController>(
         overload, options_.num_shards, options_.queue_capacity);
   }
-  if (options_.fault_injection.enabled)
+  if (options_.fault_injection.enabled) {
     fault_injector_ = std::make_unique<FaultInjector>(options_.fault_injection);
+    fault_injector_->set_flight_recorder(&flight_recorder_);
+  }
 
   // Durability metrics, eager like the rest so the exported catalog is
   // complete even before the first commit or recovery.
@@ -319,6 +335,9 @@ Status CloakDbService::Start() {
       metrics_.counter("recovery.cq_reregistered_total");
   obs::ShardedHistogram* recovery_us =
       metrics_.histogram("recovery.duration_us");
+  durability_obs.recorder = &flight_recorder_;
+  // A WAL fsync taking 20ms+ is a disk brown-out worth a post-mortem line.
+  durability_obs.wal_stall_threshold_us = 20'000;
 
   const uint32_t n = options_.num_shards;
   const bool durable =
@@ -335,6 +354,7 @@ Status CloakDbService::Start() {
     }
     durability_.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
+      durability_obs.shard_index = i;
       auto engine = storage::ShardDurability::Open(
           options_.data_dir + "/shard-" + std::to_string(i),
           options_.durability_mode, durability_obs, crash_hook);
@@ -625,6 +645,8 @@ CloakDbService::Admission CloakDbService::AdmitQuery() const {
       break;
     case AdmissionDecision::kReject:
       robustness_obs_.queries_shed->Increment();
+      flight_recorder_.Record(obs::FlightEventKind::kQueryShed,
+                              obs::CurrentTraceContext().trace_id);
       admission.status = Status::Shed("query shed: service overloaded");
       break;
   }
@@ -1346,6 +1368,10 @@ void CloakDbService::RecordQuery(const QueryKindObs& obs, const char* kind,
 
 ServiceStats CloakDbService::Stats() const {
   ServiceStats stats = AggregateShardStats(PerShardStats(), worker_count_);
+  stats.version = BuildInfoString();
+  stats.durability_mode =
+      storage::DurabilityModeName(options_.durability_mode);
+  stats.data_dir = options_.data_dir;
   stats.slow_queries = slow_log_.TopN();
   stats.uptime_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
@@ -336,6 +337,11 @@ class CloakDbService {
   /// The fault injector; null unless options().fault_injection.enabled.
   /// Chaos tests reconcile its exact counts against metrics and results.
   FaultInjector* fault_injector() const { return fault_injector_.get(); }
+  /// The service's flight recorder: a bounded ring of notable events
+  /// (sheds, degraded answers, audit violations, WAL sync stalls, injected
+  /// faults). Always present; retrievable over the admin channel and
+  /// dumped on fatal signals via obs::InstallFatalSignalDump.
+  obs::FlightRecorder* flight_recorder() const { return &flight_recorder_; }
   /// Total updates currently waiting across all shard queues (the lock-free
   /// admission-control signal; momentarily stale by design).
   size_t AggregateQueueDepth() const;
@@ -486,6 +492,11 @@ class CloakDbService {
   /// Declared before shards_ so the metric handles the shards record into
   /// outlive them (members destroy in reverse order).
   obs::MetricsRegistry metrics_;
+  /// Declared right after metrics_ (and before everything that records
+  /// into it): the tracer, fault injector, durability engines and net
+  /// server all hold a raw pointer. Mutable because recording events is
+  /// not a logical mutation of the service.
+  mutable obs::FlightRecorder flight_recorder_;
   /// Declared before shards_ for the same reason: shards hold a raw
   /// pointer and record cloak-audit spans into it from the worker pool.
   std::unique_ptr<obs::Tracer> tracer_;

@@ -25,12 +25,18 @@ ProbeFault FaultInjector::NextProbeFault() {
   if (!options_.enabled) return ProbeFault::kNone;
   const double u = DrawAt(draws_.fetch_add(1, std::memory_order_relaxed));
   if (u < options_.probe_failure_probability) {
-    probe_failures_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t fired =
+        probe_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (recorder_ != nullptr)
+      recorder_->Record(obs::FlightEventKind::kFaultProbeFail, fired);
     return ProbeFault::kFail;
   }
   if (u < options_.probe_failure_probability +
               options_.probe_delay_probability) {
-    probe_delays_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t fired =
+        probe_delays_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (recorder_ != nullptr)
+      recorder_->Record(obs::FlightEventKind::kFaultProbeDelay, fired);
     return ProbeFault::kDelay;
   }
   return ProbeFault::kNone;
@@ -56,6 +62,9 @@ bool FaultInjector::ShouldCrash(storage::CrashPoint point) {
                                                std::memory_order_acq_rel)) {
       if (expected == 1) {
         crash_fired_.store(true, std::memory_order_release);
+        if (recorder_ != nullptr)
+          recorder_->Record(obs::FlightEventKind::kCrashPoint,
+                            static_cast<uint64_t>(point));
         return true;
       }
       return false;
@@ -68,7 +77,10 @@ bool FaultInjector::NextQueueStall() {
   if (!options_.enabled) return false;
   const double u = DrawAt(draws_.fetch_add(1, std::memory_order_relaxed));
   if (u < options_.queue_stall_probability) {
-    queue_stalls_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t fired =
+        queue_stalls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (recorder_ != nullptr)
+      recorder_->Record(obs::FlightEventKind::kFaultQueueStall, fired);
     return true;
   }
   return false;

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/flight_recorder.h"
 #include "storage/shard_durability.h"
 
 namespace cloakdb {
@@ -93,6 +94,13 @@ class FaultInjector {
     return crash_fired_.load(std::memory_order_acquire);
   }
 
+  /// Optional flight-recorder sink: every fired fault (probe fail/delay,
+  /// queue stall, armed crash) records an event, so a post-mortem ring
+  /// dump reconciles against the exact counters below.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
   /// Exact counts of fired faults, for reconciliation.
   uint64_t probe_failures() const {
     return probe_failures_.load(std::memory_order_relaxed);
@@ -112,6 +120,7 @@ class FaultInjector {
   double DrawAt(uint64_t n) const;
 
   FaultInjectorOptions options_;
+  obs::FlightRecorder* recorder_ = nullptr;
   std::atomic<uint64_t> draws_{0};
   std::atomic<uint64_t> probe_failures_{0};
   std::atomic<uint64_t> probe_delays_{0};

@@ -38,6 +38,15 @@ ServiceStats AggregateShardStats(const std::vector<ShardStats>& shards,
 
 std::string ServiceStats::ToString() const {
   char buf[512];
+  std::string out;
+  if (!version.empty()) {
+    std::snprintf(buf, sizeof(buf), "version=%s durability=%s%s%s\n",
+                  version.c_str(),
+                  durability_mode.empty() ? "off" : durability_mode.c_str(),
+                  data_dir.empty() ? "" : " data_dir=",
+                  data_dir.c_str());
+    out += buf;
+  }
   std::snprintf(
       buf, sizeof(buf),
       "shards=%u workers=%u users=%zu queued=%zu uptime=%.1fs\n"
@@ -67,7 +76,7 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(server.public_count_queries),
       static_cast<unsigned long long>(server.heatmap_queries),
       static_cast<unsigned long long>(server.bytes_to_clients));
-  std::string out = buf;
+  out += buf;
   std::snprintf(
       buf, sizeof(buf),
       "robustness: shed=%llu admitted_degraded=%llu degraded=%llu "

@@ -58,6 +58,13 @@ struct RobustnessStats {
 
 /// The service-wide aggregate of all shards.
 struct ServiceStats {
+  /// Binary identity ("cloakdb/<version> (<compiler>)"), so a remote
+  /// telemetry reader can correlate a snapshot with a build.
+  std::string version;
+  /// Durability identity: mode name ("off"/"async"/"fsync") and the data
+  /// directory backing the store (empty when durability is off).
+  std::string durability_mode;
+  std::string data_dir;
   uint32_t num_shards = 0;
   uint32_t worker_threads = 0;
   /// Monotonic microseconds since the service started (steady clock), so

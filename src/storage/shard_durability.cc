@@ -186,7 +186,14 @@ Status ShardDurability::LogAndCommit(WalRecord record, bool sync_now) {
   if (obs_.wal_records) obs_.wal_records->Increment();
   if (obs_.wal_bytes) obs_.wal_bytes->Increment(frame_bytes);
   if (obs_.wal_fsyncs && sync) obs_.wal_fsyncs->Increment();
-  if (obs_.wal_commit_us) obs_.wal_commit_us->Record(MicrosSince(t0));
+  const double commit_us = MicrosSince(t0);
+  if (obs_.wal_commit_us) obs_.wal_commit_us->Record(commit_us);
+  if (sync && obs_.recorder != nullptr && obs_.wal_stall_threshold_us > 0 &&
+      commit_us >= static_cast<double>(obs_.wal_stall_threshold_us)) {
+    obs_.recorder->Record(obs::FlightEventKind::kWalSyncStall,
+                          obs_.shard_index,
+                          static_cast<uint64_t>(commit_us));
+  }
   return Status::OK();
 }
 
@@ -271,7 +278,14 @@ Status ShardDurability::SyncGroup(int64_t max_age_us) {
   // allows against fsync on the same fd). Records appended after the
   // fsync started are not vouched for — the accounting below re-arms
   // pending_sync_ for them.
+  const auto sync_t0 = std::chrono::steady_clock::now();
   CLOAKDB_RETURN_IF_ERROR(wal_->SyncDisk());
+  const double sync_us = MicrosSince(sync_t0);
+  if (obs_.recorder != nullptr && obs_.wal_stall_threshold_us > 0 &&
+      sync_us >= static_cast<double>(obs_.wal_stall_threshold_us)) {
+    obs_.recorder->Record(obs::FlightEventKind::kWalSyncStall,
+                          obs_.shard_index, static_cast<uint64_t>(sync_us));
+  }
   {
     std::lock_guard<std::mutex> wal_lock(wal_mu_);
     if (!crashed_) {

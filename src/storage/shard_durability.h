@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/storage_manager.h"
 #include "storage/wal.h"
@@ -90,6 +91,13 @@ struct DurabilityObs {
   obs::Counter* checkpoints = nullptr;
   obs::Counter* checkpoint_bytes = nullptr;
   obs::ShardedHistogram* checkpoint_us = nullptr;
+  /// Flight-recorder sink for WAL sync stalls: a commit or group-commit
+  /// fsync that runs at least `wal_stall_threshold_us` records a
+  /// kWalSyncStall event (a = shard_index, b = elapsed micros). 0 disables.
+  obs::FlightRecorder* recorder = nullptr;
+  int64_t wal_stall_threshold_us = 0;
+  /// Which shard this engine serves (stamped into recorded events).
+  uint32_t shard_index = 0;
 };
 
 /// What Open() recovered from disk, for the service to replay.

@@ -1,0 +1,35 @@
+// Build identity: the version string a running server reports over the
+// admin channel so remote telemetry can be correlated with a binary.
+//
+// The version is bumped by hand per release line; the compiler tag is
+// derived at compile time so two builds of the same source from different
+// toolchains remain distinguishable in status snapshots.
+
+#ifndef CLOAKDB_UTIL_BUILD_INFO_H_
+#define CLOAKDB_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+namespace cloakdb {
+
+/// Human-readable release version of this tree.
+inline constexpr const char kCloakDbVersion[] = "0.9.0";
+
+/// "cloakdb/<version> (<compiler>)" — the identity line carried in status
+/// snapshots and admin responses.
+inline std::string BuildInfoString() {
+  std::string info = "cloakdb/";
+  info += kCloakDbVersion;
+#if defined(__clang__)
+  info += " (clang " __clang_version__ ")";
+#elif defined(__GNUC__)
+  info += " (gcc " __VERSION__ ")";
+#else
+  info += " (unknown compiler)";
+#endif
+  return info;
+}
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_UTIL_BUILD_INFO_H_

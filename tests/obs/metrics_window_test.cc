@@ -1,0 +1,221 @@
+// Windowed-metrics tests: the HistogramDelta property (a delta between two
+// cumulative snapshots must look like a histogram fed only the interval's
+// samples), merge commutativity, and the registry's snapshot ring
+// (capacity, ordering, and exact lifetime-counter reconstruction from
+// base + interval deltas).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/random.h"
+
+namespace cloakdb::obs {
+namespace {
+
+// Log-uniform latencies: every octave of the histogram gets traffic.
+double DrawSample(Rng* rng) { return std::exp(rng->Uniform(0.0, 18.0)); }
+
+void ExpectSameBuckets(const HistogramSnapshot& got,
+                       const HistogramSnapshot& want) {
+  ASSERT_EQ(got.buckets.size(), want.buckets.size());
+  for (size_t b = 0; b < got.buckets.size(); ++b)
+    ASSERT_EQ(got.buckets[b], want.buckets[b]) << "bucket " << b;
+}
+
+// The satellite property: snapshot(t2) - snapshot(t1) must agree with a
+// histogram fed only the interval's samples — buckets/count exactly, sum
+// to fp tolerance, quantiles to within one sub-bucket, and min/max as
+// provable bounds that sit inside the true extreme's bucket.
+TEST(HistogramDeltaTest, DeltaMatchesAnIntervalOnlyHistogram) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    ShardedHistogram lifetime;
+    ShardedHistogram interval_only;
+
+    const size_t phase1 = 50 + seed * 17 % 400;
+    const size_t phase2 = 1 + seed * 31 % 300;
+    for (size_t i = 0; i < phase1; ++i) lifetime.Record(DrawSample(&rng));
+    const HistogramSnapshot t1 = lifetime.Snapshot();
+    for (size_t i = 0; i < phase2; ++i) {
+      const double v = DrawSample(&rng);
+      lifetime.Record(v);
+      interval_only.Record(v);
+    }
+    const HistogramSnapshot t2 = lifetime.Snapshot();
+
+    const HistogramSnapshot delta = HistogramDelta(t2, t1);
+    const HistogramSnapshot want = interval_only.Snapshot();
+
+    ExpectSameBuckets(delta, want);
+    EXPECT_EQ(delta.count, want.count) << "seed " << seed;
+    EXPECT_NEAR(delta.sum, want.sum, 1e-6 * (1.0 + std::abs(want.sum)));
+
+    // min/max are the tightest provable bounds: they bracket the true
+    // interval extremes and stay inside the extreme's own bucket.
+    EXPECT_LE(delta.min, want.min + 1e-9);
+    EXPECT_GE(delta.max, want.max - 1e-9);
+    EXPECT_GE(delta.min,
+              ShardedHistogram::BucketLowerBound(
+                  ShardedHistogram::BucketOf(want.min)) -
+                  1e-9);
+    const size_t max_bucket = ShardedHistogram::BucketOf(want.max);
+    if (max_bucket + 1 < ShardedHistogram::kNumBuckets) {
+      EXPECT_LE(delta.max, ShardedHistogram::BucketLowerBound(max_bucket + 1) +
+                               1e-9);
+    }
+
+    // Quantiles agree to within one sub-bucket.
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+      const size_t bucket_got = ShardedHistogram::BucketOf(delta.Quantile(q));
+      const size_t bucket_want = ShardedHistogram::BucketOf(want.Quantile(q));
+      const size_t hi = std::max(bucket_got, bucket_want);
+      const size_t lo = std::min(bucket_got, bucket_want);
+      EXPECT_LE(hi - lo, 1u) << "seed " << seed << " q " << q;
+    }
+  }
+}
+
+TEST(HistogramDeltaTest, NoNewSamplesMeansEmptyDelta) {
+  ShardedHistogram h;
+  h.Record(10.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  const HistogramSnapshot delta = HistogramDelta(snap, snap);
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_DOUBLE_EQ(delta.sum, 0.0);
+  // A regressed "newer" (stale read) also yields empty, never underflow.
+  ShardedHistogram bigger;
+  bigger.Record(1.0);
+  bigger.Record(2.0);
+  EXPECT_EQ(HistogramDelta(snap, bigger.Snapshot()).count, 0u);
+}
+
+TEST(HistogramDeltaTest, ExactExtremesWhenTheIntervalSetsThem) {
+  ShardedHistogram h;
+  h.Record(100.0);
+  const HistogramSnapshot t1 = h.Snapshot();
+  h.Record(3.0);     // new lifetime min
+  h.Record(9000.0);  // new lifetime max
+  const HistogramSnapshot delta = HistogramDelta(h.Snapshot(), t1);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_DOUBLE_EQ(delta.min, 3.0);
+  EXPECT_DOUBLE_EQ(delta.max, 9000.0);
+}
+
+TEST(HistogramMergeTest, MergeCommutesAndMatchesTheUnion) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 977);
+    ShardedHistogram a, b, all;
+    const size_t n = 200 + seed * 13;
+    for (size_t i = 0; i < n; ++i) {
+      const double v = DrawSample(&rng);
+      all.Record(v);
+      (rng.Uniform(0, 1) < 0.5 ? a : b).Record(v);
+    }
+    HistogramSnapshot ab = a.Snapshot();
+    ab.Merge(b.Snapshot());
+    HistogramSnapshot ba = b.Snapshot();
+    ba.Merge(a.Snapshot());
+
+    // Commutes exactly on every field that admin consumers read.
+    ExpectSameBuckets(ab, ba);
+    EXPECT_EQ(ab.count, ba.count);
+    EXPECT_DOUBLE_EQ(ab.min, ba.min);
+    EXPECT_DOUBLE_EQ(ab.max, ba.max);
+    EXPECT_NEAR(ab.sum, ba.sum, 1e-9 * (1.0 + std::abs(ab.sum)));
+
+    // And equals one histogram fed the union.
+    const HistogramSnapshot want = all.Snapshot();
+    ExpectSameBuckets(ab, want);
+    EXPECT_EQ(ab.count, want.count);
+    EXPECT_DOUBLE_EQ(ab.min, want.min);
+    EXPECT_DOUBLE_EQ(ab.max, want.max);
+  }
+}
+
+TEST(HistogramMergeTest, MergingAnEmptySnapshotIsIdentity) {
+  ShardedHistogram h;
+  h.Record(5.0);
+  h.Record(50.0);
+  HistogramSnapshot snap = h.Snapshot();
+  const HistogramSnapshot before = snap;
+  snap.Merge(HistogramSnapshot{});
+  EXPECT_EQ(snap.count, before.count);
+  EXPECT_DOUBLE_EQ(snap.min, before.min);
+  EXPECT_DOUBLE_EQ(snap.max, before.max);
+
+  HistogramSnapshot empty;
+  empty.Merge(before);
+  EXPECT_EQ(empty.count, before.count);
+  EXPECT_DOUBLE_EQ(empty.min, before.min);
+  EXPECT_DOUBLE_EQ(empty.max, before.max);
+}
+
+TEST(RegistryWindowTest, RingEvictsOldestAndKeepsOrder) {
+  MetricsRegistry registry;
+  registry.SetWindowCapacity(3);
+  Counter* c = registry.counter("test.ticks_total");
+  for (int i = 0; i < 5; ++i) {
+    c->Increment();
+    registry.PushWindowSnapshot();
+  }
+  const auto window = registry.WindowSnapshots();
+  ASSERT_EQ(window.size(), 3u);
+  // Oldest first: counter values 3, 4, 5.
+  for (size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window[i]->counters.at("test.ticks_total"), 3 + i);
+    if (i > 0) {
+      EXPECT_GE(window[i]->unix_us, window[i - 1]->unix_us);
+    }
+  }
+}
+
+// The acceptance invariant: windowed rates reconstruct lifetime counters
+// exactly — base snapshot plus the sum of interval deltas equals the
+// newest snapshot's value, with no drift, for every counter.
+TEST(RegistryWindowTest, CounterDeltasReconstructLifetimeExactly) {
+  MetricsRegistry registry;
+  registry.SetWindowCapacity(8);
+  Rng rng(7);
+  Counter* fast = registry.counter("test.fast_total");
+  Counter* slow = registry.counter("test.slow_total");
+  registry.histogram("test.latency_us")->Record(12.0);
+
+  for (int round = 0; round < 12; ++round) {
+    fast->Increment(static_cast<uint64_t>(rng.Uniform(0, 1000)));
+    if (round % 3 == 0) slow->Increment();
+    registry.PushWindowSnapshot();
+  }
+
+  const auto window = registry.WindowSnapshots();
+  ASSERT_EQ(window.size(), 8u);
+  for (const std::string name : {"test.fast_total", "test.slow_total"}) {
+    uint64_t reconstructed = window.front()->counters.at(name);
+    for (size_t i = 1; i < window.size(); ++i) {
+      const uint64_t newer = window[i]->counters.at(name);
+      const uint64_t older = window[i - 1]->counters.at(name);
+      reconstructed += newer - older;
+    }
+    EXPECT_EQ(reconstructed, window.back()->counters.at(name)) << name;
+    EXPECT_EQ(reconstructed, registry.CounterValue(name)) << name;
+  }
+}
+
+TEST(RegistryWindowTest, SnapshotAllCoversEveryMetricKind) {
+  MetricsRegistry registry;
+  registry.counter("c.one")->Increment(5);
+  registry.gauge("g.one")->Set(2.5);
+  registry.histogram("h.one")->Record(7.0);
+  const RegistrySnapshot snap = registry.SnapshotAll();
+  EXPECT_GT(snap.unix_us, 0);
+  EXPECT_EQ(snap.counters.at("c.one"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g.one"), 2.5);
+  EXPECT_EQ(snap.histograms.at("h.one").count, 1u);
+}
+
+}  // namespace
+}  // namespace cloakdb::obs

@@ -17,6 +17,8 @@
 //          [--shed-fraction=F] [--overload-policy=reject|degrade]
 //          [--durability=off|async|fsync] [--data-dir=DIR]
 //          [--checkpoint-interval=N] [--recover]
+//          [--admin-dump-interval=S] [--recorder-dump=PATH]
+//          [--window-interval-ms=MS]
 //
 // --port=0 (the default) binds an ephemeral port; --port-file writes the
 // chosen port to PATH (atomically, via rename) so scripts and cloakload
@@ -32,6 +34,14 @@
 // kill -9 / restart cycle; a recovery summary line is printed before the
 // server binds. On clean shutdown cloakd checkpoints every shard so the
 // next start replays an empty WAL.
+//
+// Live telemetry: every connection can send kAdminRequest frames (poll
+// them remotely with `cloakmon --connect`). --admin-dump-interval=S
+// additionally prints a status summary to stderr every S seconds.
+// --recorder-dump=PATH installs fatal-signal handlers that write the
+// flight-recorder ring to PATH before the process dies, so a crash leaves
+// a parseable last-moments record. --window-interval-ms tunes the
+// windowed-metrics snapshot cadence (0 disables the ticker).
 
 #include <csignal>
 #include <cstdio>
@@ -41,7 +51,9 @@
 #include <string>
 
 #include "net/server.h"
+#include "obs/flight_recorder.h"
 #include "service/cloak_db_service.h"
+#include "service/service_stats.h"
 #include "sim/poi.h"
 #include "util/random.h"
 
@@ -70,6 +82,8 @@ struct Args {
   std::string data_dir;
   uint64_t checkpoint_interval = 4096;
   bool recover = false;
+  uint64_t admin_dump_interval_s = 0;  // 0 disables periodic status dumps
+  std::string recorder_dump;           // fatal-signal flight-recorder path
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -139,6 +153,13 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.checkpoint_interval = std::stoull(value);
     } else if (std::strcmp(argv[i], "--recover") == 0) {
       args.recover = true;
+    } else if (ParseArg(argv[i], "admin-dump-interval", &value)) {
+      args.admin_dump_interval_s = std::stoull(value);
+    } else if (ParseArg(argv[i], "recorder-dump", &value)) {
+      args.recorder_dump = value;
+    } else if (ParseArg(argv[i], "window-interval-ms", &value)) {
+      args.server.metrics_window_interval_ms =
+          static_cast<uint32_t>(std::stoul(value));
     } else {
       return Status::InvalidArgument(std::string("unknown flag: ") + argv[i]);
     }
@@ -222,6 +243,14 @@ Status Run(const Args& args) {
     CLOAKDB_RETURN_IF_ERROR(db.value()->Flush());
   }
 
+  if (!args.recorder_dump.empty()) {
+    // A fatal signal now leaves the last notable events on disk.
+    obs::InstallFatalSignalDump(db.value()->flight_recorder(),
+                                args.recorder_dump.c_str());
+    std::fprintf(stderr, "cloakd: flight-recorder crash dump -> %s\n",
+                 args.recorder_dump.c_str());
+  }
+
   auto server = net::CloakServer::Create(db.value().get(), args.server);
   if (!server.ok()) return server.status();
   std::fprintf(stderr,
@@ -235,12 +264,24 @@ Status Run(const Args& args) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  // The wait loop doubles as the --admin-dump-interval clock: every
+  // interval_ticks sleeps (50ms each) it prints the same status text an
+  // admin kStatus poll renders from.
+  const uint64_t interval_ticks = args.admin_dump_interval_s * 20;
+  uint64_t slept = 0;
   while (g_stop == 0) {
     struct timespec ts = {0, 50 * 1000 * 1000};
     nanosleep(&ts, nullptr);
+    if (interval_ticks == 0 || ++slept < interval_ticks) continue;
+    slept = 0;
+    const ServiceStats stats = db.value()->Stats();
+    std::fprintf(stderr, "cloakd: --- status ---\n%s",
+                 stats.ToString().c_str());
   }
   std::fprintf(stderr, "cloakd: shutting down\n");
   server.value()->Stop();
+  if (!args.recorder_dump.empty())
+    obs::InstallFatalSignalDump(nullptr, nullptr);
   if (args.durability != storage::DurabilityMode::kOff) {
     // Checkpoint on the way out so the next start replays an empty WAL.
     CLOAKDB_RETURN_IF_ERROR(db.value()->Flush());

@@ -13,6 +13,7 @@
 //             [--rates=R1,R2,...] [--duration-s=D] [--connections=C]
 //             [--kind=range|nn|knn|count|heatmap] [--radius=R] [--k=K]
 //             [--deadline-us=U] [--seed=S] [--json=PATH]
+//             [--metrics-poll] [--metrics-poll-ms=MS]
 //
 // Each rate runs for --duration-s seconds over --connections pipelined
 // connections (the offered rate is split evenly across them). The report
@@ -22,6 +23,13 @@
 // degraded...), so shedding past saturation is visible as data, not as
 // timeouts. Exits non-zero if any request went unanswered or any frame
 // failed to decode.
+//
+// --metrics-poll opens one extra admin connection and, during every rate
+// step, polls the server's metrics snapshot every --metrics-poll-ms
+// (default 500). The report then pairs the client-side view with the
+// server's own shed/degrade counters over the step — offered load vs
+// what the server says it dropped — and proves admin polling rides
+// alongside query traffic without disturbing it.
 
 #include <algorithm>
 #include <atomic>
@@ -30,12 +38,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/client.h"
+#include "net/protocol.h"
 #include "service/api.h"
+#include "util/minijson.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -57,6 +68,8 @@ struct Args {
   int64_t deadline_us = 0;
   uint64_t seed = 42;
   std::string json_path;
+  bool metrics_poll = false;
+  long metrics_poll_ms = 500;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -115,6 +128,11 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.seed = std::stoull(value);
     } else if (ParseArg(argv[i], "json", &value)) {
       args.json_path = value;
+    } else if (std::strcmp(argv[i], "--metrics-poll") == 0) {
+      args.metrics_poll = true;
+    } else if (ParseArg(argv[i], "metrics-poll-ms", &value)) {
+      args.metrics_poll_ms = std::strtol(value.c_str(), nullptr, 10);
+      if (args.metrics_poll_ms < 50) args.metrics_poll_ms = 50;
     } else {
       return Status::InvalidArgument(std::string("unknown flag: ") + argv[i]);
     }
@@ -241,6 +259,46 @@ ConnResult RunConnection(const Args& args, uint16_t port, double rate,
   return result;
 }
 
+/// One point-in-time reading of the server-side robustness counters,
+/// taken over the admin channel.
+struct AdminSample {
+  bool ok = false;
+  double shed = 0;               ///< admission.queries_shed_total
+  double admitted_degraded = 0;  ///< admission.queries_degraded_total
+  double degraded = 0;           ///< query.degraded_total
+  double deadline_hits = 0;      ///< query.deadline_hits_total
+  double pipeline_shed = 0;      ///< net.pipeline_shed_total
+};
+
+AdminSample SampleServerCounters(net::CloakClient* client) {
+  AdminSample sample;
+  auto body = client->Admin(net::AdminCommand::kMetricsSnapshot);
+  if (!body.ok()) return sample;
+  std::string error;
+  auto doc = util::JsonValue::Parse(body.value(), &error);
+  if (doc == nullptr || !doc->is_object()) return sample;
+  const util::JsonValue* counters = doc->FindObject("counters");
+  if (counters == nullptr) return sample;
+  sample.ok = true;
+  sample.shed = counters->NumberAt("admission.queries_shed_total");
+  sample.admitted_degraded =
+      counters->NumberAt("admission.queries_degraded_total");
+  sample.degraded = counters->NumberAt("query.degraded_total");
+  sample.deadline_hits = counters->NumberAt("query.deadline_hits_total");
+  sample.pipeline_shed = counters->NumberAt("net.pipeline_shed_total");
+  return sample;
+}
+
+/// What --metrics-poll observed across one rate step: counter deltas
+/// between the first and last successful sample, plus poll accounting.
+struct ServerView {
+  bool enabled = false;
+  uint64_t polls_ok = 0;
+  uint64_t polls_failed = 0;
+  double shed = 0, admitted_degraded = 0, degraded = 0;
+  double deadline_hits = 0, pipeline_shed = 0;
+};
+
 double Percentile(std::vector<double>* values, double p) {
   if (values->empty()) return 0.0;
   const size_t rank = static_cast<size_t>(p * (values->size() - 1));
@@ -257,13 +315,39 @@ struct RateReport {
   uint64_t transport_errors = 0;
   std::map<ErrorCode, uint64_t> by_code;
   double p50 = 0, p90 = 0, p99 = 0, max = 0;
+  ServerView server;
 };
 
-RateReport RunRate(const Args& args, uint16_t port, double rate) {
+RateReport RunRate(const Args& args, uint16_t port, double rate,
+                   net::CloakClient* admin) {
   const uint32_t conns = args.connections;
   std::vector<ConnResult> results(conns);
   std::vector<std::thread> threads;
   const auto wall_start = Clock::now();
+
+  // The admin poller runs for the whole step: a baseline sample, periodic
+  // polls while the load threads hammer the query path, a closing sample.
+  AdminSample before, after;
+  std::atomic<bool> step_done{false};
+  std::atomic<uint64_t> polls_ok{0}, polls_failed{0};
+  std::thread poller;
+  if (admin != nullptr) {
+    before = SampleServerCounters(admin);
+    if (!before.ok) ++polls_failed;
+    poller = std::thread([&] {
+      while (!step_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(args.metrics_poll_ms));
+        if (step_done.load(std::memory_order_acquire)) break;
+        if (SampleServerCounters(admin).ok) {
+          polls_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          polls_failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
   for (uint32_t c = 0; c < conns; ++c) {
     threads.emplace_back([&, c] {
       // Stagger connection start offsets so the aggregate arrival
@@ -280,6 +364,29 @@ RateReport RunRate(const Args& args, uint16_t port, double rate) {
 
   RateReport report;
   report.offered = rate;
+  if (admin != nullptr) {
+    step_done.store(true, std::memory_order_release);
+    poller.join();
+    after = SampleServerCounters(admin);
+    if (after.ok) {
+      ++report.server.polls_ok;
+    } else {
+      ++report.server.polls_failed;
+    }
+    report.server.enabled = true;
+    report.server.polls_ok += polls_ok.load() + (before.ok ? 1 : 0);
+    report.server.polls_failed += polls_failed.load();
+    if (before.ok && after.ok) {
+      report.server.shed = after.shed - before.shed;
+      report.server.admitted_degraded =
+          after.admitted_degraded - before.admitted_degraded;
+      report.server.degraded = after.degraded - before.degraded;
+      report.server.deadline_hits =
+          after.deadline_hits - before.deadline_hits;
+      report.server.pipeline_shed =
+          after.pipeline_shed - before.pipeline_shed;
+    }
+  }
   std::vector<double> latencies;
   for (ConnResult& r : results) {
     report.sent += r.sent;
@@ -309,7 +416,7 @@ std::string CodeBreakdown(const RateReport& report) {
   return out.empty() ? "-" : out;
 }
 
-void PrintText(const std::vector<RateReport>& reports) {
+void PrintText(const Args& args, const std::vector<RateReport>& reports) {
   std::printf(
       "%10s %12s %12s %10s %10s %10s %10s  %s\n", "offered/s", "sent/s",
       "done/s", "p50_us", "p90_us", "p99_us", "max_us", "responses");
@@ -317,6 +424,19 @@ void PrintText(const std::vector<RateReport>& reports) {
     std::printf("%10.0f %12.1f %12.1f %10.0f %10.0f %10.0f %10.0f  %s\n",
                 r.offered, r.achieved_send, r.achieved_done, r.p50, r.p90,
                 r.p99, r.max, CodeBreakdown(r).c_str());
+  }
+  if (!args.metrics_poll) return;
+  std::printf("server-side (admin polls), per offered rate:\n");
+  std::printf("%10s %12s %12s %14s %14s %14s  %s\n", "offered/s", "shed/s",
+              "degraded/s", "shed", "degraded", "deadline_hits",
+              "polls ok/fail");
+  for (const RateReport& r : reports) {
+    std::printf("%10.0f %12.1f %12.1f %14.0f %14.0f %14.0f  %llu/%llu\n",
+                r.offered, r.server.shed / args.duration_s,
+                r.server.degraded / args.duration_s, r.server.shed,
+                r.server.degraded, r.server.deadline_hits,
+                static_cast<unsigned long long>(r.server.polls_ok),
+                static_cast<unsigned long long>(r.server.polls_failed));
   }
 }
 
@@ -348,7 +468,21 @@ std::string ToJson(const Args& args, const std::vector<RateReport>& reports) {
       json += std::string("\"") + to_string(code) +
               "\": " + std::to_string(count);
     }
-    json += "}}";
+    json += "}";
+    if (r.server.enabled) {
+      std::snprintf(buffer, sizeof(buffer),
+                    ", \"server\": {\"shed\": %.0f, "
+                    "\"admitted_degraded\": %.0f, \"degraded\": %.0f, "
+                    "\"deadline_hits\": %.0f, \"pipeline_shed\": %.0f, "
+                    "\"polls_ok\": %llu, \"polls_failed\": %llu}",
+                    r.server.shed, r.server.admitted_degraded,
+                    r.server.degraded, r.server.deadline_hits,
+                    r.server.pipeline_shed,
+                    static_cast<unsigned long long>(r.server.polls_ok),
+                    static_cast<unsigned long long>(r.server.polls_failed));
+      json += buffer;
+    }
+    json += "}";
     if (i + 1 < reports.size()) json += ",";
     json += "\n";
   }
@@ -377,13 +511,23 @@ int Run(const Args& args) {
     std::fprintf(stderr, "cloakload: %s\n", port.status().ToString().c_str());
     return 2;
   }
+  std::unique_ptr<net::CloakClient> admin;
+  if (args.metrics_poll) {
+    auto connected = net::CloakClient::Connect(args.host, port.value());
+    if (!connected.ok()) {
+      std::fprintf(stderr, "cloakload: admin connect failed: %s\n",
+                   connected.status().ToString().c_str());
+      return 2;
+    }
+    admin = std::move(connected).value();
+  }
   std::vector<RateReport> reports;
   for (double rate : args.rates) {
     std::fprintf(stderr, "cloakload: offering %.0f/s for %.1fs over %u conns\n",
                  rate, args.duration_s, args.connections);
-    reports.push_back(RunRate(args, port.value(), rate));
+    reports.push_back(RunRate(args, port.value(), rate, admin.get()));
   }
-  PrintText(reports);
+  PrintText(args, reports);
   if (!args.json_path.empty()) {
     const std::string json = ToJson(args, reports);
     std::FILE* f = std::fopen(args.json_path.c_str(), "w");

@@ -1,28 +1,41 @@
 // cloakmon — terminal live monitor for a running cloaksim / CloakDB
 // service.
 //
-// Polls the status-JSON snapshot the service rewrites atomically (cloaksim
-// --monitor-json=PATH) and renders a single-screen dashboard: uptime and
-// ingest state, per-stage latency digests (p50/p95/p99), candidate-cache
-// hit rate, tracer accounting, and the most recent privacy-audit
-// violations. Reading and rendering never touch the service — the file is
-// the only interface, so the monitor can run on another terminal, another
-// user, or after the producer exited.
+// Two sources, one dashboard:
+//
+//   --status=PATH        poll the status-JSON snapshot the service
+//                        rewrites atomically (cloaksim --monitor-json);
+//                        reading never touches the service — the file is
+//                        the only interface, so the monitor can run on
+//                        another terminal, another user, or after the
+//                        producer exited.
+//   --connect=HOST:PORT  poll a live cloakd over the wire: one admin
+//                        kStatus frame per refresh on a dedicated
+//                        connection, served off the server's worker pool
+//                        so the poll never stalls query traffic.
+//
+// Either way the screen shows uptime and ingest state, per-stage latency
+// digests (p50/p95/p99), candidate-cache hit rate, robustness counters,
+// tracer accounting, and the most recent privacy-audit violations.
 //
 // Usage:
 //   cloakmon --status=PATH [--interval-ms=500] [--once]
+//   cloakmon --connect=HOST:PORT [--interval-ms=500] [--once]
 //
 // --once reads and renders a single snapshot without clearing the screen
 // (scriptable; used by the CI smoke job). Exit: 0 on a rendered snapshot,
-// 1 when the file never appeared/parsed in --once mode.
+// 1 when the source never appeared/parsed in --once mode.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <chrono>
 
+#include "net/client.h"
+#include "net/protocol.h"
 #include "util/minijson.h"
 
 namespace cloakdb {
@@ -30,6 +43,8 @@ namespace {
 
 struct Args {
   std::string status_path;
+  std::string connect_host;
+  uint16_t connect_port = 0;
   long interval_ms = 500;
   bool once = false;
 };
@@ -46,6 +61,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::string value;
     if (ParseArg(argv[i], "status", &value)) {
       args->status_path = value;
+    } else if (ParseArg(argv[i], "connect", &value)) {
+      const size_t colon = value.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == value.size()) {
+        std::fprintf(stderr, "--connect wants HOST:PORT, got: %s\n",
+                     value.c_str());
+        return false;
+      }
+      args->connect_host = value.substr(0, colon);
+      const long port = std::strtol(value.c_str() + colon + 1, nullptr, 10);
+      if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "--connect port out of range: %s\n",
+                     value.c_str());
+        return false;
+      }
+      args->connect_port = static_cast<uint16_t>(port);
     } else if (ParseArg(argv[i], "interval-ms", &value)) {
       args->interval_ms = std::strtol(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--once") == 0) {
@@ -55,8 +86,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->status_path.empty()) {
-    std::fprintf(stderr, "--status=PATH is required\n");
+  const bool file_mode = !args->status_path.empty();
+  const bool wire_mode = !args->connect_host.empty();
+  if (file_mode == wire_mode) {
+    std::fprintf(stderr,
+                 "exactly one of --status=PATH or --connect=HOST:PORT "
+                 "is required\n");
     return false;
   }
   if (args->interval_ms < 50) args->interval_ms = 50;
@@ -89,6 +124,14 @@ void Render(const util::JsonValue& status) {
               status.NumberAt("tick"), status.NumberAt("ticks_total"),
               status.NumberAt("uptime_us") / 1e6,
               status.NumberAt("num_shards"), status.NumberAt("users"));
+  const std::string version = status.StringAt("version");
+  if (!version.empty()) {
+    const std::string data_dir = status.StringAt("data_dir");
+    std::printf("build: %s  durability=%s%s%s\n", version.c_str(),
+                status.StringAt("durability").c_str(),
+                data_dir.empty() ? "" : "  data_dir=",
+                data_dir.c_str());
+  }
   std::printf("ingest: applied=%.0f rejected=%.0f queue_depth=%.0f\n",
               status.NumberAt("updates_applied"),
               status.NumberAt("updates_rejected"),
@@ -104,6 +147,19 @@ void Render(const util::JsonValue& status) {
     std::printf("cache: hits=%.0f misses=%.0f hit_rate=%.1f%%\n",
                 cache->NumberAt("hits"), cache->NumberAt("misses"),
                 cache->NumberAt("hit_rate") * 100.0);
+  }
+
+  if (const util::JsonValue* robust = status.FindObject("robustness")) {
+    std::printf("robustness: shed=%.0f degraded=%.0f deadline_hits=%.0f "
+                "updates_shed=%.0f\n",
+                robust->NumberAt("shed"), robust->NumberAt("degraded"),
+                robust->NumberAt("deadline_hits"),
+                robust->NumberAt("updates_shed"));
+  }
+
+  if (const util::JsonValue* recorder = status.FindObject("recorder")) {
+    std::printf("flight recorder: events_total=%.0f\n",
+                recorder->NumberAt("events_total"));
   }
 
   if (const util::JsonValue* trace = status.FindObject("trace")) {
@@ -132,11 +188,44 @@ void Render(const util::JsonValue& status) {
   }
 }
 
+/// Fetches one status document, from the file or over the wire. The
+/// client connection is lazily (re)established so a restarting server
+/// only costs a blank refresh, not a monitor exit.
+bool FetchStatus(const Args& args,
+                 std::unique_ptr<net::CloakClient>* client,
+                 std::string* text, std::string* error) {
+  if (!args.status_path.empty()) {
+    if (ReadFile(args.status_path, text)) return true;
+    *error = "cannot read " + args.status_path;
+    return false;
+  }
+  if (*client == nullptr) {
+    auto connected =
+        net::CloakClient::Connect(args.connect_host, args.connect_port);
+    if (!connected.ok()) {
+      *error = connected.status().ToString();
+      return false;
+    }
+    *client = std::move(connected).value();
+  }
+  auto body = (*client)->Admin(net::AdminCommand::kStatus);
+  if (!body.ok()) {
+    // Drop the connection; the next refresh reconnects.
+    client->reset();
+    *error = body.status().ToString();
+    return false;
+  }
+  *text = std::move(body).value();
+  return true;
+}
+
 int Run(const Args& args) {
   bool rendered = false;
+  std::unique_ptr<net::CloakClient> client;
   for (;;) {
     std::string text;
-    if (ReadFile(args.status_path, &text)) {
+    std::string fetch_error;
+    if (FetchStatus(args, &client, &text, &fetch_error)) {
       std::string error;
       auto status = util::JsonValue::Parse(text, &error);
       if (status != nullptr && status->is_object()) {
@@ -151,7 +240,7 @@ int Run(const Args& args) {
       // A transiently unparsable file outside --once is expected only if
       // the producer is not writing atomically; keep the last screen.
     } else if (args.once) {
-      std::fprintf(stderr, "cannot read %s\n", args.status_path.c_str());
+      std::fprintf(stderr, "%s\n", fetch_error.c_str());
       return 1;
     }
     if (args.once) return rendered ? 0 : 1;
@@ -166,7 +255,8 @@ int main(int argc, char** argv) {
   cloakdb::Args args;
   if (!cloakdb::ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
-                 "usage: %s --status=PATH [--interval-ms=MS] [--once]\n",
+                 "usage: %s (--status=PATH | --connect=HOST:PORT) "
+                 "[--interval-ms=MS] [--once]\n",
                  argv[0]);
     return 2;
   }

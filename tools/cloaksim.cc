@@ -82,6 +82,7 @@
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "server/private_queries.h"
+#include "service/admin.h"
 #include "service/cloak_db_service.h"
 #include "sim/movement.h"
 #include "sim/poi.h"
@@ -280,120 +281,8 @@ bool WriteFileAtomic(const std::string& path, const std::string& contents) {
   return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
-void AppendHistogramJson(std::string* out, const obs::MetricsRegistry& metrics,
-                         const char* name) {
-  auto snap = metrics.SnapshotHistogram(name);
-  *out += '"';
-  obs::AppendJsonEscaped(out, name);
-  *out += "\":{\"count\":";
-  obs::AppendJsonNumber(out, static_cast<double>(snap.count));
-  *out += ",\"p50\":";
-  obs::AppendJsonNumber(out, snap.p50());
-  *out += ",\"p95\":";
-  obs::AppendJsonNumber(out, snap.p95());
-  *out += ",\"p99\":";
-  obs::AppendJsonNumber(out, snap.p99());
-  *out += '}';
-}
-
-// The per-tick status snapshot cloakmon polls: identity + uptime, ingest
-// and queue state, per-stage latency digests, cache disposition, tracer
-// accounting, and the most recent audit violations.
-std::string BuildStatusJson(const CloakDbService& db, size_t tick,
-                            size_t ticks) {
-  const auto stats = db.Stats();
-  const auto& metrics = db.metrics();
-  std::string out = "{\"tick\":";
-  obs::AppendJsonNumber(&out, static_cast<double>(tick));
-  out += ",\"ticks_total\":";
-  obs::AppendJsonNumber(&out, static_cast<double>(ticks));
-  out += ",\"uptime_us\":";
-  obs::AppendJsonNumber(&out, static_cast<double>(stats.uptime_us));
-  out += ",\"snapshot_unix_us\":";
-  obs::AppendJsonNumber(&out, static_cast<double>(stats.snapshot_unix_us));
-  out += ",\"num_shards\":";
-  obs::AppendJsonNumber(&out, stats.num_shards);
-  out += ",\"users\":";
-  obs::AppendJsonNumber(&out, static_cast<double>(stats.num_users));
-  out += ",\"queue_depth\":";
-  obs::AppendJsonNumber(&out, static_cast<double>(stats.queue_depth));
-  out += ",\"updates_applied\":";
-  obs::AppendJsonNumber(&out,
-                        static_cast<double>(stats.ingest.updates_applied));
-  out += ",\"updates_rejected\":";
-  obs::AppendJsonNumber(&out,
-                        static_cast<double>(stats.ingest.updates_rejected));
-
-  out += ",\"stages\":{";
-  bool first = true;
-  for (const char* name :
-       {"query.private_range.latency_us", "query.private_nn.latency_us",
-        "query.private_knn.latency_us", "ingest.queue_wait_us",
-        "ingest.cloak_us"}) {
-    if (!first) out += ',';
-    first = false;
-    AppendHistogramJson(&out, metrics, name);
-  }
-  out += '}';
-
-  const double hits = static_cast<double>(metrics.CounterValue("cache.hits_total"));
-  const double misses =
-      static_cast<double>(metrics.CounterValue("cache.misses_total"));
-  out += ",\"cache\":{\"hits\":";
-  obs::AppendJsonNumber(&out, hits);
-  out += ",\"misses\":";
-  obs::AppendJsonNumber(&out, misses);
-  out += ",\"hit_rate\":";
-  obs::AppendJsonNumber(&out,
-                        hits + misses > 0.0 ? hits / (hits + misses) : 0.0);
-  out += '}';
-
-  if (const obs::Tracer* tracer = db.tracer(); tracer != nullptr) {
-    out += ",\"trace\":{\"kept\":";
-    obs::AppendJsonNumber(&out, static_cast<double>(tracer->kept_traces()));
-    out += ",\"dropped\":";
-    obs::AppendJsonNumber(&out, static_cast<double>(tracer->dropped_traces()));
-    out += ",\"dropped_spans\":";
-    obs::AppendJsonNumber(&out, static_cast<double>(tracer->dropped_spans()));
-    out += ",\"violations_total\":";
-    obs::AppendJsonNumber(
-        &out, static_cast<double>(tracer->audit_violations_total()));
-    out += '}';
-    out += ",\"recent_violations\":[";
-    bool first_violation = true;
-    for (const auto& v : tracer->RecentAuditViolations()) {
-      if (!first_violation) out += ',';
-      first_violation = false;
-      // Ids are emitted as strings: 64-bit values do not round-trip
-      // through double-typed JSON numbers.
-      char id_buf[32];
-      out += "{\"trace_id\":\"";
-      std::snprintf(id_buf, sizeof(id_buf), "%llu",
-                    static_cast<unsigned long long>(v.trace_id));
-      out += id_buf;
-      out += "\",\"pseudonym\":\"";
-      std::snprintf(id_buf, sizeof(id_buf), "%llu",
-                    static_cast<unsigned long long>(v.pseudonym));
-      out += id_buf;
-      out += "\",\"requested_k\":";
-      obs::AppendJsonNumber(&out, v.event.requested_k);
-      out += ",\"achieved_k\":";
-      obs::AppendJsonNumber(&out, v.event.achieved_k);
-      out += ",\"area\":";
-      obs::AppendJsonNumber(&out, v.event.area);
-      out += ",\"k_satisfied\":";
-      out += v.event.k_satisfied ? "true" : "false";
-      out += ",\"center_risk\":";
-      out += v.event.center_risk ? "true" : "false";
-      out += ",\"boundary_risk\":";
-      out += v.event.boundary_risk ? "true" : "false";
-      out += '}';
-    }
-    out += ']';
-  }
-  out += "}\n";
-  return out;
-}
+// The per-tick status snapshot cloakmon polls is the shared admin-plane
+// document (service/admin.h) — the same shape cloakd serves over the wire.
 
 // Brute-force ground truth over the retained POI copies: ids of all objects
 // within `radius` of `from`.
