@@ -26,7 +26,7 @@ using bench::kInf;
 void BM_BAS_Dummies(benchmark::State& state) {
   const auto n = static_cast<size_t>(state.range(0));
   auto server = bench::MakeServer(2000);
-  const RTree* index = server->store().CategoryIndex(1).value();
+  const PublicCategoryIndex* index = server->store().CategoryIndex(1).value();
   Rng rng(1);
   DummyOptions options;
   options.num_points = n;
@@ -57,7 +57,7 @@ BENCHMARK(BM_BAS_Dummies)->Arg(2)->Arg(10)->Arg(50)
 void BM_BAS_Landmarks(benchmark::State& state) {
   const auto density = static_cast<size_t>(state.range(0));
   auto server = bench::MakeServer(2000);
-  const RTree* index = server->store().CategoryIndex(1).value();
+  const PublicCategoryIndex* index = server->store().CategoryIndex(1).value();
   // Landmarks are a separate, fixed public layer.
   RTree landmarks;
   {

@@ -11,6 +11,7 @@
 #include "index/quadtree.h"
 #include "index/rect_grid.h"
 #include "index/rtree.h"
+#include "index/static_rtree.h"
 
 namespace cloakdb {
 namespace {
@@ -149,6 +150,78 @@ void BM_IDX_RTreeBulkLoadVsInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_IDX_RTreeBulkLoadVsInsert)
     ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Static vs dynamic R-tree over the public-POI workload ---------------
+//
+// Arg(0) = dynamic RTree, Arg(1) = packed StaticRTree, same point set and
+// probe stream — the CI perf gate compares the two medians directly.
+
+void BM_IDX_PoiRangeProbe(benchmark::State& state) {
+  const bool use_static = state.range(0) != 0;
+  auto pois = bench::MakeUsers(100000);
+  RTree dynamic_tree;
+  StaticRTree static_tree;
+  if (use_static) {
+    static_tree = StaticRTree::Build(pois).value();
+  } else {
+    (void)dynamic_tree.BulkLoad(pois);
+  }
+  Rng rng(9);
+  std::vector<PointEntry> hits;
+  for (auto _ : state) {
+    Point c{rng.Uniform(10, 90), rng.Uniform(10, 90)};
+    const Rect window = Rect::CenteredSquare(c, 5.0);
+    if (use_static) {
+      hits.clear();
+      static_tree.RangeSearchInto(window, nullptr, &hits);
+      benchmark::DoNotOptimize(hits.data());
+    } else {
+      benchmark::DoNotOptimize(dynamic_tree.RangeSearch(window));
+    }
+  }
+  state.counters["static"] = use_static ? 1.0 : 0.0;
+}
+BENCHMARK(BM_IDX_PoiRangeProbe)->Arg(0)->Arg(1);
+
+void BM_IDX_PoiKnn(benchmark::State& state) {
+  const bool use_static = state.range(0) != 0;
+  auto pois = bench::MakeUsers(100000);
+  RTree dynamic_tree;
+  StaticRTree static_tree;
+  if (use_static) {
+    static_tree = StaticRTree::Build(pois).value();
+  } else {
+    (void)dynamic_tree.BulkLoad(pois);
+  }
+  Rng rng(10);
+  for (auto _ : state) {
+    Point q{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    if (use_static) {
+      benchmark::DoNotOptimize(static_tree.KNearest(q, 10, nullptr));
+    } else {
+      benchmark::DoNotOptimize(dynamic_tree.KNearest(q, 10));
+    }
+  }
+  state.counters["static"] = use_static ? 1.0 : 0.0;
+}
+BENCHMARK(BM_IDX_PoiKnn)->Arg(0)->Arg(1);
+
+void BM_IDX_StaticRTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  auto pois = bench::MakeUsers(n);
+  size_t blob_bytes = 0;
+  for (auto _ : state) {
+    auto tree = StaticRTree::Build(pois);
+    blob_bytes = tree.value().blob_bytes();
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["bytes_per_poi"] =
+      static_cast<double>(blob_bytes) / static_cast<double>(n);
+}
+BENCHMARK(BM_IDX_StaticRTreeBuild)
+    ->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_IDX_RectGridUpdate(benchmark::State& state) {

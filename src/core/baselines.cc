@@ -55,34 +55,6 @@ DummyLeakageReport EvaluateDummyLeakage(
   return report;
 }
 
-std::vector<ObjectId> DummyRangeQuery(const RTree& index,
-                                      const DummyUpdate& update,
-                                      double radius) {
-  std::unordered_set<ObjectId> seen;
-  std::vector<ObjectId> out;
-  for (const Point& p : update.points) {
-    for (const auto& hit :
-         index.RangeSearch(Rect::CenteredSquare(p, 2.0 * radius))) {
-      if (Distance(hit.location, p) > radius) continue;
-      if (seen.insert(hit.id).second) out.push_back(hit.id);
-    }
-  }
-  return out;
-}
-
-std::vector<ObjectId> DummyNnQuery(const RTree& index,
-                                   const DummyUpdate& update) {
-  std::unordered_set<ObjectId> seen;
-  std::vector<ObjectId> out;
-  for (const Point& p : update.points) {
-    auto nn = index.KNearest(p, 1);
-    if (!nn.empty() && seen.insert(nn.front().id).second) {
-      out.push_back(nn.front().id);
-    }
-  }
-  return out;
-}
-
 Result<LandmarkUpdate> MakeLandmarkUpdate(const Point& true_location,
                                           const RTree& landmarks) {
   auto nn = landmarks.KNearest(true_location, 1);

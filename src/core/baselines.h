@@ -16,6 +16,7 @@
 #ifndef CLOAKDB_CORE_BASELINES_H_
 #define CLOAKDB_CORE_BASELINES_H_
 
+#include <unordered_set>
 #include <vector>
 
 #include "geom/point.h"
@@ -69,15 +70,38 @@ DummyLeakageReport EvaluateDummyLeakage(const std::vector<DummyUpdate>& updates,
 /// Server-side cost model of dummies: a private range query must be
 /// answered for *every* point, so the candidate cost is the union of n
 /// point-query results. Returns the union's object ids (against one
-/// category index).
-std::vector<ObjectId> DummyRangeQuery(const RTree& index,
+/// category index — any type with the RTree query surface).
+template <typename Index>
+std::vector<ObjectId> DummyRangeQuery(const Index& index,
                                       const DummyUpdate& update,
-                                      double radius);
+                                      double radius) {
+  std::unordered_set<ObjectId> seen;
+  std::vector<ObjectId> out;
+  for (const Point& p : update.points) {
+    for (const auto& hit :
+         index.RangeSearch(Rect::CenteredSquare(p, 2.0 * radius))) {
+      if (Distance(hit.location, p) > radius) continue;
+      if (seen.insert(hit.id).second) out.push_back(hit.id);
+    }
+  }
+  return out;
+}
 
 /// NN candidates under dummies: the NN of every sent point (the client
 /// keeps the one for the real point).
-std::vector<ObjectId> DummyNnQuery(const RTree& index,
-                                   const DummyUpdate& update);
+template <typename Index>
+std::vector<ObjectId> DummyNnQuery(const Index& index,
+                                   const DummyUpdate& update) {
+  std::unordered_set<ObjectId> seen;
+  std::vector<ObjectId> out;
+  for (const Point& p : update.points) {
+    auto nn = index.KNearest(p, 1);
+    if (!nn.empty() && seen.insert(nn.front().id).second) {
+      out.push_back(nn.front().id);
+    }
+  }
+  return out;
+}
 
 // --- Landmark objects --------------------------------------------------------
 

@@ -1,0 +1,185 @@
+// STR bulk-packed static R-tree over point objects (public POIs).
+//
+// The dynamic quadratic-split RTree (index/rtree.h) earns its keep on
+// mutable private data, but public POIs are read-mostly and the pointer
+// chasing costs cache misses the workload doesn't need. This tree is the
+// osrm-style answer: Sort-Tile-Recursive bulk packing into an *implicit*
+// array layout with zero pointers, u32 fixed-point coordinates so a leaf
+// entry is 16 bytes and a 64-entry leaf page is exactly 1 KiB (a
+// power-of-two multiple of the cache line), and window tests over a whole
+// leaf page as branchless unsigned range checks. The entire tree
+// serializes as one contiguous CRC-framed blob, so a restarting shard can
+// mmap the sidecar file (util/mmap_file.h) and point the node/leaf/exact
+// spans straight into the mapping — no allocation, no STR rebuild.
+//
+// Quantization never changes answers: window endpoints are quantized
+// outward (floor for the low edge, the same floor for the high edge, so a
+// stored point can pass the coarse test spuriously but never fail it when
+// the exact point is inside), and every coarse hit is refined against a
+// parallel array of exact double coordinates before it is reported. KNN
+// node bounds are dequantized conservatively (one quantum outward, clamped
+// to the build frame), keeping MinDist a true lower bound; distances at the
+// leaves use the exact coordinates. See docs/INDEXES.md for the error-bound
+// argument.
+
+#ifndef CLOAKDB_INDEX_STATIC_RTREE_H_
+#define CLOAKDB_INDEX_STATIC_RTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "index/grid_index.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace cloakdb {
+
+/// Immutable STR-packed R-tree. Build once (or deserialize), query freely.
+class StaticRTree {
+ public:
+  /// 64 x 16-byte entries = 1024-byte leaf pages (16 cache lines).
+  static constexpr uint32_t kLeafCapacity = 64;
+  /// Fan-out of the implicit upper levels.
+  static constexpr uint32_t kBranching = 64;
+  static constexpr uint32_t kLeafPageBytes = 1024;
+
+  /// One leaf slot: id plus fixed-point coordinates. 16 bytes.
+  struct LeafEntry {
+    ObjectId id;
+    uint32_t qx;
+    uint32_t qy;
+  };
+  static_assert(sizeof(LeafEntry) == 16, "leaf entry must stay 16 bytes");
+
+  /// Quantized MBR of one node (leaf page at level 0, kBranching children
+  /// above). 16 bytes.
+  struct NodeRec {
+    uint32_t min_qx;
+    uint32_t min_qy;
+    uint32_t max_qx;
+    uint32_t max_qy;
+  };
+  static_assert(sizeof(NodeRec) == 16, "node record must stay 16 bytes");
+
+  /// Ids to hide from query results (the facade's tombstone set).
+  using IdFilter = std::unordered_set<ObjectId>;
+
+  /// An empty tree (no allocations; all queries return nothing).
+  StaticRTree() = default;
+
+  StaticRTree(const StaticRTree&) = delete;
+  StaticRTree& operator=(const StaticRTree&) = delete;
+  StaticRTree(StaticRTree&&) = default;
+  StaticRTree& operator=(StaticRTree&&) = default;
+
+  /// STR-packs `entries` (fails with InvalidArgument on duplicate ids or
+  /// non-finite coordinates). The result owns its serialized blob.
+  static Result<StaticRTree> Build(std::vector<PointEntry> entries);
+
+  /// The serialized form (a copy when mmap-backed); feed to FromBlob or
+  /// FromMapped to reconstruct. Starts with magic "CDBSRT01" and is
+  /// CRC-framed; see static_rtree.cc for the layout. Empty string for a
+  /// default-constructed tree.
+  std::string SerializeBlob() const;
+
+  /// Parses an owned blob (validates magic, geometry, and CRC).
+  static Result<StaticRTree> FromBlob(std::string blob);
+
+  /// Points the tree's spans into `[offset, offset+length)` of a mapped
+  /// file — zero-copy; the tree keeps the file alive. `offset` must be
+  /// 8-byte aligned.
+  static Result<StaticRTree> FromMapped(std::shared_ptr<util::MmapFile> file,
+                                        size_t offset, size_t length);
+
+  size_t size() const { return count_; }
+  /// Levels in the packed tree (1 = a single leaf-page level; 0 = empty).
+  uint32_t Height() const { return static_cast<uint32_t>(levels_.size()); }
+  /// Exact bounding box of the build set (empty Rect when count == 0).
+  const Rect& frame() const { return frame_; }
+  /// Serialized footprint in bytes.
+  size_t blob_bytes() const { return blob_size_; }
+  /// True when the backing bytes live in an mmap'd file.
+  bool memory_mapped() const { return mapped_file_ != nullptr; }
+
+  /// Appends all objects inside `window` (exact-refined) to `out`,
+  /// in leaf-slot order. `skip` (optional) hides tombstoned ids.
+  void RangeSearchInto(const Rect& window, const IdFilter* skip,
+                       std::vector<PointEntry>* out) const;
+
+  /// Number of objects inside `window` (exact-refined).
+  size_t RangeCount(const Rect& window, const IdFilter* skip) const;
+
+  /// The k nearest objects to `from`, sorted by (distance, id). Exact
+  /// distances; deterministic order.
+  std::vector<PointEntry> KNearest(const Point& from, size_t k,
+                                   const IdFilter* skip) const;
+
+  /// Distance from `from` to its nearest visible object; +inf when none.
+  double NearestDistance(const Point& from, const IdFilter* skip) const;
+
+  /// The stored (exact) location of `id`; NotFound when absent.
+  Result<Point> Locate(ObjectId id) const;
+  bool ContainsId(ObjectId id) const;
+
+  /// Visits every entry (id + exact location) in leaf-slot order —
+  /// used by the facade's compaction to re-collect the sealed set.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (uint64_t slot = 0; slot < count_; ++slot) {
+      fn(leaves_[slot].id, ExactLocation(slot));
+    }
+  }
+
+ private:
+  struct Level {
+    const NodeRec* nodes = nullptr;
+    uint64_t count = 0;
+  };
+
+  /// Map id -> leaf slot, sorted by id for binary search. 16 bytes.
+  struct IdSlot {
+    ObjectId id;
+    uint64_t slot;
+  };
+
+  Point ExactLocation(uint64_t slot) const {
+    return {exact_[2 * slot], exact_[2 * slot + 1]};
+  }
+  /// Conservative exact-space cover of a quantized node rect.
+  Rect DequantRect(const NodeRec& rec) const;
+  void ScanLeafPage(uint64_t page, uint32_t lo_qx, uint32_t span_qx,
+                    uint32_t lo_qy, uint32_t span_qy, const Rect& window,
+                    const IdFilter* skip, std::vector<PointEntry>* out,
+                    size_t* count_only) const;
+
+  /// Binds the span pointers into `base[0, size)`; validates everything.
+  Status AttachTo(const uint8_t* base, size_t size);
+
+  // Views into the backing bytes (owned_blob_ or mapped_file_).
+  uint64_t count_ = 0;
+  Rect frame_;                 // exact build frame; empty when count_ == 0
+  double inv_scale_x_ = 0.0;   // frame width / kQMax (0 on degenerate axis)
+  double inv_scale_y_ = 0.0;
+  double scale_x_ = 0.0;       // kQMax / frame width (0 on degenerate axis)
+  double scale_y_ = 0.0;
+  std::vector<Level> levels_;  // levels_[0] = leaf-page MBRs; back() = root
+  const uint8_t* base_ = nullptr;  // start of the serialized blob
+  const LeafEntry* leaves_ = nullptr;
+  const double* exact_ = nullptr;  // exact coords, 2 per slot, slot order
+  const IdSlot* ids_ = nullptr;    // count_ records sorted by id
+  uint64_t num_leaf_pages_ = 0;
+  size_t blob_size_ = 0;
+
+  std::string owned_blob_;  // non-empty when self-owned
+  std::shared_ptr<util::MmapFile> mapped_file_;  // non-null when mapped
+};
+
+}  // namespace cloakdb
+
+#endif  // CLOAKDB_INDEX_STATIC_RTREE_H_

@@ -84,7 +84,7 @@ Result<ContinuousQueryId> ContinuousQueryProcessor::RegisterRange(
 Status ContinuousQueryProcessor::EvaluateNnFull(NnState* state) {
   auto index_or = store_->CategoryIndex(state->category);
   if (!index_or.ok()) return index_or.status();
-  const RTree& index = *index_or.value();
+  const PublicCategoryIndex& index = *index_or.value();
   if (index.size() == 0)
     return Status::NotFound("no public objects in category");
   ++stats_.full_evaluations;

@@ -19,6 +19,7 @@
 
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "index/public_index.h"
 #include "index/rect_grid.h"
 #include "index/rtree.h"
 #include "util/status.h"
@@ -41,8 +42,10 @@ struct PublicObject {
 class ObjectStore {
  public:
   /// `space` bounds the private-region index; public objects may lie
-  /// anywhere.
-  explicit ObjectStore(const Rect& space, uint32_t rect_grid_cells = 64);
+  /// anywhere. `public_index` selects the per-category structure (dynamic
+  /// R-tree, or sealed StaticRTree + overlay) for public data.
+  explicit ObjectStore(const Rect& space, uint32_t rect_grid_cells = 64,
+                       const PublicCategoryIndex::Config& public_index = {});
 
   // --- Public data -------------------------------------------------------
 
@@ -59,11 +62,26 @@ class ObjectStore {
   /// Bulk-loads a category in one STR build (replaces that category).
   Status BulkLoadCategory(Category category, std::vector<PublicObject> objects);
 
+  /// Replaces a category with a pre-built sealed StaticRTree (recovery
+  /// fast path: the tree usually points into an mmap'd sidecar). The tree
+  /// is verified entry-by-entry against `objects` — the authoritative set
+  /// from the checkpoint; divergence that AdoptSealed cannot reconcile
+  /// fails and leaves the store unchanged (caller falls back to
+  /// BulkLoadCategory). Requires static public-index mode.
+  Status AdoptCategorySealed(Category category, StaticRTree sealed,
+                             const std::vector<PublicObject>& objects);
+
   /// Full object record by id.
   Result<PublicObject> GetPublicObject(ObjectId id) const;
 
-  /// The R-tree of one category; fails when the category has no objects.
-  Result<const RTree*> CategoryIndex(Category category) const;
+  /// The index of one category; fails when the category has no objects.
+  Result<const PublicCategoryIndex*> CategoryIndex(Category category) const;
+
+  /// Mutable access for the service layer's checkpoint-time compaction.
+  PublicCategoryIndex* MutableCategoryIndex(Category category);
+
+  /// The configured public-index mode.
+  PublicIndexMode public_index_mode() const { return public_index_.mode; }
 
   /// All categories currently populated.
   std::vector<Category> Categories() const;
@@ -98,7 +116,8 @@ class ObjectStore {
 
  private:
   Rect space_;
-  std::map<Category, RTree> public_indexes_;
+  PublicCategoryIndex::Config public_index_;
+  std::map<Category, PublicCategoryIndex> public_indexes_;
   std::unordered_map<ObjectId, PublicObject> public_meta_;
   RectGrid private_index_;
 };

@@ -116,7 +116,7 @@ Result<double> NnFetchRadius(const ObjectStore& store, const Rect& cloaked,
     return Status::InvalidArgument("cloaked region must be non-empty");
   auto index_or = store.CategoryIndex(category);
   if (!index_or.ok()) return index_or.status();
-  const RTree& index = *index_or.value();
+  const PublicCategoryIndex& index = *index_or.value();
   if (index.size() == 0)
     return Status::NotFound("no public objects in category");
 
@@ -138,7 +138,7 @@ Result<double> KnnFetchRadius(const ObjectStore& store, const Rect& cloaked,
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   auto index_or = store.CategoryIndex(category);
   if (!index_or.ok()) return index_or.status();
-  const RTree& index = *index_or.value();
+  const PublicCategoryIndex& index = *index_or.value();
   if (index.size() == 0)
     return Status::NotFound("no public objects in category");
   // Everything is an answer candidate by pigeonhole; no bounded probe can
@@ -163,7 +163,7 @@ Result<PrivateNnResult> PrivateNnQuery(const ObjectStore& store,
                                        Category category) {
   auto fetch = NnFetchRadius(store, cloaked, category);
   if (!fetch.ok()) return fetch.status();
-  const RTree& index = *store.CategoryIndex(category).value();
+  const PublicCategoryIndex& index = *store.CategoryIndex(category).value();
 
   PrivateNnResult result;
   result.fetch_radius = fetch.value();
@@ -186,7 +186,7 @@ Result<PrivateKnnResult> PrivateKnnQuery(const ObjectStore& store,
                                          Category category) {
   auto fetch = KnnFetchRadius(store, cloaked, k, category);
   if (!fetch.ok()) return fetch.status();
-  const RTree& index = *store.CategoryIndex(category).value();
+  const PublicCategoryIndex& index = *store.CategoryIndex(category).value();
 
   PrivateKnnResult result;
   if (index.size() <= k) {

@@ -25,8 +25,9 @@ void MergeServerStats(ServerStats* into, const ServerStats& from) {
 }
 
 QueryProcessor::QueryProcessor(const Rect& space, uint32_t rect_grid_cells,
-                               const WireCostModel& wire_cost)
-    : store_(space, rect_grid_cells), wire_cost_(wire_cost) {}
+                               const WireCostModel& wire_cost,
+                               const PublicCategoryIndex::Config& public_index)
+    : store_(space, rect_grid_cells, public_index), wire_cost_(wire_cost) {}
 
 Status QueryProcessor::ApplyCloakedUpdate(ObjectId pseudonym,
                                           const Rect& region) {

@@ -76,9 +76,11 @@ struct QueryProcessorObs {
 class QueryProcessor {
  public:
   /// `space` bounds the private-region index; `wire_cost` prices the
-  /// candidate lists charged to bytes_to_clients.
+  /// candidate lists charged to bytes_to_clients; `public_index` selects
+  /// the per-category public-data structure (index/public_index.h).
   explicit QueryProcessor(const Rect& space, uint32_t rect_grid_cells = 64,
-                          const WireCostModel& wire_cost = {});
+                          const WireCostModel& wire_cost = {},
+                          const PublicCategoryIndex::Config& public_index = {});
 
   /// Data management (delegates to the ObjectStore).
   ObjectStore& store() { return store_; }

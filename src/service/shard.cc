@@ -22,7 +22,7 @@ Shard::Shard(const ShardConfig& config,
     : config_(config),
       anonymizer_(std::move(anonymizer)),
       server_(config.anonymizer.space, config.rect_grid_cells,
-              config.wire_cost),
+              config.wire_cost, config.public_index),
       signature_(config.anonymizer.space, config.signature_cells),
       continuous_(config.anonymizer.space, config.continuous, config.cq_obs),
       cache_(config.cache_capacity),
@@ -610,21 +610,91 @@ Status Shard::WriteCheckpoint() {
     cq.window = spec.window;
     snap.cqs.push_back(cq);
   }
-  return config_.durability->WriteCheckpoint(
-      storage::EncodeShardSnapshot(snap));
+  CLOAKDB_RETURN_IF_ERROR(config_.durability->WriteCheckpoint(
+      storage::EncodeShardSnapshot(snap)));
+  // Refresh the sealed-tree sidecar under the same shared hold, so the
+  // blobs match the snapshot just written. The sidecar is an accelerator,
+  // not a source of truth: a write failure (e.g. more categories than the
+  // directory holds) degrades recovery to an STR rebuild, never fails the
+  // checkpoint.
+  if (!config_.index_blob_path.empty() &&
+      server_.store().public_index_mode() == PublicIndexMode::kStatic) {
+    std::vector<std::pair<uint32_t, std::string>> blobs;
+    for (Category category : server_.store().Categories()) {
+      auto index = server_.store().CategoryIndex(category);
+      if (index.ok())
+        blobs.emplace_back(category, index.value()->SerializeSealedBlob());
+    }
+    (void)storage::WriteIndexBlobFile(config_.index_blob_path, blobs);
+  }
+  return Status::OK();
+}
+
+Status Shard::CompactPublicIndex() {
+  if (server_.store().public_index_mode() != PublicIndexMode::kStatic)
+    return Status::OK();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (Category category : server_.store().Categories()) {
+    PublicCategoryIndex* index = server_.store().MutableCategoryIndex(category);
+    if (index != nullptr && index->NeedsCompaction())
+      CLOAKDB_RETURN_IF_ERROR(index->Compact());
+  }
+  return Status::OK();
 }
 
 Status Shard::RestoreSnapshot(const storage::ShardSnapshot& snapshot) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   CLOAKDB_RETURN_IF_ERROR(anonymizer_->RestoreState(snapshot.anonymizer));
-  // Rebuild each category's R-tree with one bulk load; the snapshot's
-  // objects arrive sorted by id, so the rebuild is deterministic.
   std::map<Category, std::vector<PublicObject>> by_category;
   for (const PublicObject& o : snapshot.public_objects)
     by_category[o.category].push_back(o);
+  // In static mode, try to adopt each category's sealed tree straight out
+  // of the mmap'd sidecar. The sidecar is untrusted: open, parse, and
+  // per-entry verification against the snapshot can each fail, and every
+  // failure falls back to the historical STR rebuild below.
+  std::shared_ptr<util::MmapFile> sidecar;
+  std::map<Category, storage::IndexBlobEntry> sidecar_entries;
+  if (!config_.index_blob_path.empty() &&
+      server_.store().public_index_mode() == PublicIndexMode::kStatic) {
+    auto opened = storage::OpenIndexBlobFile(
+        config_.index_blob_path, config_.index_blob_force_read_fallback);
+    if (opened.ok()) {
+      sidecar = opened.value().file;
+      for (const storage::IndexBlobEntry& e : opened.value().entries)
+        sidecar_entries[e.category] = e;
+      if (config_.sidecar_obs.opens_total != nullptr)
+        config_.sidecar_obs.opens_total->Increment();
+      if (sidecar->mapped()) {
+        if (config_.sidecar_obs.bytes_mapped_total != nullptr)
+          config_.sidecar_obs.bytes_mapped_total->Increment(sidecar->size());
+      } else if (config_.sidecar_obs.read_fallbacks_total != nullptr) {
+        config_.sidecar_obs.read_fallbacks_total->Increment();
+      }
+    }
+  }
   for (auto& [category, objects] : by_category) {
-    CLOAKDB_RETURN_IF_ERROR(
-        server_.store().BulkLoadCategory(category, std::move(objects)));
+    bool adopted = false;
+    auto entry = sidecar_entries.find(category);
+    if (entry != sidecar_entries.end()) {
+      auto tree = StaticRTree::FromMapped(sidecar, entry->second.offset,
+                                          entry->second.length);
+      if (tree.ok() &&
+          server_.store()
+              .AdoptCategorySealed(category, std::move(tree).value(), objects)
+              .ok()) {
+        adopted = true;
+      } else {
+        if (config_.sidecar_obs.verify_failures_total != nullptr)
+          config_.sidecar_obs.verify_failures_total->Increment();
+        if (config_.public_index.obs != nullptr &&
+            config_.public_index.obs->rebuilds_total != nullptr)
+          config_.public_index.obs->rebuilds_total->Increment();
+      }
+    }
+    if (!adopted) {
+      CLOAKDB_RETURN_IF_ERROR(
+          server_.store().BulkLoadCategory(category, std::move(objects)));
+    }
   }
   for (const auto& [pseudonym, region] : snapshot.private_regions)
     CLOAKDB_RETURN_IF_ERROR(server_.ApplyCloakedUpdate(pseudonym, region));

@@ -28,6 +28,7 @@
 #include "service/fault_injector.h"
 #include "service/service_stats.h"
 #include "service/update_queue.h"
+#include "storage/index_blob.h"
 #include "storage/shard_durability.h"
 #include "storage/shard_snapshot.h"
 
@@ -51,6 +52,18 @@ struct ShardObs {
   obs::Counter* fault_stalls = nullptr;
   /// Queue observability, forwarded to the BoundedUpdateQueue.
   UpdateQueueObs queue;
+};
+
+/// Sidecar/mmap lifecycle counters (service-owned; all optional).
+struct IndexSidecarObs {
+  /// Sidecar files opened during recovery.
+  obs::Counter* opens_total = nullptr;
+  /// Opens that took the read() fallback instead of a mapping.
+  obs::Counter* read_fallbacks_total = nullptr;
+  /// Sidecar blobs rejected (corrupt, truncated, or snapshot-divergent).
+  obs::Counter* verify_failures_total = nullptr;
+  /// Bytes mapped from sidecar files.
+  obs::Counter* bytes_mapped_total = nullptr;
 };
 
 /// Per-shard construction parameters (derived by CloakDbService from its
@@ -90,6 +103,16 @@ struct ShardConfig {
   /// Every durable mutation is WAL-logged through it, under the shard's
   /// exclusive lock and before the in-memory apply (write-ahead).
   storage::ShardDurability* durability = nullptr;
+  /// Per-category public-data index selection (mode, compaction limit,
+  /// lifecycle counters); defaults to the dynamic R-tree.
+  PublicCategoryIndex::Config public_index;
+  /// Sealed-tree sidecar file of this shard ("" = none). Written after
+  /// each checkpoint; mmap-adopted by RestoreSnapshot instead of STR
+  /// rebuilding. Only meaningful in static public-index mode.
+  std::string index_blob_path;
+  /// Testing: force the read() fallback when opening the sidecar.
+  bool index_blob_force_read_fallback = false;
+  IndexSidecarObs sidecar_obs;
 };
 
 /// One anonymizer + server pair owning a hash-slice of the users.
@@ -215,6 +238,12 @@ class Shard {
   /// exactly covers the exported state; queries proceed concurrently.
   /// No-op when durability is off.
   Status WriteCheckpoint();
+
+  /// Folds each category's spill overlay + tombstones back into its sealed
+  /// StaticRTree (exclusive lock). The service calls this before a
+  /// checkpoint so the serialized sidecar matches the live set; no-op in
+  /// dynamic public-index mode or when nothing spilled.
+  Status CompactPublicIndex();
 
   /// Replaces the shard's state with a decoded checkpoint (exclusive
   /// lock). The anonymizer, object store and private regions are restored

@@ -168,5 +168,77 @@ TEST(OperationsDocTest, ManualIsLinkedFromReadmeAndDesign) {
       << "DESIGN.md must link the operator's manual";
 }
 
+TEST(OperationsDocTest, ArchitectureAndIndexDocsExistAndAreLinked) {
+  const std::string root(CLOAKDB_SOURCE_DIR);
+  const std::string architecture = ReadFileOrDie(root + "/docs/ARCHITECTURE.md");
+  const std::string indexes = ReadFileOrDie(root + "/docs/INDEXES.md");
+  ASSERT_FALSE(architecture.empty());
+  ASSERT_FALSE(indexes.empty());
+
+  const std::string readme = ReadFileOrDie(root + "/README.md");
+  EXPECT_NE(readme.find("docs/ARCHITECTURE.md"), std::string::npos)
+      << "README.md must link the architecture map";
+  EXPECT_NE(readme.find("docs/INDEXES.md"), std::string::npos)
+      << "README.md must link the index reference";
+  EXPECT_NE(ReadFileOrDie(root + "/DESIGN.md").find("docs/ARCHITECTURE.md"),
+            std::string::npos)
+      << "DESIGN.md (section 1) must link the architecture map";
+  // The docs cross-link each other so a reader can move between the map,
+  // the index internals, and the operator's manual.
+  EXPECT_NE(architecture.find("INDEXES.md"), std::string::npos);
+  EXPECT_NE(architecture.find("OPERATIONS.md"), std::string::npos);
+  EXPECT_NE(indexes.find("ARCHITECTURE.md"), std::string::npos);
+}
+
+/// Backtick-quoted `--flag` tokens in the given markdown. `--benchmark*`
+/// tokens belong to the google-benchmark harness and are skipped.
+std::set<std::string> DocumentedToolFlags(const std::string& markdown) {
+  std::set<std::string> flags;
+  size_t pos = 0;
+  while (true) {
+    size_t open = markdown.find('`', pos);
+    if (open == std::string::npos) break;
+    size_t close = markdown.find('`', open + 1);
+    if (close == std::string::npos) break;
+    std::string token = markdown.substr(open + 1, close - open - 1);
+    pos = close + 1;
+    if (token.rfind("--", 0) != 0 || token.rfind("--benchmark", 0) == 0)
+      continue;
+    // Strip "=VALUE" and any trailing prose ("|dynamic", " on cloaksim").
+    std::string name;
+    for (size_t i = 2; i < token.size(); ++i) {
+      char c = token[i];
+      if (!(c == '-' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')))
+        break;
+      name.push_back(c);
+    }
+    if (!name.empty()) flags.insert(name);
+  }
+  return flags;
+}
+
+TEST(OperationsDocTest, FlagsNamedInNewDocsParseInTheTools) {
+  // Every cloaksim/cloakd flag the new docs name must exist in a tool's
+  // argument parser — flags appear there as the quoted literal passed to
+  // ParseArg (e.g. "public-index"). A doc naming a dropped or misspelled
+  // flag fails here; CI additionally smoke-runs `--help` on both tools.
+  const std::string root(CLOAKDB_SOURCE_DIR);
+  const std::string tool_sources =
+      ReadFileOrDie(root + "/tools/cloaksim.cc") +
+      ReadFileOrDie(root + "/tools/cloakd/cloakd.cc");
+  std::set<std::string> flags;
+  for (const char* doc : {"/docs/ARCHITECTURE.md", "/docs/INDEXES.md"}) {
+    for (const auto& flag : DocumentedToolFlags(ReadFileOrDie(root + doc)))
+      flags.insert(flag);
+  }
+  EXPECT_FALSE(flags.empty())
+      << "expected the new docs to name at least one tool flag";
+  for (const auto& flag : flags) {
+    EXPECT_NE(tool_sources.find("\"" + flag + "\""), std::string::npos)
+        << "docs name `--" << flag
+        << "` but neither cloaksim nor cloakd parses it";
+  }
+}
+
 }  // namespace
 }  // namespace cloakdb

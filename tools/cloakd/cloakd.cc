@@ -19,6 +19,7 @@
 //          [--checkpoint-interval=N] [--recover]
 //          [--admin-dump-interval=S] [--recorder-dump=PATH]
 //          [--window-interval-ms=MS]
+//          [--public-index=dynamic|static] [--help]
 //
 // --port=0 (the default) binds an ephemeral port; --port-file writes the
 // chosen port to PATH (atomically, via rename) so scripts and cloakload
@@ -82,6 +83,9 @@ struct Args {
   std::string data_dir;
   uint64_t checkpoint_interval = 4096;
   bool recover = false;
+  // Per-category public-data structure (see index/public_index.h).
+  PublicIndexMode public_index = PublicIndexMode::kStatic;
+  bool help = false;
   uint64_t admin_dump_interval_s = 0;  // 0 disables periodic status dumps
   std::string recorder_dump;           // fatal-signal flight-recorder path
 };
@@ -160,6 +164,13 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (ParseArg(argv[i], "window-interval-ms", &value)) {
       args.server.metrics_window_interval_ms =
           static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseArg(argv[i], "public-index", &value)) {
+      auto mode = PublicIndexModeFromName(value);
+      if (!mode.ok()) return mode.status();
+      args.public_index = mode.value();
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      args.help = true;
+      return args;
     } else {
       return Status::InvalidArgument(std::string("unknown flag: ") + argv[i]);
     }
@@ -202,6 +213,7 @@ Status Run(const Args& args) {
   options.durability_mode = args.durability;
   options.data_dir = args.data_dir;
   options.checkpoint_interval = args.checkpoint_interval;
+  options.public_index = args.public_index;
   auto db = CloakDbService::Create(options);
   if (!db.ok()) return db.status();
 
@@ -218,6 +230,9 @@ Status Run(const Args& args) {
                  static_cast<unsigned long long>(info.replayed_records),
                  static_cast<unsigned long long>(info.skipped_records),
                  static_cast<unsigned long long>(info.truncated_records));
+    std::fprintf(stderr, "cloakd: static index adopted=%llu rebuilt=%llu\n",
+                 static_cast<unsigned long long>(info.static_indexes_adopted),
+                 static_cast<unsigned long long>(info.static_indexes_rebuilt));
   } else {
     // Seed the world: POIs for the private kinds, cloaked users for the
     // public aggregates.
@@ -300,11 +315,35 @@ Status Run(const Args& args) {
 }  // namespace
 }  // namespace cloakdb
 
+namespace {
+
+void PrintUsage(std::FILE* out, const char* prog) {
+  std::fprintf(
+      out,
+      "usage: %s [--host=ADDR] [--port=P] [--port-file=PATH] "
+      "[--query-threads=N] [--max-pipeline=N] [--write-buffer-limit=BYTES] "
+      "[--force-poll] [--shards=S] [--workers=W] [--pois=P] [--users=N] "
+      "[--k=K] [--seed=S] [--metrics-json=PATH] [--trace-sample=P] "
+      "[--deadline-us=U] [--max-qps=Q] [--burst=B] [--shed-fraction=F] "
+      "[--overload-policy=reject|degrade] [--durability=off|async|fsync] "
+      "[--data-dir=DIR] [--checkpoint-interval=N] [--recover] "
+      "[--admin-dump-interval=S] [--recorder-dump=PATH] "
+      "[--window-interval-ms=MS] [--public-index=dynamic|static] [--help]\n",
+      prog);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   auto args = cloakdb::ParseArgs(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "cloakd: %s\n", args.status().ToString().c_str());
+    PrintUsage(stderr, argv[0]);
     return 2;
+  }
+  if (args.value().help) {
+    PrintUsage(stdout, argv[0]);
+    return 0;
   }
   const cloakdb::Status status = cloakdb::Run(args.value());
   if (!status.ok()) {

@@ -21,6 +21,7 @@
 //            [--continuous] [--standing=N] [--verify-sample=N]
 //            [--durability=off|async|fsync] [--data-dir=DIR]
 //            [--checkpoint-interval=N] [--chaos-kill] [--kill-cycles=N]
+//            [--public-index=dynamic|static] [--help]
 //
 // --shared-exec turns on the service's shared-execution engine (clustered
 // probes + candidate cache); cloaked regions snap to grid cells, so nearby
@@ -124,6 +125,10 @@ struct Args {
   uint64_t checkpoint_interval = 4096;
   bool chaos_kill = false;
   size_t kill_cycles = 6;
+  // Per-category public-data structure: sealed StaticRTree (+ overlay) or
+  // the dynamic R-tree.
+  PublicIndexMode public_index = PublicIndexMode::kStatic;
+  bool help = false;
   // Chaos / overload (see the header comment).
   bool chaos = false;
   uint64_t chaos_seed = 42;
@@ -240,6 +245,13 @@ Result<Args> ParseArgs(int argc, char** argv) {
       auto kind = CloakingKindFromName(value);
       if (!kind.ok()) return kind.status();
       args.algorithm = kind.value();
+    } else if (ParseArg(argv[i], "public-index", &value)) {
+      auto mode = PublicIndexModeFromName(value);
+      if (!mode.ok()) return mode.status();
+      args.public_index = mode.value();
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      args.help = true;
+      return args;
     } else {
       return Status::InvalidArgument(std::string("unknown flag: ") +
                                      argv[i]);
@@ -617,6 +629,7 @@ int RunChaosKill(const Args& args) {
   options.durability_mode = args.durability;
   options.data_dir = args.data_dir;
   options.checkpoint_interval = args.checkpoint_interval;
+  options.public_index = args.public_index;
   // Crash points only — the probe/stall probabilities stay zero.
   options.fault_injection.enabled = true;
   options.fault_injection.seed = args.chaos_seed;
@@ -792,6 +805,7 @@ int Run(const Args& args) {
   options.durability_mode = args.durability;
   options.data_dir = args.data_dir;
   options.checkpoint_interval = args.checkpoint_interval;
+  options.public_index = args.public_index;
   if (args.signature_cells > 0)
     options.signature_grid_cells = args.signature_cells;
   const bool tracing = !args.trace_out.empty() || !args.trace_jsonl.empty() ||
@@ -1176,28 +1190,41 @@ int Run(const Args& args) {
 }  // namespace
 }  // namespace cloakdb
 
+namespace {
+
+void PrintUsage(std::FILE* out, const char* prog) {
+  std::fprintf(
+      out,
+      "usage: %s [--users=N] [--k=K] [--algorithm=KIND] [--shards=S] "
+      "[--workers=W] [--ticks=T] [--queries-per-tick=Q] [--pois=P] "
+      "[--seed=S] [--profile=SPEC] [--metrics-json=PATH] "
+      "[--shared-exec] [--cache-capacity=N] [--batch-window-us=U] "
+      "[--trace-out=PATH] [--trace-jsonl=PATH] [--trace-sample=P] "
+      "[--monitor-json=PATH] [--chaos] [--chaos-seed=S] [--fail-prob=P] "
+      "[--delay-prob=P] [--delay-us=U] [--stall-prob=P] [--stall-us=U] "
+      "[--deadline-us=U] [--max-qps=Q] [--shed-fraction=F] "
+      "[--overload-policy=reject|degrade] "
+      "[--continuous] [--standing=N] [--verify-sample=N] "
+      "[--durability=off|async|fsync] [--data-dir=DIR] "
+      "[--checkpoint-interval=N] [--chaos-kill] [--kill-cycles=N] "
+      "[--public-index=dynamic|static] [--help]\n"
+      "  KIND: naive | mbr | quadtree | grid | multilevel-grid\n"
+      "  SPEC: e.g. \"08:00-17:00 k=1; 17:00-22:00 k=100 amin=1\"\n",
+      prog);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   auto args = cloakdb::ParseArgs(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
-    std::fprintf(
-        stderr,
-        "usage: %s [--users=N] [--k=K] [--algorithm=KIND] [--shards=S] "
-        "[--workers=W] [--ticks=T] [--queries-per-tick=Q] [--pois=P] "
-        "[--seed=S] [--profile=SPEC] [--metrics-json=PATH] "
-        "[--shared-exec] [--cache-capacity=N] [--batch-window-us=U] "
-        "[--trace-out=PATH] [--trace-jsonl=PATH] [--trace-sample=P] "
-        "[--monitor-json=PATH] [--chaos] [--chaos-seed=S] [--fail-prob=P] "
-        "[--delay-prob=P] [--delay-us=U] [--stall-prob=P] [--stall-us=U] "
-        "[--deadline-us=U] [--max-qps=Q] [--shed-fraction=F] "
-        "[--overload-policy=reject|degrade] "
-        "[--continuous] [--standing=N] [--verify-sample=N] "
-        "[--durability=off|async|fsync] [--data-dir=DIR] "
-        "[--checkpoint-interval=N] [--chaos-kill] [--kill-cycles=N]\n"
-        "  KIND: naive | mbr | quadtree | grid | multilevel-grid\n"
-        "  SPEC: e.g. \"08:00-17:00 k=1; 17:00-22:00 k=100 amin=1\"\n",
-        argv[0]);
+    PrintUsage(stderr, argv[0]);
     return 2;
+  }
+  if (args.value().help) {
+    PrintUsage(stdout, argv[0]);
+    return 0;
   }
   return cloakdb::Run(args.value());
 }
